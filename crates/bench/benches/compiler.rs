@@ -1,0 +1,31 @@
+//! Criterion bench: compiler passes (tiling, partitioning, scheduling,
+//! code generation) on a multi-tile MLP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puma_compiler::{compile, CompilerOptions};
+use puma_core::config::NodeConfig;
+use puma_nn::zoo;
+use puma_nn::WeightFactory;
+
+fn bench_compiler(c: &mut Criterion) {
+    let cfg = NodeConfig::default();
+    let spec = zoo::spec("MLP-64-150-150-14");
+    c.bench_function("compile_mlp_small", |b| {
+        b.iter(|| {
+            let mut wf = WeightFactory::materialized(1);
+            let model = zoo::build_graph_model(&spec, &mut wf, None).unwrap().unwrap();
+            compile(std::hint::black_box(&model), &cfg, &CompilerOptions::default()).unwrap()
+        })
+    });
+    let big = zoo::spec("MLPL4");
+    c.bench_function("compile_mlpl4_timing_only", |b| {
+        b.iter(|| {
+            let mut wf = WeightFactory::shape_only(1);
+            let model = zoo::build_graph_model(&big, &mut wf, None).unwrap().unwrap();
+            compile(std::hint::black_box(&model), &cfg, &CompilerOptions::timing_only()).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

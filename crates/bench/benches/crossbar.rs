@@ -1,0 +1,30 @@
+//! Criterion bench: analog crossbar MVM throughput — the primitive behind
+//! every table (one 128x128 MVM = 16384 MACs in 2304 ns on hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puma_core::config::MvmuConfig;
+use puma_core::fixed::Fixed;
+use puma_core::tensor::Matrix;
+use puma_xbar::{AnalogMvmu, NoiseModel};
+
+fn bench_crossbar(c: &mut Criterion) {
+    let cfg = MvmuConfig::default();
+    let weights = Matrix::from_fn(128, 128, |r, k| ((r * 7 + k) % 13) as f32 * 0.01 - 0.06);
+    let mut mvmu = AnalogMvmu::new(cfg).unwrap();
+    mvmu.program(&weights.quantize(), &NoiseModel::noiseless()).unwrap();
+    let x: Vec<Fixed> = (0..128).map(|i| Fixed::from_f32((i % 9) as f32 * 0.05 - 0.2)).collect();
+
+    c.bench_function("mvm_exact_128", |b| b.iter(|| mvmu.mvm_exact(std::hint::black_box(&x))));
+    c.bench_function("mvm_bit_serial_128", |b| {
+        b.iter(|| mvmu.mvm_bit_serial(std::hint::black_box(&x)))
+    });
+
+    let mut noisy = AnalogMvmu::new(cfg).unwrap();
+    noisy.program(&weights.quantize(), &NoiseModel::new(0.1, 3)).unwrap();
+    c.bench_function("mvm_noisy_fast_128", |b| {
+        b.iter(|| noisy.mvm_noisy_fast(std::hint::black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_crossbar);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: full functional inference (compile once, run many) on
+//! the Fig. 7 example and LeNet-5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puma_core::config::NodeConfig;
+use puma_nn::cnn::build_cnn;
+use puma_nn::zoo;
+use puma_sim::{NodeSim, SimMode};
+use puma_xbar::NoiseModel;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = NodeConfig::default();
+    let cnn = build_cnn(&zoo::spec("Lenet5"), &cfg, true, 7).unwrap();
+    let (ch, h, w) = cnn.input_shape;
+    let image: Vec<f32> = (0..ch * h * w).map(|i| ((i % 9) as f32) / 9.0 - 0.3).collect();
+    c.bench_function("lenet5_functional_inference", |b| {
+        b.iter(|| {
+            let mut sim =
+                NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless())
+                    .unwrap();
+            sim.write_input(&cnn.input_name, &image).unwrap();
+            sim.run().unwrap();
+            std::hint::black_box(sim.stats().cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

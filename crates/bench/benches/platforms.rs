@@ -1,0 +1,29 @@
+//! Criterion bench: the analytic platform models behind Fig. 11 and
+//! Table 6 (all 8 workloads x 5 platforms x PUMA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puma_baselines::platform::{estimate, table4_platforms};
+use puma_core::config::NodeConfig;
+use puma_nn::{perf, zoo};
+
+fn bench_platforms(c: &mut Criterion) {
+    let cfg = NodeConfig::default();
+    let platforms = table4_platforms();
+    let specs: Vec<_> = zoo::TABLE5_NAMES.iter().map(|n| zoo::spec(n)).collect();
+    c.bench_function("fig11_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in &specs {
+                let puma = perf::estimate(s, &cfg, true);
+                acc += puma.energy_nj;
+                for p in &platforms {
+                    acc += estimate(p, s, 1).energy_nj();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

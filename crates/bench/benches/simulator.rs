@@ -1,0 +1,20 @@
+//! Criterion bench: PUMAsim event throughput (Fig. 11's measurement engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puma_bench::{compile_workload, run_timing};
+use puma_compiler::CompilerOptions;
+use puma_core::config::NodeConfig;
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = NodeConfig::default();
+    let compiled =
+        compile_workload("MLP-64-150-150-14", &cfg, &CompilerOptions::default(), None)
+            .unwrap()
+            .unwrap();
+    c.bench_function("sim_mlp_small_timing", |b| {
+        b.iter(|| run_timing(std::hint::black_box(&compiled), &cfg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Reproduces §7.4.3: PUMA with hypothetical digital MVMUs.
+
+use puma_core::config::NodeConfig;
+use puma_core::hwmodel::digital_mvmu_comparison;
+
+fn main() {
+    let cmp = digital_mvmu_comparison(&NodeConfig::default());
+    println!("== §7.4.3: Digital MVMU comparison ==");
+    println!("  per-MVMU area ratio (digital/analog):   {:.2}x (paper: 8.97x)", cmp.mvmu_area_ratio);
+    println!("  per-MVM energy ratio (digital/analog):  {:.2}x (paper: 4.17x)", cmp.mvmu_energy_ratio);
+    println!("  chip area ratio, naive substitution:    {:.2}x", cmp.chip_area_ratio_naive);
+    println!("  chip area ratio, paper (with redesign): {:.2}x", cmp.chip_area_ratio_paper);
+    println!("  chip energy ratio, paper:               {:.2}x", cmp.chip_energy_ratio_paper);
+    println!("\n  A 128x128 memristive MVMU: 16384 MACs in 2304 ns @ 43.97 nJ (§7.4.3).");
+}

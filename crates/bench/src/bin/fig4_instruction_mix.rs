@@ -1,0 +1,58 @@
+//! Reproduces Fig. 4: static instruction usage across six workloads,
+//! showing the importance of each execution unit.
+
+use puma_bench::print_table;
+use puma_compiler::CompilerOptions;
+use puma_core::config::NodeConfig;
+use puma_isa::InstructionCategory;
+use puma_nn::cnn::build_cnn;
+use puma_nn::zoo;
+use std::collections::BTreeMap;
+
+fn percentages(hist: &BTreeMap<InstructionCategory, usize>) -> Vec<String> {
+    let total: usize = hist.values().sum();
+    InstructionCategory::ALL
+        .iter()
+        .map(|c| {
+            let n = hist.get(c).copied().unwrap_or(0);
+            format!("{:.1}%", 100.0 * n as f64 / total.max(1) as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = NodeConfig::default();
+    let mut rows = Vec::new();
+
+    // CNN (Lenet5) through the looped layer codegen.
+    let lenet = build_cnn(&zoo::spec("Lenet5"), &cfg, true, 7).expect("lenet5 compiles");
+    let mut row = vec!["CNN (Lenet5)".to_string()];
+    row.extend(percentages(&lenet.image.category_histogram()));
+    row.push(lenet.image.total_instructions().to_string());
+    rows.push(row);
+
+    // The rest through the graph compiler.
+    for (label, name) in [
+        ("MLP (64-150-150-14)", "MLP-64-150-150-14"),
+        ("LSTM (26-120-61)", "LSTM-26-120-61"),
+        ("RNN (26-93-61)", "RNN-26-93-61"),
+        ("BM (V500-H500)", "BM-V500-H500"),
+        ("RBM (V500-H500)", "RBM-V500-H500"),
+    ] {
+        let compiled =
+            puma_bench::compile_workload(name, &cfg, &CompilerOptions::default(), None)
+                .expect("compiles")
+                .expect("graph workload");
+        let mut row = vec![label.to_string()];
+        row.extend(percentages(&compiled.image.category_histogram()));
+        row.push(compiled.image.total_instructions().to_string());
+        rows.push(row);
+    }
+
+    let header: Vec<&str> = std::iter::once("Workload")
+        .chain(InstructionCategory::ALL.iter().map(|c| c.label()))
+        .chain(std::iter::once("Static instrs"))
+        .collect();
+    print_table("Fig. 4: Static Instruction Usage", &header, &rows);
+    println!("\n  (CNNs use control flow; MLP/LSTM graphs are straight-line; all use MVM+VFU)");
+}

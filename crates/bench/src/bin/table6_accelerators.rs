@@ -1,0 +1,48 @@
+//! Reproduces Table 6: comparison with the TPU and ISAAC.
+
+use puma_bench::print_table;
+use puma_baselines::accelerators::{isaac_row, puma_row, tpu_row};
+use puma_core::config::NodeConfig;
+
+fn main() {
+    let rows = [puma_row(&NodeConfig::default()), tpu_row(), isaac_row()];
+    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.year.to_string(),
+                r.technology.clone(),
+                r.clock_mhz.to_string(),
+                format!("{:.1}", r.area_mm2),
+                format!("{:.1}", r.power_w),
+                format!("{:.2}", r.peak_tops),
+                format!("{:.2}", r.peak_ae()),
+                format!("{:.2}", r.peak_pe()),
+                fmt_opt(r.best_ae[0]),
+                fmt_opt(r.best_ae[1]),
+                fmt_opt(r.best_ae[2]),
+                fmt_opt(r.best_pe[0]),
+                fmt_opt(r.best_pe[1]),
+                fmt_opt(r.best_pe[2]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6: Comparison with ML Accelerators",
+        &[
+            "Platform", "Year", "Technology", "MHz", "Area mm2", "Power W", "Peak TOPS",
+            "Peak AE", "Peak PE", "AE MLP", "AE LSTM", "AE CNN", "PE MLP", "PE LSTM", "PE CNN",
+        ],
+        &table,
+    );
+    let puma = &rows[0];
+    let tpu = &rows[1];
+    let isaac = &rows[2];
+    println!("\n  PUMA vs TPU: {:.1}x peak AE, {:.2}x peak PE (paper: 8.3x, 1.65x)",
+        puma.peak_ae() / tpu.peak_ae(), puma.peak_pe() / tpu.peak_pe());
+    println!("  PUMA vs ISAAC: {:.1}% lower PE, {:.1}% lower AE (paper: 20.7%, 29.2%) — the programmability cost",
+        100.0 * (1.0 - puma.peak_pe() / isaac.peak_pe()),
+        100.0 * (1.0 - puma.peak_ae() / isaac.peak_ae()));
+}

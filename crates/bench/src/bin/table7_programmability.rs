@@ -1,0 +1,12 @@
+//! Reproduces Table 7: programmability comparison with ISAAC.
+
+use puma_bench::print_table;
+use puma_baselines::accelerators::programmability_comparison;
+
+fn main() {
+    let rows: Vec<Vec<String>> = programmability_comparison()
+        .into_iter()
+        .map(|r| vec![r.aspect, r.puma, r.isaac])
+        .collect();
+    print_table("Table 7: Programmability Comparison", &["Aspect", "PUMA", "ISAAC"], &rows);
+}

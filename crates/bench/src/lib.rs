@@ -1,0 +1,133 @@
+//! Shared helpers for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see EXPERIMENTS.md for the index).
+
+#![warn(missing_docs)]
+
+use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
+use puma_core::config::NodeConfig;
+use puma_core::error::Result;
+use puma_nn::zoo;
+use puma_nn::WeightFactory;
+use puma_sim::{NodeSim, RunStats, SimMode};
+use puma_xbar::NoiseModel;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Formats a ratio like the paper's tables ("0.66x", "2446x").
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else if r >= 10.0 {
+        format!("{r:.1}x")
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+/// Compiles a (non-CNN) zoo workload into a machine image with the given
+/// options, reducing LSTM sequence lengths to keep simulation tractable
+/// (documented in EXPERIMENTS.md; latency/energy scale linearly in steps).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn compile_workload(
+    name: &str,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+    seq_override: Option<usize>,
+) -> Result<Option<CompiledModel>> {
+    let spec = zoo::spec(name);
+    let mut weights = if options.materialize_weights {
+        WeightFactory::materialized(7)
+    } else {
+        WeightFactory::shape_only(7)
+    };
+    let Some(model) = zoo::build_graph_model(&spec, &mut weights, seq_override)? else {
+        return Ok(None);
+    };
+    Ok(Some(compile(&model, cfg, options)?))
+}
+
+/// Runs a compiled model in timing mode with zeroed inputs; returns stats.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_timing(compiled: &CompiledModel, cfg: &NodeConfig) -> Result<RunStats> {
+    let cfg = fit_config(cfg, compiled);
+    let mut sim = NodeSim::new(cfg, &compiled.image, SimMode::Timing, &NoiseModel::noiseless())?;
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values)?;
+    }
+    for io in &compiled.inputs {
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &vec![0.0; w])?;
+        }
+    }
+    sim.run()?;
+    Ok(sim.stats().clone())
+}
+
+/// The reduced sequence length used when simulating LSTM workloads
+/// (full length 50 scales linearly; see EXPERIMENTS.md).
+pub fn sim_seq_len(name: &str) -> Option<usize> {
+    match name {
+        "NMTL3" | "NMTL5" => Some(2),
+        "BigLSTM" | "LSTM-2048" => Some(1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(2446.0), "2446x");
+        assert_eq!(fmt_ratio(66.4), "66.4x");
+        assert_eq!(fmt_ratio(0.24), "0.24x");
+    }
+
+    #[test]
+    fn mlp_workload_compiles_and_runs() {
+        let cfg = NodeConfig::default();
+        let compiled = compile_workload(
+            "MLP-64-150-150-14",
+            &cfg,
+            &CompilerOptions::default(),
+            None,
+        )
+        .unwrap()
+        .unwrap();
+        let stats = run_timing(&compiled, &cfg).unwrap();
+        assert!(stats.cycles > 0);
+        assert!(stats.energy.total_nj() > 0.0);
+    }
+}

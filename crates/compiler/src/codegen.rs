@@ -1,0 +1,962 @@
+//! Code generation: register allocation, communication insertion, and
+//! instruction emission (§5.2 load/store/send/receive insertion + §5.4
+//! register allocation).
+//!
+//! The register file is managed at *chunk granularity*: a core with a
+//! `rf_words`-word file holds `rf_words / dim` slots (the paper's sizing
+//! rule of 2 × dim × MVMUs/core gives 4 slots). Values are allocated a
+//! slot at production, evicted farthest-next-use-first, and spilled to
+//! tile shared memory when no slot is free — spilled accesses are counted
+//! for the Table 8 register-pressure statistic.
+//!
+//! Cross-core edges become store/load pairs through the attribute buffer;
+//! cross-tile edges additionally get a send on the producer tile's control
+//! unit and a receive on the consumer's, with FIFOs virtualized per
+//! (consumer, sender) pair (§4.2). Attribute counts are *patched* after
+//! emission to the exact number of consuming loads and sends, so the
+//! valid/count protocol can never starve or stall spuriously.
+
+use crate::options::CompilerOptions;
+use crate::partition::Placement;
+use crate::physical::{PhysGraph, PhysId, PhysOp};
+use crate::schedule::{Schedule, ScheduleItem};
+use crate::graph::{BinOp, ImmOp, UnOp};
+use puma_core::config::NodeConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+use puma_core::ids::CoreLocation;
+use puma_isa::{
+    AluImmOp, AluOp, Instruction, IoBinding, MachineImage, MemAddr, MvmuMask, Program, RegRef,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A named logical I/O vector and the per-chunk bindings that compose it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalIo {
+    /// Logical name from the model graph.
+    pub name: String,
+    /// Binding names of each chunk, in order.
+    pub chunks: Vec<String>,
+    /// Chunk widths, in order.
+    pub chunk_widths: Vec<usize>,
+    /// Total logical width.
+    pub width: usize,
+}
+
+/// Statistics recorded during compilation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Tiles occupied by the image.
+    pub tiles_used: usize,
+    /// Cores with nonempty programs.
+    pub cores_used: usize,
+    /// Unique weight tiles (physical MVMUs holding weights).
+    pub weight_tiles: usize,
+    /// MVM instructions after coalescing.
+    pub mvm_instructions: usize,
+    /// MVM nodes before coalescing.
+    pub mvm_nodes: usize,
+    /// Register accesses served from spilled locations.
+    pub spill_accesses: u64,
+    /// Total register operand accesses.
+    pub register_accesses: u64,
+    /// Static instructions across all programs.
+    pub static_instructions: usize,
+    /// Loads emitted.
+    pub loads: u64,
+    /// Stores emitted.
+    pub stores: u64,
+    /// Sends emitted.
+    pub sends: u64,
+    /// Receives emitted.
+    pub receives: u64,
+    /// Highest shared-memory word address used, per tile.
+    pub shared_mem_high_water: Vec<u32>,
+}
+
+impl CompileStats {
+    /// Fraction of register accesses served from spills (Table 8).
+    pub fn spill_fraction(&self) -> f64 {
+        if self.register_accesses == 0 {
+            0.0
+        } else {
+            self.spill_accesses as f64 / self.register_accesses as f64
+        }
+    }
+
+    /// Shared-memory requirement of the largest tile, in bytes.
+    pub fn max_shared_mem_bytes(&self) -> usize {
+        self.shared_mem_high_water.iter().copied().max().unwrap_or(0) as usize * 2
+    }
+}
+
+/// A compiled model: the machine image plus host-side metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledModel {
+    /// The configured node image (programs + weights + chunk bindings).
+    pub image: MachineImage,
+    /// Constant vectors the host must poke before each run
+    /// (binding, values).
+    pub const_data: Vec<(IoBinding, Vec<f32>)>,
+    /// Logical input vectors.
+    pub inputs: Vec<LogicalIo>,
+    /// Logical output vectors.
+    pub outputs: Vec<LogicalIo>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+impl CompiledModel {
+    /// Looks up a logical input by name.
+    pub fn input(&self, name: &str) -> Option<&LogicalIo> {
+        self.inputs.iter().find(|io| io.name == name)
+    }
+
+    /// Looks up a logical output by name.
+    pub fn output(&self, name: &str) -> Option<&LogicalIo> {
+        self.outputs.iter().find(|io| io.name == name)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StoreSite {
+    Core(CoreLocation),
+    TileCtl(usize),
+}
+
+/// Address-recycling channel: a fixed (producer site → consumer core)
+/// pair. Reusing an address is only sound inside one channel, where the
+/// producer's stores and the consumer's loads are each serialized by
+/// program order; cross-producer reuse races at run time (the attribute
+/// buffer does not tag values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ChannelKey {
+    producer: StoreSite,
+    consumer: CoreLocation,
+}
+
+#[derive(Debug)]
+struct HomeRec {
+    tile: usize,
+    addr: u32,
+    width: usize,
+    loads: u64,
+    sends: u64,
+    store_site: Option<(StoreSite, usize)>,
+    recv_site: Option<(usize, usize)>,
+    poke_input: Option<usize>,
+    poke_const: Option<usize>,
+    pending_consumers: usize,
+    channel: Option<ChannelKey>,
+    no_free: bool,
+    freed: bool,
+}
+
+#[derive(Debug, Default)]
+struct TileAlloc {
+    next: u32,
+    free: HashMap<(ChannelKey, usize), Vec<u32>>,
+    high_water: u32,
+}
+
+impl TileAlloc {
+    fn alloc(&mut self, width: usize, channel: Option<ChannelKey>) -> u32 {
+        if let Some(key) = channel {
+            if let Some(pool) = self.free.get_mut(&(key, width)) {
+                if let Some(addr) = pool.pop() {
+                    return addr;
+                }
+            }
+        }
+        let addr = self.next;
+        self.next += width as u32;
+        self.high_water = self.high_water.max(self.next);
+        addr
+    }
+
+    fn release(&mut self, addr: u32, width: usize, channel: ChannelKey) {
+        self.free.entry((channel, width)).or_default().push(addr);
+    }
+}
+
+struct CoreGen {
+    program: Vec<Instruction>,
+    /// slot -> value currently resident.
+    slots: Vec<Option<PhysId>>,
+    /// value -> slot.
+    resident: HashMap<PhysId, usize>,
+}
+
+/// The emission context.
+struct Emitter<'a> {
+    graph: &'a PhysGraph,
+    placement: &'a Placement,
+    cfg: &'a NodeConfig,
+    options: &'a CompilerOptions,
+    dim: usize,
+    n_slots: usize,
+    cores: HashMap<CoreLocation, CoreGen>,
+    tile_ctl: Vec<Vec<Instruction>>,
+    allocs: Vec<TileAlloc>,
+    homes: Vec<HomeRec>,
+    /// (value, tile) -> home index.
+    home_of: HashMap<(PhysId, usize), usize>,
+    /// Per (core, value): queue of item indices where the value is used.
+    uses: HashMap<(CoreLocation, PhysId), VecDeque<usize>>,
+    /// Consumer nodes per (value, tile), for home freeing.
+    tile_consumers: HashMap<(PhysId, usize), usize>,
+    /// Distinct consumer cores per (value, tile), for channel recycling.
+    consumer_cores: HashMap<(PhysId, usize), Vec<CoreLocation>>,
+    /// Consumer tiles per value (excluding producer tile).
+    remote_tiles: HashMap<PhysId, Vec<usize>>,
+    /// FIFO virtualization: per consumer tile, sender -> fifo.
+    fifo_map: HashMap<usize, HashMap<usize, u8>>,
+    fifo_next: HashMap<usize, u8>,
+    /// Values that are model outputs (their homes are pinned).
+    output_values: std::collections::HashSet<PhysId>,
+    inputs_meta: Vec<IoBinding>,
+    const_meta: Vec<(IoBinding, Vec<f32>)>,
+    output_bindings: Vec<IoBinding>,
+    stats: CompileStats,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(
+        graph: &'a PhysGraph,
+        placement: &'a Placement,
+        schedule: &'a Schedule,
+        cfg: &'a NodeConfig,
+        options: &'a CompilerOptions,
+    ) -> Result<Self> {
+        let dim = graph.dim;
+        let n_slots = cfg.tile.core.register_file_words / dim;
+        if n_slots == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "register file ({} words) smaller than one chunk ({dim} words)",
+                    cfg.tile.core.register_file_words
+                ),
+            });
+        }
+        let tiles_used = placement.tiles_used;
+        let mut uses: HashMap<(CoreLocation, PhysId), VecDeque<usize>> = HashMap::new();
+        let mut tile_consumers: HashMap<(PhysId, usize), usize> = HashMap::new();
+        let mut consumer_cores: HashMap<(PhysId, usize), Vec<CoreLocation>> = HashMap::new();
+        let mut remote_tiles: HashMap<PhysId, Vec<usize>> = HashMap::new();
+        for (k, item) in schedule.items.iter().enumerate() {
+            for &id in item.nodes() {
+                let core = placement.core_of(id);
+                for &input in &graph.nodes[id.0].inputs {
+                    uses.entry((core, input)).or_default().push_back(k);
+                    *tile_consumers.entry((input, core.tile.index())).or_insert(0) += 1;
+                    let cores = consumer_cores.entry((input, core.tile.index())).or_default();
+                    if !cores.contains(&core) {
+                        cores.push(core);
+                    }
+                    let home_tile = placement.core_of(input).tile.index();
+                    if core.tile.index() != home_tile {
+                        let entry = remote_tiles.entry(input).or_default();
+                        if !entry.contains(&core.tile.index()) {
+                            entry.push(core.tile.index());
+                        }
+                    }
+                }
+            }
+        }
+        let output_values =
+            graph.outputs.iter().flat_map(|o| o.chunks.iter().copied()).collect();
+        Ok(Emitter {
+            graph,
+            placement,
+            cfg,
+            options,
+            dim,
+            n_slots,
+            cores: HashMap::new(),
+            tile_ctl: vec![Vec::new(); tiles_used],
+            allocs: (0..tiles_used).map(|_| TileAlloc::default()).collect(),
+            homes: Vec::new(),
+            home_of: HashMap::new(),
+            uses,
+            tile_consumers,
+            consumer_cores,
+            remote_tiles,
+            fifo_map: HashMap::new(),
+            fifo_next: HashMap::new(),
+            output_values,
+            inputs_meta: Vec::new(),
+            const_meta: Vec::new(),
+            output_bindings: Vec::new(),
+            stats: CompileStats::default(),
+        })
+    }
+
+    fn core(&mut self, loc: CoreLocation) -> &mut CoreGen {
+        let n_slots = self.n_slots;
+        self.cores.entry(loc).or_insert_with(|| CoreGen {
+            program: Vec::new(),
+            slots: vec![None; n_slots],
+            resident: HashMap::new(),
+        })
+    }
+
+    fn slot_reg(&self, slot: usize) -> RegRef {
+        RegRef::general((slot * self.dim) as u16)
+    }
+
+    fn fifo_for(&mut self, consumer_tile: usize, sender_tile: usize) -> u8 {
+        let fifos = self.cfg.tile.receive_fifos as u8;
+        let next = self.fifo_next.entry(consumer_tile).or_insert(0);
+        *self
+            .fifo_map
+            .entry(consumer_tile)
+            .or_default()
+            .entry(sender_tile)
+            .or_insert_with(|| {
+                let f = *next % fifos;
+                *next = next.wrapping_add(1);
+                f
+            })
+    }
+
+    /// The recycling channel for a value's home on `tile` with the given
+    /// producer site: only single-consumer-core homes are recyclable.
+    fn channel_for(&self, value: PhysId, tile: usize, producer: StoreSite) -> Option<ChannelKey> {
+        if !self.options.reuse_memory {
+            return None;
+        }
+        match self.consumer_cores.get(&(value, tile)).map(Vec::as_slice) {
+            Some([single]) => Some(ChannelKey { producer, consumer: *single }),
+            _ => None,
+        }
+    }
+
+    fn new_home(
+        &mut self,
+        value: PhysId,
+        tile: usize,
+        no_free: bool,
+        channel: Option<ChannelKey>,
+    ) -> usize {
+        let width = self.graph.node(value).width;
+        let channel = if no_free { None } else { channel };
+        let addr = self.allocs[tile].alloc(width, channel);
+        let pending = self.tile_consumers.get(&(value, tile)).copied().unwrap_or(0);
+        self.homes.push(HomeRec {
+            tile,
+            addr,
+            width,
+            loads: 0,
+            sends: 0,
+            store_site: None,
+            recv_site: None,
+            poke_input: None,
+            poke_const: None,
+            pending_consumers: pending,
+            channel,
+            no_free,
+            freed: false,
+        });
+        let idx = self.homes.len() - 1;
+        self.home_of.insert((value, tile), idx);
+        idx
+    }
+
+    /// Called once per consumer-node occurrence on `tile`; recycles the home
+    /// address into its channel pool once no future instruction can
+    /// reference it. Homes that fed sends are never recycled (the tile
+    /// control unit is an extra reader outside the channel).
+    fn note_consumer_done(&mut self, value: PhysId, tile: usize) {
+        if let Some(&idx) = self.home_of.get(&(value, tile)) {
+            let home = &mut self.homes[idx];
+            home.pending_consumers = home.pending_consumers.saturating_sub(1);
+            if home.pending_consumers == 0 && !home.no_free && !home.freed && home.sends == 0 {
+                if let Some(channel) = home.channel {
+                    home.freed = true;
+                    let (addr, width) = (home.addr, home.width);
+                    self.allocs[tile].release(addr, width, channel);
+                }
+            }
+        }
+    }
+
+    /// Ensures `value` is resident in a register slot on `core_loc`,
+    /// loading (or reloading a spill) from shared memory if necessary.
+    fn ensure_in_slot(&mut self, core_loc: CoreLocation, value: PhysId, item_idx: usize) -> Result<usize> {
+        self.stats.register_accesses += 1;
+        // Consume this use occurrence.
+        if let Some(q) = self.uses.get_mut(&(core_loc, value)) {
+            while let Some(&front) = q.front() {
+                if front <= item_idx {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        if let Some(&slot) = self.core(core_loc).resident.get(&value) {
+            return Ok(slot);
+        }
+        let tile = core_loc.tile.index();
+        let &home_idx = self.home_of.get(&(value, tile)).ok_or_else(|| PumaError::Compile {
+            what: format!("value {value:?} has no memory home in tile {tile} (compiler bug)"),
+        })?;
+        let width = self.graph.node(value).width;
+        let slot = self.alloc_slot(core_loc, value, &[])?;
+        let reg = self.slot_reg(slot);
+        let addr = self.homes[home_idx].addr;
+        self.homes[home_idx].loads += 1;
+        self.stats.loads += 1;
+        // A load that services a value produced on this very core is a
+        // spill reload.
+        if self.placement.core_of(value) == core_loc
+            && !matches!(self.graph.node(value).op, PhysOp::Input { .. } | PhysOp::Const { .. })
+        {
+            self.stats.spill_accesses += 1;
+        }
+        self.core(core_loc).program.push(Instruction::Load {
+            dest: reg,
+            addr: MemAddr::absolute(addr),
+            width: width as u16,
+        });
+        Ok(slot)
+    }
+
+    /// Allocates a slot on `core_loc` for `value`, evicting the
+    /// farthest-next-use resident (never one of `locked`).
+    fn alloc_slot(&mut self, core_loc: CoreLocation, value: PhysId, locked: &[usize]) -> Result<usize> {
+        if let Some(free) = {
+            let core = self.core(core_loc);
+            core.slots.iter().position(|s| s.is_none())
+        } {
+            let core = self.core(core_loc);
+            core.slots[free] = Some(value);
+            core.resident.insert(value, free);
+            return Ok(free);
+        }
+        // Evict: farthest next use (empty queue = unused forever = best).
+        let mut victim: Option<(usize, usize)> = None; // (slot, next_use)
+        {
+            let core = &self.cores[&core_loc];
+            for (slot, occupant) in core.slots.iter().enumerate() {
+                if locked.contains(&slot) {
+                    continue;
+                }
+                let occ = occupant.expect("full slots");
+                let next_use = self
+                    .uses
+                    .get(&(core_loc, occ))
+                    .and_then(|q| q.front().copied())
+                    .unwrap_or(usize::MAX);
+                if victim.map_or(true, |(_, nu)| next_use > nu) {
+                    victim = Some((slot, next_use));
+                }
+            }
+        }
+        let (slot, _) = victim.ok_or_else(|| PumaError::ResourceExhausted {
+            resource: "register slots".to_string(),
+            requested: locked.len() + 1,
+            available: self.n_slots,
+        })?;
+        let evicted = self.cores[&core_loc].slots[slot].expect("occupied");
+        let remaining = self
+            .uses
+            .get(&(core_loc, evicted))
+            .map(|q| q.len())
+            .unwrap_or(0);
+        let tile = core_loc.tile.index();
+        if remaining > 0 && !self.home_of.contains_key(&(evicted, tile)) {
+            // Spill: store to a fresh home; reloads come back via loads.
+            // Spill traffic is a (core → same core) channel.
+            let ewidth = self.graph.node(evicted).width;
+            let channel = self
+                .options
+                .reuse_memory
+                .then_some(ChannelKey { producer: StoreSite::Core(core_loc), consumer: core_loc });
+            let home_idx = self.new_home(evicted, tile, false, channel);
+            // The spill home's consumers are the remaining local uses.
+            self.homes[home_idx].pending_consumers = remaining;
+            let addr = self.homes[home_idx].addr;
+            let ereg = self.slot_reg(slot);
+            let pos = {
+                let core = self.core(core_loc);
+                core.program.push(Instruction::Store {
+                    addr: MemAddr::absolute(addr),
+                    src: ereg,
+                    count: 1, // patched
+                    width: ewidth as u16,
+                });
+                core.program.len() - 1
+            };
+            self.homes[home_idx].store_site = Some((StoreSite::Core(core_loc), pos));
+            self.stats.stores += 1;
+            self.stats.spill_accesses += 1;
+        }
+        let core = self.core(core_loc);
+        core.resident.remove(&evicted);
+        core.slots[slot] = Some(value);
+        core.resident.insert(value, slot);
+        Ok(slot)
+    }
+
+    /// Frees slots whose values have no further uses on this core.
+    fn release_dead_slots(&mut self, core_loc: CoreLocation, values: &[PhysId]) {
+        for &v in values {
+            let dead = self.uses.get(&(core_loc, v)).map_or(true, |q| q.is_empty());
+            if dead {
+                let core = self.core(core_loc);
+                if let Some(slot) = core.resident.remove(&v) {
+                    core.slots[slot] = None;
+                }
+            }
+        }
+    }
+
+    /// Emits the production-side memory traffic for `value`: a store when
+    /// other cores consume it (or it is an output), plus send/receive pairs
+    /// toward remote consumer tiles.
+    fn publish(&mut self, value: PhysId, slot: usize) -> Result<()> {
+        let core_loc = self.placement.core_of(value);
+        let tile = core_loc.tile.index();
+        let width = self.graph.node(value).width;
+        let local_consumers = self.tile_consumers.get(&(value, tile)).copied().unwrap_or(0);
+        let same_core_uses = self.uses.get(&(core_loc, value)).map(|q| q.len()).unwrap_or(0);
+        let cross_core_local = local_consumers > same_core_uses;
+        let remotes = self.remote_tiles.get(&value).cloned().unwrap_or_default();
+        let is_output = self.output_values.contains(&value);
+        if !cross_core_local && remotes.is_empty() && !is_output {
+            return Ok(());
+        }
+        let channel = self.channel_for(value, tile, StoreSite::Core(core_loc));
+        let home_idx = self.new_home(value, tile, is_output, channel);
+        let addr = self.homes[home_idx].addr;
+        let reg = self.slot_reg(slot);
+        let pos = {
+            let core = self.core(core_loc);
+            core.program.push(Instruction::Store {
+                addr: MemAddr::absolute(addr),
+                src: reg,
+                count: 1, // patched
+                width: width as u16,
+            });
+            core.program.len() - 1
+        };
+        self.homes[home_idx].store_site = Some((StoreSite::Core(core_loc), pos));
+        self.stats.stores += 1;
+        self.distribute(value, home_idx, tile, &remotes, width)
+    }
+
+    /// Emits send/receive pairs from `home_idx` toward each remote tile.
+    fn distribute(
+        &mut self,
+        value: PhysId,
+        home_idx: usize,
+        src_tile: usize,
+        remotes: &[usize],
+        width: usize,
+    ) -> Result<()> {
+        for &dst in remotes {
+            let fifo = self.fifo_for(dst, src_tile);
+            let addr = self.homes[home_idx].addr;
+            self.tile_ctl[src_tile].push(Instruction::Send {
+                addr: MemAddr::absolute(addr),
+                fifo,
+                target: dst as u16,
+                width: width as u16,
+            });
+            self.homes[home_idx].sends += 1;
+            self.stats.sends += 1;
+            let dst_channel = self.channel_for(value, dst, StoreSite::TileCtl(dst));
+            let dst_home =
+                self.new_home(value, dst, self.output_values.contains(&value), dst_channel);
+            let dst_addr = self.homes[dst_home].addr;
+            self.tile_ctl[dst].push(Instruction::Receive {
+                addr: MemAddr::absolute(dst_addr),
+                fifo,
+                count: 1, // patched
+                width: width as u16,
+            });
+            self.homes[dst_home].recv_site = Some((dst, self.tile_ctl[dst].len() - 1));
+            self.stats.receives += 1;
+        }
+        Ok(())
+    }
+
+    /// Handles a source node (host input or constant): allocates its home,
+    /// records the poke binding, and distributes to remote tiles.
+    fn emit_source(&mut self, id: PhysId) -> Result<()> {
+        let core_loc = self.placement.core_of(id);
+        let tile = core_loc.tile.index();
+        let width = self.graph.node(id).width;
+        // Host pokes happen before cycle 0, out of program order, so poke
+        // homes must never share a recycled address with anything.
+        let home_idx = self.new_home(id, tile, true, None);
+        let addr = self.homes[home_idx].addr;
+        let binding = |name: String| IoBinding {
+            name,
+            tile: puma_core::ids::TileId::new(tile),
+            addr,
+            width,
+            count: 1, // patched
+        };
+        match &self.graph.node(id).op {
+            PhysOp::Input { name, chunk } => {
+                self.inputs_meta.push(binding(format!("{name}#{chunk}")));
+                self.homes[home_idx].poke_input = Some(self.inputs_meta.len() - 1);
+            }
+            PhysOp::Const { values } => {
+                let n = self.const_meta.len();
+                self.const_meta.push((binding(format!("$const{n}")), values.clone()));
+                self.homes[home_idx].poke_const = Some(n);
+            }
+            other => {
+                return Err(PumaError::Compile {
+                    what: format!("emit_source on non-source {other:?}"),
+                })
+            }
+        }
+        let remotes = self.remote_tiles.get(&id).cloned().unwrap_or_default();
+        self.distribute(id, home_idx, tile, &remotes, width)
+    }
+
+    /// Emits one compute item.
+    fn emit_item(&mut self, item: &ScheduleItem, item_idx: usize) -> Result<()> {
+        match item {
+            ScheduleItem::Node(id) => {
+                let node = &self.graph.nodes[id.0];
+                match &node.op {
+                    PhysOp::Input { .. } | PhysOp::Const { .. } => self.emit_source(*id),
+                    PhysOp::Mvm { .. } => self.emit_mvm_group(&[*id], item_idx),
+                    PhysOp::Bin { op } => self.emit_bin(*id, *op, item_idx),
+                    PhysOp::Un { op } => self.emit_un(*id, *op, item_idx),
+                    PhysOp::Imm { op } => self.emit_imm(*id, *op, item_idx),
+                }
+            }
+            ScheduleItem::CoalescedMvm(ids) => self.emit_mvm_group(ids, item_idx),
+        }
+    }
+
+    fn emit_mvm_group(&mut self, ids: &[PhysId], item_idx: usize) -> Result<()> {
+        let core_loc = self.placement.core_of(ids[0]);
+        let tile = core_loc.tile.index();
+        let dim = self.dim;
+        // Stage inputs: value slot -> XbarIn region of each target MVMU.
+        let mut mask = 0u8;
+        let mut max_filter = 0u16;
+        let mut staged: Vec<(PhysId, usize)> = Vec::new(); // (output value, mvmu)
+        let mut operands: Vec<PhysId> = Vec::new();
+        for &id in ids {
+            let node = &self.graph.nodes[id.0];
+            let PhysOp::Mvm { tile: wt } = node.op else {
+                return Err(PumaError::Compile { what: "non-MVM node in MVM group".into() });
+            };
+            let mvmu = self.placement.mvmu_of(wt).mvmu.index();
+            mask |= 1 << mvmu;
+            let input = node.inputs[0];
+            operands.push(input);
+            let in_width = self.graph.node(input).width;
+            max_filter = max_filter.max(in_width as u16);
+            let slot = self.ensure_in_slot(core_loc, input, item_idx)?;
+            let reg = self.slot_reg(slot);
+            let xi = RegRef::xbar_in((mvmu * dim) as u16);
+            self.core(core_loc).program.push(Instruction::Copy {
+                dest: xi,
+                src: reg,
+                width: in_width as u16,
+            });
+            self.note_consumer_done(input, tile);
+            staged.push((id, mvmu));
+        }
+        let filter = if (max_filter as usize) < dim { max_filter } else { 0 };
+        self.core(core_loc).program.push(Instruction::Mvm {
+            mask: MvmuMask(mask),
+            filter,
+            stride: 0,
+        });
+        self.release_dead_slots(core_loc, &operands);
+        // Drain outputs: XbarOut region -> freshly allocated slots.
+        for (id, mvmu) in staged {
+            let out_width = self.graph.node(id).width;
+            let slot = self.alloc_slot(core_loc, id, &[])?;
+            let reg = self.slot_reg(slot);
+            let xo = RegRef::xbar_out((mvmu * dim) as u16);
+            self.core(core_loc).program.push(Instruction::Copy {
+                dest: reg,
+                src: xo,
+                width: out_width as u16,
+            });
+            self.stats.register_accesses += 1;
+            self.publish(id, slot)?;
+        }
+        Ok(())
+    }
+
+    fn emit_bin(&mut self, id: PhysId, op: BinOp, item_idx: usize) -> Result<()> {
+        let core_loc = self.placement.core_of(id);
+        let tile = core_loc.tile.index();
+        let node = &self.graph.nodes[id.0];
+        let (a, b) = (node.inputs[0], node.inputs[1]);
+        let width = node.width as u16;
+        let sa = self.ensure_in_slot(core_loc, a, item_idx)?;
+        let sb = self.ensure_in_slot(core_loc, b, item_idx)?;
+        self.note_consumer_done(a, tile);
+        self.note_consumer_done(b, tile);
+        self.release_dead_slots(core_loc, &[a, b]);
+        let dest_slot = self.alloc_slot(core_loc, id, &[sa, sb])?;
+        let alu_op = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => AluOp::Div,
+            BinOp::Min => AluOp::Min,
+            BinOp::Max => AluOp::Max,
+        };
+        let (ra, rb, rd) = (self.slot_reg(sa), self.slot_reg(sb), self.slot_reg(dest_slot));
+        self.core(core_loc).program.push(Instruction::Alu {
+            op: alu_op,
+            dest: rd,
+            src1: ra,
+            src2: rb,
+            width,
+        });
+        self.stats.register_accesses += 1;
+        self.publish(id, dest_slot)
+    }
+
+    fn emit_un(&mut self, id: PhysId, op: UnOp, item_idx: usize) -> Result<()> {
+        let core_loc = self.placement.core_of(id);
+        let tile = core_loc.tile.index();
+        let node = &self.graph.nodes[id.0];
+        let a = node.inputs[0];
+        let width = node.width as u16;
+        let sa = self.ensure_in_slot(core_loc, a, item_idx)?;
+        self.note_consumer_done(a, tile);
+        self.release_dead_slots(core_loc, &[a]);
+        let dest_slot = self.alloc_slot(core_loc, id, &[sa])?;
+        let alu_op = match op {
+            UnOp::Relu => AluOp::Relu,
+            UnOp::Sigmoid => AluOp::Sigmoid,
+            UnOp::Tanh => AluOp::Tanh,
+            UnOp::Log => AluOp::Log,
+            UnOp::Exp => AluOp::Exp,
+        };
+        let (ra, rd) = (self.slot_reg(sa), self.slot_reg(dest_slot));
+        self.core(core_loc).program.push(Instruction::Alu {
+            op: alu_op,
+            dest: rd,
+            src1: ra,
+            src2: ra,
+            width,
+        });
+        self.stats.register_accesses += 1;
+        self.publish(id, dest_slot)
+    }
+
+    fn emit_imm(&mut self, id: PhysId, op: ImmOp, item_idx: usize) -> Result<()> {
+        let core_loc = self.placement.core_of(id);
+        let tile = core_loc.tile.index();
+        let node = &self.graph.nodes[id.0];
+        let a = node.inputs[0];
+        let width = node.width as u16;
+        let sa = self.ensure_in_slot(core_loc, a, item_idx)?;
+        self.note_consumer_done(a, tile);
+        self.release_dead_slots(core_loc, &[a]);
+        let dest_slot = self.alloc_slot(core_loc, id, &[sa])?;
+        let (alu_op, k) = match op {
+            ImmOp::Add(k) => (AluImmOp::Add, k),
+            ImmOp::Mul(k) => (AluImmOp::Mul, k),
+        };
+        let (ra, rd) = (self.slot_reg(sa), self.slot_reg(dest_slot));
+        self.core(core_loc).program.push(Instruction::AluImm {
+            op: alu_op,
+            dest: rd,
+            src1: ra,
+            imm: Fixed::from_f32(k),
+            width,
+        });
+        self.stats.register_accesses += 1;
+        self.publish(id, dest_slot)
+    }
+
+    /// Ensures every output chunk has a pinned memory home, appending a
+    /// final store on its producer core if it was never published.
+    fn pin_outputs(&mut self) -> Result<Vec<LogicalIo>> {
+        let graph_outputs = self.graph.outputs.clone();
+        let mut logical = Vec::new();
+        for out in &graph_outputs {
+            let mut chunk_names = Vec::new();
+            let mut chunk_widths = Vec::new();
+            for (c, &chunk) in out.chunks.iter().enumerate() {
+                let core_loc = self.placement.core_of(chunk);
+                let tile = core_loc.tile.index();
+                let width = self.graph.node(chunk).width;
+                let home_idx = match self.home_of.get(&(chunk, tile)) {
+                    Some(&idx) => idx,
+                    None => {
+                        // Never published: the value still sits in a slot.
+                        let slot = self
+                            .cores
+                            .get(&core_loc)
+                            .and_then(|cg| cg.resident.get(&chunk).copied());
+                        let slot = slot.ok_or_else(|| PumaError::Compile {
+                            what: format!(
+                                "output chunk {chunk:?} neither stored nor resident (compiler bug)"
+                            ),
+                        })?;
+                        let idx = self.new_home(chunk, tile, true, None);
+                        let addr = self.homes[idx].addr;
+                        let reg = self.slot_reg(slot);
+                        let pos = {
+                            let core = self.core(core_loc);
+                            core.program.push(Instruction::Store {
+                                addr: MemAddr::absolute(addr),
+                                src: reg,
+                                count: 1,
+                                width: width as u16,
+                            });
+                            core.program.len() - 1
+                        };
+                        self.homes[idx].store_site = Some((StoreSite::Core(core_loc), pos));
+                        self.stats.stores += 1;
+                        idx
+                    }
+                };
+                let name = format!("{}#{}", out.name, c);
+                let home = &self.homes[home_idx];
+                self.output_bindings.push(IoBinding {
+                    name: name.clone(),
+                    tile: puma_core::ids::TileId::new(home.tile),
+                    addr: home.addr,
+                    width,
+                    count: 1,
+                });
+                chunk_names.push(name);
+                chunk_widths.push(width);
+            }
+            logical.push(LogicalIo {
+                name: out.name.clone(),
+                chunks: chunk_names,
+                chunk_widths,
+                width: out.width,
+            });
+        }
+        Ok(logical)
+    }
+
+    fn patch_counts(&mut self) {
+        for home in &self.homes {
+            let count = (home.loads + home.sends).clamp(1, u16::MAX as u64) as u16;
+            if let Some((site, pos)) = home.store_site {
+                let program = match site {
+                    StoreSite::Core(loc) => {
+                        &mut self.cores.get_mut(&loc).expect("core exists").program
+                    }
+                    StoreSite::TileCtl(t) => &mut self.tile_ctl[t],
+                };
+                if let Instruction::Store { count: c, .. } = &mut program[pos] {
+                    *c = count;
+                }
+            }
+            if let Some((t, pos)) = home.recv_site {
+                if let Instruction::Receive { count: c, .. } = &mut self.tile_ctl[t][pos] {
+                    *c = home.loads.clamp(1, u16::MAX as u64) as u16;
+                }
+            }
+            if let Some(i) = home.poke_input {
+                self.inputs_meta[i].count = count;
+            }
+            if let Some(i) = home.poke_const {
+                self.const_meta[i].0.count = count;
+            }
+        }
+    }
+}
+
+/// Runs code generation and assembles the [`CompiledModel`].
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] or [`PumaError::ResourceExhausted`] for
+/// graphs that cannot be mapped onto the configuration.
+pub fn generate(
+    graph: &PhysGraph,
+    placement: &Placement,
+    schedule: &Schedule,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+) -> Result<CompiledModel> {
+    let mut e = Emitter::new(graph, placement, schedule, cfg, options)?;
+    for (k, item) in schedule.items.iter().enumerate() {
+        e.emit_item(item, k)?;
+    }
+    let outputs = e.pin_outputs()?;
+    e.patch_counts();
+
+    // Logical input metadata, grouped from the physical input chunks.
+    let mut inputs: Vec<LogicalIo> = Vec::new();
+    for node in &graph.nodes {
+        if let PhysOp::Input { name, chunk } = &node.op {
+            let entry = match inputs.iter_mut().find(|io| &io.name == name) {
+                Some(e) => e,
+                None => {
+                    inputs.push(LogicalIo {
+                        name: name.clone(),
+                        chunks: Vec::new(),
+                        chunk_widths: Vec::new(),
+                        width: 0,
+                    });
+                    inputs.last_mut().expect("just pushed")
+                }
+            };
+            debug_assert_eq!(entry.chunks.len(), *chunk);
+            entry.chunks.push(format!("{name}#{chunk}"));
+            entry.chunk_widths.push(node.width);
+            entry.width += node.width;
+        }
+    }
+
+    // Assemble the machine image.
+    let tiles_used = placement.tiles_used;
+    let mut image = MachineImage::new(
+        tiles_used,
+        cfg.tile.cores_per_tile,
+        cfg.tile.core.mvmus_per_core,
+    );
+    // Weight tiles.
+    for (i, wt) in graph.weight_tiles.iter().enumerate() {
+        let loc = placement.mvmu_of(crate::physical::WeightTileId(i));
+        if let Some(w) = &wt.weights {
+            image.tiles[loc.tile.index()].cores[loc.core.index()].mvmu_weights
+                [loc.mvmu.index()] = Some(w.quantize());
+        }
+    }
+    // Programs.
+    let mut cores_used = 0;
+    for (loc, mut gen) in e.cores.drain() {
+        gen.program.push(Instruction::Halt);
+        cores_used += 1;
+        image.tiles[loc.tile.index()].cores[loc.core.index()].program =
+            Program::from_instructions(gen.program);
+    }
+    for (t, mut prog) in e.tile_ctl.drain(..).enumerate() {
+        if !prog.is_empty() {
+            prog.push(Instruction::Halt);
+            image.tiles[t].program = Program::from_instructions(prog);
+        }
+    }
+    image.inputs = e.inputs_meta.clone();
+    image.inputs.extend(e.const_meta.iter().map(|(b, _)| b.clone()));
+    image.outputs = e.output_bindings.clone();
+
+    let mut stats = e.stats.clone();
+    stats.tiles_used = tiles_used;
+    stats.cores_used = cores_used;
+    stats.weight_tiles = graph.weight_tiles.len();
+    stats.mvm_instructions = schedule.mvm_instructions;
+    stats.mvm_nodes = schedule.mvm_nodes;
+    stats.static_instructions = image.total_instructions();
+    stats.shared_mem_high_water = e.allocs.iter().map(|a| a.high_water).collect();
+
+    Ok(CompiledModel { image, const_data: e.const_meta, inputs, outputs, stats })
+}

@@ -1,0 +1,558 @@
+//! The high-level model graph (the Fig. 7 programming interface).
+//!
+//! A [`Model`] is built at run time by calling builder methods that record
+//! a dataflow graph of vector values: named inputs, constant matrices and
+//! vectors, MVM applications, element-wise arithmetic, and nonlinear /
+//! transcendental activations. `compile` (in [`crate::compile`]) lowers
+//! the graph to PUMA assembly for every core and tile.
+//!
+//! Design notes relative to the paper: LSTM-style concatenated inputs are
+//! expressed as sums of separate MVMs (`W·[h,x] ≡ W_h·h + W_x·x`) and fused
+//! gate matrices as separate per-gate matrices, so the IR needs no
+//! concat/slice operators while expressing the same networks.
+
+use puma_core::error::{PumaError, Result};
+use puma_core::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a vector value in a [`Model`] graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VecId(pub usize);
+
+/// Handle to a constant weight matrix in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MatrixId(pub usize);
+
+/// Element-wise binary operations on vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication (Hadamard).
+    Mul,
+    /// Element-wise division.
+    Div,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+/// Element-wise unary operations on vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (transcendental).
+    Sigmoid,
+    /// Hyperbolic tangent (transcendental).
+    Tanh,
+    /// Natural logarithm (transcendental).
+    Log,
+    /// Exponential (transcendental).
+    Exp,
+}
+
+/// Immediate (scalar-broadcast) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ImmOp {
+    /// Add a constant to every element.
+    Add(f32),
+    /// Multiply every element by a constant.
+    Mul(f32),
+}
+
+/// One vertex of the logical dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VecOp {
+    /// Host-provided named input.
+    Input {
+        /// Binding name.
+        name: String,
+    },
+    /// Constant vector (bias) materialized at configuration time.
+    ConstVector {
+        /// Values (length = node width).
+        values: Vec<f32>,
+    },
+    /// Matrix-vector product `y = Wᵀ·x` against a constant matrix.
+    Mvm {
+        /// Which matrix.
+        matrix: MatrixId,
+        /// The input vector.
+        input: VecId,
+    },
+    /// Element-wise binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: VecId,
+        /// Right operand.
+        rhs: VecId,
+    },
+    /// Element-wise unary operation.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Operand.
+        input: VecId,
+    },
+    /// Scalar-broadcast immediate operation.
+    Imm {
+        /// Operation (with its constant).
+        op: ImmOp,
+        /// Operand.
+        input: VecId,
+    },
+}
+
+/// A logical graph node: the operation plus its vector width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VecNode {
+    /// The operation.
+    pub op: VecOp,
+    /// Number of elements in the produced vector.
+    pub width: usize,
+}
+
+/// A named constant matrix (stored `rows = input dim`, `cols = output dim`).
+///
+/// Very large benchmark models (hundreds of millions of parameters) carry
+/// only the *shape* (`data = None`); they can be compiled for timing-only
+/// simulation but not materialized into crossbars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstMatrix {
+    /// Diagnostic name.
+    pub name: String,
+    /// Input dimension.
+    pub rows: usize,
+    /// Output dimension.
+    pub cols: usize,
+    /// The weights (None = shape-only).
+    pub data: Option<Matrix>,
+}
+
+/// A named model output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputBinding {
+    /// Binding name.
+    pub name: String,
+    /// The produced value.
+    pub value: VecId,
+}
+
+/// A runtime-built dataflow graph of an ML model (Fig. 7).
+///
+/// # Examples
+///
+/// The paper's running example, `z = tanh(A·x + B·y)`:
+///
+/// ```
+/// use puma_compiler::graph::Model;
+/// use puma_core::tensor::Matrix;
+///
+/// let mut m = Model::new("example");
+/// let x = m.input("x", 64);
+/// let y = m.input("y", 64);
+/// let a = m.constant_matrix("A", Matrix::from_fn(64, 64, |r, c| ((r + c) % 5) as f32 * 0.01));
+/// let b = m.constant_matrix("B", Matrix::from_fn(64, 64, |r, c| ((r * c) % 7) as f32 * 0.01));
+/// let ax = m.mvm(a, x).unwrap();
+/// let by = m.mvm(b, y).unwrap();
+/// let sum = m.add(ax, by).unwrap();
+/// let z = m.tanh(sum);
+/// m.output("z", z);
+/// assert_eq!(m.nodes().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    nodes: Vec<VecNode>,
+    matrices: Vec<ConstMatrix>,
+    outputs: Vec<OutputBinding>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Model { name: name.into(), nodes: Vec::new(), matrices: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexable by [`VecId`].
+    pub fn nodes(&self) -> &[VecNode] {
+        &self.nodes
+    }
+
+    /// All constant matrices, indexable by [`MatrixId`].
+    pub fn matrices(&self) -> &[ConstMatrix] {
+        &self.matrices
+    }
+
+    /// All output bindings.
+    pub fn outputs(&self) -> &[OutputBinding] {
+        &self.outputs
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    pub fn node(&self, id: VecId) -> &VecNode {
+        &self.nodes[id.0]
+    }
+
+    /// Looks up a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    pub fn matrix(&self, id: MatrixId) -> &ConstMatrix {
+        &self.matrices[id.0]
+    }
+
+    fn push(&mut self, node: VecNode) -> VecId {
+        self.nodes.push(node);
+        VecId(self.nodes.len() - 1)
+    }
+
+    /// Declares a named input vector of `width` elements.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> VecId {
+        self.push(VecNode { op: VecOp::Input { name: name.into() }, width })
+    }
+
+    /// Declares a constant (bias) vector.
+    pub fn constant_vector(&mut self, values: Vec<f32>) -> VecId {
+        let width = values.len();
+        self.push(VecNode { op: VecOp::ConstVector { values }, width })
+    }
+
+    /// Registers a constant weight matrix.
+    pub fn constant_matrix(&mut self, name: impl Into<String>, data: Matrix) -> MatrixId {
+        self.matrices.push(ConstMatrix {
+            name: name.into(),
+            rows: data.rows(),
+            cols: data.cols(),
+            data: Some(data),
+        });
+        MatrixId(self.matrices.len() - 1)
+    }
+
+    /// Registers a shape-only constant matrix (no weight data); the model
+    /// can only be compiled with weight materialization disabled.
+    pub fn constant_matrix_shaped(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+    ) -> MatrixId {
+        self.matrices.push(ConstMatrix { name: name.into(), rows, cols, data: None });
+        MatrixId(self.matrices.len() - 1)
+    }
+
+    /// Applies `y = Wᵀ·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `x`'s width differs from the
+    /// matrix's row count.
+    pub fn mvm(&mut self, matrix: MatrixId, input: VecId) -> Result<VecId> {
+        let rows = self.matrix(matrix).rows;
+        let cols = self.matrix(matrix).cols;
+        let got = self.node(input).width;
+        if got != rows {
+            return Err(PumaError::ShapeMismatch { expected: rows, actual: got });
+        }
+        Ok(self.push(VecNode { op: VecOp::Mvm { matrix, input }, width: cols }))
+    }
+
+    /// Element-wise binary operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if widths differ.
+    pub fn binary(&mut self, op: BinOp, lhs: VecId, rhs: VecId) -> Result<VecId> {
+        let (a, b) = (self.node(lhs).width, self.node(rhs).width);
+        if a != b {
+            return Err(PumaError::ShapeMismatch { expected: a, actual: b });
+        }
+        Ok(self.push(VecNode { op: VecOp::Bin { op, lhs, rhs }, width: a }))
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if widths differ.
+    pub fn add(&mut self, lhs: VecId, rhs: VecId) -> Result<VecId> {
+        self.binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// Element-wise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if widths differ.
+    pub fn mul(&mut self, lhs: VecId, rhs: VecId) -> Result<VecId> {
+        self.binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Element-wise unary operation.
+    pub fn unary(&mut self, op: UnOp, input: VecId) -> VecId {
+        let width = self.node(input).width;
+        self.push(VecNode { op: VecOp::Un { op, input }, width })
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, input: VecId) -> VecId {
+        self.unary(UnOp::Relu, input)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, input: VecId) -> VecId {
+        self.unary(UnOp::Sigmoid, input)
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, input: VecId) -> VecId {
+        self.unary(UnOp::Tanh, input)
+    }
+
+    /// Scalar-broadcast immediate operation.
+    pub fn immediate(&mut self, op: ImmOp, input: VecId) -> VecId {
+        let width = self.node(input).width;
+        self.push(VecNode { op: VecOp::Imm { op, input }, width })
+    }
+
+    /// Marks a value as a named model output.
+    pub fn output(&mut self, name: impl Into<String>, value: VecId) {
+        self.outputs.push(OutputBinding { name: name.into(), value });
+    }
+
+    /// Structural validation: nonempty outputs, acyclicity by construction
+    /// (ids only reference earlier nodes), and consistent names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Compile`] for an empty model, duplicate
+    /// input/output names, or dangling references.
+    pub fn validate(&self) -> Result<()> {
+        if self.outputs.is_empty() {
+            return Err(PumaError::Compile { what: "model has no outputs".to_string() });
+        }
+        let mut names = std::collections::HashSet::new();
+        for node in &self.nodes {
+            if let VecOp::Input { name } = &node.op {
+                if !names.insert(name.clone()) {
+                    return Err(PumaError::Compile {
+                        what: format!("duplicate input name {name:?}"),
+                    });
+                }
+            }
+        }
+        let mut out_names = std::collections::HashSet::new();
+        for out in &self.outputs {
+            if out.value.0 >= self.nodes.len() {
+                return Err(PumaError::Compile {
+                    what: format!("output {:?} references missing node", out.name),
+                });
+            }
+            if !out_names.insert(out.name.clone()) {
+                return Err(PumaError::Compile {
+                    what: format!("duplicate output name {:?}", out.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference (host-side `f32`) evaluation of the graph, used to verify
+    /// compiled executions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for missing inputs and propagates
+    /// shape errors.
+    pub fn evaluate_reference(
+        &self,
+        inputs: &std::collections::HashMap<String, Vec<f32>>,
+    ) -> Result<std::collections::HashMap<String, Vec<f32>>> {
+        let mut values: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let v = match &node.op {
+                VecOp::Input { name } => inputs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| PumaError::Execution { what: format!("missing input {name:?}") })?,
+                VecOp::ConstVector { values } => values.clone(),
+                VecOp::Mvm { matrix, input } => {
+                    let x = values[input.0].as_ref().expect("topological order");
+                    let m = self.matrix(*matrix);
+                    let data = m.data.as_ref().ok_or_else(|| PumaError::Execution {
+                        what: format!("matrix {:?} is shape-only, cannot evaluate", m.name),
+                    })?;
+                    data.mvm(x)?
+                }
+                VecOp::Bin { op, lhs, rhs } => {
+                    let a = values[lhs.0].as_ref().expect("topological order");
+                    let b = values[rhs.0].as_ref().expect("topological order");
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(&x, &y)| match op {
+                            BinOp::Add => x + y,
+                            BinOp::Sub => x - y,
+                            BinOp::Mul => x * y,
+                            BinOp::Div => x / y,
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                        })
+                        .collect()
+                }
+                VecOp::Un { op, input } => {
+                    let x = values[input.0].as_ref().expect("topological order");
+                    x.iter()
+                        .map(|&v| match op {
+                            UnOp::Relu => v.max(0.0),
+                            UnOp::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+                            UnOp::Tanh => v.tanh(),
+                            UnOp::Log => v.max(f32::MIN_POSITIVE).ln(),
+                            UnOp::Exp => v.exp(),
+                        })
+                        .collect()
+                }
+                VecOp::Imm { op, input } => {
+                    let x = values[input.0].as_ref().expect("topological order");
+                    x.iter()
+                        .map(|&v| match op {
+                            ImmOp::Add(k) => v + k,
+                            ImmOp::Mul(k) => v * k,
+                        })
+                        .collect()
+                }
+            };
+            debug_assert_eq!(v.len(), node.width);
+            values[i] = Some(v);
+        }
+        let mut out = std::collections::HashMap::new();
+        for binding in &self.outputs {
+            out.insert(
+                binding.name.clone(),
+                values[binding.value.0].clone().expect("outputs reference computed nodes"),
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn example_model() -> Model {
+        let mut m = Model::new("example");
+        let x = m.input("x", 4);
+        let a = m.constant_matrix("A", Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.1));
+        let ax = m.mvm(a, x).unwrap();
+        let z = m.tanh(ax);
+        m.output("z", z);
+        m
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let m = example_model();
+        assert_eq!(m.nodes().len(), 3);
+        assert_eq!(m.node(VecId(1)).width, 3);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn mvm_rejects_shape_mismatch() {
+        let mut m = Model::new("bad");
+        let x = m.input("x", 5);
+        let a = m.constant_matrix("A", Matrix::from_fn(4, 3, |_, _| 0.0));
+        assert!(m.mvm(a, x).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_width_mismatch() {
+        let mut m = Model::new("bad");
+        let x = m.input("x", 4);
+        let y = m.input("y", 5);
+        assert!(m.add(x, y).is_err());
+    }
+
+    #[test]
+    fn validate_requires_outputs() {
+        let mut m = Model::new("empty");
+        let _ = m.input("x", 4);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_names() {
+        let mut m = Model::new("dup");
+        let a = m.input("x", 2);
+        let _b = m.input("x", 2);
+        m.output("o", a);
+        assert!(m.validate().is_err());
+
+        let mut m2 = Model::new("dup2");
+        let a2 = m2.input("x", 2);
+        m2.output("o", a2);
+        m2.output("o", a2);
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn reference_evaluation_computes_tanh_mvm() {
+        let m = example_model();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![1.0, 0.5, -0.5, 0.0]);
+        let out = m.evaluate_reference(&inputs).unwrap();
+        let z = &out["z"];
+        assert_eq!(z.len(), 3);
+        // Manual: col c gets sum_r x[r]*0.1*(r+c).
+        let expect: Vec<f32> = (0..3)
+            .map(|c| {
+                let s: f32 = [1.0, 0.5, -0.5, 0.0]
+                    .iter()
+                    .enumerate()
+                    .map(|(r, x)| x * 0.1 * (r + c) as f32)
+                    .sum();
+                s.tanh()
+            })
+            .collect();
+        for (a, b) in z.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reference_evaluation_reports_missing_input() {
+        let m = example_model();
+        assert!(m.evaluate_reference(&HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn immediates_and_consts_evaluate() {
+        let mut m = Model::new("imm");
+        let x = m.input("x", 2);
+        let b = m.constant_vector(vec![1.0, 2.0]);
+        let s = m.add(x, b).unwrap();
+        let scaled = m.immediate(ImmOp::Mul(2.0), s);
+        m.output("y", scaled);
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![0.5, 0.5]);
+        let out = m.evaluate_reference(&inputs).unwrap();
+        assert_eq!(out["y"], vec![3.0, 5.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Compiler options: every optimization evaluated in Table 8 of the paper
+//! is a switch here so ablations can toggle it.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-scheduling strategy (§5.3.1, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheduling {
+    /// Reverse post-order linearization: consume produced values before
+    /// producing new ones (low register pressure).
+    ReversePostorder,
+    /// Naive construction-order linearization (high register pressure;
+    /// the Fig. 9(b) baseline).
+    Naive,
+}
+
+/// MVMU-tile placement strategy (§5.2, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// Paper heuristic: co-locate tiles feeding the same outputs, then
+    /// those reading the same inputs, then producer-consumer pairs.
+    Heuristic,
+    /// Random placement (the Table 8 graph-partitioning baseline).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Linearization strategy.
+    pub scheduling: Scheduling,
+    /// Fuse independent same-core MVMs into one instruction (§5.3.2).
+    pub coalesce_mvms: bool,
+    /// Placement strategy.
+    pub partitioning: Partitioning,
+    /// Recycle shared-memory addresses once fully consumed (the
+    /// inter-core/tile pipelining that keeps the shared memory small,
+    /// §4.1.2 / Table 8 "shared memory sizing").
+    pub reuse_memory: bool,
+    /// Materialize weight matrices into the image (disable for
+    /// timing-only simulation of very large models).
+    pub materialize_weights: bool,
+    /// Use the MVM filter/stride operands to reuse overlapping
+    /// sliding-window inputs (§3.2.3; consumed by the CNN layer codegen).
+    pub input_shuffling: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            scheduling: Scheduling::ReversePostorder,
+            coalesce_mvms: true,
+            partitioning: Partitioning::Heuristic,
+            reuse_memory: true,
+            materialize_weights: true,
+            input_shuffling: true,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// Options for timing-only runs of models too large to materialize.
+    pub fn timing_only() -> Self {
+        CompilerOptions { materialize_weights: false, ..CompilerOptions::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let o = CompilerOptions::default();
+        assert_eq!(o.scheduling, Scheduling::ReversePostorder);
+        assert!(o.coalesce_mvms);
+        assert_eq!(o.partitioning, Partitioning::Heuristic);
+        assert!(o.reuse_memory);
+        assert!(o.materialize_weights);
+        assert!(o.input_shuffling);
+    }
+
+    #[test]
+    fn timing_only_skips_weights() {
+        assert!(!CompilerOptions::timing_only().materialize_weights);
+        assert!(CompilerOptions::timing_only().coalesce_mvms);
+    }
+}

@@ -1,0 +1,240 @@
+//! Hierarchical graph partitioning (§5.2, Fig. 8).
+//!
+//! Weight tiles are packed onto MVMUs → cores → tiles. The paper's
+//! heuristic "prioritizes placing MVMUs that feed to the same outputs
+//! together on the same core/tile, followed by those that read the same
+//! inputs, followed by those that feed each other": ordering tiles by
+//! `(matrix, column strip, row strip)` achieves exactly that under
+//! sequential packing — tiles of one column strip (same output, summed
+//! together) pack first, then neighbouring strips of the same matrix
+//! (same inputs). The random baseline (Table 8) shuffles the order.
+//!
+//! Non-MVM nodes are then placed onto the core that produces their first
+//! operand (falling back to the core of their first consumer), keeping
+//! producer-consumer chains local.
+
+use crate::options::Partitioning;
+use crate::physical::{PhysGraph, PhysId, PhysOp, WeightTileId};
+use puma_core::config::NodeConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::ids::{CoreId, CoreLocation, MvmuId, MvmuLocation, TileId};
+use serde::{Deserialize, Serialize};
+
+/// The placement of every weight tile and compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Weight tile → physical MVMU.
+    pub tile_homes: Vec<MvmuLocation>,
+    /// Physical node → executing core (sources get their home core: the
+    /// first consumer's core).
+    pub node_cores: Vec<CoreLocation>,
+    /// Number of tiles used.
+    pub tiles_used: usize,
+    /// Number of cores used.
+    pub cores_used: usize,
+}
+
+impl Placement {
+    /// The core a node executes on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn core_of(&self, node: PhysId) -> CoreLocation {
+        self.node_cores[node.0]
+    }
+
+    /// The MVMU a weight tile occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn mvmu_of(&self, tile: WeightTileId) -> MvmuLocation {
+        self.tile_homes[tile.0]
+    }
+}
+
+/// A deterministic xorshift shuffle (avoids pulling `rand` into the
+/// compiler's dependency set).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    if seed == 0 {
+        seed = 0x9E37_79B9_7F4A_7C15;
+    }
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+/// Assigns weight tiles and compute nodes to the hierarchy.
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] if the graph is empty of placeable work.
+pub fn partition(
+    graph: &PhysGraph,
+    cfg: &NodeConfig,
+    strategy: Partitioning,
+) -> Result<Placement> {
+    let mvmus_per_core = cfg.tile.core.mvmus_per_core;
+    let cores_per_tile = cfg.tile.cores_per_tile;
+
+    // --- Weight tile packing -------------------------------------------
+    let mut order: Vec<usize> = (0..graph.weight_tiles.len()).collect();
+    match strategy {
+        Partitioning::Heuristic => {
+            order.sort_by_key(|&i| {
+                let t = &graph.weight_tiles[i];
+                (t.matrix, t.col, t.row)
+            });
+        }
+        Partitioning::Random { seed } => shuffle(&mut order, seed),
+    }
+    let mut tile_homes = vec![MvmuLocation::default(); graph.weight_tiles.len()];
+    for (slot, &tile_idx) in order.iter().enumerate() {
+        let core_flat = slot / mvmus_per_core;
+        let mvmu = slot % mvmus_per_core;
+        let tile = core_flat / cores_per_tile;
+        let core = core_flat % cores_per_tile;
+        tile_homes[tile_idx] =
+            MvmuLocation::new(TileId::new(tile), CoreId::new(core), MvmuId::new(mvmu));
+    }
+
+    // --- Compute node placement ----------------------------------------
+    let n = graph.nodes.len();
+    let mut node_cores: Vec<Option<CoreLocation>> = vec![None; n];
+    // MVM nodes are pinned to their weight tile's core.
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let PhysOp::Mvm { tile } = node.op {
+            node_cores[i] = Some(tile_homes[tile.0].core_location());
+        }
+    }
+    // Forward pass: other compute nodes follow their first placed operand.
+    for i in 0..n {
+        if node_cores[i].is_some() {
+            continue;
+        }
+        let node = &graph.nodes[i];
+        if node.inputs.is_empty() {
+            continue; // sources placed by consumer below
+        }
+        node_cores[i] = node.inputs.iter().find_map(|inp| node_cores[inp.0]);
+    }
+    // Backward pass: sources (and any node whose operands were all
+    // unplaced) live where their first consumer runs.
+    let consumers = graph.consumers();
+    for i in (0..n).rev() {
+        if node_cores[i].is_none() {
+            node_cores[i] = consumers[i].iter().find_map(|c| node_cores[c.0]);
+        }
+    }
+    // Anything still unplaced (dead code / output-only consts) goes to the
+    // first core.
+    let fallback = CoreLocation::new(TileId::new(0), CoreId::new(0));
+    let node_cores: Vec<CoreLocation> =
+        node_cores.into_iter().map(|c| c.unwrap_or(fallback)).collect();
+
+    let tiles_used = tile_homes
+        .iter()
+        .map(|l| l.tile.index() + 1)
+        .chain(node_cores.iter().map(|l| l.tile.index() + 1))
+        .max()
+        .unwrap_or(1);
+    let mut seen = std::collections::HashSet::new();
+    for loc in &node_cores {
+        seen.insert((loc.tile, loc.core));
+    }
+    for loc in &tile_homes {
+        seen.insert((loc.tile, loc.core));
+    }
+    if n == 0 {
+        return Err(PumaError::Compile { what: "empty physical graph".to_string() });
+    }
+    Ok(Placement { tile_homes, node_cores, tiles_used, cores_used: seen.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Model;
+    use crate::physical::tile_model;
+    use puma_core::tensor::Matrix;
+
+    fn graph_300() -> PhysGraph {
+        let mut m = Model::new("t");
+        let x = m.input("x", 300);
+        let a = m.constant_matrix("A", Matrix::from_fn(300, 300, |_, _| 0.1));
+        let y = m.mvm(a, x).unwrap();
+        let z = m.tanh(y);
+        m.output("z", z);
+        tile_model(&m, 128, true).unwrap()
+    }
+
+    #[test]
+    fn heuristic_packs_column_strips_together() {
+        let g = graph_300();
+        let cfg = NodeConfig::default();
+        let p = partition(&g, &cfg, Partitioning::Heuristic).unwrap();
+        // Column strip 0 has 3 row tiles; with 2 MVMUs/core they span
+        // cores 0 and 1, before any strip-1 tile appears.
+        let strip0_cores: Vec<usize> = g
+            .weight_tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.col == 0)
+            .map(|(i, _)| p.tile_homes[i].core_location().flat_index(8))
+            .collect();
+        assert!(strip0_cores.iter().all(|&c| c <= 1), "{strip0_cores:?}");
+    }
+
+    #[test]
+    fn mvm_nodes_follow_their_tiles() {
+        let g = graph_300();
+        let cfg = NodeConfig::default();
+        let p = partition(&g, &cfg, Partitioning::Heuristic).unwrap();
+        for (i, node) in g.nodes.iter().enumerate() {
+            if let PhysOp::Mvm { tile } = node.op {
+                assert_eq!(p.node_cores[i], p.tile_homes[tile.0].core_location());
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_is_placed() {
+        let g = graph_300();
+        let p = partition(&g, &NodeConfig::default(), Partitioning::Heuristic).unwrap();
+        assert_eq!(p.node_cores.len(), g.nodes.len());
+        assert!(p.tiles_used >= 1);
+        assert!(p.cores_used >= 2);
+    }
+
+    #[test]
+    fn random_partition_differs_from_heuristic() {
+        let g = graph_300();
+        let cfg = NodeConfig::default();
+        let h = partition(&g, &cfg, Partitioning::Heuristic).unwrap();
+        let r = partition(&g, &cfg, Partitioning::Random { seed: 1 }).unwrap();
+        assert_ne!(h.tile_homes, r.tile_homes);
+        // Determinism: same seed, same result.
+        let r2 = partition(&g, &cfg, Partitioning::Random { seed: 1 }).unwrap();
+        assert_eq!(r.tile_homes, r2.tile_homes);
+    }
+
+    #[test]
+    fn large_models_span_multiple_tiles() {
+        let mut m = Model::new("big");
+        let x = m.input("x", 128);
+        // 40 matrices of one tile each → 40 MVMUs → 20 cores → 3 tiles.
+        let mut cur = x;
+        for i in 0..40 {
+            let a = m.constant_matrix(format!("A{i}"), Matrix::from_fn(128, 128, |_, _| 0.01));
+            cur = m.mvm(a, cur).unwrap();
+        }
+        m.output("y", cur);
+        let g = tile_model(&m, 128, true).unwrap();
+        let p = partition(&g, &NodeConfig::default(), Partitioning::Heuristic).unwrap();
+        assert_eq!(p.tiles_used, 3);
+    }
+}

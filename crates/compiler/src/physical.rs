@@ -1,0 +1,430 @@
+//! Tiling: lowering the logical graph to a *physical graph* of
+//! crossbar-sized chunks (§5.2).
+//!
+//! Every logical vector is split into chunks of at most the MVMU dimension.
+//! Every logical MVM against a `K × N` matrix becomes a grid of
+//! `⌈K/dim⌉ × ⌈N/dim⌉` MVMU tiles: each column strip's partial products are
+//! reduced with an ADD chain. Element-wise operations split per chunk.
+
+use crate::graph::{BinOp, ImmOp, Model, UnOp, VecOp};
+use puma_core::error::{PumaError, Result};
+use puma_core::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle to a physical value (one chunk-sized vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysId(pub usize);
+
+/// Handle to a unique MVMU weight tile (one `(matrix, row, col)` block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WeightTileId(pub usize);
+
+/// The operation producing a physical value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysOp {
+    /// Host-provided input chunk.
+    Input {
+        /// Binding name of the logical input.
+        name: String,
+        /// Chunk index within the logical vector.
+        chunk: usize,
+    },
+    /// Constant chunk materialized at configuration time.
+    Const {
+        /// Chunk values (length = node width).
+        values: Vec<f32>,
+    },
+    /// One MVMU-tile matrix-vector product.
+    Mvm {
+        /// Which weight tile.
+        tile: WeightTileId,
+    },
+    /// Element-wise binary op on two chunks.
+    Bin {
+        /// The operation.
+        op: BinOp,
+    },
+    /// Element-wise unary op on one chunk.
+    Un {
+        /// The operation.
+        op: UnOp,
+    },
+    /// Immediate (scalar broadcast) op on one chunk.
+    Imm {
+        /// The operation with its constant.
+        op: ImmOp,
+    },
+}
+
+/// One vertex of the physical graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysNode {
+    /// The producing operation.
+    pub op: PhysOp,
+    /// Input values (empty for sources).
+    pub inputs: Vec<PhysId>,
+    /// Width in elements (≤ MVMU dimension).
+    pub width: usize,
+}
+
+/// A unique MVMU weight tile: the sub-matrix programmed into one crossbar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightTile {
+    /// Logical matrix index (into [`Model::matrices`]).
+    pub matrix: usize,
+    /// Row-tile index (input chunk).
+    pub row: usize,
+    /// Column-tile index (output chunk).
+    pub col: usize,
+    /// The weights (None when weight materialization is disabled for
+    /// timing-only simulation of very large models).
+    pub weights: Option<Matrix>,
+    /// Logical sub-matrix shape before padding.
+    pub shape: (usize, usize),
+}
+
+/// A named output: the list of chunks forming the logical output vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysOutput {
+    /// Binding name.
+    pub name: String,
+    /// Chunks, in order.
+    pub chunks: Vec<PhysId>,
+    /// Total logical width.
+    pub width: usize,
+}
+
+/// The tiled (physical) graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysGraph {
+    /// All physical nodes in topological order.
+    pub nodes: Vec<PhysNode>,
+    /// All unique weight tiles.
+    pub weight_tiles: Vec<WeightTile>,
+    /// Output bindings.
+    pub outputs: Vec<PhysOutput>,
+    /// The MVMU dimension used for chunking.
+    pub dim: usize,
+}
+
+impl PhysGraph {
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: PhysId) -> &PhysNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of MVM (compute) nodes.
+    pub fn mvm_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n.op, PhysOp::Mvm { .. })).count()
+    }
+
+    /// Consumers of every value (node ids that list it as input).
+    pub fn consumers(&self) -> Vec<Vec<PhysId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &input in &node.inputs {
+                out[input.0].push(PhysId(i));
+            }
+        }
+        out
+    }
+}
+
+/// Splits `width` into chunk widths of at most `dim`.
+pub fn chunk_widths(width: usize, dim: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut remaining = width;
+    while remaining > 0 {
+        let w = remaining.min(dim);
+        out.push(w);
+        remaining -= w;
+    }
+    out
+}
+
+/// Lowers a logical model to the physical graph.
+///
+/// When `materialize_weights` is false, weight tiles carry no matrix data
+/// (timing-only simulation of models too large to hold in memory).
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] if the model fails validation.
+pub fn tile_model(model: &Model, dim: usize, materialize_weights: bool) -> Result<PhysGraph> {
+    model.validate()?;
+    if dim == 0 {
+        return Err(PumaError::Compile { what: "MVMU dimension must be nonzero".to_string() });
+    }
+    let mut nodes: Vec<PhysNode> = Vec::new();
+    let mut weight_tiles: Vec<WeightTile> = Vec::new();
+    let mut tile_index: HashMap<(usize, usize, usize), WeightTileId> = HashMap::new();
+    let mut chunks: Vec<Vec<PhysId>> = Vec::with_capacity(model.nodes().len());
+
+    let push = |nodes: &mut Vec<PhysNode>, node: PhysNode| -> PhysId {
+        nodes.push(node);
+        PhysId(nodes.len() - 1)
+    };
+
+    for (idx, lnode) in model.nodes().iter().enumerate() {
+        let widths = chunk_widths(lnode.width, dim);
+        let ids: Vec<PhysId> = match &lnode.op {
+            VecOp::Input { name } => widths
+                .iter()
+                .enumerate()
+                .map(|(c, &w)| {
+                    push(
+                        &mut nodes,
+                        PhysNode {
+                            op: PhysOp::Input { name: name.clone(), chunk: c },
+                            inputs: vec![],
+                            width: w,
+                        },
+                    )
+                })
+                .collect(),
+            VecOp::ConstVector { values } => widths
+                .iter()
+                .enumerate()
+                .map(|(c, &w)| {
+                    let start = c * dim;
+                    push(
+                        &mut nodes,
+                        PhysNode {
+                            op: PhysOp::Const { values: values[start..start + w].to_vec() },
+                            inputs: vec![],
+                            width: w,
+                        },
+                    )
+                })
+                .collect(),
+            VecOp::Mvm { matrix, input } => {
+                let m = model.matrix(*matrix);
+                if materialize_weights && m.data.is_none() {
+                    return Err(PumaError::Compile {
+                        what: format!(
+                            "matrix {:?} is shape-only; compile with materialize_weights=false",
+                            m.name
+                        ),
+                    });
+                }
+                let in_chunks = &chunks[input.0];
+                let row_tiles = m.rows.div_ceil(dim);
+                let col_tiles = m.cols.div_ceil(dim);
+                debug_assert_eq!(in_chunks.len(), row_tiles);
+                let mut out_ids = Vec::with_capacity(col_tiles);
+                for j in 0..col_tiles {
+                    let out_w = (m.cols - j * dim).min(dim);
+                    let mut partials = Vec::with_capacity(row_tiles);
+                    for (i, &in_chunk) in in_chunks.iter().enumerate() {
+                        let key = (matrix.0, i, j);
+                        let tile = *tile_index.entry(key).or_insert_with(|| {
+                            let rows = (m.rows - i * dim).min(dim);
+                            weight_tiles.push(WeightTile {
+                                matrix: matrix.0,
+                                row: i,
+                                col: j,
+                                weights: materialize_weights.then(|| {
+                                    m.data
+                                        .as_ref()
+                                        .expect("checked above")
+                                        .tile(i * dim, j * dim, rows, out_w)
+                                }),
+                                shape: (rows, out_w),
+                            });
+                            WeightTileId(weight_tiles.len() - 1)
+                        });
+                        partials.push(push(
+                            &mut nodes,
+                            PhysNode {
+                                op: PhysOp::Mvm { tile },
+                                inputs: vec![in_chunk],
+                                width: out_w,
+                            },
+                        ));
+                    }
+                    // ADD-reduce the partial products of this column strip.
+                    let mut acc = partials[0];
+                    for &p in &partials[1..] {
+                        acc = push(
+                            &mut nodes,
+                            PhysNode {
+                                op: PhysOp::Bin { op: BinOp::Add },
+                                inputs: vec![acc, p],
+                                width: out_w,
+                            },
+                        );
+                    }
+                    out_ids.push(acc);
+                }
+                out_ids
+            }
+            VecOp::Bin { op, lhs, rhs } => {
+                let l = chunks[lhs.0].clone();
+                let r = chunks[rhs.0].clone();
+                widths
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &w)| {
+                        push(
+                            &mut nodes,
+                            PhysNode {
+                                op: PhysOp::Bin { op: *op },
+                                inputs: vec![l[c], r[c]],
+                                width: w,
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            VecOp::Un { op, input } => {
+                let src = chunks[input.0].clone();
+                widths
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &w)| {
+                        push(
+                            &mut nodes,
+                            PhysNode { op: PhysOp::Un { op: *op }, inputs: vec![src[c]], width: w },
+                        )
+                    })
+                    .collect()
+            }
+            VecOp::Imm { op, input } => {
+                let src = chunks[input.0].clone();
+                widths
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &w)| {
+                        push(
+                            &mut nodes,
+                            PhysNode {
+                                op: PhysOp::Imm { op: *op },
+                                inputs: vec![src[c]],
+                                width: w,
+                            },
+                        )
+                    })
+                    .collect()
+            }
+        };
+        debug_assert_eq!(idx, chunks.len());
+        chunks.push(ids);
+    }
+
+    let outputs = model
+        .outputs()
+        .iter()
+        .map(|o| PhysOutput {
+            name: o.name.clone(),
+            chunks: chunks[o.value.0].clone(),
+            width: model.node(o.value).width,
+        })
+        .collect();
+
+    Ok(PhysGraph { nodes, weight_tiles, outputs, dim })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Model;
+
+    fn model_300x300() -> Model {
+        let mut m = Model::new("t");
+        let x = m.input("x", 300);
+        let a = m.constant_matrix("A", Matrix::from_fn(300, 300, |r, c| ((r + c) % 3) as f32));
+        let y = m.mvm(a, x).unwrap();
+        let z = m.tanh(y);
+        m.output("z", z);
+        m
+    }
+
+    #[test]
+    fn chunk_widths_pad_last() {
+        assert_eq!(chunk_widths(300, 128), vec![128, 128, 44]);
+        assert_eq!(chunk_widths(128, 128), vec![128]);
+        assert_eq!(chunk_widths(1, 128), vec![1]);
+    }
+
+    #[test]
+    fn mvm_tiles_into_grid() {
+        let g = tile_model(&model_300x300(), 128, true).unwrap();
+        // 3x3 grid of weight tiles.
+        assert_eq!(g.weight_tiles.len(), 9);
+        // 9 MVM nodes, 3 input chunks, 2 adds per column strip × 3, 3 tanh.
+        assert_eq!(g.mvm_node_count(), 9);
+        let adds = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, PhysOp::Bin { op: BinOp::Add }))
+            .count();
+        assert_eq!(adds, 6);
+        assert_eq!(g.outputs.len(), 1);
+        assert_eq!(g.outputs[0].chunks.len(), 3);
+    }
+
+    #[test]
+    fn edge_tiles_have_clipped_shapes() {
+        let g = tile_model(&model_300x300(), 128, true).unwrap();
+        let corner = g
+            .weight_tiles
+            .iter()
+            .find(|t| t.row == 2 && t.col == 2)
+            .expect("corner tile exists");
+        assert_eq!(corner.shape, (44, 44));
+        let w = corner.weights.as_ref().unwrap();
+        assert_eq!((w.rows(), w.cols()), (44, 44));
+    }
+
+    #[test]
+    fn weight_tiles_are_shared_across_mvm_applications() {
+        // Two MVMs against the same matrix (weight reuse across LSTM time
+        // steps) must reference the same physical tiles.
+        let mut m = Model::new("shared");
+        let x1 = m.input("x1", 128);
+        let x2 = m.input("x2", 128);
+        let a = m.constant_matrix("A", Matrix::from_fn(128, 128, |_, _| 0.5));
+        let y1 = m.mvm(a, x1).unwrap();
+        let y2 = m.mvm(a, x2).unwrap();
+        let s = m.add(y1, y2).unwrap();
+        m.output("s", s);
+        let g = tile_model(&m, 128, true).unwrap();
+        assert_eq!(g.weight_tiles.len(), 1, "same matrix must share one tile");
+        assert_eq!(g.mvm_node_count(), 2);
+    }
+
+    #[test]
+    fn skipping_materialization_leaves_weights_empty() {
+        let g = tile_model(&model_300x300(), 128, false).unwrap();
+        assert!(g.weight_tiles.iter().all(|t| t.weights.is_none()));
+    }
+
+    #[test]
+    fn consumers_are_tracked() {
+        let g = tile_model(&model_300x300(), 128, true).unwrap();
+        let consumers = g.consumers();
+        // Every input chunk feeds 3 MVM nodes (one per column strip).
+        for (i, node) in g.nodes.iter().enumerate() {
+            if matches!(node.op, PhysOp::Input { .. }) {
+                assert_eq!(consumers[i].len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn small_dim_still_tiles() {
+        let mut m = Model::new("small");
+        let x = m.input("x", 10);
+        let a = m.constant_matrix("A", Matrix::from_fn(10, 6, |_, _| 1.0));
+        let y = m.mvm(a, x).unwrap();
+        m.output("y", y);
+        let g = tile_model(&m, 4, true).unwrap();
+        // rows: ceil(10/4)=3, cols: ceil(6/4)=2 -> 6 tiles.
+        assert_eq!(g.weight_tiles.len(), 6);
+    }
+}

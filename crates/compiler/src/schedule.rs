@@ -1,0 +1,319 @@
+//! Instruction scheduling: linearization and MVM coalescing (§5.3).
+//!
+//! The whole physical graph is linearized **at once** (not per core) so
+//! that the blocking inter-core communication cannot form cycles — the
+//! deadlock-avoidance argument of §5.3.3 / Fig. 10. Two linearizations are
+//! provided: reverse post-order (consume-before-produce, low register
+//! pressure, Fig. 9c) and the naive construction order (Fig. 9b baseline).
+//!
+//! MVM coalescing (§5.3.2) then fuses runs of independent MVM nodes that
+//! landed on the same core but different MVMUs into single multi-MVMU
+//! instructions.
+
+use crate::options::Scheduling;
+use crate::partition::Placement;
+use crate::physical::{PhysGraph, PhysId, PhysOp};
+use puma_core::error::Result;
+use serde::{Deserialize, Serialize};
+
+/// One step of the global schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleItem {
+    /// A single physical node.
+    Node(PhysId),
+    /// A group of independent MVM nodes fused into one MVM instruction
+    /// (same core, pairwise-distinct MVMUs).
+    CoalescedMvm(Vec<PhysId>),
+}
+
+impl ScheduleItem {
+    /// The nodes this item covers.
+    pub fn nodes(&self) -> &[PhysId] {
+        match self {
+            ScheduleItem::Node(id) => std::slice::from_ref(id),
+            ScheduleItem::CoalescedMvm(ids) => ids,
+        }
+    }
+}
+
+/// The global schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Items in execution order (consistent across all cores).
+    pub items: Vec<ScheduleItem>,
+    /// Number of MVM instructions after coalescing.
+    pub mvm_instructions: usize,
+    /// Number of MVM nodes before coalescing.
+    pub mvm_nodes: usize,
+}
+
+/// Produces a linear order of all physical nodes.
+fn linearize(graph: &PhysGraph, strategy: Scheduling) -> Vec<PhysId> {
+    match strategy {
+        Scheduling::Naive => (0..graph.nodes.len()).map(PhysId).collect(),
+        Scheduling::ReversePostorder => {
+            // Iterative DFS from the outputs, appending a node after all of
+            // its inputs (post-order). Nodes unreachable from outputs are
+            // appended afterwards in construction order (they still execute
+            // so that their stores/loads balance).
+            let n = graph.nodes.len();
+            let mut visited = vec![false; n];
+            let mut order = Vec::with_capacity(n);
+            let mut stack: Vec<(PhysId, usize)> = Vec::new();
+            let roots: Vec<PhysId> =
+                graph.outputs.iter().flat_map(|o| o.chunks.iter().copied()).collect();
+            for root in roots {
+                if visited[root.0] {
+                    continue;
+                }
+                visited[root.0] = true;
+                stack.push((root, 0));
+                while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                    let inputs = &graph.nodes[node.0].inputs;
+                    if *child < inputs.len() {
+                        let next = inputs[*child];
+                        *child += 1;
+                        if !visited[next.0] {
+                            visited[next.0] = true;
+                            stack.push((next, 0));
+                        }
+                    } else {
+                        order.push(node);
+                        stack.pop();
+                    }
+                }
+            }
+            for i in 0..n {
+                if !visited[i] {
+                    order.push(PhysId(i));
+                }
+            }
+            order
+        }
+    }
+}
+
+/// Builds the global schedule: linearize, then coalesce MVMs.
+///
+/// # Errors
+///
+/// Currently infallible for valid graphs; returns a `Result` for future
+/// resource-aware scheduling.
+pub fn schedule(
+    graph: &PhysGraph,
+    placement: &Placement,
+    strategy: Scheduling,
+    coalesce: bool,
+) -> Result<Schedule> {
+    let order = linearize(graph, strategy);
+    let mvm_nodes = graph.mvm_node_count();
+    let mvmu_index = |id: PhysId| -> Option<usize> {
+        match graph.nodes[id.0].op {
+            PhysOp::Mvm { tile } => Some(placement.mvmu_of(tile).mvmu.index()),
+            _ => None,
+        }
+    };
+
+    let mut items: Vec<ScheduleItem> = Vec::with_capacity(order.len());
+    let mut i = 0;
+    let mut mvm_instructions = 0;
+    while i < order.len() {
+        let id = order[i];
+        let is_mvm = matches!(graph.nodes[id.0].op, PhysOp::Mvm { .. });
+        if !is_mvm || !coalesce {
+            if is_mvm {
+                mvm_instructions += 1;
+            }
+            items.push(ScheduleItem::Node(id));
+            i += 1;
+            continue;
+        }
+        // Greedily absorb following MVMs on the same core with distinct
+        // MVMUs and no dependence on the group's outputs. Consecutive
+        // tiles of the same logical MVM satisfy this by construction
+        // (§5.3.2's preferred candidates). Source nodes encountered while
+        // scanning are hoisted before the group — they have no inputs, so
+        // moving them earlier preserves dependences.
+        let core = placement.core_of(id);
+        let mut group = vec![id];
+        let mut hoisted: Vec<PhysId> = Vec::new();
+        let mut used_mvmus = vec![mvmu_index(id).expect("mvm node")];
+        let mut j = i + 1;
+        while j < order.len() {
+            let cand = order[j];
+            let node = &graph.nodes[cand.0];
+            if matches!(node.op, PhysOp::Input { .. } | PhysOp::Const { .. }) {
+                hoisted.push(cand);
+                j += 1;
+                continue;
+            }
+            let PhysOp::Mvm { .. } = node.op else { break };
+            if placement.core_of(cand) != core {
+                break;
+            }
+            let Some(mv) = mvmu_index(cand) else { break };
+            if used_mvmus.contains(&mv) {
+                break;
+            }
+            // Dependence check: the candidate must not consume any value
+            // produced inside the group.
+            if node.inputs.iter().any(|inp| group.contains(inp)) {
+                break;
+            }
+            group.push(cand);
+            used_mvmus.push(mv);
+            j += 1;
+        }
+        i = j;
+        mvm_instructions += 1;
+        for h in hoisted {
+            items.push(ScheduleItem::Node(h));
+        }
+        if group.len() == 1 {
+            items.push(ScheduleItem::Node(id));
+        } else {
+            items.push(ScheduleItem::CoalescedMvm(group));
+        }
+    }
+    Ok(Schedule { items, mvm_instructions, mvm_nodes })
+}
+
+/// Measures the maximum number of simultaneously-live values per core for a
+/// schedule (the register-pressure proxy of Fig. 9).
+pub fn max_live_values(graph: &PhysGraph, order: &Schedule) -> usize {
+    let consumers = graph.consumers();
+    let mut remaining: Vec<usize> = consumers.iter().map(|c| c.len()).collect();
+    let mut live = 0usize;
+    let mut max_live = 0usize;
+    for item in &order.items {
+        for &id in item.nodes() {
+            for &input in &graph.nodes[id.0].inputs {
+                remaining[input.0] -= 1;
+                if remaining[input.0] == 0 {
+                    live -= 1;
+                }
+            }
+            if remaining[id.0] > 0 {
+                live += 1;
+                max_live = max_live.max(live);
+            }
+        }
+    }
+    max_live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Model;
+    use crate::options::Partitioning;
+    use crate::partition::partition;
+    use crate::physical::tile_model;
+    use puma_core::config::NodeConfig;
+    use puma_core::tensor::Matrix;
+
+    fn setup(width: usize) -> (PhysGraph, Placement) {
+        let mut m = Model::new("t");
+        let x = m.input("x", width);
+        let a = m.constant_matrix("A", Matrix::from_fn(width, width, |_, _| 0.1));
+        let b = m.constant_matrix("B", Matrix::from_fn(width, width, |_, _| 0.2));
+        let ax = m.mvm(a, x).unwrap();
+        let bx = m.mvm(b, x).unwrap();
+        let s = m.add(ax, bx).unwrap();
+        let z = m.tanh(s);
+        m.output("z", z);
+        let g = tile_model(&m, 128, true).unwrap();
+        let p = partition(&g, &NodeConfig::default(), Partitioning::Heuristic).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn schedule_respects_dependences() {
+        let (g, p) = setup(300);
+        let s = schedule(&g, &p, Scheduling::ReversePostorder, true).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for item in &s.items {
+            for &id in item.nodes() {
+                for input in &g.nodes[id.0].inputs {
+                    assert!(seen.contains(input), "node {id:?} scheduled before input {input:?}");
+                }
+            }
+            for &id in item.nodes() {
+                seen.insert(id);
+            }
+        }
+        assert_eq!(seen.len(), g.nodes.len());
+    }
+
+    #[test]
+    fn coalescing_reduces_mvm_instructions() {
+        let (g, p) = setup(300);
+        let with = schedule(&g, &p, Scheduling::ReversePostorder, true).unwrap();
+        let without = schedule(&g, &p, Scheduling::ReversePostorder, false).unwrap();
+        assert_eq!(without.mvm_instructions, without.mvm_nodes);
+        assert!(
+            with.mvm_instructions < without.mvm_instructions,
+            "{} !< {}",
+            with.mvm_instructions,
+            without.mvm_instructions
+        );
+    }
+
+    #[test]
+    fn coalesced_groups_use_distinct_mvmus_on_one_core() {
+        let (g, p) = setup(300);
+        let s = schedule(&g, &p, Scheduling::ReversePostorder, true).unwrap();
+        for item in &s.items {
+            if let ScheduleItem::CoalescedMvm(ids) = item {
+                assert!(ids.len() >= 2);
+                let core = p.core_of(ids[0]);
+                let mut mvmus = std::collections::HashSet::new();
+                for &id in ids {
+                    assert_eq!(p.core_of(id), core);
+                    let crate::physical::PhysOp::Mvm { tile } = g.nodes[id.0].op else {
+                        panic!("non-MVM in group")
+                    };
+                    assert!(mvmus.insert(p.mvmu_of(tile).mvmu));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_has_lower_pressure_than_naive() {
+        // Chain of MVMs: A1*x, A2*x, ... then sum tree — naive order
+        // produces all partials before consuming.
+        let mut m = Model::new("pressure");
+        let x = m.input("x", 128);
+        let mut vals = Vec::new();
+        for i in 0..8 {
+            let a = m.constant_matrix(format!("A{i}"), Matrix::from_fn(128, 128, |_, _| 0.1));
+            vals.push(m.mvm(a, x).unwrap());
+        }
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = m.add(acc, v).unwrap();
+        }
+        m.output("y", acc);
+        let g = tile_model(&m, 128, true).unwrap();
+        let p = partition(&g, &NodeConfig::default(), Partitioning::Heuristic).unwrap();
+        let rpo = schedule(&g, &p, Scheduling::ReversePostorder, false).unwrap();
+        let naive = schedule(&g, &p, Scheduling::Naive, false).unwrap();
+        assert!(
+            max_live_values(&g, &rpo) <= max_live_values(&g, &naive),
+            "rpo {} vs naive {}",
+            max_live_values(&g, &rpo),
+            max_live_values(&g, &naive)
+        );
+    }
+
+    #[test]
+    fn all_nodes_scheduled_exactly_once() {
+        let (g, p) = setup(260);
+        for strategy in [Scheduling::ReversePostorder, Scheduling::Naive] {
+            let s = schedule(&g, &p, strategy, true).unwrap();
+            let total: usize = s.items.iter().map(|i| i.nodes().len()).sum();
+            assert_eq!(total, g.nodes.len());
+        }
+    }
+}

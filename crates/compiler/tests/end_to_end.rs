@@ -1,0 +1,307 @@
+//! End-to-end tests: compile model graphs, run them on PUMAsim, and check
+//! the outputs against the host-side reference evaluation.
+
+use puma_compiler::graph::{ImmOp, Model};
+use puma_compiler::{compile, fit_config, CompilerOptions, Partitioning, Scheduling};
+use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+use puma_core::tensor::Matrix;
+use puma_sim::{NodeSim, SimMode};
+use puma_xbar::NoiseModel;
+use std::collections::HashMap;
+
+/// A small hardware configuration (32×32 crossbars) so tests exercise
+/// multi-chunk tiling without big matrices.
+fn small_config() -> NodeConfig {
+    let mvmu = MvmuConfig { dim: 32, ..MvmuConfig::default() };
+    NodeConfig {
+        tile: TileConfig {
+            core: CoreConfig {
+                mvmu,
+                mvmus_per_core: 2,
+                vfu_lanes: 4,
+                instruction_memory_bytes: 16 * 1024,
+                register_file_words: CoreConfig::paper_register_file_words(32, 2),
+            },
+            cores_per_tile: 4,
+            shared_memory_bytes: 64 * 1024,
+            ..TileConfig::default()
+        },
+        tiles_per_node: 8,
+        ..NodeConfig::default()
+    }
+}
+
+/// Compiles, runs functionally, and compares every output with the
+/// reference evaluator within `tol`.
+fn check_model(model: &Model, inputs: &HashMap<String, Vec<f32>>, options: &CompilerOptions, tol: f32) {
+    let cfg = small_config();
+    let compiled = compile(model, &cfg, options).expect("compile");
+    compiled.image.validate().expect("valid image");
+    let cfg = fit_config(&cfg, &compiled);
+    let mut sim = NodeSim::new(cfg, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())
+        .expect("sim");
+    // Constants first, then user inputs (chunked).
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values).expect("const poke");
+    }
+    for io in &compiled.inputs {
+        let data = &inputs[&io.name];
+        assert_eq!(data.len(), io.width, "input {} width", io.name);
+        let mut offset = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &data[offset..offset + w]).expect("input poke");
+            offset += w;
+        }
+    }
+    sim.run().expect("run to completion");
+    let reference = model.evaluate_reference(inputs).expect("reference");
+    for io in &compiled.outputs {
+        let want = &reference[&io.name];
+        let mut got = Vec::new();
+        for chunk in &io.chunks {
+            got.extend(sim.read_output(chunk).expect("output"));
+        }
+        assert_eq!(got.len(), want.len(), "output {} length", io.name);
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (g - w).abs() < tol,
+                "output {}[{}]: simulated {} vs reference {}",
+                io.name,
+                i,
+                g,
+                w
+            );
+        }
+    }
+}
+
+fn dense_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let v = ((r * 31 + c * 17 + seed * 7) % 23) as f32 / 23.0 - 0.5;
+        v * 0.2
+    })
+}
+
+fn input_vec(n: usize, seed: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 13 + seed * 5) % 19) as f32 / 19.0 - 0.5).collect()
+}
+
+#[test]
+fn figure7_example_runs_correctly() {
+    // z = tanh(A·x + B·y), the paper's running example.
+    let mut m = Model::new("fig7");
+    let x = m.input("x", 48);
+    let y = m.input("y", 48);
+    let a = m.constant_matrix("A", dense_matrix(48, 40, 1));
+    let b = m.constant_matrix("B", dense_matrix(48, 40, 2));
+    let ax = m.mvm(a, x).unwrap();
+    let by = m.mvm(b, y).unwrap();
+    let s = m.add(ax, by).unwrap();
+    let z = m.tanh(s);
+    m.output("z", z);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(48, 1));
+    inputs.insert("y".to_string(), input_vec(48, 2));
+    check_model(&m, &inputs, &CompilerOptions::default(), 0.02);
+}
+
+#[test]
+fn multi_chunk_mvm_with_reduction() {
+    // 100x70 matrix on 32-wide crossbars: 4x3 tile grid with ADD chains.
+    let mut m = Model::new("tiled");
+    let x = m.input("x", 100);
+    let a = m.constant_matrix("A", dense_matrix(100, 70, 3));
+    let ax = m.mvm(a, x).unwrap();
+    let z = m.relu(ax);
+    m.output("z", z);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(100, 3));
+    check_model(&m, &inputs, &CompilerOptions::default(), 0.02);
+}
+
+#[test]
+fn mlp_with_biases_and_two_layers() {
+    let mut m = Model::new("mlp");
+    let x = m.input("x", 64);
+    let w1 = m.constant_matrix("W1", dense_matrix(64, 80, 4));
+    let b1 = m.constant_vector(input_vec(80, 9));
+    let w2 = m.constant_matrix("W2", dense_matrix(80, 10, 5));
+    let b2 = m.constant_vector(input_vec(10, 11));
+    let h = m.mvm(w1, x).unwrap();
+    let h = m.add(h, b1).unwrap();
+    let h = m.sigmoid(h);
+    let o = m.mvm(w2, h).unwrap();
+    let o = m.add(o, b2).unwrap();
+    m.output("probs", o);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(64, 6));
+    check_model(&m, &inputs, &CompilerOptions::default(), 0.03);
+}
+
+#[test]
+fn lstm_style_cell_step() {
+    // One LSTM-flavoured step: gates from two MVMs, elementwise mixing.
+    let n = 40;
+    let mut m = Model::new("lstm_step");
+    let x = m.input("x", n);
+    let h_prev = m.input("h", n);
+    let c_prev = m.input("c", n);
+    let wf = m.constant_matrix("Wf", dense_matrix(n, n, 6));
+    let uf = m.constant_matrix("Uf", dense_matrix(n, n, 7));
+    let wi = m.constant_matrix("Wi", dense_matrix(n, n, 8));
+    let ui = m.constant_matrix("Ui", dense_matrix(n, n, 9));
+    let wo = m.constant_matrix("Wo", dense_matrix(n, n, 10));
+    let uo = m.constant_matrix("Uo", dense_matrix(n, n, 11));
+    let wg = m.constant_matrix("Wg", dense_matrix(n, n, 12));
+    let ug = m.constant_matrix("Ug", dense_matrix(n, n, 13));
+
+    let mut gate = |m: &mut Model, w, u| {
+        let a = m.mvm(w, x).unwrap();
+        let b = m.mvm(u, h_prev).unwrap();
+        m.add(a, b).unwrap()
+    };
+    let f_pre = gate(&mut m, wf, uf);
+    let f = m.sigmoid(f_pre);
+    let i_pre = gate(&mut m, wi, ui);
+    let i = m.sigmoid(i_pre);
+    let o_pre = gate(&mut m, wo, uo);
+    let o = m.sigmoid(o_pre);
+    let g_pre = gate(&mut m, wg, ug);
+    let g = m.tanh(g_pre);
+    let fc = m.mul(f, c_prev).unwrap();
+    let ig = m.mul(i, g).unwrap();
+    let c = m.add(fc, ig).unwrap();
+    let c_act = m.tanh(c);
+    let h = m.mul(o, c_act).unwrap();
+    m.output("h_next", h);
+    m.output("c_next", c);
+
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(n, 20));
+    inputs.insert("h".to_string(), input_vec(n, 21));
+    inputs.insert("c".to_string(), input_vec(n, 22));
+    check_model(&m, &inputs, &CompilerOptions::default(), 0.05);
+}
+
+#[test]
+fn all_option_combinations_stay_correct() {
+    let mut m = Model::new("opts");
+    let x = m.input("x", 70);
+    let a = m.constant_matrix("A", dense_matrix(70, 70, 14));
+    let b = m.constant_matrix("B", dense_matrix(70, 70, 15));
+    let ax = m.mvm(a, x).unwrap();
+    let bx = m.mvm(b, x).unwrap();
+    let s = m.add(ax, bx).unwrap();
+    let scaled = m.immediate(ImmOp::Mul(0.5), s);
+    let z = m.sigmoid(scaled);
+    m.output("z", z);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(70, 23));
+
+    for scheduling in [Scheduling::ReversePostorder, Scheduling::Naive] {
+        for coalesce in [true, false] {
+            for partitioning in [Partitioning::Heuristic, Partitioning::Random { seed: 3 }] {
+                for reuse in [true, false] {
+                    let options = CompilerOptions {
+                        scheduling,
+                        coalesce_mvms: coalesce,
+                        partitioning,
+                        reuse_memory: reuse,
+                        ..CompilerOptions::default()
+                    };
+                    check_model(&m, &inputs, &options, 0.03);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_chain_spills_registers_and_stays_correct() {
+    // Eight MVMU tiles on one core, all of whose partials are live at once
+    // under naive scheduling, against a 4-slot register file: spills.
+    let mut cfg = small_config();
+    cfg.tile.core.mvmus_per_core = 8;
+    cfg.tile.core.register_file_words = 128; // 4 chunk slots at dim 32
+
+    let mut m = Model::new("spill");
+    let x = m.input("x", 256);
+    let a = m.constant_matrix("A", dense_matrix(256, 32, 30));
+    let y = m.mvm(a, x).unwrap(); // 8 row tiles -> 8 partials on one core
+    let z = m.tanh(y);
+    m.output("z", z);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), input_vec(256, 40));
+
+    // Naive scheduling produces all partials before the ADD chain consumes
+    // them (Fig. 9b), overflowing the slots; coalescing off so MVMs stay
+    // separate nodes.
+    let options = CompilerOptions {
+        scheduling: Scheduling::Naive,
+        coalesce_mvms: false,
+        ..CompilerOptions::default()
+    };
+    let compiled = compile(&m, &cfg, &options).unwrap();
+    assert!(compiled.stats.spill_accesses > 0, "expected spills under naive scheduling");
+
+    // Reverse post-order interleaves production and consumption (Fig. 9c)
+    // and needs fewer spills.
+    let rpo = CompilerOptions {
+        scheduling: Scheduling::ReversePostorder,
+        coalesce_mvms: false,
+        ..CompilerOptions::default()
+    };
+    let compiled_rpo = compile(&m, &cfg, &rpo).unwrap();
+    assert!(compiled_rpo.stats.spill_accesses < compiled.stats.spill_accesses);
+
+    // Both remain functionally correct.
+    let cfg2 = fit_config(&cfg, &compiled);
+    let mut sim =
+        NodeSim::new(cfg2, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())
+            .unwrap();
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values).unwrap();
+    }
+    let data = &inputs["x"];
+    let io = &compiled.inputs[0];
+    let mut offset = 0;
+    for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+        sim.write_input(chunk, &data[offset..offset + w]).unwrap();
+        offset += w;
+    }
+    sim.run().unwrap();
+    let reference = m.evaluate_reference(&inputs).unwrap();
+    let want = &reference["z"];
+    let got = sim.read_output(&compiled.outputs[0].chunks[0]).unwrap();
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g - w).abs() < 0.05, "{g} vs {w}");
+    }
+}
+
+#[test]
+fn timing_mode_runs_without_weights() {
+    let mut m = Model::new("timing");
+    let x = m.input("x", 64);
+    let a = m.constant_matrix("A", dense_matrix(64, 64, 50));
+    let ax = m.mvm(a, x).unwrap();
+    let z = m.tanh(ax);
+    m.output("z", z);
+    let cfg = small_config();
+    let compiled = compile(&m, &cfg, &CompilerOptions::timing_only()).unwrap();
+    assert_eq!(compiled.image.weight_bytes(), 0, "no weights materialized");
+    let cfg = fit_config(&cfg, &compiled);
+    let mut sim =
+        NodeSim::new(cfg, &compiled.image, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values).unwrap();
+    }
+    for io in &compiled.inputs {
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &vec![0.0; w]).unwrap();
+        }
+    }
+    let stats = sim.run().unwrap();
+    assert!(stats.cycles > 0);
+    assert!(stats.energy.total_nj() > 0.0);
+    assert!(stats.mvmu_activations >= 4, "4 MVM tiles expected");
+}

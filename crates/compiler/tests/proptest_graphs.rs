@@ -1,0 +1,147 @@
+//! Property test: random multi-operation DAGs compile and execute to the
+//! reference semantics under every optimization combination the fuzzer
+//! picks — the whole-compiler correctness invariant.
+
+use proptest::prelude::*;
+use puma_compiler::graph::{BinOp, Model, UnOp, VecId};
+use puma_compiler::{compile, fit_config, CompilerOptions, Partitioning, Scheduling};
+use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+use puma_core::tensor::Matrix;
+use puma_sim::{NodeSim, SimMode};
+use puma_xbar::NoiseModel;
+use std::collections::HashMap;
+
+fn small_cfg() -> NodeConfig {
+    let mvmu = MvmuConfig { dim: 16, ..MvmuConfig::default() };
+    NodeConfig {
+        tile: TileConfig {
+            core: CoreConfig {
+                mvmu,
+                mvmus_per_core: 2,
+                vfu_lanes: 4,
+                instruction_memory_bytes: 32 * 1024,
+                register_file_words: 64,
+            },
+            cores_per_tile: 2,
+            shared_memory_bytes: 32 * 1024,
+            ..TileConfig::default()
+        },
+        tiles_per_node: 32,
+        ..NodeConfig::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Mvm { rows_extra: usize, seed: usize },
+    Bin { op: BinOp, other: usize },
+    Un { op: UnOp },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..20, 0usize..100).prop_map(|(rows_extra, seed)| Step::Mvm { rows_extra, seed }),
+        (
+            prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max]),
+            any::<usize>()
+        )
+            .prop_map(|(op, other)| Step::Bin { op, other }),
+        prop::sample::select(vec![UnOp::Relu, UnOp::Tanh, UnOp::Sigmoid])
+            .prop_map(|op| Step::Un { op }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_dags_compile_and_run_correctly(
+        width in 8usize..40,
+        steps in prop::collection::vec(step(), 1..8),
+        sched_naive in any::<bool>(),
+        coalesce in any::<bool>(),
+        random_partition in any::<bool>(),
+        reuse in any::<bool>(),
+    ) {
+        let mut m = Model::new("fuzz");
+        let x = m.input("x", width);
+        let mut values: Vec<VecId> = vec![x];
+        let mut cur = x;
+        for (i, s) in steps.iter().enumerate() {
+            cur = match s {
+                Step::Mvm { rows_extra, seed } => {
+                    let cur_w = m.node(cur).width;
+                    let out_w = 8 + (cur_w + rows_extra) % 33;
+                    let mat = m.constant_matrix(
+                        format!("M{i}"),
+                        Matrix::from_fn(cur_w, out_w, |r, c| {
+                            (((r * 31 + c * 17 + seed) % 23) as f32 / 23.0 - 0.5) * 0.2
+                        }),
+                    );
+                    m.mvm(mat, cur).unwrap()
+                }
+                Step::Bin { op, other } => {
+                    let cur_w = m.node(cur).width;
+                    // Pick any earlier value with matching width, else make one.
+                    let candidates: Vec<VecId> = values
+                        .iter()
+                        .copied()
+                        .filter(|&v| m.node(v).width == cur_w)
+                        .collect();
+                    let rhs = if candidates.is_empty() {
+                        m.constant_vector(vec![0.25; cur_w])
+                    } else {
+                        candidates[other % candidates.len()]
+                    };
+                    m.binary(*op, cur, rhs).unwrap()
+                }
+                Step::Un { op } => m.unary(*op, cur),
+            };
+            values.push(cur);
+        }
+        m.output("out", cur);
+
+        let options = CompilerOptions {
+            scheduling: if sched_naive { Scheduling::Naive } else { Scheduling::ReversePostorder },
+            coalesce_mvms: coalesce,
+            partitioning: if random_partition {
+                Partitioning::Random { seed: 9 }
+            } else {
+                Partitioning::Heuristic
+            },
+            reuse_memory: reuse,
+            ..CompilerOptions::default()
+        };
+        let cfg = small_cfg();
+        let compiled = compile(&m, &cfg, &options).unwrap();
+        compiled.image.validate().unwrap();
+        let cfg = fit_config(&cfg, &compiled);
+        let mut sim =
+            NodeSim::new(cfg, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())
+                .unwrap();
+        for (binding, vals) in &compiled.const_data {
+            sim.write_input(&binding.name, vals).unwrap();
+        }
+        let xv: Vec<f32> = (0..width).map(|i| ((i * 13) % 19) as f32 / 19.0 - 0.5).collect();
+        let io = &compiled.inputs[0];
+        let mut off = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &xv[off..off + w]).unwrap();
+            off += w;
+        }
+        sim.run().unwrap();
+
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), xv);
+        let reference = m.evaluate_reference(&inputs).unwrap();
+        let want = &reference["out"];
+        let mut got = Vec::new();
+        for chunk in &compiled.outputs[0].chunks {
+            got.extend(sim.read_output(chunk).unwrap());
+        }
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            // Fixed-point error grows with graph depth; bound generously.
+            prop_assert!((g - w).abs() < 0.1, "out[{}]: {} vs {}", i, g, w);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Hardware configuration of a PUMA node.
+//!
+//! Defaults follow Table 3 of the paper ("PUMA Tile at 1GHz on 32nm
+//! Technology node"): 128×128 MVMUs with 2-bit cells, 2 MVMUs per core,
+//! 8 cores per tile, 138 tiles per node, 64 KB eDRAM shared memory, a
+//! 16-FIFO receive buffer, and a 4 KB core / 8 KB tile instruction memory.
+//!
+//! Every knob swept by the paper's design-space exploration (Fig. 12) is a
+//! field here, so the DSE experiment simply builds variant configs.
+
+use crate::error::{PumaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single matrix-vector multiplication unit (MVMU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MvmuConfig {
+    /// Crossbar dimension (rows = cols). Paper default: 128.
+    pub dim: usize,
+    /// Bits stored per memristor device. Paper default: 2 (conservative;
+    /// laboratory devices reach 6).
+    pub bits_per_cell: u32,
+    /// Total weight precision in bits. Paper default: 16, realized by
+    /// combining `weight_bits / bits_per_cell` crossbars via bit slicing.
+    pub weight_bits: u32,
+    /// DAC resolution in bits (input is streamed `dac_bits` per step).
+    pub dac_bits: u32,
+}
+
+impl MvmuConfig {
+    /// Number of physical crossbar slices needed for one logical MVMU
+    /// (§3.2.1: eight 2-bit crossbars realize a 16-bit MVM).
+    pub fn slices(&self) -> u32 {
+        self.weight_bits.div_ceil(self.bits_per_cell)
+    }
+
+    /// ADC resolution required to capture a full column dot product of
+    /// `dac_bits`-wide inputs against `bits_per_cell`-wide weights:
+    /// `log2(dim) + dac_bits + bits_per_cell` bits (ISAAC-style analysis).
+    pub fn adc_bits(&self) -> u32 {
+        (self.dim as f64).log2().ceil() as u32 + self.dac_bits + self.bits_per_cell
+    }
+
+    /// Multiply-accumulate operations performed by one full-precision MVM.
+    pub fn macs_per_mvm(&self) -> u64 {
+        (self.dim * self.dim) as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] if any field is zero or the
+    /// precision split is impossible.
+    pub fn validate(&self) -> Result<()> {
+        if self.dim == 0 || !self.dim.is_power_of_two() {
+            return Err(PumaError::InvalidConfig {
+                what: format!("MVMU dimension {} must be a nonzero power of two", self.dim),
+            });
+        }
+        if self.bits_per_cell == 0 || self.bits_per_cell > 6 {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "bits per cell {} outside the realizable 1-6 range (§3.2.1)",
+                    self.bits_per_cell
+                ),
+            });
+        }
+        if self.weight_bits == 0 || self.dac_bits == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "weight and DAC precision must be nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MvmuConfig {
+    fn default() -> Self {
+        MvmuConfig { dim: 128, bits_per_cell: 2, weight_bits: 16, dac_bits: 1 }
+    }
+}
+
+/// Configuration of a PUMA core (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// MVMU parameters.
+    pub mvmu: MvmuConfig,
+    /// Number of MVMUs per core. Paper default: 2.
+    pub mvmus_per_core: usize,
+    /// Vector functional unit lanes (temporal SIMD width). Table 3 lists
+    /// width 1; the DSE (Fig. 12) finds the sweet spot at 4 lanes.
+    pub vfu_lanes: usize,
+    /// Core instruction memory capacity in bytes. Paper default: 4 KB.
+    pub instruction_memory_bytes: usize,
+    /// General-purpose register file size in 16-bit words. The paper sizes
+    /// it as `2 × dim × mvmus_per_core` (§3.4.2); [`CoreConfig::default`]
+    /// follows that rule (2 × 128 × 2 = 512 words = 1 KB, matching Table 3).
+    pub register_file_words: usize,
+}
+
+impl CoreConfig {
+    /// XbarIn register words: one input vector slot per MVMU.
+    pub fn xbar_in_words(&self) -> usize {
+        self.mvmu.dim * self.mvmus_per_core
+    }
+
+    /// XbarOut register words: one output vector slot per MVMU.
+    pub fn xbar_out_words(&self) -> usize {
+        self.mvmu.dim * self.mvmus_per_core
+    }
+
+    /// The paper's register-file sizing rule (§3.4.2):
+    /// `2 × crossbar dimension × crossbars per core`.
+    pub fn paper_register_file_words(dim: usize, mvmus_per_core: usize) -> usize {
+        2 * dim * mvmus_per_core
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] if any structural parameter is
+    /// zero, then defers to [`MvmuConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        self.mvmu.validate()?;
+        if self.mvmus_per_core == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "a core needs at least one MVMU".to_string(),
+            });
+        }
+        if self.vfu_lanes == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "VFU must have at least one lane".to_string(),
+            });
+        }
+        if self.register_file_words == 0 || self.instruction_memory_bytes == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "register file and instruction memory must be nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        let mvmu = MvmuConfig::default();
+        CoreConfig {
+            mvmu,
+            mvmus_per_core: 2,
+            vfu_lanes: 1,
+            instruction_memory_bytes: 4 * 1024,
+            register_file_words: CoreConfig::paper_register_file_words(mvmu.dim, 2),
+        }
+    }
+}
+
+/// Configuration of a PUMA tile (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// Per-core parameters.
+    pub core: CoreConfig,
+    /// Number of cores per tile. Paper default: 8.
+    pub cores_per_tile: usize,
+    /// Shared (eDRAM) data memory capacity in bytes. Paper default: 64 KB.
+    pub shared_memory_bytes: usize,
+    /// Tile instruction memory in bytes. Paper default: 8 KB.
+    pub instruction_memory_bytes: usize,
+    /// Number of receive-buffer FIFOs. Paper default: 16.
+    pub receive_fifos: usize,
+    /// Depth of each receive FIFO in entries. Paper default: 2.
+    pub receive_fifo_depth: usize,
+    /// Shared-memory bus width in bits. Paper default: 384.
+    pub memory_bus_bits: usize,
+    /// Attribute-memory entries (valid/count pairs). Paper default: 32 K.
+    pub attribute_entries: usize,
+}
+
+impl TileConfig {
+    /// Shared-memory capacity in 16-bit words.
+    pub fn shared_memory_words(&self) -> usize {
+        self.shared_memory_bytes / 2
+    }
+
+    /// Words the memory bus moves per cycle.
+    pub fn bus_words_per_cycle(&self) -> usize {
+        (self.memory_bus_bits / 16).max(1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] for zero-sized resources, then
+    /// defers to [`CoreConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        self.core.validate()?;
+        if self.cores_per_tile == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "a tile needs at least one core".to_string(),
+            });
+        }
+        if self.shared_memory_bytes == 0
+            || self.receive_fifos == 0
+            || self.receive_fifo_depth == 0
+        {
+            return Err(PumaError::InvalidConfig {
+                what: "tile memories and FIFOs must be nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            core: CoreConfig::default(),
+            cores_per_tile: 8,
+            shared_memory_bytes: 64 * 1024,
+            instruction_memory_bytes: 8 * 1024,
+            receive_fifos: 16,
+            receive_fifo_depth: 2,
+            memory_bus_bits: 384,
+            attribute_entries: 32 * 1024,
+        }
+    }
+}
+
+/// Configuration of a PUMA node (one chip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Per-tile parameters.
+    pub tile: TileConfig,
+    /// Number of tiles per node. Paper default: 138.
+    pub tiles_per_node: usize,
+    /// Clock frequency in MHz. Paper default: 1000 (1 GHz).
+    pub clock_mhz: u64,
+    /// On-chip network flit size in bits. Paper default: 32.
+    pub noc_flit_bits: usize,
+    /// On-chip network latency per hop, in cycles.
+    pub noc_hop_cycles: u64,
+    /// Off-chip link bandwidth in GB/s. Paper default: 6.4 (HyperTransport).
+    pub offchip_gb_per_s: f64,
+}
+
+impl NodeConfig {
+    /// Total cores in the node.
+    pub fn total_cores(&self) -> usize {
+        self.tiles_per_node * self.tile.cores_per_tile
+    }
+
+    /// Total logical MVMUs in the node.
+    pub fn total_mvmus(&self) -> usize {
+        self.total_cores() * self.tile.core.mvmus_per_core
+    }
+
+    /// Weight storage capacity in bytes (every MVMU stores a
+    /// `dim × dim` matrix of 16-bit weights).
+    ///
+    /// With Table 3 defaults this is ~69 MB, matching §1's "A 90mm² PUMA
+    /// node can store ML models with up to 69MB of weight data".
+    pub fn weight_capacity_bytes(&self) -> u64 {
+        let per_mvmu = (self.tile.core.mvmu.dim * self.tile.core.mvmu.dim) as u64
+            * (self.tile.core.mvmu.weight_bits as u64)
+            / 8;
+        self.total_mvmus() as u64 * per_mvmu
+    }
+
+    /// Mesh side length used by the NoC distance model: the smallest square
+    /// that holds all tiles.
+    pub fn mesh_side(&self) -> usize {
+        (self.tiles_per_node as f64).sqrt().ceil() as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] for zero-sized resources, then
+    /// defers to [`TileConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        self.tile.validate()?;
+        if self.tiles_per_node == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "a node needs at least one tile".to_string(),
+            });
+        }
+        if self.clock_mhz == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "clock frequency must be nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            tile: TileConfig::default(),
+            tiles_per_node: 138,
+            clock_mhz: 1000,
+            noc_flit_bits: 32,
+            noc_hop_cycles: 4,
+            offchip_gb_per_s: 6.4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let node = NodeConfig::default();
+        assert_eq!(node.tile.core.mvmu.dim, 128);
+        assert_eq!(node.tile.core.mvmus_per_core, 2);
+        assert_eq!(node.tile.cores_per_tile, 8);
+        assert_eq!(node.tiles_per_node, 138);
+        assert_eq!(node.tile.shared_memory_bytes, 64 * 1024);
+        assert_eq!(node.tile.receive_fifos, 16);
+        assert_eq!(node.tile.receive_fifo_depth, 2);
+        assert_eq!(node.clock_mhz, 1000);
+        assert!(node.validate().is_ok());
+    }
+
+    #[test]
+    fn default_register_file_is_1kb() {
+        // Table 3: register file capacity 1 KB = 512 sixteen-bit words.
+        assert_eq!(CoreConfig::default().register_file_words, 512);
+    }
+
+    #[test]
+    fn sixteen_bit_weights_need_eight_two_bit_slices() {
+        assert_eq!(MvmuConfig::default().slices(), 8);
+    }
+
+    #[test]
+    fn adc_resolution_grows_with_dimension() {
+        let small = MvmuConfig { dim: 64, ..MvmuConfig::default() };
+        let big = MvmuConfig { dim: 256, ..MvmuConfig::default() };
+        assert!(big.adc_bits() > small.adc_bits());
+    }
+
+    #[test]
+    fn node_stores_about_69_megabytes() {
+        let node = NodeConfig::default();
+        let mb = node.weight_capacity_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 69.0).abs() < 1.0, "capacity {mb} MB should be ~69 MB");
+    }
+
+    #[test]
+    fn total_mvmus_counts_hierarchy() {
+        let node = NodeConfig::default();
+        assert_eq!(node.total_cores(), 138 * 8);
+        assert_eq!(node.total_mvmus(), 138 * 8 * 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut m = MvmuConfig::default();
+        m.dim = 100; // not a power of two
+        assert!(m.validate().is_err());
+        m.dim = 0;
+        assert!(m.validate().is_err());
+
+        let mut c = CoreConfig::default();
+        c.mvmus_per_core = 0;
+        assert!(c.validate().is_err());
+
+        let mut t = TileConfig::default();
+        t.receive_fifos = 0;
+        assert!(t.validate().is_err());
+
+        let mut n = NodeConfig::default();
+        n.tiles_per_node = 0;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn bits_per_cell_limited_to_lab_range() {
+        let mut m = MvmuConfig::default();
+        m.bits_per_cell = 7;
+        assert!(m.validate().is_err());
+        m.bits_per_cell = 6;
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn bus_moves_24_words_per_cycle() {
+        assert_eq!(TileConfig::default().bus_words_per_cycle(), 24);
+    }
+
+    #[test]
+    fn mesh_side_covers_tiles() {
+        let node = NodeConfig::default();
+        let side = node.mesh_side();
+        assert!(side * side >= node.tiles_per_node);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types shared across the PUMA workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results with [`PumaError`].
+pub type Result<T> = std::result::Result<T, PumaError>;
+
+/// Errors produced by the PUMA library family.
+///
+/// Downstream crates (`puma-isa`, `puma-compiler`, `puma-sim`, ...) reuse
+/// this type so that cross-crate pipelines compose with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PumaError {
+    /// A tensor or register shape was structurally invalid.
+    InvalidShape {
+        /// Human-readable description of the offending shape.
+        what: String,
+    },
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// An instruction could not be encoded or decoded.
+    Encoding {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A hardware resource limit was exceeded (registers, memory, FIFOs...).
+    ResourceExhausted {
+        /// Name of the exhausted resource.
+        resource: String,
+        /// Requested amount.
+        requested: usize,
+        /// Available capacity.
+        available: usize,
+    },
+    /// The compiler rejected a model graph.
+    Compile {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The simulator detected deadlock (all cores blocked).
+    Deadlock {
+        /// Cycle at which forward progress stopped.
+        cycle: u64,
+        /// Description of the blocked agents.
+        what: String,
+    },
+    /// The simulator encountered a fault while executing a program.
+    Execution {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Configuration parameters were inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for PumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PumaError::InvalidShape { what } => write!(f, "invalid shape: {what}"),
+            PumaError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            PumaError::Encoding { what } => write!(f, "encoding error: {what}"),
+            PumaError::ResourceExhausted { resource, requested, available } => write!(
+                f,
+                "resource exhausted: {resource} (requested {requested}, available {available})"
+            ),
+            PumaError::Compile { what } => write!(f, "compile error: {what}"),
+            PumaError::Deadlock { cycle, what } => {
+                write!(f, "deadlock at cycle {cycle}: {what}")
+            }
+            PumaError::Execution { what } => write!(f, "execution error: {what}"),
+            PumaError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for PumaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            PumaError::InvalidShape { what: "x".into() },
+            PumaError::ShapeMismatch { expected: 1, actual: 2 },
+            PumaError::Encoding { what: "x".into() },
+            PumaError::ResourceExhausted {
+                resource: "registers".into(),
+                requested: 10,
+                available: 5,
+            },
+            PumaError::Compile { what: "x".into() },
+            PumaError::Deadlock { cycle: 7, what: "x".into() },
+            PumaError::Execution { what: "x".into() },
+            PumaError::InvalidConfig { what: "x".into() },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PumaError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn Error> = Box::new(PumaError::Compile { what: "bad".into() });
+        assert!(e.source().is_none());
+    }
+}

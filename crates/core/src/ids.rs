@@ -1,0 +1,172 @@
+//! Newtype identifiers for the spatial hierarchy (node → tile → core → MVMU).
+//!
+//! Using distinct types prevents mixing up, e.g., a tile index with a core
+//! index when routing data through the compiler and simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Creates a new identifier from a raw index.
+            pub const fn new(index: usize) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a node (one chip) in a multi-node system.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// Index of a tile within a node.
+    TileId,
+    "tile"
+);
+id_type!(
+    /// Index of a core within a tile.
+    CoreId,
+    "core"
+);
+id_type!(
+    /// Index of an MVMU within a core.
+    MvmuId,
+    "mvmu"
+);
+
+/// Fully-qualified location of a core inside a node.
+///
+/// # Examples
+///
+/// ```
+/// use puma_core::ids::{CoreLocation, CoreId, TileId};
+/// let loc = CoreLocation::new(TileId::new(3), CoreId::new(1));
+/// assert_eq!(loc.to_string(), "tile3/core1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CoreLocation {
+    /// The tile containing the core.
+    pub tile: TileId,
+    /// The core within that tile.
+    pub core: CoreId,
+}
+
+impl CoreLocation {
+    /// Creates a location from its components.
+    pub const fn new(tile: TileId, core: CoreId) -> Self {
+        CoreLocation { tile, core }
+    }
+
+    /// Flattens to a global core index given the number of cores per tile.
+    pub const fn flat_index(self, cores_per_tile: usize) -> usize {
+        self.tile.index() * cores_per_tile + self.core.index()
+    }
+}
+
+impl fmt::Display for CoreLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.tile, self.core)
+    }
+}
+
+/// Fully-qualified location of an MVMU inside a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct MvmuLocation {
+    /// The tile containing the MVMU.
+    pub tile: TileId,
+    /// The core within that tile.
+    pub core: CoreId,
+    /// The MVMU within that core.
+    pub mvmu: MvmuId,
+}
+
+impl MvmuLocation {
+    /// Creates a location from its components.
+    pub const fn new(tile: TileId, core: CoreId, mvmu: MvmuId) -> Self {
+        MvmuLocation { tile, core, mvmu }
+    }
+
+    /// The core-level location (drops the MVMU index).
+    pub const fn core_location(self) -> CoreLocation {
+        CoreLocation::new(self.tile, self.core)
+    }
+}
+
+impl fmt::Display for MvmuLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.tile, self.core, self.mvmu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TileId::new(5).to_string(), "tile5");
+        assert_eq!(CoreId::new(0).to_string(), "core0");
+        assert_eq!(MvmuId::new(1).to_string(), "mvmu1");
+        assert_eq!(NodeId::new(2).to_string(), "node2");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_usize() {
+        let t: TileId = 7usize.into();
+        let raw: usize = t.into();
+        assert_eq!(raw, 7);
+        assert_eq!(t.index(), 7);
+    }
+
+    #[test]
+    fn core_location_flattens() {
+        let loc = CoreLocation::new(TileId::new(2), CoreId::new(3));
+        assert_eq!(loc.flat_index(8), 19);
+    }
+
+    #[test]
+    fn mvmu_location_projects_to_core() {
+        let loc = MvmuLocation::new(TileId::new(1), CoreId::new(2), MvmuId::new(1));
+        assert_eq!(loc.core_location(), CoreLocation::new(TileId::new(1), CoreId::new(2)));
+        assert_eq!(loc.to_string(), "tile1/core2/mvmu1");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TileId::new(1) < TileId::new(2));
+    }
+}

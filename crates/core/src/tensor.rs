@@ -1,0 +1,386 @@
+//! Dense matrices and vectors used throughout the workspace.
+//!
+//! The compiler manipulates model weights as `f32` matrices
+//! ([`Matrix`]) and the accelerator substrate consumes their fixed-point
+//! quantizations ([`FixedMatrix`], produced by [`Matrix::quantize`]).
+//! Matrices are row-major; an MVM computes `y = W^T x` per the paper's
+//! convention `O[y] = Σ_x I[x] × W[x][y]` (Eq. 1), i.e. `rows` is the input
+//! dimension and `cols` the output dimension.
+
+use crate::error::{PumaError, Result};
+use crate::fixed::{narrow_accumulator, Fixed, FRAC_BITS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major `f32` matrix with `rows` (input dim) × `cols`
+/// (output dim) entries.
+///
+/// # Examples
+///
+/// ```
+/// use puma_core::tensor::Matrix;
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidShape`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(PumaError::InvalidShape {
+                what: "matrix dimensions must be nonzero".to_string(),
+            });
+        }
+        Ok(Matrix { rows, cols, data: vec![0.0; rows * cols] })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidShape`] if `data.len() != rows * cols`
+    /// or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if rows == 0 || cols == 0 || data.len() != rows * cols {
+            return Err(PumaError::InvalidShape {
+                what: format!(
+                    "matrix {}x{} requires {} elements, got {}",
+                    rows,
+                    cols,
+                    rows * cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows (the MVM input dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the MVM output dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true if the matrix has no elements (never true for a
+    /// successfully constructed matrix).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Computes the reference `f32` MVM `y[c] = Σ_r x[r] * W[r][c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != rows`.
+    pub fn mvm(&self, input: &[f32]) -> Result<Vec<f32>> {
+        if input.len() != self.rows {
+            return Err(PumaError::ShapeMismatch {
+                expected: self.rows,
+                actual: input.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.cols];
+        for (r, &x) in input.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row.iter()) {
+                *o += x * w;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts the sub-matrix starting at `(row0, col0)` with the given
+    /// shape, zero-padding past the edges.
+    ///
+    /// Used by the compiler when slicing a weight matrix into
+    /// crossbar-sized tiles with "appropriate padding" (§5.2).
+    pub fn tile(&self, row0: usize, col0: usize, tile_rows: usize, tile_cols: usize) -> Matrix {
+        Matrix::from_fn(tile_rows, tile_cols, |r, c| {
+            let rr = row0 + r;
+            let cc = col0 + c;
+            if rr < self.rows && cc < self.cols {
+                self.get(rr, cc)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Quantizes every element to Q4.12 fixed point.
+    pub fn quantize(&self) -> FixedMatrix {
+        FixedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().copied().map(Fixed::from_f32).collect(),
+        }
+    }
+
+    /// Maximum absolute element (useful for scaling checks).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+/// A dense row-major matrix of Q4.12 fixed-point values.
+///
+/// This is the representation programmed into crossbars.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Fixed>,
+}
+
+impl FixedMatrix {
+    /// Creates a zero-filled fixed-point matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidShape`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(PumaError::InvalidShape {
+                what: "matrix dimensions must be nonzero".to_string(),
+            });
+        }
+        Ok(FixedMatrix { rows, cols, data: vec![Fixed::ZERO; rows * cols] })
+    }
+
+    /// Number of rows (input dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (output dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Fixed {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Fixed) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[Fixed] {
+        &self.data
+    }
+
+    /// Exact fixed-point MVM: 64-bit accumulation, single narrowing at the
+    /// end. This is the *digital reference* against which the analog
+    /// crossbar model (`puma-xbar`) is validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != rows`.
+    pub fn mvm_exact(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
+        if input.len() != self.rows {
+            return Err(PumaError::ShapeMismatch {
+                expected: self.rows,
+                actual: input.len(),
+            });
+        }
+        let mut acc = vec![0i64; self.cols];
+        for (r, &x) in input.iter().enumerate() {
+            let xb = x.to_bits() as i64;
+            if xb == 0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &w) in acc.iter_mut().zip(row.iter()) {
+                *a += xb * w.to_bits() as i64;
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .map(|a| Fixed::from_bits(narrow_accumulator(a, FRAC_BITS)))
+            .collect())
+    }
+
+    /// Dequantizes to an `f32` matrix.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v.to_f32()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FixedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FixedMatrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_rejects_empty_dims() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(FixedMatrix::zeros(0, 1).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(3, 4).unwrap();
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mvm_matches_manual_computation() {
+        // W = [[1, 2], [3, 4]]; x = [10, 100]; y = [1*10+3*100, 2*10+4*100]
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = m.mvm(&[10.0, 100.0]).unwrap();
+        assert_eq!(y, vec![310.0, 420.0]);
+    }
+
+    #[test]
+    fn mvm_rejects_bad_input_length() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        assert!(m.mvm(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn tile_zero_pads_past_edges() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let t = m.tile(2, 2, 2, 2);
+        assert_eq!(t.get(0, 0), 8.0);
+        assert_eq!(t.get(0, 1), 0.0);
+        assert_eq!(t.get(1, 0), 0.0);
+        assert_eq!(t.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrips_within_eps() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r as f32 - c as f32) * 0.1);
+        let back = m.quantize().dequantize();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((m.get(r, c) - back.get(r, c)).abs() < 1.0 / 4096.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_mvm_matches_float_reference_closely() {
+        let m = Matrix::from_fn(8, 8, |r, c| ((r + 2 * c) as f32 * 0.01) - 0.05);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) * 0.1).collect();
+        let yf = m.mvm(&x).unwrap();
+        let xq: Vec<Fixed> = x.iter().map(|&v| Fixed::from_f32(v)).collect();
+        let yq = m.quantize().mvm_exact(&xq).unwrap();
+        for (a, b) in yf.iter().zip(yq.iter()) {
+            assert!((a - b.to_f32()).abs() < 0.01, "{} vs {}", a, b.to_f32());
+        }
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let m = Matrix::from_vec(1, 3, vec![0.5, -2.5, 1.0]).unwrap();
+        assert_eq!(m.max_abs(), 2.5);
+    }
+}

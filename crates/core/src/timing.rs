@@ -1,0 +1,304 @@
+//! Latency and per-event energy models.
+//!
+//! All latencies are in clock cycles at the node clock (1 GHz default, so
+//! one cycle ≡ 1 ns). The two anchors from the paper (§7.4.3):
+//!
+//! - a 128×128 MVMU performs a full 16-bit MVM in **2304 ns** consuming
+//!   **43.97 nJ** (= 19.09 mW × 2304 ns);
+//! - the node's peak throughput is **52.31 TOPS/s**, which for 2208 MVMUs at
+//!   2·16384 ops each implies a pipelined MVM **initiation interval of
+//!   1383 cycles** (the MVMU of Fig. 1 is explicitly "Pipelined").
+//!
+//! Both scale linearly with crossbar dimension (column conversion is
+//! serialized over the shared ADC).
+
+use crate::config::{CoreConfig, NodeConfig, TileConfig};
+use crate::hwmodel::{self, published};
+use serde::{Deserialize, Serialize};
+
+/// MVM latency of the reference 128×128 MVMU in cycles (§7.4.3).
+pub const MVM_LATENCY_128: u64 = 2304;
+
+/// MVM initiation interval of the reference 128×128 MVMU in cycles,
+/// calibrated to the paper's 52.31 TOPS/s node peak.
+pub const MVM_INITIATION_INTERVAL_128: u64 = 1383;
+
+/// Latency/energy calculator bound to a node configuration.
+///
+/// # Examples
+///
+/// ```
+/// use puma_core::config::NodeConfig;
+/// use puma_core::timing::TimingModel;
+/// let t = TimingModel::new(NodeConfig::default());
+/// assert_eq!(t.mvm_latency(), 2304);
+/// assert!((t.mvm_energy_nj() - 43.97).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    node: NodeConfig,
+}
+
+impl TimingModel {
+    /// Binds the model to a configuration.
+    pub fn new(node: NodeConfig) -> Self {
+        TimingModel { node }
+    }
+
+    /// The underlying node configuration.
+    pub fn node(&self) -> &NodeConfig {
+        &self.node
+    }
+
+    fn core(&self) -> &CoreConfig {
+        &self.node.tile.core
+    }
+
+    fn tile(&self) -> &TileConfig {
+        &self.node.tile
+    }
+
+    fn dim_ratio(&self) -> f64 {
+        self.core().mvmu.dim as f64 / 128.0
+    }
+
+    /// Latency of one full-precision MVM in cycles.
+    pub fn mvm_latency(&self) -> u64 {
+        (MVM_LATENCY_128 as f64 * self.dim_ratio()).round() as u64
+    }
+
+    /// Initiation interval of back-to-back MVMs on one MVMU, in cycles.
+    pub fn mvm_initiation_interval(&self) -> u64 {
+        (MVM_INITIATION_INTERVAL_128 as f64 * self.dim_ratio()).round() as u64
+    }
+
+    /// Energy of one full-precision MVM in nanojoules
+    /// (MVMU active power × MVM latency).
+    pub fn mvm_energy_nj(&self) -> f64 {
+        hwmodel::mvmu_area_power(&self.core().mvmu).power_mw * 1e-3 * self.mvm_latency() as f64
+    }
+
+    /// Cycles for a vector ALU operation of `width` elements on the
+    /// temporal-SIMD VFU (§3.3): `ceil(width / lanes)`, minimum one cycle.
+    pub fn vfu_cycles(&self, width: usize) -> u64 {
+        (width.div_ceil(self.core().vfu_lanes)).max(1) as u64
+    }
+
+    /// Energy of a vector ALU operation in nJ.
+    pub fn vfu_energy_nj(&self, width: usize) -> f64 {
+        hwmodel::vfu_area_power(self.core().vfu_lanes).power_mw * 1e-3
+            * self.vfu_cycles(width) as f64
+    }
+
+    /// Cycles for a transcendental lookup of `width` elements through the
+    /// ROM-embedded RAM (§3.4.1). The ROM read sequence (buffer, write-1,
+    /// write-0, read, restore — Fig. 3) costs a small constant per batch of
+    /// lanes; we charge 4 cycles per lane-batch.
+    pub fn transcendental_cycles(&self, width: usize) -> u64 {
+        4 * (width.div_ceil(self.core().vfu_lanes)).max(1) as u64
+    }
+
+    /// Energy of a transcendental lookup in nJ (VFU + register file active).
+    pub fn transcendental_energy_nj(&self, width: usize) -> f64 {
+        (hwmodel::vfu_area_power(self.core().vfu_lanes).power_mw
+            + hwmodel::register_file_area_power(self.core().register_file_words).power_mw)
+            * 1e-3
+            * self.transcendental_cycles(width) as f64
+    }
+
+    /// Cycles for a scalar ALU operation on the SFU.
+    pub fn sfu_cycles(&self) -> u64 {
+        1
+    }
+
+    /// Energy of one scalar ALU op in nJ.
+    pub fn sfu_energy_nj(&self) -> f64 {
+        published::SFU_MW * 1e-3
+    }
+
+    /// Cycles to move `words` 16-bit words between core and tile shared
+    /// memory: eDRAM access latency plus bus occupancy.
+    pub fn shared_memory_cycles(&self, words: usize) -> u64 {
+        let bus = self.tile().bus_words_per_cycle();
+        let occupancy = words.div_ceil(bus) as u64;
+        EDRAM_ACCESS_CYCLES + occupancy
+    }
+
+    /// Energy of a shared-memory transfer of `words` words in nJ.
+    ///
+    /// Unlike the latency model (which includes pipelined eDRAM access
+    /// latency), energy scales with the *data moved*: one row-activation
+    /// cycle per access plus a per-word transfer term. This keeps
+    /// fine-grained accesses (random CNN windows, §2.3.2) from being
+    /// charged idle-latency energy and lets input shuffling's word savings
+    /// show up as energy savings (Table 8).
+    pub fn shared_memory_energy_nj(&self, words: usize) -> f64 {
+        let dmem_ratio = self.tile().shared_memory_bytes as f64 / 65536.0;
+        let power_mw = published::TILE_DMEM_MW * dmem_ratio
+            + published::TILE_BUS_MW
+            + published::TILE_ATTR_MW;
+        power_mw * 1e-3 * (1.0 + words as f64 / 4.0)
+    }
+
+    /// Cycles for register-file/XbarIn/XbarOut copies of `words` words
+    /// (register file is SRAM-speed; one lane-batch per cycle).
+    pub fn copy_cycles(&self, words: usize) -> u64 {
+        (words.div_ceil(self.core().vfu_lanes)).max(1) as u64
+    }
+
+    /// Energy for a register copy in nJ.
+    pub fn copy_energy_nj(&self, words: usize) -> f64 {
+        hwmodel::register_file_area_power(self.core().register_file_words).power_mw * 1e-3
+            * self.copy_cycles(words) as f64
+    }
+
+    /// NoC hop count between two tiles laid out on a square mesh.
+    pub fn noc_hops(&self, from_tile: usize, to_tile: usize) -> u64 {
+        let side = self.node.mesh_side().max(1);
+        let (fx, fy) = (from_tile % side, from_tile / side);
+        let (tx, ty) = (to_tile % side, to_tile / side);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// Cycles to send `words` 16-bit words from one tile to another:
+    /// per-hop wire/router latency plus flit serialization.
+    pub fn send_cycles(&self, words: usize, from_tile: usize, to_tile: usize) -> u64 {
+        let bits = words * 16;
+        let flits = bits.div_ceil(self.node.noc_flit_bits).max(1) as u64;
+        let hops = self.noc_hops(from_tile, to_tile).max(1);
+        hops * self.node.noc_hop_cycles + flits
+    }
+
+    /// Energy to move `words` words over the NoC in nJ
+    /// (per-flit-per-hop energy; Orion-style constant).
+    pub fn send_energy_nj(&self, words: usize, from_tile: usize, to_tile: usize) -> f64 {
+        let bits = words * 16;
+        let flits = bits.div_ceil(self.node.noc_flit_bits).max(1) as u64;
+        let hops = self.noc_hops(from_tile, to_tile).max(1);
+        NOC_FLIT_HOP_ENERGY_NJ * flits as f64 * hops as f64
+            + published::TILE_RBUF_MW * 1e-3 * flits as f64
+    }
+
+    /// Cycles the receiving side spends popping `words` words from a FIFO.
+    pub fn receive_cycles(&self, words: usize) -> u64 {
+        let bits = words * 16;
+        (bits.div_ceil(self.node.noc_flit_bits)).max(1) as u64
+    }
+
+    /// Instruction fetch+decode overhead in cycles (pipelined; charged once
+    /// per instruction).
+    pub fn fetch_decode_cycles(&self) -> u64 {
+        1
+    }
+
+    /// Fetch+decode energy per instruction in nJ (control pipeline +
+    /// instruction memory read).
+    pub fn fetch_decode_energy_nj(&self) -> f64 {
+        (published::CONTROL_PIPELINE_MW
+            + hwmodel::core_imem_area_power(self.core().instruction_memory_bytes).power_mw)
+            * 1e-3
+    }
+
+    /// Off-chip transfer time in cycles for `bytes` bytes.
+    pub fn offchip_cycles(&self, bytes: u64) -> u64 {
+        let ns = bytes as f64 / self.node.offchip_gb_per_s;
+        ns.ceil() as u64
+    }
+
+    /// Off-chip transfer energy in nJ (link power × transfer time).
+    pub fn offchip_energy_nj(&self, bytes: u64) -> f64 {
+        published::OFFCHIP_MW * 1e-3 * self.offchip_cycles(bytes) as f64
+    }
+}
+
+/// eDRAM access latency in cycles (row activation + sense).
+pub const EDRAM_ACCESS_CYCLES: u64 = 4;
+
+/// Energy of moving one flit one hop on the on-chip network, in nJ.
+/// Calibrated against the Table 3 NoC power at representative utilization.
+pub const NOC_FLIT_HOP_ENERGY_NJ: f64 = 0.03;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(NodeConfig::default())
+    }
+
+    #[test]
+    fn mvm_anchors_match_paper() {
+        let t = model();
+        assert_eq!(t.mvm_latency(), 2304);
+        assert_eq!(t.mvm_initiation_interval(), 1383);
+        assert!((t.mvm_energy_nj() - 43.97).abs() < 0.1, "{}", t.mvm_energy_nj());
+    }
+
+    #[test]
+    fn mvm_latency_scales_with_dimension() {
+        let mut cfg = NodeConfig::default();
+        cfg.tile.core.mvmu.dim = 256;
+        let t = TimingModel::new(cfg);
+        assert_eq!(t.mvm_latency(), 4608);
+    }
+
+    #[test]
+    fn temporal_simd_takes_width_over_lanes() {
+        let mut cfg = NodeConfig::default();
+        cfg.tile.core.vfu_lanes = 4;
+        let t = TimingModel::new(cfg);
+        assert_eq!(t.vfu_cycles(128), 32);
+        assert_eq!(t.vfu_cycles(1), 1);
+        assert_eq!(t.vfu_cycles(130), 33);
+    }
+
+    #[test]
+    fn transcendental_slower_than_linear() {
+        let t = model();
+        assert!(t.transcendental_cycles(64) > t.vfu_cycles(64));
+    }
+
+    #[test]
+    fn shared_memory_charges_latency_plus_occupancy() {
+        let t = model();
+        // 24 words/cycle bus: 48 words = 2 cycles occupancy + 4 latency.
+        assert_eq!(t.shared_memory_cycles(48), 6);
+        assert_eq!(t.shared_memory_cycles(1), 5);
+    }
+
+    #[test]
+    fn noc_hops_are_manhattan_distance() {
+        let t = model();
+        assert_eq!(t.noc_hops(0, 0), 0);
+        let side = t.node().mesh_side();
+        assert_eq!(t.noc_hops(0, side - 1), (side - 1) as u64);
+        assert_eq!(t.noc_hops(0, side), 1); // one row down
+    }
+
+    #[test]
+    fn send_cost_grows_with_distance_and_size() {
+        let t = model();
+        assert!(t.send_cycles(128, 0, 1) < t.send_cycles(128, 0, 100));
+        assert!(t.send_cycles(16, 0, 1) < t.send_cycles(256, 0, 1));
+        assert!(t.send_energy_nj(128, 0, 1) < t.send_energy_nj(128, 0, 100));
+    }
+
+    #[test]
+    fn energies_are_positive() {
+        let t = model();
+        assert!(t.vfu_energy_nj(128) > 0.0);
+        assert!(t.sfu_energy_nj() > 0.0);
+        assert!(t.shared_memory_energy_nj(24) > 0.0);
+        assert!(t.copy_energy_nj(128) > 0.0);
+        assert!(t.fetch_decode_energy_nj() > 0.0);
+        assert!(t.transcendental_energy_nj(8) > 0.0);
+    }
+
+    #[test]
+    fn offchip_uses_link_bandwidth() {
+        let t = model();
+        // 6.4 GB/s = 6.4 bytes/ns.
+        assert_eq!(t.offchip_cycles(64), 10);
+        assert!(t.offchip_energy_nj(64) > 0.0);
+    }
+}

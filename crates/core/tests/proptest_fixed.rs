@@ -1,0 +1,127 @@
+//! Property tests on the fixed-point substrate: algebraic sanity under
+//! saturation, conversion bounds, and MVM reference consistency.
+
+use proptest::prelude::*;
+use puma_core::fixed::{dot, Fixed, FRAC_BITS};
+use puma_core::tensor::Matrix;
+
+fn fx() -> impl Strategy<Value = Fixed> {
+    any::<i16>().prop_map(Fixed::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn conversion_error_is_half_ulp(v in -8.0f32..7.999) {
+        let f = Fixed::from_f32(v);
+        prop_assert!((f.to_f32() - v).abs() <= 0.5 / 4096.0 + 1e-6);
+    }
+
+    #[test]
+    fn addition_is_commutative(a in fx(), b in fx()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in fx(), b in fx()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity(a in fx()) {
+        // One ULP of rounding slack at the extremes.
+        let p = a * Fixed::ONE;
+        prop_assert!((p.to_bits() as i32 - a.to_bits() as i32).abs() <= 1);
+    }
+
+    #[test]
+    fn negation_is_involutive_away_from_min(a in (i16::MIN + 1)..=i16::MAX) {
+        let f = Fixed::from_bits(a);
+        prop_assert_eq!(-(-f), f);
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in fx()) {
+        let r = a.relu();
+        prop_assert!(!r.is_negative());
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn min_max_bracket(a in fx(), b in fx()) {
+        prop_assert!(a.min(b) <= a.max(b));
+        prop_assert!(a.min(b) == a || a.min(b) == b);
+    }
+
+    #[test]
+    fn saturating_ops_stay_in_range(a in fx(), b in fx()) {
+        for v in [a + b, a - b, a * b, a / b] {
+            prop_assert!(v >= Fixed::MIN && v <= Fixed::MAX);
+        }
+    }
+
+    #[test]
+    fn dot_matches_f64_reference(
+        xs in prop::collection::vec(-1.0f32..1.0, 1..32),
+        ys in prop::collection::vec(-1.0f32..1.0, 1..32),
+    ) {
+        let n = xs.len().min(ys.len());
+        let a: Vec<Fixed> = xs[..n].iter().map(|&v| Fixed::from_f32(v)).collect();
+        let b: Vec<Fixed> = ys[..n].iter().map(|&v| Fixed::from_f32(v)).collect();
+        let got = dot(&a, &b).to_f32() as f64;
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x.to_f32() as f64 * y.to_f32() as f64).sum();
+        // Accumulation is exact in i64; only the final narrowing rounds.
+        prop_assert!((got - want).abs() < 1.5 / 4096.0);
+    }
+
+    #[test]
+    fn quantized_mvm_tracks_float_mvm(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r * 31 + c * 17) as u64 ^ seed;
+            ((h % 41) as f32 / 41.0 - 0.5) * 0.4
+        });
+        let x: Vec<f32> = (0..rows).map(|i| ((i as u64 ^ seed) % 13) as f32 / 13.0 - 0.5).collect();
+        let want = m.mvm(&x).unwrap();
+        let xq: Vec<Fixed> = x.iter().map(|&v| Fixed::from_f32(v)).collect();
+        let got = m.quantize().mvm_exact(&xq).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            // Error bounded by quantization of inputs/weights.
+            prop_assert!((g.to_f32() - w).abs() < 0.01, "{} vs {}", g.to_f32(), w);
+        }
+    }
+
+    #[test]
+    fn tile_then_reassemble_preserves_matrix(rows in 1usize..20, cols in 1usize..20) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+        let t = 7;
+        for r0 in (0..rows).step_by(t) {
+            for c0 in (0..cols).step_by(t) {
+                let tile = m.tile(r0, c0, t, t);
+                for r in 0..t {
+                    for c in 0..t {
+                        let expect = if r0 + r < rows && c0 + c < cols {
+                            m.get(r0 + r, c0 + c)
+                        } else {
+                            0.0
+                        };
+                        prop_assert_eq!(tile.get(r, c), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrowing_shift_is_monotone(a in any::<i32>(), b in any::<i32>()) {
+        use puma_core::fixed::narrow_accumulator;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            narrow_accumulator(lo as i64, FRAC_BITS) <= narrow_accumulator(hi as i64, FRAC_BITS)
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Textual assembler and disassembler for PUMA programs.
+//!
+//! The format is line-oriented; `#` starts a comment. One instruction per
+//! line:
+//!
+//! ```text
+//! mvm 3 5 1            # mask filter stride
+//! add r0 xo0 r128 128  # binary vector op: dest src1 src2 width
+//! tanh r0 xo0 128      # unary vector op: dest src width
+//! muli r0 r0 0.5 64    # vector-immediate: dest src imm width
+//! iadd r0 r1 r2        # scalar op: dest src1 src2
+//! set r0 -42
+//! copy xi0 xo0 128
+//! load r0 @70000 16
+//! load r0 @4+r3 1      # register-indexed address
+//! store @123 r7 2 128  # addr src count width
+//! send @0 f15 t137 128 # addr fifo target width
+//! recv @256 f3 1 128   # addr fifo count width
+//! jmp 12
+//! brn lt r7 xi0 99
+//! halt
+//! ```
+
+use crate::instr::{AluImmOp, AluOp, BranchCond, Instruction, MemAddr, MvmuMask, ScalarOp};
+use crate::reg::{parse_reg, RegRef};
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+
+/// Formats one instruction in assembly syntax.
+pub fn format_instruction(instr: &Instruction) -> String {
+    match *instr {
+        Instruction::Mvm { mask, filter, stride } => {
+            format!("mvm {} {} {}", mask.0, filter, stride)
+        }
+        Instruction::Alu { op, dest, src1, src2, width } => {
+            if op.is_unary() {
+                format!("{} {} {} {}", op.mnemonic(), dest, src1, width)
+            } else {
+                format!("{} {} {} {} {}", op.mnemonic(), dest, src1, src2, width)
+            }
+        }
+        Instruction::AluImm { op, dest, src1, imm, width } => {
+            format!("{} {} {} {} {}", op.mnemonic(), dest, src1, imm.to_f32(), width)
+        }
+        Instruction::AluInt { op, dest, src1, src2 } => {
+            format!("{} {} {} {}", op.mnemonic(), dest, src1, src2)
+        }
+        Instruction::Set { dest, imm } => format!("set {dest} {imm}"),
+        Instruction::Copy { dest, src, width } => format!("copy {dest} {src} {width}"),
+        Instruction::Load { dest, addr, width } => format!("load {dest} {addr} {width}"),
+        Instruction::Store { addr, src, count, width } => {
+            format!("store {addr} {src} {count} {width}")
+        }
+        Instruction::Send { addr, fifo, target, width } => {
+            format!("send {addr} f{fifo} t{target} {width}")
+        }
+        Instruction::Receive { addr, fifo, count, width } => {
+            format!("recv {addr} f{fifo} {count} {width}")
+        }
+        Instruction::Jump { pc } => format!("jmp {pc}"),
+        Instruction::Branch { cond, src1, src2, pc } => {
+            format!("brn {} {} {} {}", cond.mnemonic(), src1, src2, pc)
+        }
+        Instruction::Halt => "halt".to_string(),
+    }
+}
+
+/// Formats a whole program, one instruction per line.
+pub fn disassemble(instrs: &[Instruction]) -> String {
+    let mut out = String::new();
+    for i in instrs {
+        out.push_str(&format_instruction(i));
+        out.push('\n');
+    }
+    out
+}
+
+fn err(line_no: usize, what: impl Into<String>) -> PumaError {
+    PumaError::Encoding { what: format!("line {}: {}", line_no + 1, what.into()) }
+}
+
+fn parse_mem(tok: &str, line_no: usize) -> Result<MemAddr> {
+    let body = tok
+        .strip_prefix('@')
+        .ok_or_else(|| err(line_no, format!("expected @address, got {tok:?}")))?;
+    match body.split_once('+') {
+        None => {
+            let base = body.parse().map_err(|_| err(line_no, format!("bad address {tok:?}")))?;
+            Ok(MemAddr::absolute(base))
+        }
+        Some((base, reg)) => {
+            let base = base.parse().map_err(|_| err(line_no, format!("bad address {tok:?}")))?;
+            Ok(MemAddr::indexed(base, parse_reg(reg)?))
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, line_no: usize, what: &str) -> Result<T> {
+    tok.parse().map_err(|_| err(line_no, format!("bad {what}: {tok:?}")))
+}
+
+fn parse_reg_tok(tok: &str, line_no: usize) -> Result<RegRef> {
+    parse_reg(tok).map_err(|e| err(line_no, e.to_string()))
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Option<Instruction>> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let mnemonic = toks[0];
+    let args = &toks[1..];
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line_no, format!("{mnemonic} expects {n} operands, got {}", args.len())))
+        }
+    };
+
+    if let Some(&op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        return if op.is_unary() {
+            need(3)?;
+            let dest = parse_reg_tok(args[0], line_no)?;
+            let src1 = parse_reg_tok(args[1], line_no)?;
+            Ok(Some(Instruction::Alu {
+                op,
+                dest,
+                src1,
+                src2: src1,
+                width: parse_num(args[2], line_no, "width")?,
+            }))
+        } else {
+            need(4)?;
+            Ok(Some(Instruction::Alu {
+                op,
+                dest: parse_reg_tok(args[0], line_no)?,
+                src1: parse_reg_tok(args[1], line_no)?,
+                src2: parse_reg_tok(args[2], line_no)?,
+                width: parse_num(args[3], line_no, "width")?,
+            }))
+        };
+    }
+    if let Some(&op) = AluImmOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        need(4)?;
+        let imm: f32 = parse_num(args[2], line_no, "immediate")?;
+        return Ok(Some(Instruction::AluImm {
+            op,
+            dest: parse_reg_tok(args[0], line_no)?,
+            src1: parse_reg_tok(args[1], line_no)?,
+            imm: Fixed::from_f32(imm),
+            width: parse_num(args[3], line_no, "width")?,
+        }));
+    }
+    if let Some(&op) = ScalarOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        need(3)?;
+        return Ok(Some(Instruction::AluInt {
+            op,
+            dest: parse_reg_tok(args[0], line_no)?,
+            src1: parse_reg_tok(args[1], line_no)?,
+            src2: parse_reg_tok(args[2], line_no)?,
+        }));
+    }
+
+    let instr = match mnemonic {
+        "mvm" => {
+            need(3)?;
+            Instruction::Mvm {
+                mask: MvmuMask(parse_num(args[0], line_no, "mask")?),
+                filter: parse_num(args[1], line_no, "filter")?,
+                stride: parse_num(args[2], line_no, "stride")?,
+            }
+        }
+        "set" => {
+            need(2)?;
+            Instruction::Set {
+                dest: parse_reg_tok(args[0], line_no)?,
+                imm: parse_num(args[1], line_no, "immediate")?,
+            }
+        }
+        "copy" => {
+            need(3)?;
+            Instruction::Copy {
+                dest: parse_reg_tok(args[0], line_no)?,
+                src: parse_reg_tok(args[1], line_no)?,
+                width: parse_num(args[2], line_no, "width")?,
+            }
+        }
+        "load" => {
+            need(3)?;
+            Instruction::Load {
+                dest: parse_reg_tok(args[0], line_no)?,
+                addr: parse_mem(args[1], line_no)?,
+                width: parse_num(args[2], line_no, "width")?,
+            }
+        }
+        "store" => {
+            need(4)?;
+            Instruction::Store {
+                addr: parse_mem(args[0], line_no)?,
+                src: parse_reg_tok(args[1], line_no)?,
+                count: parse_num(args[2], line_no, "count")?,
+                width: parse_num(args[3], line_no, "width")?,
+            }
+        }
+        "send" => {
+            need(4)?;
+            let fifo: u8 = args[1]
+                .strip_prefix('f')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line_no, format!("bad fifo {:?}", args[1])))?;
+            let target: u16 = args[2]
+                .strip_prefix('t')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line_no, format!("bad target {:?}", args[2])))?;
+            Instruction::Send {
+                addr: parse_mem(args[0], line_no)?,
+                fifo,
+                target,
+                width: parse_num(args[3], line_no, "width")?,
+            }
+        }
+        "recv" => {
+            need(4)?;
+            let fifo: u8 = args[1]
+                .strip_prefix('f')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line_no, format!("bad fifo {:?}", args[1])))?;
+            Instruction::Receive {
+                addr: parse_mem(args[0], line_no)?,
+                fifo,
+                count: parse_num(args[2], line_no, "count")?,
+                width: parse_num(args[3], line_no, "width")?,
+            }
+        }
+        "jmp" => {
+            need(1)?;
+            Instruction::Jump { pc: parse_num(args[0], line_no, "pc")? }
+        }
+        "brn" => {
+            need(4)?;
+            let cond = BranchCond::ALL
+                .iter()
+                .find(|c| c.mnemonic() == args[0])
+                .copied()
+                .ok_or_else(|| err(line_no, format!("bad condition {:?}", args[0])))?;
+            Instruction::Branch {
+                cond,
+                src1: parse_reg_tok(args[1], line_no)?,
+                src2: parse_reg_tok(args[2], line_no)?,
+                pc: parse_num(args[3], line_no, "pc")?,
+            }
+        }
+        "halt" => {
+            need(0)?;
+            Instruction::Halt
+        }
+        other => return Err(err(line_no, format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(Some(instr))
+}
+
+/// Parses an assembly listing into instructions.
+///
+/// # Errors
+///
+/// Returns [`PumaError::Encoding`] with a line number for the first
+/// syntactically invalid line.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> puma_core::Result<()> {
+/// let program = puma_isa::asm::assemble("set r0 5\nhalt\n")?;
+/// assert_eq!(program.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instruction>> {
+    let mut out = Vec::new();
+    for (line_no, line) in source.lines().enumerate() {
+        if let Some(instr) = parse_line(line, line_no)? {
+            out.push(instr);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RegRef;
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let source = "\
+mvm 3 5 1
+add r0 xo0 r128 128
+tanh r0 xo0 128
+muli r0 r0 0.5 64
+iadd r0 r1 r2
+set r0 -42
+copy xi0 xo0 128
+load r0 @70000 16
+load r0 @4+r3 1
+store @123 r7 2 128
+send @0 f15 t137 128
+recv @256 f3 1 128
+jmp 12
+brn lt r7 xi0 99
+halt
+";
+        let instrs = assemble(source).unwrap();
+        assert_eq!(instrs.len(), 15);
+        let text = disassemble(&instrs);
+        let again = assemble(&text).unwrap();
+        assert_eq!(instrs, again);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let instrs = assemble("# full comment\n\nhalt # trailing\n").unwrap();
+        assert_eq!(instrs, vec![Instruction::Halt]);
+    }
+
+    #[test]
+    fn unary_ops_omit_second_source() {
+        let instrs = assemble("relu r0 xo4 32\n").unwrap();
+        match instrs[0] {
+            Instruction::Alu { op: AluOp::Relu, dest, src1, width, .. } => {
+                assert_eq!(dest, RegRef::general(0));
+                assert_eq!(src1, RegRef::xbar_out(4));
+                assert_eq!(width, 32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("halt\nbogus r0\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(assemble("add r0 r1 128\n").is_err());
+        assert!(assemble("halt now\n").is_err());
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        assert!(assemble("load r0 1234 4\n").is_err()); // missing @
+        assert!(assemble("send @0 15 t1 4\n").is_err()); // missing f
+        assert!(assemble("brn zz r0 r1 4\n").is_err()); // bad condition
+    }
+}

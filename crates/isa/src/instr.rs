@@ -1,0 +1,629 @@
+//! The PUMA instruction set (Table 2 of the paper).
+//!
+//! Compute: [`Instruction::Mvm`], [`Instruction::Alu`],
+//! [`Instruction::AluImm`], [`Instruction::AluInt`].
+//! Intra-core data movement: [`Instruction::Set`], [`Instruction::Copy`].
+//! Intra-tile data movement: [`Instruction::Load`], [`Instruction::Store`].
+//! Intra-node data movement: [`Instruction::Send`], [`Instruction::Receive`].
+//! Control: [`Instruction::Jump`], [`Instruction::Branch`], plus
+//! [`Instruction::Halt`] to terminate a stream (an implementation necessity
+//! the paper leaves implicit).
+
+use crate::reg::RegRef;
+use puma_core::fixed::Fixed;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Vector ALU operations executed by the VFU (Table 2 "ALU" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise division.
+    Div,
+    /// Arithmetic left shift by `src2` bits.
+    Shl,
+    /// Arithmetic right shift by `src2` bits.
+    Shr,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise inversion (unary).
+    Not,
+    /// Rectified linear unit (unary nonlinear).
+    Relu,
+    /// Logistic sigmoid (unary transcendental, ROM-embedded RAM lookup).
+    Sigmoid,
+    /// Hyperbolic tangent (unary transcendental).
+    Tanh,
+    /// Natural logarithm (unary transcendental).
+    Log,
+    /// Exponential (unary transcendental).
+    Exp,
+    /// Fill destination with pseudo-random values ("random vector").
+    Rand,
+    /// Keep every `src2`-th element ("subsampling").
+    Subsample,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl AluOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluOp; 18] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Not,
+        AluOp::Relu,
+        AluOp::Sigmoid,
+        AluOp::Tanh,
+        AluOp::Log,
+        AluOp::Exp,
+        AluOp::Rand,
+        AluOp::Subsample,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+
+    /// True for operations evaluated through the ROM-embedded RAM lookup
+    /// tables (§3.4.1): the transcendental functions.
+    pub const fn is_transcendental(self) -> bool {
+        matches!(self, AluOp::Sigmoid | AluOp::Tanh | AluOp::Log | AluOp::Exp)
+    }
+
+    /// True for operations that read only `src1` (no second vector operand).
+    pub const fn is_unary(self) -> bool {
+        matches!(
+            self,
+            AluOp::Not
+                | AluOp::Relu
+                | AluOp::Sigmoid
+                | AluOp::Tanh
+                | AluOp::Log
+                | AluOp::Exp
+                | AluOp::Rand
+        )
+    }
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Not => "not",
+            AluOp::Relu => "relu",
+            AluOp::Sigmoid => "sigmoid",
+            AluOp::Tanh => "tanh",
+            AluOp::Log => "log",
+            AluOp::Exp => "exp",
+            AluOp::Rand => "rand",
+            AluOp::Subsample => "subsample",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        }
+    }
+}
+
+/// Vector-immediate ALU operations (Table 2 "ALUimm" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluImmOp {
+    /// Add the immediate to every element.
+    Add,
+    /// Subtract the immediate from every element.
+    Sub,
+    /// Multiply every element by the immediate.
+    Mul,
+    /// Divide every element by the immediate.
+    Div,
+}
+
+impl AluImmOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluImmOp; 4] = [AluImmOp::Add, AluImmOp::Sub, AluImmOp::Mul, AluImmOp::Div];
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Add => "addi",
+            AluImmOp::Sub => "subi",
+            AluImmOp::Mul => "muli",
+            AluImmOp::Div => "divi",
+        }
+    }
+}
+
+/// Scalar integer operations executed by the SFU (Table 2 "ALUint" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Set destination to 1 if equal, else 0.
+    Eq,
+    /// Set destination to 1 if `src1 > src2`, else 0.
+    Gt,
+    /// Set destination to 1 if not equal, else 0.
+    Ne,
+}
+
+impl ScalarOp {
+    /// All operations, in encoding order.
+    pub const ALL: [ScalarOp; 5] =
+        [ScalarOp::Add, ScalarOp::Sub, ScalarOp::Eq, ScalarOp::Gt, ScalarOp::Ne];
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ScalarOp::Add => "iadd",
+            ScalarOp::Sub => "isub",
+            ScalarOp::Eq => "ieq",
+            ScalarOp::Gt => "igt",
+            ScalarOp::Ne => "ine",
+        }
+    }
+}
+
+/// Branch conditions for [`Instruction::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Taken if `src1 == src2`.
+    Eq,
+    /// Taken if `src1 != src2`.
+    Ne,
+    /// Taken if `src1 < src2` (signed).
+    Lt,
+    /// Taken if `src1 <= src2` (signed).
+    Le,
+    /// Taken if `src1 > src2` (signed).
+    Gt,
+    /// Taken if `src1 >= src2` (signed).
+    Ge,
+}
+
+impl BranchCond {
+    /// All conditions, in encoding order.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Le,
+        BranchCond::Gt,
+        BranchCond::Ge,
+    ];
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "eq",
+            BranchCond::Ne => "ne",
+            BranchCond::Lt => "lt",
+            BranchCond::Le => "le",
+            BranchCond::Gt => "gt",
+            BranchCond::Ge => "ge",
+        }
+    }
+
+    /// Evaluates the condition on two signed 16-bit values.
+    pub fn eval(self, a: i16, b: i16) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+}
+
+/// Bitmask selecting which of a core's MVMUs an MVM instruction activates
+/// (§3.2.4: one MVM instruction can run several MVMUs at once, which is how
+/// the compiler's MVM coalescing pays off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MvmuMask(pub u8);
+
+impl MvmuMask {
+    /// Mask activating only MVMU `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn single(index: usize) -> Self {
+        assert!(index < 8, "MVMU index out of mask range");
+        MvmuMask(1 << index)
+    }
+
+    /// True if MVMU `index` is activated.
+    pub const fn contains(self, index: usize) -> bool {
+        self.0 & (1 << index) != 0
+    }
+
+    /// Number of activated MVMUs.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Union of two masks (the coalescing operation).
+    pub const fn union(self, other: MvmuMask) -> MvmuMask {
+        MvmuMask(self.0 | other.0)
+    }
+
+    /// Iterates over activated MVMU indices.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..8).filter(move |&i| self.contains(i))
+    }
+}
+
+impl fmt::Display for MvmuMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04b}", self.0)
+    }
+}
+
+/// A memory operand: an immediate word address in tile shared memory, plus
+/// an optional index register for computed (random) access (§2.3.2 requires
+/// fine-grain random access for CNN pooling/normalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAddr {
+    /// Immediate base word address.
+    pub base: u32,
+    /// Optional register whose value is added to the base.
+    pub index: Option<RegRef>,
+}
+
+impl MemAddr {
+    /// An absolute (immediate-only) address.
+    pub const fn absolute(base: u32) -> Self {
+        MemAddr { base, index: None }
+    }
+
+    /// A base + register-indexed address.
+    pub const fn indexed(base: u32, index: RegRef) -> Self {
+        MemAddr { base, index: Some(index) }
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            None => write!(f, "@{}", self.base),
+            Some(reg) => write!(f, "@{}+{}", self.base, reg),
+        }
+    }
+}
+
+/// One PUMA instruction (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Matrix-vector multiplication on the MVMUs selected by `mask`.
+    ///
+    /// `filter`/`stride` implement input shuffling (§3.2.3): the DAC array
+    /// reads XbarIn rotated left by `stride` positions, and only the first
+    /// `filter` rows are driven when `filter` is nonzero (rows past the
+    /// filter see zero input).
+    Mvm {
+        /// Which MVMUs to activate.
+        mask: MvmuMask,
+        /// Active-row count (0 means all rows).
+        filter: u16,
+        /// Left-rotation applied to XbarIn before the DACs.
+        stride: u16,
+    },
+    /// Vector operation of `width` elements on the VFU.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination base register.
+        dest: RegRef,
+        /// First source base register.
+        src1: RegRef,
+        /// Second source base register (ignored by unary ops).
+        src2: RegRef,
+        /// Vector width in elements (temporal SIMD, §3.3).
+        width: u16,
+    },
+    /// Vector-immediate operation of `width` elements on the VFU.
+    AluImm {
+        /// Operation.
+        op: AluImmOp,
+        /// Destination base register.
+        dest: RegRef,
+        /// Source base register.
+        src1: RegRef,
+        /// Fixed-point immediate.
+        imm: Fixed,
+        /// Vector width in elements.
+        width: u16,
+    },
+    /// Scalar integer operation on the SFU.
+    AluInt {
+        /// Operation.
+        op: ScalarOp,
+        /// Destination register.
+        dest: RegRef,
+        /// First source register.
+        src1: RegRef,
+        /// Second source register.
+        src2: RegRef,
+    },
+    /// Register initialization with a raw 16-bit immediate.
+    Set {
+        /// Destination register.
+        dest: RegRef,
+        /// Immediate bits.
+        imm: i16,
+    },
+    /// Register-to-register vector copy (e.g. XbarOut → XbarIn between
+    /// layers, or spills between general registers and Xbar registers).
+    Copy {
+        /// Destination base register.
+        dest: RegRef,
+        /// Source base register.
+        src: RegRef,
+        /// Vector width in elements.
+        width: u16,
+    },
+    /// Load `width` words from tile shared memory into registers.
+    /// Blocks until every word is valid (§4.1.1).
+    Load {
+        /// Destination base register.
+        dest: RegRef,
+        /// Source address.
+        addr: MemAddr,
+        /// Vector width in words.
+        width: u16,
+    },
+    /// Store `width` words from registers into tile shared memory, marking
+    /// each word valid with consumer count `count` (§4.1.1: "write (set
+    /// count)"). Blocks while any destination word is still valid.
+    Store {
+        /// Destination address.
+        addr: MemAddr,
+        /// Source base register.
+        src: RegRef,
+        /// Attribute-buffer consumer count for the written words.
+        count: u16,
+        /// Vector width in words.
+        width: u16,
+    },
+    /// Tile-level: read `width` words from shared memory and send them to
+    /// FIFO `fifo` of tile `target`.
+    Send {
+        /// Source address in the sending tile's shared memory.
+        addr: MemAddr,
+        /// Destination FIFO id in the receiving tile.
+        fifo: u8,
+        /// Destination tile index.
+        target: u16,
+        /// Vector width in words.
+        width: u16,
+    },
+    /// Tile-level: pop `width` words from FIFO `fifo` and write them to
+    /// shared memory with consumer count `count`.
+    Receive {
+        /// Destination address in this tile's shared memory.
+        addr: MemAddr,
+        /// Source FIFO id.
+        fifo: u8,
+        /// Attribute-buffer consumer count for the written words.
+        count: u16,
+        /// Vector width in words.
+        width: u16,
+    },
+    /// Unconditional jump to absolute instruction index `pc`.
+    Jump {
+        /// Target instruction index.
+        pc: u32,
+    },
+    /// Conditional jump to absolute instruction index `pc`.
+    Branch {
+        /// Condition evaluated on `src1`, `src2`.
+        cond: BranchCond,
+        /// First compared register.
+        src1: RegRef,
+        /// Second compared register.
+        src2: RegRef,
+        /// Target instruction index when taken.
+        pc: u32,
+    },
+    /// Terminates the instruction stream.
+    Halt,
+}
+
+/// Execution-unit categories used by the paper's Fig. 4 static-instruction
+/// breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstructionCategory {
+    /// send/receive (inter-tile data transfer).
+    InterTile,
+    /// load/store (inter-core data transfer through shared memory).
+    InterCore,
+    /// jmp/brn.
+    ControlFlow,
+    /// Scalar functional unit (alu-int, set).
+    Sfu,
+    /// Vector functional unit (alu, alu-imm, copy).
+    Vfu,
+    /// MVM unit (crossbar).
+    Mvm,
+}
+
+impl InstructionCategory {
+    /// All categories in Fig. 4 order.
+    pub const ALL: [InstructionCategory; 6] = [
+        InstructionCategory::InterTile,
+        InstructionCategory::InterCore,
+        InstructionCategory::ControlFlow,
+        InstructionCategory::Sfu,
+        InstructionCategory::Vfu,
+        InstructionCategory::Mvm,
+    ];
+
+    /// Display label matching the paper's legend.
+    pub const fn label(self) -> &'static str {
+        match self {
+            InstructionCategory::InterTile => "Inter-Tile Data Transfer",
+            InstructionCategory::InterCore => "Inter-Core Data Transfer",
+            InstructionCategory::ControlFlow => "Control Flow",
+            InstructionCategory::Sfu => "Scalar Functional Unit",
+            InstructionCategory::Vfu => "Vector Functional Unit",
+            InstructionCategory::Mvm => "MVM Unit (crossbar)",
+        }
+    }
+}
+
+impl Instruction {
+    /// The execution-unit category of this instruction (Fig. 4).
+    ///
+    /// `copy` occupies the vector datapath and counts as VFU; `set` executes
+    /// on the scalar unit; `halt` is counted as control flow.
+    pub const fn category(&self) -> InstructionCategory {
+        match self {
+            Instruction::Mvm { .. } => InstructionCategory::Mvm,
+            Instruction::Alu { .. } | Instruction::AluImm { .. } | Instruction::Copy { .. } => {
+                InstructionCategory::Vfu
+            }
+            Instruction::AluInt { .. } | Instruction::Set { .. } => InstructionCategory::Sfu,
+            Instruction::Load { .. } | Instruction::Store { .. } => InstructionCategory::InterCore,
+            Instruction::Send { .. } | Instruction::Receive { .. } => {
+                InstructionCategory::InterTile
+            }
+            Instruction::Jump { .. } | Instruction::Branch { .. } | Instruction::Halt => {
+                InstructionCategory::ControlFlow
+            }
+        }
+    }
+
+    /// True for instructions that may block on inter-core/tile
+    /// synchronization (used by deadlock analysis).
+    pub const fn may_block(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Load { .. }
+                | Instruction::Store { .. }
+                | Instruction::Send { .. }
+                | Instruction::Receive { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcendental_classification() {
+        assert!(AluOp::Sigmoid.is_transcendental());
+        assert!(AluOp::Tanh.is_transcendental());
+        assert!(!AluOp::Add.is_transcendental());
+        assert!(!AluOp::Relu.is_transcendental());
+    }
+
+    #[test]
+    fn unary_classification() {
+        assert!(AluOp::Relu.is_unary());
+        assert!(AluOp::Exp.is_unary());
+        assert!(!AluOp::Min.is_unary());
+        assert!(!AluOp::Subsample.is_unary());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+        for op in AluImmOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in ScalarOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn branch_conditions_evaluate() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(-1, 0));
+        assert!(BranchCond::Le.eval(0, 0));
+        assert!(BranchCond::Gt.eval(5, 4));
+        assert!(BranchCond::Ge.eval(4, 4));
+        assert!(!BranchCond::Lt.eval(1, 0));
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = MvmuMask::single(0).union(MvmuMask::single(1));
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(0) && m.contains(1) && !m.contains(2));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MVMU index out of mask range")]
+    fn mask_index_bounds() {
+        let _ = MvmuMask::single(8);
+    }
+
+    #[test]
+    fn categories_cover_fig4() {
+        use crate::reg::RegRef;
+        let r = RegRef::general(0);
+        assert_eq!(
+            Instruction::Mvm { mask: MvmuMask(1), filter: 0, stride: 0 }.category(),
+            InstructionCategory::Mvm
+        );
+        assert_eq!(
+            Instruction::Alu { op: AluOp::Add, dest: r, src1: r, src2: r, width: 4 }.category(),
+            InstructionCategory::Vfu
+        );
+        assert_eq!(
+            Instruction::AluInt { op: ScalarOp::Add, dest: r, src1: r, src2: r }.category(),
+            InstructionCategory::Sfu
+        );
+        assert_eq!(
+            Instruction::Load { dest: r, addr: MemAddr::absolute(0), width: 1 }.category(),
+            InstructionCategory::InterCore
+        );
+        assert_eq!(
+            Instruction::Send { addr: MemAddr::absolute(0), fifo: 0, target: 0, width: 1 }
+                .category(),
+            InstructionCategory::InterTile
+        );
+        assert_eq!(Instruction::Halt.category(), InstructionCategory::ControlFlow);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        let r = RegRef::general(0);
+        assert!(Instruction::Load { dest: r, addr: MemAddr::absolute(0), width: 1 }.may_block());
+        assert!(!Instruction::Jump { pc: 0 }.may_block());
+    }
+
+    #[test]
+    fn mem_addr_displays() {
+        assert_eq!(MemAddr::absolute(42).to_string(), "@42");
+        assert_eq!(MemAddr::indexed(8, RegRef::general(3)).to_string(), "@8+r3");
+    }
+}

@@ -1,0 +1,337 @@
+//! Program containers: everything needed to configure and run a node.
+//!
+//! A compiled model is a [`MachineImage`]: per-tile [`TileImage`]s (tile
+//! program + per-core [`CoreImage`]s with programs and crossbar weights)
+//! plus host I/O bindings describing where inputs are written and outputs
+//! read in tile shared memory.
+
+use crate::encode::{encode_stream, INSTRUCTION_BYTES};
+use crate::instr::{Instruction, InstructionCategory};
+use puma_core::error::{PumaError, Result};
+use puma_core::ids::{CoreId, TileId};
+use puma_core::tensor::FixedMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An instruction stream with validation and statistics helpers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The instructions, executed from index 0.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Wraps an instruction vector.
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends an instruction and returns its index.
+    pub fn push(&mut self, instr: Instruction) -> usize {
+        self.instructions.push(instr);
+        self.instructions.len() - 1
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.instructions.len() * INSTRUCTION_BYTES
+    }
+
+    /// Encodes to the binary representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures (see [`crate::encode::encode`]).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        encode_stream(&self.instructions)
+    }
+
+    /// Histogram of instructions by execution-unit category (Fig. 4).
+    pub fn category_histogram(&self) -> BTreeMap<InstructionCategory, usize> {
+        let mut hist = BTreeMap::new();
+        for i in &self.instructions {
+            *hist.entry(i.category()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Structural validation: control-flow targets must be in range and the
+    /// final reachable instruction path should be able to halt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Compile`] for out-of-range branch targets or a
+    /// nonempty program lacking any `halt`.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.instructions.len() as u32;
+        for (idx, instr) in self.instructions.iter().enumerate() {
+            let target = match instr {
+                Instruction::Jump { pc } => Some(*pc),
+                Instruction::Branch { pc, .. } => Some(*pc),
+                _ => None,
+            };
+            if let Some(pc) = target {
+                if pc >= n {
+                    return Err(PumaError::Compile {
+                        what: format!("instruction {idx}: branch target {pc} out of range ({n})"),
+                    });
+                }
+            }
+        }
+        if !self.instructions.is_empty()
+            && !self.instructions.iter().any(|i| matches!(i, Instruction::Halt))
+        {
+            return Err(PumaError::Compile { what: "program never halts".to_string() });
+        }
+        Ok(())
+    }
+}
+
+/// Program plus crossbar contents for one core.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreImage {
+    /// The core's instruction stream.
+    pub program: Program,
+    /// Weight matrix programmed into each MVMU (None = unused MVMU).
+    /// Written once at configuration time (§3.2.5) and read-only during
+    /// execution.
+    pub mvmu_weights: Vec<Option<FixedMatrix>>,
+}
+
+impl CoreImage {
+    /// Creates an image with `mvmus` empty weight slots.
+    pub fn new(mvmus: usize) -> Self {
+        CoreImage { program: Program::new(), mvmu_weights: vec![None; mvmus] }
+    }
+
+    /// Number of MVMUs holding weights.
+    pub fn used_mvmus(&self) -> usize {
+        self.mvmu_weights.iter().filter(|w| w.is_some()).count()
+    }
+}
+
+/// Tile program plus its cores.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TileImage {
+    /// The tile control unit's send/receive stream (§4: "The tile
+    /// instruction memory holds send and receive instructions").
+    pub program: Program,
+    /// Core images, indexed by [`CoreId`].
+    pub cores: Vec<CoreImage>,
+}
+
+impl TileImage {
+    /// Creates a tile image with `cores` cores of `mvmus` MVMUs each.
+    pub fn new(cores: usize, mvmus: usize) -> Self {
+        TileImage { program: Program::new(), cores: (0..cores).map(|_| CoreImage::new(mvmus)).collect() }
+    }
+}
+
+/// Where the host reads or writes a named vector in tile shared memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoBinding {
+    /// Vector name from the model graph.
+    pub name: String,
+    /// Tile whose shared memory holds the vector.
+    pub tile: TileId,
+    /// Word address of the first element.
+    pub addr: u32,
+    /// Number of 16-bit words.
+    pub width: usize,
+    /// Consumer count the host writes with (inputs only); outputs use 1.
+    pub count: u16,
+}
+
+/// A fully configured node: everything the simulator needs to run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MachineImage {
+    /// Tile images, indexed by [`TileId`].
+    pub tiles: Vec<TileImage>,
+    /// Host-written input vectors.
+    pub inputs: Vec<IoBinding>,
+    /// Host-read output vectors.
+    pub outputs: Vec<IoBinding>,
+}
+
+impl MachineImage {
+    /// Creates an image with the given hierarchy dimensions.
+    pub fn new(tiles: usize, cores_per_tile: usize, mvmus_per_core: usize) -> Self {
+        MachineImage {
+            tiles: (0..tiles).map(|_| TileImage::new(cores_per_tile, mvmus_per_core)).collect(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Mutable access to a core image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn core_mut(&mut self, tile: TileId, core: CoreId) -> &mut CoreImage {
+        &mut self.tiles[tile.index()].cores[core.index()]
+    }
+
+    /// Shared access to a core image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn core(&self, tile: TileId, core: CoreId) -> &CoreImage {
+        &self.tiles[tile.index()].cores[core.index()]
+    }
+
+    /// Total static instructions across all tile and core programs.
+    pub fn total_instructions(&self) -> usize {
+        self.tiles
+            .iter()
+            .map(|t| {
+                t.program.len() + t.cores.iter().map(|c| c.program.len()).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whole-image category histogram (Fig. 4 input).
+    pub fn category_histogram(&self) -> BTreeMap<InstructionCategory, usize> {
+        let mut hist = BTreeMap::new();
+        for tile in &self.tiles {
+            for (cat, n) in tile.program.category_histogram() {
+                *hist.entry(cat).or_insert(0) += n;
+            }
+            for core in &tile.cores {
+                for (cat, n) in core.program.category_histogram() {
+                    *hist.entry(cat).or_insert(0) += n;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Number of tiles whose core or tile programs are nonempty.
+    pub fn active_tiles(&self) -> usize {
+        self.tiles
+            .iter()
+            .filter(|t| !t.program.is_empty() || t.cores.iter().any(|c| !c.program.is_empty()))
+            .count()
+    }
+
+    /// Validates all programs (see [`Program::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing program's error.
+    pub fn validate(&self) -> Result<()> {
+        for tile in &self.tiles {
+            tile.program.validate()?;
+            for core in &tile.cores {
+                core.program.validate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total weight bytes programmed into crossbars.
+    pub fn weight_bytes(&self) -> u64 {
+        self.tiles
+            .iter()
+            .flat_map(|t| &t.cores)
+            .flat_map(|c| &c.mvmu_weights)
+            .flatten()
+            .map(|w| (w.rows() * w.cols() * 2) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{MemAddr, MvmuMask};
+    use crate::reg::RegRef;
+
+    fn mvm() -> Instruction {
+        Instruction::Mvm { mask: MvmuMask(1), filter: 0, stride: 0 }
+    }
+
+    #[test]
+    fn push_returns_index() {
+        let mut p = Program::new();
+        assert_eq!(p.push(mvm()), 0);
+        assert_eq!(p.push(Instruction::Halt), 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_jump() {
+        let p = Program::from_instructions(vec![Instruction::Jump { pc: 5 }, Instruction::Halt]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_halt() {
+        let p = Program::from_instructions(vec![mvm()]);
+        assert!(p.validate().is_err());
+        let ok = Program::from_instructions(vec![mvm(), Instruction::Halt]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        assert!(Program::new().validate().is_ok());
+    }
+
+    #[test]
+    fn histogram_counts_categories() {
+        let p = Program::from_instructions(vec![
+            mvm(),
+            mvm(),
+            Instruction::Load { dest: RegRef::general(0), addr: MemAddr::absolute(0), width: 1 },
+            Instruction::Halt,
+        ]);
+        let h = p.category_histogram();
+        assert_eq!(h[&InstructionCategory::Mvm], 2);
+        assert_eq!(h[&InstructionCategory::InterCore], 1);
+        assert_eq!(h[&InstructionCategory::ControlFlow], 1);
+    }
+
+    #[test]
+    fn machine_image_counts_everything() {
+        let mut img = MachineImage::new(2, 2, 2);
+        img.core_mut(TileId::new(0), CoreId::new(1)).program.push(mvm());
+        img.tiles[1].program.push(Instruction::Halt);
+        assert_eq!(img.total_instructions(), 2);
+        assert_eq!(img.active_tiles(), 2);
+        assert_eq!(img.category_histogram()[&InstructionCategory::Mvm], 1);
+    }
+
+    #[test]
+    fn weight_bytes_sums_matrices() {
+        let mut img = MachineImage::new(1, 1, 2);
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(FixedMatrix::zeros(4, 4).unwrap());
+        assert_eq!(img.weight_bytes(), 32);
+        assert_eq!(img.core(TileId::new(0), CoreId::new(0)).used_mvmus(), 1);
+    }
+
+    #[test]
+    fn encoded_size_is_instruction_multiple() {
+        let p = Program::from_instructions(vec![mvm(), Instruction::Halt]);
+        assert_eq!(p.encoded_bytes(), 2 * INSTRUCTION_BYTES);
+        assert_eq!(p.encode().unwrap().len(), p.encoded_bytes());
+    }
+}

@@ -1,0 +1,236 @@
+//! Register references.
+//!
+//! A PUMA core has three register spaces (§5.4 of the paper):
+//!
+//! - **XbarIn** — written by any non-MVM instruction, read only by the MVM
+//!   instruction (feeds the DAC array);
+//! - **XbarOut** — written only by the MVM instruction (fed by the ADC
+//!   array), read by any non-MVM instruction;
+//! - **General** — the ROM-embedded-RAM register file, read and written by
+//!   any non-MVM instruction.
+//!
+//! A [`RegRef`] names one 16-bit word in one of these spaces; vector
+//! operands use a base [`RegRef`] plus a width.
+
+use puma_core::error::{PumaError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three per-core register spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegSpace {
+    /// Crossbar input registers (DAC-side).
+    XbarIn,
+    /// Crossbar output registers (ADC-side).
+    XbarOut,
+    /// General-purpose ROM-embedded-RAM register file.
+    General,
+}
+
+impl RegSpace {
+    /// All spaces, in encoding order.
+    pub const ALL: [RegSpace; 3] = [RegSpace::XbarIn, RegSpace::XbarOut, RegSpace::General];
+
+    /// Two-bit encoding tag.
+    pub const fn tag(self) -> u16 {
+        match self {
+            RegSpace::XbarIn => 0,
+            RegSpace::XbarOut => 1,
+            RegSpace::General => 2,
+        }
+    }
+
+    /// Decodes a two-bit tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Encoding`] for tags 3 and above.
+    pub fn from_tag(tag: u16) -> Result<Self> {
+        match tag {
+            0 => Ok(RegSpace::XbarIn),
+            1 => Ok(RegSpace::XbarOut),
+            2 => Ok(RegSpace::General),
+            other => Err(PumaError::Encoding { what: format!("invalid register space tag {other}") }),
+        }
+    }
+
+    /// Assembly prefix (`xi`, `xo`, `r`).
+    pub const fn prefix(self) -> &'static str {
+        match self {
+            RegSpace::XbarIn => "xi",
+            RegSpace::XbarOut => "xo",
+            RegSpace::General => "r",
+        }
+    }
+}
+
+impl fmt::Display for RegSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// Maximum register index representable in the 14-bit encoding field.
+pub const MAX_REG_INDEX: u16 = (1 << 14) - 1;
+
+/// A reference to one 16-bit register word.
+///
+/// # Examples
+///
+/// ```
+/// use puma_isa::reg::RegRef;
+/// let r = RegRef::general(5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(RegRef::decode(r.encode()).unwrap(), r);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegRef {
+    /// Which register space the word lives in.
+    pub space: RegSpace,
+    /// Word index within the space.
+    pub index: u16,
+}
+
+impl RegRef {
+    /// Creates a reference, validating the index fits the encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Encoding`] if `index` exceeds [`MAX_REG_INDEX`].
+    pub fn new(space: RegSpace, index: u16) -> Result<Self> {
+        if index > MAX_REG_INDEX {
+            return Err(PumaError::Encoding {
+                what: format!("register index {index} exceeds 14-bit limit"),
+            });
+        }
+        Ok(RegRef { space, index })
+    }
+
+    /// An XbarIn register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`MAX_REG_INDEX`].
+    pub fn xbar_in(index: u16) -> Self {
+        RegRef::new(RegSpace::XbarIn, index).expect("register index in range")
+    }
+
+    /// An XbarOut register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`MAX_REG_INDEX`].
+    pub fn xbar_out(index: u16) -> Self {
+        RegRef::new(RegSpace::XbarOut, index).expect("register index in range")
+    }
+
+    /// A general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`MAX_REG_INDEX`].
+    pub fn general(index: u16) -> Self {
+        RegRef::new(RegSpace::General, index).expect("register index in range")
+    }
+
+    /// Packs into a 16-bit field: two space bits, fourteen index bits.
+    pub fn encode(self) -> u16 {
+        (self.space.tag() << 14) | self.index
+    }
+
+    /// Unpacks a 16-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Encoding`] for an invalid space tag.
+    pub fn decode(raw: u16) -> Result<Self> {
+        Ok(RegRef { space: RegSpace::from_tag(raw >> 14)?, index: raw & MAX_REG_INDEX })
+    }
+
+    /// The reference `offset` words past this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting index exceeds [`MAX_REG_INDEX`].
+    pub fn offset(self, offset: u16) -> Self {
+        RegRef::new(self.space, self.index + offset).expect("register index in range")
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.space.prefix(), self.index)
+    }
+}
+
+/// Parses a register in assembly syntax (`xi3`, `xo17`, `r200`).
+///
+/// # Errors
+///
+/// Returns [`PumaError::Encoding`] if the text is not a register.
+pub fn parse_reg(text: &str) -> Result<RegRef> {
+    let (space, rest) = if let Some(rest) = text.strip_prefix("xi") {
+        (RegSpace::XbarIn, rest)
+    } else if let Some(rest) = text.strip_prefix("xo") {
+        (RegSpace::XbarOut, rest)
+    } else if let Some(rest) = text.strip_prefix('r') {
+        (RegSpace::General, rest)
+    } else {
+        return Err(PumaError::Encoding { what: format!("not a register: {text:?}") });
+    };
+    let index: u16 = rest
+        .parse()
+        .map_err(|_| PumaError::Encoding { what: format!("bad register index: {text:?}") })?;
+    RegRef::new(space, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for space in RegSpace::ALL {
+            for index in [0u16, 1, 100, MAX_REG_INDEX] {
+                let r = RegRef::new(space, index).unwrap();
+                assert_eq!(RegRef::decode(r.encode()).unwrap(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn index_limit_enforced() {
+        assert!(RegRef::new(RegSpace::General, MAX_REG_INDEX + 1).is_err());
+    }
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(RegRef::xbar_in(3).to_string(), "xi3");
+        assert_eq!(RegRef::xbar_out(17).to_string(), "xo17");
+        assert_eq!(RegRef::general(200).to_string(), "r200");
+    }
+
+    #[test]
+    fn parse_matches_display() {
+        for text in ["xi0", "xo5", "r123"] {
+            assert_eq!(parse_reg(text).unwrap().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_reg("q7").is_err());
+        assert!(parse_reg("r").is_err());
+        assert!(parse_reg("xinope").is_err());
+    }
+
+    #[test]
+    fn bad_space_tag_rejected() {
+        assert!(RegRef::decode(0b11 << 14).is_err());
+    }
+
+    #[test]
+    fn offset_advances_index() {
+        assert_eq!(RegRef::general(10).offset(5), RegRef::general(15));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: every instruction the compiler can emit roundtrips
+//! through both the binary encoding and the textual assembler.
+
+use proptest::prelude::*;
+use puma_isa::{
+    asm, encode, AluImmOp, AluOp, BranchCond, Instruction, MemAddr, MvmuMask, RegRef, ScalarOp,
+};
+
+fn reg() -> impl Strategy<Value = RegRef> {
+    (0u16..3, 0u16..16383).prop_map(|(space, idx)| match space {
+        0 => RegRef::xbar_in(idx),
+        1 => RegRef::xbar_out(idx),
+        _ => RegRef::general(idx),
+    })
+}
+
+fn mem() -> impl Strategy<Value = MemAddr> {
+    (0u32..100_000, prop::option::of(0u16..255)).prop_map(|(base, idx)| MemAddr {
+        base,
+        index: idx.map(RegRef::general),
+    })
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (0u8..=255, 0u16..512, 0u16..512)
+            .prop_map(|(m, f, s)| Instruction::Mvm { mask: MvmuMask(m), filter: f, stride: s }),
+        (0usize..AluOp::ALL.len(), reg(), reg(), reg(), 1u16..1024).prop_map(
+            |(op, dest, src1, src2, width)| {
+                let op = AluOp::ALL[op];
+                let src2 = if op.is_unary() { src1 } else { src2 };
+                Instruction::Alu { op, dest, src1, src2, width }
+            }
+        ),
+        (0usize..AluImmOp::ALL.len(), reg(), reg(), any::<i16>(), 1u16..1024).prop_map(
+            |(op, dest, src1, bits, width)| Instruction::AluImm {
+                op: AluImmOp::ALL[op],
+                dest,
+                src1,
+                imm: puma_core::fixed::Fixed::from_bits(bits),
+                width,
+            }
+        ),
+        (0usize..ScalarOp::ALL.len(), reg(), reg(), reg()).prop_map(|(op, dest, src1, src2)| {
+            Instruction::AluInt { op: ScalarOp::ALL[op], dest, src1, src2 }
+        }),
+        (reg(), any::<i16>()).prop_map(|(dest, imm)| Instruction::Set { dest, imm }),
+        (reg(), reg(), 1u16..1024).prop_map(|(dest, src, width)| Instruction::Copy {
+            dest,
+            src,
+            width
+        }),
+        (reg(), mem(), 1u16..512)
+            .prop_map(|(dest, addr, width)| Instruction::Load { dest, addr, width }),
+        (mem(), reg(), 1u16..64, 1u16..512).prop_map(|(addr, src, count, width)| {
+            Instruction::Store { addr, src, count, width }
+        }),
+        (mem(), 0u8..16, 0u16..256, 1u16..512).prop_map(|(addr, fifo, target, width)| {
+            Instruction::Send { addr, fifo, target, width }
+        }),
+        (mem(), 0u8..16, 1u16..64, 1u16..512).prop_map(|(addr, fifo, count, width)| {
+            Instruction::Receive { addr, fifo, count, width }
+        }),
+        (0u32..1_000_000).prop_map(|pc| Instruction::Jump { pc }),
+        (0usize..BranchCond::ALL.len(), reg(), reg(), 0u32..1_000_000).prop_map(
+            |(cond, src1, src2, pc)| Instruction::Branch {
+                cond: BranchCond::ALL[cond],
+                src1,
+                src2,
+                pc
+            }
+        ),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binary_roundtrip(instr in instruction()) {
+        let bytes = encode::encode(&instr).unwrap();
+        prop_assert_eq!(encode::decode(&bytes).unwrap(), instr);
+    }
+
+    #[test]
+    fn stream_roundtrip(instrs in prop::collection::vec(instruction(), 0..64)) {
+        let bytes = encode::encode_stream(&instrs).unwrap();
+        prop_assert_eq!(encode::decode_stream(&bytes).unwrap(), instrs);
+    }
+
+    /// The assembler parses everything the disassembler prints, except
+    /// fixed-point immediates which round-trip through their decimal
+    /// display (bit-exact for all representable values).
+    #[test]
+    fn assembly_roundtrip(instrs in prop::collection::vec(instruction(), 1..32)) {
+        let text = asm::disassemble(&instrs);
+        let parsed = asm::assemble(&text).unwrap();
+        prop_assert_eq!(parsed.len(), instrs.len());
+        for (p, i) in parsed.iter().zip(instrs.iter()) {
+            match (p, i) {
+                (
+                    Instruction::AluImm { imm: pi, op: po, dest: pd, src1: ps, width: pw },
+                    Instruction::AluImm { imm: ii, op: io, dest: id, src1: is, width: iw },
+                ) => {
+                    prop_assert_eq!(po, io);
+                    prop_assert_eq!(pd, id);
+                    prop_assert_eq!(ps, is);
+                    prop_assert_eq!(pw, iw);
+                    // f32 display of Q4.12 is exact, so bits must match.
+                    prop_assert_eq!(pi.to_bits(), ii.to_bits());
+                }
+                _ => prop_assert_eq!(p, i),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_bytes(bytes in prop::array::uniform12(any::<u8>())) {
+        let _ = encode::decode(&bytes); // must return Ok or Err, not panic
+    }
+}

@@ -1,0 +1,1033 @@
+//! Looped CNN layer code generation.
+//!
+//! The graph compiler unrolls dataflow; convolutions instead need control
+//! flow "to represent the workload compactly without code bloat" (§2.3.1).
+//! This module emits genuine loop nests in PUMA assembly for small CNNs
+//! (LeNet-5 class): each layer runs on its own core of one tile, layers
+//! communicate feature maps through tile shared memory using the attribute
+//! protocol, and the sliding-window input reuse of §3.2.3 is expressed
+//! with the MVM `filter`/`stride` operands over a ring buffer in XbarIn.
+//!
+//! Limits (checked at build time): per layer, the flattened window
+//! `C·R·S` must fit `mvmus_per_core` crossbars, output channels must fit
+//! one crossbar column strip, and the network must fit one tile's cores.
+//! Node-scale CNNs (VGG) use the analytic model in [`crate::perf`]
+//! instead; see DESIGN.md.
+
+use crate::init::WeightRng;
+use crate::spec::{conv_output, Activation, LayerSpec, WorkloadSpec};
+use puma_core::config::NodeConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::ids::TileId;
+use puma_core::tensor::Matrix;
+use puma_isa::{
+    AluOp, Instruction, IoBinding, MachineImage, MemAddr, MvmuMask, Program, RegRef,
+};
+use serde::{Deserialize, Serialize};
+
+/// A compiled CNN: image plus host metadata and the f32 reference weights.
+#[derive(Debug, Clone)]
+pub struct CompiledCnn {
+    /// The machine image (single tile).
+    pub image: MachineImage,
+    /// Input feature-map geometry (channels, height, width).
+    pub input_shape: (usize, usize, usize),
+    /// Name of the input binding.
+    pub input_name: String,
+    /// Name of the output binding.
+    pub output_name: String,
+    /// Output width.
+    pub output_width: usize,
+    /// Reference weights per layer (for host-side verification).
+    pub reference: ReferenceCnn,
+    /// Static control-flow instruction count (for Fig. 4).
+    pub static_instructions: usize,
+}
+
+/// Host-side f32 reference of the generated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceCnn {
+    layers: Vec<RefLayer>,
+    input_shape: (usize, usize, usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RefLayer {
+    Conv {
+        // weights[m][c][ky][kx]
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+        c: usize,
+        m: usize,
+        r: usize,
+        s: usize,
+        u: usize,
+        act: Activation,
+    },
+    Pool {
+        window: usize,
+    },
+    Fc {
+        weights: Matrix,
+        bias: Vec<f32>,
+        act: Activation,
+    },
+}
+
+impl ReferenceCnn {
+    /// Runs the reference forward pass on a `[y][x][c]`-ordered input.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let (mut c, mut h, mut w) = self.input_shape;
+        let mut fmap = input.to_vec();
+        for layer in &self.layers {
+            match layer {
+                RefLayer::Conv { weights, bias, c: ci, m, r, s, u, act } => {
+                    debug_assert_eq!(*ci, c);
+                    let (ho, wo) = conv_output(h, w, *r, *u);
+                    let mut out = vec![0.0f32; ho * wo * m];
+                    for yo in 0..ho {
+                        for xo in 0..wo {
+                            for mi in 0..*m {
+                                let mut acc = bias[mi];
+                                for ky in 0..*r {
+                                    for kx in 0..*s {
+                                        for cc in 0..c {
+                                            let iv = fmap
+                                                [((yo * u + ky) * w + (xo * u + kx)) * c + cc];
+                                            let wv = weights
+                                                [((mi * c + cc) * r + ky) * s + kx];
+                                            acc += iv * wv;
+                                        }
+                                    }
+                                }
+                                out[(yo * wo + xo) * m + mi] = apply_act(acc, *act);
+                            }
+                        }
+                    }
+                    fmap = out;
+                    c = *m;
+                    h = ho;
+                    w = wo;
+                }
+                RefLayer::Pool { window } => {
+                    let (ho, wo) = (h / window, w / window);
+                    let mut out = vec![f32::NEG_INFINITY; ho * wo * c];
+                    for yo in 0..ho {
+                        for xo in 0..wo {
+                            for cc in 0..c {
+                                let mut best = f32::NEG_INFINITY;
+                                for ky in 0..*window {
+                                    for kx in 0..*window {
+                                        let v = fmap
+                                            [((yo * window + ky) * w + (xo * window + kx)) * c
+                                                + cc];
+                                        best = best.max(v);
+                                    }
+                                }
+                                out[(yo * wo + xo) * c + cc] = best;
+                            }
+                        }
+                    }
+                    fmap = out;
+                    h = ho;
+                    w = wo;
+                }
+                RefLayer::Fc { weights, bias, act } => {
+                    let mut out = weights.mvm(&fmap).expect("fc shape");
+                    for (o, b) in out.iter_mut().zip(bias) {
+                        *o = apply_act(*o + b, *act);
+                    }
+                    fmap = out;
+                    c = out_len(weights);
+                    h = 1;
+                    w = 1;
+                }
+            }
+        }
+        fmap
+    }
+}
+
+fn out_len(m: &Matrix) -> usize {
+    m.cols()
+}
+
+fn apply_act(v: f32, act: Activation) -> f32 {
+    match act {
+        Activation::None => v,
+        Activation::Relu => v.max(0.0),
+        Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        Activation::Tanh => v.tanh(),
+    }
+}
+
+/// Scratch-register layout for the generated loops (general registers).
+mod regs {
+    /// y loop counter.
+    pub const Y: u16 = 0;
+    /// x loop counter.
+    pub const X: u16 = 1;
+    /// Constant 1.
+    pub const ONE: u16 = 2;
+    /// Loop bound (varies).
+    pub const BOUND: u16 = 3;
+    /// Input column address cursor.
+    pub const IN_ADDR: u16 = 4;
+    /// Output address cursor.
+    pub const OUT_ADDR: u16 = 5;
+    /// Per-x input address increment constant.
+    pub const IN_STEP_X: u16 = 6;
+    /// Row-start rewind constant.
+    pub const IN_STEP_Y: u16 = 7;
+    /// Output step constant.
+    pub const OUT_STEP: u16 = 8;
+}
+
+/// Offset of the accumulator vector within the general register file
+/// (after the scratch registers).
+const ACC: u16 = 16;
+
+struct LayerCtx {
+    program: Vec<Instruction>,
+    weights: Vec<Option<puma_core::tensor::FixedMatrix>>,
+}
+
+fn set_u16(program: &mut Vec<Instruction>, reg: u16, value: usize) {
+    assert!(value <= i16::MAX as usize, "immediate {value} exceeds 15 bits");
+    program.push(Instruction::Set { dest: RegRef::general(reg), imm: value as i16 });
+}
+
+/// Builds a compiled CNN with deterministic weights.
+///
+/// `dim` etc. come from `cfg`; `input_shuffling` selects the §3.2.3 window
+/// reuse (only applied to conv layers whose window fits one crossbar).
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] if the network violates the generator's
+/// mapping limits (see module docs).
+pub fn build_cnn(
+    spec: &WorkloadSpec,
+    cfg: &NodeConfig,
+    input_shuffling: bool,
+    seed: u64,
+) -> Result<CompiledCnn> {
+    let dim = cfg.tile.core.mvmu.dim;
+    let mvmus = cfg.tile.core.mvmus_per_core;
+    let mut rng = WeightRng::new(seed);
+
+    // Input geometry from the first layer.
+    let (mut c, mut h, mut w) = match spec.layers.first() {
+        Some(LayerSpec::Conv { input, height, width, .. }) => (*input, *height, *width),
+        Some(LayerSpec::Pool { channels, height, width, .. }) => (*channels, *height, *width),
+        Some(LayerSpec::Fc { input, .. }) => (*input, 1, 1),
+        _ => {
+            return Err(PumaError::Compile {
+                what: "CNN generator requires a conv/pool/fc first layer".to_string(),
+            });
+        }
+    };
+    let input_shape = (c, h, w);
+    if spec.layers.len() > cfg.tile.cores_per_tile {
+        return Err(PumaError::Compile {
+            what: format!(
+                "{} layers exceed {} cores per tile (node-scale CNNs use the analytic model)",
+                spec.layers.len(),
+                cfg.tile.cores_per_tile
+            ),
+        });
+    }
+
+    let mut image = MachineImage::new(1, cfg.tile.cores_per_tile, mvmus);
+    let mut reference = ReferenceCnn { layers: Vec::new(), input_shape };
+
+    // Feature-map regions in tile memory: region l = input of layer l.
+    let mut region_base: Vec<u32> = Vec::with_capacity(spec.layers.len() + 1);
+    let mut next_addr: u32 = 0;
+    region_base.push(0);
+    next_addr += (h * w * c) as u32;
+    {
+        let (mut cc, mut hh, mut ww) = (c, h, w);
+        for layer in &spec.layers {
+            let (co, ho, wo) = match *layer {
+                LayerSpec::Conv { output, kernel, stride, .. } => {
+                    let (ho, wo) = conv_output(hh, ww, kernel, stride);
+                    (output, ho, wo)
+                }
+                LayerSpec::Pool { window, .. } => (cc, hh / window, ww / window),
+                LayerSpec::Fc { output, .. } => (output, 1, 1),
+                LayerSpec::Lstm { .. } | LayerSpec::Rnn { .. } => {
+                    return Err(PumaError::Compile {
+                        what: "recurrent layer in CNN generator".to_string(),
+                    })
+                }
+            };
+            region_base.push(next_addr);
+            next_addr += (co * ho * wo) as u32;
+            cc = co;
+            hh = ho;
+            ww = wo;
+        }
+    }
+    if next_addr as usize > cfg.tile.shared_memory_words() {
+        return Err(PumaError::ResourceExhausted {
+            resource: "tile shared memory words".to_string(),
+            requested: next_addr as usize,
+            available: cfg.tile.shared_memory_words(),
+        });
+    }
+
+    // Read-count of a region = how many times its *most-read* position is
+    // loaded by the consuming layer (edges read less; leftover validity is
+    // harmless in a single-shot run).
+    let read_count = |layer: Option<&LayerSpec>, shuffled: bool| -> u16 {
+        match layer {
+            Some(LayerSpec::Conv { kernel, stride, .. }) => {
+                let per_row = kernel.div_ceil(*stride) as u16;
+                if shuffled {
+                    per_row
+                } else {
+                    per_row * per_row
+                }
+            }
+            Some(LayerSpec::Pool { .. }) | Some(LayerSpec::Fc { .. }) | None => 1,
+            _ => 1,
+        }
+    };
+
+    let layer_shuffled = |layer: &LayerSpec| -> bool {
+        match *layer {
+            LayerSpec::Conv { input, kernel, .. } => {
+                input_shuffling && input * kernel * kernel <= dim
+            }
+            _ => false,
+        }
+    };
+
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let in_base = region_base[li];
+        let out_base = region_base[li + 1];
+        let next = spec.layers.get(li + 1);
+        let next_shuffled = next.map(|l| layer_shuffled(l)).unwrap_or(false);
+        let out_count = read_count(next, next_shuffled);
+        let ctx = match *layer {
+            LayerSpec::Conv { input, output, kernel, stride, height, width } => {
+                let shuffled = layer_shuffled(layer);
+                gen_conv(
+                    &mut rng,
+                    &mut reference,
+                    dim,
+                    mvmus,
+                    ConvDims {
+                        c: input,
+                        m: output,
+                        r: kernel,
+                        s: kernel,
+                        u: stride,
+                        h: height,
+                        w: width,
+                    },
+                    in_base,
+                    out_base,
+                    out_count,
+                    shuffled,
+                    Activation::Relu,
+                )?
+            }
+            LayerSpec::Pool { channels, window, height, width } => gen_pool(
+                &mut reference,
+                channels,
+                window,
+                height,
+                width,
+                in_base,
+                out_base,
+                out_count,
+            )?,
+            LayerSpec::Fc { input, output, act } => gen_fc(
+                &mut rng,
+                &mut reference,
+                dim,
+                mvmus,
+                input,
+                output,
+                in_base,
+                out_base,
+                out_count,
+                act,
+            )?,
+            _ => unreachable!("validated above"),
+        };
+        let core = &mut image.tiles[0].cores[li];
+        core.program = Program::from_instructions(ctx.program);
+        for (i, wgt) in ctx.weights.into_iter().enumerate() {
+            core.mvmu_weights[i] = wgt;
+        }
+        // Track geometry forward.
+        match *layer {
+            LayerSpec::Conv { output, kernel, stride, .. } => {
+                let (ho, wo) = conv_output(h, w, kernel, stride);
+                c = output;
+                h = ho;
+                w = wo;
+            }
+            LayerSpec::Pool { window, .. } => {
+                h /= window;
+                w /= window;
+            }
+            LayerSpec::Fc { output, .. } => {
+                c = output;
+                h = 1;
+                w = 1;
+            }
+            LayerSpec::Lstm { .. } | LayerSpec::Rnn { .. } => unreachable!("validated above"),
+        }
+    }
+
+    let first_count = read_count(spec.layers.first(), layer_shuffled(&spec.layers[0]));
+    image.inputs.push(IoBinding {
+        name: "image".to_string(),
+        tile: TileId::new(0),
+        addr: 0,
+        width: input_shape.0 * input_shape.1 * input_shape.2,
+        count: first_count,
+    });
+    let output_width = c * h * w;
+    image.outputs.push(IoBinding {
+        name: "logits".to_string(),
+        tile: TileId::new(0),
+        addr: *region_base.last().expect("regions"),
+        width: output_width,
+        count: 1,
+    });
+    let static_instructions = image.total_instructions();
+    image.validate()?;
+    Ok(CompiledCnn {
+        image,
+        input_shape,
+        input_name: "image".to_string(),
+        output_name: "logits".to_string(),
+        output_width,
+        reference,
+        static_instructions,
+    })
+}
+
+struct ConvDims {
+    c: usize,
+    m: usize,
+    r: usize,
+    s: usize,
+    u: usize,
+    h: usize,
+    w: usize,
+}
+
+/// Emits the loop nest for one convolution layer.
+#[allow(clippy::too_many_arguments)]
+fn gen_conv(
+    rng: &mut WeightRng,
+    reference: &mut ReferenceCnn,
+    dim: usize,
+    mvmus: usize,
+    d: ConvDims,
+    in_base: u32,
+    out_base: u32,
+    out_count: u16,
+    shuffled: bool,
+    act: Activation,
+) -> Result<LayerCtx> {
+    let ConvDims { c, m, r, s, u, h, w } = d;
+    let window = c * r * s;
+    let row_tiles = window.div_ceil(dim);
+    if row_tiles > mvmus {
+        return Err(PumaError::ResourceExhausted {
+            resource: "MVMUs per core (conv window tiles)".to_string(),
+            requested: row_tiles,
+            available: mvmus,
+        });
+    }
+    if m > dim {
+        return Err(PumaError::ResourceExhausted {
+            resource: "crossbar columns (conv output channels)".to_string(),
+            requested: m,
+            available: dim,
+        });
+    }
+    let (h_out, w_out) = conv_output(h, w, r, u);
+
+    // Weights: raw tensor [m][c][ky][kx], plus the crossbar layout.
+    let raw: Vec<f32> = (0..m * c * r * s).map(|_| rng.uniform() * 0.25).collect();
+    let bias: Vec<f32> = rng.bias(m);
+    // Row index of (ky, kx, c) in the crossbar matrix.
+    let row_of = |ky: usize, kx: usize, cc: usize| -> usize {
+        if shuffled {
+            kx * r * c + ky * c + cc // ring layout [kx][ky][c]
+        } else {
+            ky * s * c + kx * c + cc // row-contiguous layout [ky][kx][c]
+        }
+    };
+    let mut wmat = Matrix::zeros(window, m)?;
+    for mi in 0..m {
+        for cc in 0..c {
+            for ky in 0..r {
+                for kx in 0..s {
+                    wmat.set(row_of(ky, kx, cc), mi, raw[((mi * c + cc) * r + ky) * s + kx]);
+                }
+            }
+        }
+    }
+    reference.layers.push(RefLayer::Conv {
+        weights: raw,
+        bias: bias.clone(),
+        c,
+        m,
+        r,
+        s,
+        u,
+        act,
+    });
+
+    let mut weights: Vec<Option<puma_core::tensor::FixedMatrix>> = vec![None; mvmus];
+    let mut mask = 0u8;
+    for t in 0..row_tiles {
+        let rows = (window - t * dim).min(dim);
+        weights[t] = Some(wmat.tile(t * dim, 0, rows, m).quantize());
+        mask |= 1 << t;
+    }
+
+    let mut p: Vec<Instruction> = Vec::new();
+    // Bias preloaded as immediates into the BIAS register block.
+    let bias_reg = ACC + dim as u16;
+    for (i, &b) in bias.iter().enumerate() {
+        p.push(Instruction::Set {
+            dest: RegRef::general(bias_reg + i as u16),
+            imm: puma_core::fixed::Fixed::from_f32(b).to_bits(),
+        });
+    }
+    set_u16(&mut p, regs::ONE, 1);
+    set_u16(&mut p, regs::Y, 0);
+    set_u16(&mut p, regs::IN_ADDR, 0); // cursor relative to in_base
+    set_u16(&mut p, regs::OUT_ADDR, 0);
+    set_u16(&mut p, regs::IN_STEP_X, u * c);
+    // Row step: the x walk advanced the cursor W_out times by u·c;
+    // rewind it and advance u input rows.
+    set_u16(&mut p, regs::IN_STEP_Y, u * w * c - w_out * u * c);
+    set_u16(&mut p, regs::OUT_STEP, m);
+
+    let y_loop_start = p.len() as u32;
+    set_u16(&mut p, regs::X, 0);
+
+    // The x loop is unrolled over the shuffle period so each phase gets its
+    // static stride and write offsets (the stride operand is an immediate).
+    let period = if shuffled { s.div_ceil(u) } else { 1 };
+    let mut phase_branch_fixups: Vec<usize> = Vec::new();
+    let x_loop_start;
+    {
+        // Phase 0 / full-window load.
+        let full_loads = |p: &mut Vec<Instruction>| {
+            if shuffled {
+                // Column-by-column into the ring layout.
+                for kx in 0..s {
+                    for ky in 0..r {
+                        p.push(Instruction::Load {
+                            dest: RegRef::xbar_in((row_of(ky, kx, 0)) as u16),
+                            addr: MemAddr::indexed(
+                                in_base + ((ky * w + kx) * c) as u32,
+                                RegRef::general(regs::IN_ADDR),
+                            ),
+                            width: c as u16,
+                        });
+                    }
+                }
+            } else {
+                // Row-contiguous layout [ky][kx][c]: one load per window
+                // row (the XbarIn bank is contiguous across MVMUs).
+                for ky in 0..r {
+                    p.push(Instruction::Load {
+                        dest: RegRef::xbar_in(row_of(ky, 0, 0) as u16),
+                        addr: MemAddr::indexed(
+                            in_base + (ky * w * c) as u32,
+                            RegRef::general(regs::IN_ADDR),
+                        ),
+                        width: (s * c) as u16,
+                    });
+                }
+            }
+        };
+
+        // The ring rotation (filter + stride) only applies in shuffled
+        // mode; the multi-crossbar layout relies on zero padding instead.
+        let mvm_filter = if shuffled { window as u16 } else { 0 };
+        let emit_body = |p: &mut Vec<Instruction>, stride_words: usize| {
+            p.push(Instruction::Mvm {
+                mask: MvmuMask(mask),
+                filter: mvm_filter,
+                stride: stride_words as u16,
+            });
+            // Reduce partials: copy first, add the rest.
+            p.push(Instruction::Copy {
+                dest: RegRef::general(ACC),
+                src: RegRef::xbar_out(0),
+                width: m as u16,
+            });
+            for t in 1..row_tiles {
+                p.push(Instruction::Alu {
+                    op: AluOp::Add,
+                    dest: RegRef::general(ACC),
+                    src1: RegRef::general(ACC),
+                    src2: RegRef::xbar_out((t * dim) as u16),
+                    width: m as u16,
+                });
+            }
+            p.push(Instruction::Alu {
+                op: AluOp::Add,
+                dest: RegRef::general(ACC),
+                src1: RegRef::general(ACC),
+                src2: RegRef::general(bias_reg),
+                width: m as u16,
+            });
+            match act {
+                Activation::Relu => p.push(Instruction::Alu {
+                    op: AluOp::Relu,
+                    dest: RegRef::general(ACC),
+                    src1: RegRef::general(ACC),
+                    src2: RegRef::general(ACC),
+                    width: m as u16,
+                }),
+                Activation::Sigmoid => p.push(Instruction::Alu {
+                    op: AluOp::Sigmoid,
+                    dest: RegRef::general(ACC),
+                    src1: RegRef::general(ACC),
+                    src2: RegRef::general(ACC),
+                    width: m as u16,
+                }),
+                Activation::Tanh => p.push(Instruction::Alu {
+                    op: AluOp::Tanh,
+                    dest: RegRef::general(ACC),
+                    src1: RegRef::general(ACC),
+                    src2: RegRef::general(ACC),
+                    width: m as u16,
+                }),
+                Activation::None => {}
+            }
+            p.push(Instruction::Store {
+                addr: MemAddr::indexed(out_base, RegRef::general(regs::OUT_ADDR)),
+                src: RegRef::general(ACC),
+                count: out_count,
+                width: m as u16,
+            });
+            // Advance cursors.
+            p.push(Instruction::AluInt {
+                op: puma_isa::ScalarOp::Add,
+                dest: RegRef::general(regs::OUT_ADDR),
+                src1: RegRef::general(regs::OUT_ADDR),
+                src2: RegRef::general(regs::OUT_STEP),
+            });
+            p.push(Instruction::AluInt {
+                op: puma_isa::ScalarOp::Add,
+                dest: RegRef::general(regs::X),
+                src1: RegRef::general(regs::X),
+                src2: RegRef::general(regs::ONE),
+            });
+            p.push(Instruction::AluInt {
+                op: puma_isa::ScalarOp::Add,
+                dest: RegRef::general(regs::IN_ADDR),
+                src1: RegRef::general(regs::IN_ADDR),
+                src2: RegRef::general(regs::IN_STEP_X),
+            });
+        };
+
+        // x = 0: full window.
+        full_loads(&mut p);
+        emit_body(&mut p, 0);
+        x_loop_start = p.len() as u32;
+        set_u16(&mut p, regs::BOUND, w_out);
+        // Unrolled phases 1..period (phase index = x mod period).
+        for phase in 1..=period {
+            let ph = phase % period;
+            // Exit check: if x >= W_out, leave the x loop.
+            p.push(Instruction::Branch {
+                cond: puma_isa::BranchCond::Ge,
+                src1: RegRef::general(regs::X),
+                src2: RegRef::general(regs::BOUND),
+                pc: u32::MAX, // fixed up below
+            });
+            phase_branch_fixups.push(p.len() - 1);
+            if shuffled {
+                // Load only the new columns of window x (phase ph):
+                // absolute cols xU+s-u..xU+s-1, ring slots (col mod s).
+                for j in 0..u.min(s) {
+                    let new_rel = s - u + j; // relative to window start
+                    let ring_col = (ph * u + new_rel) % s;
+                    for ky in 0..r {
+                        p.push(Instruction::Load {
+                            dest: RegRef::xbar_in(row_of(ky, ring_col, 0) as u16),
+                            addr: MemAddr::indexed(
+                                in_base + ((ky * w + new_rel) * c) as u32,
+                                RegRef::general(regs::IN_ADDR),
+                            ),
+                            width: c as u16,
+                        });
+                    }
+                }
+                emit_body(&mut p, ((ph * u) % s) * r * c);
+            } else {
+                full_loads(&mut p);
+                emit_body(&mut p, 0);
+            }
+        }
+        p.push(Instruction::Jump { pc: x_loop_start + 1 });
+    }
+    let x_loop_end = p.len() as u32;
+    for idx in phase_branch_fixups {
+        if let Instruction::Branch { pc, .. } = &mut p[idx] {
+            *pc = x_loop_end;
+        }
+    }
+    // Row epilogue: advance the input cursor to the next window row and
+    // loop on y.
+    p.push(Instruction::AluInt {
+        op: puma_isa::ScalarOp::Add,
+        dest: RegRef::general(regs::IN_ADDR),
+        src1: RegRef::general(regs::IN_ADDR),
+        src2: RegRef::general(regs::IN_STEP_Y),
+    });
+    p.push(Instruction::AluInt {
+        op: puma_isa::ScalarOp::Add,
+        dest: RegRef::general(regs::Y),
+        src1: RegRef::general(regs::Y),
+        src2: RegRef::general(regs::ONE),
+    });
+    set_u16(&mut p, regs::BOUND, h_out);
+    p.push(Instruction::Branch {
+        cond: puma_isa::BranchCond::Lt,
+        src1: RegRef::general(regs::Y),
+        src2: RegRef::general(regs::BOUND),
+        pc: y_loop_start,
+    });
+    p.push(Instruction::Halt);
+    Ok(LayerCtx { program: p, weights })
+}
+
+/// Emits the loop nest for a max-pool layer.
+#[allow(clippy::too_many_arguments)]
+fn gen_pool(
+    reference: &mut ReferenceCnn,
+    channels: usize,
+    window: usize,
+    height: usize,
+    width: usize,
+    in_base: u32,
+    out_base: u32,
+    out_count: u16,
+) -> Result<LayerCtx> {
+    reference.layers.push(RefLayer::Pool { window });
+    let (h_out, w_out) = (height / window, width / window);
+    let c = channels;
+    let mut p = Vec::new();
+    set_u16(&mut p, regs::ONE, 1);
+    set_u16(&mut p, regs::Y, 0);
+    set_u16(&mut p, regs::IN_ADDR, 0);
+    set_u16(&mut p, regs::OUT_ADDR, 0);
+    set_u16(&mut p, regs::IN_STEP_X, window * c);
+    set_u16(&mut p, regs::IN_STEP_Y, window * width * c - w_out * window * c);
+    set_u16(&mut p, regs::OUT_STEP, c);
+    let y_start = p.len() as u32;
+    set_u16(&mut p, regs::X, 0);
+    set_u16(&mut p, regs::BOUND, w_out);
+    let x_start = p.len() as u32;
+    // Load the window's position vectors into consecutive ACC blocks.
+    for ky in 0..window {
+        for kx in 0..window {
+            let slot = (ky * window + kx) as u16;
+            p.push(Instruction::Load {
+                dest: RegRef::general(ACC + slot * c as u16),
+                addr: MemAddr::indexed(
+                    in_base + ((ky * width + kx) * c) as u32,
+                    RegRef::general(regs::IN_ADDR),
+                ),
+                width: c as u16,
+            });
+        }
+    }
+    // Max-reduce into ACC.
+    for slot in 1..(window * window) as u16 {
+        p.push(Instruction::Alu {
+            op: AluOp::Max,
+            dest: RegRef::general(ACC),
+            src1: RegRef::general(ACC),
+            src2: RegRef::general(ACC + slot * c as u16),
+            width: c as u16,
+        });
+    }
+    p.push(Instruction::Store {
+        addr: MemAddr::indexed(out_base, RegRef::general(regs::OUT_ADDR)),
+        src: RegRef::general(ACC),
+        count: out_count,
+        width: c as u16,
+    });
+    for (dest, step) in
+        [(regs::OUT_ADDR, regs::OUT_STEP), (regs::X, regs::ONE), (regs::IN_ADDR, regs::IN_STEP_X)]
+    {
+        p.push(Instruction::AluInt {
+            op: puma_isa::ScalarOp::Add,
+            dest: RegRef::general(dest),
+            src1: RegRef::general(dest),
+            src2: RegRef::general(step),
+        });
+    }
+    p.push(Instruction::Branch {
+        cond: puma_isa::BranchCond::Lt,
+        src1: RegRef::general(regs::X),
+        src2: RegRef::general(regs::BOUND),
+        pc: x_start,
+    });
+    p.push(Instruction::AluInt {
+        op: puma_isa::ScalarOp::Add,
+        dest: RegRef::general(regs::IN_ADDR),
+        src1: RegRef::general(regs::IN_ADDR),
+        src2: RegRef::general(regs::IN_STEP_Y),
+    });
+    p.push(Instruction::AluInt {
+        op: puma_isa::ScalarOp::Add,
+        dest: RegRef::general(regs::Y),
+        src1: RegRef::general(regs::Y),
+        src2: RegRef::general(regs::ONE),
+    });
+    set_u16(&mut p, regs::BOUND, h_out);
+    p.push(Instruction::Branch {
+        cond: puma_isa::BranchCond::Lt,
+        src1: RegRef::general(regs::Y),
+        src2: RegRef::general(regs::BOUND),
+        pc: y_start,
+    });
+    p.push(Instruction::Halt);
+    Ok(LayerCtx { program: p, weights: Vec::new() })
+}
+
+/// Emits a fully-connected layer (one position, straight-line code).
+#[allow(clippy::too_many_arguments)]
+fn gen_fc(
+    rng: &mut WeightRng,
+    reference: &mut ReferenceCnn,
+    dim: usize,
+    mvmus: usize,
+    input: usize,
+    output: usize,
+    in_base: u32,
+    out_base: u32,
+    out_count: u16,
+    act: Activation,
+) -> Result<LayerCtx> {
+    let row_tiles = input.div_ceil(dim);
+    if row_tiles > mvmus {
+        return Err(PumaError::ResourceExhausted {
+            resource: "MVMUs per core (fc input tiles)".to_string(),
+            requested: row_tiles,
+            available: mvmus,
+        });
+    }
+    if output > dim {
+        return Err(PumaError::ResourceExhausted {
+            resource: "crossbar columns (fc outputs)".to_string(),
+            requested: output,
+            available: dim,
+        });
+    }
+    let wmat = rng.xavier_matrix(input, output);
+    let bias = rng.bias(output);
+    reference.layers.push(RefLayer::Fc { weights: wmat.clone(), bias: bias.clone(), act });
+
+    let mut weights: Vec<Option<puma_core::tensor::FixedMatrix>> = vec![None; mvmus];
+    let mut mask = 0u8;
+    for t in 0..row_tiles {
+        let rows = (input - t * dim).min(dim);
+        weights[t] = Some(wmat.tile(t * dim, 0, rows, output).quantize());
+        mask |= 1 << t;
+    }
+    let bias_reg = ACC + dim as u16;
+    let mut p = Vec::new();
+    for (i, &b) in bias.iter().enumerate() {
+        p.push(Instruction::Set {
+            dest: RegRef::general(bias_reg + i as u16),
+            imm: puma_core::fixed::Fixed::from_f32(b).to_bits(),
+        });
+    }
+    for t in 0..row_tiles {
+        let width = (input - t * dim).min(dim);
+        p.push(Instruction::Load {
+            dest: RegRef::xbar_in((t * dim) as u16),
+            addr: MemAddr::absolute(in_base + (t * dim) as u32),
+            width: width as u16,
+        });
+    }
+    p.push(Instruction::Mvm { mask: MvmuMask(mask), filter: 0, stride: 0 });
+    p.push(Instruction::Copy {
+        dest: RegRef::general(ACC),
+        src: RegRef::xbar_out(0),
+        width: output as u16,
+    });
+    for t in 1..row_tiles {
+        p.push(Instruction::Alu {
+            op: AluOp::Add,
+            dest: RegRef::general(ACC),
+            src1: RegRef::general(ACC),
+            src2: RegRef::xbar_out((t * dim) as u16),
+            width: output as u16,
+        });
+    }
+    p.push(Instruction::Alu {
+        op: AluOp::Add,
+        dest: RegRef::general(ACC),
+        src1: RegRef::general(ACC),
+        src2: RegRef::general(bias_reg),
+        width: output as u16,
+    });
+    let act_op = match act {
+        Activation::Relu => Some(AluOp::Relu),
+        Activation::Sigmoid => Some(AluOp::Sigmoid),
+        Activation::Tanh => Some(AluOp::Tanh),
+        Activation::None => None,
+    };
+    if let Some(op) = act_op {
+        p.push(Instruction::Alu {
+            op,
+            dest: RegRef::general(ACC),
+            src1: RegRef::general(ACC),
+            src2: RegRef::general(ACC),
+            width: output as u16,
+        });
+    }
+    p.push(Instruction::Store {
+        addr: MemAddr::absolute(out_base),
+        src: RegRef::general(ACC),
+        count: out_count,
+        width: output as u16,
+    });
+    p.push(Instruction::Halt);
+    Ok(LayerCtx { program: p, weights })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadClass;
+    use puma_core::config::{CoreConfig, MvmuConfig, TileConfig};
+    use puma_isa::InstructionCategory;
+    use puma_sim::{NodeSim, SimMode};
+    use puma_xbar::NoiseModel;
+
+    fn cnn_config() -> NodeConfig {
+        let mvmu = MvmuConfig { dim: 64, ..MvmuConfig::default() };
+        NodeConfig {
+            tile: TileConfig {
+                core: CoreConfig {
+                    mvmu,
+                    mvmus_per_core: 2,
+                    vfu_lanes: 4,
+                    instruction_memory_bytes: 64 * 1024,
+                    register_file_words: 64 * 4,
+                },
+                cores_per_tile: 8,
+                shared_memory_bytes: 64 * 1024,
+                ..TileConfig::default()
+            },
+            tiles_per_node: 2,
+            ..NodeConfig::default()
+        }
+    }
+
+    fn tiny_cnn() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny".into(),
+            class: WorkloadClass::Cnn,
+            layers: vec![
+                LayerSpec::Conv { input: 2, output: 4, kernel: 3, stride: 1, height: 8, width: 8 },
+                LayerSpec::Pool { channels: 4, window: 2, height: 6, width: 6 },
+                LayerSpec::Fc { input: 36, output: 5, act: Activation::None },
+            ],
+            seq_len: 1,
+        }
+    }
+
+    fn run_and_compare(spec: &WorkloadSpec, shuffling: bool, tol: f32) -> puma_sim::RunStats {
+        let cfg = cnn_config();
+        let cnn = build_cnn(spec, &cfg, shuffling, 99).unwrap();
+        let mut sim =
+            NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        let (c, h, w) = cnn.input_shape;
+        let input: Vec<f32> =
+            (0..c * h * w).map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.4).collect();
+        sim.write_input(&cnn.input_name, &input).unwrap();
+        sim.run().unwrap();
+        let got = sim.read_output(&cnn.output_name).unwrap();
+        let want = cnn.reference.forward(&input);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, r)) in got.iter().zip(want.iter()).enumerate() {
+            assert!((g - r).abs() < tol, "output[{i}]: {g} vs reference {r}");
+        }
+        sim.stats().clone()
+    }
+
+    #[test]
+    fn tiny_cnn_matches_reference_without_shuffling() {
+        run_and_compare(&tiny_cnn(), false, 0.05);
+    }
+
+    #[test]
+    fn tiny_cnn_matches_reference_with_shuffling() {
+        run_and_compare(&tiny_cnn(), true, 0.05);
+    }
+
+    #[test]
+    fn shuffling_reduces_shared_memory_traffic() {
+        let with = run_and_compare(&tiny_cnn(), true, 0.05);
+        let without = run_and_compare(&tiny_cnn(), false, 0.05);
+        assert!(
+            with.shared_memory_words < without.shared_memory_words,
+            "{} !< {}",
+            with.shared_memory_words,
+            without.shared_memory_words
+        );
+        assert!(with.energy.total_nj() < without.energy.total_nj());
+    }
+
+    #[test]
+    fn programs_contain_control_flow() {
+        let cnn = build_cnn(&tiny_cnn(), &cnn_config(), true, 1).unwrap();
+        let hist = cnn.image.category_histogram();
+        assert!(hist.get(&InstructionCategory::ControlFlow).copied().unwrap_or(0) > 3);
+        assert!(hist.get(&InstructionCategory::Sfu).copied().unwrap_or(0) > 5);
+    }
+
+    #[test]
+    fn lenet5_compiles_at_full_dimension() {
+        let cfg = NodeConfig::default(); // 128-wide crossbars
+        let cnn = build_cnn(&crate::zoo::spec("Lenet5"), &cfg, true, 2).unwrap();
+        assert!(cnn.static_instructions > 100);
+        assert_eq!(cnn.output_width, 10);
+    }
+
+    #[test]
+    fn lenet5_runs_functionally() {
+        let cfg = NodeConfig::default();
+        let cnn = build_cnn(&crate::zoo::spec("Lenet5"), &cfg, true, 2).unwrap();
+        let mut sim =
+            NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        let input: Vec<f32> = (0..28 * 28).map(|i| ((i % 9) as f32) / 9.0 - 0.3).collect();
+        sim.write_input("image", &input).unwrap();
+        sim.run().unwrap();
+        let got = sim.read_output("logits").unwrap();
+        let want = cnn.reference.forward(&input);
+        for (g, r) in got.iter().zip(want.iter()) {
+            assert!((g - r).abs() < 0.15, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn oversized_networks_are_rejected() {
+        let cfg = cnn_config();
+        assert!(build_cnn(&crate::zoo::spec("Vgg16"), &cfg, true, 1).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic synthetic classification data for the accuracy
+//! experiment (Fig. 13).
+//!
+//! The paper evaluates inference accuracy of a trained network under
+//! crossbar quantization and write noise. We substitute a digit-like
+//! synthetic task: each class is a Gaussian cluster around a random
+//! prototype in feature space, with per-sample noise. The task is learnable
+//! to high accuracy by a small MLP yet sensitive to weight corruption —
+//! exactly what the experiment needs.
+
+use crate::init::WeightRng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset of dense feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature dimension.
+    pub features: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Samples, each `features` long.
+    pub samples: Vec<Vec<f32>>,
+    /// Labels in `0..classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Generates a cluster-classification dataset.
+///
+/// `spread` controls class overlap: prototypes are unit-scale, per-sample
+/// Gaussian noise has this standard deviation.
+pub fn synthetic_clusters(
+    features: usize,
+    classes: usize,
+    per_class: usize,
+    spread: f32,
+    seed: u64,
+) -> Dataset {
+    let mut rng = WeightRng::new(seed);
+    // Class prototypes.
+    let prototypes: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..features).map(|_| rng.uniform()).collect())
+        .collect();
+    let mut samples = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    for (label, proto) in prototypes.iter().enumerate() {
+        for _ in 0..per_class {
+            let sample: Vec<f32> = proto
+                .iter()
+                .map(|&p| {
+                    // Sum of three uniforms approximates a Gaussian well
+                    // enough for data generation.
+                    let g = (rng.uniform() + rng.uniform() + rng.uniform()) / 1.73;
+                    p + spread * g
+                })
+                .collect();
+            samples.push(sample);
+            labels.push(label);
+        }
+    }
+    // Deterministic interleave so train/test splits are class-balanced.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    Dataset {
+        features,
+        classes,
+        samples: order.iter().map(|&i| samples[i].clone()).collect(),
+        labels: order.iter().map(|&i| labels[i]).collect(),
+    }
+}
+
+/// Splits a dataset into (train, test) at `train_fraction`.
+pub fn split(data: &Dataset, train_fraction: f32) -> (Dataset, Dataset) {
+    let n_train = ((data.len() as f32) * train_fraction) as usize;
+    let mk = |range: std::ops::Range<usize>| Dataset {
+        features: data.features,
+        classes: data.classes,
+        samples: data.samples[range.clone()].to_vec(),
+        labels: data.labels[range].to_vec(),
+    };
+    (mk(0..n_train), mk(n_train..data.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_clusters(16, 4, 10, 0.1, 7);
+        let b = synthetic_clusters(16, 4, 10, 0.1, 7);
+        assert_eq!(a, b);
+        let c = synthetic_clusters(16, 4, 10, 0.1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = synthetic_clusters(16, 4, 10, 0.1, 1);
+        assert_eq!(d.len(), 40);
+        assert!(d.samples.iter().all(|s| s.len() == 16));
+        assert!(d.labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn all_classes_present() {
+        let d = synthetic_clusters(8, 5, 6, 0.1, 2);
+        for c in 0..5 {
+            assert!(d.labels.iter().any(|&l| l == c), "class {c} missing");
+        }
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let d = synthetic_clusters(8, 3, 20, 0.1, 3);
+        let (train, test) = split(&d, 0.75);
+        assert_eq!(train.len(), 45);
+        assert_eq!(test.len(), 15);
+        assert_eq!(train.len() + test.len(), d.len());
+    }
+
+    #[test]
+    fn low_spread_clusters_are_separable_by_nearest_prototype() {
+        // Sanity: with tiny spread, nearest-centroid classification should
+        // be near perfect, proving the labels carry signal.
+        let d = synthetic_clusters(16, 4, 25, 0.05, 4);
+        let mut centroids = vec![vec![0.0f32; 16]; 4];
+        let mut counts = [0usize; 4];
+        for (s, &l) in d.samples.iter().zip(&d.labels) {
+            for (c, v) in centroids[l].iter_mut().zip(s) {
+                *c += v;
+            }
+            counts[l] += 1;
+        }
+        for (c, n) in centroids.iter_mut().zip(counts) {
+            for v in c.iter_mut() {
+                *v /= n as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for (s, &l) in d.samples.iter().zip(&d.labels) {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da: f32 = a.iter().zip(s).map(|(x, y)| (x - y).powi(2)).sum();
+                    let db: f32 = b.iter().zip(s).map(|(x, y)| (x - y).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            if best == l {
+                correct += 1;
+            }
+        }
+        assert!(correct as f32 / d.len() as f32 > 0.95);
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic weight initialization.
+//!
+//! Benchmark networks get architecture-faithful synthetic weights (the
+//! performance experiments depend only on shapes); the Fig. 13 accuracy
+//! experiment trains real weights with [`crate::train`]. A simple
+//! SplitMix64-based generator keeps everything reproducible without
+//! threading RNG state through the builders.
+
+use puma_core::tensor::Matrix;
+
+/// Deterministic pseudo-random stream.
+#[derive(Debug, Clone)]
+pub struct WeightRng {
+    state: u64,
+}
+
+impl WeightRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        WeightRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[-1, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // Top 24 bits scaled to [0, 1), then mapped to [-1, 1).
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+    }
+
+    /// Xavier/Glorot-style uniform matrix: `U(±sqrt(6/(fan_in+fan_out)))`.
+    pub fn xavier_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let mut vals = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            vals.push(self.uniform() * limit);
+        }
+        Matrix::from_vec(rows, cols, vals).expect("nonzero dims")
+    }
+
+    /// Small uniform bias vector.
+    pub fn bias(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.uniform() * 0.05).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = WeightRng::new(7);
+        let mut b = WeightRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = WeightRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = WeightRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.uniform();
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn xavier_matrix_respects_limit() {
+        let mut rng = WeightRng::new(2);
+        let m = rng.xavier_matrix(64, 64);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(m.max_abs() <= limit + 1e-6);
+        // Not all zero.
+        assert!(m.max_abs() > 1e-4);
+    }
+
+    #[test]
+    fn bias_is_small() {
+        let mut rng = WeightRng::new(3);
+        assert!(rng.bias(100).iter().all(|v| v.abs() <= 0.05));
+    }
+}

@@ -1,0 +1,361 @@
+//! Graph builders for the benchmark network families: MLP, LSTM, RNN,
+//! BM/RBM. Each builder appends layers to a [`Model`] graph that the PUMA
+//! compiler lowers to assembly.
+//!
+//! Recurrent networks are built by unrolling a configurable number of time
+//! steps; the weight matrices are shared across steps, so the compiler maps
+//! them to the *same* crossbars (verified by `weight_tiles` counts) — the
+//! paper's weight-reuse property (§2.2.2).
+
+use crate::init::WeightRng;
+use crate::spec::Activation;
+use puma_compiler::graph::{Model, VecId};
+use puma_core::error::Result;
+
+/// Produces weight matrices for the builders: either real Xavier-initialized
+/// data or shape-only matrices for timing-only compilation of models too
+/// large to materialize (BigLSTM's 856M parameters would need gigabytes).
+#[derive(Debug, Clone)]
+pub struct WeightFactory {
+    rng: WeightRng,
+    materialize: bool,
+}
+
+impl WeightFactory {
+    /// A factory producing real weight data.
+    pub fn materialized(seed: u64) -> Self {
+        WeightFactory { rng: WeightRng::new(seed), materialize: true }
+    }
+
+    /// A factory producing shape-only matrices (timing-only compilation).
+    pub fn shape_only(seed: u64) -> Self {
+        WeightFactory { rng: WeightRng::new(seed), materialize: false }
+    }
+
+    /// Whether this factory materializes data.
+    pub fn is_materialized(&self) -> bool {
+        self.materialize
+    }
+
+    /// Registers a weight matrix on the model.
+    pub fn matrix(
+        &mut self,
+        model: &mut Model,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+    ) -> puma_compiler::graph::MatrixId {
+        if self.materialize {
+            model.constant_matrix(name, self.rng.xavier_matrix(rows, cols))
+        } else {
+            model.constant_matrix_shaped(name, rows, cols)
+        }
+    }
+
+    /// Registers a bias vector on the model.
+    pub fn bias(&mut self, model: &mut Model, n: usize) -> VecId {
+        if self.materialize {
+            let b = self.rng.bias(n);
+            model.constant_vector(b)
+        } else {
+            model.constant_vector(vec![0.0; n])
+        }
+    }
+}
+
+/// Applies an [`Activation`] to a graph value.
+pub fn activate(model: &mut Model, value: VecId, act: Activation) -> VecId {
+    match act {
+        Activation::None => value,
+        Activation::Relu => model.relu(value),
+        Activation::Sigmoid => model.sigmoid(value),
+        Activation::Tanh => model.tanh(value),
+    }
+}
+
+/// Appends a fully-connected layer `act(W·x + b)`.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the graph builder.
+pub fn dense(
+    model: &mut Model,
+    weights: &mut WeightFactory,
+    name: &str,
+    input: VecId,
+    output_width: usize,
+    act: Activation,
+) -> Result<VecId> {
+    let in_width = model.node(input).width;
+    let w = weights.matrix(model, name, in_width, output_width);
+    let b = weights.bias(model, output_width);
+    let wx = model.mvm(w, input)?;
+    let sum = model.add(wx, b)?;
+    Ok(activate(model, sum, act))
+}
+
+/// Weight matrices of one LSTM layer (shared across time steps).
+#[derive(Debug, Clone, Copy)]
+pub struct LstmWeights {
+    gates_x: [puma_compiler::graph::MatrixId; 4],
+    gates_h: [puma_compiler::graph::MatrixId; 4],
+    biases: [VecId; 4],
+    projection: Option<puma_compiler::graph::MatrixId>,
+    hidden: usize,
+}
+
+/// Creates the weight set for one LSTM layer.
+pub fn lstm_weights(
+    model: &mut Model,
+    weights: &mut WeightFactory,
+    name: &str,
+    input: usize,
+    hidden: usize,
+    projection: Option<usize>,
+) -> LstmWeights {
+    let proj = projection.unwrap_or(hidden);
+    let gates_x = ["f", "i", "o", "g"]
+        .map(|g| weights.matrix(model, format!("{name}.Wx_{g}"), input, hidden));
+    let gates_h = ["f", "i", "o", "g"]
+        .map(|g| weights.matrix(model, format!("{name}.Wh_{g}"), proj, hidden));
+    let biases = [0, 1, 2, 3].map(|_| weights.bias(model, hidden));
+    let projection =
+        projection.map(|p| weights.matrix(model, format!("{name}.proj"), hidden, p));
+    LstmWeights { gates_x, gates_h, biases, projection, hidden }
+}
+
+/// Applies one LSTM step: returns `(h_next, c_next)`.
+///
+/// Gate order: forget, input, output, candidate (Eq. 2-4 of the paper,
+/// decomposed as `W·[h,x] = Wx·x + Wh·h`).
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the graph builder.
+pub fn lstm_step(
+    model: &mut Model,
+    weights: &LstmWeights,
+    x: VecId,
+    h_prev: VecId,
+    c_prev: VecId,
+) -> Result<(VecId, VecId)> {
+    let mut gates = Vec::with_capacity(4);
+    for k in 0..4 {
+        let wx = model.mvm(weights.gates_x[k], x)?;
+        let wh = model.mvm(weights.gates_h[k], h_prev)?;
+        let s = model.add(wx, wh)?;
+        let s = model.add(s, weights.biases[k])?;
+        let g = if k == 3 { model.tanh(s) } else { model.sigmoid(s) };
+        gates.push(g);
+    }
+    let (f, i, o, g) = (gates[0], gates[1], gates[2], gates[3]);
+    let fc = model.mul(f, c_prev)?;
+    let ig = model.mul(i, g)?;
+    let c_next = model.add(fc, ig)?;
+    let c_act = model.tanh(c_next);
+    let h_cell = model.mul(o, c_act)?;
+    let h_next = match weights.projection {
+        Some(p) => model.mvm(p, h_cell)?,
+        None => h_cell,
+    };
+    let _ = weights.hidden;
+    Ok((h_next, c_next))
+}
+
+/// Builds an unrolled multi-layer LSTM over `steps` time steps.
+///
+/// Inputs `x0..x{steps-1}`; outputs the final layer's hidden state at every
+/// step (`h0..`). Initial states are zero constants.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the graph builder.
+pub fn lstm_network(
+    model: &mut Model,
+    weights: &mut WeightFactory,
+    input_width: usize,
+    layers: &[(usize, Option<usize>)],
+    steps: usize,
+) -> Result<Vec<VecId>> {
+    let mut layer_weights = Vec::new();
+    let mut in_w = input_width;
+    for (li, &(hidden, projection)) in layers.iter().enumerate() {
+        let w = lstm_weights(model, weights, &format!("lstm{li}"), in_w, hidden, projection);
+        layer_weights.push(w);
+        in_w = projection.unwrap_or(hidden);
+    }
+    // Zero initial states.
+    let mut h: Vec<VecId> = layers
+        .iter()
+        .map(|&(hidden, projection)| {
+            model.constant_vector(vec![0.0; projection.unwrap_or(hidden)])
+        })
+        .collect();
+    let mut c: Vec<VecId> =
+        layers.iter().map(|&(hidden, _)| model.constant_vector(vec![0.0; hidden])).collect();
+    let mut outputs = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let mut x = model.input(format!("x{t}"), input_width);
+        for (li, weights) in layer_weights.iter().enumerate() {
+            let (h_next, c_next) = lstm_step(model, weights, x, h[li], c[li])?;
+            h[li] = h_next;
+            c[li] = c_next;
+            x = h_next;
+        }
+        outputs.push(x);
+        let _ = t;
+    }
+    Ok(outputs)
+}
+
+/// Weight matrices of a vanilla RNN layer.
+#[derive(Debug, Clone, Copy)]
+pub struct RnnWeights {
+    wx: puma_compiler::graph::MatrixId,
+    wh: puma_compiler::graph::MatrixId,
+    bias: VecId,
+}
+
+/// Creates the weight set for one RNN layer.
+pub fn rnn_weights(
+    model: &mut Model,
+    weights: &mut WeightFactory,
+    name: &str,
+    input: usize,
+    hidden: usize,
+) -> RnnWeights {
+    RnnWeights {
+        wx: weights.matrix(model, format!("{name}.Wx"), input, hidden),
+        wh: weights.matrix(model, format!("{name}.Wh"), hidden, hidden),
+        bias: weights.bias(model, hidden),
+    }
+}
+
+/// One RNN step: `h' = tanh(Wx·x + Wh·h + b)`.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the graph builder.
+pub fn rnn_step(model: &mut Model, weights: &RnnWeights, x: VecId, h: VecId) -> Result<VecId> {
+    let a = model.mvm(weights.wx, x)?;
+    let b = model.mvm(weights.wh, h)?;
+    let s = model.add(a, b)?;
+    let s = model.add(s, weights.bias)?;
+    Ok(model.tanh(s))
+}
+
+/// Builds a Boltzmann-machine-style energy layer: `h = sigmoid(W·v)`
+/// (BM uses inputs only; RBM adds the previous hidden state, §2.4).
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the graph builder.
+pub fn boltzmann(
+    model: &mut Model,
+    weights: &mut WeightFactory,
+    visible: usize,
+    hidden: usize,
+    restricted: bool,
+    steps: usize,
+) -> Result<VecId> {
+    let w = weights.matrix(model, "W", visible, hidden);
+    let u = restricted.then(|| weights.matrix(model, "U", hidden, hidden));
+    let mut h_prev = model.constant_vector(vec![0.0; hidden]);
+    let mut out = h_prev;
+    for t in 0..steps {
+        let v = model.input(format!("v{t}"), visible);
+        let wv = model.mvm(w, v)?;
+        let pre = match u {
+            Some(u) => {
+                let uh = model.mvm(u, h_prev)?;
+                model.add(wv, uh)?
+            }
+            None => wv,
+        };
+        out = model.sigmoid(pre);
+        h_prev = out;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dense_layer_shapes() {
+        let mut m = Model::new("d");
+        let mut rng = WeightFactory::materialized(1);
+        let x = m.input("x", 16);
+        let y = dense(&mut m, &mut rng, "W", x, 8, Activation::Relu).unwrap();
+        assert_eq!(m.node(y).width, 8);
+        m.output("y", y);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn lstm_step_reference_is_bounded() {
+        // Sigmoid/tanh mixing keeps h in (-1, 1).
+        let mut m = Model::new("l");
+        let mut rng = WeightFactory::materialized(2);
+        let x = m.input("x", 8);
+        let h0 = m.constant_vector(vec![0.0; 8]);
+        let c0 = m.constant_vector(vec![0.0; 8]);
+        let w = lstm_weights(&mut m, &mut rng, "l0", 8, 8, None);
+        let (h1, c1) = lstm_step(&mut m, &w, x, h0, c0).unwrap();
+        m.output("h", h1);
+        m.output("c", c1);
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![0.5; 8]);
+        let out = m.evaluate_reference(&inputs).unwrap();
+        assert!(out["h"].iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn unrolled_lstm_shares_weights() {
+        let mut m = Model::new("u");
+        let mut rng = WeightFactory::materialized(3);
+        let outs = lstm_network(&mut m, &mut rng, 8, &[(8, None)], 3).unwrap();
+        assert_eq!(outs.len(), 3);
+        m.output("h_last", *outs.last().unwrap());
+        // 8 gate matrices + 0 projection, regardless of steps.
+        assert_eq!(m.matrices().len(), 8);
+    }
+
+    #[test]
+    fn projection_reduces_output_width() {
+        let mut m = Model::new("p");
+        let mut rng = WeightFactory::materialized(4);
+        let outs = lstm_network(&mut m, &mut rng, 8, &[(16, Some(4))], 2).unwrap();
+        assert_eq!(m.node(outs[0]).width, 4);
+        // 8 gate matrices + 1 projection.
+        assert_eq!(m.matrices().len(), 9);
+    }
+
+    #[test]
+    fn rnn_step_builds() {
+        let mut m = Model::new("r");
+        let mut rng = WeightFactory::materialized(5);
+        let x = m.input("x", 6);
+        let h0 = m.constant_vector(vec![0.0; 10]);
+        let w = rnn_weights(&mut m, &mut rng, "r0", 6, 10);
+        let h1 = rnn_step(&mut m, &w, x, h0).unwrap();
+        assert_eq!(m.node(h1).width, 10);
+    }
+
+    #[test]
+    fn boltzmann_variants_differ_in_matrices() {
+        let mut bm = Model::new("bm");
+        let mut rng = WeightFactory::materialized(6);
+        let out = boltzmann(&mut bm, &mut rng, 12, 10, false, 2).unwrap();
+        bm.output("h", out);
+        assert_eq!(bm.matrices().len(), 1);
+
+        let mut rbm = Model::new("rbm");
+        let mut rng = WeightFactory::materialized(6);
+        let out = boltzmann(&mut rbm, &mut rng, 12, 10, true, 2).unwrap();
+        rbm.output("h", out);
+        assert_eq!(rbm.matrices().len(), 2);
+    }
+}

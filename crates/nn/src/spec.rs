@@ -1,0 +1,287 @@
+//! Workload descriptors: the shape-level facts about each benchmark
+//! network (Table 5 of the paper), used by the analytic platform models,
+//! Table 1's characterization, and the graph builders.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation applied by a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation (linear output layer).
+    None,
+    /// ReLU.
+    Relu,
+    /// Sigmoid (transcendental).
+    Sigmoid,
+    /// Tanh (transcendental).
+    Tanh,
+}
+
+/// One layer of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully-connected layer: `out = act(W·in + b)`.
+    Fc {
+        /// Input width.
+        input: usize,
+        /// Output width.
+        output: usize,
+        /// Activation.
+        act: Activation,
+    },
+    /// LSTM layer (four gates; optionally projected output).
+    Lstm {
+        /// Input width.
+        input: usize,
+        /// Cell count.
+        hidden: usize,
+        /// Projection width (None = hidden).
+        projection: Option<usize>,
+    },
+    /// Vanilla RNN layer: `h = act(W·x + U·h)`.
+    Rnn {
+        /// Input width.
+        input: usize,
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// 2D convolution over `input` channels producing `output` channels
+    /// with `kernel`×`kernel` filters at stride `stride` on a
+    /// `height`×`width` input.
+    Conv {
+        /// Input channels.
+        input: usize,
+        /// Output channels.
+        output: usize,
+        /// Kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+    },
+    /// Max pooling with `window`×`window` non-overlapping windows.
+    Pool {
+        /// Channels.
+        channels: usize,
+        /// Window side (= stride).
+        window: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Weight parameters in this layer.
+    pub fn params(&self) -> u64 {
+        match *self {
+            LayerSpec::Fc { input, output, .. } => (input * output + output) as u64,
+            LayerSpec::Lstm { input, hidden, projection } => {
+                let proj = projection.unwrap_or(hidden);
+                // Four gates over [x, h_proj], plus the projection matrix.
+                let gates = 4 * (input + proj) * hidden + 4 * hidden;
+                let proj_w = if projection.is_some() { hidden * proj } else { 0 };
+                (gates + proj_w) as u64
+            }
+            LayerSpec::Rnn { input, hidden } => ((input + hidden) * hidden + hidden) as u64,
+            LayerSpec::Conv { input, output, kernel, .. } => {
+                (input * output * kernel * kernel + output) as u64
+            }
+            LayerSpec::Pool { .. } => 0,
+        }
+    }
+
+    /// Multiply-accumulate operations per inference step (one input for
+    /// FC/conv; one time step for recurrent layers).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerSpec::Fc { input, output, .. } => (input * output) as u64,
+            LayerSpec::Lstm { input, hidden, projection } => {
+                let proj = projection.unwrap_or(hidden);
+                let gates = 4 * (input + proj) * hidden;
+                let proj_w = if projection.is_some() { hidden * proj } else { 0 };
+                (gates + proj_w) as u64
+            }
+            LayerSpec::Rnn { input, hidden } => ((input + hidden) * hidden) as u64,
+            LayerSpec::Conv { input, output, kernel, stride, height, width } => {
+                let (h_out, w_out) = conv_output(height, width, kernel, stride);
+                (h_out * w_out * input * output * kernel * kernel) as u64
+            }
+            LayerSpec::Pool { .. } => 0,
+        }
+    }
+
+    /// Output activation element count per step.
+    pub fn output_elems(&self) -> u64 {
+        match *self {
+            LayerSpec::Fc { output, .. } => output as u64,
+            LayerSpec::Lstm { hidden, projection, .. } => projection.unwrap_or(hidden) as u64,
+            LayerSpec::Rnn { hidden, .. } => hidden as u64,
+            LayerSpec::Conv { output, kernel, stride, height, width, .. } => {
+                let (h, w) = conv_output(height, width, kernel, stride);
+                (h * w * output) as u64
+            }
+            LayerSpec::Pool { channels, window, height, width } => {
+                ((height / window) * (width / window) * channels) as u64
+            }
+        }
+    }
+
+    /// Input activation element count per step.
+    pub fn input_elems(&self) -> u64 {
+        match *self {
+            LayerSpec::Fc { input, .. } => input as u64,
+            LayerSpec::Lstm { input, .. } => input as u64,
+            LayerSpec::Rnn { input, .. } => input as u64,
+            LayerSpec::Conv { input, height, width, .. } => (input * height * width) as u64,
+            LayerSpec::Pool { channels, height, width, .. } => (channels * height * width) as u64,
+        }
+    }
+
+    /// True for layers whose weights are reused across positions within one
+    /// inference (convolutions).
+    pub fn has_input_reuse(&self) -> bool {
+        matches!(self, LayerSpec::Conv { .. })
+    }
+}
+
+/// Output spatial dims of a (valid-padding) convolution.
+pub fn conv_output(height: usize, width: usize, kernel: usize, stride: usize) -> (usize, usize) {
+    ((height - kernel) / stride + 1, (width - kernel) / stride + 1)
+}
+
+/// Workload class, mirroring Table 5's "DNN Type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Multi-layer perceptron.
+    Mlp,
+    /// Deep LSTM (many layers, moderate width).
+    DeepLstm,
+    /// Wide LSTM (few layers, very wide).
+    WideLstm,
+    /// Convolutional network.
+    Cnn,
+    /// Vanilla recurrent network.
+    Rnn,
+    /// (Restricted) Boltzmann machine.
+    Boltzmann,
+}
+
+/// A full workload: layers, sequence length, and metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name (Table 5).
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Layers in order.
+    pub layers: Vec<LayerSpec>,
+    /// Sequence length (1 for feed-forward nets; 50 for Table 5 LSTMs).
+    pub seq_len: usize,
+}
+
+impl WorkloadSpec {
+    /// Total weight parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::params).sum()
+    }
+
+    /// Total MACs for one inference (all sequence steps).
+    pub fn total_macs(&self) -> u64 {
+        let per_step: u64 = self.layers.iter().map(LayerSpec::macs).sum();
+        per_step * self.seq_len as u64
+    }
+
+    /// Total activation elements moved between layers for one inference.
+    pub fn total_activation_elems(&self) -> u64 {
+        let per_step: u64 =
+            self.layers.iter().map(|l| l.input_elems() + l.output_elems()).sum();
+        per_step * self.seq_len as u64
+    }
+
+    /// Weight bytes at 16-bit precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.params() * 2
+    }
+
+    /// Arithmetic intensity proxy: MACs per weight parameter. ≈1 for
+    /// MLPs (no reuse), ≈seq_len for LSTMs, large for CNNs.
+    pub fn macs_per_param(&self) -> f64 {
+        self.total_macs() as f64 / self.params().max(1) as f64
+    }
+
+    /// Whether any layer performs transcendental activations.
+    pub fn uses_transcendentals(&self) -> bool {
+        self.layers.iter().any(|l| {
+            matches!(
+                l,
+                LayerSpec::Lstm { .. }
+                    | LayerSpec::Rnn { .. }
+                    | LayerSpec::Fc { act: Activation::Sigmoid | Activation::Tanh, .. }
+            )
+        })
+    }
+
+    /// Number of layers with weights.
+    pub fn weight_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.params() > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_formula() {
+        assert_eq!(conv_output(28, 28, 5, 1), (24, 24));
+        assert_eq!(conv_output(224, 224, 3, 1), (222, 222));
+        assert_eq!(conv_output(8, 8, 2, 2), (4, 4));
+    }
+
+    #[test]
+    fn fc_params_include_bias() {
+        let fc = LayerSpec::Fc { input: 10, output: 20, act: Activation::Relu };
+        assert_eq!(fc.params(), 220);
+        assert_eq!(fc.macs(), 200);
+    }
+
+    #[test]
+    fn lstm_params_count_four_gates() {
+        let l = LayerSpec::Lstm { input: 8, hidden: 16, projection: None };
+        assert_eq!(l.params(), 4 * (8 + 16) * 16 + 4 * 16);
+        let p = LayerSpec::Lstm { input: 8, hidden: 16, projection: Some(4) };
+        assert_eq!(p.params(), (4 * (8 + 4) * 16 + 4 * 16 + 16 * 4) as u64);
+    }
+
+    #[test]
+    fn conv_macs_scale_with_positions() {
+        let c = LayerSpec::Conv { input: 3, output: 8, kernel: 3, stride: 1, height: 10, width: 10 };
+        assert_eq!(c.macs(), 8 * 8 * 3 * 8 * 9);
+        assert!(c.has_input_reuse());
+    }
+
+    #[test]
+    fn workload_aggregates_over_sequence() {
+        let w = WorkloadSpec {
+            name: "t".into(),
+            class: WorkloadClass::DeepLstm,
+            layers: vec![LayerSpec::Lstm { input: 8, hidden: 8, projection: None }],
+            seq_len: 10,
+        };
+        assert_eq!(w.total_macs(), 10 * 4 * 16 * 8);
+        assert!(w.macs_per_param() > 5.0);
+        assert!(w.uses_transcendentals());
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        let p = LayerSpec::Pool { channels: 4, window: 2, height: 8, width: 8 };
+        assert_eq!(p.params(), 0);
+        assert_eq!(p.output_elems(), 4 * 16);
+    }
+}

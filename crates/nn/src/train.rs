@@ -1,0 +1,211 @@
+//! A small pure-Rust MLP trainer (SGD with momentum) for the Fig. 13
+//! accuracy experiment.
+//!
+//! The performance experiments use synthetic weights, but inference
+//! *accuracy* under crossbar quantization and write noise (Fig. 13) needs a
+//! network that has actually learned something. This trainer fits a
+//! two-layer sigmoid MLP on the synthetic cluster task from
+//! [`crate::data`]; the trained weights are then programmed into
+//! [`puma_xbar::AnalogMvmu`]s at each precision/noise point.
+
+use crate::data::Dataset;
+use crate::init::WeightRng;
+use puma_core::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trained two-layer MLP: `logits = W2·sigmoid(W1·x + b1) + b2`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedMlp {
+    /// First layer weights (features × hidden).
+    pub w1: Matrix,
+    /// First layer bias.
+    pub b1: Vec<f32>,
+    /// Second layer weights (hidden × classes).
+    pub w2: Matrix,
+    /// Second layer bias.
+    pub b2: Vec<f32>,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl TrainedMlp {
+    /// Forward pass returning class logits.
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let h_pre = self.w1.mvm(x).expect("feature width");
+        let h: Vec<f32> =
+            h_pre.iter().zip(&self.b1).map(|(v, b)| sigmoid(v + b)).collect();
+        let mut out = self.w2.mvm(&h).expect("hidden width");
+        for (o, b) in out.iter_mut().zip(&self.b2) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let logits = self.logits(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("nonempty logits")
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .samples
+            .iter()
+            .zip(&data.labels)
+            .filter(|(s, &l)| self.predict(s) == l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.w1.cols()
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// RNG seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { hidden: 32, epochs: 60, learning_rate: 0.1, seed: 42 }
+    }
+}
+
+/// Trains the MLP with plain SGD and a softmax cross-entropy loss.
+pub fn train_mlp(data: &Dataset, cfg: &TrainConfig) -> TrainedMlp {
+    let mut rng = WeightRng::new(cfg.seed);
+    let mut net = TrainedMlp {
+        w1: rng.xavier_matrix(data.features, cfg.hidden),
+        b1: vec![0.0; cfg.hidden],
+        w2: rng.xavier_matrix(cfg.hidden, data.classes),
+        b2: vec![0.0; data.classes],
+    };
+    let lr = cfg.learning_rate;
+    for _epoch in 0..cfg.epochs {
+        for (x, &label) in data.samples.iter().zip(&data.labels) {
+            // Forward.
+            let h_pre = net.w1.mvm(x).expect("shape");
+            let h: Vec<f32> =
+                h_pre.iter().zip(&net.b1).map(|(v, b)| sigmoid(v + b)).collect();
+            let mut logits = net.w2.mvm(&h).expect("shape");
+            for (o, b) in logits.iter_mut().zip(&net.b2) {
+                *o += b;
+            }
+            // Softmax.
+            let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+            // Backward: d_logits = probs - onehot.
+            let d_logits: Vec<f32> = probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| p - if i == label { 1.0 } else { 0.0 })
+                .collect();
+            // Grad w2 (h × classes) and hidden error.
+            let mut d_h = vec![0.0f32; net.w2.rows()];
+            for r in 0..net.w2.rows() {
+                for c in 0..net.w2.cols() {
+                    let g = h[r] * d_logits[c];
+                    let w = net.w2.get(r, c);
+                    d_h[r] += w * d_logits[c];
+                    net.w2.set(r, c, w - lr * g);
+                }
+            }
+            for (b, d) in net.b2.iter_mut().zip(&d_logits) {
+                *b -= lr * d;
+            }
+            // Hidden sigmoid derivative.
+            let d_pre: Vec<f32> =
+                d_h.iter().zip(&h).map(|(d, &hv)| d * hv * (1.0 - hv)).collect();
+            for r in 0..net.w1.rows() {
+                let xv = x[r];
+                if xv == 0.0 {
+                    continue;
+                }
+                for c in 0..net.w1.cols() {
+                    let w = net.w1.get(r, c);
+                    net.w1.set(r, c, w - lr * xv * d_pre[c]);
+                }
+            }
+            for (b, d) in net.b1.iter_mut().zip(&d_pre) {
+                *b -= lr * d;
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{split, synthetic_clusters};
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let data = synthetic_clusters(16, 4, 40, 0.15, 11);
+        let (train, test) = split(&data, 0.8);
+        let net = train_mlp(&train, &TrainConfig::default());
+        let acc = net.accuracy(&test);
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn untrained_network_is_near_chance() {
+        let data = synthetic_clusters(16, 4, 40, 0.15, 11);
+        let net = train_mlp(&data, &TrainConfig { epochs: 0, ..TrainConfig::default() });
+        let acc = net.accuracy(&data);
+        assert!(acc < 0.6, "untrained accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = synthetic_clusters(8, 3, 20, 0.1, 5);
+        let a = train_mlp(&data, &TrainConfig::default());
+        let b = train_mlp(&data, &TrainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_picks_argmax() {
+        let net = TrainedMlp {
+            w1: Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 }),
+            b1: vec![0.0; 2],
+            w2: Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 }),
+            b2: vec![0.0, 10.0],
+        };
+        assert_eq!(net.predict(&[5.0, 0.0]), 1, "large bias dominates");
+        assert_eq!(net.hidden(), 2);
+    }
+
+    #[test]
+    fn weights_stay_in_fixed_point_range() {
+        // Q4.12 holds [-8, 8); training on normalized data must not blow up.
+        let data = synthetic_clusters(16, 4, 40, 0.15, 11);
+        let net = train_mlp(&data, &TrainConfig::default());
+        assert!(net.w1.max_abs() < 8.0);
+        assert!(net.w2.max_abs() < 8.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The benchmark model zoo: the Table 5 evaluation networks and the Fig. 4
+//! instruction-mix workloads.
+//!
+//! Layer dimensions for the Table 5 networks are reconstructed from the
+//! published parameter counts (the paper lists totals, not shapes); the
+//! reconstructions land within a few percent of every published count —
+//! see the unit tests at the bottom of this module.
+
+use crate::layers::{self, WeightFactory};
+use crate::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
+use puma_compiler::graph::Model;
+use puma_core::error::Result;
+
+/// Table 5 benchmark names.
+pub const TABLE5_NAMES: [&str; 8] =
+    ["MLPL4", "MLPL5", "NMTL3", "NMTL5", "BigLSTM", "LSTM-2048", "Vgg16", "Vgg19"];
+
+/// Builds the spec of a Table 5 or Fig. 4 workload by name.
+///
+/// # Panics
+///
+/// Panics on unknown names; use [`all_specs`] to enumerate valid ones.
+pub fn spec(name: &str) -> WorkloadSpec {
+    match name {
+        // ---- Table 5 ---------------------------------------------------
+        "MLPL4" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Mlp,
+            layers: (0..4)
+                .map(|_| LayerSpec::Fc { input: 1120, output: 1120, act: Activation::Sigmoid })
+                .collect(),
+            seq_len: 1,
+        },
+        "MLPL5" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Mlp,
+            layers: (0..5)
+                .map(|_| LayerSpec::Fc { input: 2048, output: 2048, act: Activation::Sigmoid })
+                .collect(),
+            seq_len: 1,
+        },
+        "NMTL3" => nmt(name, 3),
+        "NMTL5" => nmt(name, 5),
+        "BigLSTM" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::WideLstm,
+            layers: vec![
+                LayerSpec::Lstm { input: 1024, hidden: 8192, projection: Some(1024) },
+                LayerSpec::Lstm { input: 1024, hidden: 8192, projection: Some(1024) },
+                LayerSpec::Fc { input: 1024, output: 688_000, act: Activation::None },
+            ],
+            seq_len: 50,
+        },
+        "LSTM-2048" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::WideLstm,
+            layers: vec![
+                LayerSpec::Lstm { input: 2048, hidden: 8192, projection: Some(2048) },
+                LayerSpec::Fc { input: 2048, output: 196_000, act: Activation::None },
+            ],
+            seq_len: 50,
+        },
+        "Vgg16" => vgg(name, &[2, 2, 3, 3, 3]),
+        "Vgg19" => vgg(name, &[2, 2, 4, 4, 4]),
+        // ---- Fig. 4 workloads ------------------------------------------
+        "Lenet5" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Cnn,
+            layers: vec![
+                LayerSpec::Conv { input: 1, output: 6, kernel: 5, stride: 1, height: 28, width: 28 },
+                LayerSpec::Pool { channels: 6, window: 2, height: 24, width: 24 },
+                LayerSpec::Conv { input: 6, output: 16, kernel: 5, stride: 1, height: 12, width: 12 },
+                LayerSpec::Pool { channels: 16, window: 2, height: 8, width: 8 },
+                LayerSpec::Fc { input: 256, output: 120, act: Activation::Relu },
+                LayerSpec::Fc { input: 120, output: 84, act: Activation::Relu },
+                LayerSpec::Fc { input: 84, output: 10, act: Activation::None },
+            ],
+            seq_len: 1,
+        },
+        "MLP-64-150-150-14" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Mlp,
+            layers: vec![
+                LayerSpec::Fc { input: 64, output: 150, act: Activation::Sigmoid },
+                LayerSpec::Fc { input: 150, output: 150, act: Activation::Sigmoid },
+                LayerSpec::Fc { input: 150, output: 14, act: Activation::Sigmoid },
+            ],
+            seq_len: 1,
+        },
+        "LSTM-26-120-61" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::DeepLstm,
+            layers: vec![
+                LayerSpec::Lstm { input: 26, hidden: 120, projection: None },
+                LayerSpec::Fc { input: 120, output: 61, act: Activation::Sigmoid },
+            ],
+            seq_len: 8,
+        },
+        "RNN-26-93-61" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Rnn,
+            layers: vec![
+                LayerSpec::Rnn { input: 26, hidden: 93 },
+                LayerSpec::Fc { input: 93, output: 61, act: Activation::Sigmoid },
+            ],
+            seq_len: 8,
+        },
+        "BM-V500-H500" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Boltzmann,
+            layers: vec![LayerSpec::Fc { input: 500, output: 500, act: Activation::Sigmoid }],
+            seq_len: 4,
+        },
+        "RBM-V500-H500" => WorkloadSpec {
+            name: name.into(),
+            class: WorkloadClass::Boltzmann,
+            layers: vec![
+                LayerSpec::Fc { input: 500, output: 500, act: Activation::Sigmoid },
+                LayerSpec::Rnn { input: 500, hidden: 500 },
+            ],
+            seq_len: 4,
+        },
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+fn nmt(name: &str, layers_per_dir: usize) -> WorkloadSpec {
+    let mut layers = Vec::new();
+    for _ in 0..2 * layers_per_dir {
+        layers.push(LayerSpec::Lstm { input: 1024, hidden: 1024, projection: None });
+    }
+    layers.push(LayerSpec::Fc { input: 1024, output: 40_000, act: Activation::None });
+    WorkloadSpec { name: name.into(), class: WorkloadClass::DeepLstm, layers, seq_len: 50 }
+}
+
+fn vgg(name: &str, blocks: &[usize]) -> WorkloadSpec {
+    let mut layers = Vec::new();
+    let mut channels = 3;
+    let mut size = 224;
+    let widths = [64, 128, 256, 512, 512];
+    for (b, &convs) in blocks.iter().enumerate() {
+        for _ in 0..convs {
+            layers.push(LayerSpec::Conv {
+                input: channels,
+                output: widths[b],
+                kernel: 3,
+                stride: 1,
+                height: size,
+                width: size,
+            });
+            channels = widths[b];
+        }
+        layers.push(LayerSpec::Pool { channels, window: 2, height: size, width: size });
+        size /= 2;
+    }
+    layers.push(LayerSpec::Fc { input: channels * size * size, output: 4096, act: Activation::Relu });
+    layers.push(LayerSpec::Fc { input: 4096, output: 4096, act: Activation::Relu });
+    layers.push(LayerSpec::Fc { input: 4096, output: 1000, act: Activation::None });
+    WorkloadSpec { name: name.into(), class: WorkloadClass::Cnn, layers, seq_len: 1 }
+}
+
+/// All workload specs: Table 5 plus the Fig. 4 set.
+pub fn all_specs() -> Vec<WorkloadSpec> {
+    let mut names: Vec<&str> = TABLE5_NAMES.to_vec();
+    names.extend([
+        "Lenet5",
+        "MLP-64-150-150-14",
+        "LSTM-26-120-61",
+        "RNN-26-93-61",
+        "BM-V500-H500",
+        "RBM-V500-H500",
+    ]);
+    names.into_iter().map(spec).collect()
+}
+
+/// Builds a compilable graph model for a non-CNN workload, optionally
+/// overriding the sequence length (large LSTMs are typically simulated for
+/// a few steps and scaled; see EXPERIMENTS.md).
+///
+/// Returns `None` for CNN workloads — those go through the looped layer
+/// codegen in [`crate::cnn`] or the analytic model in [`crate::perf`].
+///
+/// # Errors
+///
+/// Propagates graph-construction failures.
+pub fn build_graph_model(
+    spec: &WorkloadSpec,
+    weights: &mut WeightFactory,
+    seq_len_override: Option<usize>,
+) -> Result<Option<Model>> {
+    if spec.class == WorkloadClass::Cnn {
+        return Ok(None);
+    }
+    let steps = seq_len_override.unwrap_or(spec.seq_len);
+    let mut model = Model::new(spec.name.clone());
+
+    // Recurrent prefix (LSTM/RNN layers), then feed-forward suffix applied
+    // to the last step's output.
+    let recurrent: Vec<&LayerSpec> = spec
+        .layers
+        .iter()
+        .filter(|l| matches!(l, LayerSpec::Lstm { .. } | LayerSpec::Rnn { .. }))
+        .collect();
+    let feedforward: Vec<&LayerSpec> =
+        spec.layers.iter().filter(|l| matches!(l, LayerSpec::Fc { .. })).collect();
+
+    let mut last = if recurrent.is_empty() {
+        let input_width = match spec.layers.first() {
+            Some(LayerSpec::Fc { input, .. }) => *input,
+            _ => {
+                return Err(puma_core::PumaError::Compile {
+                    what: format!("workload {} has no layers", spec.name),
+                })
+            }
+        };
+        model.input("x0", input_width)
+    } else {
+        // Build the unrolled recurrent stack.
+        let mut lstm_stack = Vec::new();
+        let mut input_width = None;
+        let mut rnn_stack = Vec::new();
+        for l in &recurrent {
+            match l {
+                LayerSpec::Lstm { input, hidden, projection } => {
+                    if input_width.is_none() {
+                        input_width = Some(*input);
+                    }
+                    lstm_stack.push((*hidden, *projection));
+                }
+                LayerSpec::Rnn { input, hidden } => {
+                    if input_width.is_none() {
+                        input_width = Some(*input);
+                    }
+                    rnn_stack.push(*hidden);
+                }
+                _ => unreachable!(),
+            }
+        }
+        let input_width = input_width.expect("recurrent layer present");
+        if !lstm_stack.is_empty() {
+            let outs = layers::lstm_network(&mut model, weights, input_width, &lstm_stack, steps)?;
+            *outs.last().expect("at least one step")
+        } else {
+            // Vanilla RNN stack, unrolled manually.
+            let mut weights_per_layer = Vec::new();
+            let mut in_w = input_width;
+            for (li, &hidden) in rnn_stack.iter().enumerate() {
+                weights_per_layer
+                    .push(layers::rnn_weights(&mut model, weights, &format!("rnn{li}"), in_w, hidden));
+                in_w = hidden;
+            }
+            let mut h: Vec<_> =
+                rnn_stack.iter().map(|&hd| model.constant_vector(vec![0.0; hd])).collect();
+            let mut last = h[0];
+            for t in 0..steps {
+                let mut x = model.input(format!("x{t}"), input_width);
+                for (li, w) in weights_per_layer.iter().enumerate() {
+                    let h_next = layers::rnn_step(&mut model, w, x, h[li])?;
+                    h[li] = h_next;
+                    x = h_next;
+                }
+                last = x;
+            }
+            last
+        }
+    };
+
+    for (i, l) in feedforward.iter().enumerate() {
+        let LayerSpec::Fc { output, act, .. } = l else { unreachable!() };
+        last = layers::dense(&mut model, weights, &format!("fc{i}"), last, *output, *act)?;
+    }
+    model.output("out", last);
+    Ok(Some(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published Table 5 parameter counts (the "# Parameters" column).
+    const PUBLISHED_PARAMS: [(&str, f64); 8] = [
+        ("MLPL4", 5e6),
+        ("MLPL5", 21e6),
+        ("NMTL3", 91e6),
+        ("NMTL5", 125e6),
+        ("BigLSTM", 856e6),
+        ("LSTM-2048", 554e6),
+        ("Vgg16", 136e6),
+        ("Vgg19", 141e6),
+    ];
+
+    #[test]
+    fn reconstructed_sizes_match_published_parameter_counts() {
+        for (name, published) in PUBLISHED_PARAMS {
+            let s = spec(name);
+            let params = s.params() as f64;
+            let ratio = params / published;
+            assert!(
+                (0.9..1.12).contains(&ratio),
+                "{name}: {params:.2e} params vs published {published:.2e} (ratio {ratio:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_classes_match_paper() {
+        assert_eq!(spec("MLPL4").class, WorkloadClass::Mlp);
+        assert_eq!(spec("NMTL3").class, WorkloadClass::DeepLstm);
+        assert_eq!(spec("BigLSTM").class, WorkloadClass::WideLstm);
+        assert_eq!(spec("Vgg16").class, WorkloadClass::Cnn);
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let s = spec("Vgg16");
+        let convs = s.layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        let fcs = s.layers.iter().filter(|l| matches!(l, LayerSpec::Fc { .. })).count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        let s19 = spec("Vgg19");
+        let convs19 = s19.layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        assert_eq!(convs19, 16);
+    }
+
+    #[test]
+    fn lstm_workloads_have_sequence_50() {
+        for name in ["NMTL3", "NMTL5", "BigLSTM", "LSTM-2048"] {
+            assert_eq!(spec(name).seq_len, 50, "{name}");
+        }
+    }
+
+    #[test]
+    fn cnn_workloads_have_weight_reuse_and_others_do_not() {
+        assert!(spec("Vgg16").layers.iter().any(|l| l.has_input_reuse()));
+        assert!(!spec("MLPL4").layers.iter().any(|l| l.has_input_reuse()));
+        // CNNs are compute-dominated: many more MACs than params.
+        assert!(spec("Vgg16").macs_per_param() > 50.0);
+        assert!(spec("MLPL4").macs_per_param() < 1.5);
+    }
+
+    #[test]
+    fn graph_models_build_for_non_cnns() {
+        for name in ["MLP-64-150-150-14", "LSTM-26-120-61", "RNN-26-93-61", "BM-V500-H500"] {
+            let s = spec(name);
+            let mut wf = WeightFactory::materialized(1);
+            let m = build_graph_model(&s, &mut wf, Some(2)).unwrap();
+            assert!(m.is_some(), "{name} should build");
+            m.unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cnn_returns_none_from_graph_builder() {
+        let mut wf = WeightFactory::materialized(1);
+        assert!(build_graph_model(&spec("Lenet5"), &mut wf, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn shape_only_factory_builds_big_models_cheaply() {
+        let mut wf = WeightFactory::shape_only(1);
+        let m = build_graph_model(&spec("BigLSTM"), &mut wf, Some(1)).unwrap().unwrap();
+        // Graph exists with full shapes but no weight data.
+        assert!(m.matrices().iter().all(|c| c.data.is_none()));
+        assert!(m.matrices().iter().any(|c| c.cols == 688_000));
+    }
+
+    #[test]
+    fn all_specs_enumerates_both_sets() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 14);
+        assert!(specs.iter().any(|s| s.name == "Lenet5"));
+        assert!(specs.iter().any(|s| s.name == "BigLSTM"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Zoo integration: every graph workload compiles; small ones run
+//! functionally; the Fig. 4 set produces plausible instruction mixes.
+
+use puma_compiler::{compile, fit_config, CompilerOptions};
+use puma_core::config::NodeConfig;
+use puma_isa::InstructionCategory;
+use puma_nn::zoo;
+use puma_nn::WeightFactory;
+use puma_sim::{NodeSim, SimMode};
+use puma_xbar::NoiseModel;
+
+#[test]
+fn fig4_workloads_compile_with_sane_mixes() {
+    let cfg = NodeConfig::default();
+    for name in ["MLP-64-150-150-14", "LSTM-26-120-61", "RNN-26-93-61", "BM-V500-H500", "RBM-V500-H500"] {
+        let spec = zoo::spec(name);
+        let mut wf = WeightFactory::materialized(3);
+        let model = zoo::build_graph_model(&spec, &mut wf, Some(2)).unwrap().unwrap();
+        let compiled = compile(&model, &cfg, &CompilerOptions::default()).unwrap();
+        let hist = compiled.image.category_histogram();
+        let total: usize = hist.values().sum();
+        assert!(total > 10, "{name}: too few instructions");
+        let mvm = hist.get(&InstructionCategory::Mvm).copied().unwrap_or(0);
+        let vfu = hist.get(&InstructionCategory::Vfu).copied().unwrap_or(0);
+        assert!(mvm > 0, "{name}: no MVM instructions");
+        assert!(vfu > mvm, "{name}: VFU should dominate MVM statically (Fig. 4)");
+    }
+}
+
+#[test]
+fn small_lstm_runs_functionally_end_to_end() {
+    let cfg = NodeConfig::default();
+    let spec = zoo::spec("LSTM-26-120-61");
+    let mut wf = WeightFactory::materialized(4);
+    let model = zoo::build_graph_model(&spec, &mut wf, Some(2)).unwrap().unwrap();
+    let compiled = compile(&model, &cfg, &CompilerOptions::default()).unwrap();
+    let cfg = fit_config(&cfg, &compiled);
+    let mut sim =
+        NodeSim::new(cfg, &compiled.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    for (b, v) in &compiled.const_data {
+        sim.write_input(&b.name, v).unwrap();
+    }
+    for io in &compiled.inputs {
+        let data: Vec<f32> = (0..io.width).map(|i| (i % 9) as f32 * 0.05 - 0.2).collect();
+        let mut off = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &data[off..off + w]).unwrap();
+            off += w;
+        }
+    }
+    sim.run().unwrap();
+    let out_meta = &compiled.outputs[0];
+    let mut out = Vec::new();
+    for chunk in &out_meta.chunks {
+        out.extend(sim.read_output(chunk).unwrap());
+    }
+    assert_eq!(out.len(), 61);
+    // Sigmoid outputs live in (0, 1).
+    assert!(out.iter().all(|v| (*v > -0.01) && (*v < 1.01)), "{out:?}");
+    assert!(sim.stats().mvmu_activations > 10);
+}
+
+#[test]
+fn big_models_compile_shape_only_within_budget() {
+    // BigLSTM at one step: ~52k weight tiles across thousands of tiles.
+    let cfg = NodeConfig::default();
+    let spec = zoo::spec("BigLSTM");
+    let mut wf = WeightFactory::shape_only(5);
+    let model = zoo::build_graph_model(&spec, &mut wf, Some(1)).unwrap().unwrap();
+    let compiled = compile(&model, &cfg, &CompilerOptions::timing_only()).unwrap();
+    let expected_tiles = (spec.params() / (128 * 128)) as f64;
+    let ratio = compiled.stats.weight_tiles as f64 / expected_tiles;
+    assert!((0.8..1.5).contains(&ratio), "weight tiles {} vs params/16k {}", compiled.stats.weight_tiles, expected_tiles);
+    assert_eq!(compiled.image.weight_bytes(), 0);
+}
+
+#[test]
+fn table5_macs_match_published_scale() {
+    // Table 5 says 5M-800M synapses; MACs per step should track params for
+    // non-CNN workloads.
+    for name in ["MLPL4", "NMTL3", "BigLSTM"] {
+        let s = zoo::spec(name);
+        let per_step: u64 = s.layers.iter().map(|l| l.macs()).sum();
+        let params = s.params();
+        let ratio = per_step as f64 / params as f64;
+        assert!((0.5..1.5).contains(&ratio), "{name}: MACs/params {ratio}");
+    }
+}

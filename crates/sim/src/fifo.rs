@@ -1,0 +1,180 @@
+//! The tile receive buffer: N FIFOs of M entries (§4.2).
+//!
+//! FIFOs preserve ordering from a given sender while letting multiple
+//! senders proceed concurrently on different FIFOs. The compiler
+//! virtualizes FIFO ids (different senders may share a FIFO in different
+//! program phases), so the buffer itself only enforces capacity and
+//! ordering.
+
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+use std::collections::VecDeque;
+
+/// One in-flight message: the payload written by a `send` instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Payload words.
+    pub words: Vec<Fixed>,
+}
+
+/// The receive buffer of one tile.
+#[derive(Debug, Clone)]
+pub struct ReceiveBuffer {
+    fifos: Vec<VecDeque<Packet>>,
+    depth: usize,
+    generation: u64,
+}
+
+impl ReceiveBuffer {
+    /// Creates `fifos` FIFOs of `depth` entries each.
+    pub fn new(fifos: usize, depth: usize) -> Self {
+        ReceiveBuffer { fifos: (0..fifos).map(|_| VecDeque::new()).collect(), depth, generation: 0 }
+    }
+
+    /// Number of FIFOs.
+    pub fn fifo_count(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Monotonic change counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn fifo_mut(&mut self, fifo: u8) -> Result<&mut VecDeque<Packet>> {
+        let n = self.fifos.len();
+        self.fifos.get_mut(fifo as usize).ok_or_else(|| PumaError::Execution {
+            what: format!("fifo {fifo} out of range ({n} fifos)"),
+        })
+    }
+
+    /// True if the FIFO has no free entry (network backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn is_full(&self, fifo: u8) -> Result<bool> {
+        let q = self.fifos.get(fifo as usize).ok_or_else(|| PumaError::Execution {
+            what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
+        })?;
+        Ok(q.len() >= self.depth)
+    }
+
+    /// Attempts to deliver a packet; returns false (packet untouched) if the
+    /// FIFO is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn try_push(&mut self, fifo: u8, packet: Packet) -> Result<bool> {
+        if self.is_full(fifo)? {
+            return Ok(false);
+        }
+        self.fifo_mut(fifo)?.push_back(packet);
+        self.generation += 1;
+        Ok(true)
+    }
+
+    /// Pops the oldest packet, or `None` if the FIFO is empty (the receive
+    /// instruction blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn pop(&mut self, fifo: u8) -> Result<Option<Packet>> {
+        let popped = self.fifo_mut(fifo)?.pop_front();
+        if popped.is_some() {
+            self.generation += 1;
+        }
+        Ok(popped)
+    }
+
+    /// Peeks at the oldest packet without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn front(&self, fifo: u8) -> Result<Option<&Packet>> {
+        self.fifos
+            .get(fifo as usize)
+            .map(|q| q.front())
+            .ok_or_else(|| PumaError::Execution {
+                what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
+            })
+    }
+
+    /// Total queued packets across all FIFOs.
+    pub fn queued_packets(&self) -> usize {
+        self.fifos.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(tag: i16) -> Packet {
+        Packet { words: vec![Fixed::from_bits(tag)] }
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut rb = ReceiveBuffer::new(16, 2);
+        assert!(rb.try_push(3, packet(1)).unwrap());
+        assert!(rb.try_push(3, packet(2)).unwrap());
+        assert_eq!(rb.pop(3).unwrap().unwrap(), packet(1));
+        assert_eq!(rb.pop(3).unwrap().unwrap(), packet(2));
+        assert!(rb.pop(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn depth_limits_occupancy() {
+        let mut rb = ReceiveBuffer::new(2, 2);
+        assert!(rb.try_push(0, packet(1)).unwrap());
+        assert!(rb.try_push(0, packet(2)).unwrap());
+        assert!(rb.is_full(0).unwrap());
+        assert!(!rb.try_push(0, packet(3)).unwrap(), "third push must be refused");
+        let _ = rb.pop(0).unwrap();
+        assert!(rb.try_push(0, packet(3)).unwrap());
+    }
+
+    #[test]
+    fn fifos_are_independent() {
+        let mut rb = ReceiveBuffer::new(2, 1);
+        assert!(rb.try_push(0, packet(1)).unwrap());
+        assert!(rb.try_push(1, packet(2)).unwrap());
+        assert_eq!(rb.pop(1).unwrap().unwrap(), packet(2));
+        assert_eq!(rb.pop(0).unwrap().unwrap(), packet(1));
+    }
+
+    #[test]
+    fn out_of_range_fifo_is_error() {
+        let mut rb = ReceiveBuffer::new(4, 2);
+        assert!(rb.try_push(4, packet(0)).is_err());
+        assert!(rb.pop(200).is_err());
+        assert!(rb.is_full(4).is_err());
+        assert!(rb.front(4).is_err());
+    }
+
+    #[test]
+    fn generation_counts_pushes_and_pops() {
+        let mut rb = ReceiveBuffer::new(1, 1);
+        let g0 = rb.generation();
+        rb.try_push(0, packet(1)).unwrap();
+        let g1 = rb.generation();
+        assert!(g1 > g0);
+        let _ = rb.try_push(0, packet(2)).unwrap(); // refused, no change
+        assert_eq!(rb.generation(), g1);
+        rb.pop(0).unwrap();
+        assert!(rb.generation() > g1);
+    }
+
+    #[test]
+    fn queued_packets_sums_fifos() {
+        let mut rb = ReceiveBuffer::new(3, 2);
+        rb.try_push(0, packet(1)).unwrap();
+        rb.try_push(2, packet(2)).unwrap();
+        assert_eq!(rb.queued_packets(), 2);
+        assert_eq!(rb.front(0).unwrap().unwrap(), &packet(1));
+    }
+}

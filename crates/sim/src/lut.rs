@@ -1,0 +1,156 @@
+//! ROM-embedded RAM transcendental function evaluation (§3.4.1, Fig. 3).
+//!
+//! PUMA evaluates transcendental functions (sigmoid, tanh, log, exp) through
+//! look-up tables embedded in the register file's ROM-Embedded RAM — a
+//! second wordline per row lets the same array serve as both RAM and ROM
+//! without extra area. We model the *functional* behaviour: a 512-entry
+//! table over the Q4.12 domain with linear interpolation between entries
+//! (the interpolation multiply-add runs on the VFU lane that issued the
+//! lookup).
+
+use puma_core::fixed::Fixed;
+use puma_isa::AluOp;
+
+/// Number of table entries per function.
+pub const LUT_ENTRIES: usize = 512;
+
+/// A set of transcendental lookup tables in Q4.12.
+#[derive(Debug, Clone)]
+pub struct RomLut {
+    sigmoid: Vec<Fixed>,
+    tanh: Vec<Fixed>,
+    log: Vec<Fixed>,
+    exp: Vec<Fixed>,
+}
+
+/// Full Q4.12 domain span (from -8.0 inclusive to +8.0 exclusive).
+const DOMAIN: f32 = 16.0;
+const DOMAIN_MIN: f32 = -8.0;
+
+fn build_table(f: impl Fn(f32) -> f32) -> Vec<Fixed> {
+    (0..LUT_ENTRIES)
+        .map(|i| {
+            let x = DOMAIN_MIN + DOMAIN * i as f32 / LUT_ENTRIES as f32;
+            Fixed::from_f32(f(x))
+        })
+        .collect()
+}
+
+impl RomLut {
+    /// Builds the four tables.
+    pub fn new() -> Self {
+        RomLut {
+            sigmoid: build_table(|x| 1.0 / (1.0 + (-x).exp())),
+            tanh: build_table(|x| x.tanh()),
+            // ln is undefined for x <= 0; the table saturates low (the
+            // hardware stores the most negative representable value).
+            log: build_table(|x| if x > 0.0 { x.ln() } else { -8.0 }),
+            exp: build_table(|x| x.exp()),
+        }
+    }
+
+    fn table(&self, op: AluOp) -> Option<&[Fixed]> {
+        match op {
+            AluOp::Sigmoid => Some(&self.sigmoid),
+            AluOp::Tanh => Some(&self.tanh),
+            AluOp::Log => Some(&self.log),
+            AluOp::Exp => Some(&self.exp),
+            _ => None,
+        }
+    }
+
+    /// Evaluates a transcendental function with table lookup plus linear
+    /// interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a transcendental operation (the caller — the
+    /// VFU execution path — dispatches only transcendental ops here).
+    pub fn eval(&self, op: AluOp, x: Fixed) -> Fixed {
+        let table = self.table(op).expect("RomLut::eval requires a transcendental op");
+        // Map Q4.12 bits [-32768, 32767] onto [0, LUT_ENTRIES).
+        let unsigned = (x.to_bits() as i32 + 32768) as u32; // 0..65536
+        let step = 65536 / LUT_ENTRIES as u32; // 128
+        let idx = (unsigned / step) as usize;
+        let frac = (unsigned % step) as i32; // 0..step
+        let lo = table[idx.min(LUT_ENTRIES - 1)];
+        let hi = table[(idx + 1).min(LUT_ENTRIES - 1)];
+        // Linear interpolation in raw bit space.
+        let lo_b = lo.to_bits() as i32;
+        let hi_b = hi.to_bits() as i32;
+        let interp = lo_b + ((hi_b - lo_b) * frac) / step as i32;
+        Fixed::from_bits(puma_core::fixed::clamp_i32(interp))
+    }
+}
+
+impl Default for RomLut {
+    fn default() -> Self {
+        RomLut::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(op: AluOp, f: impl Fn(f32) -> f32, lo: f32, hi: f32) -> f32 {
+        let lut = RomLut::new();
+        let mut worst = 0.0f32;
+        let mut x = lo;
+        while x < hi {
+            let got = lut.eval(op, Fixed::from_f32(x)).to_f32();
+            let want = f(x);
+            worst = worst.max((got - want).abs());
+            x += 0.01;
+        }
+        worst
+    }
+
+    #[test]
+    fn sigmoid_is_accurate() {
+        assert!(max_err(AluOp::Sigmoid, |x| 1.0 / (1.0 + (-x).exp()), -7.9, 7.9) < 0.01);
+    }
+
+    #[test]
+    fn tanh_is_accurate() {
+        assert!(max_err(AluOp::Tanh, f32::tanh, -7.9, 7.9) < 0.01);
+    }
+
+    #[test]
+    fn exp_is_accurate_in_safe_range() {
+        // exp saturates above ln(8); test below that.
+        assert!(max_err(AluOp::Exp, f32::exp, -7.9, 1.9) < 0.02);
+    }
+
+    #[test]
+    fn log_is_accurate_for_positive_inputs() {
+        assert!(max_err(AluOp::Log, f32::ln, 0.5, 7.9) < 0.02);
+    }
+
+    #[test]
+    fn log_saturates_for_non_positive() {
+        let lut = RomLut::new();
+        assert!(lut.eval(AluOp::Log, Fixed::from_f32(-1.0)).to_f32() < -7.0);
+    }
+
+    #[test]
+    fn sigmoid_limits_are_correct() {
+        let lut = RomLut::new();
+        assert!(lut.eval(AluOp::Sigmoid, Fixed::from_f32(7.9)).to_f32() > 0.99);
+        assert!(lut.eval(AluOp::Sigmoid, Fixed::from_f32(-7.9)).to_f32() < 0.01);
+        let mid = lut.eval(AluOp::Sigmoid, Fixed::ZERO).to_f32();
+        assert!((mid - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn tanh_is_odd_at_origin() {
+        let lut = RomLut::new();
+        assert!(lut.eval(AluOp::Tanh, Fixed::ZERO).to_f32().abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "transcendental")]
+    fn non_transcendental_op_panics() {
+        RomLut::new().eval(AluOp::Add, Fixed::ZERO);
+    }
+}

@@ -1,0 +1,1273 @@
+//! PUMAsim: the node-level discrete-event simulator.
+//!
+//! Every core and every tile control unit is an *agent* executing its
+//! instruction stream in program order. Agents advance through a global
+//! event queue; blocking instructions (load/store on the attribute buffer,
+//! receive on an empty FIFO, send into a full FIFO) park the agent on its
+//! tile's blocked list until a state change wakes it. The simulator
+//! detects deadlock — a nonempty blocked set with an empty event queue —
+//! which is exactly the failure mode the compiler's global linearization
+//! exists to prevent (§5.3.3, Fig. 10).
+//!
+//! Two modes:
+//!
+//! - [`SimMode::Functional`] — full data computation: crossbar MVMs through
+//!   [`puma_xbar::AnalogMvmu`], vector ops in Q4.12, transcendental LUTs.
+//! - [`SimMode::Timing`] — identical timing, energy, and synchronization
+//!   behaviour, but vector/matrix payloads are not computed (scalar and
+//!   control-flow instructions still execute so loops behave). This is
+//!   what makes node-scale models tractable to simulate.
+
+use crate::fifo::{Packet, ReceiveBuffer};
+use crate::lut::RomLut;
+use crate::memory::{MemOutcome, SharedMemory};
+use crate::regfile::CoreRegisters;
+use crate::stats::{EnergyComponent, RunStats};
+use puma_core::config::NodeConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+use puma_core::timing::TimingModel;
+use puma_isa::{AluImmOp, AluOp, Instruction, MachineImage, MemAddr, Program, RegRef, ScalarOp};
+use puma_xbar::{AnalogMvmu, NoiseModel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation fidelity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimMode {
+    /// Compute all data values (bit-accurate inference results).
+    Functional,
+    /// Skip vector/matrix data; keep timing, energy, and synchronization.
+    Timing,
+}
+
+/// Default safety cap on simulated cycles.
+pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AgentId {
+    tile: u32,
+    /// Core index, or `u32::MAX` for the tile control unit.
+    core: u32,
+}
+
+const TILE_CTL: u32 = u32::MAX;
+
+impl AgentId {
+    fn is_tile_ctl(self) -> bool {
+        self.core == TILE_CTL
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    AgentReady(AgentId),
+    Deliver { tile: u32, fifo: u8, packet: Packet },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: u64,
+    /// Tie-break: deliveries first, then agents in id order.
+    priority: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.priority, self.seq) == (other.time, other.priority, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct CoreState {
+    pc: u32,
+    regs: CoreRegisters,
+    mvmus: Vec<Option<AnalogMvmu>>,
+    program: Program,
+    halted: bool,
+    rng: u32,
+}
+
+#[derive(Debug)]
+struct TileState {
+    memory: SharedMemory,
+    rbuf: ReceiveBuffer,
+    cores: Vec<CoreState>,
+    tile_pc: u32,
+    tile_program: Program,
+    tile_halted: bool,
+    blocked: Vec<(AgentId, u64)>,
+}
+
+/// Outcome of executing one instruction.
+enum Step {
+    /// Completed; advance `pc` to `next_pc` and re-schedule after `latency`.
+    Advance { next_pc: u32, latency: u64 },
+    /// Could not proceed; park the agent until the tile state changes.
+    Blocked,
+    /// The stream terminated.
+    Halted,
+}
+
+/// The node simulator.
+#[derive(Debug)]
+pub struct NodeSim {
+    cfg: NodeConfig,
+    timing: TimingModel,
+    mode: SimMode,
+    tiles: Vec<TileState>,
+    lut: RomLut,
+    stats: RunStats,
+    inputs: Vec<puma_isa::IoBinding>,
+    outputs: Vec<puma_isa::IoBinding>,
+    max_cycles: u64,
+    seq: u64,
+    /// Packets that arrived at a full FIFO, queued per (tile, fifo) so the
+    /// network preserves per-channel ordering under backpressure.
+    pending_delivery: std::collections::HashMap<(u32, u8), std::collections::VecDeque<Packet>>,
+}
+
+impl NodeSim {
+    /// Builds a simulator from a configuration and a compiled image.
+    ///
+    /// In [`SimMode::Functional`] the crossbars are programmed from the
+    /// image's weight matrices using `noise` (use
+    /// [`NoiseModel::noiseless`] for exact inference). In
+    /// [`SimMode::Timing`] weights are not materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid, the image fails
+    /// validation, or the image does not fit the configuration.
+    pub fn new(
+        cfg: NodeConfig,
+        image: &MachineImage,
+        mode: SimMode,
+        noise: &NoiseModel,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        image.validate()?;
+        if image.tiles.len() > cfg.tiles_per_node {
+            return Err(PumaError::ResourceExhausted {
+                resource: "tiles".to_string(),
+                requested: image.tiles.len(),
+                available: cfg.tiles_per_node,
+            });
+        }
+        let mut tiles = Vec::with_capacity(image.tiles.len());
+        for tile_img in &image.tiles {
+            if tile_img.cores.len() > cfg.tile.cores_per_tile {
+                return Err(PumaError::ResourceExhausted {
+                    resource: "cores per tile".to_string(),
+                    requested: tile_img.cores.len(),
+                    available: cfg.tile.cores_per_tile,
+                });
+            }
+            let mut cores = Vec::with_capacity(tile_img.cores.len());
+            for (ci, core_img) in tile_img.cores.iter().enumerate() {
+                if core_img.mvmu_weights.len() > cfg.tile.core.mvmus_per_core {
+                    return Err(PumaError::ResourceExhausted {
+                        resource: "MVMUs per core".to_string(),
+                        requested: core_img.mvmu_weights.len(),
+                        available: cfg.tile.core.mvmus_per_core,
+                    });
+                }
+                let mut mvmus = Vec::new();
+                if mode == SimMode::Functional {
+                    for w in &core_img.mvmu_weights {
+                        match w {
+                            Some(weights) => {
+                                let mut unit = AnalogMvmu::new(cfg.tile.core.mvmu)?;
+                                unit.program(weights, noise)?;
+                                mvmus.push(Some(unit));
+                            }
+                            None => mvmus.push(None),
+                        }
+                    }
+                } else {
+                    mvmus = vec![None; core_img.mvmu_weights.len()];
+                }
+                cores.push(CoreState {
+                    pc: 0,
+                    regs: CoreRegisters::new(&cfg.tile.core),
+                    mvmus,
+                    program: core_img.program.clone(),
+                    halted: core_img.program.is_empty(),
+                    rng: 0x1234_5678 ^ (ci as u32 + 1),
+                });
+            }
+            tiles.push(TileState {
+                memory: SharedMemory::new(cfg.tile.shared_memory_words()),
+                rbuf: ReceiveBuffer::new(cfg.tile.receive_fifos, cfg.tile.receive_fifo_depth),
+                tile_halted: tile_img.program.is_empty(),
+                tile_pc: 0,
+                tile_program: tile_img.program.clone(),
+                cores,
+                blocked: Vec::new(),
+            });
+        }
+        Ok(NodeSim {
+            timing: TimingModel::new(cfg),
+            cfg,
+            mode,
+            tiles,
+            lut: RomLut::new(),
+            stats: RunStats::new(),
+            inputs: image.inputs.clone(),
+            outputs: image.outputs.clone(),
+            max_cycles: DEFAULT_MAX_CYCLES,
+            seq: 0,
+            pending_delivery: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Statistics of the last [`NodeSim::run`].
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Overrides the runaway-simulation safety cap.
+    pub fn set_max_cycles(&mut self, max_cycles: u64) {
+        self.max_cycles = max_cycles;
+    }
+
+    /// Writes a named input vector into tile shared memory (host injection
+    /// over the off-chip link; charged to the off-chip energy budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the name is unbound or the
+    /// length mismatches the binding.
+    pub fn write_input(&mut self, name: &str, values: &[f32]) -> Result<()> {
+        let fixed: Vec<Fixed> = values.iter().copied().map(Fixed::from_f32).collect();
+        self.write_input_fixed(name, &fixed)
+    }
+
+    /// Fixed-point variant of [`NodeSim::write_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the name is unbound or the
+    /// length mismatches the binding.
+    pub fn write_input_fixed(&mut self, name: &str, values: &[Fixed]) -> Result<()> {
+        let binding = self
+            .inputs
+            .iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| PumaError::Execution { what: format!("no input named {name:?}") })?
+            .clone();
+        if values.len() != binding.width {
+            return Err(PumaError::ShapeMismatch {
+                expected: binding.width,
+                actual: values.len(),
+            });
+        }
+        let tile = self.tiles.get_mut(binding.tile.index()).ok_or_else(|| {
+            PumaError::Execution { what: format!("input {name:?} bound to missing tile") }
+        })?;
+        tile.memory.poke(binding.addr, values, binding.count)?;
+        let bytes = (values.len() * 2) as u64;
+        self.stats.energy.add(
+            EnergyComponent::OffChip,
+            self.timing.offchip_energy_nj(bytes),
+            self.timing.offchip_cycles(bytes),
+        );
+        Ok(())
+    }
+
+    /// Reads a named output vector after a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the name is unbound.
+    pub fn read_output(&self, name: &str) -> Result<Vec<f32>> {
+        Ok(self.read_output_fixed(name)?.into_iter().map(Fixed::to_f32).collect())
+    }
+
+    /// Fixed-point variant of [`NodeSim::read_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the name is unbound.
+    pub fn read_output_fixed(&self, name: &str) -> Result<Vec<Fixed>> {
+        let binding = self
+            .outputs
+            .iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| PumaError::Execution { what: format!("no output named {name:?}") })?;
+        let tile = self.tiles.get(binding.tile.index()).ok_or_else(|| {
+            PumaError::Execution { what: format!("output {name:?} bound to missing tile") }
+        })?;
+        tile.memory.peek(binding.addr, binding.width)
+    }
+
+    /// Input binding names.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs.iter().map(|b| b.name.as_str()).collect()
+    }
+
+    /// Output binding names.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs.iter().map(|b| b.name.as_str()).collect()
+    }
+
+    /// Resets program counters, memory attributes, FIFOs, and statistics so
+    /// the image can run again (crossbar weights are preserved — they are
+    /// written once at configuration time, §3.2.5).
+    pub fn reset(&mut self) {
+        self.pending_delivery.clear();
+        for tile in &mut self.tiles {
+            tile.memory = SharedMemory::new(tile.memory.words());
+            tile.rbuf =
+                ReceiveBuffer::new(self.cfg.tile.receive_fifos, self.cfg.tile.receive_fifo_depth);
+            tile.tile_pc = 0;
+            tile.tile_halted = tile.tile_program.is_empty();
+            tile.blocked.clear();
+            for core in &mut tile.cores {
+                core.pc = 0;
+                core.halted = core.program.is_empty();
+                core.regs = CoreRegisters::new(&self.cfg.tile.core);
+            }
+        }
+        self.stats = RunStats::new();
+        self.seq = 0;
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Runs the machine to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Deadlock`] if every live agent is blocked,
+    /// [`PumaError::Execution`] for faults (bad register/memory accesses,
+    /// exceeding the cycle cap), or any underlying component error.
+    pub fn run(&mut self) -> Result<&RunStats> {
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        for t in 0..self.tiles.len() {
+            for c in 0..self.tiles[t].cores.len() {
+                if !self.tiles[t].cores[c].halted {
+                    let seq = self.next_seq();
+                    queue.push(Reverse(Event {
+                        time: 0,
+                        priority: 1 + (t * 64 + c) as u64,
+                        seq,
+                        kind: EventKind::AgentReady(AgentId { tile: t as u32, core: c as u32 }),
+                    }));
+                }
+            }
+            if !self.tiles[t].tile_halted {
+                let seq = self.next_seq();
+                queue.push(Reverse(Event {
+                    time: 0,
+                    priority: 1 + (t * 64 + 63) as u64,
+                    seq,
+                    kind: EventKind::AgentReady(AgentId { tile: t as u32, core: TILE_CTL }),
+                }));
+            }
+        }
+        let mut last_time = 0u64;
+        while let Some(Reverse(event)) = queue.pop() {
+            let now = event.time;
+            last_time = last_time.max(now);
+            if now > self.max_cycles {
+                return Err(PumaError::Execution {
+                    what: format!("exceeded cycle cap {} (runaway program?)", self.max_cycles),
+                });
+            }
+            match event.kind {
+                EventKind::Deliver { tile, fifo, packet } => {
+                    self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
+                    self.drain_fifo(tile, fifo, now, &mut queue)?;
+                }
+                EventKind::AgentReady(agent) => {
+                    match self.step_agent(agent, now, &mut queue)? {
+                        Step::Advance { next_pc, latency } => {
+                            self.set_pc(agent, next_pc);
+                            let seq = self.next_seq();
+                            queue.push(Reverse(Event {
+                                time: now + latency,
+                                priority: 1 + (agent.tile as u64) * 64
+                                    + (agent.core as u64).min(63),
+                                seq,
+                                kind: EventKind::AgentReady(agent),
+                            }));
+                        }
+                        Step::Blocked => {
+                            self.tiles[agent.tile as usize].blocked.push((agent, now));
+                        }
+                        Step::Halted => {
+                            self.set_halted(agent);
+                        }
+                    }
+                }
+            }
+        }
+        // Queue drained: every agent must have halted, otherwise deadlock.
+        let blocked: Vec<String> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .flat_map(|(t, tile)| {
+                tile.blocked.iter().map(move |(a, since)| {
+                    if a.is_tile_ctl() {
+                        format!("tile{t}/ctl (since cycle {since})")
+                    } else {
+                        format!("tile{t}/core{} (since cycle {since})", a.core)
+                    }
+                })
+            })
+            .collect();
+        if !blocked.is_empty() {
+            return Err(PumaError::Deadlock {
+                cycle: last_time,
+                what: format!("{} agents blocked: {}", blocked.len(), blocked.join(", ")),
+            });
+        }
+        self.stats.cycles = last_time;
+        Ok(&self.stats)
+    }
+
+    /// Moves as many pending packets as fit into the receive FIFO, in
+    /// arrival order (per-channel ordering under backpressure).
+    fn drain_fifo(
+        &mut self,
+        tile: u32,
+        fifo: u8,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) -> Result<()> {
+        let mut moved = false;
+        if let Some(pending) = self.pending_delivery.get_mut(&(tile, fifo)) {
+            while let Some(front) = pending.front() {
+                if self.tiles[tile as usize].rbuf.try_push(fifo, front.clone())? {
+                    pending.pop_front();
+                    moved = true;
+                } else {
+                    break;
+                }
+            }
+            if pending.is_empty() {
+                self.pending_delivery.remove(&(tile, fifo));
+            }
+        }
+        if moved {
+            self.wake_tile(tile as usize, now, queue);
+        }
+        Ok(())
+    }
+
+    fn wake_tile(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
+        let woken: Vec<(AgentId, u64)> = std::mem::take(&mut self.tiles[tile].blocked);
+        for (agent, since) in woken {
+            self.stats.blocked_cycles += now.saturating_sub(since);
+            let seq = self.next_seq();
+            queue.push(Reverse(Event {
+                time: now,
+                priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
+                seq,
+                kind: EventKind::AgentReady(agent),
+            }));
+        }
+    }
+
+    fn set_pc(&mut self, agent: AgentId, pc: u32) {
+        let tile = &mut self.tiles[agent.tile as usize];
+        if agent.is_tile_ctl() {
+            tile.tile_pc = pc;
+        } else {
+            tile.cores[agent.core as usize].pc = pc;
+        }
+    }
+
+    fn set_halted(&mut self, agent: AgentId) {
+        let tile = &mut self.tiles[agent.tile as usize];
+        if agent.is_tile_ctl() {
+            tile.tile_halted = true;
+        } else {
+            tile.cores[agent.core as usize].halted = true;
+        }
+    }
+
+    fn fetch(&self, agent: AgentId) -> Result<(Instruction, u32)> {
+        let tile = &self.tiles[agent.tile as usize];
+        let (program, pc) = if agent.is_tile_ctl() {
+            (&tile.tile_program, tile.tile_pc)
+        } else {
+            let core = &tile.cores[agent.core as usize];
+            (&core.program, core.pc)
+        };
+        let instr = program.instructions.get(pc as usize).copied().ok_or_else(|| {
+            PumaError::Execution { what: format!("pc {pc} past end of program") }
+        })?;
+        Ok((instr, pc))
+    }
+
+    fn effective_addr(&self, agent: AgentId, addr: MemAddr) -> Result<u32> {
+        let offset = match addr.index {
+            None => 0,
+            Some(reg) => {
+                if agent.is_tile_ctl() {
+                    return Err(PumaError::Execution {
+                        what: "tile control unit has no registers for indexed addressing"
+                            .to_string(),
+                    });
+                }
+                let core = &self.tiles[agent.tile as usize].cores[agent.core as usize];
+                core.regs.read(reg)?.to_bits() as u16 as u32
+            }
+        };
+        Ok(addr.base + offset)
+    }
+
+    fn step_agent(
+        &mut self,
+        agent: AgentId,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) -> Result<Step> {
+        let (instr, pc) = self.fetch(agent)?;
+        let fd_energy = self.timing.fetch_decode_energy_nj();
+        let t = agent.tile as usize;
+        let gen_before = self.tiles[t].memory.generation() + self.tiles[t].rbuf.generation();
+        let outcome = if agent.is_tile_ctl() {
+            self.step_tile_ctl(agent, instr, now, queue)?
+        } else {
+            self.step_core(agent, instr, pc)?
+        };
+        // Any successful consume/produce on this tile's memory or FIFOs may
+        // unblock peers waiting on the attribute buffer.
+        let gen_after = self.tiles[t].memory.generation() + self.tiles[t].rbuf.generation();
+        if gen_after != gen_before {
+            self.wake_tile(t, now, queue);
+        }
+        if matches!(outcome, Step::Advance { .. } | Step::Halted) {
+            self.stats.count_instruction(instr.category());
+            self.stats.energy.add(EnergyComponent::FetchDecode, fd_energy, 1);
+        }
+        Ok(outcome)
+    }
+
+    /// Executes a tile-control instruction (send/receive/control flow).
+    fn step_tile_ctl(
+        &mut self,
+        agent: AgentId,
+        instr: Instruction,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) -> Result<Step> {
+        let t = agent.tile as usize;
+        let pc = self.tiles[t].tile_pc;
+        match instr {
+            Instruction::Send { addr, fifo, target, width } => {
+                if target as usize >= self.tiles.len() {
+                    return Err(PumaError::Execution {
+                        what: format!("send to nonexistent tile {target}"),
+                    });
+                }
+                let a = self.effective_addr(agent, addr)?;
+                let words = match self.tiles[t].memory.try_read(a, width as usize)? {
+                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
+                    MemOutcome::Done(words) => words,
+                };
+                let occupancy = self.timing.receive_cycles(width as usize);
+                let transit = self.timing.send_cycles(width as usize, t, target as usize);
+                let energy = self.timing.send_energy_nj(width as usize, t, target as usize);
+                self.stats.energy.add(EnergyComponent::Network, energy, occupancy);
+                self.stats.network_words += width as u64;
+                let seq = self.next_seq();
+                queue.push(Reverse(Event {
+                    time: now + transit,
+                    priority: 0,
+                    seq,
+                    kind: EventKind::Deliver { tile: target as u32, fifo, packet: Packet { words } },
+                }));
+                Ok(Step::Advance { next_pc: pc + 1, latency: occupancy })
+            }
+            Instruction::Receive { addr, fifo, count, width } => {
+                let a = self.effective_addr(agent, addr)?;
+                // Check availability without consuming, so a blocked write
+                // does not lose the packet.
+                let front_len = match self.tiles[t].rbuf.front(fifo)? {
+                    None => return Ok(Step::Blocked),
+                    Some(p) => p.words.len(),
+                };
+                // A width mismatch means two senders sharing a virtualized
+                // FIFO interleaved (§4.2: the compiler reuses FIFO ids
+                // across program phases). The synchronization protocol is
+                // payload-agnostic — the receive writes its own width at
+                // its own address — so timing simulation proceeds; the
+                // functional simulator rejects it because data would be
+                // misrouted.
+                if front_len != width as usize && self.mode == SimMode::Functional {
+                    return Err(PumaError::Execution {
+                        what: format!(
+                            "receive width {width} mismatches packet of {front_len} words \
+                             (virtualized-FIFO aliasing; see compiler docs)"
+                        ),
+                    });
+                }
+                // Probe destination writability.
+                let probe = vec![Fixed::ZERO; width as usize];
+                {
+                    let mem = &mut self.tiles[t].memory;
+                    let writable = {
+                        // A dry-run check: any valid word blocks the write.
+                        let mut ok = true;
+                        for i in 0..width as u32 {
+                            if mem.is_valid(a + i)? {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        ok
+                    };
+                    if !writable {
+                        return Ok(Step::Blocked);
+                    }
+                    let packet = self.tiles[t].rbuf.pop(fifo)?.expect("front checked above");
+                    let payload =
+                        if self.mode == SimMode::Functional { packet.words } else { probe };
+                    match self.tiles[t].memory.try_write(a, &payload, count)? {
+                        MemOutcome::Done(()) => {}
+                        MemOutcome::Blocked(_) => unreachable!("writability probed above"),
+                    }
+                }
+                let cycles = self.timing.receive_cycles(width as usize);
+                let energy = self.timing.shared_memory_energy_nj(width as usize);
+                self.stats.energy.add(EnergyComponent::SharedMemory, energy, cycles);
+                // A FIFO slot freed up: admit the next backpressured packet.
+                self.drain_fifo(t as u32, fifo, now, queue)?;
+                self.wake_tile(t, now, queue);
+                Ok(Step::Advance { next_pc: pc + 1, latency: cycles })
+            }
+            Instruction::Jump { pc: target } => Ok(Step::Advance { next_pc: target, latency: 1 }),
+            Instruction::Halt => Ok(Step::Halted),
+            other => Err(PumaError::Execution {
+                what: format!("instruction not valid on tile control unit: {other:?}"),
+            }),
+        }
+    }
+
+    /// Executes one core instruction.
+    fn step_core(&mut self, agent: AgentId, instr: Instruction, pc: u32) -> Result<Step> {
+        let t = agent.tile as usize;
+        let c = agent.core as usize;
+        let functional = self.mode == SimMode::Functional;
+        match instr {
+            Instruction::Mvm { mask, filter, stride } => {
+                let dim = self.cfg.tile.core.mvmu.dim;
+                let n_mvmus = self.tiles[t].cores[c].mvmus.len();
+                for unit in mask.iter() {
+                    if unit >= n_mvmus.max(self.cfg.tile.core.mvmus_per_core) {
+                        return Err(PumaError::Execution {
+                            what: format!("MVM mask activates missing MVMU {unit}"),
+                        });
+                    }
+                }
+                if functional {
+                    for unit in mask.iter() {
+                        let core = &mut self.tiles[t].cores[c];
+                        let Some(Some(mvmu)) = core.mvmus.get(unit) else {
+                            return Err(PumaError::Execution {
+                                what: format!("MVM on unprogrammed MVMU {unit}"),
+                            });
+                        };
+                        let base = unit * dim;
+                        let raw = core.regs.xbar_in()[base..base + dim].to_vec();
+                        let shuffled = shuffle_input(&raw, filter, stride);
+                        let y = mvmu.mvm(&shuffled)?;
+                        let core = &mut self.tiles[t].cores[c];
+                        core.regs.xbar_out_mut()[base..base + dim].copy_from_slice(&y);
+                    }
+                }
+                let latency = self.timing.mvm_latency();
+                let energy = self.timing.mvm_energy_nj() * mask.count() as f64;
+                self.stats.energy.add(EnergyComponent::Mvmu, energy, latency);
+                self.stats.mvmu_activations += mask.count() as u64;
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Alu { op, dest, src1, src2, width } => {
+                let w = width as usize;
+                if functional {
+                    self.exec_vector_op(t, c, op, dest, src1, src2, w)?;
+                }
+                let (latency, energy, component) = if op.is_transcendental() {
+                    (
+                        self.timing.transcendental_cycles(w),
+                        self.timing.transcendental_energy_nj(w),
+                        EnergyComponent::RegisterFile,
+                    )
+                } else {
+                    (self.timing.vfu_cycles(w), self.timing.vfu_energy_nj(w), EnergyComponent::Vfu)
+                };
+                self.stats.energy.add(component, energy, latency);
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::AluImm { op, dest, src1, imm, width } => {
+                let w = width as usize;
+                if functional {
+                    let x = self.tiles[t].cores[c].regs.read_vec(src1, w)?;
+                    let y: Vec<Fixed> = x
+                        .into_iter()
+                        .map(|v| match op {
+                            AluImmOp::Add => v + imm,
+                            AluImmOp::Sub => v - imm,
+                            AluImmOp::Mul => v * imm,
+                            AluImmOp::Div => v / imm,
+                        })
+                        .collect();
+                    self.tiles[t].cores[c].regs.write_vec(dest, &y)?;
+                }
+                let latency = self.timing.vfu_cycles(w);
+                self.stats.energy.add(EnergyComponent::Vfu, self.timing.vfu_energy_nj(w), latency);
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::AluInt { op, dest, src1, src2 } => {
+                // Scalar integer ops always execute: loop counters and
+                // computed addresses must work in Timing mode too.
+                let regs = &mut self.tiles[t].cores[c].regs;
+                let a = regs.read(src1)?.to_bits();
+                let b = regs.read(src2)?.to_bits();
+                let y: i16 = match op {
+                    ScalarOp::Add => a.wrapping_add(b),
+                    ScalarOp::Sub => a.wrapping_sub(b),
+                    ScalarOp::Eq => (a == b) as i16,
+                    ScalarOp::Gt => (a > b) as i16,
+                    ScalarOp::Ne => (a != b) as i16,
+                };
+                regs.write(dest, Fixed::from_bits(y))?;
+                let latency = self.timing.sfu_cycles();
+                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Set { dest, imm } => {
+                self.tiles[t].cores[c].regs.write(dest, Fixed::from_bits(imm))?;
+                let latency = self.timing.sfu_cycles();
+                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Copy { dest, src, width } => {
+                let w = width as usize;
+                if functional {
+                    let values = self.tiles[t].cores[c].regs.read_vec(src, w)?;
+                    self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
+                }
+                let latency = self.timing.copy_cycles(w);
+                self.stats.energy.add(
+                    EnergyComponent::RegisterFile,
+                    self.timing.copy_energy_nj(w),
+                    latency,
+                );
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Load { dest, addr, width } => {
+                let a = self.effective_addr(agent, addr)?;
+                let w = width as usize;
+                let values = match self.tiles[t].memory.try_read(a, w)? {
+                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
+                    MemOutcome::Done(v) => v,
+                };
+                if functional {
+                    self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
+                }
+                let latency = self.timing.shared_memory_cycles(w);
+                self.stats.energy.add(
+                    EnergyComponent::SharedMemory,
+                    self.timing.shared_memory_energy_nj(w),
+                    latency,
+                );
+                self.stats.shared_memory_words += w as u64;
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Store { addr, src, count, width } => {
+                let a = self.effective_addr(agent, addr)?;
+                let w = width as usize;
+                let values = if functional {
+                    self.tiles[t].cores[c].regs.read_vec(src, w)?
+                } else {
+                    vec![Fixed::ZERO; w]
+                };
+                match self.tiles[t].memory.try_write(a, &values, count)? {
+                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
+                    MemOutcome::Done(()) => {}
+                }
+                let latency = self.timing.shared_memory_cycles(w);
+                self.stats.energy.add(
+                    EnergyComponent::SharedMemory,
+                    self.timing.shared_memory_energy_nj(w),
+                    latency,
+                );
+                self.stats.shared_memory_words += w as u64;
+                Ok(Step::Advance { next_pc: pc + 1, latency })
+            }
+            Instruction::Jump { pc: target } => Ok(Step::Advance { next_pc: target, latency: 1 }),
+            Instruction::Branch { cond, src1, src2, pc: target } => {
+                let regs = &self.tiles[t].cores[c].regs;
+                let a = regs.read(src1)?.to_bits();
+                let b = regs.read(src2)?.to_bits();
+                let next = if cond.eval(a, b) { target } else { pc + 1 };
+                let latency = self.timing.sfu_cycles();
+                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                Ok(Step::Advance { next_pc: next, latency })
+            }
+            Instruction::Halt => Ok(Step::Halted),
+            Instruction::Send { .. } | Instruction::Receive { .. } => Err(PumaError::Execution {
+                what: "send/receive execute on the tile control unit, not cores".to_string(),
+            }),
+        }
+    }
+
+    fn exec_vector_op(
+        &mut self,
+        t: usize,
+        c: usize,
+        op: AluOp,
+        dest: RegRef,
+        src1: RegRef,
+        src2: RegRef,
+        w: usize,
+    ) -> Result<()> {
+        let a = self.tiles[t].cores[c].regs.read_vec(src1, w)?;
+        let result: Vec<Fixed> = match op {
+            AluOp::Not => a.iter().map(|v| Fixed::from_bits(!v.to_bits())).collect(),
+            AluOp::Relu => a.iter().map(|v| v.relu()).collect(),
+            AluOp::Sigmoid | AluOp::Tanh | AluOp::Log | AluOp::Exp => {
+                a.iter().map(|&v| self.lut.eval(op, v)).collect()
+            }
+            AluOp::Rand => {
+                let core = &mut self.tiles[t].cores[c];
+                (0..w)
+                    .map(|_| {
+                        // xorshift32 per core, deterministic.
+                        let mut x = core.rng;
+                        x ^= x << 13;
+                        x ^= x >> 17;
+                        x ^= x << 5;
+                        core.rng = x;
+                        Fixed::from_bits((x & 0xFFF) as i16)
+                    })
+                    .collect()
+            }
+            AluOp::Subsample => {
+                let k = self.tiles[t].cores[c].regs.read(src2)?.to_bits().max(1) as usize;
+                let src = self.tiles[t].cores[c].regs.read_vec(src1, w * k)?;
+                src.iter().step_by(k).copied().take(w).collect()
+            }
+            AluOp::Shl | AluOp::Shr => {
+                let k = (self.tiles[t].cores[c].regs.read(src2)?.to_bits().max(0) as u32).min(15);
+                a.iter()
+                    .map(|v| {
+                        Fixed::from_bits(if op == AluOp::Shl {
+                            v.to_bits().wrapping_shl(k)
+                        } else {
+                            v.to_bits() >> k
+                        })
+                    })
+                    .collect()
+            }
+            _ => {
+                let b = self.tiles[t].cores[c].regs.read_vec(src2, w)?;
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| match op {
+                        AluOp::Add => x + y,
+                        AluOp::Sub => x - y,
+                        AluOp::Mul => x * y,
+                        AluOp::Div => x / y,
+                        AluOp::And => Fixed::from_bits(x.to_bits() & y.to_bits()),
+                        AluOp::Or => Fixed::from_bits(x.to_bits() | y.to_bits()),
+                        AluOp::Min => x.min(y),
+                        AluOp::Max => x.max(y),
+                        _ => unreachable!("unary ops handled above"),
+                    })
+                    .collect()
+            }
+        };
+        self.tiles[t].cores[c].regs.write_vec(dest, &result)
+    }
+}
+
+/// Applies MVM input shuffling (§3.2.3): the first `filter` XbarIn words
+/// form a ring that is rotated left by `stride` positions (rows past the
+/// filter see zero). Rotating modulo the *active window* lets a sliding
+/// window reuse its overlap without physical data movement: the core
+/// overwrites only the departed columns and bumps the stride.
+fn shuffle_input(raw: &[Fixed], filter: u16, stride: u16) -> Vec<Fixed> {
+    let dim = raw.len();
+    let active = if filter == 0 { dim } else { (filter as usize).min(dim) };
+    (0..dim)
+        .map(|i| {
+            if i < active {
+                raw[(i + stride as usize) % active]
+            } else {
+                Fixed::ZERO
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+    use puma_core::ids::{CoreId, TileId};
+    use puma_core::tensor::Matrix;
+    use puma_isa::asm::assemble;
+    use puma_isa::{IoBinding, MachineImage};
+
+    /// A small configuration for unit tests: 16×16 MVMUs, 2 cores/tile.
+    fn tiny_config(tiles: usize) -> NodeConfig {
+        let mvmu = MvmuConfig { dim: 16, ..MvmuConfig::default() };
+        NodeConfig {
+            tile: TileConfig {
+                core: CoreConfig {
+                    mvmu,
+                    mvmus_per_core: 2,
+                    vfu_lanes: 4,
+                    instruction_memory_bytes: 4096,
+                    register_file_words: 256,
+                },
+                cores_per_tile: 2,
+                shared_memory_bytes: 4096,
+                ..TileConfig::default()
+            },
+            tiles_per_node: tiles,
+            ..NodeConfig::default()
+        }
+    }
+
+    fn identity_weights(dim: usize, scale: f32) -> puma_core::tensor::FixedMatrix {
+        Matrix::from_fn(dim, dim, |r, c| if r == c { scale } else { 0.0 }).quantize()
+    }
+
+    fn image_with_core_program(cfg: &NodeConfig, source: &str) -> MachineImage {
+        let mut img = MachineImage::new(1, cfg.tile.cores_per_tile, cfg.tile.core.mvmus_per_core);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble(source).unwrap());
+        img
+    }
+
+    #[test]
+    fn mvm_and_tanh_pipeline_computes() {
+        let cfg = tiny_config(1);
+        // load 16 words into XbarIn, run MVM on MVMU 0 (identity*0.5),
+        // tanh the result, store.
+        let source = "\
+load xi0 @0 16
+mvm 1 0 0
+tanh r0 xo0 16
+store @64 r0 1 16
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(16, 0.5));
+        img.inputs.push(IoBinding {
+            name: "x".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 16,
+            count: 1,
+        });
+        img.outputs.push(IoBinding {
+            name: "y".into(),
+            tile: TileId::new(0),
+            addr: 64,
+            width: 16,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.3).collect();
+        sim.write_input("x", &x).unwrap();
+        sim.run().unwrap();
+        let y = sim.read_output("y").unwrap();
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            let expected = (xi * 0.5).tanh();
+            assert!((yi - expected).abs() < 0.02, "tanh({xi}*0.5): {yi} vs {expected}");
+        }
+        assert!(sim.stats().cycles > 0);
+        assert_eq!(sim.stats().mvmu_activations, 1);
+    }
+
+    #[test]
+    fn producer_consumer_cores_synchronize() {
+        let cfg = tiny_config(1);
+        let mut img = MachineImage::new(1, 2, 2);
+        // Core 1 produces after a delay (several scalar ops), core 0
+        // blocks on the load until the store lands.
+        img.core_mut(TileId::new(0), CoreId::new(0)).program = Program::from_instructions(
+            assemble("load r0 @0 4\nstore @16 r0 1 4\nhalt\n").unwrap(),
+        );
+        img.core_mut(TileId::new(0), CoreId::new(1)).program = Program::from_instructions(
+            assemble(
+                "set r0 7\nset r1 7\niadd r2 r0 r1\nset r4 5\nstore @0 r4 1 4\nhalt\n",
+            )
+            .unwrap(),
+        );
+        img.outputs.push(IoBinding {
+            name: "out".into(),
+            tile: TileId::new(0),
+            addr: 16,
+            width: 4,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        assert!(sim.stats().blocked_cycles > 0, "consumer must have blocked");
+        let out = sim.read_output_fixed("out").unwrap();
+        // r4..r7 of producer were [5,0,0,0].
+        assert_eq!(out[0].to_bits(), 5);
+    }
+
+    #[test]
+    fn send_receive_across_tiles() {
+        let cfg = tiny_config(2);
+        let mut img = MachineImage::new(2, 2, 2);
+        // Tile 0: core 0 stores, tile program sends to tile 1 fifo 3.
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("set r0 9\nstore @0 r0 1 4\nhalt\n").unwrap());
+        img.tiles[0].program =
+            Program::from_instructions(assemble("send @0 f3 t1 4\nhalt\n").unwrap());
+        // Tile 1: tile program receives, core 0 loads and stores to output.
+        img.tiles[1].program =
+            Program::from_instructions(assemble("recv @8 f3 1 4\nhalt\n").unwrap());
+        img.core_mut(TileId::new(1), CoreId::new(0)).program = Program::from_instructions(
+            assemble("load r0 @8 4\nstore @32 r0 1 4\nhalt\n").unwrap(),
+        );
+        img.outputs.push(IoBinding {
+            name: "out".into(),
+            tile: TileId::new(1),
+            addr: 32,
+            width: 4,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.read_output_fixed("out").unwrap()[0].to_bits(), 9);
+        assert_eq!(sim.stats().network_words, 4);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let cfg = tiny_config(1);
+        // A single core loads from an address nobody writes.
+        let img = image_with_core_program(&cfg, "load r0 @0 4\nhalt\n");
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        match sim.run() {
+            Err(PumaError::Deadlock { .. }) => {}
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_loop_iterates() {
+        let cfg = tiny_config(1);
+        // r0 counts 0..5 via brn.
+        let source = "\
+set r0 0
+set r1 5
+set r2 1
+iadd r0 r0 r2
+brn lt r0 r1 3
+store @0 r0 1 1
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.outputs.push(IoBinding {
+            name: "n".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 1,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.read_output_fixed("n").unwrap()[0].to_bits(), 5);
+        // 3 sets + 5 iadds + 5 brns + store + halt = 15 dynamic instructions.
+        assert_eq!(sim.stats().total_instructions(), 15);
+    }
+
+    #[test]
+    fn timing_mode_matches_functional_cycles() {
+        let cfg = tiny_config(1);
+        let source = "\
+load xi0 @0 16
+mvm 1 0 0
+tanh r0 xo0 16
+store @64 r0 1 16
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(16, 0.5));
+        img.inputs.push(IoBinding {
+            name: "x".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 16,
+            count: 1,
+        });
+        let run = |mode: SimMode| {
+            let mut sim =
+                NodeSim::new(tiny_config(1), &img, mode, &NoiseModel::noiseless()).unwrap();
+            sim.write_input("x", &vec![0.1; 16]).unwrap();
+            sim.run().unwrap();
+            (sim.stats().cycles, sim.stats().energy.total_nj())
+        };
+        let (fc, fe) = run(SimMode::Functional);
+        let (tc, te) = run(SimMode::Timing);
+        assert_eq!(fc, tc, "cycle counts must agree across modes");
+        assert!((fe - te).abs() < 1e-6, "energy must agree across modes");
+    }
+
+    #[test]
+    fn mvm_energy_matches_anchor() {
+        let cfg = NodeConfig::default();
+        let mut img = MachineImage::new(1, 1, 2);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("mvm 1 0 0\nhalt\n").unwrap());
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(128, 1.0));
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        let mvm_nj = sim.stats().energy.component_nj(EnergyComponent::Mvmu);
+        assert!((mvm_nj - 43.97).abs() < 0.2, "MVM energy {mvm_nj} nJ");
+        assert_eq!(sim.stats().cycles, 2304);
+    }
+
+    #[test]
+    fn coalesced_mvm_runs_units_in_parallel() {
+        let cfg = tiny_config(1);
+        let mut img = MachineImage::new(1, 1, 2);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("mvm 3 0 0\nhalt\n").unwrap());
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(16, 1.0));
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[1] =
+            Some(identity_weights(16, 1.0));
+        let mut sim =
+            NodeSim::new(cfg.clone(), &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        let coalesced_cycles = sim.stats().cycles;
+        assert_eq!(sim.stats().mvmu_activations, 2);
+
+        // Sequential MVMs take ~2x the time.
+        let mut img2 = MachineImage::new(1, 1, 2);
+        img2.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("mvm 1 0 0\nmvm 2 0 0\nhalt\n").unwrap());
+        img2.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(16, 1.0));
+        img2.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[1] =
+            Some(identity_weights(16, 1.0));
+        let mut sim2 =
+            NodeSim::new(cfg, &img2, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        sim2.run().unwrap();
+        assert!(sim2.stats().cycles > coalesced_cycles + 200);
+    }
+
+    #[test]
+    fn input_shuffle_rotates_and_filters() {
+        let raw: Vec<Fixed> = (0..8).map(|i| Fixed::from_bits(i as i16)).collect();
+        let rotated = shuffle_input(&raw, 0, 2);
+        assert_eq!(rotated[0].to_bits(), 2);
+        assert_eq!(rotated[7].to_bits(), 1);
+        let filtered = shuffle_input(&raw, 3, 0);
+        assert_eq!(filtered[2].to_bits(), 2);
+        assert_eq!(filtered[3], Fixed::ZERO);
+        // Rotation wraps modulo the active window, not the full register.
+        let ring = shuffle_input(&raw, 3, 2);
+        assert_eq!(ring[0].to_bits(), 2);
+        assert_eq!(ring[1].to_bits(), 0);
+        assert_eq!(ring[2].to_bits(), 1);
+        assert_eq!(ring[3], Fixed::ZERO);
+    }
+
+    #[test]
+    fn reset_allows_second_run() {
+        let cfg = tiny_config(1);
+        let source = "load xi0 @0 16\nmvm 1 0 0\nstore @64 xo0 1 16\nhalt\n";
+        let mut img = image_with_core_program(&cfg, source);
+        img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
+            Some(identity_weights(16, 1.0));
+        img.inputs.push(IoBinding {
+            name: "x".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 16,
+            count: 1,
+        });
+        img.outputs.push(IoBinding {
+            name: "y".into(),
+            tile: TileId::new(0),
+            addr: 64,
+            width: 16,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        for round in 0..3 {
+            sim.reset();
+            let x: Vec<f32> = (0..16).map(|i| 0.05 * (i + round) as f32).collect();
+            sim.write_input("x", &x).unwrap();
+            sim.run().unwrap();
+            let y = sim.read_output("y").unwrap();
+            for (a, b) in x.iter().zip(y.iter()) {
+                assert!((a - b).abs() < 0.001);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_bindings_are_errors() {
+        let cfg = tiny_config(1);
+        let img = image_with_core_program(&cfg, "halt\n");
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        assert!(sim.write_input("nope", &[1.0]).is_err());
+        assert!(sim.read_output("nope").is_err());
+    }
+
+    #[test]
+    fn oversized_image_rejected() {
+        let cfg = tiny_config(1);
+        let img = MachineImage::new(2, 2, 2);
+        assert!(NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).is_err());
+    }
+
+    #[test]
+    fn send_on_core_is_error() {
+        let cfg = tiny_config(1);
+        let img = image_with_core_program(&cfg, "send @0 f0 t0 4\nhalt\n");
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        assert!(matches!(sim.run(), Err(PumaError::Execution { .. })));
+    }
+}

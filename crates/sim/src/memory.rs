@@ -1,0 +1,272 @@
+//! Tile shared memory with the attribute buffer (§4.1.1, Fig. 6).
+//!
+//! Every data word carries two attributes: `valid` and `count`. A write
+//! blocks until the word is invalid, then sets the data, marks it valid,
+//! and records the consumer count. A read blocks until the word is valid,
+//! then atomically decrements the count, invalidating the word when the
+//! count reaches zero. This is the inter-core synchronization fabric that
+//! lets producer and consumer cores pipeline without races.
+
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+use serde::{Deserialize, Serialize};
+
+/// Attribute pair for one shared-memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct Attr {
+    valid: bool,
+    count: u16,
+}
+
+/// Why a memory operation could not proceed (the caller blocks and retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemBlock {
+    /// A read found at least one invalid word (producer not done).
+    NotValid {
+        /// First offending address.
+        addr: u32,
+    },
+    /// A write found at least one still-valid word (consumer not done).
+    StillValid {
+        /// First offending address.
+        addr: u32,
+    },
+}
+
+/// Result of attempting a blocking memory operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemOutcome<T> {
+    /// The operation completed.
+    Done(T),
+    /// The operation must block; state unchanged.
+    Blocked(MemBlock),
+}
+
+/// Tile shared memory: data words plus the attribute buffer.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    data: Vec<Fixed>,
+    attrs: Vec<Attr>,
+    /// Monotonic counter bumped on every state change, used by the
+    /// simulator to retry blocked agents only when something changed.
+    generation: u64,
+}
+
+impl SharedMemory {
+    /// Allocates `words` invalid words.
+    pub fn new(words: usize) -> Self {
+        SharedMemory { data: vec![Fixed::ZERO; words], attrs: vec![Attr::default(); words], generation: 0 }
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Monotonic change counter (bumps on successful reads and writes).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn check_range(&self, addr: u32, width: usize) -> Result<()> {
+        let end = addr as usize + width;
+        if end > self.data.len() {
+            return Err(PumaError::Execution {
+                what: format!(
+                    "shared-memory access [{addr}, {end}) exceeds capacity {}",
+                    self.data.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Attempts a blocking consume-read of `width` words (Fig. 6 read).
+    ///
+    /// All words must be valid; each has its count decremented and is
+    /// invalidated when the count reaches zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn try_read(&mut self, addr: u32, width: usize) -> Result<MemOutcome<Vec<Fixed>>> {
+        self.check_range(addr, width)?;
+        let start = addr as usize;
+        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
+            if !attr.valid {
+                return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
+            }
+        }
+        let out = self.data[start..start + width].to_vec();
+        for attr in &mut self.attrs[start..start + width] {
+            attr.count = attr.count.saturating_sub(1);
+            if attr.count == 0 {
+                attr.valid = false;
+            }
+        }
+        self.generation += 1;
+        Ok(MemOutcome::Done(out))
+    }
+
+    /// Attempts a blocking write of `values` with consumer count `count`
+    /// (Fig. 6 write). All destination words must be invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or
+    /// `count` is zero (a zero-consumer write would deadlock all readers).
+    pub fn try_write(
+        &mut self,
+        addr: u32,
+        values: &[Fixed],
+        count: u16,
+    ) -> Result<MemOutcome<()>> {
+        self.check_range(addr, values.len())?;
+        if count == 0 {
+            return Err(PumaError::Execution {
+                what: format!("write at {addr} with zero consumer count"),
+            });
+        }
+        let start = addr as usize;
+        for (i, attr) in self.attrs[start..start + values.len()].iter().enumerate() {
+            if attr.valid {
+                return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
+            }
+        }
+        self.data[start..start + values.len()].copy_from_slice(values);
+        for attr in &mut self.attrs[start..start + values.len()] {
+            *attr = Attr { valid: true, count };
+        }
+        self.generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
+    /// Host-side non-consuming read (used to fetch outputs after a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or any
+    /// word was never produced.
+    pub fn peek(&self, addr: u32, width: usize) -> Result<Vec<Fixed>> {
+        self.check_range(addr, width)?;
+        let start = addr as usize;
+        Ok(self.data[start..start + width].to_vec())
+    }
+
+    /// Host-side forced write (used to inject inputs before a run); does not
+    /// respect blocking semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn poke(&mut self, addr: u32, values: &[Fixed], count: u16) -> Result<()> {
+        self.check_range(addr, values.len())?;
+        let start = addr as usize;
+        self.data[start..start + values.len()].copy_from_slice(values);
+        for attr in &mut self.attrs[start..start + values.len()] {
+            *attr = Attr { valid: true, count };
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// True if the word at `addr` is valid (has unconsumed data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if out of bounds.
+    pub fn is_valid(&self, addr: u32) -> Result<bool> {
+        self.check_range(addr, 1)?;
+        Ok(self.attrs[addr as usize].valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(v: f32) -> Fixed {
+        Fixed::from_f32(v)
+    }
+
+    #[test]
+    fn read_blocks_until_written() {
+        let mut m = SharedMemory::new(16);
+        match m.try_read(0, 4).unwrap() {
+            MemOutcome::Blocked(MemBlock::NotValid { addr: 0 }) => {}
+            other => panic!("expected block, got {other:?}"),
+        }
+        m.try_write(0, &[fx(1.0); 4], 1).unwrap();
+        match m.try_read(0, 4).unwrap() {
+            MemOutcome::Done(v) => assert_eq!(v, vec![fx(1.0); 4]),
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_allows_multiple_consumers() {
+        let mut m = SharedMemory::new(4);
+        m.try_write(0, &[fx(2.0)], 3).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(m.try_read(0, 1).unwrap(), MemOutcome::Done(_)));
+        }
+        // Fourth read blocks: data fully consumed.
+        assert!(matches!(m.try_read(0, 1).unwrap(), MemOutcome::Blocked(_)));
+    }
+
+    #[test]
+    fn write_blocks_until_consumed() {
+        let mut m = SharedMemory::new(4);
+        m.try_write(0, &[fx(1.0)], 1).unwrap();
+        // Producer cannot overwrite unconsumed data.
+        assert!(matches!(
+            m.try_write(0, &[fx(9.0)], 1).unwrap(),
+            MemOutcome::Blocked(MemBlock::StillValid { addr: 0 })
+        ));
+        let _ = m.try_read(0, 1).unwrap();
+        assert!(matches!(m.try_write(0, &[fx(9.0)], 1).unwrap(), MemOutcome::Done(())));
+    }
+
+    #[test]
+    fn partial_validity_blocks_whole_vector_read() {
+        let mut m = SharedMemory::new(8);
+        m.try_write(0, &[fx(1.0); 3], 1).unwrap();
+        assert!(matches!(
+            m.try_read(0, 4).unwrap(),
+            MemOutcome::Blocked(MemBlock::NotValid { addr: 3 })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let mut m = SharedMemory::new(4);
+        assert!(m.try_read(2, 4).is_err());
+        assert!(m.try_write(4, &[fx(0.0)], 1).is_err());
+        assert!(m.peek(0, 5).is_err());
+    }
+
+    #[test]
+    fn zero_count_write_is_error() {
+        let mut m = SharedMemory::new(4);
+        assert!(m.try_write(0, &[fx(0.0)], 0).is_err());
+    }
+
+    #[test]
+    fn generation_tracks_changes() {
+        let mut m = SharedMemory::new(4);
+        let g0 = m.generation();
+        assert!(matches!(m.try_read(0, 1).unwrap(), MemOutcome::Blocked(_)));
+        assert_eq!(m.generation(), g0, "blocked ops must not bump generation");
+        m.try_write(0, &[fx(1.0)], 1).unwrap();
+        assert!(m.generation() > g0);
+    }
+
+    #[test]
+    fn poke_and_peek_bypass_attributes() {
+        let mut m = SharedMemory::new(4);
+        m.poke(1, &[fx(5.0)], 2).unwrap();
+        assert_eq!(m.peek(1, 1).unwrap(), vec![fx(5.0)]);
+        assert!(m.is_valid(1).unwrap());
+        assert!(!m.is_valid(0).unwrap());
+    }
+}

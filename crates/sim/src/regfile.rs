@@ -1,0 +1,155 @@
+//! Per-core register state: XbarIn, XbarOut, and the general-purpose file.
+
+use puma_core::config::CoreConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::Fixed;
+use puma_isa::{RegRef, RegSpace};
+
+/// The three register banks of one core (§5.4).
+#[derive(Debug, Clone)]
+pub struct CoreRegisters {
+    xbar_in: Vec<Fixed>,
+    xbar_out: Vec<Fixed>,
+    general: Vec<Fixed>,
+}
+
+impl CoreRegisters {
+    /// Allocates registers sized per the core configuration.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        CoreRegisters {
+            xbar_in: vec![Fixed::ZERO; cfg.xbar_in_words()],
+            xbar_out: vec![Fixed::ZERO; cfg.xbar_out_words()],
+            general: vec![Fixed::ZERO; cfg.register_file_words],
+        }
+    }
+
+    fn bank(&self, space: RegSpace) -> &[Fixed] {
+        match space {
+            RegSpace::XbarIn => &self.xbar_in,
+            RegSpace::XbarOut => &self.xbar_out,
+            RegSpace::General => &self.general,
+        }
+    }
+
+    fn bank_mut(&mut self, space: RegSpace) -> &mut [Fixed] {
+        match space {
+            RegSpace::XbarIn => &mut self.xbar_in,
+            RegSpace::XbarOut => &mut self.xbar_out,
+            RegSpace::General => &mut self.general,
+        }
+    }
+
+    /// Reads one register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] on out-of-range indices.
+    pub fn read(&self, reg: RegRef) -> Result<Fixed> {
+        self.bank(reg.space).get(reg.index as usize).copied().ok_or_else(|| {
+            PumaError::Execution { what: format!("register read out of range: {reg}") }
+        })
+    }
+
+    /// Writes one register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] on out-of-range indices.
+    pub fn write(&mut self, reg: RegRef, value: Fixed) -> Result<()> {
+        let slot = self.bank_mut(reg.space).get_mut(reg.index as usize).ok_or_else(|| {
+            PumaError::Execution { what: format!("register write out of range: {reg}") }
+        })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Reads a contiguous vector of `width` registers starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range exceeds the bank.
+    pub fn read_vec(&self, base: RegRef, width: usize) -> Result<Vec<Fixed>> {
+        let bank = self.bank(base.space);
+        let start = base.index as usize;
+        bank.get(start..start + width).map(|s| s.to_vec()).ok_or_else(|| {
+            PumaError::Execution { what: format!("register range out of bounds: {base}+{width}") }
+        })
+    }
+
+    /// Writes a contiguous vector starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range exceeds the bank.
+    pub fn write_vec(&mut self, base: RegRef, values: &[Fixed]) -> Result<()> {
+        let bank = self.bank_mut(base.space);
+        let start = base.index as usize;
+        let slot = bank.get_mut(start..start + values.len()).ok_or_else(|| {
+            PumaError::Execution {
+                what: format!("register range out of bounds: {base}+{}", values.len()),
+            }
+        })?;
+        slot.copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Direct view of the XbarIn bank (the DAC inputs).
+    pub fn xbar_in(&self) -> &[Fixed] {
+        &self.xbar_in
+    }
+
+    /// Direct mutable view of the XbarOut bank (the ADC outputs).
+    pub fn xbar_out_mut(&mut self) -> &mut [Fixed] {
+        &mut self.xbar_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puma_core::config::CoreConfig;
+
+    fn regs() -> CoreRegisters {
+        CoreRegisters::new(&CoreConfig::default())
+    }
+
+    #[test]
+    fn read_write_each_space() {
+        let mut r = regs();
+        for reg in [RegRef::xbar_in(0), RegRef::xbar_out(255), RegRef::general(511)] {
+            r.write(reg, Fixed::ONE).unwrap();
+            assert_eq!(r.read(reg).unwrap(), Fixed::ONE);
+        }
+    }
+
+    #[test]
+    fn default_sizes_match_config() {
+        let cfg = CoreConfig::default();
+        let r = CoreRegisters::new(&cfg);
+        assert_eq!(r.xbar_in().len(), cfg.xbar_in_words());
+        assert!(r.read(RegRef::general(cfg.register_file_words as u16 - 1)).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_is_error_not_panic() {
+        let mut r = regs();
+        assert!(r.read(RegRef::general(512)).is_err());
+        assert!(r.write(RegRef::xbar_in(9999), Fixed::ZERO).is_err());
+    }
+
+    #[test]
+    fn vector_access_roundtrips() {
+        let mut r = regs();
+        let values: Vec<Fixed> = (0..128).map(|i| Fixed::from_bits(i as i16)).collect();
+        r.write_vec(RegRef::general(10), &values).unwrap();
+        assert_eq!(r.read_vec(RegRef::general(10), 128).unwrap(), values);
+    }
+
+    #[test]
+    fn vector_overrun_is_error() {
+        let mut r = regs();
+        assert!(r.read_vec(RegRef::general(500), 64).is_err());
+        let values = vec![Fixed::ZERO; 64];
+        assert!(r.write_vec(RegRef::general(500), &values).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Execution statistics: dynamic instruction counts, per-component energy,
+//! and unit busy-cycle accounting.
+
+use puma_isa::InstructionCategory;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Hardware components tracked by the energy model (the Table 3 rows that
+/// consume energy during execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EnergyComponent {
+    /// Crossbar MVM operations (MVMU active).
+    Mvmu,
+    /// Vector functional unit (linear + nonlinear vector ops).
+    Vfu,
+    /// Scalar functional unit.
+    Sfu,
+    /// Register-file traffic (copies, transcendental LUT reads).
+    RegisterFile,
+    /// Instruction fetch + decode (control pipeline + instruction memory).
+    FetchDecode,
+    /// Tile shared memory + bus + attribute buffer.
+    SharedMemory,
+    /// On-chip network (send/receive traffic) + receive buffers.
+    Network,
+    /// Off-chip link (host input/output injection).
+    OffChip,
+}
+
+impl EnergyComponent {
+    /// All components, in display order.
+    pub const ALL: [EnergyComponent; 8] = [
+        EnergyComponent::Mvmu,
+        EnergyComponent::Vfu,
+        EnergyComponent::Sfu,
+        EnergyComponent::RegisterFile,
+        EnergyComponent::FetchDecode,
+        EnergyComponent::SharedMemory,
+        EnergyComponent::Network,
+        EnergyComponent::OffChip,
+    ];
+
+    /// Human-readable name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::Mvmu => "MVMU",
+            EnergyComponent::Vfu => "VFU",
+            EnergyComponent::Sfu => "SFU",
+            EnergyComponent::RegisterFile => "Register File",
+            EnergyComponent::FetchDecode => "Fetch/Decode",
+            EnergyComponent::SharedMemory => "Shared Memory",
+            EnergyComponent::Network => "Network",
+            EnergyComponent::OffChip => "Off-chip",
+        }
+    }
+}
+
+/// Accumulated energy and busy-time per component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyStats {
+    nj: BTreeMap<EnergyComponent, f64>,
+    busy_cycles: BTreeMap<EnergyComponent, u64>,
+}
+
+impl EnergyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        EnergyStats::default()
+    }
+
+    /// Adds `nj` nanojoules and `cycles` busy cycles to a component.
+    pub fn add(&mut self, component: EnergyComponent, nj: f64, cycles: u64) {
+        *self.nj.entry(component).or_insert(0.0) += nj;
+        *self.busy_cycles.entry(component).or_insert(0) += cycles;
+    }
+
+    /// Energy attributed to one component, in nJ.
+    pub fn component_nj(&self, component: EnergyComponent) -> f64 {
+        self.nj.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Busy cycles attributed to one component.
+    pub fn component_busy(&self, component: EnergyComponent) -> u64 {
+        self.busy_cycles.get(&component).copied().unwrap_or(0)
+    }
+
+    /// Total energy across components, in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.nj.values().sum()
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() * 1e-6
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &EnergyStats) {
+        for (&c, &e) in &other.nj {
+            *self.nj.entry(c).or_insert(0.0) += e;
+        }
+        for (&c, &b) in &other.busy_cycles {
+            *self.busy_cycles.entry(c).or_insert(0) += b;
+        }
+    }
+}
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles until the last agent halted (≡ ns at 1 GHz).
+    pub cycles: u64,
+    /// Dynamic instruction counts by execution-unit category.
+    pub dynamic_instructions: BTreeMap<InstructionCategory, u64>,
+    /// Energy accounting.
+    pub energy: EnergyStats,
+    /// Number of MVM activations (MVMU-instructions, counting coalesced
+    /// MVMUs individually).
+    pub mvmu_activations: u64,
+    /// Words moved through tile shared memories.
+    pub shared_memory_words: u64,
+    /// Words moved through the on-chip network.
+    pub network_words: u64,
+    /// Number of cycles any agent spent blocked on synchronization.
+    pub blocked_cycles: u64,
+}
+
+impl RunStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Total dynamic instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.dynamic_instructions.values().sum()
+    }
+
+    /// Latency in nanoseconds (cycles at the 1 GHz reference clock).
+    pub fn latency_ns(&self) -> f64 {
+        self.cycles as f64
+    }
+
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.cycles as f64 * 1e-6
+    }
+
+    /// Records one executed instruction.
+    pub fn count_instruction(&mut self, category: InstructionCategory) {
+        *self.dynamic_instructions.entry(category).or_insert(0) += 1;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}", self.cycles)?;
+        writeln!(f, "instructions: {}", self.total_instructions())?;
+        writeln!(f, "energy: {:.3} mJ", self.energy.total_mj())?;
+        for c in EnergyComponent::ALL {
+            let nj = self.energy.component_nj(c);
+            if nj > 0.0 {
+                writeln!(f, "  {}: {:.1} nJ", c.label(), nj)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_accumulates_and_totals() {
+        let mut e = EnergyStats::new();
+        e.add(EnergyComponent::Mvmu, 43.97, 2304);
+        e.add(EnergyComponent::Mvmu, 43.97, 2304);
+        e.add(EnergyComponent::Vfu, 1.0, 10);
+        assert!((e.component_nj(EnergyComponent::Mvmu) - 87.94).abs() < 1e-9);
+        assert_eq!(e.component_busy(EnergyComponent::Mvmu), 4608);
+        assert!((e.total_nj() - 88.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_components() {
+        let mut a = EnergyStats::new();
+        a.add(EnergyComponent::Sfu, 1.0, 1);
+        let mut b = EnergyStats::new();
+        b.add(EnergyComponent::Sfu, 2.0, 2);
+        b.add(EnergyComponent::Network, 5.0, 3);
+        a.merge(&b);
+        assert!((a.component_nj(EnergyComponent::Sfu) - 3.0).abs() < 1e-12);
+        assert!((a.component_nj(EnergyComponent::Network) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_count_instructions() {
+        let mut s = RunStats::new();
+        s.count_instruction(InstructionCategory::Mvm);
+        s.count_instruction(InstructionCategory::Mvm);
+        s.count_instruction(InstructionCategory::Vfu);
+        assert_eq!(s.total_instructions(), 3);
+        assert_eq!(s.dynamic_instructions[&InstructionCategory::Mvm], 2);
+    }
+
+    #[test]
+    fn latency_conversions() {
+        let mut s = RunStats::new();
+        s.cycles = 2_000_000;
+        assert_eq!(s.latency_ns(), 2e6);
+        assert!((s.latency_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = RunStats::new();
+        s.energy.add(EnergyComponent::Mvmu, 1.0, 1);
+        assert!(format!("{s}").contains("MVMU"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests on the valid/count attribute protocol (Fig. 6): data is
+//! never lost, never double-consumed, and producer/consumer blocking is
+//! exactly complementary.
+
+use proptest::prelude::*;
+use puma_core::fixed::Fixed;
+use puma_sim::memory::{MemOutcome, SharedMemory};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Write count=k, then exactly k reads succeed and the k+1-th blocks.
+    #[test]
+    fn count_is_exact(count in 1u16..8, width in 1usize..16) {
+        let mut m = SharedMemory::new(64);
+        let data: Vec<Fixed> = (0..width).map(|i| Fixed::from_bits(i as i16 + 1)).collect();
+        assert!(matches!(m.try_write(0, &data, count).unwrap(), MemOutcome::Done(())));
+        for _ in 0..count {
+            match m.try_read(0, width).unwrap() {
+                MemOutcome::Done(v) => prop_assert_eq!(&v, &data),
+                MemOutcome::Blocked(_) => prop_assert!(false, "read blocked early"),
+            }
+        }
+        prop_assert!(matches!(m.try_read(0, width).unwrap(), MemOutcome::Blocked(_)));
+        // And the producer can now overwrite.
+        prop_assert!(matches!(m.try_write(0, &data, 1).unwrap(), MemOutcome::Done(())));
+    }
+
+    /// Random interleavings of produce/consume on disjoint slots keep
+    /// every slot's ledger balanced.
+    #[test]
+    fn random_interleavings_balance(ops in prop::collection::vec((0usize..8, any::<bool>()), 1..200)) {
+        let mut m = SharedMemory::new(8);
+        // Per-slot ledger: Some(remaining) if valid.
+        let mut ledger: [Option<u16>; 8] = [None; 8];
+        for (slot, is_write) in ops {
+            let addr = slot as u32;
+            if is_write {
+                let outcome = m.try_write(addr, &[Fixed::ONE], 2).unwrap();
+                match ledger[slot] {
+                    None => {
+                        prop_assert!(matches!(outcome, MemOutcome::Done(())));
+                        ledger[slot] = Some(2);
+                    }
+                    Some(_) => prop_assert!(matches!(outcome, MemOutcome::Blocked(_))),
+                }
+            } else {
+                let outcome = m.try_read(addr, 1).unwrap();
+                match ledger[slot] {
+                    Some(n) => {
+                        prop_assert!(matches!(outcome, MemOutcome::Done(_)));
+                        ledger[slot] = if n > 1 { Some(n - 1) } else { None };
+                    }
+                    None => prop_assert!(matches!(outcome, MemOutcome::Blocked(_))),
+                }
+            }
+        }
+    }
+
+    /// Vector operations are all-or-nothing: a blocked read consumes
+    /// nothing, a blocked write writes nothing.
+    #[test]
+    fn blocked_ops_have_no_side_effects(valid_prefix in 1usize..7) {
+        let mut m = SharedMemory::new(8);
+        let data = vec![Fixed::ONE; valid_prefix];
+        m.try_write(0, &data, 1).unwrap();
+        // Read past the valid prefix blocks and must not consume.
+        prop_assert!(matches!(m.try_read(0, 8).unwrap(), MemOutcome::Blocked(_)));
+        match m.try_read(0, valid_prefix).unwrap() {
+            MemOutcome::Done(v) => prop_assert_eq!(v.len(), valid_prefix),
+            _ => prop_assert!(false, "prefix must still be consumable"),
+        }
+        // Overlapping write blocks while any word is valid, writes nothing.
+        m.try_write(2, &[Fixed::ONE], 1).unwrap();
+        let before = m.peek(0, 8).unwrap();
+        prop_assert!(matches!(m.try_write(0, &vec![Fixed::ZERO; 8], 1).unwrap(), MemOutcome::Blocked(_)));
+        prop_assert_eq!(m.peek(0, 8).unwrap(), before);
+    }
+}

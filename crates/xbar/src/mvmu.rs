@@ -1,0 +1,431 @@
+//! The analog matrix-vector multiplication unit.
+//!
+//! An [`AnalogMvmu`] is the functional model of Fig. 2: a stack of bit-slice
+//! crossbars sharing one DAC array, with ADCs, shift-and-add reduction, and
+//! the offset-binary bias correction that maps signed weights onto
+//! non-negative conductances.
+//!
+//! Three evaluation paths are provided:
+//!
+//! - [`AnalogMvmu::mvm`] — dispatches to the fastest path that is exact for
+//!   the configured noise level;
+//! - [`AnalogMvmu::mvm_bit_serial`] — the reference pipeline: 16 DAC
+//!   phases × per-slice analog column sums × ADC quantization (with
+//!   clamping) × shift-and-add. With noiseless programming this is
+//!   bit-exact with [`puma_core::tensor::FixedMatrix::mvm_exact`];
+//! - [`AnalogMvmu::mvm_noisy_fast`] — collapses the noisy conductances into
+//!   an effective real-valued weight matrix once at program time, then does
+//!   a single `f64` MVM per call (used by the Fig. 13 accuracy sweeps).
+
+use crate::noise::NoiseModel;
+use crate::slice::{encode_weight, slice_levels, CrossbarSlice};
+use puma_core::config::MvmuConfig;
+use puma_core::error::{PumaError, Result};
+use puma_core::fixed::{narrow_accumulator, Fixed, FRAC_BITS};
+use puma_core::tensor::FixedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Offset added to signed weights so conductances are non-negative.
+const WEIGHT_OFFSET: i64 = 32768;
+
+/// Functional model of one logical MVMU (a stack of bit-slice crossbars).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogMvmu {
+    cfg: MvmuConfig,
+    /// Offset-binary encoded weights, row-major, `dim × dim` (zero-padded).
+    encoded: Vec<u16>,
+    /// The physical slices, least significant first.
+    slices: Vec<CrossbarSlice>,
+    /// Effective real-valued weights reconstructed from noisy conductances
+    /// (only populated when programmed with noise).
+    effective: Option<Vec<f64>>,
+    /// The noise model used at the last programming.
+    noise: NoiseModel,
+    /// Logical (unpadded) shape of the stored matrix.
+    logical_rows: usize,
+    logical_cols: usize,
+}
+
+impl AnalogMvmu {
+    /// Creates an unprogrammed MVMU (all weights zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(cfg: MvmuConfig) -> Result<Self> {
+        cfg.validate()?;
+        let slices = (0..cfg.slices())
+            .map(|s| CrossbarSlice::new(cfg.dim, cfg.bits_per_cell, s))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AnalogMvmu {
+            encoded: vec![encode_weight(0); cfg.dim * cfg.dim],
+            slices,
+            effective: None,
+            noise: NoiseModel::noiseless(),
+            logical_rows: cfg.dim,
+            logical_cols: cfg.dim,
+            cfg,
+        })
+    }
+
+    /// The configuration this MVMU was built with.
+    pub fn config(&self) -> &MvmuConfig {
+        &self.cfg
+    }
+
+    /// Crossbar dimension.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Logical (unpadded) shape of the programmed matrix.
+    pub fn logical_shape(&self) -> (usize, usize) {
+        (self.logical_rows, self.logical_cols)
+    }
+
+    /// Programs a weight matrix (serial writes at configuration time,
+    /// §3.2.5), applying `noise` to every slice. Matrices smaller than
+    /// `dim × dim` are zero-padded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidShape`] if the matrix exceeds the
+    /// crossbar dimensions.
+    pub fn program(&mut self, weights: &FixedMatrix, noise: &NoiseModel) -> Result<()> {
+        let dim = self.cfg.dim;
+        if weights.rows() > dim || weights.cols() > dim {
+            return Err(PumaError::InvalidShape {
+                what: format!(
+                    "matrix {}x{} exceeds crossbar {}x{}",
+                    weights.rows(),
+                    weights.cols(),
+                    dim,
+                    dim
+                ),
+            });
+        }
+        self.logical_rows = weights.rows();
+        self.logical_cols = weights.cols();
+        for row in 0..dim {
+            for col in 0..dim {
+                let w = if row < weights.rows() && col < weights.cols() {
+                    weights.get(row, col).to_bits()
+                } else {
+                    0
+                };
+                let enc = encode_weight(w);
+                self.encoded[row * dim + col] = enc;
+                for (s, level) in slice_levels(enc, &self.cfg).into_iter().enumerate() {
+                    self.slices[s].write_cell(row, col, level);
+                }
+            }
+        }
+        self.noise = noise.clone();
+        if noise.is_noiseless() {
+            self.effective = None;
+        } else {
+            for slice in &mut self.slices {
+                noise.apply(slice);
+            }
+            self.effective = Some(self.reconstruct_effective());
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the effective real-valued weight matrix from programmed
+    /// (noisy) conductances: `w_eff = Σ_s g_s · 2^(b·s) − offset`.
+    fn reconstruct_effective(&self) -> Vec<f64> {
+        let dim = self.cfg.dim;
+        let mut eff = vec![-(WEIGHT_OFFSET as f64); dim * dim];
+        for slice in &self.slices {
+            let sig = slice.significance() as f64;
+            for row in 0..dim {
+                for col in 0..dim {
+                    eff[row * dim + col] += sig * slice.conductance(row, col);
+                }
+            }
+        }
+        eff
+    }
+
+    /// The ideal stored weight at `(row, col)` (decoded from the encoded
+    /// form; independent of noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices exceed the crossbar dimension.
+    pub fn weight(&self, row: usize, col: usize) -> Fixed {
+        assert!(row < self.cfg.dim && col < self.cfg.dim, "index out of bounds");
+        Fixed::from_bits(crate::slice::decode_weight(self.encoded[row * self.cfg.dim + col]))
+    }
+
+    /// Computes the MVM, choosing the fastest path that is faithful to the
+    /// configured noise level: the exact integer path when programming was
+    /// noiseless, otherwise the effective-weight path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`.
+    pub fn mvm(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
+        if self.effective.is_some() {
+            self.mvm_noisy_fast(input)
+        } else {
+            self.mvm_exact(input)
+        }
+    }
+
+    /// Exact integer path: 64-bit accumulation against the encoded weights
+    /// with offset correction. Bit-identical to the bit-serial pipeline on
+    /// noiseless hardware (verified by tests), but one pass instead of
+    /// 16 phases × slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`.
+    pub fn mvm_exact(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
+        let dim = self.cfg.dim;
+        if input.len() != dim {
+            return Err(PumaError::ShapeMismatch { expected: dim, actual: input.len() });
+        }
+        let mut acc = vec![0i64; dim];
+        let mut input_sum: i64 = 0;
+        for (row, &x) in input.iter().enumerate() {
+            let xb = x.to_bits() as i64;
+            if xb == 0 {
+                continue;
+            }
+            input_sum += xb;
+            let base = row * dim;
+            for (col, a) in acc.iter_mut().enumerate() {
+                *a += xb * self.encoded[base + col] as i64;
+            }
+        }
+        let correction = WEIGHT_OFFSET * input_sum;
+        Ok(acc
+            .into_iter()
+            .map(|a| Fixed::from_bits(narrow_accumulator(a - correction, FRAC_BITS)))
+            .collect())
+    }
+
+    /// Reference bit-serial pipeline (Fig. 2b): for each of the 16 input
+    /// bits, drive the DACs, read per-slice analog column sums, quantize
+    /// through the ADC (clamping at its full-scale range), and shift-and-add
+    /// into the accumulator; finally apply the offset correction and narrow
+    /// to Q4.12.
+    ///
+    /// Uses programmed (possibly noisy) conductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`.
+    pub fn mvm_bit_serial(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
+        let dim = self.cfg.dim;
+        if input.len() != dim {
+            return Err(PumaError::ShapeMismatch { expected: dim, actual: input.len() });
+        }
+        let adc_max = (1u64 << self.cfg.adc_bits()) - 1;
+        let mut acc = vec![0i64; dim];
+        let mut bits = vec![false; dim];
+        for phase in 0..16u32 {
+            for (i, x) in input.iter().enumerate() {
+                bits[i] = (x.to_bits() as u16) & (1 << phase) != 0;
+            }
+            // Two's complement: bit 15 carries negative weight.
+            let phase_weight: i64 = if phase == 15 { -(1i64 << 15) } else { 1i64 << phase };
+            for slice in &self.slices {
+                let sums = slice.column_sums_programmed(&bits);
+                let sig = slice.significance() as i64;
+                for (col, &current) in sums.iter().enumerate() {
+                    // ADC: round to the nearest code, clamp at full scale.
+                    let code = current.round().clamp(0.0, adc_max as f64) as i64;
+                    acc[col] += phase_weight * sig * code;
+                }
+            }
+        }
+        let input_sum: i64 = input.iter().map(|x| x.to_bits() as i64).sum();
+        let correction = WEIGHT_OFFSET * input_sum;
+        Ok(acc
+            .into_iter()
+            .map(|a| Fixed::from_bits(narrow_accumulator(a - correction, FRAC_BITS)))
+            .collect())
+    }
+
+    /// Noisy fast path: one `f64` MVM against the effective weights
+    /// reconstructed at program time. Skips per-phase ADC rounding, which
+    /// is below the noise floor it models (validated against
+    /// [`AnalogMvmu::mvm_bit_serial`] in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`, or
+    /// [`PumaError::Execution`] if the MVMU was programmed without noise.
+    pub fn mvm_noisy_fast(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
+        let dim = self.cfg.dim;
+        if input.len() != dim {
+            return Err(PumaError::ShapeMismatch { expected: dim, actual: input.len() });
+        }
+        let eff = self.effective.as_ref().ok_or_else(|| PumaError::Execution {
+            what: "mvm_noisy_fast requires noisy programming".to_string(),
+        })?;
+        let mut acc = vec![0.0f64; dim];
+        for (row, &x) in input.iter().enumerate() {
+            let xb = x.to_bits() as f64;
+            if xb == 0.0 {
+                continue;
+            }
+            let base = row * dim;
+            for (col, a) in acc.iter_mut().enumerate() {
+                *a += xb * eff[base + col];
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .map(|a| Fixed::from_bits(narrow_accumulator(a.round() as i64, FRAC_BITS)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puma_core::tensor::Matrix;
+
+    fn small_cfg() -> MvmuConfig {
+        MvmuConfig { dim: 16, ..MvmuConfig::default() }
+    }
+
+    fn test_matrix(rows: usize, cols: usize) -> FixedMatrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            0.05 * (r as f32 - 3.0) - 0.07 * (c as f32 - 2.0) + 0.01 * ((r * c) as f32 % 5.0)
+        })
+        .quantize()
+    }
+
+    fn test_input(n: usize) -> Vec<Fixed> {
+        (0..n).map(|i| Fixed::from_f32(0.1 * (i as f32 - n as f32 / 2.0) / n as f32 + 0.05)).collect()
+    }
+
+    #[test]
+    fn exact_path_matches_digital_reference() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let analog = mvmu.mvm_exact(&x).unwrap();
+        let digital = m.mvm_exact(&x).unwrap();
+        assert_eq!(analog, digital);
+    }
+
+    #[test]
+    fn bit_serial_matches_exact_when_noiseless() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        assert_eq!(mvmu.mvm_bit_serial(&x).unwrap(), mvmu.mvm_exact(&x).unwrap());
+    }
+
+    #[test]
+    fn bit_serial_handles_negative_inputs_and_weights() {
+        let m = Matrix::from_fn(8, 8, |r, c| if (r + c) % 2 == 0 { -0.5 } else { 0.25 }).quantize();
+        let cfg = MvmuConfig { dim: 8, ..MvmuConfig::default() };
+        let mut mvmu = AnalogMvmu::new(cfg).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x: Vec<Fixed> = (0..8).map(|i| Fixed::from_f32(if i % 2 == 0 { -1.0 } else { 0.5 })).collect();
+        assert_eq!(mvmu.mvm_bit_serial(&x).unwrap(), m.mvm_exact(&x).unwrap());
+    }
+
+    #[test]
+    fn padding_preserves_logical_result() {
+        let m = test_matrix(5, 7);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        assert_eq!(mvmu.logical_shape(), (5, 7));
+        let mut x = test_input(5);
+        x.resize(16, Fixed::ZERO);
+        let y = mvmu.mvm(&x).unwrap();
+        let reference = m.mvm_exact(&x[..5]).unwrap();
+        assert_eq!(&y[..7], reference.as_slice());
+        assert!(y[7..].iter().all(|&v| v == Fixed::ZERO));
+    }
+
+    #[test]
+    fn oversized_matrix_rejected() {
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        assert!(mvmu.program(&test_matrix(17, 4), &NoiseModel::noiseless()).is_err());
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        assert!(mvmu.mvm(&test_input(8)).is_err());
+        assert!(mvmu.mvm_bit_serial(&test_input(8)).is_err());
+    }
+
+    #[test]
+    fn weight_readback_roundtrips() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(mvmu.weight(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_fast_requires_noise() {
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&test_matrix(16, 16), &NoiseModel::noiseless()).unwrap();
+        assert!(mvmu.mvm_noisy_fast(&test_input(16)).is_err());
+    }
+
+    #[test]
+    fn noisy_paths_agree_closely() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::new(0.1, 99)).unwrap();
+        let x = test_input(16);
+        let fast = mvmu.mvm_noisy_fast(&x).unwrap();
+        let serial = mvmu.mvm_bit_serial(&x).unwrap();
+        for (a, b) in fast.iter().zip(serial.iter()) {
+            assert!(
+                (a.to_f32() - b.to_f32()).abs() < 0.2,
+                "fast {} vs bit-serial {}",
+                a.to_f32(),
+                b.to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn low_noise_output_stays_near_ideal() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::new(0.05, 3)).unwrap();
+        let x = test_input(16);
+        let noisy = mvmu.mvm(&x).unwrap();
+        let ideal = m.mvm_exact(&x).unwrap();
+        for (a, b) in noisy.iter().zip(ideal.iter()) {
+            assert!((a.to_f32() - b.to_f32()).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn high_noise_on_many_bits_corrupts_output() {
+        let m = test_matrix(16, 16);
+        let cfg = MvmuConfig { dim: 16, bits_per_cell: 6, ..MvmuConfig::default() };
+        let mut mvmu = AnalogMvmu::new(cfg).unwrap();
+        mvmu.program(&m, &NoiseModel::new(0.3, 3)).unwrap();
+        let x = test_input(16);
+        let noisy = mvmu.mvm(&x).unwrap();
+        let ideal = m.mvm_exact(&x).unwrap();
+        let max_err = noisy
+            .iter()
+            .zip(ideal.iter())
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err > 0.2, "expected large corruption, got {max_err}");
+    }
+}

@@ -1,0 +1,297 @@
+//! A single bit-slice crossbar.
+//!
+//! One physical memristor crossbar stores `bits_per_cell` bits of each
+//! weight (2 bits in the paper's conservative default, §3.2.1). A logical
+//! 16-bit MVMU combines `16 / bits_per_cell` such slices via shift-and-add
+//! (Fig. 2b). Cells hold *conductance levels*: integers in
+//! `[0, 2^bits_per_cell)` ideally, or perturbed `f64` values once
+//! programming (write) noise is applied.
+
+use puma_core::config::MvmuConfig;
+use puma_core::error::{PumaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One crossbar of `dim × dim` cells, each holding a conductance level for
+/// `bits_per_cell` bits of slice significance `slice_index`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarSlice {
+    dim: usize,
+    bits_per_cell: u32,
+    slice_index: u32,
+    /// Ideal integer levels, row-major (`levels[row * dim + col]`).
+    levels: Vec<u16>,
+    /// Programmed (possibly noisy) conductance levels. Equal to `levels`
+    /// when no noise was applied.
+    programmed: Vec<f64>,
+}
+
+impl CrossbarSlice {
+    /// Creates an all-zero slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] if `dim` is zero or
+    /// `bits_per_cell` is outside 1..=6.
+    pub fn new(dim: usize, bits_per_cell: u32, slice_index: u32) -> Result<Self> {
+        if dim == 0 {
+            return Err(PumaError::InvalidConfig { what: "crossbar dim must be nonzero".into() });
+        }
+        if bits_per_cell == 0 || bits_per_cell > 6 {
+            return Err(PumaError::InvalidConfig {
+                what: format!("bits per cell {bits_per_cell} outside 1..=6"),
+            });
+        }
+        Ok(CrossbarSlice {
+            dim,
+            bits_per_cell,
+            slice_index,
+            levels: vec![0; dim * dim],
+            programmed: vec![0.0; dim * dim],
+        })
+    }
+
+    /// Crossbar dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bits of weight significance this slice stores per cell.
+    pub fn bits_per_cell(&self) -> u32 {
+        self.bits_per_cell
+    }
+
+    /// Which slice (0 = least significant) this crossbar implements.
+    pub fn slice_index(&self) -> u32 {
+        self.slice_index
+    }
+
+    /// Largest ideal level (`2^bits_per_cell - 1`).
+    pub fn max_level(&self) -> u16 {
+        ((1u32 << self.bits_per_cell) - 1) as u16
+    }
+
+    /// Bit-weight of this slice in the reconstructed word:
+    /// `2^(bits_per_cell * slice_index)`.
+    pub fn significance(&self) -> u32 {
+        1 << (self.bits_per_cell * self.slice_index)
+    }
+
+    /// Writes the ideal level of one cell (serial write at configuration
+    /// time, §3.2.5). Also resets the programmed conductance to the ideal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or `level` exceeds
+    /// [`CrossbarSlice::max_level`].
+    pub fn write_cell(&mut self, row: usize, col: usize, level: u16) {
+        assert!(row < self.dim && col < self.dim, "cell index out of bounds");
+        assert!(level <= self.max_level(), "level {level} exceeds cell capacity");
+        self.levels[row * self.dim + col] = level;
+        self.programmed[row * self.dim + col] = level as f64;
+    }
+
+    /// Ideal level of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn level(&self, row: usize, col: usize) -> u16 {
+        assert!(row < self.dim && col < self.dim, "cell index out of bounds");
+        self.levels[row * self.dim + col]
+    }
+
+    /// Programmed (possibly noisy) conductance of one cell, in level units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn conductance(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.dim && col < self.dim, "cell index out of bounds");
+        self.programmed[row * self.dim + col]
+    }
+
+    /// Overwrites the programmed conductance of one cell (noise injection).
+    /// Conductance clamps to the physical range `[0, max_level]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn perturb_cell(&mut self, row: usize, col: usize, conductance: f64) {
+        assert!(row < self.dim && col < self.dim, "cell index out of bounds");
+        self.programmed[row * self.dim + col] =
+            conductance.clamp(0.0, self.max_level() as f64);
+    }
+
+    /// Analog column currents for a binary input vector (one DAC phase):
+    /// `current[col] = Σ_row input[row] · g[row][col]`, using the ideal
+    /// integer levels (noise-free datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits.len() != dim`.
+    pub fn column_sums_ideal(&self, input_bits: &[bool]) -> Vec<u32> {
+        assert_eq!(input_bits.len(), self.dim, "input length must equal crossbar dim");
+        let mut out = vec![0u32; self.dim];
+        for (row, &bit) in input_bits.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let base = row * self.dim;
+            for (col, o) in out.iter_mut().enumerate() {
+                *o += self.levels[base + col] as u32;
+            }
+        }
+        out
+    }
+
+    /// Analog column currents for a binary input vector against the
+    /// programmed (noisy) conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits.len() != dim`.
+    pub fn column_sums_programmed(&self, input_bits: &[bool]) -> Vec<f64> {
+        assert_eq!(input_bits.len(), self.dim, "input length must equal crossbar dim");
+        let mut out = vec![0.0f64; self.dim];
+        for (row, &bit) in input_bits.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let base = row * self.dim;
+            for (col, o) in out.iter_mut().enumerate() {
+                *o += self.programmed[base + col];
+            }
+        }
+        out
+    }
+
+    /// Upper bound on a column current in one phase:
+    /// `dim × max_level`. The ADC must resolve this.
+    pub fn max_column_sum(&self) -> u32 {
+        self.dim as u32 * self.max_level() as u32
+    }
+}
+
+/// Splits a 16-bit offset-binary encoded weight into per-slice levels,
+/// least-significant slice first.
+///
+/// The signed Q4.12 weight `w` is encoded as `w + 32768` so that all levels
+/// are non-negative (the crossbar bias scheme; the MVMU subtracts the
+/// offset term after accumulation).
+pub fn slice_levels(encoded: u16, cfg: &MvmuConfig) -> Vec<u16> {
+    let bits = cfg.bits_per_cell;
+    let slices = cfg.slices();
+    let mask = (1u32 << bits) - 1;
+    (0..slices).map(|s| (((encoded as u32) >> (bits * s)) & mask) as u16).collect()
+}
+
+/// Reconstructs the encoded word from per-slice levels (inverse of
+/// [`slice_levels`]).
+pub fn reconstruct_levels(levels: &[u16], cfg: &MvmuConfig) -> u16 {
+    let bits = cfg.bits_per_cell;
+    levels
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (s, &l)| acc | ((l as u32) << (bits * s as u32))) as u16
+}
+
+/// Offset-binary encoding of a signed 16-bit weight.
+pub fn encode_weight(w: i16) -> u16 {
+    (w as i32 + 32768) as u16
+}
+
+/// Inverse of [`encode_weight`].
+pub fn decode_weight(enc: u16) -> i16 {
+    (enc as i32 - 32768) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MvmuConfig {
+        MvmuConfig::default()
+    }
+
+    #[test]
+    fn slice_roundtrip_all_bit_widths() {
+        for bits in 1..=6u32 {
+            let c = MvmuConfig { bits_per_cell: bits, ..cfg() };
+            for enc in [0u16, 1, 0x1234, 0xFFFF, 0x8000] {
+                let levels = slice_levels(enc, &c);
+                assert_eq!(levels.len(), c.slices() as usize);
+                assert_eq!(reconstruct_levels(&levels, &c), enc, "bits={bits} enc={enc:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_encoding_roundtrips() {
+        for w in [i16::MIN, -1, 0, 1, i16::MAX] {
+            assert_eq!(decode_weight(encode_weight(w)), w);
+        }
+        assert_eq!(encode_weight(i16::MIN), 0);
+        assert_eq!(encode_weight(0), 32768);
+    }
+
+    #[test]
+    fn write_and_read_cells() {
+        let mut s = CrossbarSlice::new(4, 2, 0).unwrap();
+        s.write_cell(1, 2, 3);
+        assert_eq!(s.level(1, 2), 3);
+        assert_eq!(s.conductance(1, 2), 3.0);
+        assert_eq!(s.max_level(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "level 4 exceeds cell capacity")]
+    fn overfull_level_rejected() {
+        let mut s = CrossbarSlice::new(4, 2, 0).unwrap();
+        s.write_cell(0, 0, 4);
+    }
+
+    #[test]
+    fn column_sums_match_manual() {
+        let mut s = CrossbarSlice::new(3, 2, 0).unwrap();
+        // g = [[1,2,3],[0,1,0],[3,3,0]]
+        let g = [[1, 2, 3], [0, 1, 0], [3, 3, 0]];
+        for (r, row) in g.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                s.write_cell(r, c, v);
+            }
+        }
+        // input rows 0 and 2 active
+        let sums = s.column_sums_ideal(&[true, false, true]);
+        assert_eq!(sums, vec![4, 5, 3]);
+        let noisy = s.column_sums_programmed(&[true, false, true]);
+        assert_eq!(noisy, vec![4.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn perturbation_clamps_to_range() {
+        let mut s = CrossbarSlice::new(2, 2, 1).unwrap();
+        s.perturb_cell(0, 0, -1.0);
+        assert_eq!(s.conductance(0, 0), 0.0);
+        s.perturb_cell(0, 0, 99.0);
+        assert_eq!(s.conductance(0, 0), 3.0);
+    }
+
+    #[test]
+    fn significance_follows_slice_index() {
+        let s = CrossbarSlice::new(2, 2, 3).unwrap();
+        assert_eq!(s.significance(), 64);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CrossbarSlice::new(0, 2, 0).is_err());
+        assert!(CrossbarSlice::new(4, 0, 0).is_err());
+        assert!(CrossbarSlice::new(4, 7, 0).is_err());
+    }
+
+    #[test]
+    fn adc_bound_is_dim_times_max_level() {
+        let s = CrossbarSlice::new(128, 2, 0).unwrap();
+        assert_eq!(s.max_column_sum(), 128 * 3);
+    }
+}

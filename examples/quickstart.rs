@@ -1,0 +1,44 @@
+//! Quickstart: the paper's Fig. 7 example — `z = tanh(A·x + B·y)` —
+//! compiled to PUMA assembly and executed on the simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use puma::compiler::graph::Model;
+use puma::runtime::ModelRunner;
+use puma_core::config::NodeConfig;
+use puma_core::tensor::Matrix;
+
+fn main() -> puma_core::Result<()> {
+    let m_dim = 128;
+    let mut model = Model::new("example");
+    let x = model.input("x", m_dim);
+    let y = model.input("y", m_dim);
+    let a = model.constant_matrix("A", Matrix::from_fn(m_dim, m_dim, |r, c| ((r + c) % 7) as f32 * 0.02 - 0.06));
+    let b = model.constant_matrix("B", Matrix::from_fn(m_dim, m_dim, |r, c| ((r * c) % 5) as f32 * 0.02 - 0.04));
+    let ax = model.mvm(a, x)?;
+    let by = model.mvm(b, y)?;
+    let sum = model.add(ax, by)?;
+    let z = model.tanh(sum);
+    model.output("z", z);
+
+    let mut runner = ModelRunner::functional(&model, &NodeConfig::default())?;
+    println!(
+        "compiled: {} static instructions on {} cores / {} tiles, {} crossbars",
+        runner.compiled().stats.static_instructions,
+        runner.compiled().stats.cores_used,
+        runner.compiled().stats.tiles_used,
+        runner.compiled().stats.weight_tiles,
+    );
+
+    let xv: Vec<f32> = (0..m_dim).map(|i| (i as f32 / m_dim as f32) - 0.5).collect();
+    let yv: Vec<f32> = (0..m_dim).map(|i| 0.25 - (i % 3) as f32 * 0.1).collect();
+    let out = runner.run(&[("x", xv), ("y", yv)])?;
+    println!("z[0..8] = {:?}", &out["z"][..8]);
+    println!(
+        "latency: {} cycles ({:.2} us), energy: {:.1} nJ",
+        runner.stats().cycles,
+        runner.stats().cycles as f64 / 1000.0,
+        runner.stats().energy.total_nj()
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Host-side glue: compile a model graph, load it into the simulator,
+//! write inputs, run, and read back outputs by logical name.
+
+use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
+use puma_core::config::NodeConfig;
+use puma_core::error::{PumaError, Result};
+use puma_sim::{NodeSim, RunStats, SimMode};
+use puma_xbar::NoiseModel;
+use std::collections::HashMap;
+
+/// A compiled model bound to a simulator instance.
+#[derive(Debug)]
+pub struct ModelRunner {
+    compiled: CompiledModel,
+    sim: NodeSim,
+    ran: bool,
+}
+
+impl ModelRunner {
+    /// Compiles and instantiates a model for bit-accurate functional
+    /// simulation with noiseless crossbars.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulator-construction failures.
+    pub fn functional(model: &puma_compiler::graph::Model, cfg: &NodeConfig) -> Result<Self> {
+        Self::new(model, cfg, &CompilerOptions::default(), SimMode::Functional, &NoiseModel::noiseless())
+    }
+
+    /// Full-control constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulator-construction failures.
+    pub fn new(
+        model: &puma_compiler::graph::Model,
+        cfg: &NodeConfig,
+        options: &CompilerOptions,
+        mode: SimMode,
+        noise: &NoiseModel,
+    ) -> Result<Self> {
+        let compiled = compile(model, cfg, options)?;
+        let cfg = fit_config(cfg, &compiled);
+        let sim = NodeSim::new(cfg, &compiled.image, mode, noise)?;
+        Ok(ModelRunner { compiled, sim, ran: false })
+    }
+
+    /// The compiled artifact (image, stats, I/O metadata).
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    /// Runs one inference: writes the named inputs, executes to completion,
+    /// and returns all outputs by name. Can be called repeatedly (the
+    /// machine state is reset between runs; crossbar weights persist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for missing/misshaped inputs and
+    /// propagates simulator faults (including deadlock detection).
+    pub fn run(&mut self, inputs: &[(&str, Vec<f32>)]) -> Result<HashMap<String, Vec<f32>>> {
+        if self.ran {
+            self.sim.reset();
+        }
+        self.ran = true;
+        for (binding, values) in &self.compiled.const_data {
+            self.sim.write_input(&binding.name, values)?;
+        }
+        for io in &self.compiled.inputs {
+            let (_, data) = inputs
+                .iter()
+                .find(|(n, _)| *n == io.name)
+                .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
+            if data.len() != io.width {
+                return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
+            }
+            let mut offset = 0;
+            for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+                self.sim.write_input(chunk, &data[offset..offset + w])?;
+                offset += w;
+            }
+        }
+        self.sim.run()?;
+        let mut out = HashMap::new();
+        for io in &self.compiled.outputs {
+            let mut data = Vec::with_capacity(io.width);
+            for chunk in &io.chunks {
+                data.extend(self.sim.read_output(chunk)?);
+            }
+            out.insert(io.name.clone(), data);
+        }
+        Ok(out)
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> &RunStats {
+        self.sim.stats()
+    }
+}

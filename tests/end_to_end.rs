@@ -1,0 +1,92 @@
+//! Workspace-level integration tests: the whole stack (graph → compiler →
+//! image → simulator → outputs) against reference evaluations.
+
+use puma::compiler::graph::Model;
+use puma::nn::layers::{dense, WeightFactory};
+use puma::nn::spec::Activation;
+use puma::runtime::ModelRunner;
+use puma_core::config::NodeConfig;
+use puma_core::tensor::Matrix;
+use std::collections::HashMap;
+
+#[test]
+fn fig7_example_end_to_end() {
+    let mut m = Model::new("fig7");
+    let x = m.input("x", 96);
+    let a = m.constant_matrix("A", Matrix::from_fn(96, 96, |r, c| ((r + 2 * c) % 9) as f32 * 0.02 - 0.08));
+    let ax = m.mvm(a, x).unwrap();
+    let z = m.tanh(ax);
+    m.output("z", z);
+    let xv: Vec<f32> = (0..96).map(|i| (i % 7) as f32 * 0.1 - 0.3).collect();
+
+    let mut runner = ModelRunner::functional(&m, &NodeConfig::default()).unwrap();
+    let out = runner.run(&[("x", xv.clone())]).unwrap();
+
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), xv);
+    let reference = m.evaluate_reference(&inputs).unwrap();
+    for (g, r) in out["z"].iter().zip(reference["z"].iter()) {
+        assert!((g - r).abs() < 0.02, "{g} vs {r}");
+    }
+}
+
+#[test]
+fn three_layer_mlp_matches_reference_across_runs() {
+    let mut m = Model::new("mlp");
+    let mut wf = WeightFactory::materialized(5);
+    let x = m.input("x", 200);
+    let h1 = dense(&mut m, &mut wf, "w1", x, 150, Activation::Sigmoid).unwrap();
+    let h2 = dense(&mut m, &mut wf, "w2", h1, 150, Activation::Sigmoid).unwrap();
+    let o = dense(&mut m, &mut wf, "w3", h2, 14, Activation::None).unwrap();
+    m.output("logits", o);
+
+    let mut runner = ModelRunner::functional(&m, &NodeConfig::default()).unwrap();
+    for round in 0..3 {
+        let xv: Vec<f32> = (0..200).map(|i| ((i + round) % 11) as f32 * 0.05 - 0.25).collect();
+        let out = runner.run(&[("x", xv.clone())]).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), xv);
+        let reference = m.evaluate_reference(&inputs).unwrap();
+        for (g, r) in out["logits"].iter().zip(reference["logits"].iter()) {
+            assert!((g - r).abs() < 0.05, "round {round}: {g} vs {r}");
+        }
+    }
+}
+
+#[test]
+fn stats_are_physically_consistent() {
+    let mut m = Model::new("stats");
+    let x = m.input("x", 128);
+    let a = m.constant_matrix("A", Matrix::from_fn(128, 128, |_, _| 0.01));
+    let ax = m.mvm(a, x).unwrap();
+    m.output("y", ax);
+    let mut runner = ModelRunner::functional(&m, &NodeConfig::default()).unwrap();
+    runner.run(&[("x", vec![0.1; 128])]).unwrap();
+    let stats = runner.stats();
+    // One 128x128 MVM: >= 2304 cycles, ~43.97 nJ on the MVMU.
+    assert!(stats.cycles >= 2304);
+    assert_eq!(stats.mvmu_activations, 1);
+    let mvm_nj = stats.energy.component_nj(puma::sim::EnergyComponent::Mvmu);
+    assert!((mvm_nj - 43.97).abs() < 0.5, "{mvm_nj}");
+}
+
+#[test]
+fn analytic_model_agrees_with_simulator_on_order_of_magnitude() {
+    // Cross-check: the perf model and the event simulator should agree
+    // within a small factor on a mid-size MLP.
+    let spec = puma::nn::zoo::spec("MLP-64-150-150-14");
+    let cfg = NodeConfig::default();
+    let analytic = puma::nn::perf::estimate(&spec, &cfg, true);
+
+    let mut wf = WeightFactory::materialized(2);
+    let model = puma::nn::zoo::build_graph_model(&spec, &mut wf, None).unwrap().unwrap();
+    let mut runner = ModelRunner::functional(&model, &cfg).unwrap();
+    runner.run(&[("x0", vec![0.05; 64])]).unwrap();
+    let sim_ns = runner.stats().cycles as f64;
+    let sim_nj = runner.stats().energy.total_nj();
+
+    let lat_ratio = sim_ns / analytic.latency_ns;
+    let e_ratio = sim_nj / analytic.energy_nj;
+    assert!((0.2..5.0).contains(&lat_ratio), "latency ratio {lat_ratio}");
+    assert!((0.2..5.0).contains(&e_ratio), "energy ratio {e_ratio}");
+}

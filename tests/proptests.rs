@@ -1,0 +1,97 @@
+//! Workspace-level property tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use puma::compiler::graph::Model;
+use puma::runtime::ModelRunner;
+use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+use puma_core::fixed::Fixed;
+use puma_core::tensor::Matrix;
+use puma_isa::{asm, encode};
+use std::collections::HashMap;
+
+fn small_cfg() -> NodeConfig {
+    let mvmu = MvmuConfig { dim: 32, ..MvmuConfig::default() };
+    NodeConfig {
+        tile: TileConfig {
+            core: CoreConfig {
+                mvmu,
+                mvmus_per_core: 2,
+                vfu_lanes: 4,
+                instruction_memory_bytes: 16 * 1024,
+                register_file_words: 128,
+            },
+            cores_per_tile: 4,
+            ..TileConfig::default()
+        },
+        tiles_per_node: 16,
+        ..NodeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fixed-point conversion roundtrips within half an ULP.
+    #[test]
+    fn fixed_roundtrip(v in -7.9f32..7.9) {
+        let f = Fixed::from_f32(v);
+        prop_assert!((f.to_f32() - v).abs() <= 0.5 / 4096.0 + f32::EPSILON);
+    }
+
+    /// Fixed-point addition saturates but never wraps.
+    #[test]
+    fn fixed_add_never_wraps(a in any::<i16>(), b in any::<i16>()) {
+        let fa = Fixed::from_bits(a);
+        let fb = Fixed::from_bits(b);
+        let sum = (fa + fb).to_f32();
+        let exact = fa.to_f32() + fb.to_f32();
+        // Saturating result is always between the clamped exact value.
+        prop_assert!((sum - exact.clamp(-8.0, 8.0)).abs() < 2.0 / 4096.0 + 1e-6);
+    }
+
+    /// Every encodable instruction roundtrips through binary and text.
+    #[test]
+    fn instruction_roundtrip(op_idx in 0usize..18, d in 0u16..512, s1 in 0u16..512, w in 1u16..128) {
+        let op = puma_isa::AluOp::ALL[op_idx];
+        let instr = puma_isa::Instruction::Alu {
+            op,
+            dest: puma_isa::RegRef::general(d),
+            src1: puma_isa::RegRef::general(s1),
+            src2: puma_isa::RegRef::general(s1),
+            width: w,
+        };
+        let bytes = encode::encode(&instr).unwrap();
+        prop_assert_eq!(encode::decode(&bytes).unwrap(), instr);
+        let text = asm::format_instruction(&instr);
+        let parsed = asm::assemble(&text).unwrap();
+        // Unary formatting folds src2 = src1, which the constructor already satisfies.
+        prop_assert_eq!(parsed[0], instr);
+    }
+
+    /// Compiled MVM + activation agrees with the reference evaluator for
+    /// arbitrary matrix shapes (multi-chunk tiling, reductions, spills).
+    #[test]
+    fn compiled_model_matches_reference(rows in 1usize..80, cols in 1usize..80, seed in 0u32..50) {
+        let mut m = Model::new("prop");
+        let x = m.input("x", rows);
+        let a = m.constant_matrix(
+            "A",
+            Matrix::from_fn(rows, cols, |r, c| {
+                (((r * 31 + c * 17 + seed as usize) % 23) as f32 / 23.0 - 0.5) * 0.2
+            }),
+        );
+        let ax = m.mvm(a, x).unwrap();
+        let z = m.relu(ax);
+        m.output("z", z);
+        let xv: Vec<f32> = (0..rows).map(|i| ((i * 13 + seed as usize) % 19) as f32 / 19.0 - 0.5).collect();
+
+        let mut runner = ModelRunner::functional(&m, &small_cfg()).unwrap();
+        let out = runner.run(&[("x", xv.clone())]).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), xv);
+        let reference = m.evaluate_reference(&inputs).unwrap();
+        for (g, r) in out["z"].iter().zip(reference["z"].iter()) {
+            prop_assert!((g - r).abs() < 0.02, "{} vs {}", g, r);
+        }
+    }
+}
