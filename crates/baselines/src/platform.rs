@@ -149,7 +149,11 @@ pub fn weight_traffic_bytes(workload: &WorkloadSpec) -> f64 {
 /// their MACs, so CNNs are compute-bound, while MLP/LSTM weights dominate
 /// and make small batches memory-bound — the §7.1/§7.2 regimes.
 /// Activations stream per inference.
-pub fn estimate(platform: &PlatformSpec, workload: &WorkloadSpec, batch: usize) -> BaselineEstimate {
+pub fn estimate(
+    platform: &PlatformSpec,
+    workload: &WorkloadSpec,
+    batch: usize,
+) -> BaselineEstimate {
     let b = batch.max(1) as f64;
     let total_ops = 2.0 * workload.total_macs() as f64 * b;
     let compute_ns = total_ops / (platform.peak_gops * platform.efficiency);
@@ -157,10 +161,8 @@ pub fn estimate(platform: &PlatformSpec, workload: &WorkloadSpec, batch: usize) 
     let act_bytes = 2.0 * workload.total_activation_elems() as f64 * b;
     let mem_bytes = weight_bytes + act_bytes;
     let mem_ns = mem_bytes / platform.mem_bw_gb_s;
-    let recurrent = workload
-        .layers
-        .iter()
-        .any(|l| matches!(l, LayerSpec::Lstm { .. } | LayerSpec::Rnn { .. }));
+    let recurrent =
+        workload.layers.iter().any(|l| matches!(l, LayerSpec::Lstm { .. } | LayerSpec::Rnn { .. }));
     let penalty = if !recurrent {
         1.0
     } else if platform.name == "Haswell" || platform.name == "Skylake" {

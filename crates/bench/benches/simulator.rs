@@ -7,10 +7,9 @@ use puma_core::config::NodeConfig;
 
 fn bench_simulator(c: &mut Criterion) {
     let cfg = NodeConfig::default();
-    let compiled =
-        compile_workload("MLP-64-150-150-14", &cfg, &CompilerOptions::default(), None)
-            .unwrap()
-            .unwrap();
+    let compiled = compile_workload("MLP-64-150-150-14", &cfg, &CompilerOptions::default(), None)
+        .unwrap()
+        .unwrap();
     c.bench_function("sim_mlp_small_timing", |b| {
         b.iter(|| run_timing(std::hint::black_box(&compiled), &cfg).unwrap())
     });

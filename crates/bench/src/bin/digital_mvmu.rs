@@ -6,8 +6,14 @@ use puma_core::hwmodel::digital_mvmu_comparison;
 fn main() {
     let cmp = digital_mvmu_comparison(&NodeConfig::default());
     println!("== §7.4.3: Digital MVMU comparison ==");
-    println!("  per-MVMU area ratio (digital/analog):   {:.2}x (paper: 8.97x)", cmp.mvmu_area_ratio);
-    println!("  per-MVM energy ratio (digital/analog):  {:.2}x (paper: 4.17x)", cmp.mvmu_energy_ratio);
+    println!(
+        "  per-MVMU area ratio (digital/analog):   {:.2}x (paper: 8.97x)",
+        cmp.mvmu_area_ratio
+    );
+    println!(
+        "  per-MVM energy ratio (digital/analog):  {:.2}x (paper: 4.17x)",
+        cmp.mvmu_energy_ratio
+    );
     println!("  chip area ratio, naive substitution:    {:.2}x", cmp.chip_area_ratio_naive);
     println!("  chip area ratio, paper (with redesign): {:.2}x", cmp.chip_area_ratio_paper);
     println!("  chip energy ratio, paper:               {:.2}x", cmp.chip_energy_ratio_paper);

@@ -1,8 +1,8 @@
 //! Reproduces Fig. 11(c,d): batch 16-128 energy savings and throughput,
 //! normalized to Haswell.
 
-use puma_bench::{fmt_ratio, print_table};
 use puma_baselines::platform::{estimate, table4_platforms};
+use puma_bench::{fmt_ratio, print_table};
 use puma_core::config::NodeConfig;
 use puma_nn::perf;
 use puma_nn::zoo::{self, TABLE5_NAMES};
@@ -13,7 +13,10 @@ fn main() {
     let haswell = platforms.iter().find(|p| p.name == "Haswell").expect("haswell");
     let batches = [16usize, 32, 64, 128];
 
-    for (title, metric) in [("Fig. 11(c): Batch energy savings vs Haswell", 0), ("Fig. 11(d): Batch throughput vs Haswell", 1)] {
+    for (title, metric) in [
+        ("Fig. 11(c): Batch energy savings vs Haswell", 0),
+        ("Fig. 11(d): Batch throughput vs Haswell", 1),
+    ] {
         let mut rows = Vec::new();
         for name in TABLE5_NAMES {
             let spec = zoo::spec(name);

@@ -1,8 +1,8 @@
 //! Reproduces Fig. 11(a,b): batch-1 inference energy and latency of the
 //! Table 4 CPU/GPU platforms, normalized to PUMA.
 
-use puma_bench::{fmt_ratio, print_table};
 use puma_baselines::platform::{estimate, table4_platforms};
+use puma_bench::{fmt_ratio, print_table};
 use puma_core::config::NodeConfig;
 use puma_nn::perf;
 use puma_nn::zoo::{self, TABLE5_NAMES};
@@ -32,8 +32,16 @@ fn main() {
     header.extend(names.iter().map(|s| s.as_str()));
     let mut eh = header.clone();
     eh.push("PUMA abs");
-    print_table("Fig. 11(a): Inference energy normalized to PUMA (higher = PUMA wins)", &eh, &energy_rows);
-    print_table("Fig. 11(b): Inference latency normalized to PUMA (higher = PUMA wins)", &eh, &latency_rows);
+    print_table(
+        "Fig. 11(a): Inference energy normalized to PUMA (higher = PUMA wins)",
+        &eh,
+        &energy_rows,
+    );
+    print_table(
+        "Fig. 11(b): Inference latency normalized to PUMA (higher = PUMA wins)",
+        &eh,
+        &latency_rows,
+    );
     println!("\n  Paper shapes: energy — CNNs least (~12x vs Pascal), MLPs ~30-80x,");
     println!("  Deep LSTM ~2300-2450x, Wide LSTM ~760-1340x; latency — CNN ~3x,");
     println!("  Deep LSTM ~42-66x, Wide LSTM ~4.7-5.2x, MLP may lose to GPUs (0.24-0.40x).");

@@ -31,8 +31,8 @@ fn tile_efficiency(cfg: &NodeConfig) -> (f64, f64) {
     // Each MVM output chunk takes a bias add, two state-mixing vector ops
     // (the LSTM-style gate arithmetic of Table 1), and the ROM lookup on
     // the VFU datapath.
-    let t_vfu = (3 * timing.vfu_cycles(mvmus * dim) + timing.transcendental_cycles(mvmus * dim))
-        as f64;
+    let t_vfu =
+        (3 * timing.vfu_cycles(mvmus * dim) + timing.transcendental_cycles(mvmus * dim)) as f64;
     let t_mem = (cores * mvmus * dim * 2) as f64 / SHM_RANDOM_WORDS_PER_CYCLE;
     let period = t_mvm.max(t_vfu).max(t_mem);
     let gops = ops / period; // ops per ns = GOPS
@@ -93,13 +93,18 @@ fn main() {
         cfg.tile.core.register_file_words = words;
         let spec = zoo::spec("MLP-64-150-150-14");
         let mut row = vec![format!("RF {label} ({words} words)")];
-        for sched in [puma_compiler::Scheduling::Naive, puma_compiler::Scheduling::ReversePostorder] {
+        for sched in [puma_compiler::Scheduling::Naive, puma_compiler::Scheduling::ReversePostorder]
+        {
             let mut wf = WeightFactory::materialized(3);
             let model = zoo::build_graph_model(&spec, &mut wf, None).unwrap().unwrap();
             let compiled = compile(
                 &model,
                 &cfg,
-                &CompilerOptions { scheduling: sched, coalesce_mvms: false, ..CompilerOptions::default() },
+                &CompilerOptions {
+                    scheduling: sched,
+                    coalesce_mvms: false,
+                    ..CompilerOptions::default()
+                },
             )
             .unwrap();
             row.push(format!("{:.2}%", 100.0 * compiled.stats.spill_fraction()));

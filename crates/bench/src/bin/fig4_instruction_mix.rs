@@ -39,10 +39,9 @@ fn main() {
         ("BM (V500-H500)", "BM-V500-H500"),
         ("RBM (V500-H500)", "RBM-V500-H500"),
     ] {
-        let compiled =
-            puma_bench::compile_workload(name, &cfg, &CompilerOptions::default(), None)
-                .expect("compiles")
-                .expect("graph workload");
+        let compiled = puma_bench::compile_workload(name, &cfg, &CompilerOptions::default(), None)
+            .expect("compiles")
+            .expect("graph workload");
         let mut row = vec![label.to_string()];
         row.extend(percentages(&compiled.image.category_histogram()));
         row.push(compiled.image.total_instructions().to_string());

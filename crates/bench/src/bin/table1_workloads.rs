@@ -12,12 +12,9 @@ fn main() {
     let rows = vec![
         vec!["Dominance of MVM".into(), "Yes".into(), "Yes".into(), "Yes".into()],
         vec!["High data parallelism".into(), "Yes".into(), "Yes".into(), "Yes".into()],
-        vec![
-            "Nonlinear operations".into(),
-            yesno(mlp.uses_transcendentals() || true),
-            "Yes".into(),
-            "Yes".into(),
-        ],
+        // Nonlinear ops cover activations beyond transcendentals (ReLU,
+        // pooling), so all three classes are an unconditional "Yes".
+        vec!["Nonlinear operations".into(), "Yes".into(), "Yes".into(), "Yes".into()],
         vec!["Linear operations".into(), "No".into(), "Yes".into(), "No".into()],
         vec![
             "Transcendental operations".into(),
@@ -43,13 +40,12 @@ fn main() {
             format!("{:.1}", lstm.macs_per_param()),
             format!("{:.1}", cnn.macs_per_param()),
         ],
-        vec![
-            "Bounded resource".into(),
-            "Memory".into(),
-            "Memory".into(),
-            "Compute".into(),
-        ],
+        vec!["Bounded resource".into(), "Memory".into(), "Memory".into(), "Compute".into()],
     ];
     assert_eq!(mlp.class, WorkloadClass::Mlp);
-    print_table("Table 1: Workload Characterization", &["Characteristic", "MLP", "LSTM", "CNN"], &rows);
+    print_table(
+        "Table 1: Workload Characterization",
+        &["Characteristic", "MLP", "LSTM", "CNN"],
+        &rows,
+    );
 }

@@ -8,18 +8,73 @@ fn main() {
     let imm_ops: Vec<&str> = AluImmOp::ALL.iter().map(|o| o.mnemonic()).collect();
     let int_ops: Vec<&str> = ScalarOp::ALL.iter().map(|o| o.mnemonic()).collect();
     let rows = vec![
-        vec!["Compute".into(), "MVM".into(), "Matrix-Vector Multiplication".into(), "mask, filter, stride".into()],
-        vec!["Compute".into(), "ALU".into(), format!("Vector ops: {}", alu_ops.join(", ")), "aluop, dest, src1, src2, vec-width".into()],
-        vec!["Compute".into(), "ALUimm".into(), format!("Vector immediate: {}", imm_ops.join(", ")), "aluop, dest, src1, imm, vec-width".into()],
-        vec!["Compute".into(), "ALUint".into(), format!("Scalar: {}", int_ops.join(", ")), "aluop, dest, src1, src2".into()],
-        vec!["Intra-Core".into(), "set".into(), "Register initialization".into(), "dest, immediate".into()],
-        vec!["Intra-Core".into(), "copy".into(), "Register-to-register move".into(), "dest, src1, vec-width".into()],
-        vec!["Intra-Tile".into(), "load".into(), "Load from shared memory".into(), "dest, addr[+index], vec-width".into()],
-        vec!["Intra-Tile".into(), "store".into(), "Store to shared memory".into(), "addr[+index], src1, count, vec-width".into()],
-        vec!["Intra-Node".into(), "send".into(), "Send to tile FIFO".into(), "memaddr, fifo-id, target, vec-width".into()],
-        vec!["Intra-Node".into(), "receive".into(), "Receive from FIFO".into(), "memaddr, fifo-id, count, vec-width".into()],
+        vec![
+            "Compute".into(),
+            "MVM".into(),
+            "Matrix-Vector Multiplication".into(),
+            "mask, filter, stride".into(),
+        ],
+        vec![
+            "Compute".into(),
+            "ALU".into(),
+            format!("Vector ops: {}", alu_ops.join(", ")),
+            "aluop, dest, src1, src2, vec-width".into(),
+        ],
+        vec![
+            "Compute".into(),
+            "ALUimm".into(),
+            format!("Vector immediate: {}", imm_ops.join(", ")),
+            "aluop, dest, src1, imm, vec-width".into(),
+        ],
+        vec![
+            "Compute".into(),
+            "ALUint".into(),
+            format!("Scalar: {}", int_ops.join(", ")),
+            "aluop, dest, src1, src2".into(),
+        ],
+        vec![
+            "Intra-Core".into(),
+            "set".into(),
+            "Register initialization".into(),
+            "dest, immediate".into(),
+        ],
+        vec![
+            "Intra-Core".into(),
+            "copy".into(),
+            "Register-to-register move".into(),
+            "dest, src1, vec-width".into(),
+        ],
+        vec![
+            "Intra-Tile".into(),
+            "load".into(),
+            "Load from shared memory".into(),
+            "dest, addr[+index], vec-width".into(),
+        ],
+        vec![
+            "Intra-Tile".into(),
+            "store".into(),
+            "Store to shared memory".into(),
+            "addr[+index], src1, count, vec-width".into(),
+        ],
+        vec![
+            "Intra-Node".into(),
+            "send".into(),
+            "Send to tile FIFO".into(),
+            "memaddr, fifo-id, target, vec-width".into(),
+        ],
+        vec![
+            "Intra-Node".into(),
+            "receive".into(),
+            "Receive from FIFO".into(),
+            "memaddr, fifo-id, count, vec-width".into(),
+        ],
         vec!["Control".into(), "jmp".into(), "Unconditional jump".into(), "pc".into()],
-        vec!["Control".into(), "brn".into(), "Conditional jump".into(), "brnop, src1, src2, pc".into()],
+        vec![
+            "Control".into(),
+            "brn".into(),
+            "Conditional jump".into(),
+            "brnop, src1, src2, pc".into(),
+        ],
     ];
     print_table(
         "Table 2: Instruction Set Architecture Overview",

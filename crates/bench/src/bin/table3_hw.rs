@@ -10,12 +10,7 @@ fn main() {
     let rows: Vec<Vec<String>> = hwmodel::breakdown(&cfg)
         .into_iter()
         .map(|r| {
-            vec![
-                r.component,
-                format!("{:.4}", r.power_mw),
-                format!("{:.5}", r.area_mm2),
-                r.spec,
-            ]
+            vec![r.component, format!("{:.4}", r.power_mw), format!("{:.5}", r.area_mm2), r.spec]
         })
         .collect();
     print_table(
@@ -25,8 +20,13 @@ fn main() {
     );
     let node = hwmodel::node_area_power(&cfg);
     let tops = hwmodel::peak_tops(&cfg, MVM_INITIATION_INTERVAL_128 as f64);
-    println!("\n  node: {:.1} W, {:.1} mm2 (paper: {:.1} W, {:.1} mm2)",
-        node.power_mw / 1e3, node.area_mm2, published::NODE_MW / 1e3, published::NODE_MM2);
+    println!(
+        "\n  node: {:.1} W, {:.1} mm2 (paper: {:.1} W, {:.1} mm2)",
+        node.power_mw / 1e3,
+        node.area_mm2,
+        published::NODE_MW / 1e3,
+        published::NODE_MM2
+    );
     println!(
         "  peak: {:.2} TOPS/s, {:.3} TOPS/s/mm2, {:.3} TOPS/s/W (paper: {:.2}, {:.3}, {:.3})",
         tops,

@@ -1,7 +1,7 @@
 //! Reproduces Table 6: comparison with the TPU and ISAAC.
 
-use puma_bench::print_table;
 use puma_baselines::accelerators::{isaac_row, puma_row, tpu_row};
+use puma_bench::print_table;
 use puma_core::config::NodeConfig;
 
 fn main() {
@@ -32,16 +32,32 @@ fn main() {
     print_table(
         "Table 6: Comparison with ML Accelerators",
         &[
-            "Platform", "Year", "Technology", "MHz", "Area mm2", "Power W", "Peak TOPS",
-            "Peak AE", "Peak PE", "AE MLP", "AE LSTM", "AE CNN", "PE MLP", "PE LSTM", "PE CNN",
+            "Platform",
+            "Year",
+            "Technology",
+            "MHz",
+            "Area mm2",
+            "Power W",
+            "Peak TOPS",
+            "Peak AE",
+            "Peak PE",
+            "AE MLP",
+            "AE LSTM",
+            "AE CNN",
+            "PE MLP",
+            "PE LSTM",
+            "PE CNN",
         ],
         &table,
     );
     let puma = &rows[0];
     let tpu = &rows[1];
     let isaac = &rows[2];
-    println!("\n  PUMA vs TPU: {:.1}x peak AE, {:.2}x peak PE (paper: 8.3x, 1.65x)",
-        puma.peak_ae() / tpu.peak_ae(), puma.peak_pe() / tpu.peak_pe());
+    println!(
+        "\n  PUMA vs TPU: {:.1}x peak AE, {:.2}x peak PE (paper: 8.3x, 1.65x)",
+        puma.peak_ae() / tpu.peak_ae(),
+        puma.peak_pe() / tpu.peak_pe()
+    );
     println!("  PUMA vs ISAAC: {:.1}% lower PE, {:.1}% lower AE (paper: 20.7%, 29.2%) — the programmability cost",
         100.0 * (1.0 - puma.peak_pe() / isaac.peak_pe()),
         100.0 * (1.0 - puma.peak_ae() / isaac.peak_ae()));

@@ -1,12 +1,10 @@
 //! Reproduces Table 7: programmability comparison with ISAAC.
 
-use puma_bench::print_table;
 use puma_baselines::accelerators::programmability_comparison;
+use puma_bench::print_table;
 
 fn main() {
-    let rows: Vec<Vec<String>> = programmability_comparison()
-        .into_iter()
-        .map(|r| vec![r.aspect, r.puma, r.isaac])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        programmability_comparison().into_iter().map(|r| vec![r.aspect, r.puma, r.isaac]).collect();
     print_table("Table 7: Programmability Comparison", &["Aspect", "PUMA", "ISAAC"], &rows);
 }

@@ -25,11 +25,8 @@ fn main() {
     for name in ["MLPL4", "MLPL5", "NMTL3", "NMTL5", "BigLSTM", "LSTM-2048"] {
         let seq = sim_seq_len(name);
         let timing_only = matches!(name, "BigLSTM" | "LSTM-2048" | "NMTL3" | "NMTL5");
-        let base_opts = if timing_only {
-            CompilerOptions::timing_only()
-        } else {
-            CompilerOptions::default()
-        };
+        let base_opts =
+            if timing_only { CompilerOptions::timing_only() } else { CompilerOptions::default() };
         let compiled = compile_workload(name, &cfg, &base_opts, seq).unwrap().unwrap();
         let stats = run_timing(&compiled, &cfg).unwrap();
 

@@ -118,14 +118,10 @@ mod tests {
     #[test]
     fn mlp_workload_compiles_and_runs() {
         let cfg = NodeConfig::default();
-        let compiled = compile_workload(
-            "MLP-64-150-150-14",
-            &cfg,
-            &CompilerOptions::default(),
-            None,
-        )
-        .unwrap()
-        .unwrap();
+        let compiled =
+            compile_workload("MLP-64-150-150-14", &cfg, &CompilerOptions::default(), None)
+                .unwrap()
+                .unwrap();
         let stats = run_timing(&compiled, &cfg).unwrap();
         assert!(stats.cycles > 0);
         assert!(stats.energy.total_nj() > 0.0);

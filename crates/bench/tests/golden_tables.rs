@@ -1,0 +1,39 @@
+//! Golden snapshots of the paper-table binaries' stdout.
+//!
+//! `table2_isa` (the ISA overview) and `fig4_instruction_mix` (static
+//! instruction usage) print numbers that later PRs must not shift by
+//! accident: Table 2 pins the instruction set surface and encoding width,
+//! Fig. 4 pins the compiler's static instruction mix for the six Fig. 4
+//! workloads. Any intentional change is re-blessed with `PUMA_BLESS=1`
+//! (see `puma_testkit::golden`) and reviewed as a diff.
+
+use puma_testkit::golden::assert_golden;
+use std::path::Path;
+use std::process::Command;
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn run_bin(exe: &str) -> String {
+    let out = Command::new(exe).output().unwrap_or_else(|e| panic!("spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("table output is UTF-8")
+}
+
+#[test]
+fn table2_isa_stdout_matches_golden() {
+    let stdout = run_bin(env!("CARGO_BIN_EXE_table2_isa"));
+    assert_golden("table2_isa", &stdout, golden_dir());
+}
+
+#[test]
+fn fig4_instruction_mix_stdout_matches_golden() {
+    let stdout = run_bin(env!("CARGO_BIN_EXE_fig4_instruction_mix"));
+    assert_golden("fig4_instruction_mix", &stdout, golden_dir());
+}

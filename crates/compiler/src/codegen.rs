@@ -16,11 +16,11 @@
 //! emission to the exact number of consuming loads and sends, so the
 //! valid/count protocol can never starve or stall spuriously.
 
+use crate::graph::{BinOp, ImmOp, UnOp};
 use crate::options::CompilerOptions;
 use crate::partition::Placement;
 use crate::physical::{PhysGraph, PhysId, PhysOp};
 use crate::schedule::{Schedule, ScheduleItem};
-use crate::graph::{BinOp, ImmOp, UnOp};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
@@ -264,8 +264,7 @@ impl<'a> Emitter<'a> {
                 }
             }
         }
-        let output_values =
-            graph.outputs.iter().flat_map(|o| o.chunks.iter().copied()).collect();
+        let output_values = graph.outputs.iter().flat_map(|o| o.chunks.iter().copied()).collect();
         Ok(Emitter {
             graph,
             placement,
@@ -308,16 +307,11 @@ impl<'a> Emitter<'a> {
     fn fifo_for(&mut self, consumer_tile: usize, sender_tile: usize) -> u8 {
         let fifos = self.cfg.tile.receive_fifos as u8;
         let next = self.fifo_next.entry(consumer_tile).or_insert(0);
-        *self
-            .fifo_map
-            .entry(consumer_tile)
-            .or_default()
-            .entry(sender_tile)
-            .or_insert_with(|| {
-                let f = *next % fifos;
-                *next = next.wrapping_add(1);
-                f
-            })
+        *self.fifo_map.entry(consumer_tile).or_default().entry(sender_tile).or_insert_with(|| {
+            let f = *next % fifos;
+            *next = next.wrapping_add(1);
+            f
+        })
     }
 
     /// The recycling channel for a value's home on `tile` with the given
@@ -383,7 +377,12 @@ impl<'a> Emitter<'a> {
 
     /// Ensures `value` is resident in a register slot on `core_loc`,
     /// loading (or reloading a spill) from shared memory if necessary.
-    fn ensure_in_slot(&mut self, core_loc: CoreLocation, value: PhysId, item_idx: usize) -> Result<usize> {
+    fn ensure_in_slot(
+        &mut self,
+        core_loc: CoreLocation,
+        value: PhysId,
+        item_idx: usize,
+    ) -> Result<usize> {
         self.stats.register_accesses += 1;
         // Consume this use occurrence.
         if let Some(q) = self.uses.get_mut(&(core_loc, value)) {
@@ -425,7 +424,12 @@ impl<'a> Emitter<'a> {
 
     /// Allocates a slot on `core_loc` for `value`, evicting the
     /// farthest-next-use resident (never one of `locked`).
-    fn alloc_slot(&mut self, core_loc: CoreLocation, value: PhysId, locked: &[usize]) -> Result<usize> {
+    fn alloc_slot(
+        &mut self,
+        core_loc: CoreLocation,
+        value: PhysId,
+        locked: &[usize],
+    ) -> Result<usize> {
         if let Some(free) = {
             let core = self.core(core_loc);
             core.slots.iter().position(|s| s.is_none())
@@ -449,7 +453,7 @@ impl<'a> Emitter<'a> {
                     .get(&(core_loc, occ))
                     .and_then(|q| q.front().copied())
                     .unwrap_or(usize::MAX);
-                if victim.map_or(true, |(_, nu)| next_use > nu) {
+                if victim.is_none_or(|(_, nu)| next_use > nu) {
                     victim = Some((slot, next_use));
                 }
             }
@@ -460,11 +464,7 @@ impl<'a> Emitter<'a> {
             available: self.n_slots,
         })?;
         let evicted = self.cores[&core_loc].slots[slot].expect("occupied");
-        let remaining = self
-            .uses
-            .get(&(core_loc, evicted))
-            .map(|q| q.len())
-            .unwrap_or(0);
+        let remaining = self.uses.get(&(core_loc, evicted)).map(|q| q.len()).unwrap_or(0);
         let tile = core_loc.tile.index();
         if remaining > 0 && !self.home_of.contains_key(&(evicted, tile)) {
             // Spill: store to a fresh home; reloads come back via loads.
@@ -503,7 +503,7 @@ impl<'a> Emitter<'a> {
     /// Frees slots whose values have no further uses on this core.
     fn release_dead_slots(&mut self, core_loc: CoreLocation, values: &[PhysId]) {
         for &v in values {
-            let dead = self.uses.get(&(core_loc, v)).map_or(true, |q| q.is_empty());
+            let dead = self.uses.get(&(core_loc, v)).is_none_or(|q| q.is_empty());
             if dead {
                 let core = self.core(core_loc);
                 if let Some(slot) = core.resident.remove(&v) {
@@ -918,17 +918,14 @@ pub fn generate(
 
     // Assemble the machine image.
     let tiles_used = placement.tiles_used;
-    let mut image = MachineImage::new(
-        tiles_used,
-        cfg.tile.cores_per_tile,
-        cfg.tile.core.mvmus_per_core,
-    );
+    let mut image =
+        MachineImage::new(tiles_used, cfg.tile.cores_per_tile, cfg.tile.core.mvmus_per_core);
     // Weight tiles.
     for (i, wt) in graph.weight_tiles.iter().enumerate() {
         let loc = placement.mvmu_of(crate::physical::WeightTileId(i));
         if let Some(w) = &wt.weights {
-            image.tiles[loc.tile.index()].cores[loc.core.index()].mvmu_weights
-                [loc.mvmu.index()] = Some(w.quantize());
+            image.tiles[loc.tile.index()].cores[loc.core.index()].mvmu_weights[loc.mvmu.index()] =
+                Some(w.quantize());
         }
     }
     // Programs.

@@ -387,10 +387,9 @@ impl Model {
         let mut values: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             let v = match &node.op {
-                VecOp::Input { name } => inputs
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| PumaError::Execution { what: format!("missing input {name:?}") })?,
+                VecOp::Input { name } => inputs.get(name).cloned().ok_or_else(|| {
+                    PumaError::Execution { what: format!("missing input {name:?}") }
+                })?,
                 VecOp::ConstVector { values } => values.clone(),
                 VecOp::Mvm { matrix, input } => {
                     let x = values[input.0].as_ref().expect("topological order");

@@ -67,8 +67,7 @@ pub fn compile(
 ) -> Result<CompiledModel> {
     let graph = physical::tile_model(model, cfg.tile.core.mvmu.dim, options.materialize_weights)?;
     let placement = partition::partition(&graph, cfg, options.partitioning)?;
-    let sched =
-        schedule::schedule(&graph, &placement, options.scheduling, options.coalesce_mvms)?;
+    let sched = schedule::schedule(&graph, &placement, options.scheduling, options.coalesce_mvms)?;
     codegen::generate(&graph, &placement, &sched, cfg, options)
 }
 
@@ -129,8 +128,7 @@ mod tests {
             cur = m.mvm(a, cur).unwrap();
         }
         m.output("y", cur);
-        let mut cfg = NodeConfig::default();
-        cfg.tiles_per_node = 1;
+        let cfg = NodeConfig { tiles_per_node: 1, ..NodeConfig::default() };
         let compiled = compile(&m, &cfg, &CompilerOptions::default()).unwrap();
         let fitted = fit_config(&cfg, &compiled);
         assert!(fitted.tiles_per_node >= compiled.stats.tiles_used);

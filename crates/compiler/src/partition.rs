@@ -73,11 +73,7 @@ fn shuffle<T>(items: &mut [T], mut seed: u64) {
 /// # Errors
 ///
 /// Returns [`PumaError::Compile`] if the graph is empty of placeable work.
-pub fn partition(
-    graph: &PhysGraph,
-    cfg: &NodeConfig,
-    strategy: Partitioning,
-) -> Result<Placement> {
+pub fn partition(graph: &PhysGraph, cfg: &NodeConfig, strategy: Partitioning) -> Result<Placement> {
     let mvmus_per_core = cfg.tile.core.mvmus_per_core;
     let cores_per_tile = cfg.tile.cores_per_tile;
 

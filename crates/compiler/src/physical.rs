@@ -229,10 +229,12 @@ pub fn tile_model(model: &Model, dim: usize, materialize_weights: bool) -> Resul
                                 row: i,
                                 col: j,
                                 weights: materialize_weights.then(|| {
-                                    m.data
-                                        .as_ref()
-                                        .expect("checked above")
-                                        .tile(i * dim, j * dim, rows, out_w)
+                                    m.data.as_ref().expect("checked above").tile(
+                                        i * dim,
+                                        j * dim,
+                                        rows,
+                                        out_w,
+                                    )
                                 }),
                                 shape: (rows, out_w),
                             });
@@ -358,11 +360,8 @@ mod tests {
         assert_eq!(g.weight_tiles.len(), 9);
         // 9 MVM nodes, 3 input chunks, 2 adds per column strip × 3, 3 tanh.
         assert_eq!(g.mvm_node_count(), 9);
-        let adds = g
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, PhysOp::Bin { op: BinOp::Add }))
-            .count();
+        let adds =
+            g.nodes.iter().filter(|n| matches!(n.op, PhysOp::Bin { op: BinOp::Add })).count();
         assert_eq!(adds, 6);
         assert_eq!(g.outputs.len(), 1);
         assert_eq!(g.outputs[0].chunks.len(), 3);
@@ -371,11 +370,8 @@ mod tests {
     #[test]
     fn edge_tiles_have_clipped_shapes() {
         let g = tile_model(&model_300x300(), 128, true).unwrap();
-        let corner = g
-            .weight_tiles
-            .iter()
-            .find(|t| t.row == 2 && t.col == 2)
-            .expect("corner tile exists");
+        let corner =
+            g.weight_tiles.iter().find(|t| t.row == 2 && t.col == 2).expect("corner tile exists");
         assert_eq!(corner.shape, (44, 44));
         let w = corner.weights.as_ref().unwrap();
         assert_eq!((w.rows(), w.cols()), (44, 44));

@@ -83,8 +83,8 @@ fn linearize(graph: &PhysGraph, strategy: Scheduling) -> Vec<PhysId> {
                     }
                 }
             }
-            for i in 0..n {
-                if !visited[i] {
+            for (i, seen) in visited.iter().enumerate() {
+                if !seen {
                     order.push(PhysId(i));
                 }
             }

@@ -33,7 +33,12 @@ fn small_config() -> NodeConfig {
 
 /// Compiles, runs functionally, and compares every output with the
 /// reference evaluator within `tol`.
-fn check_model(model: &Model, inputs: &HashMap<String, Vec<f32>>, options: &CompilerOptions, tol: f32) {
+fn check_model(
+    model: &Model,
+    inputs: &HashMap<String, Vec<f32>>,
+    options: &CompilerOptions,
+    tol: f32,
+) {
     let cfg = small_config();
     let compiled = compile(model, &cfg, options).expect("compile");
     compiled.image.validate().expect("valid image");
@@ -155,7 +160,7 @@ fn lstm_style_cell_step() {
     let wg = m.constant_matrix("Wg", dense_matrix(n, n, 12));
     let ug = m.constant_matrix("Ug", dense_matrix(n, n, 13));
 
-    let mut gate = |m: &mut Model, w, u| {
+    let gate = |m: &mut Model, w, u| {
         let a = m.mvm(w, x).unwrap();
         let b = m.mvm(u, h_prev).unwrap();
         m.add(a, b).unwrap()
@@ -257,8 +262,7 @@ fn deep_chain_spills_registers_and_stays_correct() {
     // Both remain functionally correct.
     let cfg2 = fit_config(&cfg, &compiled);
     let mut sim =
-        NodeSim::new(cfg2, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())
-            .unwrap();
+        NodeSim::new(cfg2, &compiled.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     for (binding, values) in &compiled.const_data {
         sim.write_input(&binding.name, values).unwrap();
     }

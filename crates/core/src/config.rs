@@ -200,9 +200,7 @@ impl TileConfig {
                 what: "a tile needs at least one core".to_string(),
             });
         }
-        if self.shared_memory_bytes == 0
-            || self.receive_fifos == 0
-            || self.receive_fifo_depth == 0
+        if self.shared_memory_bytes == 0 || self.receive_fifos == 0 || self.receive_fifo_depth == 0
         {
             return Err(PumaError::InvalidConfig {
                 what: "tile memories and FIFOs must be nonzero".to_string(),
@@ -360,29 +358,25 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut m = MvmuConfig::default();
-        m.dim = 100; // not a power of two
+        // dim = 100 is not a power of two.
+        let mut m = MvmuConfig { dim: 100, ..MvmuConfig::default() };
         assert!(m.validate().is_err());
         m.dim = 0;
         assert!(m.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.mvmus_per_core = 0;
+        let c = CoreConfig { mvmus_per_core: 0, ..CoreConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut t = TileConfig::default();
-        t.receive_fifos = 0;
+        let t = TileConfig { receive_fifos: 0, ..TileConfig::default() };
         assert!(t.validate().is_err());
 
-        let mut n = NodeConfig::default();
-        n.tiles_per_node = 0;
+        let n = NodeConfig { tiles_per_node: 0, ..NodeConfig::default() };
         assert!(n.validate().is_err());
     }
 
     #[test]
     fn bits_per_cell_limited_to_lab_range() {
-        let mut m = MvmuConfig::default();
-        m.bits_per_cell = 7;
+        let mut m = MvmuConfig { bits_per_cell: 7, ..MvmuConfig::default() };
         assert!(m.validate().is_err());
         m.bits_per_cell = 6;
         assert!(m.validate().is_ok());

@@ -47,7 +47,9 @@ pub const SCALE: f32 = (1i32 << FRAC_BITS) as f32;
 /// assert_eq!(Fixed::ONE.to_f32(), 1.0);
 /// assert_eq!((Fixed::MAX + Fixed::ONE), Fixed::MAX); // saturation
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Fixed(i16);
 
 impl Fixed {
@@ -289,11 +291,8 @@ impl From<i16> for Fixed {
 /// ```
 pub fn dot(a: &[Fixed], b: &[Fixed]) -> Fixed {
     assert_eq!(a.len(), b.len(), "dot product operands must match in length");
-    let acc: i64 = a
-        .iter()
-        .zip(b.iter())
-        .map(|(x, y)| x.to_bits() as i64 * y.to_bits() as i64)
-        .sum();
+    let acc: i64 =
+        a.iter().zip(b.iter()).map(|(x, y)| x.to_bits() as i64 * y.to_bits() as i64).sum();
     Fixed::from_bits(narrow_accumulator(acc, FRAC_BITS))
 }
 

@@ -230,15 +230,23 @@ pub fn core_area_power(cfg: &CoreConfig) -> AreaPower {
 pub fn tile_area_power(cfg: &TileConfig) -> AreaPower {
     let dmem_ratio = cfg.shared_memory_bytes as f64 / (64.0 * 1024.0);
     let attr_ratio = cfg.attribute_entries as f64 / (32.0 * 1024.0);
-    let fifo_ratio =
-        (cfg.receive_fifos * cfg.receive_fifo_depth) as f64 / (16.0 * 2.0);
+    let fifo_ratio = (cfg.receive_fifos * cfg.receive_fifo_depth) as f64 / (16.0 * 2.0);
     core_area_power(&cfg.core) * cfg.cores_per_tile as f64
         + AreaPower::new(published::TILE_CONTROL_MW, published::TILE_CONTROL_MM2)
         + AreaPower::new(published::TILE_IMEM_MW, published::TILE_IMEM_MM2)
-        + AreaPower::new(published::TILE_DMEM_MW * dmem_ratio, published::TILE_DMEM_MM2 * dmem_ratio)
+        + AreaPower::new(
+            published::TILE_DMEM_MW * dmem_ratio,
+            published::TILE_DMEM_MM2 * dmem_ratio,
+        )
         + AreaPower::new(published::TILE_BUS_MW, published::TILE_BUS_MM2)
-        + AreaPower::new(published::TILE_ATTR_MW * attr_ratio, published::TILE_ATTR_MM2 * attr_ratio)
-        + AreaPower::new(published::TILE_RBUF_MW * fifo_ratio, published::TILE_RBUF_MM2 * fifo_ratio)
+        + AreaPower::new(
+            published::TILE_ATTR_MW * attr_ratio,
+            published::TILE_ATTR_MM2 * attr_ratio,
+        )
+        + AreaPower::new(
+            published::TILE_RBUF_MW * fifo_ratio,
+            published::TILE_RBUF_MM2 * fifo_ratio,
+        )
 }
 
 /// Power and area of one node: tiles + on-chip network + off-chip link.
@@ -292,7 +300,10 @@ pub fn breakdown(cfg: &NodeConfig) -> Vec<BreakdownRow> {
     push(
         "MVMU",
         mvmu_area_power(&core.mvmu),
-        format!("# per core {}, dimensions {}x{}", core.mvmus_per_core, core.mvmu.dim, core.mvmu.dim),
+        format!(
+            "# per core {}, dimensions {}x{}",
+            core.mvmus_per_core, core.mvmu.dim, core.mvmu.dim
+        ),
     );
     push("VFU", vfu_area_power(core.vfu_lanes), format!("width {}", core.vfu_lanes));
     push("SFU", AreaPower::new(published::SFU_MW, published::SFU_MM2), "-".into());

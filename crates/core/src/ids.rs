@@ -77,7 +77,9 @@ id_type!(
 /// let loc = CoreLocation::new(TileId::new(3), CoreId::new(1));
 /// assert_eq!(loc.to_string(), "tile3/core1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CoreLocation {
     /// The tile containing the core.
     pub tile: TileId,
@@ -104,7 +106,9 @@ impl fmt::Display for CoreLocation {
 }
 
 /// Fully-qualified location of an MVMU inside a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct MvmuLocation {
     /// The tile containing the MVMU.
     pub tile: TileId,

@@ -141,10 +141,7 @@ impl Matrix {
     /// Returns [`PumaError::ShapeMismatch`] if `input.len() != rows`.
     pub fn mvm(&self, input: &[f32]) -> Result<Vec<f32>> {
         if input.len() != self.rows {
-            return Err(PumaError::ShapeMismatch {
-                expected: self.rows,
-                actual: input.len(),
-            });
+            return Err(PumaError::ShapeMismatch { expected: self.rows, actual: input.len() });
         }
         let mut out = vec![0.0f32; self.cols];
         for (r, &x) in input.iter().enumerate() {
@@ -268,10 +265,7 @@ impl FixedMatrix {
     /// Returns [`PumaError::ShapeMismatch`] if `input.len() != rows`.
     pub fn mvm_exact(&self, input: &[Fixed]) -> Result<Vec<Fixed>> {
         if input.len() != self.rows {
-            return Err(PumaError::ShapeMismatch {
-                expected: self.rows,
-                actual: input.len(),
-            });
+            return Err(PumaError::ShapeMismatch { expected: self.rows, actual: input.len() });
         }
         let mut acc = vec![0i64; self.cols];
         for (r, &x) in input.iter().enumerate() {
@@ -284,10 +278,7 @@ impl FixedMatrix {
                 *a += xb * w.to_bits() as i64;
             }
         }
-        Ok(acc
-            .into_iter()
-            .map(|a| Fixed::from_bits(narrow_accumulator(a, FRAC_BITS)))
-            .collect())
+        Ok(acc.into_iter().map(|a| Fixed::from_bits(narrow_accumulator(a, FRAC_BITS))).collect())
     }
 
     /// Dequantizes to an `f32` matrix.

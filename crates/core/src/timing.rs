@@ -86,7 +86,8 @@ impl TimingModel {
 
     /// Energy of a vector ALU operation in nJ.
     pub fn vfu_energy_nj(&self, width: usize) -> f64 {
-        hwmodel::vfu_area_power(self.core().vfu_lanes).power_mw * 1e-3
+        hwmodel::vfu_area_power(self.core().vfu_lanes).power_mw
+            * 1e-3
             * self.vfu_cycles(width) as f64
     }
 
@@ -134,9 +135,8 @@ impl TimingModel {
     /// show up as energy savings (Table 8).
     pub fn shared_memory_energy_nj(&self, words: usize) -> f64 {
         let dmem_ratio = self.tile().shared_memory_bytes as f64 / 65536.0;
-        let power_mw = published::TILE_DMEM_MW * dmem_ratio
-            + published::TILE_BUS_MW
-            + published::TILE_ATTR_MW;
+        let power_mw =
+            published::TILE_DMEM_MW * dmem_ratio + published::TILE_BUS_MW + published::TILE_ATTR_MW;
         power_mw * 1e-3 * (1.0 + words as f64 / 4.0)
     }
 
@@ -148,7 +148,8 @@ impl TimingModel {
 
     /// Energy for a register copy in nJ.
     pub fn copy_energy_nj(&self, words: usize) -> f64 {
-        hwmodel::register_file_area_power(self.core().register_file_words).power_mw * 1e-3
+        hwmodel::register_file_area_power(self.core().register_file_words).power_mw
+            * 1e-3
             * self.copy_cycles(words) as f64
     }
 

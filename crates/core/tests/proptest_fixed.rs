@@ -124,4 +124,98 @@ proptest! {
             narrow_accumulator(lo as i64, FRAC_BITS) <= narrow_accumulator(hi as i64, FRAC_BITS)
         );
     }
+
+    // ---- Saturation boundary properties (MAX/MIN bits, MIN negation,
+    // ---- rounding near ±1.0) -------------------------------------------
+
+    /// Adding any non-negative value to MAX stays pinned at MAX, and
+    /// subtracting any non-negative value from MIN stays pinned at MIN:
+    /// the boundaries are absorbing, never wrapping.
+    #[test]
+    fn boundaries_are_absorbing(a in fx()) {
+        let pos = a.abs();
+        prop_assert_eq!(Fixed::MAX + pos, Fixed::MAX);
+        prop_assert_eq!(Fixed::MIN - pos, Fixed::MIN);
+        prop_assert_eq!(Fixed::MAX - (-pos), Fixed::MAX);
+        prop_assert_eq!(Fixed::MIN + (-pos), Fixed::MIN);
+    }
+
+    /// Saturating ops agree with the f64 exact result clamped into the
+    /// representable range, within half an ULP (mul rounds to nearest;
+    /// add/sub are exact until they clamp).
+    #[test]
+    fn saturation_matches_clamped_f64_reference(a in fx(), b in fx()) {
+        let (af, bf) = (a.to_f32() as f64, b.to_f32() as f64);
+        let lo = Fixed::MIN.to_f32() as f64;
+        let hi = Fixed::MAX.to_f32() as f64;
+        let half_ulp = 0.5 / 4096.0 + 1e-9;
+        prop_assert!(((a + b).to_f32() as f64 - (af + bf).clamp(lo, hi)).abs() <= half_ulp);
+        prop_assert!(((a - b).to_f32() as f64 - (af - bf).clamp(lo, hi)).abs() <= half_ulp);
+        prop_assert!(((a * b).to_f32() as f64 - (af * bf).clamp(lo, hi)).abs() <= half_ulp);
+    }
+
+    /// Multiplication rounding near ±1.0: multiplying by 1.0 ± 1 ULP moves
+    /// the result by at most one representable step, and `x * 1.0` is
+    /// bit-exact everywhere except MIN (whose product rounds within the
+    /// wide intermediate and clamps back to MIN).
+    #[test]
+    fn mul_rounding_near_one(a in fx()) {
+        prop_assert_eq!(a * Fixed::ONE, a);
+        let one_minus = Fixed::from_bits(Fixed::ONE.to_bits() - 1);
+        let one_plus = Fixed::from_bits(Fixed::ONE.to_bits() + 1);
+        for near in [one_minus, one_plus, -one_minus, -one_plus] {
+            let exact = a.to_f32() as f64 * near.to_f32() as f64;
+            let got = (a * near).to_f32() as f64;
+            let clamped = exact.clamp(Fixed::MIN.to_f32() as f64, Fixed::MAX.to_f32() as f64);
+            prop_assert!(
+                (got - clamped).abs() <= 0.5 / 4096.0 + 1e-9,
+                "{} * {} = {} (exact {})", a, near, got, clamped
+            );
+        }
+    }
+
+    /// from_f32 pins everything at or beyond the representable range to
+    /// MAX/MIN bits, including infinities; NaN maps to zero.
+    #[test]
+    fn conversion_saturates_out_of_range(mag in 8.0f32..1.0e30) {
+        prop_assert_eq!(Fixed::from_f32(mag), Fixed::MAX);
+        prop_assert_eq!(Fixed::from_f32(-mag), Fixed::MIN);
+        prop_assert_eq!(Fixed::from_f32(f32::INFINITY), Fixed::MAX);
+        prop_assert_eq!(Fixed::from_f32(f32::NEG_INFINITY), Fixed::MIN);
+        prop_assert_eq!(Fixed::from_f32(f32::NAN), Fixed::ZERO);
+        prop_assert_eq!(Fixed::from_f32(Fixed::MAX.to_f32()), Fixed::MAX);
+        prop_assert_eq!(Fixed::from_f32(Fixed::MIN.to_f32()), Fixed::MIN);
+    }
+
+    /// Division boundaries: by-zero saturates by dividend sign, MIN/-1
+    /// saturates to MAX instead of wrapping, and x/x is 1.0 within an ULP
+    /// for every nonzero x.
+    #[test]
+    fn division_boundaries(a in fx()) {
+        let sign_sat = match a.to_bits().signum() {
+            1 => Fixed::MAX,
+            -1 => Fixed::MIN,
+            _ => Fixed::ZERO,
+        };
+        prop_assert_eq!(a / Fixed::ZERO, sign_sat);
+        prop_assert_eq!(Fixed::MIN / -Fixed::ONE, Fixed::MAX);
+        if a != Fixed::ZERO {
+            let q = a / a;
+            prop_assert!((q.to_f32() - 1.0).abs() <= 1.0 / 4096.0 + 1e-6, "{}/{} = {}", a, a, q);
+        }
+    }
+}
+
+/// The asymmetric two's-complement domain: -MIN saturates to MAX (there
+/// is no +8.0), -MAX is representable exactly, and abs(MIN) clamps to
+/// MAX. Double negation of MIN therefore lands on -MAX — one ULP above
+/// MIN — the single point where involution breaks. (Constant facts, so a
+/// plain test rather than a property.)
+#[test]
+fn min_negation_saturates() {
+    assert_eq!(-Fixed::MIN, Fixed::MAX);
+    assert_eq!(-(-Fixed::MIN), Fixed::from_bits(-i16::MAX));
+    assert_eq!(Fixed::MIN.abs(), Fixed::MAX);
+    assert_eq!((-Fixed::MAX).to_bits(), -i16::MAX);
+    assert_eq!(-(-Fixed::MAX), Fixed::MAX);
 }

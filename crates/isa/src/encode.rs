@@ -229,9 +229,7 @@ pub fn decode(bytes: &[u8; INSTRUCTION_BYTES]) -> Result<Instruction> {
             src1: RegRef::decode(x.f[1])?,
             src2: RegRef::decode(x.f[2])?,
         },
-        opcode::SET => {
-            Instruction::Set { dest: RegRef::decode(x.f[0])?, imm: x.f[1] as i16 }
-        }
+        opcode::SET => Instruction::Set { dest: RegRef::decode(x.f[0])?, imm: x.f[1] as i16 },
         opcode::COPY => Instruction::Copy {
             dest: RegRef::decode(x.f[0])?,
             src: RegRef::decode(x.f[1])?,
@@ -294,7 +292,7 @@ pub fn encode_stream(instrs: &[Instruction]) -> Result<Vec<u8>> {
 /// Returns [`PumaError::Encoding`] if the length is not a multiple of
 /// [`INSTRUCTION_BYTES`] or any instruction fails to decode.
 pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Instruction>> {
-    if bytes.len() % INSTRUCTION_BYTES != 0 {
+    if !bytes.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(PumaError::Encoding {
             what: format!("stream length {} is not a multiple of {INSTRUCTION_BYTES}", bytes.len()),
         });

@@ -138,7 +138,10 @@ pub struct TileImage {
 impl TileImage {
     /// Creates a tile image with `cores` cores of `mvmus` MVMUs each.
     pub fn new(cores: usize, mvmus: usize) -> Self {
-        TileImage { program: Program::new(), cores: (0..cores).map(|_| CoreImage::new(mvmus)).collect() }
+        TileImage {
+            program: Program::new(),
+            cores: (0..cores).map(|_| CoreImage::new(mvmus)).collect(),
+        }
     }
 }
 
@@ -200,9 +203,7 @@ impl MachineImage {
     pub fn total_instructions(&self) -> usize {
         self.tiles
             .iter()
-            .map(|t| {
-                t.program.len() + t.cores.iter().map(|c| c.program.len()).sum::<usize>()
-            })
+            .map(|t| t.program.len() + t.cores.iter().map(|c| c.program.len()).sum::<usize>())
             .sum()
     }
 

@@ -50,7 +50,9 @@ impl RegSpace {
             0 => Ok(RegSpace::XbarIn),
             1 => Ok(RegSpace::XbarOut),
             2 => Ok(RegSpace::General),
-            other => Err(PumaError::Encoding { what: format!("invalid register space tag {other}") }),
+            other => {
+                Err(PumaError::Encoding { what: format!("invalid register space tag {other}") })
+            }
         }
     }
 

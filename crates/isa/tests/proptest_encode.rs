@@ -15,16 +15,17 @@ fn reg() -> impl Strategy<Value = RegRef> {
 }
 
 fn mem() -> impl Strategy<Value = MemAddr> {
-    (0u32..100_000, prop::option::of(0u16..255)).prop_map(|(base, idx)| MemAddr {
-        base,
-        index: idx.map(RegRef::general),
-    })
+    (0u32..100_000, prop::option::of(0u16..255))
+        .prop_map(|(base, idx)| MemAddr { base, index: idx.map(RegRef::general) })
 }
 
 fn instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (0u8..=255, 0u16..512, 0u16..512)
-            .prop_map(|(m, f, s)| Instruction::Mvm { mask: MvmuMask(m), filter: f, stride: s }),
+        (0u8..=255, 0u16..512, 0u16..512).prop_map(|(m, f, s)| Instruction::Mvm {
+            mask: MvmuMask(m),
+            filter: f,
+            stride: s
+        }),
         (0usize..AluOp::ALL.len(), reg(), reg(), reg(), 1u16..1024).prop_map(
             |(op, dest, src1, src2, width)| {
                 let op = AluOp::ALL[op];
@@ -50,8 +51,11 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             src,
             width
         }),
-        (reg(), mem(), 1u16..512)
-            .prop_map(|(dest, addr, width)| Instruction::Load { dest, addr, width }),
+        (reg(), mem(), 1u16..512).prop_map(|(dest, addr, width)| Instruction::Load {
+            dest,
+            addr,
+            width
+        }),
         (mem(), reg(), 1u16..64, 1u16..512).prop_map(|(addr, src, count, width)| {
             Instruction::Store { addr, src, count, width }
         }),

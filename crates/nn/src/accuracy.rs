@@ -93,11 +93,8 @@ impl AnalogMlp {
     /// Propagates crossbar evaluation failures.
     pub fn predict(&self, x: &[f32]) -> Result<usize> {
         let h_pre = analog_mvm(&self.layer1, x, self.dim, self.hidden)?;
-        let h: Vec<f32> = h_pre
-            .iter()
-            .zip(&self.b1)
-            .map(|(v, b)| 1.0 / (1.0 + (-(v + b)).exp()))
-            .collect();
+        let h: Vec<f32> =
+            h_pre.iter().zip(&self.b1).map(|(v, b)| 1.0 / (1.0 + (-(v + b)).exp())).collect();
         let logits = analog_mvm(&self.layer2, &h, self.dim, self.classes)?;
         Ok(logits
             .iter()
@@ -172,11 +169,7 @@ mod tests {
         let (net, test) = setup();
         let digital = net.accuracy(&test);
         let p = accuracy_at(&net, &test, 2, 0.0, 1).unwrap();
-        assert!(
-            (p.accuracy - digital).abs() < 0.05,
-            "analog {} vs digital {digital}",
-            p.accuracy
-        );
+        assert!((p.accuracy - digital).abs() < 0.05, "analog {} vs digital {digital}", p.accuracy);
         assert!(p.accuracy > 0.85);
     }
 

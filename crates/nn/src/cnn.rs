@@ -20,9 +20,7 @@ use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
 use puma_core::ids::TileId;
 use puma_core::tensor::Matrix;
-use puma_isa::{
-    AluOp, Instruction, IoBinding, MachineImage, MemAddr, MvmuMask, Program, RegRef,
-};
+use puma_isa::{AluOp, Instruction, IoBinding, MachineImage, MemAddr, MvmuMask, Program, RegRef};
 use serde::{Deserialize, Serialize};
 
 /// A compiled CNN: image plus host metadata and the f32 reference weights.
@@ -92,10 +90,9 @@ impl ReferenceCnn {
                                 for ky in 0..*r {
                                     for kx in 0..*s {
                                         for cc in 0..c {
-                                            let iv = fmap
-                                                [((yo * u + ky) * w + (xo * u + kx)) * c + cc];
-                                            let wv = weights
-                                                [((mi * c + cc) * r + ky) * s + kx];
+                                            let iv =
+                                                fmap[((yo * u + ky) * w + (xo * u + kx)) * c + cc];
+                                            let wv = weights[((mi * c + cc) * r + ky) * s + kx];
                                             acc += iv * wv;
                                         }
                                     }
@@ -118,9 +115,9 @@ impl ReferenceCnn {
                                 let mut best = f32::NEG_INFINITY;
                                 for ky in 0..*window {
                                     for kx in 0..*window {
-                                        let v = fmap
-                                            [((yo * window + ky) * w + (xo * window + kx)) * c
-                                                + cc];
+                                        let v = fmap[((yo * window + ky) * w + (xo * window + kx))
+                                            * c
+                                            + cc];
                                         best = best.max(v);
                                     }
                                 }
@@ -308,7 +305,7 @@ pub fn build_cnn(
         let in_base = region_base[li];
         let out_base = region_base[li + 1];
         let next = spec.layers.get(li + 1);
-        let next_shuffled = next.map(|l| layer_shuffled(l)).unwrap_or(false);
+        let next_shuffled = next.map(&layer_shuffled).unwrap_or(false);
         let out_count = read_count(next, next_shuffled);
         let ctx = match *layer {
             LayerSpec::Conv { input, output, kernel, stride, height, width } => {
@@ -477,22 +474,13 @@ fn gen_conv(
             }
         }
     }
-    reference.layers.push(RefLayer::Conv {
-        weights: raw,
-        bias: bias.clone(),
-        c,
-        m,
-        r,
-        s,
-        u,
-        act,
-    });
+    reference.layers.push(RefLayer::Conv { weights: raw, bias: bias.clone(), c, m, r, s, u, act });
 
     let mut weights: Vec<Option<puma_core::tensor::FixedMatrix>> = vec![None; mvmus];
     let mut mask = 0u8;
-    for t in 0..row_tiles {
+    for (t, slot) in weights.iter_mut().enumerate().take(row_tiles) {
         let rows = (window - t * dim).min(dim);
-        weights[t] = Some(wmat.tile(t * dim, 0, rows, m).quantize());
+        *slot = Some(wmat.tile(t * dim, 0, rows, m).quantize());
         mask |= 1 << t;
     }
 
@@ -841,9 +829,9 @@ fn gen_fc(
 
     let mut weights: Vec<Option<puma_core::tensor::FixedMatrix>> = vec![None; mvmus];
     let mut mask = 0u8;
-    for t in 0..row_tiles {
+    for (t, slot) in weights.iter_mut().enumerate().take(row_tiles) {
         let rows = (input - t * dim).min(dim);
-        weights[t] = Some(wmat.tile(t * dim, 0, rows, output).quantize());
+        *slot = Some(wmat.tile(t * dim, 0, rows, output).quantize());
         mask |= 1 << t;
     }
     let bias_reg = ACC + dim as u16;
@@ -957,8 +945,7 @@ mod tests {
         let mut sim =
             NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
         let (c, h, w) = cnn.input_shape;
-        let input: Vec<f32> =
-            (0..c * h * w).map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.4).collect();
+        let input: Vec<f32> = (0..c * h * w).map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.4).collect();
         sim.write_input(&cnn.input_name, &input).unwrap();
         sim.run().unwrap();
         let got = sim.read_output(&cnn.output_name).unwrap();

@@ -49,9 +49,8 @@ pub fn synthetic_clusters(
 ) -> Dataset {
     let mut rng = WeightRng::new(seed);
     // Class prototypes.
-    let prototypes: Vec<Vec<f32>> = (0..classes)
-        .map(|_| (0..features).map(|_| rng.uniform()).collect())
-        .collect();
+    let prototypes: Vec<Vec<f32>> =
+        (0..classes).map(|_| (0..features).map(|_| rng.uniform()).collect()).collect();
     let mut samples = Vec::with_capacity(classes * per_class);
     let mut labels = Vec::with_capacity(classes * per_class);
     for (label, proto) in prototypes.iter().enumerate() {
@@ -120,7 +119,7 @@ mod tests {
     fn all_classes_present() {
         let d = synthetic_clusters(8, 5, 6, 0.1, 2);
         for c in 0..5 {
-            assert!(d.labels.iter().any(|&l| l == c), "class {c} missing");
+            assert!(d.labels.contains(&c), "class {c} missing");
         }
     }
 

@@ -116,11 +116,10 @@ pub fn lstm_weights(
     let proj = projection.unwrap_or(hidden);
     let gates_x = ["f", "i", "o", "g"]
         .map(|g| weights.matrix(model, format!("{name}.Wx_{g}"), input, hidden));
-    let gates_h = ["f", "i", "o", "g"]
-        .map(|g| weights.matrix(model, format!("{name}.Wh_{g}"), proj, hidden));
+    let gates_h =
+        ["f", "i", "o", "g"].map(|g| weights.matrix(model, format!("{name}.Wh_{g}"), proj, hidden));
     let biases = [0, 1, 2, 3].map(|_| weights.bias(model, hidden));
-    let projection =
-        projection.map(|p| weights.matrix(model, format!("{name}.proj"), hidden, p));
+    let projection = projection.map(|p| weights.matrix(model, format!("{name}.proj"), hidden, p));
     LstmWeights { gates_x, gates_h, biases, projection, hidden }
 }
 
@@ -187,9 +186,7 @@ pub fn lstm_network(
     // Zero initial states.
     let mut h: Vec<VecId> = layers
         .iter()
-        .map(|&(hidden, projection)| {
-            model.constant_vector(vec![0.0; projection.unwrap_or(hidden)])
-        })
+        .map(|&(hidden, projection)| model.constant_vector(vec![0.0; projection.unwrap_or(hidden)]))
         .collect();
     let mut c: Vec<VecId> =
         layers.iter().map(|&(hidden, _)| model.constant_vector(vec![0.0; hidden])).collect();

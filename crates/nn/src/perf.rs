@@ -116,9 +116,9 @@ fn layer_work(layer: &LayerSpec, dim: u64, input_shuffling: bool) -> LayerWork {
                 mvm_issues,
                 positions: 1,
                 load_words: 4 * (input + proj) + 4 * (gate_rt - 1) * hidden + hidden,
-                store_words: proj + hidden, // h and c state
+                store_words: proj + hidden,            // h and c state
                 vector_elems: 4 * hidden + 3 * hidden, // bias adds + state mixing
-                transcendental_elems: 5 * hidden, // 4 gates + tanh(c)
+                transcendental_elems: 5 * hidden,      // 4 gates + tanh(c)
             }
         }
         LayerSpec::Rnn { input, hidden } => {
@@ -152,11 +152,8 @@ fn layer_work(layer: &LayerSpec, dim: u64, input_shuffling: bool) -> LayerWork {
             let replicas = positions.div_ceil(CONV_POSITIONS_PER_REPLICA).max(1);
             // Input shuffling (§3.2.3) reloads only the new window columns
             // for unit-stride interior positions.
-            let words_per_pos = if input_shuffling {
-                (input * kernel * stride) as u64
-            } else {
-                window
-            };
+            let words_per_pos =
+                if input_shuffling { (input * kernel * stride) as u64 } else { window };
             LayerWork {
                 row_tiles: rt,
                 col_tiles: ct * replicas,
@@ -218,8 +215,7 @@ pub fn estimate(spec: &WorkloadSpec, cfg: &NodeConfig, input_shuffling: bool) ->
         let partial_words = w.positions * (w.row_tiles.saturating_sub(1)) * dim;
         let noc_words = (partial_words as f64 * cross_fraction) as u64;
         let noc_e = if noc_words > 0 {
-            timing.send_energy_nj(dim as usize, 0, 2)
-                * (noc_words as f64 / dim as f64)
+            timing.send_energy_nj(dim as usize, 0, 2) * (noc_words as f64 / dim as f64)
         } else {
             0.0
         };
@@ -254,12 +250,10 @@ pub fn estimate(spec: &WorkloadSpec, cfg: &NodeConfig, input_shuffling: bool) ->
             };
         // Vector time on the (distributed) VFUs: one VFU per core holding
         // the layer's tiles.
-        let cores = (w.row_tiles * w.col_tiles)
-            .div_ceil(cfg.tile.core.mvmus_per_core as u64)
-            .max(1);
+        let cores =
+            (w.row_tiles * w.col_tiles).div_ceil(cfg.tile.core.mvmus_per_core as u64).max(1);
         let vfu_time = timing.vfu_cycles((w.vector_elems / cores).max(1) as usize) as f64
-            + timing.transcendental_cycles((w.transcendental_elems / cores).max(1) as usize)
-                as f64;
+            + timing.transcendental_cycles((w.transcendental_elems / cores).max(1) as usize) as f64;
         let step_time = mvm_time.max(mem_time).max(vfu_time);
         step_times.push(step_time);
         fill_time += timing.mvm_latency() as f64;

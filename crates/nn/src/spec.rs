@@ -198,8 +198,7 @@ impl WorkloadSpec {
 
     /// Total activation elements moved between layers for one inference.
     pub fn total_activation_elems(&self) -> u64 {
-        let per_step: u64 =
-            self.layers.iter().map(|l| l.input_elems() + l.output_elems()).sum();
+        let per_step: u64 = self.layers.iter().map(|l| l.input_elems() + l.output_elems()).sum();
         per_step * self.seq_len as u64
     }
 
@@ -260,7 +259,8 @@ mod tests {
 
     #[test]
     fn conv_macs_scale_with_positions() {
-        let c = LayerSpec::Conv { input: 3, output: 8, kernel: 3, stride: 1, height: 10, width: 10 };
+        let c =
+            LayerSpec::Conv { input: 3, output: 8, kernel: 3, stride: 1, height: 10, width: 10 };
         assert_eq!(c.macs(), 8 * 8 * 3 * 8 * 9);
         assert!(c.has_input_reuse());
     }

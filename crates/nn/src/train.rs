@@ -34,8 +34,7 @@ impl TrainedMlp {
     /// Forward pass returning class logits.
     pub fn logits(&self, x: &[f32]) -> Vec<f32> {
         let h_pre = self.w1.mvm(x).expect("feature width");
-        let h: Vec<f32> =
-            h_pre.iter().zip(&self.b1).map(|(v, b)| sigmoid(v + b)).collect();
+        let h: Vec<f32> = h_pre.iter().zip(&self.b1).map(|(v, b)| sigmoid(v + b)).collect();
         let mut out = self.w2.mvm(&h).expect("hidden width");
         for (o, b) in out.iter_mut().zip(&self.b2) {
             *o += b;
@@ -59,12 +58,8 @@ impl TrainedMlp {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .samples
-            .iter()
-            .zip(&data.labels)
-            .filter(|(s, &l)| self.predict(s) == l)
-            .count();
+        let correct =
+            data.samples.iter().zip(&data.labels).filter(|(s, &l)| self.predict(s) == l).count();
         correct as f64 / data.len() as f64
     }
 
@@ -107,8 +102,7 @@ pub fn train_mlp(data: &Dataset, cfg: &TrainConfig) -> TrainedMlp {
         for (x, &label) in data.samples.iter().zip(&data.labels) {
             // Forward.
             let h_pre = net.w1.mvm(x).expect("shape");
-            let h: Vec<f32> =
-                h_pre.iter().zip(&net.b1).map(|(v, b)| sigmoid(v + b)).collect();
+            let h: Vec<f32> = h_pre.iter().zip(&net.b1).map(|(v, b)| sigmoid(v + b)).collect();
             let mut logits = net.w2.mvm(&h).expect("shape");
             for (o, b) in logits.iter_mut().zip(&net.b2) {
                 *o += b;
@@ -127,10 +121,10 @@ pub fn train_mlp(data: &Dataset, cfg: &TrainConfig) -> TrainedMlp {
             // Grad w2 (h × classes) and hidden error.
             let mut d_h = vec![0.0f32; net.w2.rows()];
             for r in 0..net.w2.rows() {
-                for c in 0..net.w2.cols() {
-                    let g = h[r] * d_logits[c];
+                for (c, &dl) in d_logits.iter().enumerate().take(net.w2.cols()) {
+                    let g = h[r] * dl;
                     let w = net.w2.get(r, c);
-                    d_h[r] += w * d_logits[c];
+                    d_h[r] += w * dl;
                     net.w2.set(r, c, w - lr * g);
                 }
             }
@@ -138,16 +132,14 @@ pub fn train_mlp(data: &Dataset, cfg: &TrainConfig) -> TrainedMlp {
                 *b -= lr * d;
             }
             // Hidden sigmoid derivative.
-            let d_pre: Vec<f32> =
-                d_h.iter().zip(&h).map(|(d, &hv)| d * hv * (1.0 - hv)).collect();
-            for r in 0..net.w1.rows() {
-                let xv = x[r];
+            let d_pre: Vec<f32> = d_h.iter().zip(&h).map(|(d, &hv)| d * hv * (1.0 - hv)).collect();
+            for (r, &xv) in x.iter().enumerate().take(net.w1.rows()) {
                 if xv == 0.0 {
                     continue;
                 }
-                for c in 0..net.w1.cols() {
+                for (c, &dp) in d_pre.iter().enumerate().take(net.w1.cols()) {
                     let w = net.w1.get(r, c);
-                    net.w1.set(r, c, w - lr * xv * d_pre[c]);
+                    net.w1.set(r, c, w - lr * xv * dp);
                 }
             }
             for (b, d) in net.b1.iter_mut().zip(&d_pre) {

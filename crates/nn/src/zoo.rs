@@ -67,9 +67,23 @@ pub fn spec(name: &str) -> WorkloadSpec {
             name: name.into(),
             class: WorkloadClass::Cnn,
             layers: vec![
-                LayerSpec::Conv { input: 1, output: 6, kernel: 5, stride: 1, height: 28, width: 28 },
+                LayerSpec::Conv {
+                    input: 1,
+                    output: 6,
+                    kernel: 5,
+                    stride: 1,
+                    height: 28,
+                    width: 28,
+                },
                 LayerSpec::Pool { channels: 6, window: 2, height: 24, width: 24 },
-                LayerSpec::Conv { input: 6, output: 16, kernel: 5, stride: 1, height: 12, width: 12 },
+                LayerSpec::Conv {
+                    input: 6,
+                    output: 16,
+                    kernel: 5,
+                    stride: 1,
+                    height: 12,
+                    width: 12,
+                },
                 LayerSpec::Pool { channels: 16, window: 2, height: 8, width: 8 },
                 LayerSpec::Fc { input: 256, output: 120, act: Activation::Relu },
                 LayerSpec::Fc { input: 120, output: 84, act: Activation::Relu },
@@ -153,7 +167,11 @@ fn vgg(name: &str, blocks: &[usize]) -> WorkloadSpec {
         layers.push(LayerSpec::Pool { channels, window: 2, height: size, width: size });
         size /= 2;
     }
-    layers.push(LayerSpec::Fc { input: channels * size * size, output: 4096, act: Activation::Relu });
+    layers.push(LayerSpec::Fc {
+        input: channels * size * size,
+        output: 4096,
+        act: Activation::Relu,
+    });
     layers.push(LayerSpec::Fc { input: 4096, output: 4096, act: Activation::Relu });
     layers.push(LayerSpec::Fc { input: 4096, output: 1000, act: Activation::None });
     WorkloadSpec { name: name.into(), class: WorkloadClass::Cnn, layers, seq_len: 1 }
@@ -245,8 +263,13 @@ pub fn build_graph_model(
             let mut weights_per_layer = Vec::new();
             let mut in_w = input_width;
             for (li, &hidden) in rnn_stack.iter().enumerate() {
-                weights_per_layer
-                    .push(layers::rnn_weights(&mut model, weights, &format!("rnn{li}"), in_w, hidden));
+                weights_per_layer.push(layers::rnn_weights(
+                    &mut model,
+                    weights,
+                    &format!("rnn{li}"),
+                    in_w,
+                    hidden,
+                ));
                 in_w = hidden;
             }
             let mut h: Vec<_> =

@@ -12,7 +12,9 @@ use puma_xbar::NoiseModel;
 #[test]
 fn fig4_workloads_compile_with_sane_mixes() {
     let cfg = NodeConfig::default();
-    for name in ["MLP-64-150-150-14", "LSTM-26-120-61", "RNN-26-93-61", "BM-V500-H500", "RBM-V500-H500"] {
+    for name in
+        ["MLP-64-150-150-14", "LSTM-26-120-61", "RNN-26-93-61", "BM-V500-H500", "RBM-V500-H500"]
+    {
         let spec = zoo::spec(name);
         let mut wf = WeightFactory::materialized(3);
         let model = zoo::build_graph_model(&spec, &mut wf, Some(2)).unwrap().unwrap();
@@ -70,7 +72,12 @@ fn big_models_compile_shape_only_within_budget() {
     let compiled = compile(&model, &cfg, &CompilerOptions::timing_only()).unwrap();
     let expected_tiles = (spec.params() / (128 * 128)) as f64;
     let ratio = compiled.stats.weight_tiles as f64 / expected_tiles;
-    assert!((0.8..1.5).contains(&ratio), "weight tiles {} vs params/16k {}", compiled.stats.weight_tiles, expected_tiles);
+    assert!(
+        (0.8..1.5).contains(&ratio),
+        "weight tiles {} vs params/16k {}",
+        compiled.stats.weight_tiles,
+        expected_tiles
+    );
     assert_eq!(compiled.image.weight_bytes(), 0);
 }
 

@@ -95,12 +95,9 @@ impl ReceiveBuffer {
     ///
     /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
     pub fn front(&self, fifo: u8) -> Result<Option<&Packet>> {
-        self.fifos
-            .get(fifo as usize)
-            .map(|q| q.front())
-            .ok_or_else(|| PumaError::Execution {
-                what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
-            })
+        self.fifos.get(fifo as usize).map(|q| q.front()).ok_or_else(|| PumaError::Execution {
+            what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
+        })
     }
 
     /// Total queued packets across all FIFOs.

@@ -275,10 +275,7 @@ impl NodeSim {
             .ok_or_else(|| PumaError::Execution { what: format!("no input named {name:?}") })?
             .clone();
         if values.len() != binding.width {
-            return Err(PumaError::ShapeMismatch {
-                expected: binding.width,
-                actual: values.len(),
-            });
+            return Err(PumaError::ShapeMismatch { expected: binding.width, actual: values.len() });
         }
         let tile = self.tiles.get_mut(binding.tile.index()).ok_or_else(|| {
             PumaError::Execution { what: format!("input {name:?} bound to missing tile") }
@@ -308,13 +305,12 @@ impl NodeSim {
     ///
     /// Returns [`PumaError::Execution`] if the name is unbound.
     pub fn read_output_fixed(&self, name: &str) -> Result<Vec<Fixed>> {
-        let binding = self
-            .outputs
-            .iter()
-            .find(|b| b.name == name)
-            .ok_or_else(|| PumaError::Execution { what: format!("no output named {name:?}") })?;
-        let tile = self.tiles.get(binding.tile.index()).ok_or_else(|| {
-            PumaError::Execution { what: format!("output {name:?} bound to missing tile") }
+        let binding =
+            self.outputs.iter().find(|b| b.name == name).ok_or_else(|| PumaError::Execution {
+                what: format!("no output named {name:?}"),
+            })?;
+        let tile = self.tiles.get(binding.tile.index()).ok_or_else(|| PumaError::Execution {
+            what: format!("output {name:?} bound to missing tile"),
         })?;
         tile.memory.peek(binding.addr, binding.width)
     }
@@ -401,27 +397,24 @@ impl NodeSim {
                     self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
                     self.drain_fifo(tile, fifo, now, &mut queue)?;
                 }
-                EventKind::AgentReady(agent) => {
-                    match self.step_agent(agent, now, &mut queue)? {
-                        Step::Advance { next_pc, latency } => {
-                            self.set_pc(agent, next_pc);
-                            let seq = self.next_seq();
-                            queue.push(Reverse(Event {
-                                time: now + latency,
-                                priority: 1 + (agent.tile as u64) * 64
-                                    + (agent.core as u64).min(63),
-                                seq,
-                                kind: EventKind::AgentReady(agent),
-                            }));
-                        }
-                        Step::Blocked => {
-                            self.tiles[agent.tile as usize].blocked.push((agent, now));
-                        }
-                        Step::Halted => {
-                            self.set_halted(agent);
-                        }
+                EventKind::AgentReady(agent) => match self.step_agent(agent, now, &mut queue)? {
+                    Step::Advance { next_pc, latency } => {
+                        self.set_pc(agent, next_pc);
+                        let seq = self.next_seq();
+                        queue.push(Reverse(Event {
+                            time: now + latency,
+                            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
+                            seq,
+                            kind: EventKind::AgentReady(agent),
+                        }));
                     }
-                }
+                    Step::Blocked => {
+                        self.tiles[agent.tile as usize].blocked.push((agent, now));
+                    }
+                    Step::Halted => {
+                        self.set_halted(agent);
+                    }
+                },
             }
         }
         // Queue drained: every agent must have halted, otherwise deadlock.
@@ -518,9 +511,10 @@ impl NodeSim {
             let core = &tile.cores[agent.core as usize];
             (&core.program, core.pc)
         };
-        let instr = program.instructions.get(pc as usize).copied().ok_or_else(|| {
-            PumaError::Execution { what: format!("pc {pc} past end of program") }
-        })?;
+        let instr =
+            program.instructions.get(pc as usize).copied().ok_or_else(|| PumaError::Execution {
+                what: format!("pc {pc} past end of program"),
+            })?;
         Ok((instr, pc))
     }
 
@@ -601,7 +595,11 @@ impl NodeSim {
                     time: now + transit,
                     priority: 0,
                     seq,
-                    kind: EventKind::Deliver { tile: target as u32, fifo, packet: Packet { words } },
+                    kind: EventKind::Deliver {
+                        tile: target as u32,
+                        fifo,
+                        packet: Packet { words },
+                    },
                 }));
                 Ok(Step::Advance { next_pc: pc + 1, latency: occupancy })
             }
@@ -839,6 +837,7 @@ impl NodeSim {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the ALU instruction's operand list
     fn exec_vector_op(
         &mut self,
         t: usize,
@@ -918,13 +917,7 @@ fn shuffle_input(raw: &[Fixed], filter: u16, stride: u16) -> Vec<Fixed> {
     let dim = raw.len();
     let active = if filter == 0 { dim } else { (filter as usize).min(dim) };
     (0..dim)
-        .map(|i| {
-            if i < active {
-                raw[(i + stride as usize) % active]
-            } else {
-                Fixed::ZERO
-            }
-        })
+        .map(|i| if i < active { raw[(i + stride as usize) % active] } else { Fixed::ZERO })
         .collect()
 }
 
@@ -1018,14 +1011,11 @@ halt
         let mut img = MachineImage::new(1, 2, 2);
         // Core 1 produces after a delay (several scalar ops), core 0
         // blocks on the load until the store lands.
-        img.core_mut(TileId::new(0), CoreId::new(0)).program = Program::from_instructions(
-            assemble("load r0 @0 4\nstore @16 r0 1 4\nhalt\n").unwrap(),
-        );
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("load r0 @0 4\nstore @16 r0 1 4\nhalt\n").unwrap());
         img.core_mut(TileId::new(0), CoreId::new(1)).program = Program::from_instructions(
-            assemble(
-                "set r0 7\nset r1 7\niadd r2 r0 r1\nset r4 5\nstore @0 r4 1 4\nhalt\n",
-            )
-            .unwrap(),
+            assemble("set r0 7\nset r1 7\niadd r2 r0 r1\nset r4 5\nstore @0 r4 1 4\nhalt\n")
+                .unwrap(),
         );
         img.outputs.push(IoBinding {
             name: "out".into(),
@@ -1055,9 +1045,8 @@ halt
         // Tile 1: tile program receives, core 0 loads and stores to output.
         img.tiles[1].program =
             Program::from_instructions(assemble("recv @8 f3 1 4\nhalt\n").unwrap());
-        img.core_mut(TileId::new(1), CoreId::new(0)).program = Program::from_instructions(
-            assemble("load r0 @8 4\nstore @32 r0 1 4\nhalt\n").unwrap(),
-        );
+        img.core_mut(TileId::new(1), CoreId::new(0)).program =
+            Program::from_instructions(assemble("load r0 @8 4\nstore @32 r0 1 4\nhalt\n").unwrap());
         img.outputs.push(IoBinding {
             name: "out".into(),
             tile: TileId::new(1),
@@ -1137,7 +1126,7 @@ halt
         let run = |mode: SimMode| {
             let mut sim =
                 NodeSim::new(tiny_config(1), &img, mode, &NoiseModel::noiseless()).unwrap();
-            sim.write_input("x", &vec![0.1; 16]).unwrap();
+            sim.write_input("x", &[0.1; 16]).unwrap();
             sim.run().unwrap();
             (sim.stats().cycles, sim.stats().energy.total_nj())
         };
@@ -1155,8 +1144,7 @@ halt
             Program::from_instructions(assemble("mvm 1 0 0\nhalt\n").unwrap());
         img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[0] =
             Some(identity_weights(128, 1.0));
-        let mut sim =
-            NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        let mut sim = NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
         sim.run().unwrap();
         let mvm_nj = sim.stats().energy.component_nj(EnergyComponent::Mvmu);
         assert!((mvm_nj - 43.97).abs() < 0.2, "MVM energy {mvm_nj} nJ");
@@ -1173,8 +1161,7 @@ halt
             Some(identity_weights(16, 1.0));
         img.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[1] =
             Some(identity_weights(16, 1.0));
-        let mut sim =
-            NodeSim::new(cfg.clone(), &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        let mut sim = NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
         sim.run().unwrap();
         let coalesced_cycles = sim.stats().cycles;
         assert_eq!(sim.stats().mvmu_activations, 2);
@@ -1187,8 +1174,7 @@ halt
             Some(identity_weights(16, 1.0));
         img2.core_mut(TileId::new(0), CoreId::new(0)).mvmu_weights[1] =
             Some(identity_weights(16, 1.0));
-        let mut sim2 =
-            NodeSim::new(cfg, &img2, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+        let mut sim2 = NodeSim::new(cfg, &img2, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
         sim2.run().unwrap();
         assert!(sim2.stats().cycles > coalesced_cycles + 200);
     }

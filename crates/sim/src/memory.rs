@@ -55,7 +55,11 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Allocates `words` invalid words.
     pub fn new(words: usize) -> Self {
-        SharedMemory { data: vec![Fixed::ZERO; words], attrs: vec![Attr::default(); words], generation: 0 }
+        SharedMemory {
+            data: vec![Fixed::ZERO; words],
+            attrs: vec![Attr::default(); words],
+            generation: 0,
+        }
     }
 
     /// Capacity in words.
@@ -115,12 +119,7 @@ impl SharedMemory {
     ///
     /// Returns [`PumaError::Execution`] if the range is out of bounds or
     /// `count` is zero (a zero-consumer write would deadlock all readers).
-    pub fn try_write(
-        &mut self,
-        addr: u32,
-        values: &[Fixed],
-        count: u16,
-    ) -> Result<MemOutcome<()>> {
+    pub fn try_write(&mut self, addr: u32, values: &[Fixed], count: u16) -> Result<MemOutcome<()>> {
         self.check_range(addr, values.len())?;
         if count == 0 {
             return Err(PumaError::Execution {

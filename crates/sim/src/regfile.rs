@@ -45,8 +45,8 @@ impl CoreRegisters {
     ///
     /// Returns [`PumaError::Execution`] on out-of-range indices.
     pub fn read(&self, reg: RegRef) -> Result<Fixed> {
-        self.bank(reg.space).get(reg.index as usize).copied().ok_or_else(|| {
-            PumaError::Execution { what: format!("register read out of range: {reg}") }
+        self.bank(reg.space).get(reg.index as usize).copied().ok_or_else(|| PumaError::Execution {
+            what: format!("register read out of range: {reg}"),
         })
     }
 
@@ -71,8 +71,8 @@ impl CoreRegisters {
     pub fn read_vec(&self, base: RegRef, width: usize) -> Result<Vec<Fixed>> {
         let bank = self.bank(base.space);
         let start = base.index as usize;
-        bank.get(start..start + width).map(|s| s.to_vec()).ok_or_else(|| {
-            PumaError::Execution { what: format!("register range out of bounds: {base}+{width}") }
+        bank.get(start..start + width).map(|s| s.to_vec()).ok_or_else(|| PumaError::Execution {
+            what: format!("register range out of bounds: {base}+{width}"),
         })
     }
 
@@ -84,11 +84,10 @@ impl CoreRegisters {
     pub fn write_vec(&mut self, base: RegRef, values: &[Fixed]) -> Result<()> {
         let bank = self.bank_mut(base.space);
         let start = base.index as usize;
-        let slot = bank.get_mut(start..start + values.len()).ok_or_else(|| {
-            PumaError::Execution {
+        let slot =
+            bank.get_mut(start..start + values.len()).ok_or_else(|| PumaError::Execution {
                 what: format!("register range out of bounds: {base}+{}", values.len()),
-            }
-        })?;
+            })?;
         slot.copy_from_slice(values);
         Ok(())
     }

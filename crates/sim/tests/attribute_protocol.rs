@@ -73,7 +73,120 @@ proptest! {
         // Overlapping write blocks while any word is valid, writes nothing.
         m.try_write(2, &[Fixed::ONE], 1).unwrap();
         let before = m.peek(0, 8).unwrap();
-        prop_assert!(matches!(m.try_write(0, &vec![Fixed::ZERO; 8], 1).unwrap(), MemOutcome::Blocked(_)));
+        prop_assert!(matches!(m.try_write(0, &[Fixed::ZERO; 8], 1).unwrap(), MemOutcome::Blocked(_)));
         prop_assert_eq!(m.peek(0, 8).unwrap(), before);
+    }
+
+    // ---- Fig. 6 protocol edge cases: multi-consumer reads and
+    // ---- write-after-write to the same address --------------------------
+
+    /// Concurrent multi-consumer reads: `count = k` consumers drain one
+    /// production in any interleaving across multiple addresses; every
+    /// consumer sees identical data (reads don't mutate values, only the
+    /// count), and consumer k+1 always blocks no matter which order the
+    /// slots drain in.
+    #[test]
+    fn multi_consumer_reads_interleave_safely(
+        consumers in 2u16..6,
+        order in prop::collection::vec(0usize..4, 8..64),
+    ) {
+        let width = 4usize;
+        let mut m = SharedMemory::new(4 * width);
+        let payloads: Vec<Vec<Fixed>> = (0..4)
+            .map(|s| (0..width).map(|i| Fixed::from_bits((s * 17 + i as i32 + 1) as i16)).collect())
+            .collect();
+        for (s, p) in payloads.iter().enumerate() {
+            assert!(matches!(
+                m.try_write((s * width) as u32, p, consumers).unwrap(),
+                MemOutcome::Done(())
+            ));
+        }
+        let mut remaining = [consumers; 4];
+        for slot in order {
+            let addr = (slot * width) as u32;
+            match m.try_read(addr, width).unwrap() {
+                MemOutcome::Done(v) => {
+                    prop_assert!(remaining[slot] > 0, "slot {} over-consumed", slot);
+                    // Every consumer observes the producer's exact data.
+                    prop_assert_eq!(&v, &payloads[slot]);
+                    remaining[slot] -= 1;
+                }
+                MemOutcome::Blocked(_) => {
+                    prop_assert_eq!(remaining[slot], 0, "slot {} blocked early", slot);
+                }
+            }
+        }
+        // Drain the stragglers; then every slot must block.
+        for (slot, &rem) in remaining.iter().enumerate() {
+            let addr = (slot * width) as u32;
+            for _ in 0..rem {
+                prop_assert!(matches!(m.try_read(addr, width).unwrap(), MemOutcome::Done(_)));
+            }
+            prop_assert!(matches!(m.try_read(addr, width).unwrap(), MemOutcome::Blocked(_)));
+        }
+    }
+
+    /// Write-after-write to the same address: the second producer blocks
+    /// until the *last* consumer of the first production reads, the
+    /// blocked attempt leaves both data and count untouched, and once
+    /// unblocked the new production is what consumers observe.
+    #[test]
+    fn write_after_write_waits_for_last_consumer(
+        consumers in 1u16..5,
+        width in 1usize..8,
+    ) {
+        let mut m = SharedMemory::new(16);
+        let first: Vec<Fixed> = (0..width).map(|i| Fixed::from_bits(i as i16 + 1)).collect();
+        let second: Vec<Fixed> = (0..width).map(|i| Fixed::from_bits(-(i as i16) - 1)).collect();
+        assert!(matches!(m.try_write(0, &first, consumers).unwrap(), MemOutcome::Done(())));
+
+        // While any consumer is outstanding, an overwrite must block and
+        // must not disturb the first production.
+        for drained in 0..consumers {
+            prop_assert!(
+                matches!(m.try_write(0, &second, 1).unwrap(), MemOutcome::Blocked(_)),
+                "overwrite proceeded with {} of {} consumers outstanding",
+                consumers - drained, consumers
+            );
+            prop_assert_eq!(m.peek(0, width).unwrap(), first.clone());
+            match m.try_read(0, width).unwrap() {
+                MemOutcome::Done(v) => prop_assert_eq!(&v, &first),
+                MemOutcome::Blocked(_) => prop_assert!(false, "read blocked early"),
+            }
+        }
+
+        // Fully drained: the overwrite lands and its data wins.
+        prop_assert!(matches!(m.try_write(0, &second, 1).unwrap(), MemOutcome::Done(())));
+        match m.try_read(0, width).unwrap() {
+            MemOutcome::Done(v) => prop_assert_eq!(&v, &second),
+            MemOutcome::Blocked(_) => prop_assert!(false, "second production unreadable"),
+        }
+    }
+
+    /// Partially-overlapping write-after-write: a second production that
+    /// overlaps any still-valid word of the first blocks as a unit, even
+    /// when some of its words are invalid.
+    #[test]
+    fn overlapping_waw_blocks_as_a_unit(offset in 1u32..8, width in 2usize..6) {
+        let mut m = SharedMemory::new(16);
+        let first = vec![Fixed::ONE; width];
+        assert!(matches!(m.try_write(0, &first, 1).unwrap(), MemOutcome::Done(())));
+        // Overlap: [offset, offset + width) intersects [0, width).
+        let offset = (offset % width as u32).max(1);
+        let second = vec![Fixed::ZERO; width];
+        prop_assert!(matches!(
+            m.try_write(offset, &second, 1).unwrap(),
+            MemOutcome::Blocked(_)
+        ));
+        // Disjoint region is still writable.
+        prop_assert!(matches!(
+            m.try_write((width + 4) as u32, &second, 1).unwrap(),
+            MemOutcome::Done(())
+        ));
+        // The original production is intact and consumable.
+        match m.try_read(0, width).unwrap() {
+            MemOutcome::Done(v) => prop_assert_eq!(v, first),
+            MemOutcome::Blocked(_) => prop_assert!(false, "first production lost"),
+        }
     }
 }

@@ -57,7 +57,8 @@ fn three_stage_loop_pipeline() {
         width: 1,
         count: 1,
     });
-    let mut sim = NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    let mut sim =
+        NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     sim.run().unwrap();
     // Sum of 101..=100+n.
     let expect: i32 = (101..=100 + n).sum();
@@ -81,12 +82,9 @@ fn fifo_backpressure_preserves_order() {
     let recvs: String = (0..rounds).map(|i| format!("recv @{i} f1 1 1\n")).collect();
     img.tiles[1].program = program(&format!("{recvs}halt\n"));
     // Tile 1 core 0 checks order by summing value*index.
-    let loads: String = (0..rounds)
-        .map(|i| format!("load r{} @{i} 1\n", 10 + i))
-        .collect();
-    img.core_mut(TileId::new(1), CoreId::new(0)).program = program(&format!(
-        "{loads}store @100 r10 1 {rounds}\nhalt\n"
-    ));
+    let loads: String = (0..rounds).map(|i| format!("load r{} @{i} 1\n", 10 + i)).collect();
+    img.core_mut(TileId::new(1), CoreId::new(0)).program =
+        program(&format!("{loads}store @100 r10 1 {rounds}\nhalt\n"));
     img.outputs.push(IoBinding {
         name: "seq".into(),
         tile: TileId::new(1),
@@ -94,7 +92,8 @@ fn fifo_backpressure_preserves_order() {
         width: rounds,
         count: 1,
     });
-    let mut sim = NodeSim::new(cfg(2), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    let mut sim =
+        NodeSim::new(cfg(2), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     sim.run().unwrap();
     let seq = sim.read_output_fixed("seq").unwrap();
     for (i, v) in seq.iter().enumerate() {
@@ -107,7 +106,8 @@ fn fifo_backpressure_preserves_order() {
 fn deadlock_report_names_agents() {
     let mut img = MachineImage::new(1, 2, 2);
     img.core_mut(TileId::new(0), CoreId::new(1)).program = program("load r0 @4 1\nhalt\n");
-    let mut sim = NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    let mut sim =
+        NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     match sim.run() {
         Err(PumaError::Deadlock { what, .. }) => {
             assert!(what.contains("core1"), "{what}");
@@ -121,7 +121,8 @@ fn deadlock_report_names_agents() {
 fn runaway_loop_hits_cycle_cap() {
     let mut img = MachineImage::new(1, 2, 2);
     img.core_mut(TileId::new(0), CoreId::new(0)).program = program("jmp 0\nhalt\n");
-    let mut sim = NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    let mut sim =
+        NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     sim.set_max_cycles(10_000);
     match sim.run() {
         Err(PumaError::Execution { what }) => assert!(what.contains("cycle cap"), "{what}"),
@@ -141,9 +142,22 @@ fn vector_ops_semantics() {
          shl r40 r32 r20 4\n\
          store @16 r40 1 4\nhalt\n",
     );
-    img.inputs.push(IoBinding { name: "x".into(), tile: TileId::new(0), addr: 0, width: 8, count: 1 });
-    img.outputs.push(IoBinding { name: "y".into(), tile: TileId::new(0), addr: 16, width: 4, count: 1 });
-    let mut sim = NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    img.inputs.push(IoBinding {
+        name: "x".into(),
+        tile: TileId::new(0),
+        addr: 0,
+        width: 8,
+        count: 1,
+    });
+    img.outputs.push(IoBinding {
+        name: "y".into(),
+        tile: TileId::new(0),
+        addr: 16,
+        width: 4,
+        count: 1,
+    });
+    let mut sim =
+        NodeSim::new(cfg(1), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
     let x: Vec<f32> = (0..8).map(|i| i as f32 * (1.0 / 4096.0)).collect(); // raw bits 0..8
     sim.write_input("x", &x).unwrap();
     sim.run().unwrap();

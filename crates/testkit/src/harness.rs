@@ -1,0 +1,180 @@
+//! Compile-and-run glue shared by the differential suites.
+//!
+//! Mirrors what `puma::runtime::ModelRunner` does, but lives below the
+//! facade crate so every workspace member (and the facade's own tests) can
+//! depend on it without a dependency cycle.
+
+use puma_compiler::graph::Model;
+use puma_compiler::{compile, fit_config, CompilerOptions};
+use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+use puma_core::error::{PumaError, Result};
+use puma_sim::{NodeSim, SimMode};
+use puma_xbar::NoiseModel;
+use std::collections::HashMap;
+
+/// A compact node configuration for fast simulation in tests: `dim`-sized
+/// crossbars, 2 MVMUs × 4 cores × 16 tiles.
+pub fn small_node_config(dim: usize) -> NodeConfig {
+    let mvmu = MvmuConfig { dim, ..MvmuConfig::default() };
+    NodeConfig {
+        tile: TileConfig {
+            core: CoreConfig {
+                mvmu,
+                mvmus_per_core: 2,
+                vfu_lanes: 4,
+                instruction_memory_bytes: 32 * 1024,
+                register_file_words: 256.max(4 * dim),
+            },
+            cores_per_tile: 4,
+            ..TileConfig::default()
+        },
+        tiles_per_node: 16,
+        ..NodeConfig::default()
+    }
+}
+
+/// Compiles `model` with `options`, loads it into a functional-mode
+/// noiseless simulator, runs one inference, and returns outputs by name.
+///
+/// # Errors
+///
+/// Propagates compile and simulator faults; reports missing or misshaped
+/// inputs as [`PumaError::Execution`]/[`PumaError::ShapeMismatch`].
+pub fn run_functional_with_options(
+    model: &Model,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+    inputs: &[(String, Vec<f32>)],
+) -> Result<HashMap<String, Vec<f32>>> {
+    let compiled = compile(model, cfg, options)?;
+    let cfg = fit_config(cfg, &compiled);
+    let mut sim =
+        NodeSim::new(cfg, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())?;
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values)?;
+    }
+    for io in &compiled.inputs {
+        let (_, data) = inputs
+            .iter()
+            .find(|(n, _)| *n == io.name)
+            .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
+        if data.len() != io.width {
+            return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
+        }
+        let mut offset = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &data[offset..offset + w])?;
+            offset += w;
+        }
+    }
+    sim.run()?;
+    let mut out = HashMap::new();
+    for io in &compiled.outputs {
+        let mut data = Vec::with_capacity(io.width);
+        for chunk in &io.chunks {
+            data.extend(sim.read_output(chunk)?);
+        }
+        out.insert(io.name.clone(), data);
+    }
+    Ok(out)
+}
+
+/// [`run_functional_with_options`] with default compiler options.
+///
+/// # Errors
+///
+/// See [`run_functional_with_options`].
+pub fn run_functional(
+    model: &Model,
+    cfg: &NodeConfig,
+    inputs: &[(String, Vec<f32>)],
+) -> Result<HashMap<String, Vec<f32>>> {
+    run_functional_with_options(model, cfg, &CompilerOptions::default(), inputs)
+}
+
+/// Evaluates the model's host-side f32 reference semantics on `inputs`.
+///
+/// # Errors
+///
+/// Propagates reference-evaluator failures (unknown inputs, bad shapes).
+pub fn reference_outputs(
+    model: &Model,
+    inputs: &[(String, Vec<f32>)],
+) -> Result<HashMap<String, Vec<f32>>> {
+    let map: HashMap<String, Vec<f32>> = inputs.iter().cloned().collect();
+    model.evaluate_reference(&map)
+}
+
+/// Asserts two output maps agree within `tolerance` on every element.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first divergence (missing
+/// output, width mismatch, or out-of-tolerance element).
+pub fn compare_outputs(
+    got: &HashMap<String, Vec<f32>>,
+    want: &HashMap<String, Vec<f32>>,
+    tolerance: f32,
+) -> std::result::Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("output count mismatch: got {}, want {}", got.len(), want.len()));
+    }
+    for (name, want_vals) in want {
+        let got_vals = got.get(name).ok_or_else(|| format!("missing output {name:?}"))?;
+        if got_vals.len() != want_vals.len() {
+            return Err(format!(
+                "output {name:?} width mismatch: got {}, want {}",
+                got_vals.len(),
+                want_vals.len()
+            ));
+        }
+        for (i, (g, w)) in got_vals.iter().zip(want_vals.iter()).enumerate() {
+            if (g - w).abs() > tolerance {
+                return Err(format!(
+                    "output {name:?}[{i}]: simulated {g} vs reference {w} (|Δ| = {} > {tolerance})",
+                    (g - w).abs()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random fill in `[-0.5, 0.5)` for test inputs —
+/// keeps generated cases reproducible from a single integer seed.
+pub fn seeded_values(width: usize, seed: u64) -> Vec<f32> {
+    (0..width)
+        .map(|i| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            (h % 1024) as f32 / 1024.0 - 0.5
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_values_are_deterministic_and_bounded() {
+        let a = seeded_values(64, 7);
+        let b = seeded_values(64, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-0.5..0.5).contains(v)));
+        assert_ne!(a, seeded_values(64, 8));
+    }
+
+    #[test]
+    fn compare_outputs_reports_divergence() {
+        let mut got = HashMap::new();
+        let mut want = HashMap::new();
+        got.insert("z".to_string(), vec![0.1, 0.2]);
+        want.insert("z".to_string(), vec![0.1, 0.5]);
+        let err = compare_outputs(&got, &want, 0.05).unwrap_err();
+        assert!(err.contains("z"), "{err}");
+        assert!(compare_outputs(&got, &got.clone(), 0.0).is_ok());
+    }
+}

@@ -1,0 +1,205 @@
+//! Strategies generating random-but-valid model graphs.
+//!
+//! Shapes are drawn from scaled-down versions of the Table 5 zoo families
+//! (MLP-64-150-150-14, the NMT/BigLSTM LSTM stacks, LeNet-5) so the fuzzed
+//! cases exercise the same structures the paper evaluates — multi-chunk
+//! tiling, reductions across crossbars, transcendental activations,
+//! recurrent weight reuse — while staying small enough to simulate in
+//! milliseconds.
+
+use crate::harness::seeded_values;
+use proptest::prelude::*;
+use puma_compiler::graph::Model;
+use puma_nn::layers::{dense, lstm_network, WeightFactory};
+use puma_nn::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
+use puma_nn::zoo;
+
+/// A generated graph model together with its inputs and the fixed-point
+/// tolerance appropriate for its depth.
+#[derive(Debug)]
+pub struct ModelCase {
+    /// The graph, with all weights materialized.
+    pub model: Model,
+    /// Named input vectors covering every model input.
+    pub inputs: Vec<(String, Vec<f32>)>,
+    /// Comparison tolerance (grows with graph depth: every fixed-point
+    /// stage contributes up to ~1 ULP of Q4.12 error).
+    pub tolerance: f32,
+}
+
+/// Layer widths sampled by the MLP family — the Table 5 MLP dimensions
+/// (64-150-150-14 and friends) scaled into the fast-sim regime.
+const MLP_WIDTHS: [usize; 6] = [8, 14, 26, 32, 48, 64];
+
+/// Strategy: random MLPs — 1-3 dense layers with random activations,
+/// widths drawn from [`MLP_WIDTHS`].
+pub fn mlp_case() -> impl Strategy<Value = ModelCase> {
+    (
+        prop::sample::select(MLP_WIDTHS.to_vec()),
+        prop::collection::vec(
+            (
+                prop::sample::select(MLP_WIDTHS.to_vec()),
+                prop::sample::select(vec![
+                    Activation::None,
+                    Activation::Relu,
+                    Activation::Sigmoid,
+                    Activation::Tanh,
+                ]),
+            ),
+            1..4,
+        ),
+        0u64..1_000_000,
+    )
+        .prop_map(|(input_width, layers, seed)| {
+            let mut model = Model::new("fuzz-mlp");
+            let mut weights = WeightFactory::materialized(seed);
+            let x = model.input("x", input_width);
+            let mut cur = x;
+            for (i, (width, act)) in layers.iter().enumerate() {
+                cur = dense(&mut model, &mut weights, &format!("fc{i}"), cur, *width, *act)
+                    .expect("dense layer widths are consistent by construction");
+            }
+            model.output("y", cur);
+            ModelCase {
+                model,
+                inputs: vec![("x".to_string(), seeded_values(input_width, seed))],
+                tolerance: 0.02 * layers.len() as f32 + 0.01,
+            }
+        })
+}
+
+/// Strategy: random unrolled LSTMs — 1-2 layers, 1-2 time steps, hidden
+/// sizes from the scaled-down NMT family, with an optional projection
+/// (the BigLSTM structure).
+pub fn lstm_case() -> impl Strategy<Value = ModelCase> {
+    (
+        prop::sample::select(vec![8usize, 16, 26]),
+        prop::sample::select(vec![8usize, 16]),
+        prop::option::of(prop::sample::select(vec![8usize, 12])),
+        1usize..=2,
+        1usize..=2,
+        0u64..1_000_000,
+    )
+        .prop_map(|(input_width, hidden, projection, layers, steps, seed)| {
+            let mut model = Model::new("fuzz-lstm");
+            let mut weights = WeightFactory::materialized(seed);
+            let layer_shapes: Vec<(usize, Option<usize>)> =
+                (0..layers).map(|_| (hidden, projection)).collect();
+            let outs = lstm_network(&mut model, &mut weights, input_width, &layer_shapes, steps)
+                .expect("lstm widths are consistent by construction");
+            model.output("h_final", *outs.last().expect("steps >= 1"));
+            let inputs = (0..steps)
+                .map(|t| (format!("x{t}"), seeded_values(input_width, seed ^ t as u64)))
+                .collect();
+            ModelCase {
+                model,
+                inputs,
+                // Each unrolled step chains ~6 fixed-point stages per layer.
+                tolerance: 0.03 * (layers * steps) as f32 + 0.02,
+            }
+        })
+}
+
+/// Strategy: either family, for suites that just want "a valid model".
+pub fn any_case() -> impl Strategy<Value = ModelCase> {
+    prop_oneof![mlp_case(), lstm_case()]
+}
+
+/// Strategy: random LeNet-class CNN workload specs for the looped CNN
+/// code generator (`puma_nn::cnn::build_cnn`) — conv → optional pool →
+/// dense head, shaped like a shrunken Lenet5 from the zoo.
+///
+/// These are *specs*, not graphs: CNNs compile through the control-flow
+/// code generator rather than the dataflow graph compiler, and their
+/// differential reference is `CompiledCnn::reference`.
+pub fn cnn_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        prop::sample::select(vec![7usize, 8, 10, 12]),
+        prop::sample::select(vec![2usize, 3, 4]),
+        prop::sample::select(vec![3usize, 5]),
+        any::<bool>(),
+        prop::sample::select(vec![4usize, 6, 10]),
+    )
+        .prop_map(|(side, conv_out, kernel, pool, fc_out)| {
+            let mut layers = vec![LayerSpec::Conv {
+                input: 1,
+                output: conv_out,
+                kernel,
+                stride: 1,
+                height: side,
+                width: side,
+            }];
+            let (mut h, mut w) = puma_nn::spec::conv_output(side, side, kernel, 1);
+            if pool && h >= 4 && h % 2 == 0 && w % 2 == 0 {
+                layers.push(LayerSpec::Pool { channels: conv_out, window: 2, height: h, width: w });
+                h /= 2;
+                w /= 2;
+            }
+            layers.push(LayerSpec::Fc {
+                input: conv_out * h * w,
+                output: fc_out,
+                act: Activation::None,
+            });
+            WorkloadSpec {
+                name: format!("fuzz-cnn-{side}x{side}-k{kernel}-m{conv_out}"),
+                class: WorkloadClass::Cnn,
+                layers,
+                seq_len: 1,
+            }
+        })
+}
+
+/// The graph-compilable Table 5 / Fig. 4 zoo entries small enough for
+/// functional simulation in a test, with their per-model tolerances.
+pub fn simulable_zoo_cases(seed: u64) -> Vec<ModelCase> {
+    ["MLP-64-150-150-14", "LSTM-26-120-61", "RNN-26-93-61"]
+        .iter()
+        .map(|name| {
+            let spec = zoo::spec(name);
+            let mut weights = WeightFactory::materialized(seed);
+            let model = zoo::build_graph_model(&spec, &mut weights, Some(2))
+                .expect("zoo model builds")
+                .expect("non-CNN zoo entries are graph workloads");
+            let inputs = model
+                .nodes()
+                .iter()
+                .filter_map(|n| match &n.op {
+                    puma_compiler::graph::VecOp::Input { name } => Some((name.clone(), n.width)),
+                    _ => None,
+                })
+                .enumerate()
+                .map(|(i, (name, width))| (name, seeded_values(width, seed ^ i as u64)))
+                .collect();
+            ModelCase { model, inputs, tolerance: 0.15 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn generated_models_validate() {
+        let mut rng = TestRng::from_name("modelgen-validate");
+        let s = any_case();
+        for _ in 0..16 {
+            let case = s.generate(&mut rng);
+            case.model.validate().expect("generated model is valid");
+            assert!(!case.inputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn cnn_specs_have_consistent_shapes() {
+        let mut rng = TestRng::from_name("modelgen-cnn");
+        let s = cnn_spec();
+        for _ in 0..32 {
+            let spec = s.generate(&mut rng);
+            assert_eq!(spec.class, WorkloadClass::Cnn);
+            assert!(spec.layers.len() >= 2);
+            assert!(spec.params() > 0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The core differential property: for every generated model, the
+//! compiled program running on the functional simulator agrees with the
+//! host-side reference semantics within fixed-point tolerance.
+//!
+//! Three independent implementations are cross-checked per family:
+//! the graph compiler + PUMAsim vs `Model::evaluate_reference` for
+//! MLP/LSTM graphs, and the looped CNN code generator + PUMAsim vs
+//! `ReferenceCnn::forward` for LeNet-class convnets.
+
+use proptest::prelude::*;
+use puma_nn::cnn::build_cnn;
+use puma_sim::{NodeSim, SimMode};
+use puma_testkit::harness::{
+    compare_outputs, reference_outputs, run_functional, seeded_values, small_node_config,
+};
+use puma_testkit::modelgen;
+use puma_xbar::NoiseModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random Table-5-shaped MLPs: simulator == reference.
+    #[test]
+    fn random_mlps_match_reference(case in modelgen::mlp_case()) {
+        let got = run_functional(&case.model, &small_node_config(32), &case.inputs).unwrap();
+        let want = reference_outputs(&case.model, &case.inputs).unwrap();
+        if let Err(msg) = compare_outputs(&got, &want, case.tolerance) {
+            prop_assert!(false, "MLP diverged: {msg}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random unrolled LSTM stacks (shared weights across steps):
+    /// simulator == reference.
+    #[test]
+    fn random_lstms_match_reference(case in modelgen::lstm_case()) {
+        let got = run_functional(&case.model, &small_node_config(32), &case.inputs).unwrap();
+        let want = reference_outputs(&case.model, &case.inputs).unwrap();
+        if let Err(msg) = compare_outputs(&got, &want, case.tolerance) {
+            prop_assert!(false, "LSTM diverged: {msg}");
+        }
+    }
+
+    /// Random LeNet-class CNNs through the control-flow code generator:
+    /// simulated logits == host reference forward pass.
+    #[test]
+    fn random_cnns_match_loop_reference(spec in modelgen::cnn_spec(), seed in 0u64..1000) {
+        let cfg = puma_core::config::NodeConfig::default();
+        let cnn = build_cnn(&spec, &cfg, true, seed).unwrap();
+        let (c, h, w) = cnn.input_shape;
+        let image: Vec<f32> = seeded_values(c * h * w, seed);
+        let mut sim =
+            NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.write_input(&cnn.input_name, &image).unwrap();
+        sim.run().unwrap();
+        let logits = sim.read_output(&cnn.output_name).unwrap();
+        let reference = cnn.reference.forward(&image);
+        prop_assert_eq!(logits.len(), reference.len());
+        for (i, (g, r)) in logits.iter().zip(reference.iter()).enumerate() {
+            prop_assert!(
+                (g - r).abs() < 0.06,
+                "logit[{}]: simulated {} vs reference {} (spec {})",
+                i, g, r, spec.name
+            );
+        }
+    }
+}
+
+/// The small graph-compilable zoo entries (Table 5 / Fig. 4 set) run
+/// end-to-end and agree with the reference — the fixed-corpus complement
+/// to the fuzzed families above.
+#[test]
+fn zoo_workloads_match_reference() {
+    for case in modelgen::simulable_zoo_cases(11) {
+        let got =
+            run_functional(&case.model, &puma_core::config::NodeConfig::default(), &case.inputs)
+                .unwrap_or_else(|e| panic!("{} failed to run: {e:?}", case.model.name()));
+        let want = reference_outputs(&case.model, &case.inputs).unwrap();
+        if let Err(msg) = compare_outputs(&got, &want, case.tolerance) {
+            panic!("{} diverged: {msg}", case.model.name());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! ISA round-trip properties over the full Table 2 instruction set:
+//! binary encode/decode, the assembler loop, and the combined
+//! assemble → encode → decode → re-assemble identity.
+
+use proptest::prelude::*;
+use puma_isa::{asm, encode, Instruction};
+use puma_testkit::isagen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = id for single instructions.
+    #[test]
+    fn encode_decode_roundtrip(instr in isagen::instruction()) {
+        let bytes = encode::encode(&instr).unwrap();
+        prop_assert_eq!(bytes.len(), encode::INSTRUCTION_BYTES);
+        prop_assert_eq!(encode::decode(&bytes).unwrap(), instr);
+    }
+
+    /// The full loop the compiler and simulator rely on: a textual
+    /// program survives assembly, binary encoding, decoding, and
+    /// re-assembly of its disassembly, bit for bit.
+    #[test]
+    fn assemble_encode_decode_reassemble(instrs in isagen::program(24)) {
+        // Text → instructions.
+        let text = asm::disassemble(&instrs);
+        let assembled = asm::assemble(&text).unwrap();
+        prop_assert_eq!(assembled.len(), instrs.len());
+
+        // Instructions → bytes → instructions.
+        let bytes = encode::encode_stream(&assembled).unwrap();
+        prop_assert_eq!(bytes.len(), assembled.len() * encode::INSTRUCTION_BYTES);
+        let decoded = encode::decode_stream(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &assembled);
+
+        // Decoded instructions → text → instructions: fixed-point
+        // immediates round-trip through their decimal display bit-exactly,
+        // so full equality must hold.
+        let reassembled = asm::assemble(&asm::disassemble(&decoded)).unwrap();
+        for (r, a) in reassembled.iter().zip(assembled.iter()) {
+            match (r, a) {
+                (
+                    Instruction::AluImm { imm: ri, op: ro, dest: rd, src1: rs, width: rw },
+                    Instruction::AluImm { imm: ai, op: ao, dest: ad, src1: as_, width: aw },
+                ) => {
+                    prop_assert_eq!(ro, ao);
+                    prop_assert_eq!(rd, ad);
+                    prop_assert_eq!(rs, as_);
+                    prop_assert_eq!(rw, aw);
+                    prop_assert_eq!(ri.to_bits(), ai.to_bits());
+                }
+                _ => prop_assert_eq!(r, a),
+            }
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics — it returns Ok or Err.
+    #[test]
+    fn decode_total_on_random_bytes(bytes in prop::array::uniform12(any::<u8>())) {
+        let _ = encode::decode(&bytes);
+    }
+}

@@ -302,7 +302,9 @@ mod tests {
     }
 
     fn test_input(n: usize) -> Vec<Fixed> {
-        (0..n).map(|i| Fixed::from_f32(0.1 * (i as f32 - n as f32 / 2.0) / n as f32 + 0.05)).collect()
+        (0..n)
+            .map(|i| Fixed::from_f32(0.1 * (i as f32 - n as f32 / 2.0) / n as f32 + 0.05))
+            .collect()
     }
 
     #[test]
@@ -331,7 +333,8 @@ mod tests {
         let cfg = MvmuConfig { dim: 8, ..MvmuConfig::default() };
         let mut mvmu = AnalogMvmu::new(cfg).unwrap();
         mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
-        let x: Vec<Fixed> = (0..8).map(|i| Fixed::from_f32(if i % 2 == 0 { -1.0 } else { 0.5 })).collect();
+        let x: Vec<Fixed> =
+            (0..8).map(|i| Fixed::from_f32(if i % 2 == 0 { -1.0 } else { 0.5 })).collect();
         assert_eq!(mvmu.mvm_bit_serial(&x).unwrap(), m.mvm_exact(&x).unwrap());
     }
 

@@ -57,9 +57,7 @@ impl NoiseModel {
         }
         let sigma = self.level_sigma(slice.bits_per_cell());
         let mut rng = StdRng::seed_from_u64(
-            self.seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(slice.slice_index() as u64),
+            self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(slice.slice_index() as u64),
         );
         let dim = slice.dim();
         for row in 0..dim {
@@ -159,15 +157,21 @@ mod tests {
         let model = NoiseModel::new(0.2, 1);
         model.apply(&mut s);
         let n = 64.0 * 64.0;
-        let mean: f64 =
-            (0..64).flat_map(|r| (0..64).map(move |c| (r, c))).map(|(r, c)| s.conductance(r, c)).sum::<f64>()
-                / n;
+        let mean: f64 = (0..64)
+            .flat_map(|r| (0..64).map(move |c| (r, c)))
+            .map(|(r, c)| s.conductance(r, c))
+            .sum::<f64>()
+            / n;
         let var: f64 = (0..64)
             .flat_map(|r| (0..64).map(move |c| (r, c)))
             .map(|(r, c)| (s.conductance(r, c) - mean).powi(2))
             .sum::<f64>()
             / n;
         let expected = model.level_sigma(4);
-        assert!((var.sqrt() - expected).abs() / expected < 0.15, "std {} vs {expected}", var.sqrt());
+        assert!(
+            (var.sqrt() - expected).abs() / expected < 0.15,
+            "std {} vs {expected}",
+            var.sqrt()
+        );
     }
 }

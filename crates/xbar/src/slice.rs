@@ -118,8 +118,7 @@ impl CrossbarSlice {
     /// Panics if indices are out of bounds.
     pub fn perturb_cell(&mut self, row: usize, col: usize, conductance: f64) {
         assert!(row < self.dim && col < self.dim, "cell index out of bounds");
-        self.programmed[row * self.dim + col] =
-            conductance.clamp(0.0, self.max_level() as f64);
+        self.programmed[row * self.dim + col] = conductance.clamp(0.0, self.max_level() as f64);
     }
 
     /// Analog column currents for a binary input vector (one DAC phase):
@@ -189,10 +188,8 @@ pub fn slice_levels(encoded: u16, cfg: &MvmuConfig) -> Vec<u16> {
 /// [`slice_levels`]).
 pub fn reconstruct_levels(levels: &[u16], cfg: &MvmuConfig) -> u16 {
     let bits = cfg.bits_per_cell;
-    levels
-        .iter()
-        .enumerate()
-        .fold(0u32, |acc, (s, &l)| acc | ((l as u32) << (bits * s as u32))) as u16
+    levels.iter().enumerate().fold(0u32, |acc, (s, &l)| acc | ((l as u32) << (bits * s as u32)))
+        as u16
 }
 
 /// Offset-binary encoding of a signed 16-bit weight.

@@ -10,7 +10,7 @@ use puma::sim::{NodeSim, SimMode};
 use puma::xbar::NoiseModel;
 use puma_core::config::NodeConfig;
 
-fn main() -> puma_core::Result<()> {
+pub fn main() -> puma_core::Result<()> {
     let cfg = NodeConfig::default();
     let cnn = build_cnn(&zoo::spec("Lenet5"), &cfg, true, 7)?;
     println!(
@@ -20,9 +20,8 @@ fn main() -> puma_core::Result<()> {
     );
     let mut sim = NodeSim::new(cfg, &cnn.image, SimMode::Functional, &NoiseModel::noiseless())?;
     let (c, h, w) = cnn.input_shape;
-    let image: Vec<f32> = (0..c * h * w)
-        .map(|i| if (i / 28 + i % 28) % 7 < 3 { 0.8 } else { -0.2 })
-        .collect();
+    let image: Vec<f32> =
+        (0..c * h * w).map(|i| if (i / 28 + i % 28) % 7 < 3 { 0.8 } else { -0.2 }).collect();
     sim.write_input(&cnn.input_name, &image)?;
     sim.run()?;
     let logits = sim.read_output(&cnn.output_name)?;

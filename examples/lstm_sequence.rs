@@ -9,7 +9,7 @@ use puma::nn::layers::{lstm_network, WeightFactory};
 use puma::runtime::ModelRunner;
 use puma_core::config::NodeConfig;
 
-fn main() -> puma_core::Result<()> {
+pub fn main() -> puma_core::Result<()> {
     let steps = 4;
     let width = 64;
     let mut model = Model::new("lstm_demo");
@@ -35,6 +35,10 @@ fn main() -> puma_core::Result<()> {
         "dynamic MVM activations: {} (weights written once, §3.2.5)",
         runner.stats().mvmu_activations
     );
-    println!("latency: {} cycles, energy {:.1} nJ", runner.stats().cycles, runner.stats().energy.total_nj());
+    println!(
+        "latency: {} cycles, energy {:.1} nJ",
+        runner.stats().cycles,
+        runner.stats().energy.total_nj()
+    );
     Ok(())
 }

@@ -8,7 +8,7 @@ use puma::nn::accuracy::accuracy_at;
 use puma::nn::data::{split, synthetic_clusters};
 use puma::nn::train::{train_mlp, TrainConfig};
 
-fn main() -> puma_core::Result<()> {
+pub fn main() -> puma_core::Result<()> {
     let data = synthetic_clusters(16, 8, 40, 0.8, 11);
     let (train, test) = split(&data, 0.8);
     println!("training a 16-32-8 MLP on {} samples...", train.len());

@@ -8,13 +8,19 @@ use puma::runtime::ModelRunner;
 use puma_core::config::NodeConfig;
 use puma_core::tensor::Matrix;
 
-fn main() -> puma_core::Result<()> {
+pub fn main() -> puma_core::Result<()> {
     let m_dim = 128;
     let mut model = Model::new("example");
     let x = model.input("x", m_dim);
     let y = model.input("y", m_dim);
-    let a = model.constant_matrix("A", Matrix::from_fn(m_dim, m_dim, |r, c| ((r + c) % 7) as f32 * 0.02 - 0.06));
-    let b = model.constant_matrix("B", Matrix::from_fn(m_dim, m_dim, |r, c| ((r * c) % 5) as f32 * 0.02 - 0.04));
+    let a = model.constant_matrix(
+        "A",
+        Matrix::from_fn(m_dim, m_dim, |r, c| ((r + c) % 7) as f32 * 0.02 - 0.06),
+    );
+    let b = model.constant_matrix(
+        "B",
+        Matrix::from_fn(m_dim, m_dim, |r, c| ((r * c) % 5) as f32 * 0.02 - 0.04),
+    );
     let ax = model.mvm(a, x)?;
     let by = model.mvm(b, y)?;
     let sum = model.add(ax, by)?;

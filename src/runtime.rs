@@ -24,7 +24,13 @@ impl ModelRunner {
     ///
     /// Propagates compilation and simulator-construction failures.
     pub fn functional(model: &puma_compiler::graph::Model, cfg: &NodeConfig) -> Result<Self> {
-        Self::new(model, cfg, &CompilerOptions::default(), SimMode::Functional, &NoiseModel::noiseless())
+        Self::new(
+            model,
+            cfg,
+            &CompilerOptions::default(),
+            SimMode::Functional,
+            &NoiseModel::noiseless(),
+        )
     }
 
     /// Full-control constructor.
@@ -67,10 +73,9 @@ impl ModelRunner {
             self.sim.write_input(&binding.name, values)?;
         }
         for io in &self.compiled.inputs {
-            let (_, data) = inputs
-                .iter()
-                .find(|(n, _)| *n == io.name)
-                .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
+            let (_, data) = inputs.iter().find(|(n, _)| *n == io.name).ok_or_else(|| {
+                PumaError::Execution { what: format!("missing input {:?}", io.name) }
+            })?;
             if data.len() != io.width {
                 return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
             }

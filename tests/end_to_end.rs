@@ -13,7 +13,10 @@ use std::collections::HashMap;
 fn fig7_example_end_to_end() {
     let mut m = Model::new("fig7");
     let x = m.input("x", 96);
-    let a = m.constant_matrix("A", Matrix::from_fn(96, 96, |r, c| ((r + 2 * c) % 9) as f32 * 0.02 - 0.08));
+    let a = m.constant_matrix(
+        "A",
+        Matrix::from_fn(96, 96, |r, c| ((r + 2 * c) % 9) as f32 * 0.02 - 0.08),
+    );
     let ax = m.mvm(a, x).unwrap();
     let z = m.tanh(ax);
     m.output("z", z);

@@ -1,0 +1,37 @@
+//! Smoke tests that execute every `examples/` program end to end, so the
+//! examples cannot rot: `cargo test` compiles *and runs* them. Each
+//! example file is included as a module (its `main` is `pub` for exactly
+//! this reason) rather than spawned through a nested cargo invocation,
+//! which keeps the suite hermetic and profile-consistent.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/mlp_digits.rs"]
+mod mlp_digits;
+
+#[path = "../examples/cnn_lenet.rs"]
+mod cnn_lenet;
+
+#[path = "../examples/lstm_sequence.rs"]
+mod lstm_sequence;
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart::main().expect("quickstart example runs");
+}
+
+#[test]
+fn mlp_digits_example_runs() {
+    mlp_digits::main().expect("mlp_digits example runs");
+}
+
+#[test]
+fn cnn_lenet_example_runs() {
+    cnn_lenet::main().expect("cnn_lenet example runs");
+}
+
+#[test]
+fn lstm_sequence_example_runs() {
+    lstm_sequence::main().expect("lstm_sequence example runs");
+}

@@ -1,0 +1,107 @@
+//! In-tree stand-in for `criterion` so the workspace builds offline.
+//!
+//! Implements the subset the bench targets use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`], and
+//! [`black_box`] — with a simple adaptive wall-clock timer instead of
+//! criterion's statistical machinery.
+//!
+//! When a bench binary is invoked by `cargo test` (cargo passes `--test`
+//! to `harness = false` targets), every benchmark body runs exactly once
+//! as a smoke test and no timing is reported, mirroring real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget in bench mode.
+const TARGET_TIME: Duration = Duration::from_millis(250);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench targets with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs (or, under `cargo test`, smoke-runs) one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, test_mode: self.test_mode };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok (smoke)");
+        } else if b.iters_done > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!("{id:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters_done);
+        } else {
+            println!("{id:<40} (no iterations recorded)");
+        }
+        self
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine` until the per-benchmark budget is spent
+    /// (one warm-up call plus one timed call under `cargo test`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up; also the whole story in test mode
+        if self.test_mode {
+            self.iters_done += 1;
+            return;
+        }
+        let mut batch = 1u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters_done += batch;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= TARGET_TIME || self.iters_done >= 1_000_000 {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1_000_000 - self.iters_done.min(999_999));
+        }
+    }
+}
+
+/// Collects benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running each group (stand-in for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,37 @@
+//! In-tree stand-in for `serde` so the workspace builds offline.
+//!
+//! The PUMA crates derive `Serialize`/`Deserialize` on their config and
+//! result types to keep the door open for snapshotting, but nothing in the
+//! tree serializes through a data format yet. This stub keeps the derive
+//! attributes and trait bounds compiling:
+//!
+//! - [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so any `T: Serialize` bound is satisfiable;
+//! - the derive macros (re-exported from the in-tree `serde_derive`)
+//!   expand to nothing.
+//!
+//! Swapping in the real serde is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+/// Stub of the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stub of the `serde::ser` module (trait re-exports only).
+pub mod ser {
+    pub use crate::Serialize;
+}
