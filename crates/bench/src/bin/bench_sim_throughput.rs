@@ -1,0 +1,342 @@
+//! PUMAsim throughput benchmark: run-ahead engine vs. the reference
+//! per-instruction event loop (single thread), and `BatchRunner` scaling
+//! across worker threads — the measured counterpart to Fig. 11's batching
+//! results.
+//!
+//! Workloads cover both ends of the instruction-mix spectrum: unrolled
+//! LSTM graphs (NMTL3/BigLSTM — heavy on attribute-buffer loads/stores
+//! and inter-tile sends, the worst case for run-ahead) and a looped CNN
+//! image (long straight-line scalar/branch runs, the best case).
+//!
+//! Emits machine-readable `BENCH_sim_throughput.json` (CI uploads it as
+//! an artifact so the performance trajectory is recorded per commit) and
+//! prints the same numbers as tables.
+//!
+//! Usage: `bench_sim_throughput [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks iteration counts and batch sizes for CI.
+
+use puma::runtime::{BatchRequest, BatchRunner};
+use puma_bench::{compile_workload, fmt_ratio, print_table, sim_seq_len, TimingSession};
+use puma_compiler::CompilerOptions;
+use puma_core::config::NodeConfig;
+use puma_nn::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
+use puma_nn::zoo;
+use puma_sim::{NodeSim, SimEngine, SimMode};
+use puma_xbar::NoiseModel;
+use std::time::Instant;
+
+const ENGINES: [(&str, SimEngine); 2] =
+    [("reference", SimEngine::Reference), ("run_ahead", SimEngine::RunAhead)];
+
+struct EngineRow {
+    workload: String,
+    engine: &'static str,
+    runs: usize,
+    instructions: u64,
+    cycles: u64,
+    /// Best (minimum) wall time of a single simulated inference.
+    best_seconds: f64,
+}
+
+impl EngineRow {
+    fn instr_per_sec(&self) -> f64 {
+        if self.best_seconds > 0.0 {
+            self.instructions as f64 / self.best_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+struct BatchRow {
+    workload: String,
+    threads: usize,
+    requests: usize,
+    instructions: u64,
+    wall_seconds: f64,
+    requests_per_sec: f64,
+}
+
+impl BatchRow {
+    fn instr_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.instructions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `runs` repetitions of `body` (after one warm-up), returning the
+/// best single-repetition wall time — robust against scheduler noise.
+fn best_of(runs: usize, mut body: impl FnMut()) -> f64 {
+    body();
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let started = Instant::now();
+        body();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Engine comparison on a graph-compiled zoo workload.
+fn bench_graph_workload(name: &str, cfg: &NodeConfig, runs: usize) -> Vec<EngineRow> {
+    let compiled = compile_workload(name, cfg, &CompilerOptions::timing_only(), sim_seq_len(name))
+        .expect("workload compiles")
+        .expect("workload is graph-compilable");
+    ENGINES
+        .iter()
+        .map(|&(label, engine)| {
+            let mut session = TimingSession::new(&compiled, cfg, engine).expect("session builds");
+            let best = best_of(runs, || {
+                session.run().expect("timed run");
+            });
+            let stats = session.run().expect("stats run").clone();
+            EngineRow {
+                workload: name.to_string(),
+                engine: label,
+                runs,
+                instructions: stats.total_instructions(),
+                cycles: stats.cycles,
+                best_seconds: best,
+            }
+        })
+        .collect()
+}
+
+/// A LeNet-class convolution spec small enough for the default node
+/// configuration: its generated code is loop-heavy (scalar cursors,
+/// branches, indexed addressing), the mix run-ahead is built for.
+fn cnn_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "CNN-24x24-k5".to_string(),
+        class: WorkloadClass::Cnn,
+        layers: vec![
+            LayerSpec::Conv { input: 1, output: 2, kernel: 5, stride: 1, height: 24, width: 24 },
+            LayerSpec::Pool { channels: 2, window: 2, height: 20, width: 20 },
+            LayerSpec::Fc { input: 2 * 10 * 10, output: 10, act: Activation::None },
+        ],
+        seq_len: 1,
+    }
+}
+
+/// Engine comparison on the looped CNN image.
+fn bench_cnn_workload(cfg: &NodeConfig, runs: usize) -> Vec<EngineRow> {
+    let spec = cnn_spec();
+    let cnn = puma_nn::cnn::build_cnn(&spec, cfg, true, 7).expect("CNN builds");
+    let (c, h, w) = cnn.input_shape;
+    let zeros = vec![0.0f32; c * h * w];
+    ENGINES
+        .iter()
+        .map(|&(label, engine)| {
+            let mut sim = NodeSim::new(*cfg, &cnn.image, SimMode::Timing, &NoiseModel::noiseless())
+                .expect("sim builds");
+            sim.set_engine(engine);
+            let best = best_of(runs, || {
+                sim.reset();
+                sim.write_input(&cnn.input_name, &zeros).expect("input");
+                sim.run().expect("timed run");
+            });
+            EngineRow {
+                workload: spec.name.clone(),
+                engine: label,
+                runs,
+                instructions: sim.stats().total_instructions(),
+                cycles: sim.stats().cycles,
+                best_seconds: best,
+            }
+        })
+        .collect()
+}
+
+/// `BatchRunner` scaling on a graph workload across thread counts.
+fn bench_batch(name: &str, cfg: &NodeConfig, batch: usize, threads: &[usize]) -> Vec<BatchRow> {
+    let spec = zoo::spec(name);
+    let mut weights = puma_nn::WeightFactory::shape_only(7);
+    let model = zoo::build_graph_model(&spec, &mut weights, sim_seq_len(name))
+        .expect("zoo model builds")
+        .expect("workload is graph-compilable");
+    let mut rows = Vec::new();
+    for &t in threads {
+        let runner = BatchRunner::new(
+            &model,
+            cfg,
+            &CompilerOptions::timing_only(),
+            SimMode::Timing,
+            &NoiseModel::noiseless(),
+        )
+        .expect("runner builds")
+        .with_threads(t);
+        let requests: Vec<BatchRequest> = (0..batch)
+            .map(|_| {
+                BatchRequest::new(
+                    runner
+                        .compiled()
+                        .inputs
+                        .iter()
+                        .map(|io| (io.name.clone(), vec![0.0; io.width]))
+                        .collect(),
+                )
+            })
+            .collect();
+        // Warm-up (first run programs per-worker simulators).
+        runner.run_batch(&requests).expect("warm-up batch");
+        let outcome = runner.run_batch(&requests).expect("batch runs");
+        assert_eq!(outcome.ok_count(), batch, "all requests must succeed");
+        rows.push(BatchRow {
+            workload: name.to_string(),
+            threads: t,
+            requests: batch,
+            instructions: outcome.stats.total_instructions(),
+            wall_seconds: outcome.wall_seconds,
+            requests_per_sec: outcome.requests_per_second(),
+        });
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    engine_rows: &[EngineRow],
+    batch_rows: &[BatchRow],
+    speedup_min: f64,
+    speedup_peak: f64,
+) {
+    let singles: Vec<String> = engine_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"runs\": {}, \
+                 \"instructions_per_run\": {}, \"simulated_cycles\": {}, \
+                 \"best_seconds_per_run\": {:.6}, \"instructions_per_second\": {:.1}}}",
+                json_escape(&r.workload),
+                r.engine,
+                r.runs,
+                r.instructions,
+                r.cycles,
+                r.best_seconds,
+                r.instr_per_sec(),
+            )
+        })
+        .collect();
+    let batches: Vec<String> = batch_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"threads\": {}, \"requests\": {}, \
+                 \"instructions\": {}, \"wall_seconds\": {:.6}, \
+                 \"requests_per_second\": {:.2}, \"instructions_per_second\": {:.1}}}",
+                json_escape(&r.workload),
+                r.threads,
+                r.requests,
+                r.instructions,
+                r.wall_seconds,
+                r.requests_per_sec,
+                r.instr_per_sec(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {},\n  \
+         \"run_ahead_speedup_vs_reference_peak\": {:.3},\n  \
+         \"run_ahead_speedup_vs_reference_min\": {:.3},\n  \
+         \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ]\n}}\n",
+        quick,
+        speedup_peak,
+        speedup_min,
+        singles.join(",\n"),
+        batches.join(",\n"),
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_sim_throughput.json".to_string(), String::clone);
+
+    let cfg = NodeConfig::default();
+    let runs = if quick { 5 } else { 9 };
+    let batch = if quick { 6 } else { 16 };
+    let graph_workloads: &[&str] = if quick { &["NMTL3"] } else { &["NMTL3", "BigLSTM"] };
+
+    // Single-thread engine comparison, per workload.
+    let mut engine_rows = bench_cnn_workload(&cfg, runs * 4);
+    for name in graph_workloads {
+        engine_rows.extend(bench_graph_workload(name, &cfg, runs));
+    }
+    let mut table = Vec::new();
+    let mut speedups = Vec::new();
+    for pair in engine_rows.chunks(2) {
+        let (reference, run_ahead) = (&pair[0], &pair[1]);
+        let speedup = run_ahead.instr_per_sec() / reference.instr_per_sec();
+        speedups.push(speedup);
+        for r in pair {
+            table.push(vec![
+                r.workload.clone(),
+                r.engine.to_string(),
+                r.instructions.to_string(),
+                format!("{:.4}", r.best_seconds),
+                format!("{:.2}M", r.instr_per_sec() / 1e6),
+                if r.engine == "run_ahead" { fmt_ratio(speedup) } else { "1.00x".into() },
+            ]);
+        }
+    }
+    print_table(
+        "PUMAsim single-thread throughput (timing mode, best-of runs)",
+        &["Workload", "Engine", "Instrs/run", "Best s/run", "Sim instr/s", "Speedup"],
+        &table,
+    );
+    let speedup_min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let speedup_peak = speedups.iter().copied().fold(0.0f64, f64::max);
+
+    // Batch scaling across worker threads. Thread counts beyond the
+    // host's parallelism are kept (valid configurations — just not
+    // expected to scale there).
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads: Vec<usize> = vec![1, 2, 4, parallelism];
+    threads.sort_unstable();
+    threads.dedup();
+    let mut batch_rows = Vec::new();
+    for name in graph_workloads {
+        batch_rows.extend(bench_batch(name, &cfg, batch, &threads));
+    }
+    let mut table = Vec::new();
+    for rows in batch_rows.chunks(threads.len()) {
+        let base = rows[0].instr_per_sec();
+        for r in rows {
+            table.push(vec![
+                r.workload.clone(),
+                r.threads.to_string(),
+                r.requests.to_string(),
+                format!("{:.2}", r.requests_per_sec),
+                format!("{:.2}M", r.instr_per_sec() / 1e6),
+                fmt_ratio(r.instr_per_sec() / base),
+            ]);
+        }
+    }
+    print_table(
+        "BatchRunner scaling (timing mode)",
+        &["Workload", "Threads", "Requests", "Req/s", "Sim instr/s", "Scaling"],
+        &table,
+    );
+
+    write_json(&out, quick, &engine_rows, &batch_rows, speedup_min, speedup_peak);
+    println!(
+        "\n  Run-ahead vs reference event loop: {} (loop-heavy CNN) to {} (LSTM send/recv-bound).",
+        fmt_ratio(speedup_peak),
+        fmt_ratio(speedup_min)
+    );
+}

@@ -8,7 +8,7 @@ use puma_core::config::NodeConfig;
 use puma_core::error::Result;
 use puma_nn::zoo;
 use puma_nn::WeightFactory;
-use puma_sim::{NodeSim, RunStats, SimMode};
+use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 
 /// Prints an aligned text table.
@@ -80,18 +80,73 @@ pub fn compile_workload(
 ///
 /// Propagates simulation failures.
 pub fn run_timing(compiled: &CompiledModel, cfg: &NodeConfig) -> Result<RunStats> {
-    let cfg = fit_config(cfg, compiled);
-    let mut sim = NodeSim::new(cfg, &compiled.image, SimMode::Timing, &NoiseModel::noiseless())?;
-    for (binding, values) in &compiled.const_data {
-        sim.write_input(&binding.name, values)?;
+    run_timing_with_engine(compiled, cfg, SimEngine::default())
+}
+
+/// [`run_timing`] on an explicit execution engine.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_timing_with_engine(
+    compiled: &CompiledModel,
+    cfg: &NodeConfig,
+    engine: SimEngine,
+) -> Result<RunStats> {
+    let mut session = TimingSession::new(compiled, cfg, engine)?;
+    Ok(session.run()?.clone())
+}
+
+/// A reusable timing-mode simulation session: the simulator is built once
+/// (crossbar configuration is write-once, §3.2.5) and the workload is
+/// replayed per [`TimingSession::run`] call after a state reset — so
+/// throughput measurements time simulation, not construction. This is the
+/// measurement core of the `bench_sim_throughput` binary, which compares
+/// the run-ahead engine against the reference per-instruction event loop.
+#[derive(Debug)]
+pub struct TimingSession {
+    sim: NodeSim,
+    const_data: Vec<(String, Vec<f32>)>,
+    input_chunks: Vec<(String, usize)>,
+}
+
+impl TimingSession {
+    /// Builds a timing-mode simulator for `compiled` on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction failures.
+    pub fn new(compiled: &CompiledModel, cfg: &NodeConfig, engine: SimEngine) -> Result<Self> {
+        let cfg = fit_config(cfg, compiled);
+        let mut sim =
+            NodeSim::new(cfg, &compiled.image, SimMode::Timing, &NoiseModel::noiseless())?;
+        sim.set_engine(engine);
+        let const_data =
+            compiled.const_data.iter().map(|(b, v)| (b.name.clone(), v.clone())).collect();
+        let input_chunks = compiled
+            .inputs
+            .iter()
+            .flat_map(|io| io.chunks.iter().cloned().zip(io.chunk_widths.iter().copied()))
+            .collect();
+        Ok(TimingSession { sim, const_data, input_chunks })
     }
-    for io in &compiled.inputs {
-        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
-            sim.write_input(chunk, &vec![0.0; w])?;
+
+    /// Resets machine state, rewrites inputs (zeros), and re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run(&mut self) -> Result<&RunStats> {
+        self.sim.reset();
+        for (name, values) in &self.const_data {
+            self.sim.write_input(name, values)?;
         }
+        for (chunk, w) in &self.input_chunks {
+            self.sim.write_input(chunk, &vec![0.0; *w])?;
+        }
+        self.sim.run()?;
+        Ok(self.sim.stats())
     }
-    sim.run()?;
-    Ok(sim.stats().clone())
 }
 
 /// The reduced sequence length used when simulating LSTM workloads

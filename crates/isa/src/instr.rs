@@ -152,17 +152,32 @@ impl AluImmOp {
 }
 
 /// Scalar integer operations executed by the SFU (Table 2 "ALUint" row).
+///
+/// # The booleans-feed-branches contract
+///
+/// Scalar instructions operate on **raw register bits** as 16-bit
+/// integers, not on Q4.12 values. Compare results ([`ScalarOp::Eq`],
+/// [`ScalarOp::Gt`], [`ScalarOp::Ne`]) write raw bit-value `1` for true
+/// and `0` for false — which is `1/4096` when misread as Q4.12. That is
+/// deliberate: the consumers of scalar booleans are
+/// [`Instruction::Branch`] (which compares raw bits), further scalar
+/// arithmetic (loop counters, address cursors), and indexed addressing
+/// (see [`MemAddr`]) — all of which live in the raw-integer domain.
+/// Vector code that needs a Q4.12 `1.0` must construct it explicitly
+/// (e.g. `set` with immediate 4096); feeding a scalar boolean into the
+/// Q4.12 vector datapath without conversion is a program bug, not a
+/// simulator one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScalarOp {
     /// Integer addition.
     Add,
     /// Integer subtraction.
     Sub,
-    /// Set destination to 1 if equal, else 0.
+    /// Set destination to raw bit-value 1 if equal, else 0.
     Eq,
-    /// Set destination to 1 if `src1 > src2`, else 0.
+    /// Set destination to raw bit-value 1 if `src1 > src2`, else 0.
     Gt,
-    /// Set destination to 1 if not equal, else 0.
+    /// Set destination to raw bit-value 1 if not equal, else 0.
     Ne,
 }
 
@@ -283,11 +298,30 @@ impl fmt::Display for MvmuMask {
 /// A memory operand: an immediate word address in tile shared memory, plus
 /// an optional index register for computed (random) access (§2.3.2 requires
 /// fine-grain random access for CNN pooling/normalization).
+///
+/// # Indexed-addressing semantics
+///
+/// The index register's **raw 16-bit contents are an integer element
+/// offset**, not a Q4.12 value: the effective address is
+/// `base + raw_bits(index)` in words. Address cursors therefore live in
+/// the scalar integer domain — initialized with `set` (raw immediate) and
+/// advanced with `iadd`/`isub` — alongside loop counters. A register
+/// holding Q4.12 `1.0` (raw bits 4096) indexes word `base + 4096`, which
+/// is almost never what a kernel wants.
+///
+/// Two conditions are execution faults in the simulator rather than
+/// silent wraps:
+///
+/// - a **negative** index (raw bits < 0) — the architecture has no
+///   backward indexed addressing, and zero-extending a negative counter
+///   would address wildly wrong words;
+/// - `base + offset` overflowing the 32-bit word-address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemAddr {
     /// Immediate base word address.
     pub base: u32,
-    /// Optional register whose value is added to the base.
+    /// Optional register whose raw bits (a non-negative integer element
+    /// offset) are added to the base.
     pub index: Option<RegRef>,
 }
 
@@ -479,6 +513,19 @@ impl InstructionCategory {
         InstructionCategory::Mvm,
     ];
 
+    /// Position of this category in [`InstructionCategory::ALL`] (dense
+    /// index for flat-array instruction counters in the simulator).
+    pub const fn index(self) -> usize {
+        match self {
+            InstructionCategory::InterTile => 0,
+            InstructionCategory::InterCore => 1,
+            InstructionCategory::ControlFlow => 2,
+            InstructionCategory::Sfu => 3,
+            InstructionCategory::Vfu => 4,
+            InstructionCategory::Mvm => 5,
+        }
+    }
+
     /// Display label matching the paper's legend.
     pub const fn label(self) -> &'static str {
         match self {
@@ -584,6 +631,15 @@ mod tests {
     #[should_panic(expected = "MVMU index out of mask range")]
     fn mask_index_bounds() {
         let _ = MvmuMask::single(8);
+    }
+
+    #[test]
+    fn category_index_matches_all_order() {
+        // `index()` is hand-written; the simulator's flat instruction
+        // counters rely on it agreeing with `ALL`'s order.
+        for (i, c) in InstructionCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
     }
 
     #[test]

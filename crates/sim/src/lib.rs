@@ -57,5 +57,5 @@ pub mod memory;
 pub mod regfile;
 pub mod stats;
 
-pub use machine::{NodeSim, SimMode};
+pub use machine::{NodeSim, SimEngine, SimMode};
 pub use stats::{EnergyComponent, EnergyStats, RunStats};

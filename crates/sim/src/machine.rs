@@ -17,12 +17,18 @@
 //!   behaviour, but vector/matrix payloads are not computed (scalar and
 //!   control-flow instructions still execute so loops behave). This is
 //!   what makes node-scale models tractable to simulate.
+//!
+//! Two execution engines with bit-identical semantics (see [`SimEngine`]):
+//! the reference per-instruction event loop, and the default run-ahead
+//! engine, which executes straight-line runs of core-local instructions
+//! inside one event and re-enters the queue only at synchronization
+//! points.
 
 use crate::fifo::{Packet, ReceiveBuffer};
 use crate::lut::RomLut;
 use crate::memory::{MemOutcome, SharedMemory};
 use crate::regfile::CoreRegisters;
-use crate::stats::{EnergyComponent, RunStats};
+use crate::stats::{EnergyComponent, EnergyStats, RunStats};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
@@ -43,6 +49,27 @@ pub enum SimMode {
 
 /// Default safety cap on simulated cycles.
 pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
+
+/// Execution-engine selection for [`NodeSim::run`].
+///
+/// Both engines implement *identical* semantics — same cycle counts, same
+/// energy, same synchronization and deadlock behaviour (the testkit
+/// differential suite pins [`RunStats`] equality on fuzzed models). They
+/// differ only in how much work goes through the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimEngine {
+    /// The original per-instruction event loop: every executed instruction
+    /// is one heap round-trip. Kept as the differential baseline and for
+    /// event-level debugging.
+    Reference,
+    /// Run-ahead execution (default): an agent event executes a whole
+    /// straight-line run of core-local instructions back-to-back,
+    /// accumulating time locally, and re-enters the queue only at
+    /// synchronization points (attribute-buffer loads/stores, FIFO
+    /// send/receive, MVM completion, halt).
+    #[default]
+    RunAhead,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct AgentId {
@@ -109,7 +136,8 @@ struct TileState {
     tile_pc: u32,
     tile_program: Program,
     tile_halted: bool,
-    blocked: Vec<(AgentId, u64)>,
+    /// Parked agents: (agent, blocked-since cycle, wait condition).
+    blocked: Vec<(AgentId, u64, WaitCond)>,
 }
 
 /// Outcome of executing one instruction.
@@ -117,9 +145,78 @@ enum Step {
     /// Completed; advance `pc` to `next_pc` and re-schedule after `latency`.
     Advance { next_pc: u32, latency: u64 },
     /// Could not proceed; park the agent until the tile state changes.
-    Blocked,
+    Blocked(WaitCond),
     /// The stream terminated.
     Halted,
+}
+
+/// Why a blocked agent is parked: the precise state transition that can
+/// make its instruction succeed. The run-ahead engine wakes an agent only
+/// when a matching transition happens (spurious retries are pure event
+/// overhead — they dominated the seed's event count); the reference
+/// engine preserves the seed behaviour of retrying every parked agent on
+/// any tile change. Total `blocked_cycles` are identical either way: each
+/// wake adds `now - since` and a failed retry re-parks at `now`, so the
+/// per-agent sum telescopes to `success_time - first_block_time`
+/// regardless of how many intermediate retries happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitCond {
+    /// Waiting for this shared-memory word to become valid (a reader).
+    MemValid(u32),
+    /// Waiting for this shared-memory word to be consumed (a writer).
+    MemInvalid(u32),
+    /// Waiting for a packet to land in this receive FIFO.
+    FifoPacket(u8),
+}
+
+impl WaitCond {
+    /// The wait condition matching a memory block reason.
+    fn for_mem_block(block: crate::memory::MemBlock) -> WaitCond {
+        match block {
+            crate::memory::MemBlock::NotValid { addr } => WaitCond::MemValid(addr),
+            crate::memory::MemBlock::StillValid { addr } => WaitCond::MemInvalid(addr),
+        }
+    }
+
+    /// True if `change` can satisfy this wait.
+    fn wakes_on(self, change: TileChange) -> bool {
+        match (self, change) {
+            (WaitCond::MemValid(a), TileChange::ValidRange { start, len }) => {
+                a >= start && a - start < len
+            }
+            (WaitCond::MemInvalid(a), TileChange::InvalidRange { start, len }) => {
+                a >= start && a - start < len
+            }
+            (WaitCond::FifoPacket(f), TileChange::FifoPush(g)) => f == g,
+            _ => false,
+        }
+    }
+}
+
+/// A state transition on a tile that may unblock parked agents. Every
+/// generation-bumping operation records one of these; they drive both the
+/// reference engine's wake-all and the run-ahead engine's targeted wakes.
+#[derive(Debug, Clone, Copy)]
+enum TileChange {
+    /// Words `[start, start + len)` became valid (a write landed).
+    ValidRange { start: u32, len: u32 },
+    /// Words `[start, start + len)` may have been consumed (a read
+    /// committed; conservative — counts may not have reached zero).
+    InvalidRange { start: u32, len: u32 },
+    /// A packet was admitted into this FIFO.
+    FifoPush(u8),
+}
+
+/// Per-agent energy accumulator: flat arrays indexed by
+/// [`EnergyComponent::index`], merged into [`RunStats`] in deterministic
+/// agent order when a run finishes. Keeping every agent's floating-point
+/// sums in program order (instead of global event order) makes the energy
+/// totals bit-identical across [`SimEngine`]s, whose event interleavings
+/// differ.
+#[derive(Debug, Clone, Default)]
+struct AgentEnergy {
+    nj: [f64; EnergyComponent::ALL.len()],
+    busy: [u64; EnergyComponent::ALL.len()],
 }
 
 /// The node simulator.
@@ -127,10 +224,29 @@ enum Step {
 pub struct NodeSim {
     cfg: NodeConfig,
     timing: TimingModel,
+    /// Cached `timing.fetch_decode_energy_nj()` — charged on every single
+    /// executed instruction, so the area/power model walk is hoisted out
+    /// of the hot loop.
+    fd_energy_nj: f64,
     mode: SimMode,
+    engine: SimEngine,
     tiles: Vec<TileState>,
     lut: RomLut,
     stats: RunStats,
+    /// Energy accumulators, one per agent (per tile: cores, then the tile
+    /// control unit), merged into `stats` by [`NodeSim::finalize_stats`].
+    /// The run-ahead engine uses the flat arrays; the reference engine
+    /// uses seed-style [`EnergyStats`] maps (`agent_energy_maps`) with the
+    /// identical per-agent add sequence, so the merged totals are
+    /// bit-identical while the reference keeps the seed's per-instruction
+    /// accounting cost.
+    agent_energy: Vec<AgentEnergy>,
+    /// Reference-engine accumulators (see `agent_energy`).
+    agent_energy_maps: Vec<EnergyStats>,
+    /// First agent slot of each tile (prefix sums over cores+ctl).
+    agent_offsets: Vec<usize>,
+    /// Dynamic instruction counts by [`InstructionCategory::index`].
+    instr_counts: [u64; puma_isa::InstructionCategory::ALL.len()],
     inputs: Vec<puma_isa::IoBinding>,
     outputs: Vec<puma_isa::IoBinding>,
     max_cycles: u64,
@@ -138,6 +254,9 @@ pub struct NodeSim {
     /// Packets that arrived at a full FIFO, queued per (tile, fifo) so the
     /// network preserves per-channel ordering under backpressure.
     pending_delivery: std::collections::HashMap<(u32, u8), std::collections::VecDeque<Packet>>,
+    /// Transitions recorded by the currently executing instruction (or
+    /// packet delivery), consumed by [`NodeSim::apply_wakes`].
+    changes: Vec<TileChange>,
 }
 
 impl NodeSim {
@@ -219,18 +338,32 @@ impl NodeSim {
                 blocked: Vec::new(),
             });
         }
+        let mut agent_offsets = Vec::with_capacity(tiles.len());
+        let mut agents = 0usize;
+        for tile in &tiles {
+            agent_offsets.push(agents);
+            agents += tile.cores.len() + 1;
+        }
+        let timing = TimingModel::new(cfg);
         Ok(NodeSim {
-            timing: TimingModel::new(cfg),
+            fd_energy_nj: timing.fetch_decode_energy_nj(),
+            timing,
             cfg,
             mode,
+            engine: SimEngine::default(),
             tiles,
             lut: RomLut::new(),
             stats: RunStats::new(),
+            agent_energy: vec![AgentEnergy::default(); agents],
+            agent_energy_maps: vec![EnergyStats::new(); agents],
+            agent_offsets,
+            instr_counts: [0; puma_isa::InstructionCategory::ALL.len()],
             inputs: image.inputs.clone(),
             outputs: image.outputs.clone(),
             max_cycles: DEFAULT_MAX_CYCLES,
             seq: 0,
             pending_delivery: std::collections::HashMap::new(),
+            changes: Vec::new(),
         })
     }
 
@@ -247,6 +380,16 @@ impl NodeSim {
     /// Overrides the runaway-simulation safety cap.
     pub fn set_max_cycles(&mut self, max_cycles: u64) {
         self.max_cycles = max_cycles;
+    }
+
+    /// Selects the execution engine (default [`SimEngine::RunAhead`]).
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// Writes a named input vector into tile shared memory (host injection
@@ -330,6 +473,7 @@ impl NodeSim {
     /// written once at configuration time, §3.2.5).
     pub fn reset(&mut self) {
         self.pending_delivery.clear();
+        self.changes.clear();
         for tile in &mut self.tiles {
             tile.memory = SharedMemory::new(tile.memory.words());
             tile.rbuf =
@@ -337,19 +481,84 @@ impl NodeSim {
             tile.tile_pc = 0;
             tile.tile_halted = tile.tile_program.is_empty();
             tile.blocked.clear();
-            for core in &mut tile.cores {
+            for (ci, core) in tile.cores.iter_mut().enumerate() {
                 core.pc = 0;
                 core.halted = core.program.is_empty();
                 core.regs = CoreRegisters::new(&self.cfg.tile.core);
+                // Reseed exactly as at construction, so a reused simulator
+                // (BatchRunner pool, TimingSession replay) gives every run
+                // the same `rand` stream as a fresh one.
+                core.rng = 0x1234_5678 ^ (ci as u32 + 1);
             }
         }
         self.stats = RunStats::new();
+        for acc in &mut self.agent_energy {
+            *acc = AgentEnergy::default();
+        }
+        for acc in &mut self.agent_energy_maps {
+            *acc = EnergyStats::new();
+        }
+        self.instr_counts = [0; puma_isa::InstructionCategory::ALL.len()];
         self.seq = 0;
     }
 
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// The energy-accumulator slot of an agent (per tile: cores in index
+    /// order, then the tile control unit).
+    fn agent_slot(&self, agent: AgentId) -> usize {
+        let t = agent.tile as usize;
+        let base = self.agent_offsets[t];
+        if agent.is_tile_ctl() {
+            base + self.tiles[t].cores.len()
+        } else {
+            base + agent.core as usize
+        }
+    }
+
+    /// Attributes energy and busy cycles to one agent's accumulator. The
+    /// per-agent add sequence is identical on both engines; only the
+    /// backing data structure differs (seed-style maps vs. flat arrays),
+    /// so the merged floating-point totals are bit-identical.
+    #[inline]
+    fn charge(&mut self, agent: AgentId, component: EnergyComponent, nj: f64, cycles: u64) {
+        let slot = self.agent_slot(agent);
+        match self.engine {
+            SimEngine::Reference => self.agent_energy_maps[slot].add(component, nj, cycles),
+            SimEngine::RunAhead => {
+                let acc = &mut self.agent_energy[slot];
+                acc.nj[component.index()] += nj;
+                acc.busy[component.index()] += cycles;
+            }
+        }
+    }
+
+    /// Folds the per-agent accumulators into `stats` in agent-slot order.
+    /// The order is fixed, so the floating-point sums are reproducible —
+    /// and identical across engines and thread counts.
+    fn finalize_stats(&mut self) {
+        let blank = vec![AgentEnergy::default(); self.agent_energy.len()];
+        for acc in std::mem::replace(&mut self.agent_energy, blank) {
+            for (i, &component) in EnergyComponent::ALL.iter().enumerate() {
+                if acc.nj[i] != 0.0 || acc.busy[i] != 0 {
+                    self.stats.energy.add(component, acc.nj[i], acc.busy[i]);
+                }
+            }
+        }
+        let blank = vec![EnergyStats::new(); self.agent_energy_maps.len()];
+        for acc in std::mem::replace(&mut self.agent_energy_maps, blank) {
+            self.stats.energy.merge(&acc);
+        }
+        let counts = std::mem::take(&mut self.instr_counts);
+        for (i, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                let category = puma_isa::InstructionCategory::ALL[i];
+                *self.stats.dynamic_instructions.entry(category).or_insert(0) += n;
+            }
+        }
     }
 
     /// Runs the machine to completion.
@@ -360,27 +569,24 @@ impl NodeSim {
     /// [`PumaError::Execution`] for faults (bad register/memory accesses,
     /// exceeding the cycle cap), or any underlying component error.
     pub fn run(&mut self) -> Result<&RunStats> {
+        let outcome = self.run_loop();
+        self.finalize_stats();
+        outcome?;
+        Ok(&self.stats)
+    }
+
+    fn run_loop(&mut self) -> Result<()> {
         let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         for t in 0..self.tiles.len() {
             for c in 0..self.tiles[t].cores.len() {
                 if !self.tiles[t].cores[c].halted {
-                    let seq = self.next_seq();
-                    queue.push(Reverse(Event {
-                        time: 0,
-                        priority: 1 + (t * 64 + c) as u64,
-                        seq,
-                        kind: EventKind::AgentReady(AgentId { tile: t as u32, core: c as u32 }),
-                    }));
+                    let agent = AgentId { tile: t as u32, core: c as u32 };
+                    self.push_agent_event(&mut queue, agent, 0)?;
                 }
             }
             if !self.tiles[t].tile_halted {
-                let seq = self.next_seq();
-                queue.push(Reverse(Event {
-                    time: 0,
-                    priority: 1 + (t * 64 + 63) as u64,
-                    seq,
-                    kind: EventKind::AgentReady(AgentId { tile: t as u32, core: TILE_CTL }),
-                }));
+                let agent = AgentId { tile: t as u32, core: TILE_CTL };
+                self.push_agent_event(&mut queue, agent, 0)?;
             }
         }
         let mut last_time = 0u64;
@@ -388,31 +594,28 @@ impl NodeSim {
             let now = event.time;
             last_time = last_time.max(now);
             if now > self.max_cycles {
-                return Err(PumaError::Execution {
-                    what: format!("exceeded cycle cap {} (runaway program?)", self.max_cycles),
-                });
+                return Err(self.cycle_cap_error());
             }
             match event.kind {
                 EventKind::Deliver { tile, fifo, packet } => {
                     self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
                     self.drain_fifo(tile, fifo, now, &mut queue)?;
                 }
-                EventKind::AgentReady(agent) => match self.step_agent(agent, now, &mut queue)? {
-                    Step::Advance { next_pc, latency } => {
-                        self.set_pc(agent, next_pc);
-                        let seq = self.next_seq();
-                        queue.push(Reverse(Event {
-                            time: now + latency,
-                            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
-                            seq,
-                            kind: EventKind::AgentReady(agent),
-                        }));
-                    }
-                    Step::Blocked => {
-                        self.tiles[agent.tile as usize].blocked.push((agent, now));
-                    }
-                    Step::Halted => {
-                        self.set_halted(agent);
+                EventKind::AgentReady(agent) => match self.engine {
+                    SimEngine::Reference => match self.step_agent(agent, now, &mut queue)? {
+                        Step::Advance { next_pc, latency } => {
+                            self.set_pc(agent, next_pc);
+                            self.push_agent_event(&mut queue, agent, now + latency)?;
+                        }
+                        Step::Blocked(cond) => {
+                            self.tiles[agent.tile as usize].blocked.push((agent, now, cond));
+                        }
+                        Step::Halted => {
+                            self.set_halted(agent);
+                        }
+                    },
+                    SimEngine::RunAhead => {
+                        self.run_ahead(agent, now, &mut last_time, &mut queue)?;
                     }
                 },
             }
@@ -423,7 +626,7 @@ impl NodeSim {
             .iter()
             .enumerate()
             .flat_map(|(t, tile)| {
-                tile.blocked.iter().map(move |(a, since)| {
+                tile.blocked.iter().map(move |(a, since, _)| {
                     if a.is_tile_ctl() {
                         format!("tile{t}/ctl (since cycle {since})")
                     } else {
@@ -439,7 +642,102 @@ impl NodeSim {
             });
         }
         self.stats.cycles = last_time;
-        Ok(&self.stats)
+        Ok(())
+    }
+
+    /// Executes a whole straight-line run of instructions for one agent,
+    /// accumulating time locally, and re-enters the event queue only at
+    /// synchronization points: an upcoming attribute-buffer load/store or
+    /// FIFO send/receive (which must observe global tile state at its own
+    /// timestamp, after every earlier event has run), and MVM completion.
+    /// Core-local instructions (vector/scalar ALU, set, copy, jump,
+    /// branch, halt) touch no state another agent can observe, so
+    /// executing them back-to-back inside one event is indistinguishable
+    /// from the reference per-instruction loop — minus its heap traffic.
+    fn run_ahead(
+        &mut self,
+        agent: AgentId,
+        now: u64,
+        last_time: &mut u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) -> Result<()> {
+        let mut t = now;
+        let mut first = true;
+        loop {
+            // The reference engine checks the cap when each instruction's
+            // event pops; locally executed instructions get the same check
+            // at the same timestamps, so runaway straight-line loops fail
+            // deterministically instead of spinning forever off-queue.
+            if t > self.max_cycles {
+                return Err(self.cycle_cap_error());
+            }
+            let (instr, pc) = self.fetch(agent)?;
+            if !first && instr.may_block() && !Self::clear_until(queue, t) {
+                // Blocking point with other events pending at or before
+                // its timestamp: re-enter the queue and execute it when
+                // its event pops, after any earlier event (another agent's
+                // store, a packet delivery) has updated the tile state.
+                // With a clear queue the lookahead is safe: every event
+                // created later carries a time past `t`, so no one can
+                // change the tile before this instruction executes.
+                return self.push_agent_event(queue, agent, t);
+            }
+            *last_time = (*last_time).max(t);
+            match self.execute_instr(agent, instr, pc, t, queue)? {
+                Step::Advance { next_pc, latency } => {
+                    self.set_pc(agent, next_pc);
+                    t += latency;
+                    if matches!(instr, Instruction::Mvm { .. }) && !Self::clear_until(queue, t) {
+                        // Long-latency unit: re-enter at MVM completion.
+                        return self.push_agent_event(queue, agent, t);
+                    }
+                }
+                Step::Blocked(cond) => {
+                    self.tiles[agent.tile as usize].blocked.push((agent, t, cond));
+                    return Ok(());
+                }
+                Step::Halted => {
+                    self.set_halted(agent);
+                    return Ok(());
+                }
+            }
+            first = false;
+        }
+    }
+
+    /// Schedules an agent wake-up, clamping the event time against the
+    /// cycle cap: a single instruction whose latency lands past the cap
+    /// fails deterministically at schedule time instead of sailing past it.
+    fn push_agent_event(
+        &mut self,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        agent: AgentId,
+        time: u64,
+    ) -> Result<()> {
+        if time > self.max_cycles {
+            return Err(self.cycle_cap_error());
+        }
+        let seq = self.next_seq();
+        queue.push(Reverse(Event {
+            time,
+            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
+            seq,
+            kind: EventKind::AgentReady(agent),
+        }));
+        Ok(())
+    }
+
+    fn cycle_cap_error(&self) -> PumaError {
+        PumaError::Execution {
+            what: format!("exceeded cycle cap {} (runaway program?)", self.max_cycles),
+        }
+    }
+
+    /// True if no queued event lands at or before `t` — event times only
+    /// move forward, so the running agent is alone in `[now, t]` and may
+    /// keep executing locally, synchronization instructions included.
+    fn clear_until(queue: &BinaryHeap<Reverse<Event>>, t: u64) -> bool {
+        queue.peek().is_none_or(|Reverse(e)| e.time > t)
     }
 
     /// Moves as many pending packets as fit into the receive FIFO, in
@@ -466,23 +764,83 @@ impl NodeSim {
             }
         }
         if moved {
-            self.wake_tile(tile as usize, now, queue);
+            self.changes.push(TileChange::FifoPush(fifo));
         }
+        self.apply_wakes(tile as usize, now, queue);
         Ok(())
     }
 
-    fn wake_tile(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
-        let woken: Vec<(AgentId, u64)> = std::mem::take(&mut self.tiles[tile].blocked);
-        for (agent, since) in woken {
-            self.stats.blocked_cycles += now.saturating_sub(since);
-            let seq = self.next_seq();
-            queue.push(Reverse(Event {
-                time: now,
-                priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
-                seq,
-                kind: EventKind::AgentReady(agent),
-            }));
+    /// Applies the transitions recorded by the current instruction or
+    /// delivery: the reference engine retries every parked agent on any
+    /// change (seed behaviour); the run-ahead engine wakes only agents
+    /// whose wait condition matches one of the transitions.
+    fn apply_wakes(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
+        if self.changes.is_empty() {
+            return;
         }
+        if self.tiles[tile].blocked.is_empty() {
+            // Nobody to wake on this tile.
+            self.changes.clear();
+            return;
+        }
+        match self.engine {
+            SimEngine::Reference => {
+                self.changes.clear();
+                self.wake_tile(tile, now, queue);
+            }
+            SimEngine::RunAhead => {
+                let mut changes = std::mem::take(&mut self.changes);
+                for &change in &changes {
+                    self.wake_matching(tile, change, now, queue);
+                }
+                changes.clear();
+                self.changes = changes;
+            }
+        }
+    }
+
+    /// Wakes every parked agent on the tile (reference engine).
+    fn wake_tile(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
+        let woken: Vec<(AgentId, u64, WaitCond)> = std::mem::take(&mut self.tiles[tile].blocked);
+        for (agent, since, _) in woken {
+            self.wake_agent(agent, since, now, queue);
+        }
+    }
+
+    /// Wakes the parked agents whose wait condition matches `change`.
+    fn wake_matching(
+        &mut self,
+        tile: usize,
+        change: TileChange,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) {
+        let mut i = 0;
+        while i < self.tiles[tile].blocked.len() {
+            if self.tiles[tile].blocked[i].2.wakes_on(change) {
+                let (agent, since, _) = self.tiles[tile].blocked.swap_remove(i);
+                self.wake_agent(agent, since, now, queue);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn wake_agent(
+        &mut self,
+        agent: AgentId,
+        since: u64,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) {
+        self.stats.blocked_cycles += now.saturating_sub(since);
+        let seq = self.next_seq();
+        queue.push(Reverse(Event {
+            time: now,
+            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
+            seq,
+            kind: EventKind::AgentReady(agent),
+        }));
     }
 
     fn set_pc(&mut self, agent: AgentId, pc: u32) {
@@ -518,6 +876,13 @@ impl NodeSim {
         Ok((instr, pc))
     }
 
+    /// Resolves a memory operand to an absolute word address.
+    ///
+    /// Indexed addressing treats the index register's **raw bits as an
+    /// unsigned element offset** (`0..=32767`), not as a Q4.12 value: a
+    /// register set to integer 1 addresses the next word, not word 4096.
+    /// A negative index and a base+offset sum overflowing 32 bits are
+    /// execution faults (see [`puma_isa::MemAddr`] for the contract).
     fn effective_addr(&self, agent: AgentId, addr: MemAddr) -> Result<u32> {
         let offset = match addr.index {
             None => 0,
@@ -529,10 +894,21 @@ impl NodeSim {
                     });
                 }
                 let core = &self.tiles[agent.tile as usize].cores[agent.core as usize];
-                core.regs.read(reg)?.to_bits() as u16 as u32
+                let bits = core.regs.read(reg)?.to_bits();
+                if bits < 0 {
+                    return Err(PumaError::Execution {
+                        what: format!(
+                            "negative index {bits} in {addr} (index registers hold raw-bit \
+                             integer word offsets; see puma-isa MemAddr)"
+                        ),
+                    });
+                }
+                bits as u32
             }
         };
-        Ok(addr.base + offset)
+        addr.base.checked_add(offset).ok_or_else(|| PumaError::Execution {
+            what: format!("indexed address {addr} + offset {offset} overflows the address space"),
+        })
     }
 
     fn step_agent(
@@ -542,23 +918,52 @@ impl NodeSim {
         queue: &mut BinaryHeap<Reverse<Event>>,
     ) -> Result<Step> {
         let (instr, pc) = self.fetch(agent)?;
-        let fd_energy = self.timing.fetch_decode_energy_nj();
-        let t = agent.tile as usize;
-        let gen_before = self.tiles[t].memory.generation() + self.tiles[t].rbuf.generation();
+        self.execute_instr(agent, instr, pc, now, queue)
+    }
+
+    /// Executes one already-fetched instruction, charging fetch/decode
+    /// energy and waking blocked peers if the instruction consumed or
+    /// produced shared state.
+    fn execute_instr(
+        &mut self,
+        agent: AgentId,
+        instr: Instruction,
+        pc: u32,
+        now: u64,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+    ) -> Result<Step> {
+        let fd_energy = self.fd_energy_nj;
         let outcome = if agent.is_tile_ctl() {
             self.step_tile_ctl(agent, instr, now, queue)?
         } else {
             self.step_core(agent, instr, pc)?
         };
-        // Any successful consume/produce on this tile's memory or FIFOs may
-        // unblock peers waiting on the attribute buffer.
-        let gen_after = self.tiles[t].memory.generation() + self.tiles[t].rbuf.generation();
-        if gen_after != gen_before {
-            self.wake_tile(t, now, queue);
-        }
+        // A successful consume/produce on this tile's memory or FIFOs may
+        // unblock peers waiting on the attribute buffer; the executed
+        // instruction recorded any such transition in `self.changes`
+        // (non-blocking instructions record nothing, so this is a cheap
+        // emptiness check for them).
+        self.apply_wakes(agent.tile as usize, now, queue);
         if matches!(outcome, Step::Advance { .. } | Step::Halted) {
-            self.stats.count_instruction(instr.category());
-            self.stats.energy.add(EnergyComponent::FetchDecode, fd_energy, 1);
+            match self.engine {
+                // Seed-faithful accounting: the reference engine updates
+                // the dynamic-instruction BTreeMap and re-evaluates the
+                // fetch/decode power model per executed instruction, as
+                // the original event loop did — benchmarking against it
+                // therefore measures the real distance from the seed
+                // implementation. Results are identical either way: the
+                // u64 counts sum commutatively and the recomputed energy
+                // value equals the hoisted constant bit-for-bit.
+                SimEngine::Reference => {
+                    self.stats.count_instruction(instr.category());
+                    let fd = self.timing.fetch_decode_energy_nj();
+                    self.charge(agent, EnergyComponent::FetchDecode, fd, 1);
+                }
+                SimEngine::RunAhead => {
+                    self.instr_counts[instr.category().index()] += 1;
+                    self.charge(agent, EnergyComponent::FetchDecode, fd_energy, 1);
+                }
+            }
         }
         Ok(outcome)
     }
@@ -581,18 +986,37 @@ impl NodeSim {
                     });
                 }
                 let a = self.effective_addr(agent, addr)?;
-                let words = match self.tiles[t].memory.try_read(a, width as usize)? {
-                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
-                    MemOutcome::Done(words) => words,
+                // Timing mode consumes the attributes without materializing
+                // the payload (it is never inspected; receives write probe
+                // zeros at their own width).
+                let words = if self.mode == SimMode::Functional {
+                    match self.tiles[t].memory.try_read(a, width as usize)? {
+                        MemOutcome::Blocked(b) => {
+                            return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
+                        }
+                        MemOutcome::Done(words) => words,
+                    }
+                } else {
+                    match self.tiles[t].memory.try_consume(a, width as usize)? {
+                        MemOutcome::Blocked(b) => {
+                            return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
+                        }
+                        MemOutcome::Done(()) => Vec::new(),
+                    }
                 };
+                self.changes.push(TileChange::InvalidRange { start: a, len: width as u32 });
                 let occupancy = self.timing.receive_cycles(width as usize);
                 let transit = self.timing.send_cycles(width as usize, t, target as usize);
                 let energy = self.timing.send_energy_nj(width as usize, t, target as usize);
-                self.stats.energy.add(EnergyComponent::Network, energy, occupancy);
+                self.charge(agent, EnergyComponent::Network, energy, occupancy);
                 self.stats.network_words += width as u64;
+                let deliver_at = now + transit;
+                if deliver_at > self.max_cycles {
+                    return Err(self.cycle_cap_error());
+                }
                 let seq = self.next_seq();
                 queue.push(Reverse(Event {
-                    time: now + transit,
+                    time: deliver_at,
                     priority: 0,
                     seq,
                     kind: EventKind::Deliver {
@@ -608,7 +1032,7 @@ impl NodeSim {
                 // Check availability without consuming, so a blocked write
                 // does not lose the packet.
                 let front_len = match self.tiles[t].rbuf.front(fifo)? {
-                    None => return Ok(Step::Blocked),
+                    None => return Ok(Step::Blocked(WaitCond::FifoPacket(fifo))),
                     Some(p) => p.words.len(),
                 };
                 // A width mismatch means two senders sharing a virtualized
@@ -626,38 +1050,33 @@ impl NodeSim {
                         ),
                     });
                 }
-                // Probe destination writability.
-                let probe = vec![Fixed::ZERO; width as usize];
+                // Probe destination writability (dry-run: any valid word
+                // blocks the write on that word).
                 {
                     let mem = &mut self.tiles[t].memory;
-                    let writable = {
-                        // A dry-run check: any valid word blocks the write.
-                        let mut ok = true;
-                        for i in 0..width as u32 {
-                            if mem.is_valid(a + i)? {
-                                ok = false;
-                                break;
-                            }
+                    for i in 0..width as u32 {
+                        if mem.is_valid(a + i)? {
+                            return Ok(Step::Blocked(WaitCond::MemInvalid(a + i)));
                         }
-                        ok
-                    };
-                    if !writable {
-                        return Ok(Step::Blocked);
                     }
                     let packet = self.tiles[t].rbuf.pop(fifo)?.expect("front checked above");
-                    let payload =
-                        if self.mode == SimMode::Functional { packet.words } else { probe };
-                    match self.tiles[t].memory.try_write(a, &payload, count)? {
+                    let written = if self.mode == SimMode::Functional {
+                        self.tiles[t].memory.try_write(a, &packet.words, count)?
+                    } else {
+                        self.tiles[t].memory.try_write_zeros(a, width as usize, count)?
+                    };
+                    match written {
                         MemOutcome::Done(()) => {}
                         MemOutcome::Blocked(_) => unreachable!("writability probed above"),
                     }
                 }
+                self.changes.push(TileChange::ValidRange { start: a, len: width as u32 });
                 let cycles = self.timing.receive_cycles(width as usize);
                 let energy = self.timing.shared_memory_energy_nj(width as usize);
-                self.stats.energy.add(EnergyComponent::SharedMemory, energy, cycles);
-                // A FIFO slot freed up: admit the next backpressured packet.
+                self.charge(agent, EnergyComponent::SharedMemory, energy, cycles);
+                // A FIFO slot freed up: admit the next backpressured packet
+                // (drain_fifo also applies the wake-ups recorded above).
                 self.drain_fifo(t as u32, fifo, now, queue)?;
-                self.wake_tile(t, now, queue);
                 Ok(Step::Advance { next_pc: pc + 1, latency: cycles })
             }
             Instruction::Jump { pc: target } => Ok(Step::Advance { next_pc: target, latency: 1 }),
@@ -702,7 +1121,7 @@ impl NodeSim {
                 }
                 let latency = self.timing.mvm_latency();
                 let energy = self.timing.mvm_energy_nj() * mask.count() as f64;
-                self.stats.energy.add(EnergyComponent::Mvmu, energy, latency);
+                self.charge(agent, EnergyComponent::Mvmu, energy, latency);
                 self.stats.mvmu_activations += mask.count() as u64;
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
@@ -720,7 +1139,7 @@ impl NodeSim {
                 } else {
                     (self.timing.vfu_cycles(w), self.timing.vfu_energy_nj(w), EnergyComponent::Vfu)
                 };
-                self.stats.energy.add(component, energy, latency);
+                self.charge(agent, component, energy, latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
             Instruction::AluImm { op, dest, src1, imm, width } => {
@@ -739,12 +1158,17 @@ impl NodeSim {
                     self.tiles[t].cores[c].regs.write_vec(dest, &y)?;
                 }
                 let latency = self.timing.vfu_cycles(w);
-                self.stats.energy.add(EnergyComponent::Vfu, self.timing.vfu_energy_nj(w), latency);
+                self.charge(agent, EnergyComponent::Vfu, self.timing.vfu_energy_nj(w), latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
             Instruction::AluInt { op, dest, src1, src2 } => {
                 // Scalar integer ops always execute: loop counters and
                 // computed addresses must work in Timing mode too.
+                // Compare results (Eq/Gt/Ne) are raw-bit integer booleans —
+                // bit value 1, not Q4.12 1.0 — matching Branch and the rest
+                // of the scalar domain, which operate on raw register bits
+                // (the booleans-feed-branches contract; see puma-isa
+                // ScalarOp docs).
                 let regs = &mut self.tiles[t].cores[c].regs;
                 let a = regs.read(src1)?.to_bits();
                 let b = regs.read(src2)?.to_bits();
@@ -757,13 +1181,13 @@ impl NodeSim {
                 };
                 regs.write(dest, Fixed::from_bits(y))?;
                 let latency = self.timing.sfu_cycles();
-                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
             Instruction::Set { dest, imm } => {
                 self.tiles[t].cores[c].regs.write(dest, Fixed::from_bits(imm))?;
                 let latency = self.timing.sfu_cycles();
-                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
             Instruction::Copy { dest, src, width } => {
@@ -773,7 +1197,8 @@ impl NodeSim {
                     self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
                 }
                 let latency = self.timing.copy_cycles(w);
-                self.stats.energy.add(
+                self.charge(
+                    agent,
                     EnergyComponent::RegisterFile,
                     self.timing.copy_energy_nj(w),
                     latency,
@@ -783,15 +1208,26 @@ impl NodeSim {
             Instruction::Load { dest, addr, width } => {
                 let a = self.effective_addr(agent, addr)?;
                 let w = width as usize;
-                let values = match self.tiles[t].memory.try_read(a, w)? {
-                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
-                    MemOutcome::Done(v) => v,
-                };
                 if functional {
+                    let values = match self.tiles[t].memory.try_read(a, w)? {
+                        MemOutcome::Blocked(b) => {
+                            return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
+                        }
+                        MemOutcome::Done(v) => v,
+                    };
                     self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
+                } else {
+                    match self.tiles[t].memory.try_consume(a, w)? {
+                        MemOutcome::Blocked(b) => {
+                            return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
+                        }
+                        MemOutcome::Done(()) => {}
+                    }
                 }
+                self.changes.push(TileChange::InvalidRange { start: a, len: w as u32 });
                 let latency = self.timing.shared_memory_cycles(w);
-                self.stats.energy.add(
+                self.charge(
+                    agent,
                     EnergyComponent::SharedMemory,
                     self.timing.shared_memory_energy_nj(w),
                     latency,
@@ -802,17 +1238,20 @@ impl NodeSim {
             Instruction::Store { addr, src, count, width } => {
                 let a = self.effective_addr(agent, addr)?;
                 let w = width as usize;
-                let values = if functional {
-                    self.tiles[t].cores[c].regs.read_vec(src, w)?
+                let written = if functional {
+                    let values = self.tiles[t].cores[c].regs.read_vec(src, w)?;
+                    self.tiles[t].memory.try_write(a, &values, count)?
                 } else {
-                    vec![Fixed::ZERO; w]
+                    self.tiles[t].memory.try_write_zeros(a, w, count)?
                 };
-                match self.tiles[t].memory.try_write(a, &values, count)? {
-                    MemOutcome::Blocked(_) => return Ok(Step::Blocked),
+                match written {
+                    MemOutcome::Blocked(b) => return Ok(Step::Blocked(WaitCond::for_mem_block(b))),
                     MemOutcome::Done(()) => {}
                 }
+                self.changes.push(TileChange::ValidRange { start: a, len: w as u32 });
                 let latency = self.timing.shared_memory_cycles(w);
-                self.stats.energy.add(
+                self.charge(
+                    agent,
                     EnergyComponent::SharedMemory,
                     self.timing.shared_memory_energy_nj(w),
                     latency,
@@ -827,7 +1266,7 @@ impl NodeSim {
                 let b = regs.read(src2)?.to_bits();
                 let next = if cond.eval(a, b) { target } else { pc + 1 };
                 let latency = self.timing.sfu_cycles();
-                self.stats.energy.add(EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
+                self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
                 Ok(Step::Advance { next_pc: next, latency })
             }
             Instruction::Halt => Ok(Step::Halted),
@@ -879,7 +1318,10 @@ impl NodeSim {
                 a.iter()
                     .map(|v| {
                         Fixed::from_bits(if op == AluOp::Shl {
-                            v.to_bits().wrapping_shl(k)
+                            // Saturating arithmetic left shift: like the rest
+                            // of the datapath, overflow clamps at the Q4.12
+                            // range instead of silently flipping sign.
+                            puma_core::fixed::clamp_i32((v.to_bits() as i32) << k)
                         } else {
                             v.to_bits() >> k
                         })
@@ -1232,6 +1674,27 @@ halt
     }
 
     #[test]
+    fn reset_reseeds_the_rand_stream() {
+        let cfg = tiny_config(1);
+        let source = "rand r0 r0 4\nstore @0 r0 1 4\nhalt\n";
+        let mut img = image_with_core_program(&cfg, source);
+        img.outputs.push(IoBinding {
+            name: "r".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 4,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        let first = sim.read_output_fixed("r").unwrap();
+        sim.reset();
+        sim.run().unwrap();
+        assert_eq!(first, sim.read_output_fixed("r").unwrap(), "rand must replay after reset");
+    }
+
+    #[test]
     fn unknown_bindings_are_errors() {
         let cfg = tiny_config(1);
         let img = image_with_core_program(&cfg, "halt\n");
@@ -1246,6 +1709,215 @@ halt
         let cfg = tiny_config(1);
         let img = MachineImage::new(2, 2, 2);
         assert!(NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).is_err());
+    }
+
+    /// Runs one image under both engines and returns the two stats.
+    fn run_both_engines(
+        cfg: &NodeConfig,
+        img: &MachineImage,
+        mode: SimMode,
+    ) -> (RunStats, RunStats) {
+        let run = |engine: SimEngine| {
+            let mut sim = NodeSim::new(*cfg, img, mode, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            sim.run().unwrap();
+            sim.stats().clone()
+        };
+        (run(SimEngine::Reference), run(SimEngine::RunAhead))
+    }
+
+    #[test]
+    fn indexed_addressing_uses_raw_integer_offset() {
+        let cfg = tiny_config(1);
+        // r1 = raw integer 2: store lands at word 4 + 2 = 6, NOT 4 + 8192.
+        let source = "\
+set r1 2
+set r0 9
+store @4+r1 r0 1 1
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.outputs.push(IoBinding {
+            name: "w".into(),
+            tile: TileId::new(0),
+            addr: 6,
+            width: 1,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.read_output_fixed("w").unwrap()[0].to_bits(), 9);
+    }
+
+    #[test]
+    fn negative_index_is_an_execution_fault() {
+        let cfg = tiny_config(1);
+        let img = image_with_core_program(&cfg, "set r1 -1\nload r0 @4+r1 1\nhalt\n");
+        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            match sim.run() {
+                Err(PumaError::Execution { what }) => {
+                    assert!(what.contains("negative index"), "{what}");
+                }
+                other => panic!("expected negative-index fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_address_overflow_is_checked() {
+        let cfg = tiny_config(1);
+        let mut img = MachineImage::new(1, cfg.tile.cores_per_tile, cfg.tile.core.mvmus_per_core);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program = Program::from_instructions(vec![
+            Instruction::Set { dest: RegRef::general(1), imm: 2 },
+            Instruction::Load {
+                dest: RegRef::general(0),
+                addr: MemAddr::indexed(u32::MAX - 1, RegRef::general(1)),
+                width: 1,
+            },
+            Instruction::Halt,
+        ]);
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        match sim.run() {
+            Err(PumaError::Execution { what }) => assert!(what.contains("overflows"), "{what}"),
+            other => panic!("expected overflow fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_compare_writes_raw_bit_one() {
+        let cfg = tiny_config(1);
+        // ieq true -> raw 1 (not Q4.12 1.0 = 4096); igt false -> raw 0.
+        let source = "\
+set r0 7
+set r1 7
+ieq r2 r0 r1
+igt r3 r0 r1
+store @0 r2 1 1
+store @1 r3 1 1
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.outputs.push(IoBinding {
+            name: "flags".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 2,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        let flags = sim.read_output_fixed("flags").unwrap();
+        assert_eq!(flags[0].to_bits(), 1, "true must be raw bit-value 1");
+        assert_eq!(flags[1].to_bits(), 0, "false must be raw bit-value 0");
+    }
+
+    #[test]
+    fn shl_saturates_instead_of_wrapping() {
+        let cfg = tiny_config(1);
+        // 12288 << 2 = 49152 wraps to a negative i16; it must clamp to
+        // i16::MAX instead. Mirrored for the negative operand.
+        let source = "\
+set r0 12288
+set r1 2
+set r2 -12288
+shl r4 r0 r1 1
+shl r5 r2 r1 1
+store @0 r4 1 1
+store @1 r5 1 1
+halt
+";
+        let mut img = image_with_core_program(&cfg, source);
+        img.outputs.push(IoBinding {
+            name: "y".into(),
+            tile: TileId::new(0),
+            addr: 0,
+            width: 2,
+            count: 1,
+        });
+        let mut sim =
+            NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+        sim.run().unwrap();
+        let y = sim.read_output_fixed("y").unwrap();
+        assert_eq!(y[0].to_bits(), i16::MAX);
+        assert_eq!(y[1].to_bits(), i16::MIN);
+    }
+
+    #[test]
+    fn runaway_loop_hits_cycle_cap_on_both_engines() {
+        let cfg = tiny_config(1);
+        // The halt is unreachable; it only satisfies image validation.
+        let img = image_with_core_program(&cfg, "jmp 0\nhalt\n");
+        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            sim.set_max_cycles(10_000);
+            match sim.run() {
+                Err(PumaError::Execution { what }) => {
+                    assert!(what.contains("cycle cap"), "{what}");
+                }
+                other => panic!("{engine:?}: expected cycle-cap fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn long_latency_instruction_cannot_sail_past_cap() {
+        let cfg = tiny_config(1);
+        // One MVM (latency ~thousands of cycles) against a tiny cap: the
+        // completion event lands past the cap and must fail at schedule
+        // time on both engines.
+        let img = image_with_core_program(&cfg, "mvm 1 0 0\nhalt\n");
+        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            sim.set_max_cycles(100);
+            match sim.run() {
+                Err(PumaError::Execution { what }) => {
+                    assert!(what.contains("cycle cap"), "{what}");
+                }
+                other => panic!("{engine:?}: expected cycle-cap fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_producer_consumer() {
+        let cfg = tiny_config(1);
+        let mut img = MachineImage::new(1, 2, 2);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("load r0 @0 4\nstore @16 r0 1 4\nhalt\n").unwrap());
+        img.core_mut(TileId::new(0), CoreId::new(1)).program = Program::from_instructions(
+            assemble("set r0 7\nset r1 7\niadd r2 r0 r1\nset r4 5\nstore @0 r4 1 4\nhalt\n")
+                .unwrap(),
+        );
+        let (reference, run_ahead) = run_both_engines(&cfg, &img, SimMode::Functional);
+        assert_eq!(reference, run_ahead);
+        assert!(reference.blocked_cycles > 0);
+    }
+
+    #[test]
+    fn engines_agree_on_cross_tile_traffic() {
+        let cfg = tiny_config(2);
+        let mut img = MachineImage::new(2, 2, 2);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program =
+            Program::from_instructions(assemble("set r0 9\nstore @0 r0 1 4\nhalt\n").unwrap());
+        img.tiles[0].program =
+            Program::from_instructions(assemble("send @0 f3 t1 4\nhalt\n").unwrap());
+        img.tiles[1].program =
+            Program::from_instructions(assemble("recv @8 f3 1 4\nhalt\n").unwrap());
+        img.core_mut(TileId::new(1), CoreId::new(0)).program =
+            Program::from_instructions(assemble("load r0 @8 4\nstore @32 r0 1 4\nhalt\n").unwrap());
+        let (reference, run_ahead) = run_both_engines(&cfg, &img, SimMode::Functional);
+        assert_eq!(reference, run_ahead);
+        assert_eq!(reference.network_words, 4);
     }
 
     #[test]

@@ -112,6 +112,33 @@ impl SharedMemory {
         Ok(MemOutcome::Done(out))
     }
 
+    /// [`SharedMemory::try_read`] without materializing the data: the
+    /// attribute buffer is updated identically (counts decremented, words
+    /// invalidated at zero), but no vector is allocated. The timing-mode
+    /// simulator uses this for loads/sends whose payload is never
+    /// inspected — synchronization behaviour is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn try_consume(&mut self, addr: u32, width: usize) -> Result<MemOutcome<()>> {
+        self.check_range(addr, width)?;
+        let start = addr as usize;
+        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
+            if !attr.valid {
+                return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
+            }
+        }
+        for attr in &mut self.attrs[start..start + width] {
+            attr.count = attr.count.saturating_sub(1);
+            if attr.count == 0 {
+                attr.valid = false;
+            }
+        }
+        self.generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
     /// Attempts a blocking write of `values` with consumer count `count`
     /// (Fig. 6 write). All destination words must be invalid.
     ///
@@ -134,6 +161,41 @@ impl SharedMemory {
         }
         self.data[start..start + values.len()].copy_from_slice(values);
         for attr in &mut self.attrs[start..start + values.len()] {
+            *attr = Attr { valid: true, count };
+        }
+        self.generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
+    /// [`SharedMemory::try_write`] of an all-zero payload, without the
+    /// caller allocating one — the timing-mode path for stores and
+    /// receives, whose payloads are not computed. Attribute behaviour and
+    /// the written data (zeros) are identical to passing a zero slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or
+    /// `count` is zero.
+    pub fn try_write_zeros(
+        &mut self,
+        addr: u32,
+        width: usize,
+        count: u16,
+    ) -> Result<MemOutcome<()>> {
+        self.check_range(addr, width)?;
+        if count == 0 {
+            return Err(PumaError::Execution {
+                what: format!("write at {addr} with zero consumer count"),
+            });
+        }
+        let start = addr as usize;
+        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
+            if attr.valid {
+                return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
+            }
+        }
+        self.data[start..start + width].fill(Fixed::ZERO);
+        for attr in &mut self.attrs[start..start + width] {
             *attr = Attr { valid: true, count };
         }
         self.generation += 1;

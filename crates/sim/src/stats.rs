@@ -41,6 +41,21 @@ impl EnergyComponent {
         EnergyComponent::OffChip,
     ];
 
+    /// Position of this component in [`EnergyComponent::ALL`] (dense index
+    /// for flat-array accumulators on the simulator's hot path).
+    pub const fn index(self) -> usize {
+        match self {
+            EnergyComponent::Mvmu => 0,
+            EnergyComponent::Vfu => 1,
+            EnergyComponent::Sfu => 2,
+            EnergyComponent::RegisterFile => 3,
+            EnergyComponent::FetchDecode => 4,
+            EnergyComponent::SharedMemory => 5,
+            EnergyComponent::Network => 6,
+            EnergyComponent::OffChip => 7,
+        }
+    }
+
     /// Human-readable name.
     pub const fn label(self) -> &'static str {
         match self {
@@ -151,6 +166,22 @@ impl RunStats {
     pub fn count_instruction(&mut self, category: InstructionCategory) {
         *self.dynamic_instructions.entry(category).or_insert(0) += 1;
     }
+
+    /// Merges another run's statistics into this one: counters and energy
+    /// sum, and `cycles` accumulates as *serial-equivalent* simulated
+    /// cycles (the latency the merged runs would take back-to-back on one
+    /// node). Used to aggregate per-request statistics over a batch.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        for (&category, &n) in &other.dynamic_instructions {
+            *self.dynamic_instructions.entry(category).or_insert(0) += n;
+        }
+        self.energy.merge(&other.energy);
+        self.mvmu_activations += other.mvmu_activations;
+        self.shared_memory_words += other.shared_memory_words;
+        self.network_words += other.network_words;
+        self.blocked_cycles += other.blocked_cycles;
+    }
 }
 
 impl fmt::Display for RunStats {
@@ -171,6 +202,15 @@ impl fmt::Display for RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn component_index_matches_all_order() {
+        // `index()` is hand-written; the flat accumulators in the
+        // simulator rely on it agreeing with `ALL`'s order.
+        for (i, c) in EnergyComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+    }
 
     #[test]
     fn energy_accumulates_and_totals() {

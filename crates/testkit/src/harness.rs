@@ -8,7 +8,7 @@ use puma_compiler::graph::Model;
 use puma_compiler::{compile, fit_config, CompilerOptions};
 use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
 use puma_core::error::{PumaError, Result};
-use puma_sim::{NodeSim, SimMode};
+use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 use std::collections::HashMap;
 
@@ -46,10 +46,31 @@ pub fn run_functional_with_options(
     options: &CompilerOptions,
     inputs: &[(String, Vec<f32>)],
 ) -> Result<HashMap<String, Vec<f32>>> {
+    run_with_engine(model, cfg, options, inputs, SimMode::Functional, SimEngine::default())
+        .map(|(outputs, _)| outputs)
+}
+
+/// Compiles `model` and runs one inference on a chosen [`SimMode`] and
+/// [`SimEngine`], returning the outputs **and** the run statistics — the
+/// entry point of the engine-differential suites, which pin `RunStats`
+/// equality between [`SimEngine::Reference`] and [`SimEngine::RunAhead`].
+///
+/// # Errors
+///
+/// Propagates compile and simulator faults; reports missing or misshaped
+/// inputs as [`PumaError::Execution`]/[`PumaError::ShapeMismatch`].
+pub fn run_with_engine(
+    model: &Model,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+    inputs: &[(String, Vec<f32>)],
+    mode: SimMode,
+    engine: SimEngine,
+) -> Result<(HashMap<String, Vec<f32>>, RunStats)> {
     let compiled = compile(model, cfg, options)?;
     let cfg = fit_config(cfg, &compiled);
-    let mut sim =
-        NodeSim::new(cfg, &compiled.image, SimMode::Functional, &NoiseModel::noiseless())?;
+    let mut sim = NodeSim::new(cfg, &compiled.image, mode, &NoiseModel::noiseless())?;
+    sim.set_engine(engine);
     for (binding, values) in &compiled.const_data {
         sim.write_input(&binding.name, values)?;
     }
@@ -76,7 +97,7 @@ pub fn run_functional_with_options(
         }
         out.insert(io.name.clone(), data);
     }
-    Ok(out)
+    Ok((out, sim.stats().clone()))
 }
 
 /// [`run_functional_with_options`] with default compiler options.

@@ -1,12 +1,62 @@
 //! Host-side glue: compile a model graph, load it into the simulator,
 //! write inputs, run, and read back outputs by logical name.
+//!
+//! Two entry points:
+//!
+//! - [`ModelRunner`] — one simulator instance, one inference at a time;
+//! - [`BatchRunner`] — a batch of independent requests fanned across
+//!   worker threads (Fig. 11's batching scenario, measured on PUMAsim
+//!   rather than estimated analytically). Each worker owns its own
+//!   [`NodeSim`] bound to the same compiled image and steals requests
+//!   from a shared queue; outputs and aggregate statistics are
+//!   deterministic for any thread count.
 
 use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
-use puma_sim::{NodeSim, RunStats, SimMode};
+use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Writes one request's inputs (constants + named inputs, chunked per the
+/// compiler's layout), runs the simulator to completion, and reads back
+/// every logical output.
+fn run_request<S: AsRef<str>>(
+    sim: &mut NodeSim,
+    compiled: &CompiledModel,
+    inputs: &[(S, Vec<f32>)],
+) -> Result<HashMap<String, Vec<f32>>> {
+    for (binding, values) in &compiled.const_data {
+        sim.write_input(&binding.name, values)?;
+    }
+    for io in &compiled.inputs {
+        let (_, data) = inputs
+            .iter()
+            .find(|(n, _)| n.as_ref() == io.name)
+            .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
+        if data.len() != io.width {
+            return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
+        }
+        let mut offset = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            sim.write_input(chunk, &data[offset..offset + w])?;
+            offset += w;
+        }
+    }
+    sim.run()?;
+    let mut out = HashMap::new();
+    for io in &compiled.outputs {
+        let mut data = Vec::with_capacity(io.width);
+        for chunk in &io.chunks {
+            data.extend(sim.read_output(chunk)?);
+        }
+        out.insert(io.name.clone(), data);
+    }
+    Ok(out)
+}
 
 /// A compiled model bound to a simulator instance.
 #[derive(Debug)]
@@ -69,36 +119,276 @@ impl ModelRunner {
             self.sim.reset();
         }
         self.ran = true;
-        for (binding, values) in &self.compiled.const_data {
-            self.sim.write_input(&binding.name, values)?;
-        }
-        for io in &self.compiled.inputs {
-            let (_, data) = inputs.iter().find(|(n, _)| *n == io.name).ok_or_else(|| {
-                PumaError::Execution { what: format!("missing input {:?}", io.name) }
-            })?;
-            if data.len() != io.width {
-                return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
-            }
-            let mut offset = 0;
-            for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
-                self.sim.write_input(chunk, &data[offset..offset + w])?;
-                offset += w;
-            }
-        }
-        self.sim.run()?;
-        let mut out = HashMap::new();
-        for io in &self.compiled.outputs {
-            let mut data = Vec::with_capacity(io.width);
-            for chunk in &io.chunks {
-                data.extend(self.sim.read_output(chunk)?);
-            }
-            out.insert(io.name.clone(), data);
-        }
-        Ok(out)
+        run_request(&mut self.sim, &self.compiled, inputs)
     }
 
     /// Statistics of the last run.
     pub fn stats(&self) -> &RunStats {
         self.sim.stats()
+    }
+}
+
+/// One inference request for [`BatchRunner::run_batch`]: named input
+/// vectors using the model's logical input names.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRequest {
+    /// Named input vectors, one entry per model input.
+    pub inputs: Vec<(String, Vec<f32>)>,
+}
+
+impl BatchRequest {
+    /// Convenience constructor from `(name, values)` pairs.
+    pub fn new(inputs: Vec<(String, Vec<f32>)>) -> Self {
+        BatchRequest { inputs }
+    }
+}
+
+/// Outcome of one request inside a batch.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// Model outputs by logical name.
+    pub outputs: HashMap<String, Vec<f32>>,
+    /// Simulator statistics for this request alone.
+    pub stats: RunStats,
+}
+
+/// Results of a [`BatchRunner::run_batch`] call.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request results, in request order (independent of which worker
+    /// served each request).
+    pub results: Vec<Result<RequestResult>>,
+    /// Aggregate statistics over the successful requests, merged in
+    /// request order — deterministic for any thread count. `cycles` is
+    /// serial-equivalent simulated latency (see [`RunStats::merge`]).
+    pub stats: RunStats,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Host wall-clock time spent simulating the batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchOutcome {
+    /// Number of requests that completed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Host-side throughput: completed requests per wall-clock second.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.ok_count() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulation speed: simulated instructions per wall-clock second.
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.stats.total_instructions() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Batched inference over worker threads.
+///
+/// The runner compiles the model once; [`BatchRunner::run_batch`] then
+/// fans the requests over `threads` scoped workers. Each worker builds
+/// one private [`NodeSim`] (crossbar weights are programmed once and
+/// persist across the requests it serves) and work-steals request
+/// indices from a shared atomic cursor, so stragglers never idle the
+/// other workers.
+///
+/// # Examples
+///
+/// ```
+/// use puma::compiler::graph::Model;
+/// use puma::runtime::{BatchRequest, BatchRunner};
+/// use puma_core::config::NodeConfig;
+/// use puma_core::tensor::Matrix;
+///
+/// # fn main() -> puma_core::Result<()> {
+/// let mut m = Model::new("batched");
+/// let x = m.input("x", 16);
+/// let a = m.constant_matrix("A", Matrix::from_fn(16, 16, |r, c| ((r + c) % 3) as f32 * 0.1));
+/// let ax = m.mvm(a, x)?;
+/// let y = m.tanh(ax);
+/// m.output("y", y);
+///
+/// let runner = BatchRunner::functional(&m, &NodeConfig::default())?.with_threads(2);
+/// let requests: Vec<BatchRequest> = (0..8)
+///     .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.05 * i as f32; 16])]))
+///     .collect();
+/// let outcome = runner.run_batch(&requests)?;
+/// assert_eq!(outcome.ok_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    compiled: CompiledModel,
+    cfg: NodeConfig,
+    mode: SimMode,
+    noise: NoiseModel,
+    engine: SimEngine,
+    threads: usize,
+    /// Idle simulators, checked out by workers for the duration of a
+    /// `run_batch` call and returned afterwards — construction (and
+    /// functional-mode crossbar programming) is paid once per worker
+    /// across the runner's lifetime, not once per batch.
+    pool: Mutex<Vec<NodeSim>>,
+}
+
+impl BatchRunner {
+    /// Compiles a model for bit-accurate batched functional simulation
+    /// with noiseless crossbars, defaulting to all available cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and validation failures.
+    pub fn functional(model: &puma_compiler::graph::Model, cfg: &NodeConfig) -> Result<Self> {
+        Self::new(
+            model,
+            cfg,
+            &CompilerOptions::default(),
+            SimMode::Functional,
+            &NoiseModel::noiseless(),
+        )
+    }
+
+    /// Full-control constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures; simulator construction is also
+    /// validated once up front so per-worker construction cannot fail.
+    pub fn new(
+        model: &puma_compiler::graph::Model,
+        cfg: &NodeConfig,
+        options: &CompilerOptions,
+        mode: SimMode,
+        noise: &NoiseModel,
+    ) -> Result<Self> {
+        let compiled = compile(model, cfg, options)?;
+        let cfg = fit_config(cfg, &compiled);
+        // Validate the exact construction workers will perform (functional
+        // mode also programs the crossbars), so per-worker builds cannot
+        // fail; the validated instance seeds the worker pool.
+        let first = NodeSim::new(cfg, &compiled.image, mode, noise)?;
+        Ok(BatchRunner {
+            compiled,
+            cfg,
+            mode,
+            noise: noise.clone(),
+            engine: SimEngine::default(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            pool: Mutex::new(vec![first]),
+        })
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the simulator execution engine (default run-ahead).
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        for sim in self.pool.get_mut().expect("sim pool poisoned") {
+            sim.set_engine(engine);
+        }
+        self
+    }
+
+    /// The compiled artifact shared by all workers.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn build_sim(&self) -> Result<NodeSim> {
+        let mut sim = NodeSim::new(self.cfg, &self.compiled.image, self.mode, &self.noise)?;
+        sim.set_engine(self.engine);
+        Ok(sim)
+    }
+
+    fn serve_one(&self, sim: &mut NodeSim, request: &BatchRequest) -> Result<RequestResult> {
+        sim.reset();
+        let outputs = run_request(sim, &self.compiled, &request.inputs)?;
+        Ok(RequestResult { outputs, stats: sim.stats().clone() })
+    }
+
+    /// Serves a batch of requests across the worker pool and returns
+    /// per-request outputs plus aggregate statistics.
+    ///
+    /// Individual request faults (bad inputs, deadlock) are reported in
+    /// [`BatchOutcome::results`] without failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible beyond the per-request results; the `Result`
+    /// wrapper reserves room for pool-level failures.
+    pub fn run_batch(&self, requests: &[BatchRequest]) -> Result<BatchOutcome> {
+        let started = Instant::now();
+        let workers = self.threads.min(requests.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RequestResult>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Check a simulator out of the pool (building one on
+                    // first use) and return it when the batch drains.
+                    let mut sim: Option<NodeSim> =
+                        self.pool.lock().expect("sim pool poisoned").pop();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        let result = match &mut sim {
+                            Some(s) => self.serve_one(s, &requests[i]),
+                            None => self.build_sim().and_then(|mut s| {
+                                let r = self.serve_one(&mut s, &requests[i]);
+                                sim = Some(s);
+                                r
+                            }),
+                        };
+                        *slots[i].lock().expect("batch slot poisoned") = Some(result);
+                    }
+                    if let Some(s) = sim {
+                        self.pool.lock().expect("sim pool poisoned").push(s);
+                    }
+                });
+            }
+        });
+        let results: Vec<Result<RequestResult>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("every request index is claimed exactly once")
+            })
+            .collect();
+        let mut stats = RunStats::new();
+        for result in results.iter().flatten() {
+            stats.merge(&result.stats);
+        }
+        Ok(BatchOutcome {
+            results,
+            stats,
+            threads: workers,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        })
     }
 }

@@ -1,0 +1,107 @@
+//! BatchRunner differential: serving a batch across N worker threads must
+//! be indistinguishable — outputs and aggregate statistics — from serving
+//! it on one thread, and from running each request sequentially through
+//! `ModelRunner`.
+
+use puma::compiler::graph::Model;
+use puma::runtime::{BatchRequest, BatchRunner, ModelRunner};
+use puma_core::config::NodeConfig;
+use puma_testkit::harness::seeded_values;
+
+/// A 2-layer MLP small enough to simulate functionally in milliseconds.
+fn test_model() -> (Model, usize) {
+    let mut m = Model::new("batch-mlp");
+    let width = 24;
+    let mut weights = puma::nn::WeightFactory::materialized(41);
+    let x = m.input("x", width);
+    let h = puma::nn::layers::dense(
+        &mut m,
+        &mut weights,
+        "fc0",
+        x,
+        32,
+        puma::nn::spec::Activation::Tanh,
+    )
+    .unwrap();
+    let y = puma::nn::layers::dense(
+        &mut m,
+        &mut weights,
+        "fc1",
+        h,
+        10,
+        puma::nn::spec::Activation::None,
+    )
+    .unwrap();
+    m.output("y", y);
+    (m, width)
+}
+
+fn requests(width: usize, n: usize) -> Vec<BatchRequest> {
+    (0..n)
+        .map(|i| BatchRequest::new(vec![("x".to_string(), seeded_values(width, 100 + i as u64))]))
+        .collect()
+}
+
+#[test]
+fn batch_is_deterministic_across_thread_counts() {
+    let (model, width) = test_model();
+    let cfg = NodeConfig::default();
+    let reqs = requests(width, 10);
+
+    let serial = BatchRunner::functional(&model, &cfg).unwrap().with_threads(1);
+    let parallel = BatchRunner::functional(&model, &cfg).unwrap().with_threads(4);
+    let a = serial.run_batch(&reqs).unwrap();
+    let b = parallel.run_batch(&reqs).unwrap();
+
+    assert_eq!(a.threads, 1);
+    assert_eq!(b.threads, 4);
+    assert_eq!(a.ok_count(), reqs.len());
+    assert_eq!(b.ok_count(), reqs.len());
+    assert_eq!(a.stats, b.stats, "aggregate stats must not depend on thread count");
+    for (ra, rb) in a.results.iter().zip(b.results.iter()) {
+        let (ra, rb) = (ra.as_ref().unwrap(), rb.as_ref().unwrap());
+        assert_eq!(ra.outputs, rb.outputs, "outputs must not depend on thread count");
+        assert_eq!(ra.stats, rb.stats, "per-request stats must not depend on thread count");
+    }
+}
+
+#[test]
+fn batch_matches_sequential_model_runner() {
+    let (model, width) = test_model();
+    let cfg = NodeConfig::default();
+    let reqs = requests(width, 4);
+
+    let batch =
+        BatchRunner::functional(&model, &cfg).unwrap().with_threads(2).run_batch(&reqs).unwrap();
+    let mut runner = ModelRunner::functional(&model, &cfg).unwrap();
+    for (req, result) in reqs.iter().zip(batch.results.iter()) {
+        let inputs: Vec<(&str, Vec<f32>)> =
+            req.inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let sequential = runner.run(&inputs).unwrap();
+        let result = result.as_ref().unwrap();
+        assert_eq!(result.outputs, sequential);
+        assert_eq!(&result.stats, runner.stats());
+    }
+    // The aggregate is the request-order merge of the per-request stats.
+    assert_eq!(
+        batch.stats.total_instructions(),
+        batch.results.iter().map(|r| r.as_ref().unwrap().stats.total_instructions()).sum::<u64>()
+    );
+    assert!(batch.stats.cycles > 0);
+    assert!(batch.instructions_per_second() > 0.0);
+}
+
+#[test]
+fn bad_request_fails_alone_without_sinking_the_batch() {
+    let (model, width) = test_model();
+    let cfg = NodeConfig::default();
+    let mut reqs = requests(width, 3);
+    reqs[1] = BatchRequest::new(vec![("nope".to_string(), vec![0.0; width])]);
+
+    let outcome =
+        BatchRunner::functional(&model, &cfg).unwrap().with_threads(2).run_batch(&reqs).unwrap();
+    assert_eq!(outcome.ok_count(), 2);
+    assert!(outcome.results[0].is_ok());
+    assert!(outcome.results[1].is_err());
+    assert!(outcome.results[2].is_ok());
+}
