@@ -17,8 +17,10 @@
 //! `--quick` shrinks iteration counts and batch sizes for CI.
 
 use puma::runtime::{BatchRequest, BatchRunner};
-use puma_bench::{compile_workload, fmt_ratio, print_table, sim_seq_len, TimingSession};
-use puma_compiler::CompilerOptions;
+use puma_bench::{
+    compile_workload, fmt_ratio, print_table, sim_seq_len, ClusterTimingSession, TimingSession,
+};
+use puma_compiler::{CompilerOptions, Partitioning};
 use puma_core::config::NodeConfig;
 use puma_nn::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
 use puma_nn::zoo;
@@ -56,6 +58,15 @@ struct BatchRow {
     instructions: u64,
     wall_seconds: f64,
     requests_per_sec: f64,
+}
+
+struct ShardedRow {
+    workload: String,
+    nodes: usize,
+    instructions: u64,
+    cycles: u64,
+    internode_words: u64,
+    best_seconds: f64,
 }
 
 impl BatchRow {
@@ -151,6 +162,44 @@ fn bench_cnn_workload(cfg: &NodeConfig, runs: usize) -> Vec<EngineRow> {
         .collect()
 }
 
+/// Sharded scaling: the same LSTM workload compiled across 1/2/4 nodes
+/// and executed on `ClusterSim`, tracking how much of the critical path
+/// the chip-to-chip interconnect adds (simulated cycles are deterministic;
+/// wall time tracks the co-simulation overhead).
+fn bench_sharded(
+    name: &str,
+    cfg: &NodeConfig,
+    node_counts: &[usize],
+    runs: usize,
+) -> Vec<ShardedRow> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let options = CompilerOptions {
+                partitioning: Partitioning::Sharded { nodes },
+                ..CompilerOptions::timing_only()
+            };
+            let compiled = compile_workload(name, cfg, &options, sim_seq_len(name))
+                .expect("workload compiles")
+                .expect("workload is graph-compilable");
+            let mut session = ClusterTimingSession::new(&compiled, cfg, SimEngine::default())
+                .expect("cluster session builds");
+            let best = best_of(runs, || {
+                session.run().expect("timed run");
+            });
+            let stats = session.run().expect("stats run").clone();
+            ShardedRow {
+                workload: name.to_string(),
+                nodes,
+                instructions: stats.total_instructions(),
+                cycles: stats.cycles,
+                internode_words: stats.internode_words,
+                best_seconds: best,
+            }
+        })
+        .collect()
+}
+
 /// `BatchRunner` scaling on a graph workload across thread counts.
 fn bench_batch(name: &str, cfg: &NodeConfig, batch: usize, threads: &[usize]) -> Vec<BatchRow> {
     let spec = zoo::spec(name);
@@ -206,6 +255,7 @@ fn write_json(
     quick: bool,
     engine_rows: &[EngineRow],
     batch_rows: &[BatchRow],
+    sharded_rows: &[ShardedRow],
     speedup_min: f64,
     speedup_peak: f64,
 ) {
@@ -243,16 +293,34 @@ fn write_json(
             )
         })
         .collect();
+    let sharded: Vec<String> = sharded_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"nodes\": {}, \"instructions_per_run\": {}, \
+                 \"simulated_cycles\": {}, \"internode_words\": {}, \
+                 \"best_seconds_per_run\": {:.6}}}",
+                json_escape(&r.workload),
+                r.nodes,
+                r.instructions,
+                r.cycles,
+                r.internode_words,
+                r.best_seconds,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {},\n  \
          \"run_ahead_speedup_vs_reference_peak\": {:.3},\n  \
          \"run_ahead_speedup_vs_reference_min\": {:.3},\n  \
-         \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ]\n}}\n",
+         \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
+         \"sharded\": [\n{}\n  ]\n}}\n",
         quick,
         speedup_peak,
         speedup_min,
         singles.join(",\n"),
         batches.join(",\n"),
+        sharded.join(",\n"),
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
@@ -333,7 +401,28 @@ fn main() {
         &table,
     );
 
-    write_json(&out, quick, &engine_rows, &batch_rows, speedup_min, speedup_peak);
+    // Sharded scaling: one LSTM model split across 1/2/4 simulated nodes.
+    let sharded_workload = "NMTL3";
+    let sharded_rows = bench_sharded(sharded_workload, &cfg, &[1, 2, 4], runs.min(3));
+    let mut table = Vec::new();
+    for r in &sharded_rows {
+        let base_cycles = sharded_rows[0].cycles as f64;
+        table.push(vec![
+            r.workload.clone(),
+            r.nodes.to_string(),
+            r.cycles.to_string(),
+            fmt_ratio(r.cycles as f64 / base_cycles),
+            r.internode_words.to_string(),
+            format!("{:.4}", r.best_seconds),
+        ]);
+    }
+    print_table(
+        "Sharded-LSTM scaling (ClusterSim, timing mode)",
+        &["Workload", "Nodes", "Sim cycles", "vs 1 node", "Internode words", "Best s/run"],
+        &table,
+    );
+
+    write_json(&out, quick, &engine_rows, &batch_rows, &sharded_rows, speedup_min, speedup_peak);
     println!(
         "\n  Run-ahead vs reference event loop: {} (loop-heavy CNN) to {} (LSTM send/recv-bound).",
         fmt_ratio(speedup_peak),

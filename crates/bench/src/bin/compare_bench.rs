@@ -1,0 +1,266 @@
+//! CI perf-regression gate: compares a fresh `BENCH_sim_throughput.json`
+//! against the committed `BENCH_baseline.json` and exits nonzero (with a
+//! readable delta table) if quick-mode throughput regressed beyond the
+//! tolerance.
+//!
+//! Two classes of metric:
+//!
+//! - **Deterministic** (gated by default): instructions per run, simulated
+//!   cycles, and inter-node words are properties of the compiler +
+//!   simulator, identical on any host.
+//! - **Wall-clock** (informational unless `--wall`): absolute instr/s and
+//!   the run-ahead/reference speedup ratio vary with host speed and load,
+//!   so they are printed for trend-watching but only enforced when
+//!   explicitly requested (e.g. on dedicated hardware).
+//!
+//! Usage:
+//! `compare_bench [--baseline PATH] [--current PATH] [--tolerance FRAC] [--wall]`
+//!
+//! Intentional shifts (a timing-model change, a new compiler pass) are
+//! re-blessed by regenerating the baseline:
+//! `cargo run --release -p puma-bench --bin bench_sim_throughput -- --quick --out BENCH_baseline.json`
+
+use puma_bench::json::{parse, Json};
+use puma_bench::print_table;
+use std::process::ExitCode;
+
+/// Direction in which a metric counts as a regression.
+#[derive(Clone, Copy, PartialEq)]
+enum Worse {
+    /// Larger current value is a regression (cycles, instructions).
+    Higher,
+    /// Smaller current value is a regression (speedup ratio, throughput).
+    Lower,
+}
+
+struct Check {
+    section: &'static str,
+    key: String,
+    metric: &'static str,
+    baseline: f64,
+    current: Option<f64>,
+    worse: Worse,
+    gated: bool,
+}
+
+impl Check {
+    /// Signed relative change, positive = worse.
+    fn degradation(&self) -> Option<f64> {
+        let current = self.current?;
+        if self.baseline == 0.0 {
+            return Some(if current == 0.0 { 0.0 } else { f64::INFINITY });
+        }
+        let delta = (current - self.baseline) / self.baseline;
+        Some(match self.worse {
+            Worse::Higher => delta,
+            Worse::Lower => -delta,
+        })
+    }
+
+    fn regressed(&self, tolerance: f64) -> bool {
+        self.gated && self.degradation().is_none_or(|d| d > tolerance)
+    }
+}
+
+/// Rows of `array` keyed by the given fields, e.g. `(workload, engine)`.
+fn rows_by_key<'a>(doc: &'a Json, section: &str, key_fields: &[&str]) -> Vec<(String, &'a Json)> {
+    doc.get(section)
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|row| {
+            let key = key_fields
+                .iter()
+                .map(|f| match row.get(f) {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(Json::Num(n)) => format!("{n}"),
+                    _ => "?".to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("/");
+            (key, row)
+        })
+        .collect()
+}
+
+fn field(row: &Json, name: &str) -> Option<f64> {
+    row.get(name).and_then(Json::as_f64)
+}
+
+/// Builds the checks for one section: every baseline row must exist in
+/// `current` (a vanished row is a regression — it would silently mask
+/// one), except in `optional` sections whose keys legitimately vary by
+/// host (batch thread counts).
+#[allow(clippy::too_many_arguments)]
+fn section_checks(
+    checks: &mut Vec<Check>,
+    baseline: &Json,
+    current: &Json,
+    section: &'static str,
+    key_fields: &[&str],
+    metrics: &[(&'static str, Worse, bool)],
+    optional: bool,
+) {
+    let current_rows = rows_by_key(current, section, key_fields);
+    for (key, base_row) in rows_by_key(baseline, section, key_fields) {
+        let cur_row = current_rows.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
+        if cur_row.is_none() && optional {
+            continue;
+        }
+        for &(metric, worse, gated) in metrics {
+            let Some(base_val) = field(base_row, metric) else { continue };
+            checks.push(Check {
+                section,
+                key: key.clone(),
+                metric,
+                baseline: base_val,
+                current: cur_row.and_then(|r| field(r, metric)),
+                worse,
+                gated,
+            });
+        }
+    }
+}
+
+/// Per-workload run-ahead/reference speedup ratios from `single_thread`.
+fn speedups(doc: &Json) -> Vec<(String, f64)> {
+    let rows = rows_by_key(doc, "single_thread", &["workload"]);
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for (workload, row) in &rows {
+        if row.get("engine").and_then(Json::as_str) != Some("run_ahead") {
+            continue;
+        }
+        let reference = rows.iter().find(|(k, r)| {
+            k == workload && r.get("engine").and_then(Json::as_str) == Some("reference")
+        });
+        if let (Some(ra), Some(rf)) = (
+            field(row, "instructions_per_second"),
+            reference.and_then(|(_, r)| field(r, "instructions_per_second")),
+        ) {
+            if rf > 0.0 {
+                out.push((workload.clone(), ra / rf));
+            }
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (commit BENCH_baseline.json?)"));
+    parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    let baseline_path = get("--baseline").map_or("BENCH_baseline.json", String::as_str);
+    let current_path = get("--current").map_or("BENCH_sim_throughput.json", String::as_str);
+    let tolerance: f64 =
+        get("--tolerance").map_or(0.15, |t| t.parse().expect("--tolerance takes a fraction"));
+    let gate_wall = args.iter().any(|a| a == "--wall");
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut checks = Vec::new();
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "single_thread",
+        &["workload", "engine"],
+        &[
+            ("instructions_per_run", Worse::Higher, true),
+            ("simulated_cycles", Worse::Higher, true),
+            ("instructions_per_second", Worse::Lower, gate_wall),
+        ],
+        false,
+    );
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "sharded",
+        &["workload", "nodes"],
+        &[("simulated_cycles", Worse::Higher, true), ("internode_words", Worse::Higher, true)],
+        false,
+    );
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "batch",
+        &["workload", "threads"],
+        &[("requests_per_second", Worse::Lower, gate_wall)],
+        true,
+    );
+    // Engine speedup ratios: normalized against host *speed* (both
+    // engines run on the same machine), but not against host *noise* — a
+    // transient burst during one engine's timing loop still skews the
+    // ratio, so on shared CI runners it stays informational and is only
+    // enforced with `--wall` (dedicated hardware).
+    let current_speedups = speedups(&current);
+    for (workload, base_ratio) in speedups(&baseline) {
+        checks.push(Check {
+            section: "speedup",
+            key: workload.clone(),
+            metric: "run_ahead_vs_reference",
+            baseline: base_ratio,
+            current: current_speedups.iter().find(|(w, _)| *w == workload).map(|(_, r)| *r),
+            worse: Worse::Lower,
+            gated: gate_wall,
+        });
+    }
+
+    let mut table = Vec::new();
+    let mut regressions = 0usize;
+    for check in &checks {
+        let regressed = check.regressed(tolerance);
+        regressions += regressed as usize;
+        let status = if regressed {
+            "REGRESSED"
+        } else if check.gated {
+            "ok"
+        } else {
+            "info"
+        };
+        table.push(vec![
+            check.section.to_string(),
+            check.key.clone(),
+            check.metric.to_string(),
+            format!("{:.1}", check.baseline),
+            check.current.map_or("missing".to_string(), |c| format!("{c:.1}")),
+            check.degradation().map_or("-".to_string(), |d| {
+                if d.is_infinite() {
+                    "inf".to_string()
+                } else {
+                    format!("{:+.1}%", d * 100.0)
+                }
+            }),
+            status.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Perf gate: {current_path} vs {baseline_path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        ),
+        &["Section", "Key", "Metric", "Baseline", "Current", "Worse by", "Status"],
+        &table,
+    );
+
+    if regressions > 0 {
+        eprintln!(
+            "\n{regressions} metric(s) regressed more than {:.0}% vs {baseline_path}.",
+            tolerance * 100.0
+        );
+        eprintln!(
+            "If the shift is intentional, re-bless with:\n  cargo run --release -p puma-bench \
+             --bin bench_sim_throughput -- --quick --out BENCH_baseline.json"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nNo gated metric regressed more than {:.0}%.", tolerance * 100.0);
+    ExitCode::SUCCESS
+}

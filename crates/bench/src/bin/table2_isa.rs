@@ -59,8 +59,8 @@ fn main() {
         vec![
             "Intra-Node".into(),
             "send".into(),
-            "Send to tile FIFO".into(),
-            "memaddr, fifo-id, target, vec-width".into(),
+            "Send to tile FIFO (NoC, or chip-to-chip for a remote node)".into(),
+            "memaddr, fifo-id, target, node-id, vec-width".into(),
         ],
         vec![
             "Intra-Node".into(),

@@ -3,12 +3,14 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
 use puma_core::config::NodeConfig;
 use puma_core::error::Result;
 use puma_nn::zoo;
 use puma_nn::WeightFactory;
-use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
+use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 
 /// Prints an aligned text table.
@@ -132,6 +134,61 @@ impl TimingSession {
     }
 
     /// Resets machine state, rewrites inputs (zeros), and re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run(&mut self) -> Result<&RunStats> {
+        self.sim.reset();
+        for (name, values) in &self.const_data {
+            self.sim.write_input(name, values)?;
+        }
+        for (chunk, w) in &self.input_chunks {
+            self.sim.write_input(chunk, &vec![0.0; *w])?;
+        }
+        self.sim.run()?;
+        Ok(self.sim.stats())
+    }
+}
+
+/// A reusable timing-mode session over a *sharded* compiled model: the
+/// per-node images run under [`ClusterSim`], replayed per
+/// [`ClusterTimingSession::run`] — the measurement core of the sharded
+/// scaling scenario in `bench_sim_throughput`.
+#[derive(Debug)]
+pub struct ClusterTimingSession {
+    sim: ClusterSim,
+    const_data: Vec<(String, Vec<f32>)>,
+    input_chunks: Vec<(String, usize)>,
+}
+
+impl ClusterTimingSession {
+    /// Shards `compiled` and builds one timing-mode cluster on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard and simulator-construction failures.
+    pub fn new(compiled: &CompiledModel, cfg: &NodeConfig, engine: SimEngine) -> Result<Self> {
+        let cfg = fit_config(cfg, compiled);
+        let images = compiled.shard()?;
+        let mut sim = ClusterSim::new(cfg, &images, SimMode::Timing, &NoiseModel::noiseless())?;
+        sim.set_engine(engine);
+        let const_data =
+            compiled.const_data.iter().map(|(b, v)| (b.name.clone(), v.clone())).collect();
+        let input_chunks = compiled
+            .inputs
+            .iter()
+            .flat_map(|io| io.chunks.iter().cloned().zip(io.chunk_widths.iter().copied()))
+            .collect();
+        Ok(ClusterTimingSession { sim, const_data, input_chunks })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.sim.node_count()
+    }
+
+    /// Resets cluster state, rewrites inputs (zeros), and re-runs.
     ///
     /// # Errors
     ///

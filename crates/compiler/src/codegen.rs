@@ -103,6 +103,10 @@ pub struct CompiledModel {
     pub inputs: Vec<LogicalIo>,
     /// Logical output vectors.
     pub outputs: Vec<LogicalIo>,
+    /// Simulated node owning each tile of `image` (all zeros unless
+    /// compiled with [`crate::Partitioning::Sharded`]); consumed by
+    /// [`crate::shard::shard_image`].
+    pub tile_nodes: Vec<usize>,
     /// Compilation statistics.
     pub stats: CompileStats,
 }
@@ -116,6 +120,12 @@ impl CompiledModel {
     /// Looks up a logical output by name.
     pub fn output(&self, name: &str) -> Option<&LogicalIo> {
         self.outputs.iter().find(|io| io.name == name)
+    }
+
+    /// Number of simulated nodes this model was partitioned across (1
+    /// unless compiled with [`crate::Partitioning::Sharded`]).
+    pub fn node_count(&self) -> usize {
+        self.tile_nodes.iter().copied().max().map_or(1, |n| n + 1)
     }
 }
 
@@ -559,10 +569,14 @@ impl<'a> Emitter<'a> {
         for &dst in remotes {
             let fifo = self.fifo_for(dst, src_tile);
             let addr = self.homes[home_idx].addr;
+            // Sends always target node 0 here: codegen emits a single-node
+            // image over the global tile space; `shard::shard_image`
+            // rewrites node/target for cluster execution.
             self.tile_ctl[src_tile].push(Instruction::Send {
                 addr: MemAddr::absolute(addr),
                 fifo,
                 target: dst as u16,
+                node: 0,
                 width: width as u16,
             });
             self.homes[home_idx].sends += 1;
@@ -955,5 +969,12 @@ pub fn generate(
     stats.static_instructions = image.total_instructions();
     stats.shared_mem_high_water = e.allocs.iter().map(|a| a.high_water).collect();
 
-    Ok(CompiledModel { image, const_data: e.const_meta, inputs, outputs, stats })
+    Ok(CompiledModel {
+        image,
+        const_data: e.const_meta,
+        inputs,
+        outputs,
+        tile_nodes: placement.node_of_tile.clone(),
+        stats,
+    })
 }

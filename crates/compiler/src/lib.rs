@@ -11,7 +11,10 @@
 //!    MVM coalescing, deadlock avoidance (§5.3, Figs. 9-10);
 //! 4. [`codegen::generate`] — register allocation with spilling (§5.4),
 //!    load/store/send/receive insertion, FIFO virtualization (§4.2), and
-//!    attribute-count assignment.
+//!    attribute-count assignment;
+//! 5. [`shard::shard_image`] — for [`Partitioning::Sharded`] models, the
+//!    single-node image is split into per-node programs with explicit
+//!    inter-node sends (§3.1 node scale-out, run by `puma_sim::ClusterSim`).
 //!
 //! # Examples
 //!
@@ -43,10 +46,12 @@ pub mod options;
 pub mod partition;
 pub mod physical;
 pub mod schedule;
+pub mod shard;
 
 pub use codegen::{CompileStats, CompiledModel, LogicalIo};
 pub use graph::Model;
 pub use options::{CompilerOptions, Partitioning, Scheduling};
+pub use shard::shard_image;
 
 use puma_core::config::NodeConfig;
 use puma_core::error::Result;

@@ -25,6 +25,28 @@ pub enum Partitioning {
         /// Shuffle seed.
         seed: u64,
     },
+    /// Heuristic placement split across `nodes` simulated nodes (§3.1
+    /// node scale-out). Tiles are packed exactly as [`Partitioning::Heuristic`]
+    /// and the used tile range is divided into `nodes` contiguous shards;
+    /// `puma_compiler::shard::shard_image` then splits the image into
+    /// per-node programs with explicit inter-node sends, executed by
+    /// `puma_sim::ClusterSim`.
+    Sharded {
+        /// Number of nodes to shard across (clamped to the used tiles; at
+        /// most 256, the `send` node-id range).
+        nodes: usize,
+    },
+}
+
+impl Partitioning {
+    /// Number of nodes this strategy shards across (1 unless
+    /// [`Partitioning::Sharded`]).
+    pub fn node_count(self) -> usize {
+        match self {
+            Partitioning::Sharded { nodes } => nodes.max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// Compilation options.

@@ -32,6 +32,11 @@ pub struct Placement {
     pub tiles_used: usize,
     /// Number of cores used.
     pub cores_used: usize,
+    /// Simulated node owning each used tile (all zeros unless
+    /// [`Partitioning::Sharded`]): contiguous, balanced shards over the
+    /// used tile range, so the heuristic's locality (column strips, then
+    /// same-input strips) also minimizes inter-node traffic.
+    pub node_of_tile: Vec<usize>,
 }
 
 impl Placement {
@@ -80,7 +85,7 @@ pub fn partition(graph: &PhysGraph, cfg: &NodeConfig, strategy: Partitioning) ->
     // --- Weight tile packing -------------------------------------------
     let mut order: Vec<usize> = (0..graph.weight_tiles.len()).collect();
     match strategy {
-        Partitioning::Heuristic => {
+        Partitioning::Heuristic | Partitioning::Sharded { .. } => {
             order.sort_by_key(|&i| {
                 let t = &graph.weight_tiles[i];
                 (t.matrix, t.col, t.row)
@@ -148,7 +153,11 @@ pub fn partition(graph: &PhysGraph, cfg: &NodeConfig, strategy: Partitioning) ->
     if n == 0 {
         return Err(PumaError::Compile { what: "empty physical graph".to_string() });
     }
-    Ok(Placement { tile_homes, node_cores, tiles_used, cores_used: seen.len() })
+    // Contiguous balanced shards over the used tiles (`t * nodes / tiles`
+    // floors to a partition whose shard sizes differ by at most one).
+    let shards = strategy.node_count().min(tiles_used).max(1);
+    let node_of_tile = (0..tiles_used).map(|t| t * shards / tiles_used).collect();
+    Ok(Placement { tile_homes, node_cores, tiles_used, cores_used: seen.len(), node_of_tile })
 }
 
 #[cfg(test)]
@@ -216,6 +225,32 @@ mod tests {
         // Determinism: same seed, same result.
         let r2 = partition(&g, &cfg, Partitioning::Random { seed: 1 }).unwrap();
         assert_eq!(r.tile_homes, r2.tile_homes);
+    }
+
+    #[test]
+    fn sharded_placement_matches_heuristic_with_node_split() {
+        let g = graph_300();
+        let cfg = NodeConfig::default();
+        let h = partition(&g, &cfg, Partitioning::Heuristic).unwrap();
+        let s = partition(&g, &cfg, Partitioning::Sharded { nodes: 2 }).unwrap();
+        assert_eq!(h.tile_homes, s.tile_homes, "sharding must not move tiles");
+        assert_eq!(h.node_cores, s.node_cores);
+        assert!(h.node_of_tile.iter().all(|&n| n == 0));
+        assert_eq!(s.node_of_tile.len(), s.tiles_used);
+        // Contiguous, nondecreasing, and covering both nodes when the
+        // model uses at least two tiles.
+        assert!(s.node_of_tile.windows(2).all(|w| w[0] <= w[1]));
+        if s.tiles_used >= 2 {
+            assert_eq!(*s.node_of_tile.last().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn sharding_clamps_to_used_tiles() {
+        let g = graph_300();
+        let p = partition(&g, &NodeConfig::default(), Partitioning::Sharded { nodes: 64 }).unwrap();
+        let max_node = p.node_of_tile.iter().copied().max().unwrap();
+        assert!(max_node < p.tiles_used, "more shards than tiles must clamp");
     }
 
     #[test]

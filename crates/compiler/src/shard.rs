@@ -1,0 +1,209 @@
+//! Splitting a compiled single-node image into per-node programs (§3.1
+//! node scale-out).
+//!
+//! [`crate::codegen::generate`] always emits one [`MachineImage`] over a
+//! *global* tile space, with every `send` targeting node 0. When the model
+//! was partitioned with [`crate::Partitioning::Sharded`], the placement
+//! records which simulated node owns each global tile
+//! ([`crate::codegen::CompiledModel::tile_nodes`]); [`shard_image`] then:
+//!
+//! 1. renumbers each node's tiles to a dense local index space,
+//! 2. rewrites every `send` whose destination tile lives on another node
+//!    into an inter-node send (`node` = owner, `target` = local index),
+//! 3. splits the host I/O bindings onto the nodes that own them.
+//!
+//! Because sharding is a pure renumbering of an already-correct image,
+//! every core executes exactly the instruction stream it would execute on
+//! one big node — which is why a sharded `ClusterSim` run is bit-identical
+//! to the single-node run (the testkit sharded differential suite pins
+//! this on fuzzed models).
+
+use puma_core::error::{PumaError, Result};
+use puma_core::ids::TileId;
+use puma_isa::{Instruction, MachineImage, TileImage};
+
+use crate::codegen::CompiledModel;
+
+/// Splits `image` into one image per simulated node according to
+/// `tile_nodes` (global tile index → owning node).
+///
+/// Node ids need not be contiguous in `tile_nodes`; the result has
+/// `max(tile_nodes) + 1` images and any node that owns no tiles comes out
+/// empty (a valid, trivially-halting image).
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] if `tile_nodes` does not cover every
+/// tile of the image or names more nodes than the `send` encoding can
+/// address (256).
+pub fn shard_image(image: &MachineImage, tile_nodes: &[usize]) -> Result<Vec<MachineImage>> {
+    if tile_nodes.len() < image.tiles.len() {
+        return Err(PumaError::Compile {
+            what: format!(
+                "tile-node map covers {} tiles but the image has {}",
+                tile_nodes.len(),
+                image.tiles.len()
+            ),
+        });
+    }
+    let nodes = tile_nodes.iter().take(image.tiles.len()).copied().max().map_or(1, |n| n + 1);
+    if nodes > u8::MAX as usize + 1 {
+        return Err(PumaError::Compile {
+            what: format!("{nodes} nodes exceed the 256-node send addressing range"),
+        });
+    }
+    // Global tile -> index local to its node.
+    let mut local_index = vec![0usize; image.tiles.len()];
+    let mut counts = vec![0usize; nodes];
+    for (g, &n) in tile_nodes.iter().take(image.tiles.len()).enumerate() {
+        local_index[g] = counts[n];
+        counts[n] += 1;
+    }
+
+    let mut shards: Vec<MachineImage> = (0..nodes).map(|_| MachineImage::default()).collect();
+    for (g, tile_img) in image.tiles.iter().enumerate() {
+        let node = tile_nodes[g];
+        let mut tile: TileImage = tile_img.clone();
+        for instr in &mut tile.program.instructions {
+            if let Instruction::Send { target, node: dest_node, .. } = instr {
+                let dest = *target as usize;
+                if dest >= image.tiles.len() {
+                    return Err(PumaError::Compile {
+                        what: format!("send targets tile {dest} outside the image"),
+                    });
+                }
+                *dest_node = tile_nodes[dest] as u16;
+                *target = local_index[dest] as u16;
+            }
+        }
+        shards[node].tiles.push(tile);
+    }
+    for binding in &image.inputs {
+        let g = binding.tile.index();
+        let mut b = binding.clone();
+        b.tile = TileId::new(local_index[g]);
+        shards[tile_nodes[g]].inputs.push(b);
+    }
+    for binding in &image.outputs {
+        let g = binding.tile.index();
+        let mut b = binding.clone();
+        b.tile = TileId::new(local_index[g]);
+        shards[tile_nodes[g]].outputs.push(b);
+    }
+    Ok(shards)
+}
+
+impl CompiledModel {
+    /// Per-node machine images for this model (see [`shard_image`]); a
+    /// single-element vector for unsharded models.
+    ///
+    /// # Errors
+    ///
+    /// See [`shard_image`].
+    pub fn shard(&self) -> Result<Vec<MachineImage>> {
+        if self.node_count() == 1 {
+            return Ok(vec![self.image.clone()]);
+        }
+        shard_image(&self.image, &self.tile_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Model;
+    use crate::{compile, CompilerOptions, Partitioning};
+    use puma_core::config::NodeConfig;
+    use puma_core::tensor::Matrix;
+
+    /// A model big enough to span several tiles under the default config.
+    fn chained_model(layers: usize) -> Model {
+        let mut m = Model::new("chain");
+        let x = m.input("x", 128);
+        let mut cur = x;
+        for i in 0..layers {
+            let a = m.constant_matrix(
+                format!("A{i}"),
+                Matrix::from_fn(128, 128, |r, c| 0.01 * ((r + 2 * c + i) % 5) as f32 - 0.02),
+            );
+            cur = m.mvm(a, cur).unwrap();
+            cur = m.tanh(cur);
+        }
+        m.output("y", cur);
+        m
+    }
+
+    fn sharded_options(nodes: usize) -> CompilerOptions {
+        CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes },
+            ..CompilerOptions::default()
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_every_tile_and_binding() {
+        let cfg = NodeConfig::default();
+        let compiled = compile(&chained_model(40), &cfg, &sharded_options(2)).unwrap();
+        assert_eq!(compiled.node_count(), 2);
+        let shards = compiled.shard().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards.iter().map(|s| s.tiles.len()).sum::<usize>(), compiled.image.tiles.len());
+        assert_eq!(
+            shards.iter().map(|s| s.inputs.len()).sum::<usize>(),
+            compiled.image.inputs.len()
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.outputs.len()).sum::<usize>(),
+            compiled.image.outputs.len()
+        );
+        assert_eq!(
+            shards.iter().map(MachineImage::total_instructions).sum::<usize>(),
+            compiled.image.total_instructions()
+        );
+        for shard in &shards {
+            shard.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_node_sends_are_rewritten_with_local_targets() {
+        let cfg = NodeConfig::default();
+        let compiled = compile(&chained_model(40), &cfg, &sharded_options(2)).unwrap();
+        let shards = compiled.shard().unwrap();
+        let mut cross_node = 0;
+        for (node, shard) in shards.iter().enumerate() {
+            for tile in &shard.tiles {
+                for instr in &tile.program.instructions {
+                    if let Instruction::Send { target, node: dest, .. } = instr {
+                        assert!(
+                            (*target as usize) < shards[*dest as usize].tiles.len(),
+                            "send target {target} out of node {dest}'s {} tiles",
+                            shards[*dest as usize].tiles.len()
+                        );
+                        if *dest as usize != node {
+                            cross_node += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(cross_node > 0, "a chained model split in two must cross the boundary");
+    }
+
+    #[test]
+    fn unsharded_models_shard_to_one_image() {
+        let cfg = NodeConfig::default();
+        let compiled = compile(&chained_model(4), &cfg, &CompilerOptions::default()).unwrap();
+        assert_eq!(compiled.node_count(), 1);
+        let shards = compiled.shard().unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], compiled.image);
+    }
+
+    #[test]
+    fn short_tile_map_is_rejected() {
+        let cfg = NodeConfig::default();
+        let compiled = compile(&chained_model(40), &cfg, &sharded_options(2)).unwrap();
+        assert!(shard_image(&compiled.image, &[0]).is_err());
+    }
+}

@@ -212,6 +212,69 @@ impl TimingModel {
     }
 }
 
+/// The chip-to-chip interconnect joining PUMA nodes (§3.1: models whose
+/// weight footprint exceeds one node's crossbars chain multiple nodes over
+/// a HyperTransport-class link).
+///
+/// All three knobs are independent so experiments can sweep latency
+/// against bandwidth (the node-scale counterpart of the Fig. 12 DSE).
+/// Cost accessors clamp degenerate values (zero latency/bandwidth) to the
+/// minimum physically meaningful cost instead of erroring, so sweeps can
+/// include idealized points.
+///
+/// # Examples
+///
+/// ```
+/// use puma_core::timing::InterconnectConfig;
+/// let link = InterconnectConfig::default();
+/// assert!(link.transfer_cycles(128) > link.latency_cycles);
+/// assert!(link.energy_nj(128) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// One-way link latency in node cycles (≡ ns at 1 GHz). Default 410:
+    /// a few hundred ns of SerDes + board flight time.
+    pub latency_cycles: u64,
+    /// Link bandwidth in GB/s. Default 6.4 (HyperTransport, matching the
+    /// paper's off-chip link).
+    pub gb_per_s: f64,
+    /// Energy to move one 16-bit word across the link, in nJ. Default
+    /// 0.04 nJ/word (≈20 pJ/bit, typical for short-reach chip-to-chip
+    /// SerDes links).
+    pub energy_nj_per_word: f64,
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig { latency_cycles: 410, gb_per_s: 6.4, energy_nj_per_word: 0.04 }
+    }
+}
+
+impl InterconnectConfig {
+    /// Cycles the sending port is occupied serializing `words` 16-bit
+    /// words onto the link (bandwidth-limited; at least one cycle).
+    pub fn occupancy_cycles(&self, words: usize) -> u64 {
+        let bytes = (words * 2) as f64;
+        if self.gb_per_s <= 0.0 {
+            return 1;
+        }
+        ((bytes / self.gb_per_s).ceil() as u64).max(1)
+    }
+
+    /// End-to-end cycles from send issue to arrival at the destination
+    /// node's receive buffer: link latency plus serialization. At least
+    /// one cycle, so a packet can never arrive at its own send timestamp
+    /// (the cluster scheduler's conservative-lookahead invariant).
+    pub fn transfer_cycles(&self, words: usize) -> u64 {
+        (self.latency_cycles + self.occupancy_cycles(words)).max(1)
+    }
+
+    /// Energy to move `words` 16-bit words across the link, in nJ.
+    pub fn energy_nj(&self, words: usize) -> f64 {
+        self.energy_nj_per_word * words as f64
+    }
+}
+
 /// eDRAM access latency in cycles (row activation + sense).
 pub const EDRAM_ACCESS_CYCLES: u64 = 4;
 
@@ -293,6 +356,26 @@ mod tests {
         assert!(t.copy_energy_nj(128) > 0.0);
         assert!(t.fetch_decode_energy_nj() > 0.0);
         assert!(t.transcendental_energy_nj(8) > 0.0);
+    }
+
+    #[test]
+    fn interconnect_costs_scale_with_words() {
+        let link = InterconnectConfig::default();
+        // 6.4 GB/s = 6.4 bytes/cycle: 128 words = 256 bytes = 40 cycles.
+        assert_eq!(link.occupancy_cycles(128), 40);
+        assert_eq!(link.transfer_cycles(128), link.latency_cycles + 40);
+        assert!(link.occupancy_cycles(1) >= 1);
+        assert!((link.energy_nj(128) - 128.0 * link.energy_nj_per_word).abs() < 1e-12);
+        assert!(link.transfer_cycles(16) < link.transfer_cycles(4096));
+    }
+
+    #[test]
+    fn interconnect_never_arrives_instantly() {
+        // Idealized sweep points (zero latency / infinite bandwidth) still
+        // cost at least one cycle end to end.
+        let link = InterconnectConfig { latency_cycles: 0, gb_per_s: 0.0, energy_nj_per_word: 0.0 };
+        assert!(link.transfer_cycles(1) >= 1);
+        assert!(link.occupancy_cycles(1) >= 1);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! load r0 @70000 16
 //! load r0 @4+r3 1      # register-indexed address
 //! store @123 r7 2 128  # addr src count width
-//! send @0 f15 t137 128 # addr fifo target width
+//! send @0 f15 t137 128 # addr fifo target width (intra-node)
+//! send @0 f2 t3 16 n1  # ... n<node>: inter-node send to node 1, tile 3
 //! recv @256 f3 1 128   # addr fifo count width
 //! jmp 12
 //! brn lt r7 xi0 99
@@ -51,8 +52,12 @@ pub fn format_instruction(instr: &Instruction) -> String {
         Instruction::Store { addr, src, count, width } => {
             format!("store {addr} {src} {count} {width}")
         }
-        Instruction::Send { addr, fifo, target, width } => {
-            format!("send {addr} f{fifo} t{target} {width}")
+        Instruction::Send { addr, fifo, target, node, width } => {
+            if node == 0 {
+                format!("send {addr} f{fifo} t{target} {width}")
+            } else {
+                format!("send {addr} f{fifo} t{target} {width} n{node}")
+            }
         }
         Instruction::Receive { addr, fifo, count, width } => {
             format!("recv {addr} f{fifo} {count} {width}")
@@ -205,7 +210,12 @@ fn parse_line(line: &str, line_no: usize) -> Result<Option<Instruction>> {
             }
         }
         "send" => {
-            need(4)?;
+            if args.len() != 4 && args.len() != 5 {
+                return Err(err(
+                    line_no,
+                    format!("send expects 4 or 5 operands, got {}", args.len()),
+                ));
+            }
             let fifo: u8 = args[1]
                 .strip_prefix('f')
                 .and_then(|s| s.parse().ok())
@@ -214,10 +224,20 @@ fn parse_line(line: &str, line_no: usize) -> Result<Option<Instruction>> {
                 .strip_prefix('t')
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| err(line_no, format!("bad target {:?}", args[2])))?;
+            // A trailing `nK` names the destination node (default: node 0,
+            // i.e. an intra-node NoC send).
+            let node: u16 = match args.get(4) {
+                None => 0,
+                Some(tok) => tok
+                    .strip_prefix('n')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, format!("bad node {tok:?}")))?,
+            };
             Instruction::Send {
                 addr: parse_mem(args[0], line_no)?,
                 fifo,
                 target,
+                node,
                 width: parse_num(args[3], line_no, "width")?,
             }
         }
@@ -306,13 +326,14 @@ load r0 @70000 16
 load r0 @4+r3 1
 store @123 r7 2 128
 send @0 f15 t137 128
+send @8 f2 t3 16 n5
 recv @256 f3 1 128
 jmp 12
 brn lt r7 xi0 99
 halt
 ";
         let instrs = assemble(source).unwrap();
-        assert_eq!(instrs.len(), 15);
+        assert_eq!(instrs.len(), 16);
         let text = disassemble(&instrs);
         let again = assemble(&text).unwrap();
         assert_eq!(instrs, again);
@@ -353,6 +374,7 @@ halt
     fn bad_tokens_rejected() {
         assert!(assemble("load r0 1234 4\n").is_err()); // missing @
         assert!(assemble("send @0 15 t1 4\n").is_err()); // missing f
+        assert!(assemble("send @0 f1 t1 4 2\n").is_err()); // node missing n
         assert!(assemble("brn zz r0 r1 4\n").is_err()); // bad condition
     }
 }

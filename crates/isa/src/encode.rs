@@ -158,11 +158,18 @@ pub fn encode(instr: &Instruction) -> Result<[u8; INSTRUCTION_BYTES]> {
             f.f = [src.encode(), lo, hi, count, width];
             f
         }
-        Instruction::Send { addr, fifo, target, width } => {
+        Instruction::Send { addr, fifo, target, node, width } => {
             let mut f = Fields::new(opcode::SEND);
             f.aux = encode_index_reg(&addr)?;
+            if node > u8::MAX as u16 {
+                return Err(PumaError::Encoding {
+                    what: format!("send node id {node} exceeds the encodable 0-255 range"),
+                });
+            }
             let (lo, hi) = split_u32(addr.base);
-            f.f = [lo, hi, fifo as u16, target, width];
+            // The destination node shares a field with the FIFO id: both
+            // are byte-sized (16 FIFOs per tile, up to 256 nodes).
+            f.f = [lo, hi, fifo as u16 | (node << 8), target, width];
             f
         }
         Instruction::Receive { addr, fifo, count, width } => {
@@ -248,7 +255,8 @@ pub fn decode(bytes: &[u8; INSTRUCTION_BYTES]) -> Result<Instruction> {
         },
         opcode::SEND => Instruction::Send {
             addr: MemAddr { base: join_u32(x.f[0], x.f[1]), index: decode_index_reg(x.aux) },
-            fifo: x.f[2] as u8,
+            fifo: (x.f[2] & 0xFF) as u8,
+            node: x.f[2] >> 8,
             target: x.f[3],
             width: x.f[4],
         },
@@ -325,7 +333,8 @@ mod tests {
             I::Load { dest: r, addr: MemAddr::absolute(70000), width: 16 },
             I::Load { dest: r, addr: MemAddr::indexed(4, RegRef::general(3)), width: 1 },
             I::Store { addr: MemAddr::absolute(123), src: r, count: 2, width: 128 },
-            I::Send { addr: MemAddr::absolute(0), fifo: 15, target: 137, width: 128 },
+            I::Send { addr: MemAddr::absolute(0), fifo: 15, target: 137, node: 0, width: 128 },
+            I::Send { addr: MemAddr::absolute(8), fifo: 2, target: 3, node: 5, width: 16 },
             I::Receive { addr: MemAddr::absolute(256), fifo: 3, count: 1, width: 128 },
             I::Jump { pc: 123456 },
             I::Branch { cond: BranchCond::Lt, src1: r, src2: xi, pc: 99 },
@@ -389,6 +398,12 @@ mod tests {
             width: 1,
         };
         assert!(encode(&too_big).is_err());
+    }
+
+    #[test]
+    fn oversized_send_node_rejected() {
+        let bad = I::Send { addr: MemAddr::absolute(0), fifo: 0, target: 0, node: 256, width: 1 };
+        assert!(encode(&bad).is_err());
     }
 
     #[test]

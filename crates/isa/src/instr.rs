@@ -441,14 +441,23 @@ pub enum Instruction {
         width: u16,
     },
     /// Tile-level: read `width` words from shared memory and send them to
-    /// FIFO `fifo` of tile `target`.
+    /// FIFO `fifo` of tile `target` on node `node`.
+    ///
+    /// When `node` equals the executing node's id the packet travels over
+    /// the on-chip network; otherwise it crosses the chip-to-chip
+    /// interconnect (§3.1 node scale-out; see
+    /// `puma_core::timing::InterconnectConfig`) and `target` names a tile
+    /// index *local to the destination node*. Single-node images always
+    /// carry `node: 0`.
     Send {
         /// Source address in the sending tile's shared memory.
         addr: MemAddr,
         /// Destination FIFO id in the receiving tile.
         fifo: u8,
-        /// Destination tile index.
+        /// Destination tile index (local to `node`).
         target: u16,
+        /// Destination node index (0-255; 0 for single-node images).
+        node: u16,
         /// Vector width in words.
         width: u16,
     },
@@ -663,7 +672,7 @@ mod tests {
             InstructionCategory::InterCore
         );
         assert_eq!(
-            Instruction::Send { addr: MemAddr::absolute(0), fifo: 0, target: 0, width: 1 }
+            Instruction::Send { addr: MemAddr::absolute(0), fifo: 0, target: 0, node: 0, width: 1 }
                 .category(),
             InstructionCategory::InterTile
         );

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod fifo;
 pub mod lut;
 pub mod machine;
@@ -57,5 +58,6 @@ pub mod memory;
 pub mod regfile;
 pub mod stats;
 
+pub use cluster::ClusterSim;
 pub use machine::{NodeSim, SimEngine, SimMode};
 pub use stats::{EnergyComponent, EnergyStats, RunStats};

@@ -32,7 +32,7 @@ use crate::stats::{EnergyComponent, EnergyStats, RunStats};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
-use puma_core::timing::TimingModel;
+use puma_core::timing::{InterconnectConfig, TimingModel};
 use puma_isa::{AluImmOp, AluOp, Instruction, MachineImage, MemAddr, Program, RegRef, ScalarOp};
 use puma_xbar::{AnalogMvmu, NoiseModel};
 use std::cmp::Reverse;
@@ -219,6 +219,24 @@ struct AgentEnergy {
     busy: [u64; EnergyComponent::ALL.len()],
 }
 
+/// An inter-node packet produced by a `send` whose destination node is
+/// not this node: the cluster scheduler collects these via
+/// [`NodeSim::take_outbox`] and delivers them after the interconnect
+/// delay.
+#[derive(Debug)]
+pub(crate) struct OutboundPacket {
+    /// Destination node index.
+    pub(crate) node: u16,
+    /// Destination tile index, local to the destination node.
+    pub(crate) tile: u16,
+    /// Destination receive FIFO.
+    pub(crate) fifo: u8,
+    /// Payload (empty in timing mode).
+    pub(crate) packet: Packet,
+    /// Global cycle at which the packet lands at the destination tile.
+    pub(crate) arrive_at: u64,
+}
+
 /// The node simulator.
 #[derive(Debug)]
 pub struct NodeSim {
@@ -257,6 +275,25 @@ pub struct NodeSim {
     /// Transitions recorded by the currently executing instruction (or
     /// packet delivery), consumed by [`NodeSim::apply_wakes`].
     changes: Vec<TileChange>,
+    /// The event queue. Owned by the simulator (rather than the run loop)
+    /// so a cluster scheduler can interleave events across nodes via
+    /// [`NodeSim::step_one`].
+    queue: BinaryHeap<Reverse<Event>>,
+    /// Latest event/instruction timestamp observed this run.
+    last_time: u64,
+    /// This node's index within a cluster (0 standalone).
+    node_id: u16,
+    /// Number of nodes in the cluster (1 standalone).
+    cluster_nodes: u16,
+    /// Chip-to-chip link model for inter-node sends.
+    interconnect: InterconnectConfig,
+    /// Inter-node packets awaiting pickup by the cluster scheduler.
+    outbox: Vec<OutboundPacket>,
+    /// Run-ahead external horizon: the earliest global cycle at which an
+    /// inter-node packet could still arrive. The run-ahead engine may not
+    /// execute a blocking instruction at or past this time outside the
+    /// event queue (it could miss the delivery). `u64::MAX` standalone.
+    horizon: u64,
 }
 
 impl NodeSim {
@@ -364,6 +401,13 @@ impl NodeSim {
             seq: 0,
             pending_delivery: std::collections::HashMap::new(),
             changes: Vec::new(),
+            queue: BinaryHeap::new(),
+            last_time: 0,
+            node_id: 0,
+            cluster_nodes: 1,
+            interconnect: InterconnectConfig::default(),
+            outbox: Vec::new(),
+            horizon: u64::MAX,
         })
     }
 
@@ -474,6 +518,10 @@ impl NodeSim {
     pub fn reset(&mut self) {
         self.pending_delivery.clear();
         self.changes.clear();
+        self.queue.clear();
+        self.outbox.clear();
+        self.last_time = 0;
+        self.horizon = u64::MAX;
         for tile in &mut self.tiles {
             tile.memory = SharedMemory::new(tile.memory.words());
             tile.rbuf =
@@ -539,7 +587,7 @@ impl NodeSim {
     /// Folds the per-agent accumulators into `stats` in agent-slot order.
     /// The order is fixed, so the floating-point sums are reproducible —
     /// and identical across engines and thread counts.
-    fn finalize_stats(&mut self) {
+    pub(crate) fn finalize_stats(&mut self) {
         let blank = vec![AgentEnergy::default(); self.agent_energy.len()];
         for acc in std::mem::replace(&mut self.agent_energy, blank) {
             for (i, &component) in EnergyComponent::ALL.iter().enumerate() {
@@ -576,53 +624,91 @@ impl NodeSim {
     }
 
     fn run_loop(&mut self) -> Result<()> {
-        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        self.prime()?;
+        while self.step_one()? {}
+        let blocked = self.blocked_summary();
+        if !blocked.is_empty() {
+            return Err(PumaError::Deadlock {
+                cycle: self.last_time,
+                what: format!("{} agents blocked: {}", blocked.len(), blocked.join(", ")),
+            });
+        }
+        self.seal_cycles();
+        Ok(())
+    }
+
+    /// Seeds the event queue with every live agent at cycle 0, discarding
+    /// any leftover state from an aborted previous run.
+    pub(crate) fn prime(&mut self) -> Result<()> {
+        self.queue.clear();
+        self.outbox.clear();
+        self.last_time = 0;
         for t in 0..self.tiles.len() {
             for c in 0..self.tiles[t].cores.len() {
                 if !self.tiles[t].cores[c].halted {
                     let agent = AgentId { tile: t as u32, core: c as u32 };
-                    self.push_agent_event(&mut queue, agent, 0)?;
+                    self.push_agent_event(agent, 0)?;
                 }
             }
             if !self.tiles[t].tile_halted {
                 let agent = AgentId { tile: t as u32, core: TILE_CTL };
-                self.push_agent_event(&mut queue, agent, 0)?;
+                self.push_agent_event(agent, 0)?;
             }
         }
-        let mut last_time = 0u64;
-        while let Some(Reverse(event)) = queue.pop() {
-            let now = event.time;
-            last_time = last_time.max(now);
-            if now > self.max_cycles {
-                return Err(self.cycle_cap_error());
+        Ok(())
+    }
+
+    /// Timestamp of the next queued event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Processes the next queued event. Returns `Ok(false)` when the queue
+    /// is empty (the node is quiescent: halted, blocked, or awaiting
+    /// inter-node packets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution faults and the cycle cap.
+    pub(crate) fn step_one(&mut self) -> Result<bool> {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return Ok(false);
+        };
+        let now = event.time;
+        self.last_time = self.last_time.max(now);
+        if now > self.max_cycles {
+            return Err(self.cycle_cap_error());
+        }
+        match event.kind {
+            EventKind::Deliver { tile, fifo, packet } => {
+                self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
+                self.drain_fifo(tile, fifo, now)?;
             }
-            match event.kind {
-                EventKind::Deliver { tile, fifo, packet } => {
-                    self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
-                    self.drain_fifo(tile, fifo, now, &mut queue)?;
-                }
-                EventKind::AgentReady(agent) => match self.engine {
-                    SimEngine::Reference => match self.step_agent(agent, now, &mut queue)? {
-                        Step::Advance { next_pc, latency } => {
-                            self.set_pc(agent, next_pc);
-                            self.push_agent_event(&mut queue, agent, now + latency)?;
-                        }
-                        Step::Blocked(cond) => {
-                            self.tiles[agent.tile as usize].blocked.push((agent, now, cond));
-                        }
-                        Step::Halted => {
-                            self.set_halted(agent);
-                        }
-                    },
-                    SimEngine::RunAhead => {
-                        self.run_ahead(agent, now, &mut last_time, &mut queue)?;
+            EventKind::AgentReady(agent) => match self.engine {
+                SimEngine::Reference => match self.step_agent(agent, now)? {
+                    Step::Advance { next_pc, latency } => {
+                        self.set_pc(agent, next_pc);
+                        self.push_agent_event(agent, now + latency)?;
+                    }
+                    Step::Blocked(cond) => {
+                        self.tiles[agent.tile as usize].blocked.push((agent, now, cond));
+                    }
+                    Step::Halted => {
+                        self.set_halted(agent);
                     }
                 },
-            }
+                SimEngine::RunAhead => {
+                    self.run_ahead(agent, now)?;
+                }
+            },
         }
-        // Queue drained: every agent must have halted, otherwise deadlock.
-        let blocked: Vec<String> = self
-            .tiles
+        Ok(true)
+    }
+
+    /// Human-readable descriptions of every blocked agent (empty when the
+    /// node finished cleanly).
+    pub(crate) fn blocked_summary(&self) -> Vec<String> {
+        self.tiles
             .iter()
             .enumerate()
             .flat_map(|(t, tile)| {
@@ -634,14 +720,71 @@ impl NodeSim {
                     }
                 })
             })
-            .collect();
-        if !blocked.is_empty() {
-            return Err(PumaError::Deadlock {
-                cycle: last_time,
-                what: format!("{} agents blocked: {}", blocked.len(), blocked.join(", ")),
+            .collect()
+    }
+
+    /// Records the last observed timestamp as the run's cycle count.
+    pub(crate) fn seal_cycles(&mut self) {
+        self.stats.cycles = self.last_time;
+    }
+
+    /// Joins this simulator to a cluster: its node id, the cluster size
+    /// (inter-node send targets are validated against it), and the
+    /// chip-to-chip link model.
+    pub(crate) fn join_cluster(
+        &mut self,
+        node_id: u16,
+        cluster_nodes: u16,
+        interconnect: InterconnectConfig,
+    ) {
+        self.node_id = node_id;
+        self.cluster_nodes = cluster_nodes.max(1);
+        self.interconnect = interconnect;
+    }
+
+    /// Sets the run-ahead external horizon (see the `horizon` field).
+    pub(crate) fn set_external_horizon(&mut self, horizon: u64) {
+        self.horizon = horizon;
+    }
+
+    /// Latest event/instruction timestamp observed this run.
+    pub(crate) fn last_time(&self) -> u64 {
+        self.last_time
+    }
+
+    /// Drains the inter-node packets produced since the last call.
+    pub(crate) fn take_outbox(&mut self) -> Vec<OutboundPacket> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Injects a packet from another node into this node's receive path at
+    /// global cycle `time` (it lands in the tile's FIFO like a NoC packet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for a nonexistent destination tile.
+    pub(crate) fn deliver_external(
+        &mut self,
+        tile: u16,
+        fifo: u8,
+        packet: Packet,
+        time: u64,
+    ) -> Result<()> {
+        if tile as usize >= self.tiles.len() {
+            return Err(PumaError::Execution {
+                what: format!(
+                    "inter-node packet addressed to nonexistent tile {tile} of node {}",
+                    self.node_id
+                ),
             });
         }
-        self.stats.cycles = last_time;
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            time,
+            priority: 0,
+            seq,
+            kind: EventKind::Deliver { tile: tile as u32, fifo, packet },
+        }));
         Ok(())
     }
 
@@ -654,13 +797,7 @@ impl NodeSim {
     /// branch, halt) touch no state another agent can observe, so
     /// executing them back-to-back inside one event is indistinguishable
     /// from the reference per-instruction loop — minus its heap traffic.
-    fn run_ahead(
-        &mut self,
-        agent: AgentId,
-        now: u64,
-        last_time: &mut u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) -> Result<()> {
+    fn run_ahead(&mut self, agent: AgentId, now: u64) -> Result<()> {
         let mut t = now;
         let mut first = true;
         loop {
@@ -672,24 +809,27 @@ impl NodeSim {
                 return Err(self.cycle_cap_error());
             }
             let (instr, pc) = self.fetch(agent)?;
-            if !first && instr.may_block() && !Self::clear_until(queue, t) {
+            if !first && instr.may_block() && !(self.queue_clear_until(t) && t < self.horizon) {
                 // Blocking point with other events pending at or before
                 // its timestamp: re-enter the queue and execute it when
                 // its event pops, after any earlier event (another agent's
                 // store, a packet delivery) has updated the tile state.
                 // With a clear queue the lookahead is safe: every event
                 // created later carries a time past `t`, so no one can
-                // change the tile before this instruction executes.
-                return self.push_agent_event(queue, agent, t);
+                // change the tile before this instruction executes. In a
+                // cluster the queue alone is not enough — an inter-node
+                // packet may still land at or after `horizon` — hence the
+                // second condition (always true standalone).
+                return self.push_agent_event(agent, t);
             }
-            *last_time = (*last_time).max(t);
-            match self.execute_instr(agent, instr, pc, t, queue)? {
+            self.last_time = self.last_time.max(t);
+            match self.execute_instr(agent, instr, pc, t)? {
                 Step::Advance { next_pc, latency } => {
                     self.set_pc(agent, next_pc);
                     t += latency;
-                    if matches!(instr, Instruction::Mvm { .. }) && !Self::clear_until(queue, t) {
+                    if matches!(instr, Instruction::Mvm { .. }) && !self.queue_clear_until(t) {
                         // Long-latency unit: re-enter at MVM completion.
-                        return self.push_agent_event(queue, agent, t);
+                        return self.push_agent_event(agent, t);
                     }
                 }
                 Step::Blocked(cond) => {
@@ -708,17 +848,12 @@ impl NodeSim {
     /// Schedules an agent wake-up, clamping the event time against the
     /// cycle cap: a single instruction whose latency lands past the cap
     /// fails deterministically at schedule time instead of sailing past it.
-    fn push_agent_event(
-        &mut self,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-        agent: AgentId,
-        time: u64,
-    ) -> Result<()> {
+    fn push_agent_event(&mut self, agent: AgentId, time: u64) -> Result<()> {
         if time > self.max_cycles {
             return Err(self.cycle_cap_error());
         }
         let seq = self.next_seq();
-        queue.push(Reverse(Event {
+        self.queue.push(Reverse(Event {
             time,
             priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
             seq,
@@ -736,19 +871,13 @@ impl NodeSim {
     /// True if no queued event lands at or before `t` — event times only
     /// move forward, so the running agent is alone in `[now, t]` and may
     /// keep executing locally, synchronization instructions included.
-    fn clear_until(queue: &BinaryHeap<Reverse<Event>>, t: u64) -> bool {
-        queue.peek().is_none_or(|Reverse(e)| e.time > t)
+    fn queue_clear_until(&self, t: u64) -> bool {
+        self.queue.peek().is_none_or(|Reverse(e)| e.time > t)
     }
 
     /// Moves as many pending packets as fit into the receive FIFO, in
     /// arrival order (per-channel ordering under backpressure).
-    fn drain_fifo(
-        &mut self,
-        tile: u32,
-        fifo: u8,
-        now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) -> Result<()> {
+    fn drain_fifo(&mut self, tile: u32, fifo: u8, now: u64) -> Result<()> {
         let mut moved = false;
         if let Some(pending) = self.pending_delivery.get_mut(&(tile, fifo)) {
             while let Some(front) = pending.front() {
@@ -766,7 +895,7 @@ impl NodeSim {
         if moved {
             self.changes.push(TileChange::FifoPush(fifo));
         }
-        self.apply_wakes(tile as usize, now, queue);
+        self.apply_wakes(tile as usize, now);
         Ok(())
     }
 
@@ -774,7 +903,7 @@ impl NodeSim {
     /// delivery: the reference engine retries every parked agent on any
     /// change (seed behaviour); the run-ahead engine wakes only agents
     /// whose wait condition matches one of the transitions.
-    fn apply_wakes(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
+    fn apply_wakes(&mut self, tile: usize, now: u64) {
         if self.changes.is_empty() {
             return;
         }
@@ -786,12 +915,12 @@ impl NodeSim {
         match self.engine {
             SimEngine::Reference => {
                 self.changes.clear();
-                self.wake_tile(tile, now, queue);
+                self.wake_tile(tile, now);
             }
             SimEngine::RunAhead => {
                 let mut changes = std::mem::take(&mut self.changes);
                 for &change in &changes {
-                    self.wake_matching(tile, change, now, queue);
+                    self.wake_matching(tile, change, now);
                 }
                 changes.clear();
                 self.changes = changes;
@@ -800,42 +929,30 @@ impl NodeSim {
     }
 
     /// Wakes every parked agent on the tile (reference engine).
-    fn wake_tile(&mut self, tile: usize, now: u64, queue: &mut BinaryHeap<Reverse<Event>>) {
+    fn wake_tile(&mut self, tile: usize, now: u64) {
         let woken: Vec<(AgentId, u64, WaitCond)> = std::mem::take(&mut self.tiles[tile].blocked);
         for (agent, since, _) in woken {
-            self.wake_agent(agent, since, now, queue);
+            self.wake_agent(agent, since, now);
         }
     }
 
     /// Wakes the parked agents whose wait condition matches `change`.
-    fn wake_matching(
-        &mut self,
-        tile: usize,
-        change: TileChange,
-        now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) {
+    fn wake_matching(&mut self, tile: usize, change: TileChange, now: u64) {
         let mut i = 0;
         while i < self.tiles[tile].blocked.len() {
             if self.tiles[tile].blocked[i].2.wakes_on(change) {
                 let (agent, since, _) = self.tiles[tile].blocked.swap_remove(i);
-                self.wake_agent(agent, since, now, queue);
+                self.wake_agent(agent, since, now);
             } else {
                 i += 1;
             }
         }
     }
 
-    fn wake_agent(
-        &mut self,
-        agent: AgentId,
-        since: u64,
-        now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) {
+    fn wake_agent(&mut self, agent: AgentId, since: u64, now: u64) {
         self.stats.blocked_cycles += now.saturating_sub(since);
         let seq = self.next_seq();
-        queue.push(Reverse(Event {
+        self.queue.push(Reverse(Event {
             time: now,
             priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
             seq,
@@ -911,14 +1028,9 @@ impl NodeSim {
         })
     }
 
-    fn step_agent(
-        &mut self,
-        agent: AgentId,
-        now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) -> Result<Step> {
+    fn step_agent(&mut self, agent: AgentId, now: u64) -> Result<Step> {
         let (instr, pc) = self.fetch(agent)?;
-        self.execute_instr(agent, instr, pc, now, queue)
+        self.execute_instr(agent, instr, pc, now)
     }
 
     /// Executes one already-fetched instruction, charging fetch/decode
@@ -930,11 +1042,10 @@ impl NodeSim {
         instr: Instruction,
         pc: u32,
         now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
     ) -> Result<Step> {
         let fd_energy = self.fd_energy_nj;
         let outcome = if agent.is_tile_ctl() {
-            self.step_tile_ctl(agent, instr, now, queue)?
+            self.step_tile_ctl(agent, instr, now)?
         } else {
             self.step_core(agent, instr, pc)?
         };
@@ -943,7 +1054,7 @@ impl NodeSim {
         // instruction recorded any such transition in `self.changes`
         // (non-blocking instructions record nothing, so this is a cheap
         // emptiness check for them).
-        self.apply_wakes(agent.tile as usize, now, queue);
+        self.apply_wakes(agent.tile as usize, now);
         if matches!(outcome, Step::Advance { .. } | Step::Halted) {
             match self.engine {
                 // Seed-faithful accounting: the reference engine updates
@@ -969,18 +1080,21 @@ impl NodeSim {
     }
 
     /// Executes a tile-control instruction (send/receive/control flow).
-    fn step_tile_ctl(
-        &mut self,
-        agent: AgentId,
-        instr: Instruction,
-        now: u64,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-    ) -> Result<Step> {
+    fn step_tile_ctl(&mut self, agent: AgentId, instr: Instruction, now: u64) -> Result<Step> {
         let t = agent.tile as usize;
         let pc = self.tiles[t].tile_pc;
         match instr {
-            Instruction::Send { addr, fifo, target, width } => {
-                if target as usize >= self.tiles.len() {
+            Instruction::Send { addr, fifo, target, node, width } => {
+                if node >= self.cluster_nodes {
+                    return Err(PumaError::Execution {
+                        what: format!(
+                            "send to nonexistent node {node} (cluster has {} nodes)",
+                            self.cluster_nodes
+                        ),
+                    });
+                }
+                let local = node == self.node_id;
+                if local && target as usize >= self.tiles.len() {
                     return Err(PumaError::Execution {
                         what: format!("send to nonexistent tile {target}"),
                     });
@@ -1005,6 +1119,29 @@ impl NodeSim {
                     }
                 };
                 self.changes.push(TileChange::InvalidRange { start: a, len: width as u32 });
+                if !local {
+                    // Inter-node: the packet crosses the chip-to-chip
+                    // interconnect instead of the NoC. The tile control
+                    // unit is occupied for the link serialization time;
+                    // the cluster scheduler picks the packet up from the
+                    // outbox and delivers it after the full transfer time.
+                    let occupancy = self.interconnect.occupancy_cycles(width as usize);
+                    let energy = self.interconnect.energy_nj(width as usize);
+                    self.charge(agent, EnergyComponent::Interconnect, energy, occupancy);
+                    self.stats.internode_words += width as u64;
+                    let arrive_at = now + self.interconnect.transfer_cycles(width as usize);
+                    if arrive_at > self.max_cycles {
+                        return Err(self.cycle_cap_error());
+                    }
+                    self.outbox.push(OutboundPacket {
+                        node,
+                        tile: target,
+                        fifo,
+                        packet: Packet { words },
+                        arrive_at,
+                    });
+                    return Ok(Step::Advance { next_pc: pc + 1, latency: occupancy });
+                }
                 let occupancy = self.timing.receive_cycles(width as usize);
                 let transit = self.timing.send_cycles(width as usize, t, target as usize);
                 let energy = self.timing.send_energy_nj(width as usize, t, target as usize);
@@ -1015,7 +1152,7 @@ impl NodeSim {
                     return Err(self.cycle_cap_error());
                 }
                 let seq = self.next_seq();
-                queue.push(Reverse(Event {
+                self.queue.push(Reverse(Event {
                     time: deliver_at,
                     priority: 0,
                     seq,
@@ -1076,7 +1213,7 @@ impl NodeSim {
                 self.charge(agent, EnergyComponent::SharedMemory, energy, cycles);
                 // A FIFO slot freed up: admit the next backpressured packet
                 // (drain_fifo also applies the wake-ups recorded above).
-                self.drain_fifo(t as u32, fifo, now, queue)?;
+                self.drain_fifo(t as u32, fifo, now)?;
                 Ok(Step::Advance { next_pc: pc + 1, latency: cycles })
             }
             Instruction::Jump { pc: target } => Ok(Step::Advance { next_pc: target, latency: 1 }),

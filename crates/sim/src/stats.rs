@@ -24,13 +24,15 @@ pub enum EnergyComponent {
     SharedMemory,
     /// On-chip network (send/receive traffic) + receive buffers.
     Network,
+    /// Chip-to-chip interconnect (inter-node sends in a sharded cluster).
+    Interconnect,
     /// Off-chip link (host input/output injection).
     OffChip,
 }
 
 impl EnergyComponent {
     /// All components, in display order.
-    pub const ALL: [EnergyComponent; 8] = [
+    pub const ALL: [EnergyComponent; 9] = [
         EnergyComponent::Mvmu,
         EnergyComponent::Vfu,
         EnergyComponent::Sfu,
@@ -38,6 +40,7 @@ impl EnergyComponent {
         EnergyComponent::FetchDecode,
         EnergyComponent::SharedMemory,
         EnergyComponent::Network,
+        EnergyComponent::Interconnect,
         EnergyComponent::OffChip,
     ];
 
@@ -52,7 +55,8 @@ impl EnergyComponent {
             EnergyComponent::FetchDecode => 4,
             EnergyComponent::SharedMemory => 5,
             EnergyComponent::Network => 6,
-            EnergyComponent::OffChip => 7,
+            EnergyComponent::Interconnect => 7,
+            EnergyComponent::OffChip => 8,
         }
     }
 
@@ -66,6 +70,7 @@ impl EnergyComponent {
             EnergyComponent::FetchDecode => "Fetch/Decode",
             EnergyComponent::SharedMemory => "Shared Memory",
             EnergyComponent::Network => "Network",
+            EnergyComponent::Interconnect => "Interconnect",
             EnergyComponent::OffChip => "Off-chip",
         }
     }
@@ -137,6 +142,9 @@ pub struct RunStats {
     pub shared_memory_words: u64,
     /// Words moved through the on-chip network.
     pub network_words: u64,
+    /// Words moved across the chip-to-chip interconnect (inter-node sends
+    /// in a sharded cluster; zero for single-node runs).
+    pub internode_words: u64,
     /// Number of cycles any agent spent blocked on synchronization.
     pub blocked_cycles: u64,
 }
@@ -180,6 +188,7 @@ impl RunStats {
         self.mvmu_activations += other.mvmu_activations;
         self.shared_memory_words += other.shared_memory_words;
         self.network_words += other.network_words;
+        self.internode_words += other.internode_words;
         self.blocked_cycles += other.blocked_cycles;
     }
 }

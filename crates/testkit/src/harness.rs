@@ -5,12 +5,31 @@
 //! depend on it without a dependency cycle.
 
 use puma_compiler::graph::Model;
-use puma_compiler::{compile, fit_config, CompilerOptions};
+use puma_compiler::{compile, fit_config, CompilerOptions, Partitioning};
 use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
 use puma_core::error::{PumaError, Result};
-use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
+use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 use std::collections::HashMap;
+
+/// The suite-wide default execution engine: `PUMA_ENGINE=reference` or
+/// `PUMA_ENGINE=runahead` overrides [`SimEngine::default`], so CI can run
+/// the whole differential surface under either engine (the two-engine
+/// matrix) without code changes.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `PUMA_ENGINE` value — a typo in the CI
+/// matrix must fail loudly, not silently collapse both legs onto the
+/// default engine.
+pub fn default_engine() -> SimEngine {
+    match std::env::var("PUMA_ENGINE").as_deref() {
+        Err(_) => SimEngine::default(),
+        Ok("reference") => SimEngine::Reference,
+        Ok("runahead" | "run_ahead" | "run-ahead") => SimEngine::RunAhead,
+        Ok(other) => panic!("unrecognized PUMA_ENGINE {other:?} (use reference|runahead)"),
+    }
+}
 
 /// A compact node configuration for fast simulation in tests: `dim`-sized
 /// crossbars, 2 MVMUs × 4 cores × 16 tiles.
@@ -46,7 +65,7 @@ pub fn run_functional_with_options(
     options: &CompilerOptions,
     inputs: &[(String, Vec<f32>)],
 ) -> Result<HashMap<String, Vec<f32>>> {
-    run_with_engine(model, cfg, options, inputs, SimMode::Functional, SimEngine::default())
+    run_with_engine(model, cfg, options, inputs, SimMode::Functional, default_engine())
         .map(|(outputs, _)| outputs)
 }
 
@@ -71,8 +90,23 @@ pub fn run_with_engine(
     let cfg = fit_config(cfg, &compiled);
     let mut sim = NodeSim::new(cfg, &compiled.image, mode, &NoiseModel::noiseless())?;
     sim.set_engine(engine);
+    write_model_inputs(&compiled, inputs, &mut |name, values| sim.write_input(name, values))?;
+    sim.run()?;
+    let out = read_model_outputs(&compiled, &|name| sim.read_output(name))?;
+    Ok((out, sim.stats().clone()))
+}
+
+/// Writes the compiled model's constant data and chunked logical inputs
+/// through `write` — the one copy of the host-side input contract
+/// (missing-input and shape errors included) shared by the single-node
+/// and cluster paths.
+fn write_model_inputs(
+    compiled: &puma_compiler::CompiledModel,
+    inputs: &[(String, Vec<f32>)],
+    write: &mut dyn FnMut(&str, &[f32]) -> Result<()>,
+) -> Result<()> {
     for (binding, values) in &compiled.const_data {
-        sim.write_input(&binding.name, values)?;
+        write(&binding.name, values)?;
     }
     for io in &compiled.inputs {
         let (_, data) = inputs
@@ -84,19 +118,58 @@ pub fn run_with_engine(
         }
         let mut offset = 0;
         for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
-            sim.write_input(chunk, &data[offset..offset + w])?;
+            write(chunk, &data[offset..offset + w])?;
             offset += w;
         }
     }
-    sim.run()?;
+    Ok(())
+}
+
+/// Reassembles the compiled model's logical outputs from their chunks
+/// through `read` (counterpart of [`write_model_inputs`]).
+fn read_model_outputs(
+    compiled: &puma_compiler::CompiledModel,
+    read: &dyn Fn(&str) -> Result<Vec<f32>>,
+) -> Result<HashMap<String, Vec<f32>>> {
     let mut out = HashMap::new();
     for io in &compiled.outputs {
         let mut data = Vec::with_capacity(io.width);
         for chunk in &io.chunks {
-            data.extend(sim.read_output(chunk)?);
+            data.extend(read(chunk)?);
         }
         out.insert(io.name.clone(), data);
     }
+    Ok(out)
+}
+
+/// Compiles `model` sharded across `nodes` simulated nodes
+/// ([`Partitioning::Sharded`]), runs one inference on a
+/// [`puma_sim::ClusterSim`], and returns outputs and aggregate cluster
+/// statistics — the entry point of the sharded differential suites, which
+/// pin bit-identical outputs against the single-node run.
+///
+/// # Errors
+///
+/// Propagates compile, shard, and simulator faults; reports missing or
+/// misshaped inputs as [`PumaError::Execution`]/[`PumaError::ShapeMismatch`].
+pub fn run_sharded(
+    model: &Model,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+    inputs: &[(String, Vec<f32>)],
+    nodes: usize,
+    mode: SimMode,
+    engine: SimEngine,
+) -> Result<(HashMap<String, Vec<f32>>, RunStats)> {
+    let options = CompilerOptions { partitioning: Partitioning::Sharded { nodes }, ..*options };
+    let compiled = compile(model, cfg, &options)?;
+    let cfg = fit_config(cfg, &compiled);
+    let images = compiled.shard()?;
+    let mut sim = ClusterSim::new(cfg, &images, mode, &NoiseModel::noiseless())?;
+    sim.set_engine(engine);
+    write_model_inputs(&compiled, inputs, &mut |name, values| sim.write_input(name, values))?;
+    sim.run()?;
+    let out = read_model_outputs(&compiled, &|name| sim.read_output(name))?;
     Ok((out, sim.stats().clone()))
 }
 

@@ -61,9 +61,15 @@ pub fn instruction() -> impl Strategy<Value = Instruction> {
         }),
         (mem(), reg(), 1u16..64, 1u16..512)
             .prop_map(|(addr, src, count, width)| Instruction::Store { addr, src, count, width }),
-        (mem(), 0u8..16, 0u16..256, 1u16..512).prop_map(|(addr, fifo, target, width)| {
-            Instruction::Send { addr, fifo, target, width }
-        }),
+        (mem(), 0u8..16, 0u16..256, 0u16..=255, 1u16..512).prop_map(
+            |(addr, fifo, target, node, width)| Instruction::Send {
+                addr,
+                fifo,
+                target,
+                node,
+                width
+            }
+        ),
         (mem(), 0u8..16, 1u16..64, 1u16..512).prop_map(|(addr, fifo, count, width)| {
             Instruction::Receive { addr, fifo, count, width }
         }),

@@ -7,25 +7,99 @@
 //! - [`BatchRunner`] — a batch of independent requests fanned across
 //!   worker threads (Fig. 11's batching scenario, measured on PUMAsim
 //!   rather than estimated analytically). Each worker owns its own
-//!   [`NodeSim`] bound to the same compiled image and steals requests
+//!   simulator bound to the same compiled image and steals requests
 //!   from a shared queue; outputs and aggregate statistics are
 //!   deterministic for any thread count.
+//!
+//! Both entry points serve models compiled with
+//! [`puma_compiler::Partitioning::Sharded`] transparently: the compiled
+//! image is split into per-node programs and each worker drives a
+//! [`ClusterSim`] instead of a [`NodeSim`] (§3.1 node scale-out).
 
 use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
-use puma_sim::{NodeSim, RunStats, SimEngine, SimMode};
+use puma_isa::MachineImage;
+use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// One simulator instance: a single node, or a cluster of nodes executing
+/// a sharded model. Presents the uniform write/run/read surface the
+/// runners drive.
+#[derive(Debug)]
+enum SimBackend {
+    Node(Box<NodeSim>),
+    Cluster(ClusterSim),
+}
+
+impl SimBackend {
+    fn reset(&mut self) {
+        match self {
+            SimBackend::Node(s) => s.reset(),
+            SimBackend::Cluster(s) => s.reset(),
+        }
+    }
+
+    fn set_engine(&mut self, engine: SimEngine) {
+        match self {
+            SimBackend::Node(s) => s.set_engine(engine),
+            SimBackend::Cluster(s) => s.set_engine(engine),
+        }
+    }
+
+    fn write_input(&mut self, name: &str, values: &[f32]) -> Result<()> {
+        match self {
+            SimBackend::Node(s) => s.write_input(name, values),
+            SimBackend::Cluster(s) => s.write_input(name, values),
+        }
+    }
+
+    fn read_output(&self, name: &str) -> Result<Vec<f32>> {
+        match self {
+            SimBackend::Node(s) => s.read_output(name),
+            SimBackend::Cluster(s) => s.read_output(name),
+        }
+    }
+
+    fn run(&mut self) -> Result<&RunStats> {
+        match self {
+            SimBackend::Node(s) => s.run(),
+            SimBackend::Cluster(s) => s.run(),
+        }
+    }
+
+    fn stats(&self) -> &RunStats {
+        match self {
+            SimBackend::Node(s) => s.stats(),
+            SimBackend::Cluster(s) => s.stats(),
+        }
+    }
+}
+
+/// Builds the simulator matching the compiled model's partitioning: a
+/// plain [`NodeSim`] for single-node models, a [`ClusterSim`] over the
+/// pre-sharded `images` otherwise.
+fn build_backend(
+    cfg: &NodeConfig,
+    images: &[MachineImage],
+    mode: SimMode,
+    noise: &NoiseModel,
+) -> Result<SimBackend> {
+    match images {
+        [single] => Ok(SimBackend::Node(Box::new(NodeSim::new(*cfg, single, mode, noise)?))),
+        many => Ok(SimBackend::Cluster(ClusterSim::new(*cfg, many, mode, noise)?)),
+    }
+}
+
 /// Writes one request's inputs (constants + named inputs, chunked per the
 /// compiler's layout), runs the simulator to completion, and reads back
 /// every logical output.
 fn run_request<S: AsRef<str>>(
-    sim: &mut NodeSim,
+    sim: &mut SimBackend,
     compiled: &CompiledModel,
     inputs: &[(S, Vec<f32>)],
 ) -> Result<HashMap<String, Vec<f32>>> {
@@ -62,7 +136,7 @@ fn run_request<S: AsRef<str>>(
 #[derive(Debug)]
 pub struct ModelRunner {
     compiled: CompiledModel,
-    sim: NodeSim,
+    sim: SimBackend,
     ran: bool,
 }
 
@@ -97,7 +171,8 @@ impl ModelRunner {
     ) -> Result<Self> {
         let compiled = compile(model, cfg, options)?;
         let cfg = fit_config(cfg, &compiled);
-        let sim = NodeSim::new(cfg, &compiled.image, mode, noise)?;
+        let images = compiled.shard()?;
+        let sim = build_backend(&cfg, &images, mode, noise)?;
         Ok(ModelRunner { compiled, sim, ran: false })
     }
 
@@ -230,6 +305,10 @@ impl BatchOutcome {
 #[derive(Debug)]
 pub struct BatchRunner {
     compiled: CompiledModel,
+    /// Per-node images (one entry for single-node models; the sharded
+    /// split otherwise), computed once so workers build simulators from
+    /// ready-made programs.
+    images: Vec<MachineImage>,
     cfg: NodeConfig,
     mode: SimMode,
     noise: NoiseModel,
@@ -239,7 +318,7 @@ pub struct BatchRunner {
     /// `run_batch` call and returned afterwards — construction (and
     /// functional-mode crossbar programming) is paid once per worker
     /// across the runner's lifetime, not once per batch.
-    pool: Mutex<Vec<NodeSim>>,
+    pool: Mutex<Vec<SimBackend>>,
 }
 
 impl BatchRunner {
@@ -274,12 +353,14 @@ impl BatchRunner {
     ) -> Result<Self> {
         let compiled = compile(model, cfg, options)?;
         let cfg = fit_config(cfg, &compiled);
+        let images = compiled.shard()?;
         // Validate the exact construction workers will perform (functional
         // mode also programs the crossbars), so per-worker builds cannot
         // fail; the validated instance seeds the worker pool.
-        let first = NodeSim::new(cfg, &compiled.image, mode, noise)?;
+        let first = build_backend(&cfg, &images, mode, noise)?;
         Ok(BatchRunner {
             compiled,
+            images,
             cfg,
             mode,
             noise: noise.clone(),
@@ -316,13 +397,19 @@ impl BatchRunner {
         self.threads
     }
 
-    fn build_sim(&self) -> Result<NodeSim> {
-        let mut sim = NodeSim::new(self.cfg, &self.compiled.image, self.mode, &self.noise)?;
+    /// Number of simulated nodes each request runs on (1 unless the model
+    /// was compiled with [`puma_compiler::Partitioning::Sharded`]).
+    pub fn nodes_per_request(&self) -> usize {
+        self.images.len()
+    }
+
+    fn build_sim(&self) -> Result<SimBackend> {
+        let mut sim = build_backend(&self.cfg, &self.images, self.mode, &self.noise)?;
         sim.set_engine(self.engine);
         Ok(sim)
     }
 
-    fn serve_one(&self, sim: &mut NodeSim, request: &BatchRequest) -> Result<RequestResult> {
+    fn serve_one(&self, sim: &mut SimBackend, request: &BatchRequest) -> Result<RequestResult> {
         sim.reset();
         let outputs = run_request(sim, &self.compiled, &request.inputs)?;
         Ok(RequestResult { outputs, stats: sim.stats().clone() })
@@ -349,7 +436,7 @@ impl BatchRunner {
                 scope.spawn(|| {
                     // Check a simulator out of the pool (building one on
                     // first use) and return it when the batch drains.
-                    let mut sim: Option<NodeSim> =
+                    let mut sim: Option<SimBackend> =
                         self.pool.lock().expect("sim pool poisoned").pop();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

@@ -92,6 +92,47 @@ fn batch_matches_sequential_model_runner() {
 }
 
 #[test]
+fn sharded_batch_matches_single_node_batch() {
+    use puma::compiler::{CompilerOptions, Partitioning};
+    use puma_sim::SimMode;
+    use puma_xbar::NoiseModel;
+
+    let (model, width) = test_model();
+    // dim-8 crossbars spread the model over enough tiles for two shards.
+    let cfg = puma_testkit::harness::small_node_config(8);
+    let reqs = requests(width, 6);
+
+    let single = BatchRunner::functional(&model, &cfg).unwrap().with_threads(2);
+    let sharded = BatchRunner::new(
+        &model,
+        &cfg,
+        &CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes: 2 },
+            ..CompilerOptions::default()
+        },
+        SimMode::Functional,
+        &NoiseModel::noiseless(),
+    )
+    .unwrap()
+    .with_threads(2);
+    assert_eq!(single.nodes_per_request(), 1);
+    assert_eq!(sharded.nodes_per_request(), 2);
+
+    let a = single.run_batch(&reqs).unwrap();
+    let b = sharded.run_batch(&reqs).unwrap();
+    assert_eq!(a.ok_count(), reqs.len());
+    assert_eq!(b.ok_count(), reqs.len());
+    let mut internode_total = 0;
+    for (ra, rb) in a.results.iter().zip(b.results.iter()) {
+        let (ra, rb) = (ra.as_ref().unwrap(), rb.as_ref().unwrap());
+        assert_eq!(ra.outputs, rb.outputs, "sharded outputs must be bit-identical");
+        internode_total += rb.stats.internode_words;
+    }
+    assert!(internode_total > 0, "the shard boundary must carry traffic");
+    assert_eq!(b.stats.internode_words, internode_total);
+}
+
+#[test]
 fn bad_request_fails_alone_without_sinking_the_batch() {
     let (model, width) = test_model();
     let cfg = NodeConfig::default();
