@@ -16,12 +16,13 @@
 //!
 //! `--quick` shrinks iteration counts and batch sizes for CI.
 
-use puma::runtime::{BatchRequest, BatchRunner};
+use puma::runtime::{BatchRequest, BatchRunner, ServeRunner};
 use puma_bench::{
     compile_workload, fmt_ratio, print_table, sim_seq_len, ClusterTimingSession, TimingSession,
 };
 use puma_compiler::{CompilerOptions, Partitioning};
 use puma_core::config::NodeConfig;
+use puma_core::timing::TrafficPattern;
 use puma_nn::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
 use puma_nn::zoo;
 use puma_sim::{NodeSim, SimEngine, SimMode};
@@ -77,6 +78,116 @@ impl BatchRow {
             0.0
         }
     }
+}
+
+/// One sustained-traffic serving measurement. Every field except the
+/// incidental wall time is computed on the simulated clock, so the whole
+/// row is deterministic and CI-gateable.
+struct ServingRow {
+    workload: String,
+    /// `replicated` (standing pool of full replicas) or `pipeline`
+    /// (sharded stages with overlapping requests).
+    mode: &'static str,
+    pattern: &'static str,
+    /// Offered load as a fraction of one worker's service rate
+    /// (`interarrival = service / load`).
+    load: &'static str,
+    workers: usize,
+    queue_depth: usize,
+    requests: usize,
+    completed: usize,
+    shed: usize,
+    interarrival: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max_latency: u64,
+    makespan: u64,
+    max_concurrent: usize,
+}
+
+/// Builds the serving stack for a zoo workload in timing mode, optionally
+/// sharded across `nodes` and served as a pipeline.
+fn build_serve_runner(name: &str, cfg: &NodeConfig, nodes: usize) -> ServeRunner {
+    let spec = zoo::spec(name);
+    let mut weights = puma_nn::WeightFactory::shape_only(7);
+    let model = zoo::build_graph_model(&spec, &mut weights, sim_seq_len(name))
+        .expect("zoo model builds")
+        .expect("workload is graph-compilable");
+    let options = if nodes > 1 {
+        CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes },
+            ..CompilerOptions::timing_only()
+        }
+    } else {
+        CompilerOptions::timing_only()
+    };
+    ServeRunner::new(&model, cfg, &options, SimMode::Timing, &NoiseModel::noiseless())
+        .expect("serve runner builds")
+        .with_pipeline(nodes > 1)
+}
+
+/// Offered-load sweep: serve `requests` requests at uniform/Poisson
+/// arrival schedules derived from the workload's measured service time
+/// (load 0.5 = underload, 1.0 = saturation, 2.0 = overload that exercises
+/// the shed policy), reporting deterministic latency percentiles.
+fn bench_serving(name: &str, cfg: &NodeConfig, nodes: usize, requests: usize) -> Vec<ServingRow> {
+    let mode = if nodes > 1 { "pipeline" } else { "replicated" };
+    let runner = build_serve_runner(name, cfg, nodes);
+    let zero_requests: Vec<BatchRequest> = (0..requests)
+        .map(|_| {
+            BatchRequest::new(
+                runner
+                    .compiled()
+                    .inputs
+                    .iter()
+                    .map(|io| (io.name.clone(), vec![0.0; io.width]))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Calibrate the service time: one request, no queueing.
+    let service = runner
+        .serve_pattern(&zero_requests[..1], &TrafficPattern::Batch)
+        .expect("calibration serve")
+        .latency
+        .p50;
+    let depth = 4;
+    let runner = runner.with_queue_depth(Some(depth));
+    let mut rows = Vec::new();
+    let sweeps: [(&'static str, &'static str, f64); 4] = [
+        ("uniform", "0.5", 0.5),
+        ("uniform", "1.0", 1.0),
+        ("uniform", "2.0", 2.0),
+        ("poisson", "1.0", 1.0),
+    ];
+    for (pattern_name, load_label, load) in sweeps {
+        let interarrival = ((service as f64 / load).round() as u64).max(1);
+        let pattern = match pattern_name {
+            "uniform" => TrafficPattern::Uniform { interval: interarrival },
+            _ => TrafficPattern::Poisson { mean_interarrival: interarrival as f64, seed: 2019 },
+        };
+        let outcome = runner.serve_pattern(&zero_requests, &pattern).expect("serving sweep");
+        rows.push(ServingRow {
+            workload: name.to_string(),
+            mode,
+            pattern: pattern_name,
+            load: load_label,
+            workers: outcome.workers,
+            queue_depth: depth,
+            requests,
+            completed: outcome.completed(),
+            shed: outcome.shed,
+            interarrival,
+            p50: outcome.latency.p50,
+            p95: outcome.latency.p95,
+            p99: outcome.latency.p99,
+            max_latency: outcome.latency.max,
+            makespan: outcome.makespan_cycles,
+            max_concurrent: outcome.max_concurrent,
+        });
+    }
+    rows
 }
 
 /// Times `runs` repetitions of `body` (after one warm-up), returning the
@@ -250,12 +361,57 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+fn serving_json_rows(serving_rows: &[ServingRow]) -> Vec<String> {
+    serving_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"pattern\": \"{}\", \
+                 \"load\": \"{}\", \"workers\": {}, \"queue_depth\": {}, \"requests\": {}, \
+                 \"completed\": {}, \"shed\": {}, \"interarrival_cycles\": {}, \
+                 \"p50_cycles\": {}, \"p95_cycles\": {}, \"p99_cycles\": {}, \
+                 \"max_latency_cycles\": {}, \"makespan_cycles\": {}, \"max_concurrent\": {}}}",
+                json_escape(&r.workload),
+                r.mode,
+                r.pattern,
+                r.load,
+                r.workers,
+                r.queue_depth,
+                r.requests,
+                r.completed,
+                r.shed,
+                r.interarrival,
+                r.p50,
+                r.p95,
+                r.p99,
+                r.max_latency,
+                r.makespan,
+                r.max_concurrent,
+            )
+        })
+        .collect()
+}
+
+/// Writes the serving section alone to its own artifact (uploaded by CI
+/// next to the full throughput JSON).
+fn write_serving_json(path: &str, quick: bool, serving_rows: &[ServingRow]) {
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"quick\": {},\n  \"serving\": [\n{}\n  ]\n}}\n",
+        quick,
+        serving_json_rows(serving_rows).join(",\n"),
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; the report's sections
 fn write_json(
     path: &str,
     quick: bool,
     engine_rows: &[EngineRow],
     batch_rows: &[BatchRow],
     sharded_rows: &[ShardedRow],
+    serving_rows: &[ServingRow],
     speedup_min: f64,
     speedup_peak: f64,
 ) {
@@ -314,13 +470,14 @@ fn write_json(
          \"run_ahead_speedup_vs_reference_peak\": {:.3},\n  \
          \"run_ahead_speedup_vs_reference_min\": {:.3},\n  \
          \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
-         \"sharded\": [\n{}\n  ]\n}}\n",
+         \"sharded\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ]\n}}\n",
         quick,
         speedup_peak,
         speedup_min,
         singles.join(",\n"),
         batches.join(",\n"),
         sharded.join(",\n"),
+        serving_json_rows(serving_rows).join(",\n"),
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
@@ -422,7 +579,45 @@ fn main() {
         &table,
     );
 
-    write_json(&out, quick, &engine_rows, &batch_rows, &sharded_rows, speedup_min, speedup_peak);
+    // Sustained-traffic serving: offered-load sweep on MLP + LSTM with
+    // the replicated worker pool, and the sharded LSTM as a 2-stage
+    // pipeline. Latency percentiles are simulated cycles — deterministic,
+    // gated by compare_bench.
+    let serving_requests = if quick { 10 } else { 24 };
+    let mut serving_rows = bench_serving("MLP-64-150-150-14", &cfg, 1, serving_requests);
+    serving_rows.extend(bench_serving("NMTL3", &cfg, 1, serving_requests));
+    serving_rows.extend(bench_serving("NMTL3", &cfg, 2, serving_requests));
+    let mut table = Vec::new();
+    for r in &serving_rows {
+        table.push(vec![
+            r.workload.clone(),
+            r.mode.to_string(),
+            format!("{}@{}", r.pattern, r.load),
+            format!("{}/{}", r.completed, r.requests),
+            r.shed.to_string(),
+            r.p50.to_string(),
+            r.p95.to_string(),
+            r.p99.to_string(),
+            r.max_concurrent.to_string(),
+        ]);
+    }
+    print_table(
+        "Serving under sustained traffic (simulated cycles; queue depth 4)",
+        &["Workload", "Mode", "Load", "Done", "Shed", "p50", "p95", "p99", "In flight"],
+        &table,
+    );
+
+    write_json(
+        &out,
+        quick,
+        &engine_rows,
+        &batch_rows,
+        &sharded_rows,
+        &serving_rows,
+        speedup_min,
+        speedup_peak,
+    );
+    write_serving_json("BENCH_serving.json", quick, &serving_rows);
     println!(
         "\n  Run-ahead vs reference event loop: {} (loop-heavy CNN) to {} (LSTM send/recv-bound).",
         fmt_ratio(speedup_peak),

@@ -195,6 +195,25 @@ fn main() -> ExitCode {
         &[("requests_per_second", Worse::Lower, gate_wall)],
         true,
     );
+    // Serving rows are entirely simulated-clock metrics: latency
+    // percentiles, shed count, completion count, and makespan are
+    // deterministic properties of the queue schedule, gated on any host.
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "serving",
+        &["workload", "mode", "pattern", "load", "workers"],
+        &[
+            ("p50_cycles", Worse::Higher, true),
+            ("p95_cycles", Worse::Higher, true),
+            ("p99_cycles", Worse::Higher, true),
+            ("shed", Worse::Higher, true),
+            ("completed", Worse::Lower, true),
+            ("makespan_cycles", Worse::Higher, true),
+        ],
+        false,
+    );
     // Engine speedup ratios: normalized against host *speed* (both
     // engines run on the same machine), but not against host *noise* — a
     // transient burst during one engine's timing loop still skews the

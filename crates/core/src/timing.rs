@@ -275,6 +275,100 @@ impl InterconnectConfig {
     }
 }
 
+/// Deterministic request-arrival generators for the serving runtime.
+///
+/// Arrival times are **simulated cycles** on the same clock as every other
+/// latency in this module, so latency percentiles computed from them are
+/// bit-reproducible across hosts, worker counts, and execution engines.
+/// The Poisson generator deliberately avoids `libm` transcendentals
+/// (`f64::ln` may differ across platforms): its exponential sampler uses a
+/// bit-exact logarithm built from IEEE add/mul/div only, so a committed
+/// bench baseline gates the identical schedule everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use puma_core::timing::TrafficPattern;
+/// assert_eq!(TrafficPattern::Batch.arrivals(3), vec![0, 0, 0]);
+/// assert_eq!(TrafficPattern::Uniform { interval: 10 }.arrivals(3), vec![0, 10, 20]);
+/// let poisson = TrafficPattern::Poisson { mean_interarrival: 100.0, seed: 7 };
+/// assert_eq!(poisson.arrivals(8), poisson.arrivals(8)); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every request arrives at cycle 0 (a one-shot batch — the schedule
+    /// `BatchRunner::run_batch` is equivalent to).
+    Batch,
+    /// Fixed inter-arrival gap: request `i` arrives at `i * interval`.
+    Uniform {
+        /// Gap between consecutive arrivals, in cycles.
+        interval: u64,
+    },
+    /// Open-loop Poisson process: exponential inter-arrival gaps with the
+    /// given mean, drawn from a seeded splitmix64 stream.
+    Poisson {
+        /// Mean inter-arrival gap, in cycles.
+        mean_interarrival: f64,
+        /// Stream seed; equal seeds give equal schedules.
+        seed: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// Generates the arrival times (non-decreasing cycles) of `n` requests.
+    pub fn arrivals(&self, n: usize) -> Vec<u64> {
+        match *self {
+            TrafficPattern::Batch => vec![0; n],
+            TrafficPattern::Uniform { interval } => {
+                (0..n as u64).map(|i| i.saturating_mul(interval)).collect()
+            }
+            TrafficPattern::Poisson { mean_interarrival, seed } => {
+                let mean = mean_interarrival.max(0.0);
+                let mut state = seed;
+                let mut t = 0u64;
+                (0..n)
+                    .map(|_| {
+                        let arrival = t;
+                        // u ∈ (0, 1]: never 0, so ln is finite.
+                        let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                        let gap = -mean * deterministic_ln(u);
+                        t = t.saturating_add(gap.round().max(0.0) as u64);
+                        arrival
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit mixing PRNG step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Natural logarithm of a positive finite `x` using only IEEE-exact
+/// add/mul/div (no `libm`), so results are bit-identical on every host:
+/// decompose `x = 2^e · m` with `m ∈ [1, 2)`, then
+/// `ln(m) = 2·atanh((m-1)/(m+1))` via its odd power series
+/// (|t| ≤ 1/3, truncation error < 1e-7 — far below one cycle).
+fn deterministic_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let series = t
+        * (1.0
+            + t2 * (1.0 / 3.0
+                + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 / 11.0)))));
+    e as f64 * std::f64::consts::LN_2 + 2.0 * series
+}
+
 /// eDRAM access latency in cycles (row activation + sense).
 pub const EDRAM_ACCESS_CYCLES: u64 = 4;
 
@@ -376,6 +470,48 @@ mod tests {
         let link = InterconnectConfig { latency_cycles: 0, gb_per_s: 0.0, energy_nj_per_word: 0.0 };
         assert!(link.transfer_cycles(1) >= 1);
         assert!(link.occupancy_cycles(1) >= 1);
+    }
+
+    #[test]
+    fn traffic_patterns_are_deterministic_and_sorted() {
+        let patterns = [
+            TrafficPattern::Batch,
+            TrafficPattern::Uniform { interval: 500 },
+            TrafficPattern::Poisson { mean_interarrival: 1000.0, seed: 42 },
+        ];
+        for p in patterns {
+            let a = p.arrivals(64);
+            assert_eq!(a, p.arrivals(64), "{p:?} must replay identically");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{p:?} must be non-decreasing");
+            assert_eq!(a[0], 0, "{p:?} first arrival is at cycle 0");
+        }
+        // Different seeds give different schedules.
+        let a = TrafficPattern::Poisson { mean_interarrival: 1000.0, seed: 1 }.arrivals(16);
+        let b = TrafficPattern::Poisson { mean_interarrival: 1000.0, seed: 2 }.arrivals(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close_to_requested() {
+        let mean = 2000.0;
+        let a = TrafficPattern::Poisson { mean_interarrival: mean, seed: 9 }.arrivals(4096);
+        let observed = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (observed - mean).abs() / mean < 0.1,
+            "observed mean gap {observed} vs requested {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_ln_matches_libm() {
+        for &x in &[1e-9, 0.001, 0.25, 0.5, 0.999, 1.0, 1.5, 2.0, 123.456] {
+            assert!(
+                (deterministic_ln(x) - x.ln()).abs() < 1e-6,
+                "ln({x}): {} vs {}",
+                deterministic_ln(x),
+                x.ln()
+            );
+        }
     }
 
     #[test]

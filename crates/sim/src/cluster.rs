@@ -497,7 +497,13 @@ mod tests {
             cluster.set_engine(engine);
             match cluster.run() {
                 Err(PumaError::Deadlock { what, .. }) => {
+                    // The diagnostic must pinpoint the stall: which node,
+                    // which tile, which agent, and which FIFO it is
+                    // parked on — that is what makes a serving timeout
+                    // against a sharded model debuggable.
                     assert!(what.contains("node1/tile0/ctl"), "{engine:?}: {what}");
+                    assert!(what.contains("fifo f3"), "{engine:?}: {what}");
+                    assert!(what.contains("1 agents blocked"), "{engine:?}: {what}");
                 }
                 other => panic!("{engine:?}: expected cluster deadlock, got {other:?}"),
             }

@@ -6,6 +6,10 @@
 //!   in-order pipelines, Fig. 1), tiles (Fig. 5), and the on-chip network;
 //! - [`memory`] — tile shared memory with the valid/count attribute buffer
 //!   (inter-core synchronization, Fig. 6);
+//! - [`cluster`] / [`pipeline`] — multi-node co-simulation of sharded
+//!   models: one request at a time ([`ClusterSim`]) or a pipelined request
+//!   stream with different requests resident on different nodes
+//!   ([`PipelineSim`]);
 //! - [`fifo`] — the receive buffer (N FIFOs × M entries, §4.2);
 //! - [`regfile`] — XbarIn/XbarOut/general register banks;
 //! - [`lut`] — ROM-embedded RAM transcendental lookups (§3.4.1);
@@ -55,9 +59,11 @@ pub mod fifo;
 pub mod lut;
 pub mod machine;
 pub mod memory;
+pub mod pipeline;
 pub mod regfile;
 pub mod stats;
 
 pub use cluster::ClusterSim;
-pub use machine::{NodeSim, SimEngine, SimMode};
+pub use machine::{NodeSim, OutboundPacket, SimEngine, SimMode};
+pub use pipeline::{PipelineReport, PipelineRequest, PipelineResult, PipelineSim, StageStats};
 pub use stats::{EnergyComponent, EnergyStats, RunStats};

@@ -170,6 +170,17 @@ enum WaitCond {
 }
 
 impl WaitCond {
+    /// Human-readable description of the transition being waited for,
+    /// used by [`NodeSim::blocked_summary`] to make deadlock and serving
+    /// timeout reports actionable.
+    fn describe(self) -> String {
+        match self {
+            WaitCond::MemValid(a) => format!("word @{a} to become valid"),
+            WaitCond::MemInvalid(a) => format!("word @{a} to be consumed"),
+            WaitCond::FifoPacket(f) => format!("fifo f{f}"),
+        }
+    }
+
     /// The wait condition matching a memory block reason.
     fn for_mem_block(block: crate::memory::MemBlock) -> WaitCond {
         match block {
@@ -220,21 +231,22 @@ struct AgentEnergy {
 }
 
 /// An inter-node packet produced by a `send` whose destination node is
-/// not this node: the cluster scheduler collects these via
-/// [`NodeSim::take_outbox`] and delivers them after the interconnect
-/// delay.
+/// not this node: a cluster scheduler ([`crate::ClusterSim`],
+/// [`crate::PipelineSim`], or an external driver of the stepping API)
+/// collects these via [`NodeSim::take_outbox`] and delivers them after
+/// the interconnect delay.
 #[derive(Debug)]
-pub(crate) struct OutboundPacket {
+pub struct OutboundPacket {
     /// Destination node index.
-    pub(crate) node: u16,
+    pub node: u16,
     /// Destination tile index, local to the destination node.
-    pub(crate) tile: u16,
+    pub tile: u16,
     /// Destination receive FIFO.
-    pub(crate) fifo: u8,
+    pub fifo: u8,
     /// Payload (empty in timing mode).
-    pub(crate) packet: Packet,
+    pub packet: Packet,
     /// Global cycle at which the packet lands at the destination tile.
-    pub(crate) arrive_at: u64,
+    pub arrive_at: u64,
 }
 
 /// The node simulator.
@@ -638,28 +650,71 @@ impl NodeSim {
     }
 
     /// Seeds the event queue with every live agent at cycle 0, discarding
-    /// any leftover state from an aborted previous run.
-    pub(crate) fn prime(&mut self) -> Result<()> {
+    /// any leftover state from an aborted previous run. Part of the
+    /// stepping API: `prime` + a [`NodeSim::step_one`] loop is exactly
+    /// what [`NodeSim::run`] does internally, but lets an external
+    /// scheduler (e.g. [`crate::ClusterSim`]) interleave this node's
+    /// events with other nodes'.
+    pub fn prime(&mut self) -> Result<()> {
+        self.prime_at(0)
+    }
+
+    /// [`NodeSim::prime`] with agents seeded at global cycle `at` — the
+    /// entry point for time-sliced execution, where one machine serves a
+    /// sequence of requests on a monotonically advancing global clock
+    /// (see [`NodeSim::begin_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `at` already exceeds the cycle cap.
+    pub fn prime_at(&mut self, at: u64) -> Result<()> {
         self.queue.clear();
         self.outbox.clear();
-        self.last_time = 0;
+        self.last_time = at;
         for t in 0..self.tiles.len() {
             for c in 0..self.tiles[t].cores.len() {
                 if !self.tiles[t].cores[c].halted {
                     let agent = AgentId { tile: t as u32, core: c as u32 };
-                    self.push_agent_event(agent, 0)?;
+                    self.push_agent_event(agent, at)?;
                 }
             }
             if !self.tiles[t].tile_halted {
                 let agent = AgentId { tile: t as u32, core: TILE_CTL };
-                self.push_agent_event(agent, 0)?;
+                self.push_agent_event(agent, at)?;
             }
         }
         Ok(())
     }
 
-    /// Timestamp of the next queued event, if any.
-    pub(crate) fn next_event_time(&self) -> Option<u64> {
+    /// Begins a fresh *execution segment* at global cycle `at`: resets
+    /// machine state and statistics exactly like [`NodeSim::reset`]
+    /// (crossbar weights persist) but keeps the clock monotonic, priming
+    /// every agent at `at` instead of 0. This is what makes request
+    /// executions resumable *and* time-sliced: a pipeline scheduler can
+    /// retire one request's segment on this node, read its outputs, and
+    /// immediately begin the next request's segment at the current global
+    /// time while other nodes are still mid-request.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `at` already exceeds the cycle cap.
+    pub fn begin_segment(&mut self, at: u64) -> Result<()> {
+        self.reset();
+        self.prime_at(at)
+    }
+
+    /// Finalizes and takes the statistics accumulated since the last
+    /// [`NodeSim::begin_segment`]/[`NodeSim::reset`], leaving zeroed
+    /// accumulators behind. `cycles` is left 0 — a segment's latency is
+    /// the scheduler's business (`finish − start`), not the node's.
+    pub fn take_segment_stats(&mut self) -> RunStats {
+        self.finalize_stats();
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Timestamp of the next queued event, if any. `None` means the node
+    /// is quiescent: halted, blocked, or awaiting external packets.
+    pub fn next_event_time(&self) -> Option<u64> {
         self.queue.peek().map(|Reverse(e)| e.time)
     }
 
@@ -670,7 +725,7 @@ impl NodeSim {
     /// # Errors
     ///
     /// Propagates execution faults and the cycle cap.
-    pub(crate) fn step_one(&mut self) -> Result<bool> {
+    pub fn step_one(&mut self) -> Result<bool> {
         let Some(Reverse(event)) = self.queue.pop() else {
             return Ok(false);
         };
@@ -705,26 +760,38 @@ impl NodeSim {
         Ok(true)
     }
 
-    /// Human-readable descriptions of every blocked agent (empty when the
-    /// node finished cleanly).
-    pub(crate) fn blocked_summary(&self) -> Vec<String> {
+    /// Human-readable descriptions of every blocked agent, each naming
+    /// the tile, the agent, and the exact state transition it is parked
+    /// on (a FIFO awaiting a packet, or a shared-memory word awaiting
+    /// production/consumption) — so a serving timeout or cluster deadlock
+    /// report pinpoints the stalled synchronization, not just the agent.
+    /// Empty when the node finished cleanly.
+    pub fn blocked_summary(&self) -> Vec<String> {
         self.tiles
             .iter()
             .enumerate()
             .flat_map(|(t, tile)| {
-                tile.blocked.iter().map(move |(a, since, _)| {
-                    if a.is_tile_ctl() {
-                        format!("tile{t}/ctl (since cycle {since})")
+                tile.blocked.iter().map(move |(a, since, cond)| {
+                    let agent = if a.is_tile_ctl() {
+                        format!("tile{t}/ctl")
                     } else {
-                        format!("tile{t}/core{} (since cycle {since})", a.core)
-                    }
+                        format!("tile{t}/core{}", a.core)
+                    };
+                    format!("{agent} waiting on {} (since cycle {since})", cond.describe())
                 })
             })
             .collect()
     }
 
+    /// Number of agents currently parked on a synchronization condition
+    /// (the allocation-free counterpart of [`NodeSim::blocked_summary`]
+    /// for schedulers that poll quiescence per event).
+    pub fn blocked_count(&self) -> usize {
+        self.tiles.iter().map(|t| t.blocked.len()).sum()
+    }
+
     /// Records the last observed timestamp as the run's cycle count.
-    pub(crate) fn seal_cycles(&mut self) {
+    pub fn seal_cycles(&mut self) {
         self.stats.cycles = self.last_time;
     }
 
@@ -743,17 +810,17 @@ impl NodeSim {
     }
 
     /// Sets the run-ahead external horizon (see the `horizon` field).
-    pub(crate) fn set_external_horizon(&mut self, horizon: u64) {
+    pub fn set_external_horizon(&mut self, horizon: u64) {
         self.horizon = horizon;
     }
 
     /// Latest event/instruction timestamp observed this run.
-    pub(crate) fn last_time(&self) -> u64 {
+    pub fn last_time(&self) -> u64 {
         self.last_time
     }
 
     /// Drains the inter-node packets produced since the last call.
-    pub(crate) fn take_outbox(&mut self) -> Vec<OutboundPacket> {
+    pub fn take_outbox(&mut self) -> Vec<OutboundPacket> {
         std::mem::take(&mut self.outbox)
     }
 
@@ -763,7 +830,7 @@ impl NodeSim {
     /// # Errors
     ///
     /// Returns [`PumaError::Execution`] for a nonexistent destination tile.
-    pub(crate) fn deliver_external(
+    pub fn deliver_external(
         &mut self,
         tile: u16,
         fifo: u8,

@@ -1,0 +1,358 @@
+//! Serving differential suite: the async serving stack must be a pure
+//! *scheduling* layer — for **any** worker count and **any** queue
+//! schedule (arrival pattern + queue bound), every completed request's
+//! outputs and statistics are bit-identical to `BatchRunner::run_batch`
+//! and to sequential `ModelRunner` execution. Latencies, shed decisions,
+//! and percentiles are functions of the simulated clock alone, so two
+//! serves of the same schedule replay identically.
+//!
+//! The pipelined path is held to the same bar: a 2-node sharded model
+//! serving a request stream with `ServeRunner::with_pipeline` keeps
+//! outputs bit-identical to single-node sequential execution *while* more
+//! than one request is simultaneously resident across the nodes (pipeline
+//! sharding actually exercised, not just configured).
+
+use proptest::prelude::*;
+use puma::runtime::{
+    BatchRequest, BatchRunner, Disposition, ModelRunner, ServeRequest, ServeRunner,
+};
+use puma_compiler::{CompilerOptions, Partitioning};
+use puma_core::timing::TrafficPattern;
+use puma_sim::SimMode;
+use puma_testkit::harness::{default_engine, seeded_values, small_node_config};
+use puma_testkit::modelgen;
+use puma_xbar::NoiseModel;
+use std::collections::HashMap;
+
+/// Builds `n` requests for a generated model case, each with its own
+/// seeded input values.
+fn fuzz_requests(case: &modelgen::ModelCase, n: usize) -> Vec<BatchRequest> {
+    (0..n)
+        .map(|r| {
+            BatchRequest::new(
+                case.inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (name, values))| {
+                        (name.clone(), seeded_values(values.len(), 7000 + 31 * r as u64 + i as u64))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Sequential reference: each request through a fresh `ModelRunner` run.
+fn sequential_outputs(
+    case: &modelgen::ModelCase,
+    requests: &[BatchRequest],
+    cfg: &puma_core::config::NodeConfig,
+) -> Vec<HashMap<String, Vec<f32>>> {
+    let mut runner = ModelRunner::functional(&case.model, cfg).expect("sequential runner");
+    requests
+        .iter()
+        .map(|req| {
+            let inputs: Vec<(&str, Vec<f32>)> =
+                req.inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            runner.run(&inputs).expect("sequential run")
+        })
+        .collect()
+}
+
+/// Asserts one serve outcome's completed requests match the sequential
+/// outputs bit-for-bit, returning how many completed.
+fn assert_completed_match_sequential(
+    outcome: &puma::runtime::ServeOutcome,
+    sequential: &[HashMap<String, Vec<f32>>],
+) -> usize {
+    let mut completed = 0;
+    for (i, served) in outcome.results.iter().enumerate() {
+        match &served.disposition {
+            Disposition::Completed { result, start, finish } => {
+                assert_eq!(
+                    result.outputs, sequential[i],
+                    "request {i}: serving must not change outputs"
+                );
+                assert!(finish >= start && *start >= served.arrival);
+                completed += 1;
+            }
+            Disposition::Shed => {}
+            Disposition::Failed(err) => panic!("request {i} failed: {err}"),
+        }
+    }
+    assert_eq!(completed, outcome.completed());
+    completed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fuzzed MLPs/LSTMs: any worker count × any open-loop schedule gives
+    /// the sequential outputs; with an unbounded queue nothing is shed.
+    #[test]
+    fn serving_matches_sequential_for_any_workers_and_schedule(
+        case in modelgen::any_case(),
+        workers in 1usize..4,
+    ) {
+        let cfg = small_node_config(8);
+        let requests = fuzz_requests(&case, 5);
+        let sequential = sequential_outputs(&case, &requests, &cfg);
+        let runner = ServeRunner::functional(&case.model, &cfg)
+            .expect("serve runner")
+            .with_engine(default_engine())
+            .with_workers(workers)
+            .with_host_threads(3);
+        for pattern in [
+            TrafficPattern::Batch,
+            TrafficPattern::Uniform { interval: 1000 },
+            TrafficPattern::Poisson { mean_interarrival: 2000.0, seed: 11 },
+        ] {
+            let outcome = runner.serve_pattern(&requests, &pattern).expect("serve");
+            prop_assert_eq!(outcome.shed, 0, "unbounded queues never shed");
+            let completed = assert_completed_match_sequential(&outcome, &sequential);
+            prop_assert_eq!(completed, requests.len());
+            prop_assert_eq!(outcome.latency.count, requests.len());
+            prop_assert!(outcome.latency.p50 <= outcome.latency.p95);
+            prop_assert!(outcome.latency.p95 <= outcome.latency.p99);
+            prop_assert!(outcome.latency.p99 <= outcome.latency.max);
+        }
+    }
+
+    /// The same schedule served twice replays identically: dispositions,
+    /// latencies, percentiles, and aggregate statistics.
+    #[test]
+    fn serving_replays_identically(case in modelgen::mlp_case()) {
+        let cfg = small_node_config(8);
+        let requests = fuzz_requests(&case, 6);
+        let runner = ServeRunner::functional(&case.model, &cfg)
+            .expect("serve runner")
+            .with_engine(default_engine())
+            .with_workers(2)
+            .with_queue_depth(Some(1));
+        let pattern = TrafficPattern::Poisson { mean_interarrival: 500.0, seed: 3 };
+        let a = runner.serve_pattern(&requests, &pattern).expect("first serve");
+        let b = runner.serve_pattern(&requests, &pattern).expect("second serve");
+        prop_assert_eq!(a.latency, b.latency);
+        prop_assert_eq!(a.shed, b.shed);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        for (ra, rb) in a.results.iter().zip(b.results.iter()) {
+            prop_assert_eq!(ra.latency(), rb.latency());
+            prop_assert_eq!(
+                matches!(ra.disposition, Disposition::Shed),
+                matches!(rb.disposition, Disposition::Shed)
+            );
+        }
+    }
+}
+
+/// The worker count must not change *anything* observable but wall time:
+/// outputs, per-request stats, latencies, and shed decisions — compared
+/// across 1/2/5 workers under an overloaded bounded queue.
+#[test]
+fn worker_count_changes_only_latency_never_outputs() {
+    let case = &modelgen::simulable_zoo_cases(23)[0];
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 8);
+    let sequential = sequential_outputs(case, &requests, &cfg);
+    // Arrivals far faster than service: more workers complete more
+    // requests before the depth-2 queue sheds.
+    let pattern = TrafficPattern::Uniform { interval: 10 };
+    let mut completed_by_workers = Vec::new();
+    for workers in [1usize, 2, 5] {
+        let runner = ServeRunner::functional(&case.model, &cfg)
+            .expect("serve runner")
+            .with_engine(default_engine())
+            .with_workers(workers)
+            .with_queue_depth(Some(2));
+        let outcome = runner.serve_pattern(&requests, &pattern).expect("serve");
+        let completed = assert_completed_match_sequential(&outcome, &sequential);
+        assert_eq!(completed + outcome.shed, requests.len());
+        completed_by_workers.push(completed);
+    }
+    assert!(
+        completed_by_workers.windows(2).all(|w| w[0] <= w[1]),
+        "more workers must never shed more: {completed_by_workers:?}"
+    );
+}
+
+/// `run_batch` is the serve special case (all arrivals at 0, unbounded
+/// queue): outputs and aggregate stats agree bit-for-bit.
+#[test]
+fn batch_wrapper_equals_serving_stack() {
+    let case = &modelgen::simulable_zoo_cases(29)[0];
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 6);
+    let batch = BatchRunner::functional(&case.model, &cfg)
+        .expect("batch runner")
+        .with_engine(default_engine())
+        .with_threads(3);
+    let batch_outcome = batch.run_batch(&requests).expect("batch");
+    let serve_outcome =
+        batch.serving().serve_pattern(&requests, &TrafficPattern::Batch).expect("serve");
+    assert_eq!(batch_outcome.ok_count(), serve_outcome.completed());
+    assert_eq!(batch_outcome.stats, serve_outcome.stats);
+    for (b, s) in batch_outcome.results.iter().zip(serve_outcome.results.iter()) {
+        let b = b.as_ref().expect("batch request ok");
+        match &s.disposition {
+            Disposition::Completed { result, .. } => {
+                assert_eq!(&b.outputs, &result.outputs);
+                assert_eq!(&b.stats, &result.stats);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+}
+
+/// Pipeline sharding: a 2-node sharded model serving a stream keeps
+/// outputs bit-identical to single-node sequential execution while >1
+/// request is in flight across the nodes.
+#[test]
+fn pipelined_sharded_serving_matches_sequential_with_overlap() {
+    let case = &modelgen::simulable_zoo_cases(41)[0]; // MLP: feed-forward stages
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 6);
+    let sequential = sequential_outputs(case, &requests, &cfg);
+    let runner = ServeRunner::new(
+        &case.model,
+        &cfg,
+        &CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes: 2 },
+            ..CompilerOptions::default()
+        },
+        SimMode::Functional,
+        &NoiseModel::noiseless(),
+    )
+    .expect("sharded serve runner")
+    .with_engine(default_engine())
+    .with_pipeline(true);
+    assert_eq!(runner.nodes_per_request(), 2);
+    let outcome = runner.serve_pattern(&requests, &TrafficPattern::Batch).expect("serve");
+    let completed = assert_completed_match_sequential(&outcome, &sequential);
+    assert_eq!(completed, requests.len());
+    assert!(
+        outcome.max_concurrent > 1,
+        "pipeline sharding must overlap requests (got {})",
+        outcome.max_concurrent
+    );
+    let stages = outcome.stages.as_ref().expect("pipeline reports stage occupancy");
+    assert_eq!(stages.len(), 2);
+    for stage in stages {
+        assert_eq!(stage.requests, requests.len() as u64);
+        assert!(stage.occupied_cycles > 0);
+    }
+    // Per-request interconnect traffic is attributed to the request.
+    let internode: u64 = outcome
+        .results
+        .iter()
+        .filter_map(|r| match &r.disposition {
+            Disposition::Completed { result, .. } => Some(result.stats.internode_words),
+            _ => None,
+        })
+        .sum();
+    assert!(internode > 0, "the shard boundary must carry traffic");
+}
+
+/// Pipelined LSTMs (recurrent traffic ping-pongs across the shard
+/// boundary) under a paced arrival schedule and a bounded queue: outputs
+/// stay bit-identical and the serve replays deterministically.
+#[test]
+fn pipelined_lstm_with_bounded_queue_is_deterministic() {
+    let case = &modelgen::simulable_zoo_cases(17)[1]; // LSTM-26-120-61
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 5);
+    let sequential = sequential_outputs(case, &requests, &cfg);
+    let runner = ServeRunner::new(
+        &case.model,
+        &cfg,
+        &CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes: 2 },
+            ..CompilerOptions::default()
+        },
+        SimMode::Functional,
+        &NoiseModel::noiseless(),
+    )
+    .expect("sharded serve runner")
+    .with_engine(default_engine())
+    .with_pipeline(true)
+    .with_queue_depth(Some(2));
+    let pattern = TrafficPattern::Poisson { mean_interarrival: 5000.0, seed: 19 };
+    let a = runner.serve_pattern(&requests, &pattern).expect("first serve");
+    assert_completed_match_sequential(&a, &sequential);
+    let b = runner.serve_pattern(&requests, &pattern).expect("second serve");
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.stats, b.stats);
+}
+
+/// A malformed request never occupies a queue slot — in either serving
+/// mode, a depth-1 queue still admits the valid request that arrives
+/// after it (the shed policy must not diverge between the replicated and
+/// pipelined implementations).
+#[test]
+fn malformed_request_never_occupies_a_queue_slot() {
+    let case = &modelgen::simulable_zoo_cases(61)[0];
+    let cfg = small_node_config(8);
+    let valid = fuzz_requests(case, 2);
+    // r0 valid (long service, worker busy), r1 malformed, r2 valid: with
+    // depth 1, r2 completes iff r1 took no slot.
+    let serve_requests = vec![
+        ServeRequest::new(0, valid[0].inputs.clone()),
+        ServeRequest::new(1, vec![("nope".to_string(), vec![0.0; 4])]),
+        ServeRequest::new(2, valid[1].inputs.clone()),
+    ];
+    let sharded_options = CompilerOptions {
+        partitioning: Partitioning::Sharded { nodes: 2 },
+        ..CompilerOptions::default()
+    };
+    let runners = [
+        ServeRunner::functional(&case.model, &cfg).expect("replicated runner"),
+        ServeRunner::new(
+            &case.model,
+            &cfg,
+            &sharded_options,
+            SimMode::Functional,
+            &NoiseModel::noiseless(),
+        )
+        .expect("pipelined runner")
+        .with_pipeline(true),
+    ];
+    for runner in runners {
+        let outcome = runner.with_queue_depth(Some(1)).serve(&serve_requests).expect("serve");
+        assert!(matches!(outcome.results[0].disposition, Disposition::Completed { .. }));
+        assert!(matches!(outcome.results[1].disposition, Disposition::Failed(_)));
+        assert!(
+            matches!(outcome.results[2].disposition, Disposition::Completed { .. }),
+            "a malformed request must not displace a valid one from the queue"
+        );
+        assert_eq!(outcome.shed, 0);
+    }
+}
+
+/// A malformed request is rejected at submission without disturbing the
+/// pipeline's other requests.
+#[test]
+fn pipelined_bad_request_fails_alone() {
+    let case = &modelgen::simulable_zoo_cases(53)[0];
+    let cfg = small_node_config(8);
+    let mut requests = fuzz_requests(case, 3);
+    requests[1] = BatchRequest::new(vec![("nope".to_string(), vec![0.0; 4])]);
+    let runner = ServeRunner::new(
+        &case.model,
+        &cfg,
+        &CompilerOptions {
+            partitioning: Partitioning::Sharded { nodes: 2 },
+            ..CompilerOptions::default()
+        },
+        SimMode::Functional,
+        &NoiseModel::noiseless(),
+    )
+    .expect("sharded serve runner")
+    .with_pipeline(true);
+    let serve_requests: Vec<ServeRequest> =
+        requests.iter().map(|r| ServeRequest::new(0, r.inputs.clone())).collect();
+    let outcome = runner.serve(&serve_requests).expect("serve");
+    assert!(matches!(outcome.results[0].disposition, Disposition::Completed { .. }));
+    assert!(matches!(outcome.results[1].disposition, Disposition::Failed(_)));
+    assert!(matches!(outcome.results[2].disposition, Disposition::Completed { .. }));
+}

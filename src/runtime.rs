@@ -1,31 +1,51 @@
 //! Host-side glue: compile a model graph, load it into the simulator,
 //! write inputs, run, and read back outputs by logical name.
 //!
-//! Two entry points:
+//! Three entry points, from one-shot to sustained traffic:
 //!
 //! - [`ModelRunner`] — one simulator instance, one inference at a time;
-//! - [`BatchRunner`] — a batch of independent requests fanned across
-//!   worker threads (Fig. 11's batching scenario, measured on PUMAsim
-//!   rather than estimated analytically). Each worker owns its own
-//!   simulator bound to the same compiled image and steals requests
-//!   from a shared queue; outputs and aggregate statistics are
-//!   deterministic for any thread count.
+//! - [`ServeRunner`] — the serving stack: a standing pool of simulated
+//!   workers fed by an arrival-time-ordered submission queue with bounded
+//!   depth (overload is **shed**, not buffered without limit), reporting
+//!   per-request latency in deterministic simulated cycles and p50/p95/p99
+//!   percentiles. Sharded models can serve **pipelined**: different
+//!   requests simultaneously resident on different nodes
+//!   ([`puma_sim::PipelineSim`]).
+//! - [`BatchRunner`] — a thin wrapper over the serving stack for one-shot
+//!   batches: `run_batch` ≡ serve with every arrival at cycle 0 and an
+//!   unbounded queue (Fig. 11's batching scenario).
 //!
-//! Both entry points serve models compiled with
+//! All entry points serve models compiled with
 //! [`puma_compiler::Partitioning::Sharded`] transparently: the compiled
 //! image is split into per-node programs and each worker drives a
 //! [`ClusterSim`] instead of a [`NodeSim`] (§3.1 node scale-out).
+//!
+//! # Determinism
+//!
+//! Outputs, per-request statistics, latencies, and shed decisions are all
+//! functions of the request schedule alone — *never* of the host thread
+//! count. Host threads only parallelize the simulation work; the serving
+//! timeline is computed on the simulated clock, so percentiles are
+//! bit-reproducible and CI-gateable.
 
 use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
+use puma_core::timing::TrafficPattern;
 use puma_isa::MachineImage;
-use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
+use puma_sim::{
+    ClusterSim, NodeSim, PipelineRequest, PipelineSim, RunStats, SimEngine, SimMode, StageStats,
+};
 use puma_xbar::NoiseModel;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Flattened per-binding host writes for one request (constants + input
+/// chunks), as consumed by [`PipelineRequest::writes`].
+type RequestWrites = Vec<(String, Vec<f32>)>;
 
 /// One simulator instance: a single node, or a cluster of nodes executing
 /// a sharded model. Presents the uniform write/run/read surface the
@@ -95,6 +115,33 @@ fn build_backend(
     }
 }
 
+/// Validates a request's inputs against the compiled I/O layout (every
+/// logical input present, at its declared width) and streams each
+/// per-binding chunk to `emit` — the single copy of the host-side input
+/// contract shared by direct execution, input validation, and pipeline
+/// write preparation.
+fn for_each_input_chunk<S: AsRef<str>>(
+    compiled: &CompiledModel,
+    inputs: &[(S, Vec<f32>)],
+    emit: &mut dyn FnMut(&str, &[f32]) -> Result<()>,
+) -> Result<()> {
+    for io in &compiled.inputs {
+        let (_, data) = inputs
+            .iter()
+            .find(|(n, _)| n.as_ref() == io.name)
+            .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
+        if data.len() != io.width {
+            return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
+        }
+        let mut offset = 0;
+        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
+            emit(chunk, &data[offset..offset + w])?;
+            offset += w;
+        }
+    }
+    Ok(())
+}
+
 /// Writes one request's inputs (constants + named inputs, chunked per the
 /// compiler's layout), runs the simulator to completion, and reads back
 /// every logical output.
@@ -106,20 +153,7 @@ fn run_request<S: AsRef<str>>(
     for (binding, values) in &compiled.const_data {
         sim.write_input(&binding.name, values)?;
     }
-    for io in &compiled.inputs {
-        let (_, data) = inputs
-            .iter()
-            .find(|(n, _)| n.as_ref() == io.name)
-            .ok_or_else(|| PumaError::Execution { what: format!("missing input {:?}", io.name) })?;
-        if data.len() != io.width {
-            return Err(PumaError::ShapeMismatch { expected: io.width, actual: data.len() });
-        }
-        let mut offset = 0;
-        for (chunk, &w) in io.chunks.iter().zip(io.chunk_widths.iter()) {
-            sim.write_input(chunk, &data[offset..offset + w])?;
-            offset += w;
-        }
-    }
+    for_each_input_chunk(compiled, inputs, &mut |chunk, data| sim.write_input(chunk, data))?;
     sim.run()?;
     let mut out = HashMap::new();
     for io in &compiled.outputs {
@@ -218,13 +252,161 @@ impl BatchRequest {
     }
 }
 
-/// Outcome of one request inside a batch.
+/// One inference request for [`ServeRunner::serve`]: named inputs plus
+/// the simulated cycle at which the request arrives at the submission
+/// queue.
+#[derive(Debug, Clone, Default)]
+pub struct ServeRequest {
+    /// Arrival time on the simulated clock, in cycles.
+    pub arrival: u64,
+    /// Named input vectors, one entry per model input.
+    pub inputs: Vec<(String, Vec<f32>)>,
+}
+
+impl ServeRequest {
+    /// Convenience constructor.
+    pub fn new(arrival: u64, inputs: Vec<(String, Vec<f32>)>) -> Self {
+        ServeRequest { arrival, inputs }
+    }
+}
+
+/// Outcome of one request inside a batch or serve.
 #[derive(Debug, Clone)]
 pub struct RequestResult {
     /// Model outputs by logical name.
     pub outputs: HashMap<String, Vec<f32>>,
     /// Simulator statistics for this request alone.
     pub stats: RunStats,
+}
+
+/// What happened to one served request.
+#[derive(Debug)]
+pub enum Disposition {
+    /// The request executed to completion.
+    Completed {
+        /// Outputs and per-request statistics.
+        result: RequestResult,
+        /// Cycle service began (`start − arrival` is the queueing delay).
+        start: u64,
+        /// Cycle service finished (`finish − arrival` is the latency).
+        finish: u64,
+    },
+    /// The bounded submission queue was full at arrival: the request was
+    /// rejected without executing (the backpressure/shed policy).
+    Shed,
+    /// The request faulted (bad inputs, simulator fault); other requests
+    /// are unaffected.
+    Failed(PumaError),
+}
+
+/// Per-request record of a [`ServeRunner::serve`] call.
+#[derive(Debug)]
+pub struct ServedRequest {
+    /// The request's arrival cycle (as submitted).
+    pub arrival: u64,
+    /// What happened to it.
+    pub disposition: Disposition,
+}
+
+impl ServedRequest {
+    /// Latency in simulated cycles (`finish − arrival`), if completed.
+    pub fn latency(&self) -> Option<u64> {
+        match self.disposition {
+            Disposition::Completed { finish, .. } => Some(finish - self.arrival),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic latency percentiles over the completed requests of one
+/// serve, in simulated cycles (nearest-rank method), plus count/mean/max.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Completed requests the summary covers.
+    pub count: usize,
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency.
+    pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Worst latency.
+    pub max: u64,
+    /// Mean latency.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from raw per-request latencies.
+    pub fn from_latencies(mut latencies: Vec<u64>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let count = latencies.len();
+        let nearest_rank = |p: f64| {
+            let rank = ((p / 100.0) * count as f64).ceil() as usize;
+            latencies[rank.clamp(1, count) - 1]
+        };
+        LatencySummary {
+            count,
+            p50: nearest_rank(50.0),
+            p95: nearest_rank(95.0),
+            p99: nearest_rank(99.0),
+            max: latencies[count - 1],
+            mean: latencies.iter().sum::<u64>() as f64 / count as f64,
+        }
+    }
+}
+
+/// Results of a [`ServeRunner::serve`] call.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-request records, in submission order (independent of which
+    /// simulated worker served each request).
+    pub results: Vec<ServedRequest>,
+    /// Aggregate statistics over the completed requests, merged in
+    /// submission order — deterministic for any worker or host-thread
+    /// count. `cycles` is serial-equivalent simulated latency (see
+    /// [`RunStats::merge`]).
+    pub stats: RunStats,
+    /// Latency percentiles over the completed requests, in cycles.
+    pub latency: LatencySummary,
+    /// Requests rejected by the bounded-queue shed policy.
+    pub shed: usize,
+    /// Simulated workers in the standing pool (1 pipeline in pipelined
+    /// mode).
+    pub workers: usize,
+    /// Host threads actually used for the simulation work.
+    pub host_threads: usize,
+    /// Cycle the last completed request finished (0 if none completed).
+    pub makespan_cycles: u64,
+    /// Maximum number of requests simultaneously in service.
+    pub max_concurrent: usize,
+    /// Per-stage occupancy when serving pipelined (`None` otherwise).
+    pub stages: Option<Vec<StageStats>>,
+    /// Host wall-clock time spent serving.
+    pub wall_seconds: f64,
+}
+
+impl ServeOutcome {
+    /// Number of requests that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::Completed { .. }))
+            .count()
+    }
+
+    /// Deterministic simulated throughput: completed requests per million
+    /// simulated cycles (0.0 when nothing completed).
+    pub fn requests_per_megacycle(&self) -> f64 {
+        if self.makespan_cycles > 0 {
+            self.completed() as f64 * 1e6 / self.makespan_cycles as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Results of a [`BatchRunner::run_batch`] call.
@@ -250,6 +432,8 @@ impl BatchOutcome {
     }
 
     /// Host-side throughput: completed requests per wall-clock second.
+    /// Returns 0.0 for a zero wall time (a degenerate measurement must
+    /// not leak `inf`/NaN into bench JSON).
     pub fn requests_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.ok_count() as f64 / self.wall_seconds
@@ -259,6 +443,8 @@ impl BatchOutcome {
     }
 
     /// Simulation speed: simulated instructions per wall-clock second.
+    /// Returns 0.0 for a zero wall time (see
+    /// [`BatchOutcome::requests_per_second`]).
     pub fn instructions_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.stats.total_instructions() as f64 / self.wall_seconds
@@ -268,42 +454,71 @@ impl BatchOutcome {
     }
 }
 
-/// Batched inference over worker threads.
+/// The async serving stack: a compiled model bound to a standing pool of
+/// simulated workers fed by an arrival-time-ordered submission queue.
 ///
-/// The runner compiles the model once; [`BatchRunner::run_batch`] then
-/// fans the requests over `threads` scoped workers. Each worker builds
-/// one private [`NodeSim`] (crossbar weights are programmed once and
-/// persist across the requests it serves) and work-steals request
-/// indices from a shared atomic cursor, so stragglers never idle the
-/// other workers.
+/// # Queue model
+///
+/// Requests arrive at simulated cycles ([`ServeRequest::arrival`], or a
+/// [`TrafficPattern`] via [`ServeRunner::serve_pattern`]) and wait FIFO
+/// for a free worker. The queue is bounded
+/// ([`ServeRunner::with_queue_depth`]): a request that arrives while
+/// `depth` requests already wait is **shed** — rejected immediately and
+/// counted, never buffered — which is the backpressure policy of a
+/// latency-bound serving system. At equal timestamps departures precede
+/// arrivals, so a freshly freed worker is visible to a same-cycle
+/// arrival.
+///
+/// Each simulated worker is one full replica of the node (or cluster, for
+/// sharded models): crossbars are programmed once per worker and persist
+/// across the requests it serves (§3.2.5). Per-request latency is
+/// `finish − arrival` on the simulated clock — queueing delay plus
+/// service time — and the reported p50/p95/p99 are deterministic for any
+/// worker count, host-thread count, and execution engine.
+///
+/// # Pipeline sharding
+///
+/// For a model compiled with [`puma_compiler::Partitioning::Sharded`],
+/// [`ServeRunner::with_pipeline`] replaces the replicated worker pool
+/// with a single [`PipelineSim`]: the model's nodes become pipeline
+/// stages, and different requests are simultaneously resident on
+/// different nodes (node 0 starts request r+1 while node 1 still runs r).
+/// Outputs remain bit-identical to sequential execution; the queue bound
+/// applies at the entry stage; [`ServeOutcome::stages`] reports per-stage
+/// occupancy.
 ///
 /// # Examples
 ///
 /// ```
 /// use puma::compiler::graph::Model;
-/// use puma::runtime::{BatchRequest, BatchRunner};
+/// use puma::runtime::{BatchRequest, ServeRunner};
 /// use puma_core::config::NodeConfig;
 /// use puma_core::tensor::Matrix;
+/// use puma_core::timing::TrafficPattern;
 ///
 /// # fn main() -> puma_core::Result<()> {
-/// let mut m = Model::new("batched");
+/// let mut m = Model::new("served");
 /// let x = m.input("x", 16);
 /// let a = m.constant_matrix("A", Matrix::from_fn(16, 16, |r, c| ((r + c) % 3) as f32 * 0.1));
 /// let ax = m.mvm(a, x)?;
 /// let y = m.tanh(ax);
 /// m.output("y", y);
 ///
-/// let runner = BatchRunner::functional(&m, &NodeConfig::default())?.with_threads(2);
-/// let requests: Vec<BatchRequest> = (0..8)
+/// let runner = ServeRunner::functional(&m, &NodeConfig::default())?
+///     .with_workers(2)
+///     .with_queue_depth(Some(8));
+/// let requests: Vec<BatchRequest> = (0..6)
 ///     .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.05 * i as f32; 16])]))
 ///     .collect();
-/// let outcome = runner.run_batch(&requests)?;
-/// assert_eq!(outcome.ok_count(), 8);
+/// let outcome =
+///     runner.serve_pattern(&requests, &TrafficPattern::Uniform { interval: 10_000 })?;
+/// assert_eq!(outcome.completed(), 6);
+/// assert!(outcome.latency.p50 > 0 && outcome.latency.p99 >= outcome.latency.p50);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct BatchRunner {
+pub struct ServeRunner {
     compiled: CompiledModel,
     /// Per-node images (one entry for single-node models; the sharded
     /// split otherwise), computed once so workers build simulators from
@@ -313,17 +528,26 @@ pub struct BatchRunner {
     mode: SimMode,
     noise: NoiseModel,
     engine: SimEngine,
-    threads: usize,
-    /// Idle simulators, checked out by workers for the duration of a
-    /// `run_batch` call and returned afterwards — construction (and
+    /// Host threads used to parallelize simulation work.
+    host_threads: usize,
+    /// Simulated workers in the standing pool.
+    workers: usize,
+    /// Submission-queue bound (`None` = unbounded, `Some(0)` = admit only
+    /// when a worker is idle).
+    queue_depth: Option<usize>,
+    /// Serve sharded models as a pipeline instead of replicating them.
+    pipeline: bool,
+    /// Idle simulators, checked out by host threads for the duration of a
+    /// serve call and returned afterwards — construction (and
     /// functional-mode crossbar programming) is paid once per worker
-    /// across the runner's lifetime, not once per batch.
+    /// across the runner's lifetime, not once per call.
     pool: Mutex<Vec<SimBackend>>,
+    /// The cached pipeline instance (built on first pipelined serve).
+    pipeline_sim: Mutex<Option<PipelineSim>>,
 }
 
-impl BatchRunner {
-    /// Compiles a model for bit-accurate batched functional simulation
-    /// with noiseless crossbars, defaulting to all available cores.
+impl ServeRunner {
+    /// Compiles a model for bit-accurate serving with noiseless crossbars.
     ///
     /// # Errors
     ///
@@ -358,22 +582,52 @@ impl BatchRunner {
         // mode also programs the crossbars), so per-worker builds cannot
         // fail; the validated instance seeds the worker pool.
         let first = build_backend(&cfg, &images, mode, noise)?;
-        Ok(BatchRunner {
+        Ok(ServeRunner {
             compiled,
             images,
             cfg,
             mode,
             noise: noise.clone(),
             engine: SimEngine::default(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: 1,
+            queue_depth: None,
+            pipeline: false,
             pool: Mutex::new(vec![first]),
+            pipeline_sim: Mutex::new(None),
         })
     }
 
-    /// Sets the worker-thread count (clamped to at least 1).
+    /// Sets the simulated worker-pool size. Clamped to at least 1: a
+    /// zero-worker pool would leave every queued request waiting forever.
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the host-thread count used to parallelize simulation work
+    /// (clamped to at least 1; it never affects results).
+    #[must_use]
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the submission queue: `None` = unbounded, `Some(d)` = at
+    /// most `d` requests waiting (a request arriving beyond that is shed;
+    /// `Some(0)` admits only when a worker is idle).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Serves sharded models as a pipeline (see the type docs). Ignored —
+    /// with a single pipeline stage — for single-node models.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -384,6 +638,9 @@ impl BatchRunner {
         for sim in self.pool.get_mut().expect("sim pool poisoned") {
             sim.set_engine(engine);
         }
+        if let Some(p) = self.pipeline_sim.get_mut().expect("pipeline sim poisoned").as_mut() {
+            p.set_engine(engine);
+        }
         self
     }
 
@@ -392,9 +649,14 @@ impl BatchRunner {
         &self.compiled
     }
 
-    /// Configured worker-thread count.
-    pub fn threads(&self) -> usize {
-        self.threads
+    /// Simulated worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured host-thread count.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Number of simulated nodes each request runs on (1 unless the model
@@ -409,14 +671,500 @@ impl BatchRunner {
         Ok(sim)
     }
 
-    fn serve_one(&self, sim: &mut SimBackend, request: &BatchRequest) -> Result<RequestResult> {
+    fn serve_one(
+        &self,
+        sim: &mut SimBackend,
+        inputs: &[(String, Vec<f32>)],
+    ) -> Result<RequestResult> {
         sim.reset();
-        let outputs = run_request(sim, &self.compiled, &request.inputs)?;
+        let outputs = run_request(sim, &self.compiled, inputs)?;
         Ok(RequestResult { outputs, stats: sim.stats().clone() })
     }
 
+    /// Runs every request's simulation across the host-thread pool
+    /// (work-stealing over a shared cursor), returning per-request
+    /// results in request order plus the host threads used. This is the
+    /// execution core shared by batch and replicated serving.
+    fn execute_all(
+        &self,
+        requests: &[&[(String, Vec<f32>)]],
+    ) -> (Vec<Result<RequestResult>>, usize) {
+        let threads = self.host_threads.min(requests.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RequestResult>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Check a simulator out of the pool (building one on
+                    // first use) and return it when the queue drains.
+                    let mut sim: Option<SimBackend> =
+                        self.pool.lock().expect("sim pool poisoned").pop();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        let result = match &mut sim {
+                            Some(s) => self.serve_one(s, requests[i]),
+                            None => self.build_sim().and_then(|mut s| {
+                                let r = self.serve_one(&mut s, requests[i]);
+                                sim = Some(s);
+                                r
+                            }),
+                        };
+                        *slots[i].lock().expect("request slot poisoned") = Some(result);
+                    }
+                    if let Some(s) = sim {
+                        self.pool.lock().expect("sim pool poisoned").push(s);
+                    }
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("request slot poisoned")
+                    .expect("every request index is claimed exactly once")
+            })
+            .collect();
+        (results, threads)
+    }
+
+    /// Serves requests arriving per `pattern` (request `i` arrives at the
+    /// pattern's `i`-th arrival time).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeRunner::serve`].
+    pub fn serve_pattern(
+        &self,
+        requests: &[BatchRequest],
+        pattern: &TrafficPattern,
+    ) -> Result<ServeOutcome> {
+        let arrivals = pattern.arrivals(requests.len());
+        let inputs: Vec<&[(String, Vec<f32>)]> =
+            requests.iter().map(|r| r.inputs.as_slice()).collect();
+        self.serve_inner(&arrivals, &inputs)
+    }
+
+    /// Serves a stream of requests through the standing worker pool and
+    /// returns per-request outcomes, aggregate statistics, and the
+    /// deterministic latency summary.
+    ///
+    /// Individual request faults are reported in the per-request
+    /// [`Disposition`] without failing the serve. A request with
+    /// malformed inputs (missing name, wrong width) is rejected at
+    /// submission — it never occupies a queue slot, in either the
+    /// replicated or the pipelined mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-level failures (pipeline construction, pipeline
+    /// deadlock — which stalls every in-flight request, not just one).
+    pub fn serve(&self, requests: &[ServeRequest]) -> Result<ServeOutcome> {
+        let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival).collect();
+        let inputs: Vec<&[(String, Vec<f32>)]> =
+            requests.iter().map(|r| r.inputs.as_slice()).collect();
+        self.serve_inner(&arrivals, &inputs)
+    }
+
+    /// The serving core, over borrowed per-request inputs so the public
+    /// wrappers ([`ServeRunner::serve`], [`ServeRunner::serve_pattern`],
+    /// [`BatchRunner::run_batch`]) never copy input data.
+    fn serve_inner(
+        &self,
+        arrivals: &[u64],
+        inputs: &[&[(String, Vec<f32>)]],
+    ) -> Result<ServeOutcome> {
+        let started = Instant::now();
+        // Queue order: arrival time, ties by submission index.
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&i| (arrivals[i], i));
+        let mut outcome = if self.pipeline && self.images.len() > 1 {
+            self.serve_pipelined(arrivals, inputs, &order)?
+        } else {
+            self.serve_replicated(arrivals, inputs, &order)?
+        };
+        // Aggregate over completed requests in submission order, so the
+        // merged floating-point energy totals never depend on scheduling.
+        let mut stats = RunStats::new();
+        let mut latencies = Vec::new();
+        let mut makespan = 0u64;
+        for served in &outcome.results {
+            if let Disposition::Completed { result, finish, .. } = &served.disposition {
+                stats.merge(&result.stats);
+                latencies.push(finish - served.arrival);
+                makespan = makespan.max(*finish);
+            }
+        }
+        outcome.stats = stats;
+        outcome.latency = LatencySummary::from_latencies(latencies);
+        outcome.makespan_cycles = makespan;
+        outcome.wall_seconds = started.elapsed().as_secs_f64();
+        Ok(outcome)
+    }
+
+    /// Replicated-worker serving: simulate every request (host-parallel,
+    /// speculative — a later-shed request may still be simulated), then
+    /// compute the deterministic virtual-time queue schedule. Requests
+    /// with malformed inputs are rejected at submission and excluded from
+    /// the schedule (matching the pipelined path), so they never displace
+    /// a valid request from the bounded queue.
+    fn serve_replicated(
+        &self,
+        arrivals: &[u64],
+        inputs: &[&[(String, Vec<f32>)]],
+        order: &[usize],
+    ) -> Result<ServeOutcome> {
+        let valid: Vec<bool> = inputs.iter().map(|i| self.validate_inputs(i).is_ok()).collect();
+        let schedule_order: Vec<usize> = order.iter().copied().filter(|&i| valid[i]).collect();
+        let (mut exec, host_threads) = self.execute_all(inputs);
+        // Requests that validated but faulted in simulation occupy their
+        // worker for zero cycles: the fault is reported per-request, not
+        // modelled as service time.
+        let durations: Vec<u64> =
+            exec.iter().map(|r| r.as_ref().map_or(0, |ok| ok.stats.cycles)).collect();
+        let schedule =
+            virtual_schedule(&schedule_order, arrivals, &durations, self.workers, self.queue_depth);
+        let mut shed = 0usize;
+        let mut results = Vec::with_capacity(arrivals.len());
+        for (i, window) in schedule.iter().enumerate() {
+            let disposition = match (valid[i], *window, exec[i].is_ok()) {
+                (false, _, _) => match std::mem::replace(&mut exec[i], Ok(empty_result())) {
+                    Err(e) => Disposition::Failed(e),
+                    Ok(_) => unreachable!("validation failed but execution succeeded"),
+                },
+                (true, None, _) => {
+                    shed += 1;
+                    Disposition::Shed
+                }
+                (true, Some(_), false) => Disposition::Failed(
+                    std::mem::replace(&mut exec[i], Ok(empty_result())).unwrap_err(),
+                ),
+                (true, Some((start, finish)), true) => Disposition::Completed {
+                    result: std::mem::replace(&mut exec[i], Ok(empty_result()))
+                        .expect("checked above"),
+                    start,
+                    finish,
+                },
+            };
+            results.push(ServedRequest { arrival: arrivals[i], disposition });
+        }
+        let max_concurrent = max_overlap(&schedule);
+        Ok(ServeOutcome {
+            results,
+            stats: RunStats::new(),
+            latency: LatencySummary::default(),
+            shed,
+            workers: self.workers,
+            host_threads,
+            makespan_cycles: 0,
+            max_concurrent,
+            stages: None,
+            wall_seconds: 0.0,
+        })
+    }
+
+    /// Pipelined serving over a sharded model (see the type docs).
+    fn serve_pipelined(
+        &self,
+        arrivals: &[u64],
+        inputs: &[&[(String, Vec<f32>)]],
+        order: &[usize],
+    ) -> Result<ServeOutcome> {
+        // Reject malformed requests before they enter the queue, and
+        // build the per-request write list (input chunks) the pipeline
+        // performs when a node starts the request's segment. The model
+        // constants are identical for every request, so they are
+        // flattened once and passed as the pipeline's common writes.
+        let mut prepared: Vec<Result<RequestWrites>> =
+            inputs.iter().map(|i| self.prepare_writes(i)).collect();
+        let queue: Vec<usize> = order.iter().copied().filter(|&i| prepared[i].is_ok()).collect();
+        let pipeline_requests: Vec<PipelineRequest> = queue
+            .iter()
+            .map(|&i| PipelineRequest {
+                arrival: arrivals[i],
+                writes: std::mem::take(prepared[i].as_mut().expect("filtered to ok")),
+            })
+            .collect();
+        let const_writes: RequestWrites = self
+            .compiled
+            .const_data
+            .iter()
+            .map(|(binding, values)| (binding.name.clone(), values.clone()))
+            .collect();
+        let mut sim = self.checkout_pipeline()?;
+        let report = sim.serve(&const_writes, &pipeline_requests, self.queue_depth);
+        *self.pipeline_sim.lock().expect("pipeline sim poisoned") = Some(sim);
+        let report = report?;
+        let mut dispositions: Vec<Option<Disposition>> =
+            (0..arrivals.len()).map(|_| None).collect();
+        let mut shed = 0usize;
+        for (pos, &i) in queue.iter().enumerate() {
+            let r = &report.results[pos];
+            dispositions[i] = Some(if r.admitted {
+                let outputs = self.assemble_outputs(&r.outputs);
+                Disposition::Completed {
+                    result: RequestResult { outputs, stats: r.stats.clone() },
+                    start: r.start,
+                    finish: r.finish,
+                }
+            } else {
+                shed += 1;
+                Disposition::Shed
+            });
+        }
+        let results = dispositions
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| ServedRequest {
+                arrival: arrivals[i],
+                disposition: d.unwrap_or_else(|| {
+                    Disposition::Failed(
+                        std::mem::replace(&mut prepared[i], Ok(Vec::new())).unwrap_err(),
+                    )
+                }),
+            })
+            .collect();
+        Ok(ServeOutcome {
+            results,
+            stats: RunStats::new(),
+            latency: LatencySummary::default(),
+            shed,
+            workers: 1,
+            host_threads: 1,
+            makespan_cycles: 0,
+            max_concurrent: report.max_concurrent,
+            stages: Some(report.stages),
+            wall_seconds: 0.0,
+        })
+    }
+
+    /// Takes the cached pipeline instance or builds one.
+    fn checkout_pipeline(&self) -> Result<PipelineSim> {
+        if let Some(sim) = self.pipeline_sim.lock().expect("pipeline sim poisoned").take() {
+            return Ok(sim);
+        }
+        let mut sim = PipelineSim::new(self.cfg, &self.images, self.mode, &self.noise)?;
+        sim.set_engine(self.engine);
+        Ok(sim)
+    }
+
+    /// Validates one request's inputs against the compiled I/O layout
+    /// (every logical input present, at its declared width) — the same
+    /// contract [`run_request`] enforces, via the same code.
+    fn validate_inputs(&self, inputs: &[(String, Vec<f32>)]) -> Result<()> {
+        for_each_input_chunk(&self.compiled, inputs, &mut |_, _| Ok(()))
+    }
+
+    /// Validates one request's inputs against the compiled I/O layout and
+    /// flattens them into per-binding chunk writes (constants are shared
+    /// across requests and passed to the pipeline separately).
+    fn prepare_writes(&self, inputs: &[(String, Vec<f32>)]) -> Result<RequestWrites> {
+        let mut writes = RequestWrites::new();
+        for_each_input_chunk(&self.compiled, inputs, &mut |chunk, data| {
+            writes.push((chunk.to_string(), data.to_vec()));
+            Ok(())
+        })?;
+        Ok(writes)
+    }
+
+    /// Reassembles logical outputs from per-binding chunk reads.
+    fn assemble_outputs(&self, chunks: &HashMap<String, Vec<f32>>) -> HashMap<String, Vec<f32>> {
+        let mut out = HashMap::new();
+        for io in &self.compiled.outputs {
+            let mut data = Vec::with_capacity(io.width);
+            for chunk in &io.chunks {
+                data.extend(chunks.get(chunk).map_or(&[][..], Vec::as_slice));
+            }
+            out.insert(io.name.clone(), data);
+        }
+        out
+    }
+}
+
+/// A placeholder result used when moving a real one out of the execution
+/// slot vector.
+fn empty_result() -> RequestResult {
+    RequestResult { outputs: HashMap::new(), stats: RunStats::new() }
+}
+
+/// The deterministic virtual-time queue schedule: given arrival times and
+/// service durations, computes each request's `(start, finish)` on a pool
+/// of `workers` simulated servers with a FIFO queue bounded by `depth`
+/// (`None` per request = shed). Departures precede arrivals at equal
+/// timestamps.
+fn virtual_schedule(
+    order: &[usize],
+    arrivals: &[u64],
+    durations: &[u64],
+    workers: usize,
+    depth: Option<usize>,
+) -> Vec<Option<(u64, u64)>> {
+    let workers = workers.max(1);
+    let mut schedule: Vec<Option<(u64, u64)>> = vec![None; arrivals.len()];
+    // (free_at, worker index): deterministic tie-break by index.
+    let mut free: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..workers).map(|w| Reverse((0, w))).collect();
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let start_queued_until = |upto: u64,
+                              waiting: &mut VecDeque<usize>,
+                              free: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                              schedule: &mut Vec<Option<(u64, u64)>>| {
+        while let Some(&head) = waiting.front() {
+            let Some(&Reverse((free_at, worker))) = free.peek() else { break };
+            if free_at > upto {
+                break;
+            }
+            free.pop();
+            waiting.pop_front();
+            let start = free_at.max(arrivals[head]);
+            let finish = start + durations[head];
+            schedule[head] = Some((start, finish));
+            free.push(Reverse((finish, worker)));
+        }
+    };
+    for &i in order {
+        let t = arrivals[i];
+        start_queued_until(t, &mut waiting, &mut free, &mut schedule);
+        let idle_worker = free.peek().is_some_and(|&Reverse((f, _))| f <= t);
+        if idle_worker && waiting.is_empty() {
+            let Reverse((free_at, worker)) = free.pop().expect("peeked above");
+            let start = t.max(free_at);
+            schedule[i] = Some((start, start + durations[i]));
+            free.push(Reverse((start + durations[i], worker)));
+        } else if depth.is_none_or(|d| waiting.len() < d) {
+            waiting.push_back(i);
+        }
+        // else: shed (schedule[i] stays None).
+    }
+    start_queued_until(u64::MAX, &mut waiting, &mut free, &mut schedule);
+    schedule
+}
+
+/// Maximum number of simultaneously in-service requests in a schedule
+/// (finishes close before starts open at equal timestamps).
+fn max_overlap(schedule: &[Option<(u64, u64)>]) -> usize {
+    let mut events: Vec<(u64, i32)> = Vec::new();
+    for &(start, finish) in schedule.iter().flatten() {
+        events.push((start, 1));
+        events.push((finish, -1));
+    }
+    // Sort by time, closes (−1) before opens (+1).
+    events.sort_unstable_by_key(|&(t, delta)| (t, delta));
+    let mut current = 0i64;
+    let mut max = 0i64;
+    for (_, delta) in events {
+        current += i64::from(delta);
+        max = max.max(current);
+    }
+    max.max(0) as usize
+}
+
+/// Batched inference over worker threads — a thin wrapper over
+/// [`ServeRunner`]: a batch is a serve in which every request arrives at
+/// cycle 0 and the queue is unbounded, so nothing is ever shed and the
+/// outputs are identical to sequential execution for any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use puma::compiler::graph::Model;
+/// use puma::runtime::{BatchRequest, BatchRunner};
+/// use puma_core::config::NodeConfig;
+/// use puma_core::tensor::Matrix;
+///
+/// # fn main() -> puma_core::Result<()> {
+/// let mut m = Model::new("batched");
+/// let x = m.input("x", 16);
+/// let a = m.constant_matrix("A", Matrix::from_fn(16, 16, |r, c| ((r + c) % 3) as f32 * 0.1));
+/// let ax = m.mvm(a, x)?;
+/// let y = m.tanh(ax);
+/// m.output("y", y);
+///
+/// let runner = BatchRunner::functional(&m, &NodeConfig::default())?.with_threads(2);
+/// let requests: Vec<BatchRequest> = (0..8)
+///     .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.05 * i as f32; 16])]))
+///     .collect();
+/// let outcome = runner.run_batch(&requests)?;
+/// assert_eq!(outcome.ok_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    inner: ServeRunner,
+}
+
+impl BatchRunner {
+    /// Compiles a model for bit-accurate batched functional simulation
+    /// with noiseless crossbars, defaulting to all available cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and validation failures.
+    pub fn functional(model: &puma_compiler::graph::Model, cfg: &NodeConfig) -> Result<Self> {
+        Ok(BatchRunner { inner: ServeRunner::functional(model, cfg)? })
+    }
+
+    /// Full-control constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures; simulator construction is also
+    /// validated once up front so per-worker construction cannot fail.
+    pub fn new(
+        model: &puma_compiler::graph::Model,
+        cfg: &NodeConfig,
+        options: &CompilerOptions,
+        mode: SimMode,
+        noise: &NoiseModel,
+    ) -> Result<Self> {
+        Ok(BatchRunner { inner: ServeRunner::new(model, cfg, options, mode, noise)? })
+    }
+
+    /// Sets the worker-thread count. **Clamped to at least 1**: a
+    /// zero-thread pool would never pick work off the shared queue and
+    /// the batch would stall forever.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        BatchRunner { inner: self.inner.with_host_threads(threads) }
+    }
+
+    /// Selects the simulator execution engine (default run-ahead).
+    #[must_use]
+    pub fn with_engine(self, engine: SimEngine) -> Self {
+        BatchRunner { inner: self.inner.with_engine(engine) }
+    }
+
+    /// The compiled artifact shared by all workers.
+    pub fn compiled(&self) -> &CompiledModel {
+        self.inner.compiled()
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.inner.host_threads()
+    }
+
+    /// Number of simulated nodes each request runs on (1 unless the model
+    /// was compiled with [`puma_compiler::Partitioning::Sharded`]).
+    pub fn nodes_per_request(&self) -> usize {
+        self.inner.nodes_per_request()
+    }
+
+    /// The underlying serving stack (e.g. to serve the same compiled
+    /// model under a traffic pattern without recompiling).
+    pub fn serving(&self) -> &ServeRunner {
+        &self.inner
+    }
+
     /// Serves a batch of requests across the worker pool and returns
-    /// per-request outputs plus aggregate statistics.
+    /// per-request outputs plus aggregate statistics — equivalent to
+    /// [`ServeRunner::serve`] with every arrival at cycle 0 and an
+    /// unbounded queue.
     ///
     /// Individual request faults (bad inputs, deadlock) are reported in
     /// [`BatchOutcome::results`] without failing the batch.
@@ -426,56 +1174,90 @@ impl BatchRunner {
     /// Currently infallible beyond the per-request results; the `Result`
     /// wrapper reserves room for pool-level failures.
     pub fn run_batch(&self, requests: &[BatchRequest]) -> Result<BatchOutcome> {
-        let started = Instant::now();
-        let workers = self.threads.min(requests.len()).max(1);
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<RequestResult>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Check a simulator out of the pool (building one on
-                    // first use) and return it when the batch drains.
-                    let mut sim: Option<SimBackend> =
-                        self.pool.lock().expect("sim pool poisoned").pop();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= requests.len() {
-                            break;
-                        }
-                        let result = match &mut sim {
-                            Some(s) => self.serve_one(s, &requests[i]),
-                            None => self.build_sim().and_then(|mut s| {
-                                let r = self.serve_one(&mut s, &requests[i]);
-                                sim = Some(s);
-                                r
-                            }),
-                        };
-                        *slots[i].lock().expect("batch slot poisoned") = Some(result);
-                    }
-                    if let Some(s) = sim {
-                        self.pool.lock().expect("sim pool poisoned").push(s);
-                    }
-                });
-            }
-        });
-        let results: Vec<Result<RequestResult>> = slots
+        let outcome = self.inner.serve_pattern(requests, &TrafficPattern::Batch)?;
+        let results = outcome
+            .results
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("batch slot poisoned")
-                    .expect("every request index is claimed exactly once")
+            .map(|served| match served.disposition {
+                Disposition::Completed { result, .. } => Ok(result),
+                Disposition::Failed(err) => Err(err),
+                Disposition::Shed => unreachable!("unbounded queues never shed"),
             })
             .collect();
-        let mut stats = RunStats::new();
-        for result in results.iter().flatten() {
-            stats.merge(&result.stats);
-        }
         Ok(BatchOutcome {
             results,
-            stats,
-            threads: workers,
-            wall_seconds: started.elapsed().as_secs_f64(),
+            stats: outcome.stats,
+            threads: outcome.host_threads,
+            wall_seconds: outcome.wall_seconds,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_schedule_single_worker_is_fifo() {
+        // Three requests, 10-cycle service, arriving every 4 cycles.
+        let arrivals = [0, 4, 8];
+        let durations = [10, 10, 10];
+        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 1, None);
+        assert_eq!(schedule[0], Some((0, 10)));
+        assert_eq!(schedule[1], Some((10, 20)));
+        assert_eq!(schedule[2], Some((20, 30)));
+        assert_eq!(max_overlap(&schedule), 1);
+    }
+
+    #[test]
+    fn virtual_schedule_extra_workers_run_in_parallel() {
+        let arrivals = [0, 0, 0];
+        let durations = [10, 10, 10];
+        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 3, None);
+        assert!(schedule.iter().all(|w| *w == Some((0, 10))));
+        assert_eq!(max_overlap(&schedule), 3);
+    }
+
+    #[test]
+    fn virtual_schedule_sheds_beyond_queue_depth() {
+        // One worker busy 0..100; depth 1: request 1 queues, 2 and 3 shed.
+        let arrivals = [0, 1, 2, 3];
+        let durations = [100, 100, 100, 100];
+        let schedule = virtual_schedule(&[0, 1, 2, 3], &arrivals, &durations, 1, Some(1));
+        assert_eq!(schedule[0], Some((0, 100)));
+        assert_eq!(schedule[1], Some((100, 200)));
+        assert_eq!(schedule[2], None);
+        assert_eq!(schedule[3], None);
+    }
+
+    #[test]
+    fn virtual_schedule_departure_precedes_same_cycle_arrival() {
+        // Worker frees at exactly t=10 when the second request arrives:
+        // it must be admitted and start immediately.
+        let arrivals = [0, 10];
+        let durations = [10, 5];
+        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0));
+        assert_eq!(schedule[1], Some((10, 15)));
+    }
+
+    #[test]
+    fn depth_zero_is_a_loss_system() {
+        // No waiting room: the second concurrent request is shed.
+        let arrivals = [0, 5];
+        let durations = [100, 100];
+        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0));
+        assert_eq!(schedule[0], Some((0, 100)));
+        assert_eq!(schedule[1], None);
+    }
+
+    #[test]
+    fn latency_summary_nearest_rank() {
+        let s = LatencySummary::from_latencies((1..=100).collect());
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_latencies(vec![]), LatencySummary::default());
     }
 }

@@ -133,6 +133,48 @@ fn sharded_batch_matches_single_node_batch() {
 }
 
 #[test]
+fn zero_threads_is_clamped_and_still_serves() {
+    // Regression: a zero-thread pool must not stall the worker loop — the
+    // count clamps to 1 and the batch completes (documented on
+    // `BatchRunner::with_threads` / `ServeRunner::with_workers`).
+    let (model, width) = test_model();
+    let cfg = NodeConfig::default();
+    let reqs = requests(width, 3);
+    let runner = BatchRunner::functional(&model, &cfg).unwrap().with_threads(0);
+    assert_eq!(runner.threads(), 1, "zero threads clamps to one");
+    let outcome = runner.run_batch(&reqs).unwrap();
+    assert_eq!(outcome.ok_count(), 3);
+    assert_eq!(outcome.threads, 1);
+
+    // Same contract on the serving stack's simulated worker pool.
+    let server = puma::runtime::ServeRunner::functional(&model, &cfg).unwrap().with_workers(0);
+    assert_eq!(server.workers(), 1, "zero workers clamps to one");
+    let serve_reqs: Vec<puma::runtime::ServeRequest> =
+        reqs.iter().map(|r| puma::runtime::ServeRequest::new(0, r.inputs.clone())).collect();
+    assert_eq!(server.serve(&serve_reqs).unwrap().completed(), 3);
+}
+
+#[test]
+fn zero_wall_time_yields_zero_throughput_not_inf() {
+    // Regression: degenerate wall-clock measurements must report 0.0, not
+    // inf/NaN that would leak into bench JSON.
+    use puma::runtime::BatchOutcome;
+    use puma_sim::RunStats;
+    let mut stats = RunStats::new();
+    stats.count_instruction(puma::isa::InstructionCategory::Vfu);
+    let outcome = BatchOutcome { results: vec![], stats, threads: 1, wall_seconds: 0.0 };
+    assert_eq!(outcome.requests_per_second(), 0.0);
+    assert_eq!(outcome.instructions_per_second(), 0.0);
+
+    // And the simulated-clock counterpart guards a zero makespan.
+    let (model, width) = test_model();
+    let server = puma::runtime::ServeRunner::functional(&model, &NodeConfig::default()).unwrap();
+    let outcome = server.serve(&[]).unwrap();
+    let _ = width;
+    assert_eq!(outcome.requests_per_megacycle(), 0.0);
+}
+
+#[test]
 fn bad_request_fails_alone_without_sinking_the_batch() {
     let (model, width) = test_model();
     let cfg = NodeConfig::default();
