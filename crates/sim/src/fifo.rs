@@ -36,6 +36,16 @@ impl ReceiveBuffer {
         self.fifos.len()
     }
 
+    /// Drops all queued packets in place — identical post-state to a
+    /// fresh [`ReceiveBuffer::new`] of the same shape, without
+    /// re-allocating the FIFO ring storage.
+    pub fn reset(&mut self) {
+        for q in &mut self.fifos {
+            q.clear();
+        }
+        self.generation = 0;
+    }
+
     /// Monotonic change counter.
     pub fn generation(&self) -> u64 {
         self.generation

@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+mod equeue;
 pub mod fifo;
 pub mod lut;
 pub mod machine;

@@ -23,7 +23,46 @@
 //! engine, which executes straight-line runs of core-local instructions
 //! inside one event and re-enters the queue only at synchronization
 //! points.
+//!
+//! # Run-ahead safety: the per-tile event-horizon invariant
+//!
+//! The run-ahead engine may execute a *synchronization* instruction
+//! (attribute-buffer load/store, FIFO send/receive) for an agent of tile
+//! `T` at local time `t` **outside** the event queue only when nothing
+//! still queued could change tile `T`'s observable state at or before
+//! `t`. Three facts make that check cheap and exact:
+//!
+//! 1. **Every queued event targets exactly one tile** (an agent's tile,
+//!    or a packet delivery's destination tile), and an event on tile `U`
+//!    can only touch tile `U`'s memory and FIFOs directly. The simulator
+//!    therefore tracks, per tile, the earliest queued event time
+//!    (`tile_next`, maintained incrementally as events push and pop —
+//!    external deliveries included). Tile `T` is safe from *direct*
+//!    interference iff `tile_next[T] > t`.
+//! 2. **Cross-tile interference travels only by NoC packet**, and any
+//!    packet delivery scheduled by an event executing at time `s` lands
+//!    at `s + d` with `d ≥ min_cross_delay` (one hop + one flit). So
+//!    pending work on *other* tiles is harmless iff the globally earliest
+//!    queued event time `M` satisfies `M + min_cross_delay > t` (events
+//!    on `T` itself already passed check 1, which is stricter).
+//! 3. **Inter-node packets** bypass the NoC; the external scheduler
+//!    ([`crate::ClusterSim`], [`crate::PipelineSim`]) publishes the
+//!    earliest global cycle at which one could still arrive via
+//!    [`NodeSim::set_external_horizon`], and run-ahead additionally
+//!    requires `t < horizon`.
+//!
+//! Together: every event that will ever target tile `T` carries a time
+//! `≥ T`'s recorded horizon `min(tile_next[T], M + min_cross_delay,
+//! horizon)`, so executing tile-local synchronization strictly below that
+//! horizon is indistinguishable from the reference event loop. Any new
+//! stepping-API feature (a new event kind, a new cross-tile effect, a
+//! zero-latency message path) must preserve this invariant or widen the
+//! checks in [`NodeSim::tile_clear_until`].
 
+use crate::equeue::{
+    agent_priority, BucketQueue, DeliverEvent, Event, EventKind, PRIO_DELIVER, PRIO_SHIFT,
+    PRIO_WAKE,
+};
 use crate::fifo::{Packet, ReceiveBuffer};
 use crate::lut::RomLut;
 use crate::memory::{MemOutcome, SharedMemory};
@@ -35,8 +74,6 @@ use puma_core::fixed::Fixed;
 use puma_core::timing::{InterconnectConfig, TimingModel};
 use puma_isa::{AluImmOp, AluOp, Instruction, MachineImage, MemAddr, Program, RegRef, ScalarOp};
 use puma_xbar::{AnalogMvmu, NoiseModel};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Simulation fidelity level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,10 +109,10 @@ pub enum SimEngine {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct AgentId {
-    tile: u32,
+pub(crate) struct AgentId {
+    pub(crate) tile: u32,
     /// Core index, or `u32::MAX` for the tile control unit.
-    core: u32,
+    pub(crate) core: u32,
 }
 
 const TILE_CTL: u32 = u32::MAX;
@@ -83,38 +120,6 @@ const TILE_CTL: u32 = u32::MAX;
 impl AgentId {
     fn is_tile_ctl(self) -> bool {
         self.core == TILE_CTL
-    }
-}
-
-#[derive(Debug)]
-enum EventKind {
-    AgentReady(AgentId),
-    Deliver { tile: u32, fifo: u8, packet: Packet },
-}
-
-#[derive(Debug)]
-struct Event {
-    time: u64,
-    /// Tie-break: deliveries first, then agents in id order.
-    priority: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.priority, self.seq) == (other.time, other.priority, other.seq)
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
     }
 }
 
@@ -136,8 +141,9 @@ struct TileState {
     tile_pc: u32,
     tile_program: Program,
     tile_halted: bool,
-    /// Parked agents: (agent, blocked-since cycle, wait condition).
-    blocked: Vec<(AgentId, u64, WaitCond)>,
+    /// Agents parked on a synchronization condition, indexed for O(1)
+    /// condition-matched wake-up with deterministic FIFO park order.
+    parked: ParkedSet,
 }
 
 /// Outcome of executing one instruction.
@@ -159,6 +165,12 @@ enum Step {
 /// wake adds `now - since` and a failed retry re-parks at `now`, so the
 /// per-agent sum telescopes to `success_time - first_block_time`
 /// regardless of how many intermediate retries happen.
+///
+/// **Wake-order contract (both engines):** when one [`TileChange`] wakes
+/// several parked agents, they wake — and their retries pop from the
+/// event queue — in *park order* (FIFO: the agent that blocked first
+/// retries first). A woken agent whose retry fails re-parks at the back
+/// of the line. See [`NodeSim::apply_wakes`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WaitCond {
     /// Waiting for this shared-memory word to become valid (a reader).
@@ -216,6 +228,50 @@ enum TileChange {
     InvalidRange { start: u32, len: u32 },
     /// A packet was admitted into this FIFO.
     FifoPush(u8),
+}
+
+/// One tile's parked agents, in FIFO park order (insertion order):
+/// tuples of `(agent, blocked-since cycle, wait condition)`, the
+/// condition being the index key wake-ups match against. A flat ordered
+/// list beats keyed maps here — a tile can park at most its agent count
+/// (cores + control unit, single digits), wake-up must preserve park
+/// order anyway, and a B-tree variant measured ~30% slower end to end
+/// on sync-bound workloads (parks/wakes are the hot path).
+#[derive(Debug, Default)]
+struct ParkedSet {
+    entries: Vec<(AgentId, u64, WaitCond)>,
+}
+
+impl ParkedSet {
+    fn park(&mut self, agent: AgentId, since: u64, cond: WaitCond) {
+        self.entries.push((agent, since, cond));
+    }
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+    fn drain_all(&mut self, out: &mut Vec<(AgentId, u64)>) {
+        out.extend(self.entries.drain(..).map(|(a, s, _)| (a, s)));
+    }
+    fn take_matching(&mut self, change: TileChange, out: &mut Vec<(AgentId, u64)>) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].2.wakes_on(change) {
+                let (a, s, _) = self.entries.remove(i);
+                out.push((a, s));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    fn iter(&self) -> impl Iterator<Item = &(AgentId, u64, WaitCond)> {
+        self.entries.iter()
+    }
 }
 
 /// Per-agent energy accumulator: flat arrays indexed by
@@ -287,10 +343,57 @@ pub struct NodeSim {
     /// Transitions recorded by the currently executing instruction (or
     /// packet delivery), consumed by [`NodeSim::apply_wakes`].
     changes: Vec<TileChange>,
-    /// The event queue. Owned by the simulator (rather than the run loop)
-    /// so a cluster scheduler can interleave events across nodes via
-    /// [`NodeSim::step_one`].
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Scratch for wake batches (reused so waking allocates nothing).
+    wake_scratch: Vec<(AgentId, u64)>,
+    /// Run-ahead continuations: agents that became runnable during the
+    /// current [`NodeSim::step_one`] — woken waiters *and* the running
+    /// agent's own deferred re-entry — and may resume *inline*, without a
+    /// queue round-trip, provided the per-tile horizon clears at their
+    /// resume time. Tuples are `(agent, resume time, priority class,
+    /// creation order)`, drained in exactly the `(time, priority, order)`
+    /// order their queue events would pop. Empty between steps.
+    continuations: Vec<(AgentId, u64, u64, u64)>,
+    /// The event queue (a bucketed calendar queue; same pop order as the
+    /// original binary heap). Owned by the simulator (rather than the run
+    /// loop) so a cluster scheduler can interleave events across nodes
+    /// via [`NodeSim::step_one`].
+    queue: BucketQueue,
+    /// Per-tile next-event index: for each tile, the (unordered) times of
+    /// the queued events targeting it, maintained incrementally on every
+    /// push and pop — external deliveries included — while the run-ahead
+    /// engine is active. Its minimum is the tile's direct event horizon
+    /// (see the module docs); a flat list beats a search tree here
+    /// because a tile rarely has more than its agent count in flight.
+    tile_next: Vec<Vec<u64>>,
+    /// Cached minimum of each `tile_next` entry (`u64::MAX` when empty),
+    /// so the hot-path horizon checks are O(1); recomputed from the flat
+    /// list only when the minimum itself is popped.
+    tile_min: Vec<u64>,
+    /// Cached minimum resume time of `continuations` (`u64::MAX` when
+    /// empty). All continuations within one step target one tile, so a
+    /// single value serves the in-segment horizon check.
+    cont_min: u64,
+    /// The static NoC send graph, per target tile: `senders_to[T]` lists
+    /// `(U, D)` pairs where some `send` instruction in tile `U`'s control
+    /// program addresses tile `T` with minimum transit `D` (self-sends
+    /// excluded — they execute as tile-`T` events and are covered by the
+    /// direct per-tile check). Any packet delivery into `T` is scheduled
+    /// by one of these static sends executing at an event time `s ≥` the
+    /// sender's next-event horizon, so it lands `≥ m_U + D` — the
+    /// cross-tile slack terms of the per-tile horizon. Recomputed on
+    /// [`NodeSim::join_cluster`] (the node id decides which sends are
+    /// local).
+    senders_to: Vec<Vec<(u32, u64)>>,
+    /// Per-target cheapest direct incoming edge (`u64::MAX` when no send
+    /// targets the tile) — the fast-path bound of
+    /// [`NodeSim::tile_clear_for_resume`].
+    min_direct: Vec<u64>,
+    /// Per-target floor on *multi-hop* delivery cost: the cheapest
+    /// last-edge-into-`T` plus the cheapest edge into that edge's source
+    /// (`u64::MAX` when unreachable in two hops). A delivery riding a
+    /// path of two or more static sends costs at least this beyond the
+    /// globally earliest queued event.
+    min_indirect: Vec<u64>,
     /// Latest event/instruction timestamp observed this run.
     last_time: u64,
     /// This node's index within a cluster (0 standalone).
@@ -384,7 +487,7 @@ impl NodeSim {
                 tile_pc: 0,
                 tile_program: tile_img.program.clone(),
                 cores,
-                blocked: Vec::new(),
+                parked: ParkedSet::default(),
             });
         }
         let mut agent_offsets = Vec::with_capacity(tiles.len());
@@ -394,8 +497,13 @@ impl NodeSim {
             agents += tile.cores.len() + 1;
         }
         let timing = TimingModel::new(cfg);
+        let tile_count = tiles.len();
+        let (senders_to, min_direct, min_indirect) = send_graph(&timing, &tiles, 0);
         Ok(NodeSim {
             fd_energy_nj: timing.fetch_decode_energy_nj(),
+            senders_to,
+            min_direct,
+            min_indirect,
             timing,
             cfg,
             mode,
@@ -413,7 +521,12 @@ impl NodeSim {
             seq: 0,
             pending_delivery: std::collections::HashMap::new(),
             changes: Vec::new(),
-            queue: BinaryHeap::new(),
+            wake_scratch: Vec::new(),
+            continuations: Vec::new(),
+            queue: BucketQueue::new(),
+            tile_next: vec![Vec::new(); tile_count],
+            tile_min: vec![u64::MAX; tile_count],
+            cont_min: u64::MAX,
             last_time: 0,
             node_id: 0,
             cluster_nodes: 1,
@@ -441,6 +554,21 @@ impl NodeSim {
     /// Selects the execution engine (default [`SimEngine::RunAhead`]).
     pub fn set_engine(&mut self, engine: SimEngine) {
         self.engine = engine;
+        // The per-tile horizon index is maintained only while run-ahead
+        // is active (the reference engine must keep seed-faithful
+        // per-event cost). Rebuild it here so switching engines with
+        // events already queued stays correct.
+        for index in &mut self.tile_next {
+            index.clear();
+        }
+        self.tile_min.fill(u64::MAX);
+        if engine == SimEngine::RunAhead {
+            for event in self.queue.iter() {
+                let t = event.tile() as usize;
+                self.tile_next[t].push(event.time);
+                self.tile_min[t] = self.tile_min[t].min(event.time);
+            }
+        }
     }
 
     /// The active execution engine.
@@ -530,21 +658,29 @@ impl NodeSim {
     pub fn reset(&mut self) {
         self.pending_delivery.clear();
         self.changes.clear();
+        self.continuations.clear();
         self.queue.clear();
+        for index in &mut self.tile_next {
+            index.clear();
+        }
+        self.tile_min.fill(u64::MAX);
+        self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = 0;
         self.horizon = u64::MAX;
         for tile in &mut self.tiles {
-            tile.memory = SharedMemory::new(tile.memory.words());
-            tile.rbuf =
-                ReceiveBuffer::new(self.cfg.tile.receive_fifos, self.cfg.tile.receive_fifo_depth);
+            // In-place clears: a reused simulator (BatchRunner pool,
+            // per-request pipeline segments) must not re-allocate every
+            // tile's memory per request.
+            tile.memory.reset();
+            tile.rbuf.reset();
             tile.tile_pc = 0;
             tile.tile_halted = tile.tile_program.is_empty();
-            tile.blocked.clear();
+            tile.parked.clear();
             for (ci, core) in tile.cores.iter_mut().enumerate() {
                 core.pc = 0;
                 core.halted = core.program.is_empty();
-                core.regs = CoreRegisters::new(&self.cfg.tile.core);
+                core.regs.reset();
                 // Reseed exactly as at construction, so a reused simulator
                 // (BatchRunner pool, TimingSession replay) gives every run
                 // the same `rand` stream as a fresh one.
@@ -669,6 +805,15 @@ impl NodeSim {
     /// Fails if `at` already exceeds the cycle cap.
     pub fn prime_at(&mut self, at: u64) -> Result<()> {
         self.queue.clear();
+        // The run-ahead scheduler state mirrors the queue (per-tile
+        // next-event index) or must be empty between steps
+        // (continuations); both may hold leftovers from an aborted run.
+        for index in &mut self.tile_next {
+            index.clear();
+        }
+        self.tile_min.fill(u64::MAX);
+        self.continuations.clear();
+        self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = at;
         for t in 0..self.tiles.len() {
@@ -715,7 +860,36 @@ impl NodeSim {
     /// Timestamp of the next queued event, if any. `None` means the node
     /// is quiescent: halted, blocked, or awaiting external packets.
     pub fn next_event_time(&self) -> Option<u64> {
-        self.queue.peek().map(|Reverse(e)| e.time)
+        self.queue.min_time()
+    }
+
+    /// Files an event into the queue, keeping the per-tile next-event
+    /// index in sync (run-ahead only; the reference engine never reads
+    /// it). The single enqueue path for agents, wakes, and deliveries.
+    fn enqueue(&mut self, time: u64, priority: u64, kind: EventKind) {
+        self.seq += 1;
+        debug_assert!(self.seq < 1 << PRIO_SHIFT, "event sequence exceeds the packed tie-break");
+        if self.engine == SimEngine::RunAhead {
+            let tile = match &kind {
+                EventKind::AgentReady(agent) => agent.tile,
+                EventKind::Deliver(d) => d.tile,
+            } as usize;
+            self.tile_next[tile].push(time);
+            self.tile_min[tile] = self.tile_min[tile].min(time);
+        }
+        self.queue.push(Event { time, prio_seq: (priority << PRIO_SHIFT) | self.seq, kind });
+    }
+
+    /// Removes one popped event's entry from the per-tile index.
+    fn unindex(&mut self, tile: u32, time: u64) {
+        if self.engine == SimEngine::RunAhead {
+            let index = &mut self.tile_next[tile as usize];
+            let at = index.iter().position(|&t| t == time).expect("popped event was indexed");
+            index.swap_remove(at);
+            if time == self.tile_min[tile as usize] {
+                self.tile_min[tile as usize] = index.iter().copied().min().unwrap_or(u64::MAX);
+            }
+        }
     }
 
     /// Processes the next queued event. Returns `Ok(false)` when the queue
@@ -726,16 +900,18 @@ impl NodeSim {
     ///
     /// Propagates execution faults and the cycle cap.
     pub fn step_one(&mut self) -> Result<bool> {
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return Ok(false);
         };
+        self.unindex(event.tile(), event.time);
         let now = event.time;
         self.last_time = self.last_time.max(now);
         if now > self.max_cycles {
             return Err(self.cycle_cap_error());
         }
         match event.kind {
-            EventKind::Deliver { tile, fifo, packet } => {
+            EventKind::Deliver(d) => {
+                let DeliverEvent { tile, fifo, packet } = *d;
                 self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
                 self.drain_fifo(tile, fifo, now)?;
             }
@@ -746,7 +922,7 @@ impl NodeSim {
                         self.push_agent_event(agent, now + latency)?;
                     }
                     Step::Blocked(cond) => {
-                        self.tiles[agent.tile as usize].blocked.push((agent, now, cond));
+                        self.tiles[agent.tile as usize].parked.park(agent, now, cond);
                     }
                     Step::Halted => {
                         self.set_halted(agent);
@@ -757,7 +933,52 @@ impl NodeSim {
                 }
             },
         }
+        if self.engine == SimEngine::RunAhead && !self.continuations.is_empty() {
+            self.drain_continuations()?;
+        }
         Ok(true)
+    }
+
+    /// Runs the continuations accumulated during this step, minimum
+    /// `(time, priority, order)` first — exactly the order their events
+    /// would pop from the queue. A continuation whose tile horizon clears
+    /// at its resume time executes inline (its first instruction observes
+    /// exactly the state a queued retry would, by the module-docs
+    /// invariant); one that does not falls back to an ordinary queued
+    /// event of the same priority class. Inline segments wake further
+    /// agents and defer their own re-entries onto the same list, so whole
+    /// producer/consumer handoff chains execute within one event and the
+    /// queue sees only genuine cross-event boundaries.
+    fn drain_continuations(&mut self) -> Result<()> {
+        while !self.continuations.is_empty() {
+            let mut best = 0;
+            for i in 1..self.continuations.len() {
+                let key =
+                    (self.continuations[i].1, self.continuations[i].2, self.continuations[i].3);
+                let best_key = (
+                    self.continuations[best].1,
+                    self.continuations[best].2,
+                    self.continuations[best].3,
+                );
+                if key < best_key {
+                    best = i;
+                }
+            }
+            let (agent, t0, prio, _) = self.continuations.swap_remove(best);
+            self.cont_min =
+                self.continuations.iter().map(|&(_, t1, _, _)| t1).min().unwrap_or(u64::MAX);
+            // The candidate is the minimum-keyed continuation, so the
+            // remaining ones (all later-keyed) are not owed execution
+            // before its first instruction; its *subsequent*
+            // synchronization instructions re-check the horizon — which
+            // counts pending continuations — inside `run_ahead`.
+            if self.tile_clear_for_resume(agent.tile, t0) {
+                self.run_ahead(agent, t0)?;
+            } else {
+                self.enqueue(t0, prio, EventKind::AgentReady(agent));
+            }
+        }
+        Ok(())
     }
 
     /// Human-readable descriptions of every blocked agent, each naming
@@ -771,7 +992,7 @@ impl NodeSim {
             .iter()
             .enumerate()
             .flat_map(|(t, tile)| {
-                tile.blocked.iter().map(move |(a, since, cond)| {
+                tile.parked.iter().map(move |(a, since, cond)| {
                     let agent = if a.is_tile_ctl() {
                         format!("tile{t}/ctl")
                     } else {
@@ -787,7 +1008,7 @@ impl NodeSim {
     /// (the allocation-free counterpart of [`NodeSim::blocked_summary`]
     /// for schedulers that poll quiescence per event).
     pub fn blocked_count(&self) -> usize {
-        self.tiles.iter().map(|t| t.blocked.len()).sum()
+        self.tiles.iter().map(|t| t.parked.len()).sum()
     }
 
     /// Records the last observed timestamp as the run's cycle count.
@@ -807,6 +1028,12 @@ impl NodeSim {
         self.node_id = node_id;
         self.cluster_nodes = cluster_nodes.max(1);
         self.interconnect = interconnect;
+        // Which of the image's sends are local NoC traffic depends on
+        // the node id; refresh the static send graph.
+        let (senders_to, min_direct, min_indirect) = send_graph(&self.timing, &self.tiles, node_id);
+        self.senders_to = senders_to;
+        self.min_direct = min_direct;
+        self.min_indirect = min_indirect;
     }
 
     /// Sets the run-ahead external horizon (see the `horizon` field).
@@ -845,13 +1072,11 @@ impl NodeSim {
                 ),
             });
         }
-        let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
+        self.enqueue(
             time,
-            priority: 0,
-            seq,
-            kind: EventKind::Deliver { tile: tile as u32, fifo, packet },
-        }));
+            PRIO_DELIVER,
+            EventKind::Deliver(Box::new(DeliverEvent { tile: tile as u32, fifo, packet })),
+        );
         Ok(())
     }
 
@@ -865,6 +1090,7 @@ impl NodeSim {
     /// executing them back-to-back inside one event is indistinguishable
     /// from the reference per-instruction loop — minus its heap traffic.
     fn run_ahead(&mut self, agent: AgentId, now: u64) -> Result<()> {
+        let tile = agent.tile;
         let mut t = now;
         let mut first = true;
         loop {
@@ -876,31 +1102,33 @@ impl NodeSim {
                 return Err(self.cycle_cap_error());
             }
             let (instr, pc) = self.fetch(agent)?;
-            if !first && instr.may_block() && !(self.queue_clear_until(t) && t < self.horizon) {
-                // Blocking point with other events pending at or before
-                // its timestamp: re-enter the queue and execute it when
-                // its event pops, after any earlier event (another agent's
-                // store, a packet delivery) has updated the tile state.
-                // With a clear queue the lookahead is safe: every event
-                // created later carries a time past `t`, so no one can
-                // change the tile before this instruction executes. In a
-                // cluster the queue alone is not enough — an inter-node
-                // packet may still land at or after `horizon` — hence the
-                // second condition (always true standalone).
-                return self.push_agent_event(agent, t);
+            if !first && instr.may_block() && !self.tile_clear_until(tile, t) {
+                // Blocking point whose tile could still change at or
+                // before its timestamp: stop the segment and execute it
+                // after every earlier event (another agent's store, a
+                // packet delivery) has updated the tile state. The
+                // re-entry is deferred as a continuation: if the tile
+                // horizon clears once the earlier continuations have run,
+                // it resumes inline; otherwise it re-enters the queue.
+                // When the tile horizon is clear the lookahead is safe —
+                // see the module docs for the invariant.
+                let order = self.next_seq();
+                self.continuations.push((agent, t, agent_priority(tile, agent.core), order));
+                self.cont_min = self.cont_min.min(t);
+                return Ok(());
             }
             self.last_time = self.last_time.max(t);
             match self.execute_instr(agent, instr, pc, t)? {
                 Step::Advance { next_pc, latency } => {
+                    // All non-blocking instructions — the long-latency MVM
+                    // included — are core-local, so the run continues
+                    // without consulting the queue; only the next
+                    // synchronization instruction re-checks the horizon.
                     self.set_pc(agent, next_pc);
                     t += latency;
-                    if matches!(instr, Instruction::Mvm { .. }) && !self.queue_clear_until(t) {
-                        // Long-latency unit: re-enter at MVM completion.
-                        return self.push_agent_event(agent, t);
-                    }
                 }
                 Step::Blocked(cond) => {
-                    self.tiles[agent.tile as usize].blocked.push((agent, t, cond));
+                    self.tiles[tile as usize].parked.park(agent, t, cond);
                     return Ok(());
                 }
                 Step::Halted => {
@@ -919,13 +1147,7 @@ impl NodeSim {
         if time > self.max_cycles {
             return Err(self.cycle_cap_error());
         }
-        let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
-            time,
-            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
-            seq,
-            kind: EventKind::AgentReady(agent),
-        }));
+        self.enqueue(time, agent_priority(agent.tile, agent.core), EventKind::AgentReady(agent));
         Ok(())
     }
 
@@ -935,11 +1157,61 @@ impl NodeSim {
         }
     }
 
-    /// True if no queued event lands at or before `t` — event times only
-    /// move forward, so the running agent is alone in `[now, t]` and may
-    /// keep executing locally, synchronization instructions included.
-    fn queue_clear_until(&self, t: u64) -> bool {
-        self.queue.peek().is_none_or(|Reverse(e)| e.time > t)
+    /// True if nothing still queued (or still to arrive from outside the
+    /// node) can change tile `tile`'s observable state at or before `t`,
+    /// so the running agent may keep executing synchronization
+    /// instructions locally through `t`. The three checks implement the
+    /// per-tile event-horizon invariant (module docs): the tile's own
+    /// next-event index, the cross-tile NoC slack over the globally
+    /// earliest event, and the external (inter-node) horizon.
+    fn tile_clear_until(&self, tile: u32, t: u64) -> bool {
+        // Continuations accumulated this step are pending tile events
+        // too: a woken agent's retry (or a deferred re-entry) at `t0 ≤ t`
+        // must execute before any synchronization at `t` can be trusted.
+        // (All continuations within one step share the stepped tile, so
+        // the cached minimum suffices.)
+        if self.cont_min <= t {
+            debug_assert!(self.continuations.iter().all(|&(a, _, _, _)| a.tile == tile));
+            return false;
+        }
+        self.tile_clear_for_resume(tile, t)
+    }
+
+    /// [`NodeSim::tile_clear_until`] without the pending-continuation
+    /// term: the eligibility check for *resuming* the minimum-keyed
+    /// continuation, which by construction pops before every other
+    /// pending continuation — only queued events, the cross-tile slack,
+    /// and the external horizon can be owed execution before it.
+    fn tile_clear_for_resume(&self, tile: u32, t: u64) -> bool {
+        if t >= self.horizon {
+            return false;
+        }
+        if self.tile_min[tile as usize] <= t {
+            return false;
+        }
+        // Fast path: if even the cheapest single static send beyond the
+        // globally earliest queued event cannot land by `t`, neither the
+        // per-sender scan nor the multi-hop floor can veto (`m_U ≥ M`
+        // for every sender).
+        let min_any = self.min_direct[tile as usize].min(self.min_indirect[tile as usize]);
+        match self.queue.min_time() {
+            None => return true,
+            Some(m) if m.saturating_add(min_any) > t => return true,
+            Some(_) => {}
+        }
+        // Direct senders: a queued event on static predecessor `U` can
+        // deliver into this tile no earlier than `m_U + D`.
+        for &(u, d) in &self.senders_to[tile as usize] {
+            if self.tile_min[u as usize].saturating_add(d) <= t {
+                return false;
+            }
+        }
+        // Multi-hop paths: at least two static sends beyond the globally
+        // earliest queued event.
+        match self.queue.min_time() {
+            Some(m) => m.saturating_add(self.min_indirect[tile as usize]) > t,
+            None => true,
+        }
     }
 
     /// Moves as many pending packets as fit into the receive FIFO, in
@@ -969,62 +1241,57 @@ impl NodeSim {
     /// Applies the transitions recorded by the current instruction or
     /// delivery: the reference engine retries every parked agent on any
     /// change (seed behaviour); the run-ahead engine wakes only agents
-    /// whose wait condition matches one of the transitions.
+    /// whose wait condition matches one of the transitions — a keyed
+    /// [`ParkedSet`] lookup, not a scan.
+    ///
+    /// **Wake order is FIFO park order in both engines**: agents woken by
+    /// one transition re-enter the queue oldest-parked-first, and all
+    /// wake events share one priority class ([`PRIO_WAKE`]) so their
+    /// same-cycle retries pop in exactly that order. An agent whose retry
+    /// fails re-parks at the back. This is the fairness contract the
+    /// attribute-buffer protocol tests pin.
     fn apply_wakes(&mut self, tile: usize, now: u64) {
         if self.changes.is_empty() {
             return;
         }
-        if self.tiles[tile].blocked.is_empty() {
+        if self.tiles[tile].parked.is_empty() {
             // Nobody to wake on this tile.
             self.changes.clear();
             return;
         }
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        woken.clear();
         match self.engine {
             SimEngine::Reference => {
                 self.changes.clear();
-                self.wake_tile(tile, now);
+                self.tiles[tile].parked.drain_all(&mut woken);
             }
             SimEngine::RunAhead => {
-                let mut changes = std::mem::take(&mut self.changes);
+                let changes = std::mem::take(&mut self.changes);
                 for &change in &changes {
-                    self.wake_matching(tile, change, now);
+                    self.tiles[tile].parked.take_matching(change, &mut woken);
                 }
-                changes.clear();
                 self.changes = changes;
+                self.changes.clear();
             }
         }
-    }
-
-    /// Wakes every parked agent on the tile (reference engine).
-    fn wake_tile(&mut self, tile: usize, now: u64) {
-        let woken: Vec<(AgentId, u64, WaitCond)> = std::mem::take(&mut self.tiles[tile].blocked);
-        for (agent, since, _) in woken {
-            self.wake_agent(agent, since, now);
-        }
-    }
-
-    /// Wakes the parked agents whose wait condition matches `change`.
-    fn wake_matching(&mut self, tile: usize, change: TileChange, now: u64) {
-        let mut i = 0;
-        while i < self.tiles[tile].blocked.len() {
-            if self.tiles[tile].blocked[i].2.wakes_on(change) {
-                let (agent, since, _) = self.tiles[tile].blocked.swap_remove(i);
-                self.wake_agent(agent, since, now);
-            } else {
-                i += 1;
+        match self.engine {
+            SimEngine::Reference => {
+                for (agent, since) in woken.drain(..) {
+                    self.stats.blocked_cycles += now.saturating_sub(since);
+                    self.enqueue(now, PRIO_WAKE, EventKind::AgentReady(agent));
+                }
+            }
+            SimEngine::RunAhead => {
+                for (agent, since) in woken.drain(..) {
+                    self.stats.blocked_cycles += now.saturating_sub(since);
+                    let order = self.next_seq();
+                    self.continuations.push((agent, now, PRIO_WAKE, order));
+                    self.cont_min = self.cont_min.min(now);
+                }
             }
         }
-    }
-
-    fn wake_agent(&mut self, agent: AgentId, since: u64, now: u64) {
-        self.stats.blocked_cycles += now.saturating_sub(since);
-        let seq = self.next_seq();
-        self.queue.push(Reverse(Event {
-            time: now,
-            priority: 1 + (agent.tile as u64) * 64 + (agent.core as u64).min(63),
-            seq,
-            kind: EventKind::AgentReady(agent),
-        }));
+        self.wake_scratch = woken;
     }
 
     fn set_pc(&mut self, agent: AgentId, pc: u32) {
@@ -1218,17 +1485,15 @@ impl NodeSim {
                 if deliver_at > self.max_cycles {
                     return Err(self.cycle_cap_error());
                 }
-                let seq = self.next_seq();
-                self.queue.push(Reverse(Event {
-                    time: deliver_at,
-                    priority: 0,
-                    seq,
-                    kind: EventKind::Deliver {
+                self.enqueue(
+                    deliver_at,
+                    PRIO_DELIVER,
+                    EventKind::Deliver(Box::new(DeliverEvent {
                         tile: target as u32,
                         fifo,
                         packet: Packet { words },
-                    },
-                }));
+                    })),
+                );
                 Ok(Step::Advance { next_pc: pc + 1, latency: occupancy })
             }
             Instruction::Receive { addr, fifo, count, width } => {
@@ -1552,6 +1817,58 @@ impl NodeSim {
         };
         self.tiles[t].cores[c].regs.write_vec(dest, &result)
     }
+}
+
+/// Builds the static NoC send graph over the loaded image: for every
+/// `send` instruction local to `node_id`, an edge `src → target` weighted
+/// by its minimum transit time. Sends execute only on tile control units
+/// and their width/target operands are immediate, so this is a complete
+/// enumeration of every possible future packet delivery — the exactness
+/// basis of the run-ahead cross-tile slack (module docs). Returns
+/// `(senders_to, min_direct, min_indirect)`: per-target incoming edges
+/// (self-edges excluded), the per-target cheapest direct edge, and the
+/// per-target two-hop cost floor.
+#[allow(clippy::type_complexity)] // one internal call site
+fn send_graph(
+    timing: &TimingModel,
+    tiles: &[TileState],
+    node_id: u16,
+) -> (Vec<Vec<(u32, u64)>>, Vec<u64>, Vec<u64>) {
+    let mut senders_to: Vec<Vec<(u32, u64)>> = vec![Vec::new(); tiles.len()];
+    // Cheapest incoming edge per tile, self-edges included (any event on
+    // the tile itself is already covered by the direct per-tile check,
+    // but an incoming self-edge still bounds multi-hop paths through it).
+    let mut min_in_edge = vec![u64::MAX; tiles.len()];
+    for (src, tile) in tiles.iter().enumerate() {
+        for instr in &tile.tile_program.instructions {
+            if let Instruction::Send { target, node, width, .. } = instr {
+                if *node == node_id && (*target as usize) < tiles.len() {
+                    let dst = *target as usize;
+                    let transit = timing.send_cycles(*width as usize, src, dst);
+                    min_in_edge[dst] = min_in_edge[dst].min(transit);
+                    if src != dst {
+                        match senders_to[dst].iter_mut().find(|(u, _)| *u == src as u32) {
+                            Some((_, d)) => *d = (*d).min(transit),
+                            None => senders_to[dst].push((src as u32, transit)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let min_direct = (0..tiles.len())
+        .map(|t| senders_to[t].iter().map(|&(_, d)| d).min().unwrap_or(u64::MAX))
+        .collect();
+    let min_indirect = (0..tiles.len())
+        .map(|t| {
+            senders_to[t]
+                .iter()
+                .map(|&(u, d)| min_in_edge[u as usize].saturating_add(d))
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .collect();
+    (senders_to, min_direct, min_indirect)
 }
 
 /// Applies MVM input shuffling (§3.2.3): the first `filter` XbarIn words
@@ -2122,6 +2439,76 @@ halt
         let (reference, run_ahead) = run_both_engines(&cfg, &img, SimMode::Functional);
         assert_eq!(reference, run_ahead);
         assert_eq!(reference.network_words, 4);
+    }
+
+    #[test]
+    fn consumers_wake_in_park_order() {
+        // The wake-fairness contract (see `WaitCond`/`apply_wakes`): when
+        // one store wakes several agents parked on the same word, they
+        // retry in FIFO *park* order — not agent-id order — in both
+        // engines. Core 1 parks on word @0 first (its load is its first
+        // instruction); core 0 parks second (three sets delay it); the
+        // producer then stores with consumer count **1**. Park order says
+        // core 1 consumes the word and core 0 re-parks forever, even
+        // though core 0 has the lower agent id.
+        let mvmu = MvmuConfig { dim: 16, ..MvmuConfig::default() };
+        let cfg = NodeConfig {
+            tile: TileConfig {
+                core: CoreConfig {
+                    mvmu,
+                    mvmus_per_core: 1,
+                    vfu_lanes: 4,
+                    instruction_memory_bytes: 4096,
+                    register_file_words: 256,
+                },
+                cores_per_tile: 3,
+                shared_memory_bytes: 4096,
+                ..TileConfig::default()
+            },
+            tiles_per_node: 1,
+            ..NodeConfig::default()
+        };
+        let mut img = MachineImage::new(1, 3, 1);
+        img.core_mut(TileId::new(0), CoreId::new(0)).program = Program::from_instructions(
+            assemble("set r1 0\nset r1 0\nset r1 0\nload r0 @0 1\nstore @9 r0 1 1\nhalt\n")
+                .unwrap(),
+        );
+        img.core_mut(TileId::new(0), CoreId::new(1)).program =
+            Program::from_instructions(assemble("load r0 @0 1\nstore @8 r0 1 1\nhalt\n").unwrap());
+        img.core_mut(TileId::new(0), CoreId::new(2)).program = Program::from_instructions(
+            assemble("set r4 5\nset r4 5\nset r4 5\nset r4 5\nset r4 5\nstore @0 r4 1 1\nhalt\n")
+                .unwrap(),
+        );
+        img.outputs.push(IoBinding {
+            name: "winner".into(),
+            tile: TileId::new(0),
+            addr: 8,
+            width: 1,
+            count: 1,
+        });
+        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            match sim.run() {
+                Err(PumaError::Deadlock { what, .. }) => {
+                    assert!(
+                        what.contains("tile0/core0"),
+                        "{engine:?}: the late parker must starve, got: {what}"
+                    );
+                    assert!(
+                        !what.contains("tile0/core1"),
+                        "{engine:?}: the first parker must have been served: {what}"
+                    );
+                }
+                other => panic!("{engine:?}: expected starvation deadlock, got {other:?}"),
+            }
+            assert_eq!(
+                sim.read_output_fixed("winner").unwrap()[0].to_bits(),
+                5,
+                "{engine:?}: first-parked consumer must win the word"
+            );
+        }
     }
 
     #[test]

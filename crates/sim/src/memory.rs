@@ -50,6 +50,11 @@ pub struct SharedMemory {
     /// Monotonic counter bumped on every state change, used by the
     /// simulator to retry blocked agents only when something changed.
     generation: u64,
+    /// Exclusive upper bound of the words ever written (by the machine or
+    /// the host): [`SharedMemory::reset`] only has to clear `[0, hi)`,
+    /// which keeps per-request resets proportional to the memory actually
+    /// used, not the configured capacity.
+    hi: usize,
 }
 
 impl SharedMemory {
@@ -59,12 +64,23 @@ impl SharedMemory {
             data: vec![Fixed::ZERO; words],
             attrs: vec![Attr::default(); words],
             generation: 0,
+            hi: 0,
         }
     }
 
     /// Capacity in words.
     pub fn words(&self) -> usize {
         self.data.len()
+    }
+
+    /// Clears data and attributes in place — identical post-state to a
+    /// fresh [`SharedMemory::new`] of the same capacity, without
+    /// re-allocating (the simulator resets per request on serving paths).
+    pub fn reset(&mut self) {
+        self.data[..self.hi].fill(Fixed::ZERO);
+        self.attrs[..self.hi].fill(Attr::default());
+        self.generation = 0;
+        self.hi = 0;
     }
 
     /// Monotonic change counter (bumps on successful reads and writes).
@@ -163,6 +179,7 @@ impl SharedMemory {
         for attr in &mut self.attrs[start..start + values.len()] {
             *attr = Attr { valid: true, count };
         }
+        self.hi = self.hi.max(start + values.len());
         self.generation += 1;
         Ok(MemOutcome::Done(()))
     }
@@ -198,6 +215,7 @@ impl SharedMemory {
         for attr in &mut self.attrs[start..start + width] {
             *attr = Attr { valid: true, count };
         }
+        self.hi = self.hi.max(start + width);
         self.generation += 1;
         Ok(MemOutcome::Done(()))
     }
@@ -227,6 +245,7 @@ impl SharedMemory {
         for attr in &mut self.attrs[start..start + values.len()] {
             *attr = Attr { valid: true, count };
         }
+        self.hi = self.hi.max(start + values.len());
         self.generation += 1;
         Ok(())
     }

@@ -11,6 +11,9 @@ pub struct CoreRegisters {
     xbar_in: Vec<Fixed>,
     xbar_out: Vec<Fixed>,
     general: Vec<Fixed>,
+    /// Per-bank exclusive write watermarks ([xbar_in, xbar_out, general]):
+    /// [`CoreRegisters::reset`] clears only what was written.
+    hi: [usize; 3],
 }
 
 impl CoreRegisters {
@@ -20,6 +23,25 @@ impl CoreRegisters {
             xbar_in: vec![Fixed::ZERO; cfg.xbar_in_words()],
             xbar_out: vec![Fixed::ZERO; cfg.xbar_out_words()],
             general: vec![Fixed::ZERO; cfg.register_file_words],
+            hi: [0; 3],
+        }
+    }
+
+    /// Zeroes every written register in place — identical post-state to a
+    /// fresh [`CoreRegisters::new`], at a cost proportional to the
+    /// registers actually used (per-request resets on serving paths).
+    pub fn reset(&mut self) {
+        self.xbar_in[..self.hi[0]].fill(Fixed::ZERO);
+        self.xbar_out[..self.hi[1]].fill(Fixed::ZERO);
+        self.general[..self.hi[2]].fill(Fixed::ZERO);
+        self.hi = [0; 3];
+    }
+
+    const fn bank_slot(space: RegSpace) -> usize {
+        match space {
+            RegSpace::XbarIn => 0,
+            RegSpace::XbarOut => 1,
+            RegSpace::General => 2,
         }
     }
 
@@ -60,6 +82,8 @@ impl CoreRegisters {
             PumaError::Execution { what: format!("register write out of range: {reg}") }
         })?;
         *slot = value;
+        let hi = &mut self.hi[Self::bank_slot(reg.space)];
+        *hi = (*hi).max(reg.index as usize + 1);
         Ok(())
     }
 
@@ -89,6 +113,8 @@ impl CoreRegisters {
                 what: format!("register range out of bounds: {base}+{}", values.len()),
             })?;
         slot.copy_from_slice(values);
+        let hi = &mut self.hi[Self::bank_slot(base.space)];
+        *hi = (*hi).max(start + values.len());
         Ok(())
     }
 
@@ -97,8 +123,10 @@ impl CoreRegisters {
         &self.xbar_in
     }
 
-    /// Direct mutable view of the XbarOut bank (the ADC outputs).
+    /// Direct mutable view of the XbarOut bank (the ADC outputs). The
+    /// whole bank counts as written for [`CoreRegisters::reset`].
     pub fn xbar_out_mut(&mut self) -> &mut [Fixed] {
+        self.hi[1] = self.xbar_out.len();
         &mut self.xbar_out
     }
 }

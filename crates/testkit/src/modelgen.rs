@@ -175,6 +175,244 @@ pub fn simulable_zoo_cases(seed: u64) -> Vec<ModelCase> {
         .collect()
 }
 
+// --- Synchronization-stress images -----------------------------------
+//
+// Hand-assembled machine images whose instruction mix is *dominated* by
+// the Fig. 6 attribute-buffer protocol and FIFO send/receive — the
+// traffic class where a run-ahead scheduler earns (or loses) its keep.
+// They are deadlock-free by construction, produce deterministic outputs
+// (payloads bounce host inputs or per-core `rand` streams), and are used
+// by the `sync_stress` differential suite and the sync-bound
+// `bench_sim_throughput` scenario.
+
+use puma_core::ids::{CoreId, TileId};
+use puma_isa::{asm, MachineImage, Program};
+
+fn asm_program(source: &str) -> Program {
+    Program::from_instructions(asm::assemble(source).expect("generated asm is valid"))
+}
+
+/// A token ring over `tiles` tile control units: the host seeds `width`
+/// words at tile 0, and each of `rounds` rounds relays them around the
+/// ring over FIFO sends/receives (every hop consumes and re-produces the
+/// words through the attribute buffer). Output `token` at tile 0 equals
+/// the input after the final wrap-around.
+///
+/// # Panics
+///
+/// Panics on fewer than 2 tiles (a ring needs a neighbour).
+pub fn pingpong_ring_image(tiles: usize, rounds: usize, width: usize) -> MachineImage {
+    assert!(tiles >= 2, "a ring needs at least two tiles");
+    let mut img = MachineImage::new(tiles, 1, 1);
+    for t in 0..tiles {
+        let mut src = String::new();
+        for _ in 0..rounds {
+            if t == 0 {
+                // Tile 0 launches the token, then waits for the wrap.
+                src.push_str(&format!("send @0 f0 t1 {width}\n"));
+                src.push_str(&format!("recv @0 f1 1 {width}\n"));
+            } else {
+                let (fifo, next) = if t + 1 == tiles { ("f1", 0) } else { ("f0", t + 1) };
+                src.push_str(&format!("recv @0 f0 1 {width}\n"));
+                src.push_str(&format!("send @0 {fifo} t{next} {width}\n"));
+            }
+        }
+        src.push_str("halt\n");
+        img.tiles[t].program = asm_program(&src);
+    }
+    img.inputs.push(puma_isa::IoBinding {
+        name: "token".into(),
+        tile: TileId::new(0),
+        addr: 0,
+        width,
+        count: 1,
+    });
+    img.outputs.push(puma_isa::IoBinding {
+        name: "token".into(),
+        tile: TileId::new(0),
+        addr: 0,
+        width,
+        count: 1,
+    });
+    img
+}
+
+/// One producer core fanning out to `consumers` sibling cores through a
+/// multi-consumer attribute-buffer word range: each round the producer
+/// stores a fresh `rand` vector with consumer count = `consumers`, and
+/// every consumer loads (consume-reads) it once and accumulates. With
+/// `double_buffer` the round alternates between two address ranges so
+/// production overlaps consumption. Outputs `acc0..accN` hold each
+/// consumer's accumulated sum.
+///
+/// # Panics
+///
+/// Panics on zero consumers or zero rounds.
+pub fn fanout_image(
+    consumers: usize,
+    rounds: usize,
+    width: usize,
+    double_buffer: bool,
+) -> MachineImage {
+    assert!(consumers >= 1 && rounds >= 1, "fan-out needs consumers and rounds");
+    let buffers = if double_buffer { 2 } else { 1 };
+    let mut img = MachineImage::new(1, consumers + 1, 1);
+    let addr = |round: usize| (round % buffers) * width;
+    let mut src = String::new();
+    for r in 0..rounds {
+        src.push_str(&format!("rand r0 r0 {width}\n"));
+        src.push_str(&format!("store @{} r0 {consumers} {width}\n", addr(r)));
+    }
+    src.push_str("halt\n");
+    img.core_mut(TileId::new(0), CoreId::new(0)).program = asm_program(&src);
+    let out_base = 2 * width; // past both buffers
+    for c in 0..consumers {
+        let mut src = String::new();
+        for r in 0..rounds {
+            src.push_str(&format!("load r0 @{} {width}\n", addr(r)));
+            src.push_str(&format!("add r8 r8 r0 {width}\n"));
+        }
+        src.push_str(&format!("store @{} r8 1 {width}\n", out_base + c * width));
+        src.push_str("halt\n");
+        img.core_mut(TileId::new(0), CoreId::new(c + 1)).program = asm_program(&src);
+        img.outputs.push(puma_isa::IoBinding {
+            name: format!("acc{c}"),
+            tile: TileId::new(0),
+            addr: (out_base + c * width) as u32,
+            width,
+            count: 1,
+        });
+    }
+    img
+}
+
+/// A producer/consumer lattice: a chain of `tiles` stages where stage 0's
+/// core generates `rand` data, every stage's control unit relays over the
+/// NoC (or, in the sharded variant, the chip-to-chip interconnect), and
+/// every inner stage's core consume-loads, re-produces, and accumulates.
+/// The last stage exposes its accumulator as output `sum`.
+///
+/// With `nodes > 1` the chain is cut into `nodes` contiguous shards of
+/// `tiles / nodes` tiles (one image per node, tiles renumbered locally,
+/// cross-shard sends carrying explicit node ids) — outputs are
+/// bit-identical to the single-node image because per-core `rand`
+/// streams depend only on the core index.
+///
+/// # Panics
+///
+/// Panics unless `tiles ≥ 2` and `nodes` evenly divides `tiles`.
+pub fn lattice_images(
+    tiles: usize,
+    rounds: usize,
+    width: usize,
+    nodes: usize,
+) -> Vec<MachineImage> {
+    assert!(tiles >= 2, "a lattice needs at least two stages");
+    assert!(nodes >= 1 && tiles.is_multiple_of(nodes), "nodes must evenly divide tiles");
+    let per_node = tiles / nodes;
+    let mut images: Vec<MachineImage> =
+        (0..nodes).map(|_| MachineImage::new(per_node, 1, 1)).collect();
+    for t in 0..tiles {
+        let (node, local) = (t / per_node, t % per_node);
+        let img = &mut images[node];
+        let last = t + 1 == tiles;
+        // Control unit: relay the stage's produced words down the chain.
+        let mut ctl = String::new();
+        for _ in 0..rounds {
+            if t > 0 {
+                ctl.push_str(&format!("recv @0 f0 1 {width}\n"));
+            }
+            if !last {
+                let (dst_node, dst_local) = ((t + 1) / per_node, (t + 1) % per_node);
+                let from = if t == 0 { 0 } else { 2 * width };
+                ctl.push_str(&format!("send @{from} f0 t{dst_local} {width} n{dst_node}\n"));
+            }
+        }
+        ctl.push_str("halt\n");
+        img.tiles[local].program = asm_program(&ctl);
+        // Core: stage 0 produces, inner stages transform + re-produce,
+        // the last stage accumulates into the output.
+        let mut core = String::new();
+        for _ in 0..rounds {
+            if t == 0 {
+                core.push_str(&format!("rand r0 r0 {width}\n"));
+                core.push_str(&format!("store @0 r0 1 {width}\n"));
+            } else {
+                core.push_str(&format!("load r0 @0 {width}\n"));
+                core.push_str(&format!("add r8 r8 r0 {width}\n"));
+                if !last {
+                    core.push_str(&format!("store @{} r0 1 {width}\n", 2 * width));
+                }
+            }
+        }
+        if last {
+            core.push_str(&format!("store @{} r8 1 {width}\n", 4 * width));
+        }
+        core.push_str("halt\n");
+        img.core_mut(TileId::new(local), CoreId::new(0)).program = asm_program(&core);
+        if last {
+            img.outputs.push(puma_isa::IoBinding {
+                name: "sum".into(),
+                tile: TileId::new(local),
+                addr: (4 * width) as u32,
+                width,
+                count: 1,
+            });
+        }
+    }
+    images
+}
+
+/// `tiles` independent copies of the [`fanout_image`] pattern, one per
+/// tile — the NMTL3-class synchronization regime: many tiles concurrently
+/// running producer/consumer handoffs over the attribute buffer, with no
+/// cross-tile traffic to couple them. (Contrast with [`lattice_images`],
+/// a *serial* token wave where at most a few stages are ever runnable —
+/// the run-ahead engine's structural worst case.) Outputs
+/// `t<tile>acc<consumer>` hold each consumer's accumulated sum.
+///
+/// # Panics
+///
+/// Panics on zero tiles/consumers/rounds.
+pub fn sync_fabric_image(
+    tiles: usize,
+    consumers: usize,
+    rounds: usize,
+    width: usize,
+) -> MachineImage {
+    assert!(tiles >= 1 && consumers >= 1 && rounds >= 1, "fabric needs tiles/consumers/rounds");
+    let mut img = MachineImage::new(tiles, consumers + 1, 1);
+    let addr = |round: usize| (round % 2) * width;
+    let out_base = 2 * width;
+    for t in 0..tiles {
+        let mut src = String::new();
+        for r in 0..rounds {
+            src.push_str(&format!("rand r0 r0 {width}\n"));
+            src.push_str(&format!("store @{} r0 {consumers} {width}\n", addr(r)));
+        }
+        src.push_str("halt\n");
+        img.core_mut(TileId::new(t), CoreId::new(0)).program = asm_program(&src);
+        for c in 0..consumers {
+            let mut src = String::new();
+            for r in 0..rounds {
+                src.push_str(&format!("load r0 @{} {width}\n", addr(r)));
+                src.push_str(&format!("add r8 r8 r0 {width}\n"));
+            }
+            src.push_str(&format!("store @{} r8 1 {width}\n", out_base + c * width));
+            src.push_str("halt\n");
+            img.core_mut(TileId::new(t), CoreId::new(c + 1)).program = asm_program(&src);
+            img.outputs.push(puma_isa::IoBinding {
+                name: format!("t{t}acc{c}"),
+                tile: TileId::new(t),
+                addr: (out_base + c * width) as u32,
+                width,
+                count: 1,
+            });
+        }
+    }
+    img
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -607,7 +607,11 @@ impl ServeRunner {
     }
 
     /// Sets the host-thread count used to parallelize simulation work
-    /// (clamped to at least 1; it never affects results).
+    /// (clamped to at least 1; it never affects results). This is an
+    /// upper bound: execution additionally caps at the host's available
+    /// parallelism, because simulator replicas are memory-heavy and
+    /// oversubscribed cores thrash the cache instead of scaling (see
+    /// `execute_all`).
     #[must_use]
     pub fn with_host_threads(mut self, threads: usize) -> Self {
         self.host_threads = threads.max(1);
@@ -685,11 +689,21 @@ impl ServeRunner {
     /// (work-stealing over a shared cursor), returning per-request
     /// results in request order plus the host threads used. This is the
     /// execution core shared by batch and replicated serving.
+    ///
+    /// The spawned thread count is additionally capped at the host's
+    /// available parallelism: each worker owns a full simulator replica
+    /// whose working set is tens of megabytes, so oversubscribing
+    /// physical cores does not just time-slice — every context switch
+    /// refaults a replica's working set through the cache, and measured
+    /// batch throughput *fell* with extra threads on small hosts (the
+    /// work-stealing itself is wait-free: one `fetch_add` per request).
+    /// Results never depend on the thread count either way.
     fn execute_all(
         &self,
         requests: &[&[(String, Vec<f32>)]],
     ) -> (Vec<Result<RequestResult>>, usize) {
-        let threads = self.host_threads.min(requests.len()).max(1);
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = self.host_threads.min(requests.len()).min(parallelism).max(1);
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<RequestResult>>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
@@ -1127,7 +1141,9 @@ impl BatchRunner {
 
     /// Sets the worker-thread count. **Clamped to at least 1**: a
     /// zero-thread pool would never pick work off the shared queue and
-    /// the batch would stall forever.
+    /// the batch would stall forever. Like
+    /// [`ServeRunner::with_host_threads`], this is an upper bound — runs
+    /// use at most the host's available parallelism.
     #[must_use]
     pub fn with_threads(self, threads: usize) -> Self {
         BatchRunner { inner: self.inner.with_host_threads(threads) }

@@ -53,8 +53,12 @@ fn batch_is_deterministic_across_thread_counts() {
     let a = serial.run_batch(&reqs).unwrap();
     let b = parallel.run_batch(&reqs).unwrap();
 
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     assert_eq!(a.threads, 1);
-    assert_eq!(b.threads, 4);
+    // The configured count is an upper bound: execution also caps at the
+    // host's parallelism (oversubscribed memory-heavy sim replicas thrash
+    // instead of scaling; the cap keeps batch throughput monotone).
+    assert_eq!(b.threads, 4.min(parallelism));
     assert_eq!(a.ok_count(), reqs.len());
     assert_eq!(b.ok_count(), reqs.len());
     assert_eq!(a.stats, b.stats, "aggregate stats must not depend on thread count");
