@@ -18,6 +18,7 @@
 //! below that horizon; at or past it, it re-enters its event queue so the
 //! delivery interleaves correctly.
 
+use crate::compiled::CompiledImage;
 use crate::fifo::Packet;
 use crate::machine::{NodeSim, OutboundPacket, SimEngine, SimMode};
 use crate::stats::RunStats;
@@ -29,6 +30,7 @@ use puma_isa::MachineImage;
 use puma_xbar::NoiseModel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// An inter-node packet in flight on the interconnect.
 #[derive(Debug)]
@@ -147,6 +149,25 @@ impl ClusterSim {
     pub fn set_engine(&mut self, engine: SimEngine) {
         for node in &mut self.nodes {
             node.set_engine(engine);
+        }
+    }
+
+    /// The per-node pre-decoded images backing [`SimEngine::Compiled`],
+    /// in node order — `Some` only once every node holds one (i.e. after
+    /// `set_engine(Compiled)` or adoption). The images are read-only, so
+    /// worker replicas simulating the same sharded model share them
+    /// instead of recompiling per replica.
+    pub fn compiled_images(&self) -> Option<Vec<Arc<CompiledImage>>> {
+        self.nodes.iter().map(NodeSim::compiled_image).collect()
+    }
+
+    /// Adopts pre-decoded images compiled by a replica of the same
+    /// sharded model, one per node in node order (see
+    /// [`NodeSim::adopt_compiled_image`]).
+    pub fn adopt_compiled_images(&mut self, images: &[Arc<CompiledImage>]) {
+        debug_assert_eq!(images.len(), self.nodes.len(), "one compiled image per node");
+        for (node, image) in self.nodes.iter_mut().zip(images) {
+            node.adopt_compiled_image(Arc::clone(image));
         }
     }
 
@@ -403,7 +424,7 @@ mod tests {
 
     #[test]
     fn internode_send_delivers_and_is_charged() {
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in [SimEngine::Reference, SimEngine::RunAhead, SimEngine::Compiled] {
             let mut cluster = ClusterSim::new(
                 tiny_config(),
                 &two_node_images(),
@@ -443,7 +464,39 @@ mod tests {
             cluster.run().unwrap();
             cluster.stats().clone()
         };
-        assert_eq!(run(SimEngine::Reference), run(SimEngine::RunAhead));
+        let reference = run(SimEngine::Reference);
+        assert_eq!(reference, run(SimEngine::RunAhead));
+        assert_eq!(reference, run(SimEngine::Compiled));
+    }
+
+    #[test]
+    fn adopted_compiled_images_replay_identically() {
+        // A second replica of the same sharded model adopts the first
+        // replica's compiled images instead of recompiling, and the runs
+        // stay bit-identical.
+        let build = || {
+            ClusterSim::new(
+                tiny_config(),
+                &two_node_images(),
+                SimMode::Functional,
+                &NoiseModel::noiseless(),
+            )
+            .unwrap()
+        };
+        let mut first = build();
+        first.set_engine(SimEngine::Compiled);
+        let images = first.compiled_images().expect("set_engine compiled every node");
+        first.run().unwrap();
+
+        let mut second = build();
+        second.adopt_compiled_images(&images);
+        second.set_engine(SimEngine::Compiled);
+        let adopted = second.compiled_images().expect("adopted images are retained");
+        for (a, b) in images.iter().zip(&adopted) {
+            assert!(Arc::ptr_eq(a, b), "adoption must reuse the images, not recompile");
+        }
+        second.run().unwrap();
+        assert_eq!(first.stats(), second.stats());
     }
 
     #[test]
@@ -486,7 +539,7 @@ mod tests {
         let mut n1 = MachineImage::new(1, 2, 2);
         n1.tiles[0].program = asm_program("recv @8 f3 1 4\nhalt\n");
         let images = vec![MachineImage::new(1, 2, 2), n1];
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in [SimEngine::Reference, SimEngine::RunAhead, SimEngine::Compiled] {
             let mut cluster = ClusterSim::new(
                 tiny_config(),
                 &images,

@@ -10,6 +10,8 @@
 //!   models: one request at a time ([`ClusterSim`]) or a pipelined request
 //!   stream with different requests resident on different nodes
 //!   ([`PipelineSim`]);
+//! - [`compiled`] — programs pre-decoded at image load into dense
+//!   micro-op segments with precomputed per-op costs ([`SimEngine::Compiled`]);
 //! - [`fifo`] — the receive buffer (N FIFOs × M entries, §4.2);
 //! - [`regfile`] — XbarIn/XbarOut/general register banks;
 //! - [`lut`] — ROM-embedded RAM transcendental lookups (§3.4.1);
@@ -55,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+pub mod compiled;
 mod equeue;
 pub mod fifo;
 pub mod lut;
@@ -65,6 +68,7 @@ pub mod regfile;
 pub mod stats;
 
 pub use cluster::ClusterSim;
+pub use compiled::CompiledImage;
 pub use machine::{NodeSim, OutboundPacket, SimEngine, SimMode};
 pub use pipeline::{PipelineReport, PipelineRequest, PipelineResult, PipelineSim, StageStats};
 pub use stats::{EnergyComponent, EnergyStats, RunStats};

@@ -58,7 +58,31 @@
 //! stepping-API feature (a new event kind, a new cross-tile effect, a
 //! zero-latency message path) must preserve this invariant or widen the
 //! checks in [`NodeSim::tile_clear_until`].
+//!
+//! # Compiled segments: the segment-boundary safety invariant
+//!
+//! The [`SimEngine::Compiled`] engine shares this scheduler verbatim
+//! (horizons, continuations, condition-indexed wakes) and replaces only
+//! the fetch/decode/cost path with pre-decoded micro-ops (see
+//! [`crate::compiled`]). Its bulk-charged *segments* must uphold two
+//! boundary rules, checked against the same invariants:
+//!
+//! 1. **A segment never crosses a synchronization point.** Only
+//!    pure-charge ops — no register, memory, FIFO, or control-flow
+//!    effect — are bulk-charged; every instruction that can observe or
+//!    mutate shared tile state executes through the interpreter and, when
+//!    it [`may block`](Instruction::may_block), re-checks
+//!    [`NodeSim::tile_clear_until`] exactly as run-ahead does. A segment
+//!    is therefore invisible to every other agent, and charging it in one
+//!    step is indistinguishable from per-instruction execution.
+//! 2. **A segment never crosses the cycle cap.** Bulk charging is gated
+//!    on `t + seg_check ≤ max_cycles` (`seg_check` being the start-time
+//!    offset of the segment's last op); past that, execution degrades to
+//!    per-op stepping with the per-instruction cap check, so a runaway
+//!    program faults at the same deterministic instruction on all three
+//!    engines.
 
+use crate::compiled::{CompiledImage, MicroOp, OpCost, NO_CHARGE};
 use crate::equeue::{
     agent_priority, BucketQueue, DeliverEvent, Event, EventKind, PRIO_DELIVER, PRIO_SHIFT,
     PRIO_WAKE,
@@ -74,6 +98,7 @@ use puma_core::fixed::Fixed;
 use puma_core::timing::{InterconnectConfig, TimingModel};
 use puma_isa::{AluImmOp, AluOp, Instruction, MachineImage, MemAddr, Program, RegRef, ScalarOp};
 use puma_xbar::{AnalogMvmu, NoiseModel};
+use std::sync::Arc;
 
 /// Simulation fidelity level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +131,15 @@ pub enum SimEngine {
     /// send/receive, MVM completion, halt).
     #[default]
     RunAhead,
+    /// Run-ahead over pre-decoded micro-op segments: the same scheduler
+    /// as [`SimEngine::RunAhead`], but each program is compiled once (at
+    /// [`NodeSim::set_engine`], or shared pre-built via
+    /// [`NodeSim::adopt_compiled_image`]) into dense micro-ops with
+    /// decode, operand resolution, and per-op timing/energy hoisted out
+    /// of the hot loop, and maximal pure-charge runs accounted as whole
+    /// segments (see [`crate::compiled`] and the module docs'
+    /// segment-boundary invariant).
+    Compiled,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -409,6 +443,12 @@ pub struct NodeSim {
     /// execute a blocking instruction at or past this time outside the
     /// event queue (it could miss the delivery). `u64::MAX` standalone.
     horizon: u64,
+    /// The pre-decoded micro-op image for [`SimEngine::Compiled`]: built
+    /// lazily on [`NodeSim::set_engine`] or adopted pre-built from a
+    /// sibling replica ([`NodeSim::adopt_compiled_image`]). Read-only and
+    /// preserved across [`NodeSim::reset`] — programs are immutable after
+    /// construction, so one build serves every request.
+    compiled: Option<Arc<CompiledImage>>,
 }
 
 impl NodeSim {
@@ -533,6 +573,7 @@ impl NodeSim {
             interconnect: InterconnectConfig::default(),
             outbox: Vec::new(),
             horizon: u64::MAX,
+            compiled: None,
         })
     }
 
@@ -552,23 +593,65 @@ impl NodeSim {
     }
 
     /// Selects the execution engine (default [`SimEngine::RunAhead`]).
+    ///
+    /// Selecting [`SimEngine::Compiled`] compiles every program into
+    /// micro-op segments on first selection (a one-time cost, amortized
+    /// over every subsequent run); use
+    /// [`NodeSim::adopt_compiled_image`] first to share a sibling
+    /// replica's build instead.
     pub fn set_engine(&mut self, engine: SimEngine) {
         self.engine = engine;
-        // The per-tile horizon index is maintained only while run-ahead
-        // is active (the reference engine must keep seed-faithful
-        // per-event cost). Rebuild it here so switching engines with
-        // events already queued stays correct.
+        if engine == SimEngine::Compiled && self.compiled.is_none() {
+            self.compiled = Some(Arc::new(self.build_compiled()));
+        }
+        // The per-tile horizon index is maintained only while a
+        // run-ahead-scheduled engine is active (the reference engine must
+        // keep seed-faithful per-event cost). Rebuild it here so
+        // switching engines with events already queued stays correct.
         for index in &mut self.tile_next {
             index.clear();
         }
         self.tile_min.fill(u64::MAX);
-        if engine == SimEngine::RunAhead {
+        if engine != SimEngine::Reference {
             for event in self.queue.iter() {
                 let t = event.tile() as usize;
                 self.tile_next[t].push(event.time);
                 self.tile_min[t] = self.tile_min[t].min(event.time);
             }
         }
+    }
+
+    /// Compiles this node's programs into a [`CompiledImage`].
+    fn build_compiled(&self) -> CompiledImage {
+        CompiledImage::build(
+            &self.cfg,
+            &self.timing,
+            self.mode,
+            self.tiles.iter().map(|tile| {
+                (tile.cores.iter().map(|c| &c.program).collect::<Vec<_>>(), &tile.tile_program)
+            }),
+        )
+    }
+
+    /// The pre-decoded image backing [`SimEngine::Compiled`], if one has
+    /// been built or adopted. Share it with worker replicas simulating
+    /// the same image via [`NodeSim::adopt_compiled_image`] — the build
+    /// is read-only, so replicas pay it once instead of once each.
+    pub fn compiled_image(&self) -> Option<Arc<CompiledImage>> {
+        self.compiled.clone()
+    }
+
+    /// Adopts a pre-built compiled image instead of building one on
+    /// [`NodeSim::set_engine`]. The image must come from a simulator
+    /// built with the same configuration, machine image, and
+    /// [`SimMode`] (replicas of one serving pool satisfy this by
+    /// construction).
+    pub fn adopt_compiled_image(&mut self, image: Arc<CompiledImage>) {
+        debug_assert!(
+            image.mode() == self.mode,
+            "adopted compiled image was built for a different SimMode"
+        );
+        self.compiled = Some(image);
     }
 
     /// The active execution engine.
@@ -724,7 +807,7 @@ impl NodeSim {
         let slot = self.agent_slot(agent);
         match self.engine {
             SimEngine::Reference => self.agent_energy_maps[slot].add(component, nj, cycles),
-            SimEngine::RunAhead => {
+            SimEngine::RunAhead | SimEngine::Compiled => {
                 let acc = &mut self.agent_energy[slot];
                 acc.nj[component.index()] += nj;
                 acc.busy[component.index()] += cycles;
@@ -864,12 +947,13 @@ impl NodeSim {
     }
 
     /// Files an event into the queue, keeping the per-tile next-event
-    /// index in sync (run-ahead only; the reference engine never reads
-    /// it). The single enqueue path for agents, wakes, and deliveries.
+    /// index in sync (run-ahead-scheduled engines only; the reference
+    /// engine never reads it). The single enqueue path for agents,
+    /// wakes, and deliveries.
     fn enqueue(&mut self, time: u64, priority: u64, kind: EventKind) {
         self.seq += 1;
         debug_assert!(self.seq < 1 << PRIO_SHIFT, "event sequence exceeds the packed tie-break");
-        if self.engine == SimEngine::RunAhead {
+        if self.engine != SimEngine::Reference {
             let tile = match &kind {
                 EventKind::AgentReady(agent) => agent.tile,
                 EventKind::Deliver(d) => d.tile,
@@ -882,7 +966,7 @@ impl NodeSim {
 
     /// Removes one popped event's entry from the per-tile index.
     fn unindex(&mut self, tile: u32, time: u64) {
-        if self.engine == SimEngine::RunAhead {
+        if self.engine != SimEngine::Reference {
             let index = &mut self.tile_next[tile as usize];
             let at = index.iter().position(|&t| t == time).expect("popped event was indexed");
             index.swap_remove(at);
@@ -931,9 +1015,12 @@ impl NodeSim {
                 SimEngine::RunAhead => {
                     self.run_ahead(agent, now)?;
                 }
+                SimEngine::Compiled => {
+                    self.run_compiled(agent, now)?;
+                }
             },
         }
-        if self.engine == SimEngine::RunAhead && !self.continuations.is_empty() {
+        if self.engine != SimEngine::Reference && !self.continuations.is_empty() {
             self.drain_continuations()?;
         }
         Ok(true)
@@ -973,7 +1060,10 @@ impl NodeSim {
             // synchronization instructions re-check the horizon — which
             // counts pending continuations — inside `run_ahead`.
             if self.tile_clear_for_resume(agent.tile, t0) {
-                self.run_ahead(agent, t0)?;
+                match self.engine {
+                    SimEngine::Compiled => self.run_compiled(agent, t0)?,
+                    _ => self.run_ahead(agent, t0)?,
+                }
             } else {
                 self.enqueue(t0, prio, EventKind::AgentReady(agent));
             }
@@ -1140,6 +1230,190 @@ impl NodeSim {
         }
     }
 
+    /// The current program counter of one agent.
+    fn agent_pc(&self, agent: AgentId) -> u32 {
+        let tile = &self.tiles[agent.tile as usize];
+        if agent.is_tile_ctl() {
+            tile.tile_pc
+        } else {
+            tile.cores[agent.core as usize].pc
+        }
+    }
+
+    /// Charges one precomputed [`OpCost`] to an agent slot: component
+    /// energy (if any), the hoisted fetch/decode energy, and the dynamic
+    /// instruction count — the compiled engine's counterpart of
+    /// `execute_instr`'s charge + accounting sequence, with identical
+    /// per-component, per-agent f64 add order.
+    #[inline]
+    fn charge_cost(&mut self, slot: usize, cost: &OpCost) {
+        let fd_idx = EnergyComponent::FetchDecode.index();
+        let acc = &mut self.agent_energy[slot];
+        if cost.comp != NO_CHARGE {
+            acc.nj[cost.comp as usize] += cost.nj;
+            acc.busy[cost.comp as usize] += u64::from(cost.latency);
+        }
+        acc.nj[fd_idx] += self.fd_energy_nj;
+        acc.busy[fd_idx] += 1;
+        self.instr_counts[cost.cat as usize] += 1;
+    }
+
+    /// [`NodeSim::run_ahead`] over the pre-decoded micro-op program: the
+    /// identical scheduler loop (per-instruction cap check, blocking-op
+    /// horizon check, continuation deferral, park/halt handling), with
+    /// fetch/decode replaced by a pc-indexed micro-op array, per-op
+    /// timing/energy read from precomputed [`OpCost`]s, and maximal
+    /// pure-charge runs accounted as whole segments under the
+    /// segment-boundary invariant (module docs).
+    fn run_compiled(&mut self, agent: AgentId, now: u64) -> Result<()> {
+        let image = self.compiled.clone().expect("Compiled engine always holds a compiled image");
+        let prog = image.program(
+            agent.tile as usize,
+            if agent.is_tile_ctl() { None } else { Some(agent.core as usize) },
+        );
+        let tile = agent.tile;
+        let slot = self.agent_slot(agent);
+        let mut t = now;
+        let mut first = true;
+        loop {
+            // Same per-instruction cap check, at the same timestamps, as
+            // the other engines (module docs, boundary rule 2).
+            if t > self.max_cycles {
+                return Err(self.cycle_cap_error());
+            }
+            let pc = self.agent_pc(agent);
+            let Some(op) = prog.ops.get(pc as usize) else {
+                // The interpreter's fetch produces the canonical
+                // past-end fault (micro-ops cover the whole program).
+                self.fetch(agent)?;
+                unreachable!("compiled micro-ops cover every valid pc");
+            };
+            match *op {
+                MicroOp::Charge { seg_end } => {
+                    // Bulk-charge the whole pure-charge suffix when every
+                    // op in it starts at or under the cap; otherwise take
+                    // one op per loop iteration so the cap check above
+                    // faults at the exact instruction the per-op engines
+                    // would (boundary rule 2).
+                    let start = pc as usize;
+                    let end = if t.saturating_add(prog.seg_check[start]) <= self.max_cycles {
+                        seg_end as usize
+                    } else {
+                        start + 1
+                    };
+                    let fd_idx = EnergyComponent::FetchDecode.index();
+                    let fd = self.fd_energy_nj;
+                    let mut last_start = t;
+                    let mut mvmu_acts = 0u64;
+                    let acc = &mut self.agent_energy[slot];
+                    for cost in &prog.costs[start..end] {
+                        // Per-op f64 adds in program order (bit-identity
+                        // with the per-instruction engines); integer
+                        // aggregates are bulk either way.
+                        acc.nj[cost.comp as usize] += cost.nj;
+                        acc.busy[cost.comp as usize] += u64::from(cost.latency);
+                        acc.nj[fd_idx] += fd;
+                        acc.busy[fd_idx] += 1;
+                        self.instr_counts[cost.cat as usize] += 1;
+                        mvmu_acts += u64::from(cost.mvmu);
+                        last_start = t;
+                        t += u64::from(cost.latency);
+                    }
+                    self.stats.mvmu_activations += mvmu_acts;
+                    self.last_time = self.last_time.max(last_start);
+                    self.set_pc(agent, end as u32);
+                }
+                MicroOp::Set { dest, imm } => {
+                    self.last_time = self.last_time.max(t);
+                    let regs = &mut self.tiles[tile as usize].cores[agent.core as usize].regs;
+                    regs.write(dest, Fixed::from_bits(imm)).expect("bounds proven at compile time");
+                    let cost = prog.costs[pc as usize];
+                    self.charge_cost(slot, &cost);
+                    t += u64::from(cost.latency);
+                    self.set_pc(agent, pc + 1);
+                }
+                MicroOp::AluInt { op, dest, src1, src2 } => {
+                    self.last_time = self.last_time.max(t);
+                    let regs = &mut self.tiles[tile as usize].cores[agent.core as usize].regs;
+                    let a = regs.read(src1).expect("bounds proven at compile time").to_bits();
+                    let b = regs.read(src2).expect("bounds proven at compile time").to_bits();
+                    let y: i16 = match op {
+                        ScalarOp::Add => a.wrapping_add(b),
+                        ScalarOp::Sub => a.wrapping_sub(b),
+                        ScalarOp::Eq => (a == b) as i16,
+                        ScalarOp::Gt => (a > b) as i16,
+                        ScalarOp::Ne => (a != b) as i16,
+                    };
+                    regs.write(dest, Fixed::from_bits(y)).expect("bounds proven at compile time");
+                    let cost = prog.costs[pc as usize];
+                    self.charge_cost(slot, &cost);
+                    t += u64::from(cost.latency);
+                    self.set_pc(agent, pc + 1);
+                }
+                MicroOp::Branch { cond, src1, src2, target } => {
+                    self.last_time = self.last_time.max(t);
+                    let regs = &self.tiles[tile as usize].cores[agent.core as usize].regs;
+                    let a = regs.read(src1).expect("bounds proven at compile time").to_bits();
+                    let b = regs.read(src2).expect("bounds proven at compile time").to_bits();
+                    let next = if cond.eval(a, b) { target } else { pc + 1 };
+                    let cost = prog.costs[pc as usize];
+                    self.charge_cost(slot, &cost);
+                    t += u64::from(cost.latency);
+                    self.set_pc(agent, next);
+                }
+                MicroOp::Jump { target } => {
+                    self.last_time = self.last_time.max(t);
+                    let cost = prog.costs[pc as usize];
+                    self.charge_cost(slot, &cost);
+                    t += u64::from(cost.latency);
+                    self.set_pc(agent, target);
+                }
+                MicroOp::Halt => {
+                    self.last_time = self.last_time.max(t);
+                    // Halt counts as an executed instruction and pays
+                    // fetch/decode, exactly as `execute_instr` accounts
+                    // a `Step::Halted` outcome.
+                    let cost = prog.costs[pc as usize];
+                    self.charge_cost(slot, &cost);
+                    self.set_halted(agent);
+                    return Ok(());
+                }
+                MicroOp::Interp { instr, may_block } => {
+                    if !first && may_block && !self.tile_clear_until(tile, t) {
+                        // Synchronization point whose tile could still
+                        // change at or before `t`: defer exactly as
+                        // `run_ahead` does.
+                        let order = self.next_seq();
+                        self.continuations.push((
+                            agent,
+                            t,
+                            agent_priority(tile, agent.core),
+                            order,
+                        ));
+                        self.cont_min = self.cont_min.min(t);
+                        return Ok(());
+                    }
+                    self.last_time = self.last_time.max(t);
+                    match self.execute_instr(agent, instr, pc, t)? {
+                        Step::Advance { next_pc, latency } => {
+                            self.set_pc(agent, next_pc);
+                            t += latency;
+                        }
+                        Step::Blocked(cond) => {
+                            self.tiles[tile as usize].parked.park(agent, t, cond);
+                            return Ok(());
+                        }
+                        Step::Halted => {
+                            self.set_halted(agent);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            first = false;
+        }
+    }
+
     /// Schedules an agent wake-up, clamping the event time against the
     /// cycle cap: a single instruction whose latency lands past the cap
     /// fails deterministically at schedule time instead of sailing past it.
@@ -1266,7 +1540,7 @@ impl NodeSim {
                 self.changes.clear();
                 self.tiles[tile].parked.drain_all(&mut woken);
             }
-            SimEngine::RunAhead => {
+            SimEngine::RunAhead | SimEngine::Compiled => {
                 let changes = std::mem::take(&mut self.changes);
                 for &change in &changes {
                     self.tiles[tile].parked.take_matching(change, &mut woken);
@@ -1282,7 +1556,7 @@ impl NodeSim {
                     self.enqueue(now, PRIO_WAKE, EventKind::AgentReady(agent));
                 }
             }
-            SimEngine::RunAhead => {
+            SimEngine::RunAhead | SimEngine::Compiled => {
                 for (agent, since) in woken.drain(..) {
                     self.stats.blocked_cycles += now.saturating_sub(since);
                     let order = self.next_seq();
@@ -1312,6 +1586,19 @@ impl NodeSim {
         }
     }
 
+    /// Names the faulting agent and its current program counter —
+    /// `node0/tile3/core1 pc 17` — so an execution fault out of a
+    /// many-node cluster run pinpoints the exact agent and instruction,
+    /// the way [`NodeSim::blocked_summary`] names exact waits.
+    fn fault_agent(&self, agent: AgentId) -> String {
+        let pc = self.agent_pc(agent);
+        if agent.is_tile_ctl() {
+            format!("node{}/tile{}/ctl pc {pc}", self.node_id, agent.tile)
+        } else {
+            format!("node{}/tile{}/core{} pc {pc}", self.node_id, agent.tile, agent.core)
+        }
+    }
+
     fn fetch(&self, agent: AgentId) -> Result<(Instruction, u32)> {
         let tile = &self.tiles[agent.tile as usize];
         let (program, pc) = if agent.is_tile_ctl() {
@@ -1322,7 +1609,7 @@ impl NodeSim {
         };
         let instr =
             program.instructions.get(pc as usize).copied().ok_or_else(|| PumaError::Execution {
-                what: format!("pc {pc} past end of program"),
+                what: format!("{}: past end of program", self.fault_agent(agent)),
             })?;
         Ok((instr, pc))
     }
@@ -1340,8 +1627,10 @@ impl NodeSim {
             Some(reg) => {
                 if agent.is_tile_ctl() {
                     return Err(PumaError::Execution {
-                        what: "tile control unit has no registers for indexed addressing"
-                            .to_string(),
+                        what: format!(
+                            "{}: tile control unit has no registers for indexed addressing",
+                            self.fault_agent(agent)
+                        ),
                     });
                 }
                 let core = &self.tiles[agent.tile as usize].cores[agent.core as usize];
@@ -1349,8 +1638,9 @@ impl NodeSim {
                 if bits < 0 {
                     return Err(PumaError::Execution {
                         what: format!(
-                            "negative index {bits} in {addr} (index registers hold raw-bit \
-                             integer word offsets; see puma-isa MemAddr)"
+                            "{}: negative index {bits} in {addr} (index registers hold \
+                             raw-bit integer word offsets; see puma-isa MemAddr)",
+                            self.fault_agent(agent)
                         ),
                     });
                 }
@@ -1358,7 +1648,10 @@ impl NodeSim {
             }
         };
         addr.base.checked_add(offset).ok_or_else(|| PumaError::Execution {
-            what: format!("indexed address {addr} + offset {offset} overflows the address space"),
+            what: format!(
+                "{}: indexed address {addr} + offset {offset} overflows the address space",
+                self.fault_agent(agent)
+            ),
         })
     }
 
@@ -1404,7 +1697,7 @@ impl NodeSim {
                     let fd = self.timing.fetch_decode_energy_nj();
                     self.charge(agent, EnergyComponent::FetchDecode, fd, 1);
                 }
-                SimEngine::RunAhead => {
+                SimEngine::RunAhead | SimEngine::Compiled => {
                     self.instr_counts[instr.category().index()] += 1;
                     self.charge(agent, EnergyComponent::FetchDecode, fd_energy, 1);
                 }
@@ -2232,19 +2525,23 @@ halt
         assert!(NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).is_err());
     }
 
-    /// Runs one image under both engines and returns the two stats.
-    fn run_both_engines(
-        cfg: &NodeConfig,
-        img: &MachineImage,
-        mode: SimMode,
-    ) -> (RunStats, RunStats) {
+    const ALL_ENGINES: [SimEngine; 3] =
+        [SimEngine::Reference, SimEngine::RunAhead, SimEngine::Compiled];
+
+    /// Runs one image under every engine, asserts the stats are
+    /// bit-identical, and returns them.
+    fn run_all_engines(cfg: &NodeConfig, img: &MachineImage, mode: SimMode) -> RunStats {
         let run = |engine: SimEngine| {
             let mut sim = NodeSim::new(*cfg, img, mode, &NoiseModel::noiseless()).unwrap();
             sim.set_engine(engine);
             sim.run().unwrap();
             sim.stats().clone()
         };
-        (run(SimEngine::Reference), run(SimEngine::RunAhead))
+        let reference = run(SimEngine::Reference);
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            assert_eq!(reference, run(engine), "{engine:?} diverged from Reference");
+        }
+        reference
     }
 
     #[test]
@@ -2275,7 +2572,7 @@ halt
     fn negative_index_is_an_execution_fault() {
         let cfg = tiny_config(1);
         let img = image_with_core_program(&cfg, "set r1 -1\nload r0 @4+r1 1\nhalt\n");
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in ALL_ENGINES {
             let mut sim =
                 NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
             sim.set_engine(engine);
@@ -2370,11 +2667,11 @@ halt
     }
 
     #[test]
-    fn runaway_loop_hits_cycle_cap_on_both_engines() {
+    fn runaway_loop_hits_cycle_cap_on_every_engine() {
         let cfg = tiny_config(1);
         // The halt is unreachable; it only satisfies image validation.
         let img = image_with_core_program(&cfg, "jmp 0\nhalt\n");
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in ALL_ENGINES {
             let mut sim =
                 NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
             sim.set_engine(engine);
@@ -2395,7 +2692,7 @@ halt
         // completion event lands past the cap and must fail at schedule
         // time on both engines.
         let img = image_with_core_program(&cfg, "mvm 1 0 0\nhalt\n");
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in ALL_ENGINES {
             let mut sim =
                 NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
             sim.set_engine(engine);
@@ -2419,8 +2716,7 @@ halt
             assemble("set r0 7\nset r1 7\niadd r2 r0 r1\nset r4 5\nstore @0 r4 1 4\nhalt\n")
                 .unwrap(),
         );
-        let (reference, run_ahead) = run_both_engines(&cfg, &img, SimMode::Functional);
-        assert_eq!(reference, run_ahead);
+        let reference = run_all_engines(&cfg, &img, SimMode::Functional);
         assert!(reference.blocked_cycles > 0);
     }
 
@@ -2436,8 +2732,7 @@ halt
             Program::from_instructions(assemble("recv @8 f3 1 4\nhalt\n").unwrap());
         img.core_mut(TileId::new(1), CoreId::new(0)).program =
             Program::from_instructions(assemble("load r0 @8 4\nstore @32 r0 1 4\nhalt\n").unwrap());
-        let (reference, run_ahead) = run_both_engines(&cfg, &img, SimMode::Functional);
-        assert_eq!(reference, run_ahead);
+        let reference = run_all_engines(&cfg, &img, SimMode::Functional);
         assert_eq!(reference.network_words, 4);
     }
 
@@ -2486,7 +2781,7 @@ halt
             width: 1,
             count: 1,
         });
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in ALL_ENGINES {
             let mut sim =
                 NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
             sim.set_engine(engine);
@@ -2518,5 +2813,66 @@ halt
         let mut sim =
             NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
         assert!(matches!(sim.run(), Err(PumaError::Execution { .. })));
+    }
+
+    #[test]
+    fn past_end_fault_names_the_agent_and_pc() {
+        let cfg = tiny_config(1);
+        let mut img = MachineImage::new(1, cfg.tile.cores_per_tile, cfg.tile.core.mvmus_per_core);
+        // Jump over the halt to a trailing instruction, then fall off the
+        // end of the program (targets are in range, so this passes image
+        // validation but faults at run time).
+        img.core_mut(TileId::new(0), CoreId::new(1)).program = Program::from_instructions(vec![
+            Instruction::Jump { pc: 2 },
+            Instruction::Halt,
+            Instruction::Set { dest: RegRef::general(0), imm: 1 },
+        ]);
+        for engine in ALL_ENGINES {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            match sim.run() {
+                Err(PumaError::Execution { what }) => {
+                    assert!(
+                        what.contains("node0/tile0/core1 pc 3"),
+                        "{engine:?}: fault must name the agent and pc, got: {what}"
+                    );
+                    assert!(what.contains("past end of program"), "{what}");
+                }
+                other => panic!("{engine:?}: expected past-end fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn segment_runaway_faults_at_the_same_instruction() {
+        let cfg = tiny_config(1);
+        // A runaway loop whose body is one long pure-charge segment (sets
+        // around a multi-thousand-cycle MVM): the compiled engine may
+        // bulk-charge the segment only while it fits under the cap, then
+        // must degrade to per-instruction stepping so the fault lands on
+        // the identical instruction — observable as bit-identical stats
+        // at the fault across all three engines.
+        let img = image_with_core_program(
+            &cfg,
+            "set r0 1\nset r1 2\nmvm 1 0 0\nset r2 3\nset r3 4\njmp 0\nhalt\n",
+        );
+        let run = |engine: SimEngine| {
+            let mut sim =
+                NodeSim::new(cfg, &img, SimMode::Timing, &NoiseModel::noiseless()).unwrap();
+            sim.set_engine(engine);
+            sim.set_max_cycles(50_000);
+            match sim.run() {
+                Err(PumaError::Execution { what }) => {
+                    assert!(what.contains("cycle cap"), "{what}");
+                }
+                other => panic!("{engine:?}: expected cycle-cap fault, got {other:?}"),
+            }
+            sim.stats().clone()
+        };
+        let reference = run(SimEngine::Reference);
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            assert_eq!(reference, run(engine), "{engine:?} diverged at the cycle cap");
+        }
     }
 }

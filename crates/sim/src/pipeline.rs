@@ -35,6 +35,7 @@
 //! stage* (node 0), and are **shed** — rejected without executing — when
 //! the queue is full at their arrival.
 
+use crate::compiled::CompiledImage;
 use crate::fifo::Packet;
 use crate::machine::{NodeSim, SimEngine, SimMode};
 use crate::stats::RunStats;
@@ -45,6 +46,7 @@ use puma_isa::MachineImage;
 use puma_xbar::NoiseModel;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// One request submitted to [`PipelineSim::serve`].
 #[derive(Debug, Clone)]
@@ -232,6 +234,22 @@ impl PipelineSim {
     pub fn set_engine(&mut self, engine: SimEngine) {
         for node in &mut self.nodes {
             node.set_engine(engine);
+        }
+    }
+
+    /// The per-node pre-decoded images backing [`SimEngine::Compiled`],
+    /// in node order (see [`crate::ClusterSim::compiled_images`]).
+    pub fn compiled_images(&self) -> Option<Vec<Arc<CompiledImage>>> {
+        self.nodes.iter().map(NodeSim::compiled_image).collect()
+    }
+
+    /// Adopts pre-decoded images compiled by a replica of the same
+    /// sharded model, one per node in node order (see
+    /// [`NodeSim::adopt_compiled_image`]).
+    pub fn adopt_compiled_images(&mut self, images: &[Arc<CompiledImage>]) {
+        debug_assert_eq!(images.len(), self.nodes.len(), "one compiled image per node");
+        for (node, image) in self.nodes.iter_mut().zip(images) {
+            node.adopt_compiled_image(Arc::clone(image));
         }
     }
 
@@ -703,7 +721,7 @@ mod tests {
 
     #[test]
     fn pipelined_requests_keep_their_own_data() {
-        for engine in [SimEngine::Reference, SimEngine::RunAhead] {
+        for engine in [SimEngine::Reference, SimEngine::RunAhead, SimEngine::Compiled] {
             let mut sim = pipeline(&two_stage_images(), engine);
             let requests: Vec<PipelineRequest> =
                 (0..5).map(|i| request(0, 0.25 * (i + 1) as f32)).collect();
@@ -739,7 +757,9 @@ mod tests {
                 .map(|r| (r.outputs.clone(), r.start, r.finish, r.stats.clone()))
                 .collect::<Vec<_>>()
         };
-        assert_eq!(run(SimEngine::Reference), run(SimEngine::RunAhead));
+        let reference = run(SimEngine::Reference);
+        assert_eq!(reference, run(SimEngine::RunAhead));
+        assert_eq!(reference, run(SimEngine::Compiled));
     }
 
     #[test]

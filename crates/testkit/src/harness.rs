@@ -12,22 +12,25 @@ use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
 use puma_xbar::NoiseModel;
 use std::collections::HashMap;
 
-/// The suite-wide default execution engine: `PUMA_ENGINE=reference` or
-/// `PUMA_ENGINE=runahead` overrides [`SimEngine::default`], so CI can run
-/// the whole differential surface under either engine (the two-engine
-/// matrix) without code changes.
+/// The suite-wide default execution engine: `PUMA_ENGINE=reference`,
+/// `PUMA_ENGINE=runahead`, or `PUMA_ENGINE=compiled` overrides
+/// [`SimEngine::default`], so CI can run the whole differential surface
+/// under any engine (the three-engine matrix) without code changes.
 ///
 /// # Panics
 ///
 /// Panics on an unrecognized `PUMA_ENGINE` value — a typo in the CI
-/// matrix must fail loudly, not silently collapse both legs onto the
+/// matrix must fail loudly, not silently collapse the legs onto the
 /// default engine.
 pub fn default_engine() -> SimEngine {
     match std::env::var("PUMA_ENGINE").as_deref() {
         Err(_) => SimEngine::default(),
         Ok("reference") => SimEngine::Reference,
         Ok("runahead" | "run_ahead" | "run-ahead") => SimEngine::RunAhead,
-        Ok(other) => panic!("unrecognized PUMA_ENGINE {other:?} (use reference|runahead)"),
+        Ok("compiled") => SimEngine::Compiled,
+        Ok(other) => {
+            panic!("unrecognized PUMA_ENGINE {other:?} (use reference|runahead|compiled)")
+        }
     }
 }
 

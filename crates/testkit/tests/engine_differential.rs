@@ -1,10 +1,12 @@
-//! Engine-differential suite: the run-ahead execution engine must be
-//! **bit-identical** to the reference per-instruction event loop — same
-//! outputs, same cycle counts, same per-component energy, same blocked
-//! cycles — on fuzzed models from every Table 5 family. Run-ahead only
-//! reorders *when* core-local instructions execute relative to the event
-//! queue, never *what* they compute or when synchronization happens, so
-//! any divergence here is a scheduler bug, not tolerance noise.
+//! Engine-differential suite: the run-ahead and compiled execution
+//! engines must be **bit-identical** to the reference per-instruction
+//! event loop — same outputs, same cycle counts, same per-component
+//! energy, same blocked cycles — on fuzzed models from every Table 5
+//! family. Run-ahead only reorders *when* core-local instructions execute
+//! relative to the event queue (and the compiled engine additionally
+//! pre-decodes the programs), never *what* they compute or when
+//! synchronization happens, so any divergence here is a scheduler or
+//! segment-builder bug, not tolerance noise.
 
 use proptest::prelude::*;
 use puma_core::config::NodeConfig;
@@ -14,19 +16,20 @@ use puma_testkit::harness::{run_with_engine, seeded_values, small_node_config};
 use puma_testkit::modelgen;
 use puma_xbar::NoiseModel;
 
-/// Runs one model case under both engines in `mode` and asserts exact
-/// equality of outputs and statistics.
+/// Runs one model case under all three engines in `mode` and asserts
+/// exact equality of outputs and statistics.
 fn assert_engines_agree(case: &modelgen::ModelCase, mode: SimMode) {
     let cfg = small_node_config(32);
     let options = puma_compiler::CompilerOptions::default();
     let (ref_out, ref_stats) =
         run_with_engine(&case.model, &cfg, &options, &case.inputs, mode, SimEngine::Reference)
             .expect("reference engine runs");
-    let (ra_out, ra_stats) =
-        run_with_engine(&case.model, &cfg, &options, &case.inputs, mode, SimEngine::RunAhead)
-            .expect("run-ahead engine runs");
-    assert_eq!(ref_out, ra_out, "outputs must be bit-identical");
-    assert_eq!(ref_stats, ra_stats, "RunStats must be bit-identical");
+    for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+        let (out, stats) = run_with_engine(&case.model, &cfg, &options, &case.inputs, mode, engine)
+            .expect("optimized engine runs");
+        assert_eq!(ref_out, out, "{engine:?}: outputs must be bit-identical");
+        assert_eq!(ref_stats, stats, "{engine:?}: RunStats must be bit-identical");
+    }
     assert!(ref_stats.cycles > 0);
 }
 
@@ -75,9 +78,11 @@ proptest! {
             (sim.read_output(&cnn.output_name).unwrap(), sim.stats().clone())
         };
         let (ref_logits, ref_stats) = run(SimEngine::Reference);
-        let (ra_logits, ra_stats) = run(SimEngine::RunAhead);
-        prop_assert_eq!(ref_logits, ra_logits, "CNN logits must be bit-identical");
-        prop_assert_eq!(ref_stats, ra_stats, "CNN RunStats must be bit-identical");
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            let (logits, stats) = run(engine);
+            prop_assert_eq!(&ref_logits, &logits, "{:?}: CNN logits must be bit-identical", engine);
+            prop_assert_eq!(&ref_stats, &stats, "{:?}: CNN RunStats must be bit-identical", engine);
+        }
     }
 }
 
@@ -98,17 +103,25 @@ fn engines_agree_on_zoo_corpus() {
                 SimEngine::Reference,
             )
             .unwrap_or_else(|e| panic!("{} reference run failed: {e:?}", case.model.name()));
-            let (ra_out, ra_stats) = run_with_engine(
-                &case.model,
-                &cfg,
-                &options,
-                &case.inputs,
-                mode,
-                SimEngine::RunAhead,
-            )
-            .unwrap_or_else(|e| panic!("{} run-ahead run failed: {e:?}", case.model.name()));
-            assert_eq!(ref_out, ra_out, "{} {mode:?}: outputs diverged", case.model.name());
-            assert_eq!(ref_stats, ra_stats, "{} {mode:?}: stats diverged", case.model.name());
+            for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+                let (out, stats) =
+                    run_with_engine(&case.model, &cfg, &options, &case.inputs, mode, engine)
+                        .unwrap_or_else(|e| {
+                            panic!("{} {engine:?} run failed: {e:?}", case.model.name())
+                        });
+                assert_eq!(
+                    ref_out,
+                    out,
+                    "{} {mode:?} {engine:?}: outputs diverged",
+                    case.model.name()
+                );
+                assert_eq!(
+                    ref_stats,
+                    stats,
+                    "{} {mode:?} {engine:?}: stats diverged",
+                    case.model.name()
+                );
+            }
             assert!(ref_stats.blocked_cycles > 0 || ref_stats.network_words == 0);
         }
     }

@@ -72,8 +72,9 @@ proptest! {
         assert_sharded_matches_single(&case, 4, SimMode::Functional);
     }
 
-    /// Both engines agree on the same sharded cluster run — the run-ahead
-    /// external-horizon gating must not change semantics.
+    /// All engines agree on the same sharded cluster run — neither the
+    /// run-ahead external-horizon gating nor the compiled pre-decode may
+    /// change semantics.
     #[test]
     fn cluster_engines_agree(case in modelgen::mlp_case()) {
         let cfg = small_node_config(8);
@@ -82,12 +83,20 @@ proptest! {
             &case.model, &cfg, &options, &case.inputs, 2,
             SimMode::Functional, SimEngine::Reference,
         ).expect("reference cluster run");
-        let (ra_out, ra_stats) = run_sharded(
-            &case.model, &cfg, &options, &case.inputs, 2,
-            SimMode::Functional, SimEngine::RunAhead,
-        ).expect("run-ahead cluster run");
-        prop_assert_eq!(ref_out, ra_out, "cluster outputs must be bit-identical");
-        prop_assert_eq!(ref_stats, ra_stats, "cluster RunStats must be bit-identical");
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            let (out, stats) = run_sharded(
+                &case.model, &cfg, &options, &case.inputs, 2,
+                SimMode::Functional, engine,
+            ).expect("optimized-engine cluster run");
+            prop_assert_eq!(
+                &ref_out, &out,
+                "{:?}: cluster outputs must be bit-identical", engine
+            );
+            prop_assert_eq!(
+                &ref_stats, &stats,
+                "{:?}: cluster RunStats must be bit-identical", engine
+            );
+        }
     }
 }
 

@@ -3,8 +3,9 @@
 //! handoffs — exactly the traffic where the run-ahead scheduler's
 //! per-tile event horizons, inline wake continuations, and
 //! condition-indexed wake-ups operate. Every case pins **bit-identical**
-//! outputs *and* [`RunStats`] between [`SimEngine::Reference`] and
-//! [`SimEngine::RunAhead`], standalone and — where the external horizon
+//! outputs *and* [`RunStats`] across [`SimEngine::Reference`],
+//! [`SimEngine::RunAhead`], and [`SimEngine::Compiled`], standalone and —
+//! where the external horizon
 //! interacts with the per-tile horizons — under [`ClusterSim`] and
 //! [`PipelineSim`].
 
@@ -43,8 +44,8 @@ fn run_node(
     (outputs, sim.stats().clone())
 }
 
-/// Asserts both engines agree bit-for-bit on a single-node image, in both
-/// simulation modes, and returns the functional outputs.
+/// Asserts all three engines agree bit-for-bit on a single-node image, in
+/// both simulation modes, and returns the functional outputs.
 fn assert_node_engines_agree(
     image: &puma_isa::MachineImage,
     inputs: &[(&str, Vec<f32>)],
@@ -52,11 +53,13 @@ fn assert_node_engines_agree(
     let mut functional_out = HashMap::new();
     for mode in [SimMode::Functional, SimMode::Timing] {
         let (ref_out, ref_stats) = run_node(image, inputs, mode, SimEngine::Reference);
-        let (ra_out, ra_stats) = run_node(image, inputs, mode, SimEngine::RunAhead);
-        assert_eq!(ref_out, ra_out, "{mode:?}: outputs diverged");
-        assert_eq!(ref_stats, ra_stats, "{mode:?}: RunStats diverged");
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            let (out, stats) = run_node(image, inputs, mode, engine);
+            assert_eq!(ref_out, out, "{mode:?} {engine:?}: outputs diverged");
+            assert_eq!(ref_stats, stats, "{mode:?} {engine:?}: RunStats diverged");
+        }
         if mode == SimMode::Functional {
-            functional_out = ra_out;
+            functional_out = ref_out;
         }
     }
     functional_out
@@ -150,9 +153,14 @@ proptest! {
         };
         for mode in [SimMode::Functional, SimMode::Timing] {
             let (ref_out, ref_stats) = run_cluster(mode, SimEngine::Reference);
-            let (ra_out, ra_stats) = run_cluster(mode, SimEngine::RunAhead);
-            prop_assert_eq!(&ref_out, &ra_out, "{:?}: cluster outputs diverged", mode);
-            prop_assert_eq!(&ref_stats, &ra_stats, "{:?}: cluster RunStats diverged", mode);
+            for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+                let (out, stats) = run_cluster(mode, engine);
+                prop_assert_eq!(&ref_out, &out, "{:?} {:?}: cluster outputs diverged", mode, engine);
+                prop_assert_eq!(
+                    &ref_stats, &stats,
+                    "{:?} {:?}: cluster RunStats diverged", mode, engine
+                );
+            }
             if shards > 1 {
                 prop_assert!(ref_stats.internode_words > 0, "shards must talk over the link");
             }
@@ -189,18 +197,23 @@ proptest! {
             sim.serve(&[], &pipeline_requests, None).expect("pipeline serves")
         };
         let reference = serve(SimEngine::Reference);
-        let run_ahead = serve(SimEngine::RunAhead);
-        prop_assert_eq!(reference.shed, run_ahead.shed);
-        prop_assert_eq!(reference.max_concurrent, run_ahead.max_concurrent);
-        prop_assert_eq!(reference.makespan, run_ahead.makespan);
-        prop_assert_eq!(&reference.stages, &run_ahead.stages, "stage occupancy diverged");
-        prop_assert_eq!(reference.results.len(), run_ahead.results.len());
-        for (i, (a, b)) in reference.results.iter().zip(run_ahead.results.iter()).enumerate() {
-            prop_assert_eq!(a.admitted, b.admitted, "request {} admission diverged", i);
-            prop_assert_eq!(a.start, b.start, "request {} start diverged", i);
-            prop_assert_eq!(a.finish, b.finish, "request {} finish diverged", i);
-            prop_assert_eq!(&a.outputs, &b.outputs, "request {} outputs diverged", i);
-            prop_assert_eq!(&a.stats, &b.stats, "request {} stats diverged", i);
+        for engine in [SimEngine::RunAhead, SimEngine::Compiled] {
+            let other = serve(engine);
+            prop_assert_eq!(reference.shed, other.shed);
+            prop_assert_eq!(reference.max_concurrent, other.max_concurrent);
+            prop_assert_eq!(reference.makespan, other.makespan);
+            prop_assert_eq!(
+                &reference.stages, &other.stages,
+                "{:?}: stage occupancy diverged", engine
+            );
+            prop_assert_eq!(reference.results.len(), other.results.len());
+            for (i, (a, b)) in reference.results.iter().zip(other.results.iter()).enumerate() {
+                prop_assert_eq!(a.admitted, b.admitted, "request {} admission diverged", i);
+                prop_assert_eq!(a.start, b.start, "request {} start diverged", i);
+                prop_assert_eq!(a.finish, b.finish, "request {} finish diverged", i);
+                prop_assert_eq!(&a.outputs, &b.outputs, "request {} outputs diverged", i);
+                prop_assert_eq!(&a.stats, &b.stats, "request {} stats diverged", i);
+            }
         }
     }
 }

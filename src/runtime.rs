@@ -34,13 +34,14 @@ use puma_core::error::{PumaError, Result};
 use puma_core::timing::TrafficPattern;
 use puma_isa::MachineImage;
 use puma_sim::{
-    ClusterSim, NodeSim, PipelineRequest, PipelineSim, RunStats, SimEngine, SimMode, StageStats,
+    ClusterSim, CompiledImage, NodeSim, PipelineRequest, PipelineSim, RunStats, SimEngine, SimMode,
+    StageStats,
 };
 use puma_xbar::NoiseModel;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Flattened per-binding host writes for one request (constants + input
@@ -96,6 +97,27 @@ impl SimBackend {
         match self {
             SimBackend::Node(s) => s.stats(),
             SimBackend::Cluster(s) => s.stats(),
+        }
+    }
+
+    /// The per-node pre-decoded images backing [`SimEngine::Compiled`],
+    /// in node order (`None` until an engine selection compiled them).
+    fn compiled_images(&self) -> Option<Vec<Arc<CompiledImage>>> {
+        match self {
+            SimBackend::Node(s) => s.compiled_image().map(|image| vec![image]),
+            SimBackend::Cluster(s) => s.compiled_images(),
+        }
+    }
+
+    /// Adopts pre-decoded images compiled by another replica of the same
+    /// model (the images are read-only and shared, not recompiled).
+    fn adopt_compiled_images(&mut self, images: &[Arc<CompiledImage>]) {
+        match self {
+            SimBackend::Node(s) => {
+                debug_assert_eq!(images.len(), 1, "single-node backends hold one image");
+                s.adopt_compiled_image(Arc::clone(&images[0]));
+            }
+            SimBackend::Cluster(s) => s.adopt_compiled_images(images),
         }
     }
 }
@@ -354,7 +376,10 @@ impl LatencySummary {
             p95: nearest_rank(95.0),
             p99: nearest_rank(99.0),
             max: latencies[count - 1],
-            mean: latencies.iter().sum::<u64>() as f64 / count as f64,
+            // Sum in u128: a long saturating serve (latencies near the
+            // cycle cap × millions of requests) overflows a u64 sum and
+            // silently wraps the mean.
+            mean: latencies.iter().map(|&l| u128::from(l)).sum::<u128>() as f64 / count as f64,
         }
     }
 }
@@ -544,6 +569,11 @@ pub struct ServeRunner {
     pool: Mutex<Vec<SimBackend>>,
     /// The cached pipeline instance (built on first pipelined serve).
     pipeline_sim: Mutex<Option<PipelineSim>>,
+    /// Per-node pre-decoded images for [`SimEngine::Compiled`], compiled
+    /// once by the first worker (or pipeline) to select the engine and
+    /// adopted read-only by every later replica — the pool shares one
+    /// compiled image per node instead of recompiling per worker.
+    compiled_images: Mutex<Option<Vec<Arc<CompiledImage>>>>,
 }
 
 impl ServeRunner {
@@ -595,6 +625,7 @@ impl ServeRunner {
             pipeline: false,
             pool: Mutex::new(vec![first]),
             pipeline_sim: Mutex::new(None),
+            compiled_images: Mutex::new(None),
         })
     }
 
@@ -645,6 +676,17 @@ impl ServeRunner {
         if let Some(p) = self.pipeline_sim.get_mut().expect("pipeline sim poisoned").as_mut() {
             p.set_engine(engine);
         }
+        if engine == SimEngine::Compiled {
+            let cache = self.compiled_images.get_mut().expect("compiled image cache poisoned");
+            if cache.is_none() {
+                *cache = self
+                    .pool
+                    .get_mut()
+                    .expect("sim pool poisoned")
+                    .first()
+                    .and_then(SimBackend::compiled_images);
+            }
+        }
         self
     }
 
@@ -671,7 +713,18 @@ impl ServeRunner {
 
     fn build_sim(&self) -> Result<SimBackend> {
         let mut sim = build_backend(&self.cfg, &self.images, self.mode, &self.noise)?;
-        sim.set_engine(self.engine);
+        if self.engine == SimEngine::Compiled {
+            let mut cache = self.compiled_images.lock().expect("compiled image cache poisoned");
+            if let Some(images) = cache.as_ref() {
+                sim.adopt_compiled_images(images);
+                sim.set_engine(self.engine);
+            } else {
+                sim.set_engine(self.engine);
+                *cache = sim.compiled_images();
+            }
+        } else {
+            sim.set_engine(self.engine);
+        }
         Ok(sim)
     }
 
@@ -956,13 +1009,25 @@ impl ServeRunner {
         })
     }
 
-    /// Takes the cached pipeline instance or builds one.
+    /// Takes the cached pipeline instance or builds one (sharing any
+    /// already-compiled per-node images with the replicated pool).
     fn checkout_pipeline(&self) -> Result<PipelineSim> {
         if let Some(sim) = self.pipeline_sim.lock().expect("pipeline sim poisoned").take() {
             return Ok(sim);
         }
         let mut sim = PipelineSim::new(self.cfg, &self.images, self.mode, &self.noise)?;
-        sim.set_engine(self.engine);
+        if self.engine == SimEngine::Compiled {
+            let mut cache = self.compiled_images.lock().expect("compiled image cache poisoned");
+            if let Some(images) = cache.as_ref() {
+                sim.adopt_compiled_images(images);
+                sim.set_engine(self.engine);
+            } else {
+                sim.set_engine(self.engine);
+                *cache = sim.compiled_images();
+            }
+        } else {
+            sim.set_engine(self.engine);
+        }
         Ok(sim)
     }
 
@@ -1275,5 +1340,21 @@ mod tests {
         assert_eq!(s.max, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert_eq!(LatencySummary::from_latencies(vec![]), LatencySummary::default());
+    }
+
+    #[test]
+    fn latency_summary_mean_survives_u64_overflow() {
+        // Eight latencies near the cycle cap: the u64 sum wraps (8 ×
+        // 2^63 > 2^64) and a wrapped mean would come out near zero.
+        let lat = u64::MAX / 2;
+        let s = LatencySummary::from_latencies(vec![lat; 8]);
+        let want = lat as f64;
+        assert!(
+            (s.mean - want).abs() <= want * 1e-12,
+            "mean silently wrapped: {} vs {}",
+            s.mean,
+            want
+        );
+        assert_eq!(s.max, lat);
     }
 }
