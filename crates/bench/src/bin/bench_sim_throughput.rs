@@ -18,7 +18,9 @@
 //!
 //! `--quick` shrinks iteration counts and batch sizes for CI.
 
-use puma::runtime::{BatchRequest, BatchRunner, ServeRunner};
+use puma::runtime::{
+    BatchRequest, BatchRunner, FabricSpec, ModelCatalog, ServeRunner, TenantServer, TenantStream,
+};
 use puma_bench::{
     compile_workload, fmt_ratio, print_table, sim_seq_len, ClusterTimingSession, TimingSession,
 };
@@ -220,6 +222,111 @@ fn bench_serving(name: &str, cfg: &NodeConfig, nodes: usize, requests: usize) ->
             makespan: outcome.makespan_cycles,
             max_concurrent: outcome.max_concurrent,
         });
+    }
+    rows
+}
+
+/// One model's share of a multi-tenant serving measurement: several zoo
+/// models resident on one fabric, each fed its own Poisson stream, all
+/// metrics on the simulated clock (deterministic, CI-gateable per model).
+struct MultiTenantRow {
+    model: String,
+    /// Offered load as a fraction of each model's solo service rate.
+    load: &'static str,
+    requests: usize,
+    completed: usize,
+    shed: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    /// Cycle the last request of *any* co-resident model finished.
+    makespan: u64,
+}
+
+/// Multi-tenant serving sweep: the MLP and LSTM zoo models resident on
+/// one fabric ([`TenantServer`]), each with its own Poisson request
+/// stream at 0.5/1.0/2.0× of its solo service rate. Per-model latency
+/// percentiles and shed counts quantify cross-tenant interference — on
+/// disjoint tile ranges the models never contend for crossbars, only for
+/// the serving pool, so the numbers track the solo serving rows.
+fn bench_multi_tenant(cfg: &NodeConfig, requests: usize) -> Vec<MultiTenantRow> {
+    let models = ["MLP-64-150-150-14", "NMTL3"];
+    let mut catalog = ModelCatalog::new();
+    for name in models {
+        let spec = zoo::spec(name);
+        let mut weights = puma_nn::WeightFactory::shape_only(7);
+        let model = zoo::build_graph_model(&spec, &mut weights, sim_seq_len(name))
+            .expect("zoo model builds")
+            .expect("workload is graph-compilable");
+        catalog
+            .register_model(name, &model, cfg, &CompilerOptions::timing_only())
+            .expect("catalog registration");
+    }
+    let tiles: usize =
+        models.iter().map(|n| catalog.get(n).expect("registered").stats.tiles_used.max(1)).sum();
+    let fabric = FabricSpec::new(1, tiles.max(cfg.tiles_per_node));
+    let mut server =
+        TenantServer::new(catalog, fabric, cfg, SimMode::Timing, &NoiseModel::noiseless())
+            .expect("tenant server builds")
+            .with_queue_depth(Some(4));
+    for name in models {
+        server.deploy(name).expect("zoo model deploys");
+    }
+    let zero_requests = |name: &str, n: usize| -> Vec<BatchRequest> {
+        let compiled = server.catalog().get(name).expect("registered").clone();
+        (0..n)
+            .map(|_| {
+                BatchRequest::new(
+                    compiled
+                        .inputs
+                        .iter()
+                        .map(|io| (io.name.clone(), vec![0.0; io.width]))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+    // Calibrate each model's service time: one request, alone, no queueing.
+    let service: Vec<u64> = models
+        .iter()
+        .map(|name| {
+            let outcome = server
+                .serve(&[TenantStream::new(name, zero_requests(name, 1), TrafficPattern::Batch)])
+                .expect("calibration serve");
+            outcome.models[0].latency.p50
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (load_label, load) in [("0.5", 0.5), ("1.0", 1.0), ("2.0", 2.0)] {
+        let streams: Vec<TenantStream> = models
+            .iter()
+            .zip(&service)
+            .enumerate()
+            .map(|(i, (name, &service))| {
+                TenantStream::new(
+                    name,
+                    zero_requests(name, requests),
+                    TrafficPattern::Poisson {
+                        mean_interarrival: (service as f64 / load).max(1.0),
+                        seed: 2019 + i as u64,
+                    },
+                )
+            })
+            .collect();
+        let outcome = server.serve(&streams).expect("multi-tenant sweep");
+        for m in &outcome.models {
+            rows.push(MultiTenantRow {
+                model: m.model.clone(),
+                load: load_label,
+                requests,
+                completed: m.completed(),
+                shed: m.shed,
+                p50: m.latency.p50,
+                p95: m.latency.p95,
+                p99: m.latency.p99,
+                makespan: outcome.makespan_cycles,
+            });
+        }
     }
     rows
 }
@@ -472,6 +579,28 @@ fn write_serving_json(path: &str, quick: bool, serving_rows: &[ServingRow]) {
     println!("wrote {path}");
 }
 
+fn multi_tenant_json_rows(tenant_rows: &[MultiTenantRow]) -> Vec<String> {
+    tenant_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"model\": \"{}\", \"load\": \"{}\", \"requests\": {}, \
+                 \"completed\": {}, \"shed\": {}, \"p50_cycles\": {}, \"p95_cycles\": {}, \
+                 \"p99_cycles\": {}, \"makespan_cycles\": {}}}",
+                json_escape(&r.model),
+                r.load,
+                r.requests,
+                r.completed,
+                r.shed,
+                r.p50,
+                r.p95,
+                r.p99,
+                r.makespan,
+            )
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)] // one call site; the report's sections
 fn write_json(
     path: &str,
@@ -480,6 +609,7 @@ fn write_json(
     batch_rows: &[BatchRow],
     sharded_rows: &[ShardedRow],
     serving_rows: &[ServingRow],
+    tenant_rows: &[MultiTenantRow],
     speedups: &SpeedupSummary,
 ) {
     let singles: Vec<String> = engine_rows
@@ -541,7 +671,8 @@ fn write_json(
          \"compiled_speedup_vs_reference_min\": {:.3},\n  \
          \"compiled_speedup_vs_run_ahead_min\": {:.3},\n  \
          \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
-         \"sharded\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ]\n}}\n",
+         \"sharded\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \
+         \"multi_tenant\": [\n{}\n  ]\n}}\n",
         quick,
         speedups.run_ahead_peak,
         speedups.run_ahead_min,
@@ -552,6 +683,7 @@ fn write_json(
         batches.join(",\n"),
         sharded.join(",\n"),
         serving_json_rows(serving_rows).join(",\n"),
+        multi_tenant_json_rows(tenant_rows).join(",\n"),
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
@@ -703,7 +835,39 @@ fn main() {
         &table,
     );
 
-    write_json(&out, quick, &engine_rows, &batch_rows, &sharded_rows, &serving_rows, &speedups);
+    // Multi-tenant serving: the MLP and LSTM resident on one fabric, each
+    // with its own Poisson stream — the interference measurement the
+    // README's multi-tenant section quotes. Deterministic, gated per model.
+    let tenant_requests = if quick { 8 } else { 16 };
+    let tenant_rows = bench_multi_tenant(&cfg, tenant_requests);
+    let mut table = Vec::new();
+    for r in &tenant_rows {
+        table.push(vec![
+            r.model.clone(),
+            format!("poisson@{}", r.load),
+            format!("{}/{}", r.completed, r.requests),
+            r.shed.to_string(),
+            r.p50.to_string(),
+            r.p95.to_string(),
+            r.p99.to_string(),
+        ]);
+    }
+    print_table(
+        "Multi-tenant serving (two residents, one fabric; simulated cycles)",
+        &["Model", "Load", "Done", "Shed", "p50", "p95", "p99"],
+        &table,
+    );
+
+    write_json(
+        &out,
+        quick,
+        &engine_rows,
+        &batch_rows,
+        &sharded_rows,
+        &serving_rows,
+        &tenant_rows,
+        &speedups,
+    );
     write_serving_json("BENCH_serving.json", quick, &serving_rows);
     println!(
         "\n  Run-ahead vs reference event loop: {} (loop-heavy CNN) to {} (LSTM send/recv-bound).",

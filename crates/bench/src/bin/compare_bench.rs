@@ -3,6 +3,11 @@
 //! readable delta table) if quick-mode throughput regressed beyond the
 //! tolerance.
 //!
+//! Gated keys fail **closed**: a gated metric missing from the candidate,
+//! missing from the baseline row, or a whole non-optional section absent
+//! from the baseline is a hard failure, never a silent skip — otherwise a
+//! truncated or unblessed artifact would quietly disable the gate.
+//!
 //! Two classes of metric:
 //!
 //! - **Deterministic** (gated by default): instructions per run, simulated
@@ -75,7 +80,10 @@ struct Check {
     section: &'static str,
     key: String,
     metric: &'static str,
-    baseline: f64,
+    /// `None` when the baseline itself lacks the gated key — a hard
+    /// failure, not a silent skip: an unblessed baseline would otherwise
+    /// disable the gate without anyone noticing.
+    baseline: Option<f64>,
     current: Option<f64>,
     worse: Worse,
     gated: bool,
@@ -84,11 +92,12 @@ struct Check {
 impl Check {
     /// Signed relative change, positive = worse.
     fn degradation(&self) -> Option<f64> {
+        let baseline = self.baseline?;
         let current = self.current?;
-        if self.baseline == 0.0 {
+        if baseline == 0.0 {
             return Some(if current == 0.0 { 0.0 } else { f64::INFINITY });
         }
-        let delta = (current - self.baseline) / self.baseline;
+        let delta = (current - baseline) / baseline;
         Some(match self.worse {
             Worse::Higher => delta,
             Worse::Lower => -delta,
@@ -128,7 +137,10 @@ fn field(row: &Json, name: &str) -> Option<f64> {
 /// Builds the checks for one section: every baseline row must exist in
 /// `current` (a vanished row is a regression — it would silently mask
 /// one), except in `optional` sections whose keys legitimately vary by
-/// host (batch thread counts).
+/// host (batch thread counts). Absence is never a pass for a gated
+/// metric: a baseline row missing the key, or a non-optional section
+/// missing from the baseline outright, fails the gate — otherwise an
+/// unblessed or truncated baseline would switch the check off silently.
 #[allow(clippy::too_many_arguments)]
 fn section_checks(
     checks: &mut Vec<Check>,
@@ -139,14 +151,32 @@ fn section_checks(
     metrics: &[(&'static str, Worse, bool)],
     optional: bool,
 ) {
+    let base_rows = rows_by_key(baseline, section, key_fields);
+    if base_rows.is_empty() && !optional {
+        // No baseline rows at all: synthesize one failing check so the
+        // hole is visible in the table instead of passing vacuously.
+        checks.push(Check {
+            section,
+            key: "(no baseline rows)".to_string(),
+            metric: "section",
+            baseline: None,
+            current: None,
+            worse: Worse::Higher,
+            gated: true,
+        });
+        return;
+    }
     let current_rows = rows_by_key(current, section, key_fields);
-    for (key, base_row) in rows_by_key(baseline, section, key_fields) {
+    for (key, base_row) in base_rows {
         let cur_row = current_rows.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
         if cur_row.is_none() && optional {
             continue;
         }
         for &(metric, worse, gated) in metrics {
-            let Some(base_val) = field(base_row, metric) else { continue };
+            let base_val = field(base_row, metric);
+            if base_val.is_none() && !gated {
+                continue;
+            }
             checks.push(Check {
                 section,
                 key: key.clone(),
@@ -260,6 +290,21 @@ fn main() -> ExitCode {
         ],
         false,
     );
+    // Multi-tenant rows: per-model tail latency and shed under mixed
+    // Poisson load on a shared fabric — all simulated-clock, gated.
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "multi_tenant",
+        &["model", "load"],
+        &[
+            ("p95_cycles", Worse::Higher, true),
+            ("shed", Worse::Higher, true),
+            ("completed", Worse::Lower, true),
+        ],
+        false,
+    );
     // Engine speedup ratios: normalized against host *speed* (both
     // engines run on the same machine), but not against host *noise* — a
     // transient burst during one engine's timing loop still skews the
@@ -273,7 +318,7 @@ fn main() -> ExitCode {
                 section: "speedup",
                 key: workload.clone(),
                 metric: engine_metric,
-                baseline: base_ratio,
+                baseline: Some(base_ratio),
                 current: current_speedups.iter().find(|(w, _)| *w == workload).map(|(_, r)| *r),
                 worse: Worse::Lower,
                 gated: gate_wall,
@@ -318,7 +363,7 @@ fn main() -> ExitCode {
             check.section.to_string(),
             check.key.clone(),
             check.metric.to_string(),
-            format!("{:.1}", check.baseline),
+            check.baseline.map_or("missing".to_string(), |b| format!("{b:.1}")),
             check.current.map_or("missing".to_string(), |c| format!("{c:.1}")),
             check.degradation().map_or("-".to_string(), |d| {
                 if d.is_infinite() {

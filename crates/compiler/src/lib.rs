@@ -14,7 +14,11 @@
 //!    attribute-count assignment;
 //! 5. [`shard::shard_image`] — for [`Partitioning::Sharded`] models, the
 //!    single-node image is split into per-node programs with explicit
-//!    inter-node sends (§3.1 node scale-out, run by `puma_sim::ClusterSim`).
+//!    inter-node sends (§3.1 node scale-out, run by `puma_sim::ClusterSim`);
+//! 6. [`relocate::relocate_image`] / [`relocate::compose_fabric`] — a
+//!    compiled image is base-relative, so it relocates to any free tile
+//!    range by pure renumbering, and several relocated residents compose
+//!    into one multi-tenant fabric image.
 //!
 //! # Examples
 //!
@@ -45,12 +49,14 @@ pub mod graph;
 pub mod options;
 pub mod partition;
 pub mod physical;
+pub mod relocate;
 pub mod schedule;
 pub mod shard;
 
 pub use codegen::{CompileStats, CompiledModel, LogicalIo};
 pub use graph::Model;
 pub use options::{CompilerOptions, Partitioning, Scheduling};
+pub use relocate::{compose_fabric, relocate_image, Resident};
 pub use shard::shard_image;
 
 use puma_core::config::NodeConfig;

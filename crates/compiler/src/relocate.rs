@@ -1,0 +1,296 @@
+//! Relocating a compiled single-node image to an arbitrary tile base and
+//! composing several relocated residents into one fabric image
+//! (multi-tenant model residency: §7.3's write-static crossbars make a
+//! deployed model a *tile allocation*, not a process).
+//!
+//! [`crate::codegen::generate`] emits every image against tile base 0, so
+//! a compiled artifact is implicitly base-relative: tile ids, `send`
+//! targets, and I/O bindings all live in one dense `0..tiles_used` range.
+//! [`relocate_image`] shifts that range to start at any `base` by
+//!
+//! 1. prepending `base` empty tiles (zero cores, empty control program —
+//!    a valid, trivially-halting prefix that never even primes),
+//! 2. adding `base` to every `send` target (single-node images address
+//!    tiles globally with `node == 0`),
+//! 3. adding `base` to every I/O binding's tile.
+//!
+//! Like sharding ([`crate::shard::shard_image`]), relocation is a *pure
+//! renumbering* of an already-correct image: no instruction is added,
+//! removed, or reordered, event priorities shift uniformly (so every
+//! same-cycle tie resolves identically), and the padding tiles contribute
+//! zero events and zero energy. A relocated run is therefore bit-identical
+//! — outputs *and* `RunStats` — to the base-0 run, and `relocate_image(_,
+//! 0)` is the identity. The testkit relocation differential suite pins
+//! this on fuzzed models under every engine.
+
+use puma_core::error::{PumaError, Result};
+use puma_core::ids::TileId;
+use puma_isa::{Instruction, MachineImage, TileImage};
+
+use crate::codegen::CompiledModel;
+
+/// Shifts a compiled single-node image so its first tile sits at
+/// `base`. See the module docs for the invariant; `base == 0` returns a
+/// clone of `image`.
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] if the image has inter-node sends
+/// (shard first, then relocate each shard), a send targets a tile
+/// outside the image, or `base + tiles` overflows the 16-bit `send`
+/// tile-addressing range.
+pub fn relocate_image(image: &MachineImage, base: usize) -> Result<MachineImage> {
+    if base + image.tiles.len() > u16::MAX as usize + 1 {
+        return Err(PumaError::Compile {
+            what: format!(
+                "relocating {} tiles to base {base} exceeds the 65536-tile send addressing range",
+                image.tiles.len()
+            ),
+        });
+    }
+    let mut out = MachineImage {
+        tiles: Vec::with_capacity(base + image.tiles.len()),
+        inputs: Vec::with_capacity(image.inputs.len()),
+        outputs: Vec::with_capacity(image.outputs.len()),
+    };
+    out.tiles.extend((0..base).map(|_| TileImage::new(0, 0)));
+    for tile_img in &image.tiles {
+        let mut tile = tile_img.clone();
+        for instr in &mut tile.program.instructions {
+            if let Instruction::Send { target, node, .. } = instr {
+                if *node != 0 {
+                    return Err(PumaError::Compile {
+                        what: format!("cannot relocate a sharded image: send targets node {node}"),
+                    });
+                }
+                let dest = *target as usize;
+                if dest >= image.tiles.len() {
+                    return Err(PumaError::Compile {
+                        what: format!("send targets tile {dest} outside the image"),
+                    });
+                }
+                *target = (dest + base) as u16;
+            }
+        }
+        out.tiles.push(tile);
+    }
+    for binding in &image.inputs {
+        let mut b = binding.clone();
+        b.tile = TileId::new(binding.tile.index() + base);
+        out.inputs.push(b);
+    }
+    for binding in &image.outputs {
+        let mut b = binding.clone();
+        b.tile = TileId::new(binding.tile.index() + base);
+        out.outputs.push(b);
+    }
+    Ok(out)
+}
+
+/// One resident of a composed fabric image: a named single-node image
+/// loaded at a tile base.
+#[derive(Debug, Clone, Copy)]
+pub struct Resident<'a> {
+    /// Tenant name; prefixes the resident's I/O binding names in the
+    /// fabric image (`"{name}:{binding}"`).
+    pub name: &'a str,
+    /// The resident's compiled single-node image (base 0).
+    pub image: &'a MachineImage,
+    /// First fabric tile of the resident's allocation.
+    pub base: usize,
+}
+
+/// Merges several relocated residents into one fabric image.
+///
+/// Each resident occupies `[base, base + tiles)` of the fabric tile
+/// space; gaps between allocations become empty tiles. I/O binding
+/// names are prefixed with `"{name}:"` so the host can address each
+/// tenant's vectors on the shared fabric (the simulator routes I/O by
+/// binding name, so nothing below the compiler changes).
+///
+/// Because every resident is a pure renumbering onto *disjoint* tile
+/// ranges and tiles never share state, each resident executes exactly
+/// the instruction stream it would execute alone — per-tenant outputs
+/// on the fabric are bit-identical to solo runs (the multi-resident
+/// isolation suite pins this).
+///
+/// # Errors
+///
+/// Returns [`PumaError::Compile`] on duplicate tenant names, on
+/// overlapping tile ranges (the error names both tenants), or if any
+/// resident fails [`relocate_image`].
+pub fn compose_fabric(residents: &[Resident<'_>]) -> Result<MachineImage> {
+    let mut order: Vec<usize> = (0..residents.len()).collect();
+    order.sort_by_key(|&i| (residents[i].base, i));
+    for pair in order.windows(2) {
+        let (a, b) = (&residents[pair[0]], &residents[pair[1]]);
+        if a.base + a.image.tiles.len() > b.base {
+            return Err(PumaError::Compile {
+                what: format!(
+                    "tenant '{}' (tiles {}..{}) overlaps tenant '{}' (tiles {}..{})",
+                    a.name,
+                    a.base,
+                    a.base + a.image.tiles.len(),
+                    b.name,
+                    b.base,
+                    b.base + b.image.tiles.len()
+                ),
+            });
+        }
+    }
+    for (i, a) in residents.iter().enumerate() {
+        if residents[..i].iter().any(|b| b.name == a.name) {
+            return Err(PumaError::Compile {
+                what: format!("duplicate tenant name '{}' on one fabric", a.name),
+            });
+        }
+    }
+    let mut fabric = MachineImage::default();
+    for &i in &order {
+        let r = &residents[i];
+        let mut relocated = relocate_image(r.image, r.base)?;
+        // The overlap check above proves `base >= fabric.tiles.len()`,
+        // so the relocated tiles extend the fabric without clobbering.
+        while fabric.tiles.len() < r.base {
+            fabric.tiles.push(TileImage::new(0, 0));
+        }
+        fabric.tiles.extend(relocated.tiles.drain(r.base..));
+        for mut b in relocated.inputs {
+            b.name = format!("{}:{}", r.name, b.name);
+            fabric.inputs.push(b);
+        }
+        for mut b in relocated.outputs {
+            b.name = format!("{}:{}", r.name, b.name);
+            fabric.outputs.push(b);
+        }
+    }
+    Ok(fabric)
+}
+
+impl CompiledModel {
+    /// This model's image relocated to `base` (see [`relocate_image`]);
+    /// only valid for single-node models.
+    ///
+    /// # Errors
+    ///
+    /// See [`relocate_image`].
+    pub fn relocate(&self, base: usize) -> Result<MachineImage> {
+        relocate_image(&self.image, base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Model;
+    use crate::{compile, CompilerOptions};
+    use puma_core::config::NodeConfig;
+    use puma_core::tensor::Matrix;
+
+    fn chained_model(name: &str, layers: usize) -> Model {
+        let mut m = Model::new(name);
+        let x = m.input("x", 128);
+        let mut cur = x;
+        for i in 0..layers {
+            let a = m.constant_matrix(
+                format!("A{i}"),
+                Matrix::from_fn(128, 128, |r, c| 0.01 * ((r + 2 * c + i) % 5) as f32 - 0.02),
+            );
+            cur = m.mvm(a, cur).unwrap();
+            cur = m.tanh(cur);
+        }
+        m.output("y", cur);
+        m
+    }
+
+    fn compiled(layers: usize) -> CompiledModel {
+        compile(&chained_model("m", layers), &NodeConfig::default(), &CompilerOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn relocate_at_zero_is_identity() {
+        let c = compiled(6);
+        assert_eq!(relocate_image(&c.image, 0).unwrap(), c.image);
+    }
+
+    #[test]
+    fn relocation_shifts_tiles_sends_and_bindings() {
+        let c = compiled(6);
+        let base = 5;
+        let moved = relocate_image(&c.image, base).unwrap();
+        moved.validate().unwrap();
+        assert_eq!(moved.tiles.len(), c.image.tiles.len() + base);
+        for tile in &moved.tiles[..base] {
+            assert!(tile.program.is_empty() && tile.cores.is_empty());
+        }
+        assert_eq!(moved.total_instructions(), c.image.total_instructions());
+        for (orig, shifted) in c.image.inputs.iter().zip(&moved.inputs) {
+            assert_eq!(shifted.tile.index(), orig.tile.index() + base);
+            assert_eq!(shifted.name, orig.name);
+        }
+        for (t, tile) in c.image.tiles.iter().enumerate() {
+            let moved_tile = &moved.tiles[t + base];
+            for (orig, shifted) in
+                tile.program.instructions.iter().zip(&moved_tile.program.instructions)
+            {
+                match (orig, shifted) {
+                    (Instruction::Send { target: a, .. }, Instruction::Send { target: b, .. }) => {
+                        assert_eq!(*b as usize, *a as usize + base)
+                    }
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_base_is_rejected() {
+        let c = compiled(2);
+        assert!(relocate_image(&c.image, u16::MAX as usize + 1).is_err());
+    }
+
+    #[test]
+    fn compose_merges_disjoint_residents_with_prefixed_io() {
+        let a = compiled(4);
+        let b = compiled(2);
+        let fabric = compose_fabric(&[
+            Resident { name: "a", image: &a.image, base: 0 },
+            Resident { name: "b", image: &b.image, base: a.image.tiles.len() + 2 },
+        ])
+        .unwrap();
+        fabric.validate().unwrap();
+        assert_eq!(fabric.tiles.len(), a.image.tiles.len() + 2 + b.image.tiles.len());
+        assert_eq!(
+            fabric.total_instructions(),
+            a.image.total_instructions() + b.image.total_instructions()
+        );
+        assert!(fabric.inputs.iter().any(|io| io.name.starts_with("a:")));
+        assert!(fabric.inputs.iter().any(|io| io.name.starts_with("b:")));
+        assert_eq!(fabric.outputs.len(), a.image.outputs.len() + b.image.outputs.len());
+    }
+
+    #[test]
+    fn compose_rejects_overlap_naming_both_tenants() {
+        let a = compiled(4);
+        let b = compiled(2);
+        let err = compose_fabric(&[
+            Resident { name: "big", image: &a.image, base: 0 },
+            Resident { name: "small", image: &b.image, base: a.image.tiles.len() - 1 },
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'big'") && msg.contains("'small'"), "{msg}");
+    }
+
+    #[test]
+    fn compose_rejects_duplicate_names() {
+        let a = compiled(2);
+        let err = compose_fabric(&[
+            Resident { name: "m", image: &a.image, base: 0 },
+            Resident { name: "m", image: &a.image, base: a.image.tiles.len() },
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate tenant name"), "{err}");
+    }
+}

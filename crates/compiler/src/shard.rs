@@ -16,7 +16,10 @@
 //! every core executes exactly the instruction stream it would execute on
 //! one big node — which is why a sharded `ClusterSim` run is bit-identical
 //! to the single-node run (the testkit sharded differential suite pins
-//! this on fuzzed models).
+//! this on fuzzed models). Relocation ([`crate::relocate`]) rests on the
+//! same invariant in the other direction: instead of splitting one image
+//! across nodes, it renumbers a whole image onto a free tile range so
+//! several models can reside on one fabric.
 
 use puma_core::error::{PumaError, Result};
 use puma_core::ids::TileId;

@@ -154,11 +154,18 @@ impl TimingModel {
     }
 
     /// NoC hop count between two tiles laid out on a square mesh.
+    ///
+    /// Cost is a function of the tile-index *delta* (the distance walked
+    /// when the lower-numbered tile sits at the mesh origin), not of the
+    /// absolute positions. Translation invariance is load-bearing:
+    /// relocating a compiled image to another tile base
+    /// (`puma_compiler::relocate_image`) must be a pure renumbering, so
+    /// every send in the shifted image has to charge exactly the cycles
+    /// and energy it charged at base 0.
     pub fn noc_hops(&self, from_tile: usize, to_tile: usize) -> u64 {
         let side = self.node.mesh_side().max(1);
-        let (fx, fy) = (from_tile % side, from_tile / side);
-        let (tx, ty) = (to_tile % side, to_tile / side);
-        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+        let d = from_tile.abs_diff(to_tile);
+        (d % side + d / side) as u64
     }
 
     /// Cycles to send `words` 16-bit words from one tile to another:
@@ -431,6 +438,19 @@ mod tests {
         let side = t.node().mesh_side();
         assert_eq!(t.noc_hops(0, side - 1), (side - 1) as u64);
         assert_eq!(t.noc_hops(0, side), 1); // one row down
+    }
+
+    #[test]
+    fn noc_hops_are_translation_invariant() {
+        // Relocating an image shifts every tile index uniformly; the hop
+        // count (and with it send cycles/energy) must not change.
+        let t = model();
+        for base in [1usize, 3, 7] {
+            for (from, to) in [(0usize, 1usize), (0, 5), (2, 9), (4, 4)] {
+                assert_eq!(t.noc_hops(from, to), t.noc_hops(from + base, to + base));
+                assert_eq!(t.send_cycles(64, from, to), t.send_cycles(64, from + base, to + base));
+            }
+        }
     }
 
     #[test]

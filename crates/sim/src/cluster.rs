@@ -20,7 +20,7 @@
 
 use crate::compiled::CompiledImage;
 use crate::fifo::Packet;
-use crate::machine::{NodeSim, OutboundPacket, SimEngine, SimMode};
+use crate::machine::{NodeSim, OutboundPacket, ResidentModel, SimEngine, SimMode};
 use crate::stats::RunStats;
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
@@ -271,10 +271,81 @@ impl ClusterSim {
         Ok(&self.stats)
     }
 
+    /// Registers the resident models of one node's fabric image (see
+    /// [`NodeSim::set_residents`]); resident names must be unique across
+    /// the whole cluster so [`ClusterSim::run_resident`] can route by
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeSim::set_residents`] validation and rejects a
+    /// name already resident on another node.
+    pub fn set_residents(&mut self, node: usize, residents: Vec<ResidentModel>) -> Result<()> {
+        for r in &residents {
+            if let Some(other) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != node)
+                .find(|(_, n)| n.residents().iter().any(|p| p.name == r.name))
+            {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("resident '{}' already lives on node {}", r.name, other.0),
+                });
+            }
+        }
+        self.nodes[node].set_residents(residents)
+    }
+
+    /// Runs one resident model to completion on the node that hosts it,
+    /// leaving every other tenant (and node) untouched — the cluster
+    /// counterpart of [`NodeSim::run_resident`]: the returned
+    /// [`RunStats`] are exactly that model's.
+    ///
+    /// # Errors
+    ///
+    /// Like [`ClusterSim::run`], plus [`PumaError::InvalidConfig`] for an
+    /// unknown resident name.
+    pub fn run_resident(&mut self, name: &str) -> Result<&RunStats> {
+        let owner = self
+            .nodes
+            .iter()
+            .position(|n| n.residents().iter().any(|r| r.name == name))
+            .ok_or_else(|| PumaError::InvalidConfig {
+                what: format!("no resident model named '{name}' on any node"),
+            })?;
+        let mut outcome = Ok(());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if i == owner {
+                outcome = node.prime_resident(name);
+                if outcome.is_err() {
+                    break;
+                }
+            } else {
+                node.prime_idle();
+            }
+        }
+        if outcome.is_ok() {
+            outcome = self.run_primed();
+        }
+        for node in &mut self.nodes {
+            node.finalize_stats();
+        }
+        self.collect_stats();
+        outcome?;
+        Ok(&self.stats)
+    }
+
     fn run_loop(&mut self) -> Result<()> {
         for node in &mut self.nodes {
             node.prime()?;
         }
+        self.run_primed()
+    }
+
+    /// The post-prime body of [`ClusterSim::run`]: conservative co-sim
+    /// to global quiescence, deadlock diagnosis, cycle sealing.
+    fn run_primed(&mut self) -> Result<()> {
         loop {
             let next_arrival = self.in_flight.peek().map(|Reverse(f)| f.arrive_at);
             let next_node: Option<(u64, usize)> = self

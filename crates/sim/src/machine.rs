@@ -112,6 +112,30 @@ pub enum SimMode {
 /// Default safety cap on simulated cycles.
 pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
 
+/// A named model resident on a contiguous tile range of a simulated
+/// node. Residency is pure metadata over an already-composed fabric
+/// image (see `puma_compiler::relocate::compose_fabric`): it attributes
+/// fault/deadlock reports to the owning tenant and scopes per-model
+/// runs ([`NodeSim::run_resident`]) so one fabric yields exact
+/// per-model [`RunStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidentModel {
+    /// Tenant name (matches the `"{name}:"` I/O binding prefix the
+    /// fabric composer emits).
+    pub name: String,
+    /// First tile of the resident's allocation.
+    pub base: usize,
+    /// Number of tiles allocated.
+    pub tiles: usize,
+}
+
+impl ResidentModel {
+    /// True if `tile` belongs to this resident's allocation.
+    pub fn owns(&self, tile: usize) -> bool {
+        tile >= self.base && tile < self.base + self.tiles
+    }
+}
+
 /// Execution-engine selection for [`NodeSim::run`].
 ///
 /// Both engines implement *identical* semantics — same cycle counts, same
@@ -449,6 +473,10 @@ pub struct NodeSim {
     /// preserved across [`NodeSim::reset`] — programs are immutable after
     /// construction, so one build serves every request.
     compiled: Option<Arc<CompiledImage>>,
+    /// Resident-model registry (sorted by base tile; empty for
+    /// single-tenant machines). Machine configuration like the compiled
+    /// image: survives [`NodeSim::reset`].
+    residents: Vec<ResidentModel>,
 }
 
 impl NodeSim {
@@ -574,6 +602,7 @@ impl NodeSim {
             outbox: Vec::new(),
             horizon: u64::MAX,
             compiled: None,
+            residents: Vec::new(),
         })
     }
 
@@ -856,6 +885,30 @@ impl NodeSim {
 
     fn run_loop(&mut self) -> Result<()> {
         self.prime()?;
+        self.run_primed()
+    }
+
+    /// Runs one resident model to completion, leaving every other
+    /// tenant's tiles untouched: only the resident's agents are primed,
+    /// so the run's [`RunStats`] are exactly that model's — same
+    /// outputs, cycles, energy, and instruction counts as the model
+    /// would produce alone (disjoint tile ranges never interact; see
+    /// the multi-resident isolation suite).
+    ///
+    /// # Errors
+    ///
+    /// Like [`NodeSim::run`], plus [`PumaError::InvalidConfig`] for an unknown
+    /// resident name.
+    pub fn run_resident(&mut self, name: &str) -> Result<&RunStats> {
+        let outcome = self.prime_resident(name).and_then(|()| self.run_primed());
+        self.finalize_stats();
+        outcome?;
+        Ok(&self.stats)
+    }
+
+    /// The post-prime body of [`NodeSim::run`]: step to quiescence,
+    /// diagnose deadlock, seal the cycle count.
+    fn run_primed(&mut self) -> Result<()> {
         while self.step_one()? {}
         let blocked = self.blocked_summary();
         if !blocked.is_empty() {
@@ -887,6 +940,34 @@ impl NodeSim {
     ///
     /// Fails if `at` already exceeds the cycle cap.
     pub fn prime_at(&mut self, at: u64) -> Result<()> {
+        self.prime_tiles(at, 0..self.tiles.len())
+    }
+
+    /// [`NodeSim::prime`] restricted to one resident model's tile range:
+    /// only the resident's agents are seeded, so the subsequent stepping
+    /// run executes that model alone on the shared fabric (see
+    /// [`NodeSim::run_resident`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] for an unknown resident name.
+    pub fn prime_resident(&mut self, name: &str) -> Result<()> {
+        let resident = self.resident(name)?;
+        let range = resident.base..resident.base + resident.tiles;
+        self.prime_tiles(0, range)
+    }
+
+    /// Clears all schedule state without seeding any agent — a cluster
+    /// scheduler parks non-owning nodes this way during a scoped
+    /// [`ClusterSim::run_resident`](crate::ClusterSim::run_resident).
+    pub(crate) fn prime_idle(&mut self) {
+        self.prime_tiles(0, 0..0).expect("priming zero agents cannot fail");
+    }
+
+    /// The shared body of [`NodeSim::prime_at`]/[`NodeSim::prime_resident`]:
+    /// clears every queue/scheduler leftover, then seeds the live agents
+    /// of `tiles` at global cycle `at`.
+    fn prime_tiles(&mut self, at: u64, tiles: std::ops::Range<usize>) -> Result<()> {
         self.queue.clear();
         // The run-ahead scheduler state mirrors the queue (per-tile
         // next-event index) or must be empty between steps
@@ -899,7 +980,7 @@ impl NodeSim {
         self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = at;
-        for t in 0..self.tiles.len() {
+        for t in tiles {
             for c in 0..self.tiles[t].cores.len() {
                 if !self.tiles[t].cores[c].halted {
                     let agent = AgentId { tile: t as u32, core: c as u32 };
@@ -1088,10 +1169,80 @@ impl NodeSim {
                     } else {
                         format!("tile{t}/core{}", a.core)
                     };
-                    format!("{agent} waiting on {} (since cycle {since})", cond.describe())
+                    let model = self.resident_tag(t);
+                    format!("{agent}{model} waiting on {} (since cycle {since})", cond.describe())
                 })
             })
             .collect()
+    }
+
+    /// Registers the resident models of this node's fabric image.
+    /// Reports ([`NodeSim::blocked_summary`], execution faults) name the
+    /// owning tenant alongside the tile from here on, and
+    /// [`NodeSim::run_resident`] can scope runs to one tenant. Survives
+    /// [`NodeSim::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] if a resident's range exceeds the
+    /// fabric, ranges overlap, or names repeat.
+    pub fn set_residents(&mut self, mut residents: Vec<ResidentModel>) -> Result<()> {
+        residents.sort_by(|a, b| (a.base, &a.name).cmp(&(b.base, &b.name)));
+        for (i, r) in residents.iter().enumerate() {
+            if r.base + r.tiles > self.tiles.len() {
+                return Err(PumaError::InvalidConfig {
+                    what: format!(
+                        "resident '{}' (tiles {}..{}) exceeds the fabric's {} tiles",
+                        r.name,
+                        r.base,
+                        r.base + r.tiles,
+                        self.tiles.len()
+                    ),
+                });
+            }
+            if let Some(prev) = i.checked_sub(1).map(|p| &residents[p]) {
+                if prev.base + prev.tiles > r.base {
+                    return Err(PumaError::InvalidConfig {
+                        what: format!("resident '{}' overlaps resident '{}'", prev.name, r.name),
+                    });
+                }
+            }
+            if residents[..i].iter().any(|p| p.name == r.name) {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("duplicate resident name '{}'", r.name),
+                });
+            }
+        }
+        self.residents = residents;
+        Ok(())
+    }
+
+    /// The resident-model registry (sorted by base tile; empty for
+    /// single-tenant machines).
+    pub fn residents(&self) -> &[ResidentModel] {
+        &self.residents
+    }
+
+    /// The resident owning `tile`, if any.
+    pub fn resident_of(&self, tile: usize) -> Option<&ResidentModel> {
+        self.residents.iter().find(|r| r.owns(tile))
+    }
+
+    /// Looks up a resident by name.
+    fn resident(&self, name: &str) -> Result<ResidentModel> {
+        self.residents.iter().find(|r| r.name == name).cloned().ok_or_else(|| {
+            PumaError::InvalidConfig { what: format!("no resident model named '{name}'") }
+        })
+    }
+
+    /// ` (model {name})` when a resident owns `tile`, else empty — the
+    /// attribution suffix of fault and blocked reports (single-tenant
+    /// messages are unchanged).
+    fn resident_tag(&self, tile: usize) -> String {
+        match self.resident_of(tile) {
+            Some(r) => format!(" (model {})", r.name),
+            None => String::new(),
+        }
     }
 
     /// Number of agents currently parked on a synchronization condition
@@ -1587,15 +1738,18 @@ impl NodeSim {
     }
 
     /// Names the faulting agent and its current program counter —
-    /// `node0/tile3/core1 pc 17` — so an execution fault out of a
-    /// many-node cluster run pinpoints the exact agent and instruction,
-    /// the way [`NodeSim::blocked_summary`] names exact waits.
+    /// `node0/tile3/core1 pc 17`, plus ` (model {name})` when a
+    /// resident owns the tile — so an execution fault out of a
+    /// many-node, many-tenant run pinpoints the exact agent,
+    /// instruction, and owning model, the way
+    /// [`NodeSim::blocked_summary`] names exact waits.
     fn fault_agent(&self, agent: AgentId) -> String {
         let pc = self.agent_pc(agent);
+        let model = self.resident_tag(agent.tile as usize);
         if agent.is_tile_ctl() {
-            format!("node{}/tile{}/ctl pc {pc}", self.node_id, agent.tile)
+            format!("node{}/tile{}/ctl pc {pc}{model}", self.node_id, agent.tile)
         } else {
-            format!("node{}/tile{}/core{} pc {pc}", self.node_id, agent.tile, agent.core)
+            format!("node{}/tile{}/core{} pc {pc}{model}", self.node_id, agent.tile, agent.core)
         }
     }
 

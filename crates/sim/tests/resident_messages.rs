@@ -1,0 +1,103 @@
+//! Regression tests for multi-tenant diagnostics: fault and deadlock
+//! reports out of a shared fabric must name the resident model that owns
+//! the offending tile, alongside the node/tile/core/pc coordinates. The
+//! exact strings are pinned — operators grep serving logs for them.
+
+use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
+use puma_core::ids::{CoreId, TileId};
+use puma_core::PumaError;
+use puma_isa::asm::assemble;
+use puma_isa::{MachineImage, Program};
+use puma_sim::{NodeSim, ResidentModel, SimMode};
+use puma_xbar::NoiseModel;
+
+fn cfg(tiles: usize) -> NodeConfig {
+    let mvmu = MvmuConfig { dim: 16, ..MvmuConfig::default() };
+    NodeConfig {
+        tile: TileConfig {
+            core: CoreConfig {
+                mvmu,
+                mvmus_per_core: 2,
+                vfu_lanes: 4,
+                instruction_memory_bytes: 8192,
+                register_file_words: 256,
+            },
+            cores_per_tile: 2,
+            shared_memory_bytes: 8192,
+            ..TileConfig::default()
+        },
+        tiles_per_node: tiles,
+        ..NodeConfig::default()
+    }
+}
+
+fn program(src: &str) -> Program {
+    Program::from_instructions(assemble(src).unwrap())
+}
+
+/// Builds a two-tile fabric whose second tile belongs to resident
+/// `lstm-a`, with tile 1 core 0 running `src`.
+fn resident_sim(src: &str) -> NodeSim {
+    let mut img = MachineImage::new(2, 2, 2);
+    img.core_mut(TileId::new(1), CoreId::new(0)).program = program(src);
+    let mut sim =
+        NodeSim::new(cfg(2), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_residents(vec![ResidentModel { name: "lstm-a".into(), base: 1, tiles: 1 }]).unwrap();
+    sim
+}
+
+/// A deadlocked wait inside a resident's tile range names the model in
+/// the blocked summary, next to the exact wait condition.
+#[test]
+fn deadlock_report_names_resident_model() {
+    let mut sim = resident_sim("load r0 @4 1\nhalt\n");
+    match sim.run() {
+        Err(PumaError::Deadlock { what, .. }) => {
+            assert_eq!(
+                what,
+                "1 agents blocked: tile1/core0 (model lstm-a) waiting on \
+                 word @4 to become valid (since cycle 0)"
+            );
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+/// An execution fault inside a resident's tile range names the model
+/// after the node/tile/core/pc coordinates.
+#[test]
+fn fault_report_names_resident_model() {
+    // A negative index register is an addressing fault at execution time.
+    let mut sim = resident_sim("set r1 -1\nload r0 @4+r1 1\nhalt\n");
+    match sim.run() {
+        Err(PumaError::Execution { what }) => {
+            assert_eq!(
+                what,
+                "node0/tile1/core0 pc 1 (model lstm-a): negative index -1 in @4+r1 \
+                 (index registers hold raw-bit integer word offsets; see puma-isa MemAddr)"
+            );
+        }
+        other => panic!("expected execution fault, got {other:?}"),
+    }
+}
+
+/// Tiles outside every resident's range keep the single-tenant message
+/// shape — no `(model …)` tag is invented for unowned tiles.
+#[test]
+fn unowned_tile_reports_stay_untagged() {
+    let mut img = MachineImage::new(2, 2, 2);
+    img.core_mut(TileId::new(0), CoreId::new(0)).program = program("load r0 @4 1\nhalt\n");
+    let mut sim =
+        NodeSim::new(cfg(2), &img, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_residents(vec![ResidentModel { name: "lstm-a".into(), base: 1, tiles: 1 }]).unwrap();
+    match sim.run() {
+        Err(PumaError::Deadlock { what, .. }) => {
+            assert_eq!(
+                what,
+                "1 agents blocked: tile0/core0 waiting on \
+                 word @4 to become valid (since cycle 0)"
+            );
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}

@@ -5,7 +5,7 @@
 //! depend on it without a dependency cycle.
 
 use puma_compiler::graph::Model;
-use puma_compiler::{compile, fit_config, CompilerOptions, Partitioning};
+use puma_compiler::{compile, fit_config, relocate_image, CompilerOptions, Partitioning};
 use puma_core::config::{CoreConfig, MvmuConfig, NodeConfig, TileConfig};
 use puma_core::error::{PumaError, Result};
 use puma_sim::{ClusterSim, NodeSim, RunStats, SimEngine, SimMode};
@@ -102,8 +102,16 @@ pub fn run_with_engine(
 /// Writes the compiled model's constant data and chunked logical inputs
 /// through `write` — the one copy of the host-side input contract
 /// (missing-input and shape errors included) shared by the single-node
-/// and cluster paths.
-fn write_model_inputs(
+/// and cluster paths. Multi-tenant callers pass a closure that prefixes
+/// each binding name with the tenant (the `{tenant}:{binding}` contract
+/// of `puma_compiler::compose_fabric`).
+///
+/// # Errors
+///
+/// [`PumaError::Execution`] for a missing logical input,
+/// [`PumaError::ShapeMismatch`] for a wrong-width one, plus whatever
+/// `write` itself reports.
+pub fn write_model_inputs(
     compiled: &puma_compiler::CompiledModel,
     inputs: &[(String, Vec<f32>)],
     write: &mut dyn FnMut(&str, &[f32]) -> Result<()>,
@@ -130,7 +138,11 @@ fn write_model_inputs(
 
 /// Reassembles the compiled model's logical outputs from their chunks
 /// through `read` (counterpart of [`write_model_inputs`]).
-fn read_model_outputs(
+///
+/// # Errors
+///
+/// Propagates whatever `read` reports for a chunk.
+pub fn read_model_outputs(
     compiled: &puma_compiler::CompiledModel,
     read: &dyn Fn(&str) -> Result<Vec<f32>>,
 ) -> Result<HashMap<String, Vec<f32>>> {
@@ -143,6 +155,42 @@ fn read_model_outputs(
         out.insert(io.name.clone(), data);
     }
     Ok(out)
+}
+
+/// Compiles `model`, relocates its image to tile base `base`
+/// ([`puma_compiler::relocate_image`]), widens the node's tile capacity
+/// to hold it, and runs one inference — the entry point of the
+/// relocation differential suite, which pins outputs **and**
+/// [`RunStats`] bit-identical to the base-0 run (relocation is a pure
+/// renumbering, and the prepended idle tiles contribute zero events,
+/// cycles, and energy). `base == 0` is the plain single-node run.
+///
+/// # Errors
+///
+/// Propagates compile, relocation, and simulator faults; reports missing
+/// or misshaped inputs as
+/// [`PumaError::Execution`]/[`PumaError::ShapeMismatch`].
+pub fn run_relocated(
+    model: &Model,
+    cfg: &NodeConfig,
+    options: &CompilerOptions,
+    inputs: &[(String, Vec<f32>)],
+    base: usize,
+    mode: SimMode,
+    engine: SimEngine,
+) -> Result<(HashMap<String, Vec<f32>>, RunStats)> {
+    let compiled = compile(model, cfg, options)?;
+    let mut cfg = fit_config(cfg, &compiled);
+    // Capacity widening only; the simulator's behavior and statistics
+    // never depend on unoccupied tile capacity.
+    cfg.tiles_per_node = cfg.tiles_per_node.max(compiled.stats.tiles_used + base);
+    let image = relocate_image(&compiled.image, base)?;
+    let mut sim = NodeSim::new(cfg, &image, mode, &NoiseModel::noiseless())?;
+    sim.set_engine(engine);
+    write_model_inputs(&compiled, inputs, &mut |name, values| sim.write_input(name, values))?;
+    sim.run()?;
+    let out = read_model_outputs(&compiled, &|name| sim.read_output(name))?;
+    Ok((out, sim.stats().clone()))
 }
 
 /// Compiles `model` sharded across `nodes` simulated nodes

@@ -1,0 +1,193 @@
+//! Isolation differential: a fabric hosting several resident zoo models
+//! on disjoint tile ranges must serve each model with outputs **and**
+//! [`puma_sim::RunStats`] bit-identical to serving that model alone at
+//! the same tile base on the same machine. Idle co-tenants never prime,
+//! so they contribute zero events, cycles, and energy — any divergence
+//! is a tenancy-isolation bug, not noise.
+//!
+//! The suite honours `PUMA_ENGINE`, so CI's three-engine matrix pins the
+//! invariant under the reference, run-ahead, and compiled engines.
+
+use std::collections::HashMap;
+
+use puma_compiler::{
+    compile, compose_fabric, fit_config, CompiledModel, CompilerOptions, Resident,
+};
+use puma_core::config::NodeConfig;
+use puma_sim::{ClusterSim, NodeSim, ResidentModel, RunStats, SimMode};
+use puma_testkit::harness::{
+    default_engine, read_model_outputs, reference_outputs, write_model_inputs,
+};
+use puma_testkit::modelgen::{self, ModelCase};
+use puma_xbar::NoiseModel;
+
+/// One zoo model compiled for the shared fabric, with its tile range.
+struct Tenant {
+    name: String,
+    case: ModelCase,
+    compiled: CompiledModel,
+    base: usize,
+    tiles: usize,
+}
+
+/// Compiles the three simulable zoo models and lays them out at
+/// staggered bases (a one-tile gap between neighbours), returning the
+/// tenants plus a [`NodeConfig`] wide enough for the whole fabric.
+fn zoo_tenants() -> (Vec<Tenant>, NodeConfig) {
+    let options = CompilerOptions::default();
+    let mut cfg = NodeConfig::default();
+    let mut tenants = Vec::new();
+    let mut base = 1;
+    for (i, case) in modelgen::simulable_zoo_cases(7).into_iter().enumerate() {
+        let compiled = compile(&case.model, &cfg, &options).expect("zoo model compiles");
+        cfg = fit_config(&cfg, &compiled);
+        let tiles = compiled.stats.tiles_used.max(1);
+        tenants.push(Tenant { name: format!("zoo{i}"), case, compiled, base, tiles });
+        base += tiles + 1;
+    }
+    cfg.tiles_per_node = cfg.tiles_per_node.max(base);
+    (tenants, cfg)
+}
+
+fn resident_of(t: &Tenant) -> ResidentModel {
+    ResidentModel { name: t.name.clone(), base: t.base, tiles: t.tiles }
+}
+
+fn fabric_resident(t: &Tenant) -> Resident<'_> {
+    Resident { name: &t.name, image: &t.compiled.image, base: t.base }
+}
+
+/// The slice of simulator surface the differential drives — lets one
+/// serving routine target [`NodeSim`] and [`ClusterSim`] alike.
+trait TenantHost {
+    fn reset(&mut self);
+    fn write(&mut self, name: &str, values: &[f32]) -> Result<(), puma_core::PumaError>;
+    fn run_tenant(&mut self, name: &str) -> Result<RunStats, puma_core::PumaError>;
+    fn read(&self, name: &str) -> Result<Vec<f32>, puma_core::PumaError>;
+}
+
+impl TenantHost for NodeSim {
+    fn reset(&mut self) {
+        NodeSim::reset(self);
+    }
+    fn write(&mut self, name: &str, values: &[f32]) -> Result<(), puma_core::PumaError> {
+        self.write_input(name, values)
+    }
+    fn run_tenant(&mut self, name: &str) -> Result<RunStats, puma_core::PumaError> {
+        self.run_resident(name).cloned()
+    }
+    fn read(&self, name: &str) -> Result<Vec<f32>, puma_core::PumaError> {
+        self.read_output(name)
+    }
+}
+
+impl TenantHost for ClusterSim {
+    fn reset(&mut self) {
+        ClusterSim::reset(self);
+    }
+    fn write(&mut self, name: &str, values: &[f32]) -> Result<(), puma_core::PumaError> {
+        self.write_input(name, values)
+    }
+    fn run_tenant(&mut self, name: &str) -> Result<RunStats, puma_core::PumaError> {
+        self.run_resident(name).cloned()
+    }
+    fn read(&self, name: &str) -> Result<Vec<f32>, puma_core::PumaError> {
+        self.read_output(name)
+    }
+}
+
+/// Resets the machine, writes `t`'s inputs under its tenant prefix, runs
+/// it to completion, and returns its logical outputs and stats.
+fn serve_one(sim: &mut dyn TenantHost, t: &Tenant) -> (HashMap<String, Vec<f32>>, RunStats) {
+    let prefix = |name: &str| format!("{}:{}", t.name, name);
+    sim.reset();
+    write_model_inputs(&t.compiled, &t.case.inputs, &mut |name, values| {
+        sim.write(&prefix(name), values)
+    })
+    .expect("tenant inputs");
+    let stats = sim.run_tenant(&t.name).expect("tenant run");
+    let out =
+        read_model_outputs(&t.compiled, &|name| sim.read(&prefix(name))).expect("tenant outputs");
+    (out, stats)
+}
+
+/// Serves `t` alone: a fabric holding only this tenant, at the same base
+/// and on the same machine config as the shared run.
+fn serve_alone(t: &Tenant, cfg: &NodeConfig) -> (HashMap<String, Vec<f32>>, RunStats) {
+    let image = compose_fabric(&[fabric_resident(t)]).expect("solo fabric");
+    let mut sim =
+        NodeSim::new(*cfg, &image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(vec![resident_of(t)]).unwrap();
+    serve_one(&mut sim, t)
+}
+
+/// A single `NodeSim` hosting all three zoo models serves each with
+/// outputs and stats bit-identical to the solo runs.
+#[test]
+fn node_serves_residents_identically_to_solo_runs() {
+    let (tenants, cfg) = zoo_tenants();
+    assert!(tenants.len() >= 2, "need at least two zoo tenants");
+    let fabric: Vec<Resident<'_>> = tenants.iter().map(fabric_resident).collect();
+    let image = compose_fabric(&fabric).expect("shared fabric");
+    let mut sim = NodeSim::new(cfg, &image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(tenants.iter().map(resident_of).collect()).unwrap();
+    for t in &tenants {
+        let (solo_out, solo_stats) = serve_alone(t, &cfg);
+        let (out, stats) = serve_one(&mut sim, t);
+        assert_eq!(solo_out, out, "outputs of '{}' must match its solo run", t.name);
+        assert_eq!(solo_stats, stats, "stats of '{}' must match its solo run", t.name);
+        assert!(stats.cycles > 0);
+        // The model's functional contract still holds on the shared fabric.
+        let reference = reference_outputs(&t.case.model, &t.case.inputs).unwrap();
+        for (name, want) in &reference {
+            let got = &out[name];
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() <= t.case.tolerance, "'{}' output {name} drifted", t.name);
+            }
+        }
+    }
+}
+
+/// A two-node `ClusterSim` (one tenant on node 0, two on node 1) serves
+/// each resident with outputs and stats bit-identical to serving it
+/// alone on a single node — co-tenants and idle peer nodes are invisible.
+#[test]
+fn cluster_serves_residents_identically_to_solo_runs() {
+    let (tenants, cfg) = zoo_tenants();
+    assert!(tenants.len() >= 3, "layout below expects three zoo tenants");
+    let (first, rest) = tenants.split_at(1);
+    let image0 = compose_fabric(&[fabric_resident(&first[0])]).expect("node-0 fabric");
+    let image1 = compose_fabric(&rest.iter().map(fabric_resident).collect::<Vec<_>>())
+        .expect("node-1 fabric");
+    let mut sim =
+        ClusterSim::new(cfg, &[image0, image1], SimMode::Functional, &NoiseModel::noiseless())
+            .unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(0, first.iter().map(resident_of).collect()).unwrap();
+    sim.set_residents(1, rest.iter().map(resident_of).collect()).unwrap();
+    for t in &tenants {
+        let (solo_out, solo_stats) = serve_alone(t, &cfg);
+        let (out, stats) = serve_one(&mut sim, t);
+        assert_eq!(solo_out, out, "cluster outputs of '{}' must match its solo run", t.name);
+        assert_eq!(solo_stats, stats, "cluster stats of '{}' must match its solo run", t.name);
+    }
+}
+
+/// Serving order doesn't leak state: running the tenants twice in
+/// opposite orders reproduces identical outputs and stats each time.
+#[test]
+fn serving_order_does_not_perturb_residents() {
+    let (tenants, cfg) = zoo_tenants();
+    let fabric: Vec<Resident<'_>> = tenants.iter().map(fabric_resident).collect();
+    let image = compose_fabric(&fabric).expect("shared fabric");
+    let mut sim = NodeSim::new(cfg, &image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(tenants.iter().map(resident_of).collect()).unwrap();
+    let forward: Vec<_> = tenants.iter().map(|t| serve_one(&mut sim, t)).collect();
+    let backward: Vec<_> = tenants.iter().rev().map(|t| serve_one(&mut sim, t)).collect();
+    for (t, (fwd, bwd)) in tenants.iter().zip(forward.iter().zip(backward.iter().rev())) {
+        assert_eq!(fwd, bwd, "'{}' must be order-insensitive", t.name);
+    }
+}

@@ -14,6 +14,12 @@
 //! - [`BatchRunner`] — a thin wrapper over the serving stack for one-shot
 //!   batches: `run_batch` ≡ serve with every arrival at cycle 0 and an
 //!   unbounded queue (Fig. 11's batching scenario).
+//! - [`TenantServer`] — multi-tenant serving: several catalog models
+//!   ([`ModelCatalog`]) placed first-fit onto one fabric's tile capacity
+//!   ([`FabricSpec`]), concurrently resident on disjoint tile ranges,
+//!   each serving its own request stream with per-model queues, shed,
+//!   latency percentiles, and queue-depth-driven replica autoscaling
+//!   ([`ScalePolicy`]).
 //!
 //! All entry points serve models compiled with
 //! [`puma_compiler::Partitioning::Sharded`] transparently: the compiled
@@ -28,14 +34,16 @@
 //! timeline is computed on the simulated clock, so percentiles are
 //! bit-reproducible and CI-gateable.
 
-use puma_compiler::{compile, fit_config, CompiledModel, CompilerOptions};
+use puma_compiler::{
+    compile, compose_fabric, fit_config, relocate_image, CompiledModel, CompilerOptions, Resident,
+};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
 use puma_core::timing::TrafficPattern;
 use puma_isa::MachineImage;
 use puma_sim::{
-    ClusterSim, CompiledImage, NodeSim, PipelineRequest, PipelineSim, RunStats, SimEngine, SimMode,
-    StageStats,
+    ClusterSim, CompiledImage, NodeSim, PipelineRequest, PipelineSim, ResidentModel, RunStats,
+    SimEngine, SimMode, StageStats,
 };
 use puma_xbar::NoiseModel;
 use std::cmp::Reverse;
@@ -90,6 +98,29 @@ impl SimBackend {
         match self {
             SimBackend::Node(s) => s.run(),
             SimBackend::Cluster(s) => s.run(),
+        }
+    }
+
+    /// Runs only the named resident model's tiles to completion (the
+    /// multi-tenant request path); every other resident stays idle, so
+    /// the run's statistics are attributed to `name` alone.
+    fn run_resident(&mut self, name: &str) -> Result<&RunStats> {
+        match self {
+            SimBackend::Node(s) => s.run_resident(name),
+            SimBackend::Cluster(s) => s.run_resident(name),
+        }
+    }
+
+    /// Registers the resident models of node `node` (tile allocations by
+    /// name), enabling [`SimBackend::run_resident`] and model-tagged
+    /// fault/deadlock diagnostics.
+    fn set_residents(&mut self, node: usize, residents: Vec<ResidentModel>) -> Result<()> {
+        match self {
+            SimBackend::Node(s) => {
+                debug_assert_eq!(node, 0, "single-node backends have one node");
+                s.set_residents(residents)
+            }
+            SimBackend::Cluster(s) => s.set_residents(node, residents),
         }
     }
 
@@ -1274,6 +1305,1031 @@ impl BatchRunner {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant serving: catalog → placement → routing.
+// ---------------------------------------------------------------------------
+
+/// Machine capacity, independent of any model: how many nodes the
+/// serving fabric has and how many tiles each node offers. Models are
+/// *placed onto* this capacity ([`TenantServer::deploy`]); nothing about
+/// the fabric is derived from any particular model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricSpec {
+    /// Simulated nodes in the fabric.
+    pub nodes: usize,
+    /// Tile capacity of each node.
+    pub tiles_per_node: usize,
+}
+
+impl FabricSpec {
+    /// Convenience constructor (both dimensions clamped to at least 1).
+    pub fn new(nodes: usize, tiles_per_node: usize) -> Self {
+        FabricSpec { nodes: nodes.max(1), tiles_per_node: tiles_per_node.max(1) }
+    }
+
+    /// Total tile capacity across the fabric.
+    pub fn total_tiles(&self) -> usize {
+        self.nodes * self.tiles_per_node
+    }
+}
+
+/// Registry of compiled models available for deployment onto a serving
+/// fabric. Registration is compilation-time work; placement
+/// ([`TenantServer::deploy`]) is a separate, later decision — the same
+/// catalog can back fabrics of different shapes.
+#[derive(Debug, Default)]
+pub struct ModelCatalog {
+    entries: Vec<(String, Arc<CompiledModel>)>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        ModelCatalog::default()
+    }
+
+    /// Registers a compiled model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names, names containing `':'` (reserved as the
+    /// tenant prefix separator in fabric I/O binding names), and models
+    /// compiled with [`puma_compiler::Partitioning::Sharded`] — a
+    /// sharded image pins tiles to specific nodes and cannot be
+    /// relocated onto a shared fabric.
+    pub fn register(&mut self, name: &str, compiled: CompiledModel) -> Result<()> {
+        if name.is_empty() || name.contains(':') {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "invalid catalog model name {name:?}: must be non-empty and ':'-free"
+                ),
+            });
+        }
+        if self.get(name).is_some() {
+            return Err(PumaError::InvalidConfig {
+                what: format!("model '{name}' is already in the catalog"),
+            });
+        }
+        if compiled.node_count() != 1 {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "model '{name}' is sharded across {} nodes and cannot be relocated; \
+                     serve it on a dedicated cluster instead",
+                    compiled.node_count()
+                ),
+            });
+        }
+        self.entries.push((name.to_string(), Arc::new(compiled)));
+        Ok(())
+    }
+
+    /// Compiles `model` with `options` and registers it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures and [`ModelCatalog::register`]
+    /// rejections.
+    pub fn register_model(
+        &mut self,
+        name: &str,
+        model: &puma_compiler::graph::Model,
+        cfg: &NodeConfig,
+        options: &CompilerOptions,
+    ) -> Result<()> {
+        self.register(name, compile(model, cfg, options)?)
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<CompiledModel>> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Registered model names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Queue-depth-driven replica autoscaling policy for one serve.
+///
+/// Scaling decisions are made on the simulated clock from observed
+/// per-model queue depth alone, so replays are bit-exact: a model grows
+/// a replica when `scale_up_depth` requests wait in its queue (if tile
+/// capacity allows), and an added replica is released as soon as it
+/// idles with an empty queue. The initially deployed replica is never
+/// released, and a replica serving a request is never a release
+/// candidate — scale-down cannot evict in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalePolicy {
+    /// Waiting-queue depth at which a model tries to grow a replica.
+    pub scale_up_depth: usize,
+    /// Hard cap on simultaneously live replicas per model.
+    pub max_replicas: usize,
+}
+
+impl Default for ScalePolicy {
+    /// No autoscaling: one replica per model, regardless of queue depth.
+    fn default() -> Self {
+        ScalePolicy { scale_up_depth: usize::MAX, max_replicas: 1 }
+    }
+}
+
+impl ScalePolicy {
+    /// Convenience constructor (both knobs clamped to at least 1).
+    pub fn new(scale_up_depth: usize, max_replicas: usize) -> Self {
+        ScalePolicy { scale_up_depth: scale_up_depth.max(1), max_replicas: max_replicas.max(1) }
+    }
+}
+
+/// A model's placement on the fabric: the tile range `[base, base +
+/// tiles)` of node `node` holds its relocated image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deployment {
+    /// Catalog name of the deployed model.
+    pub model: String,
+    /// Node the model resides on.
+    pub node: usize,
+    /// First tile of the allocation.
+    pub base: usize,
+    /// Tiles allocated.
+    pub tiles: usize,
+}
+
+/// Direction of one autoscaling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDirection {
+    /// A replica was added.
+    Up,
+    /// A replica was released.
+    Down,
+}
+
+/// One autoscaling step of a [`TenantServer::serve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Simulated cycle of the decision.
+    pub cycle: u64,
+    /// Model the step applies to.
+    pub model: String,
+    /// Whether a replica was added or released.
+    pub direction: ScaleDirection,
+    /// Live replicas of the model after the step.
+    pub replicas: usize,
+}
+
+/// One model's request stream for [`TenantServer::serve`]: the requests
+/// and the arrival pattern that spaces them on the simulated clock.
+#[derive(Debug, Clone)]
+pub struct TenantStream {
+    /// Deployed model the requests target.
+    pub model: String,
+    /// The requests, in submission order.
+    pub requests: Vec<BatchRequest>,
+    /// Arrival pattern (request `i` arrives at the pattern's `i`-th
+    /// arrival time).
+    pub pattern: TrafficPattern,
+}
+
+impl TenantStream {
+    /// Convenience constructor.
+    pub fn new(model: &str, requests: Vec<BatchRequest>, pattern: TrafficPattern) -> Self {
+        TenantStream { model: model.to_string(), requests, pattern }
+    }
+}
+
+/// Per-model results of a [`TenantServer::serve`] call.
+#[derive(Debug)]
+pub struct TenantModelOutcome {
+    /// Catalog name of the model.
+    pub model: String,
+    /// Per-request records, in submission order.
+    pub results: Vec<ServedRequest>,
+    /// Aggregate statistics over this model's completed requests, merged
+    /// in submission order (see [`RunStats::merge`]). Because a tenant
+    /// request runs only the resident's own tiles, these statistics are
+    /// attributed to this model exactly — nothing from a co-resident
+    /// leaks in.
+    pub stats: RunStats,
+    /// Latency percentiles over this model's completed requests.
+    pub latency: LatencySummary,
+    /// This model's requests rejected by the bounded-queue shed policy.
+    pub shed: usize,
+    /// Most replicas this model had live at once.
+    pub peak_replicas: usize,
+}
+
+impl TenantModelOutcome {
+    /// Number of requests that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::Completed { .. }))
+            .count()
+    }
+}
+
+/// Results of a [`TenantServer::serve`] call.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// Per-model outcomes, in stream order.
+    pub models: Vec<TenantModelOutcome>,
+    /// Autoscaling steps, in simulated-clock order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Cycle the last completed request (of any model) finished.
+    pub makespan_cycles: u64,
+    /// Host threads actually used for the simulation work.
+    pub host_threads: usize,
+    /// Host wall-clock time spent serving.
+    pub wall_seconds: f64,
+}
+
+impl TenantOutcome {
+    /// The outcome of one model's stream, by catalog name.
+    pub fn model(&self, name: &str) -> Option<&TenantModelOutcome> {
+        self.models.iter().find(|m| m.model == name)
+    }
+}
+
+/// One speculative tenant execution job: the target model's catalog name
+/// and the request's named inputs.
+type TenantJob<'a> = (&'a str, &'a [(String, Vec<f32>)]);
+
+/// First-fit tile allocator over the fabric's per-node tile ranges.
+#[derive(Debug, Clone)]
+struct TilePlanner {
+    tiles_per_node: usize,
+    /// Per node: allocated `(base, tiles)` ranges, sorted by base.
+    allocs: Vec<Vec<(usize, usize)>>,
+}
+
+impl TilePlanner {
+    fn new(nodes: usize, tiles_per_node: usize) -> Self {
+        TilePlanner { tiles_per_node, allocs: vec![Vec::new(); nodes] }
+    }
+
+    /// Free gaps of one node, in base order (including the tail gap).
+    fn gaps(&self, node: usize) -> Vec<(usize, usize)> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0;
+        for &(base, tiles) in &self.allocs[node] {
+            if base > cursor {
+                gaps.push((cursor, base - cursor));
+            }
+            cursor = base + tiles;
+        }
+        if cursor < self.tiles_per_node {
+            gaps.push((cursor, self.tiles_per_node - cursor));
+        }
+        gaps
+    }
+
+    /// Allocates `tiles` contiguous tiles at the first gap that fits,
+    /// scanning nodes in index order and gaps in base order.
+    fn first_fit(&mut self, tiles: usize) -> Option<(usize, usize)> {
+        for node in 0..self.allocs.len() {
+            if let Some(&(base, _)) = self.gaps(node).iter().find(|&&(_, len)| len >= tiles) {
+                let at = self.allocs[node].partition_point(|&(b, _)| b < base);
+                self.allocs[node].insert(at, (base, tiles));
+                return Some((node, base));
+            }
+        }
+        None
+    }
+
+    /// Releases the allocation starting at `base` on `node`.
+    fn release(&mut self, node: usize, base: usize) {
+        self.allocs[node].retain(|&(b, _)| b != base);
+    }
+
+    /// The largest free contiguous range on any node (what an
+    /// over-capacity error reports).
+    fn largest_free(&self) -> usize {
+        (0..self.allocs.len()).flat_map(|n| self.gaps(n)).map(|(_, len)| len).max().unwrap_or(0)
+    }
+}
+
+/// The multi-tenant serving stack: several models resident on one
+/// simulated fabric, each on its own tile allocation.
+///
+/// Three layers, kept deliberately separate:
+///
+/// 1. **Catalog** ([`ModelCatalog`]): compiled models, no placement.
+/// 2. **Placement** ([`TenantServer::deploy`]): first-fit allocation of
+///    each model's tile footprint onto the fabric's per-node capacity
+///    ([`FabricSpec`]); admission fails — naming the model and the tile
+///    shortfall — when no contiguous free range fits. Deployment
+///    relocates the model's image to its allocated base
+///    ([`puma_compiler::relocate_image`]) and composes all residents of
+///    a node into one fabric image
+///    ([`puma_compiler::compose_fabric`]); tiles never overlap by
+///    construction.
+/// 3. **Routing** ([`TenantServer::serve`]): per-model request streams
+///    are merged into one deterministic virtual-time schedule. Each
+///    request is tagged with its model, executes only that resident's
+///    tiles ([`puma_sim::NodeSim::run_resident`]), and reads its
+///    outputs through the tenant-prefixed fabric bindings
+///    (`"{model}:{output}"` — assembled back to logical names).
+///
+/// # Replicas and autoscaling
+///
+/// A [`ScalePolicy`] lets a backlogged model grow replicas onto free
+/// tiles mid-serve and release them when drained. By the relocation
+/// invariant a replica computes bit-identically wherever it sits, so
+/// the runtime simulates each request once on the model's materialized
+/// residency and treats added replicas as placement + scheduling
+/// entities: they consume real tile capacity (admission-visible) and
+/// add real service slots to the virtual-time schedule, without
+/// re-simulating identical work. Scale decisions are pure functions of
+/// the simulated clock and queue depths — replays are bit-exact.
+///
+/// # Determinism
+///
+/// As with [`ServeRunner`]: outputs, per-model statistics, latencies,
+/// shed counts, and scale events depend only on the request schedule,
+/// never on host threads.
+#[derive(Debug)]
+pub struct TenantServer {
+    catalog: ModelCatalog,
+    fabric: FabricSpec,
+    /// The fabric node configuration: tile capacity from the spec,
+    /// shared memory widened to the largest catalog requirement.
+    cfg: NodeConfig,
+    mode: SimMode,
+    noise: NoiseModel,
+    engine: SimEngine,
+    host_threads: usize,
+    queue_depth: Option<usize>,
+    policy: ScalePolicy,
+    deployments: Vec<Deployment>,
+    planner: TilePlanner,
+    /// Idle fabric simulators (every resident loaded), checked out by
+    /// host threads during a serve — same pooling as [`ServeRunner`].
+    pool: Mutex<Vec<SimBackend>>,
+    /// Per-node composed pre-decoded images for [`SimEngine::Compiled`]
+    /// (invalidated when the resident set changes).
+    node_compiled: Mutex<Option<Vec<Arc<CompiledImage>>>>,
+    /// Per-model pre-decoded builds, compiled once at the model's
+    /// deployed base and shared by `Arc` into every composed node image
+    /// and every pooled fabric replica.
+    model_compiled: Mutex<HashMap<String, Arc<CompiledImage>>>,
+}
+
+impl TenantServer {
+    /// Creates a fabric for bit-accurate functional serving with
+    /// noiseless crossbars.
+    ///
+    /// # Errors
+    ///
+    /// See [`TenantServer::new`].
+    pub fn functional(catalog: ModelCatalog, fabric: FabricSpec, cfg: &NodeConfig) -> Result<Self> {
+        Self::new(catalog, fabric, cfg, SimMode::Functional, &NoiseModel::noiseless())
+    }
+
+    /// Full-control constructor. The fabric's node configuration is
+    /// `cfg` with `tiles_per_node` taken from the spec and tile shared
+    /// memory widened to the largest catalog requirement (capacity
+    /// widening never changes numerical behavior).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a fabric whose per-node tile capacity exceeds what the
+    /// simulator can address.
+    pub fn new(
+        catalog: ModelCatalog,
+        fabric: FabricSpec,
+        cfg: &NodeConfig,
+        mode: SimMode,
+        noise: &NoiseModel,
+    ) -> Result<Self> {
+        let fabric = FabricSpec::new(fabric.nodes, fabric.tiles_per_node);
+        if fabric.tiles_per_node > u16::MAX as usize + 1 {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "{} tiles per node exceeds the 65536-tile send addressing range",
+                    fabric.tiles_per_node
+                ),
+            });
+        }
+        let mut cfg = *cfg;
+        cfg.tiles_per_node = fabric.tiles_per_node;
+        for (_, compiled) in &catalog.entries {
+            let needed = compiled.stats.max_shared_mem_bytes();
+            if needed > cfg.tile.shared_memory_bytes {
+                cfg.tile.shared_memory_bytes = needed.next_multiple_of(1024);
+            }
+        }
+        Ok(TenantServer {
+            catalog,
+            fabric,
+            cfg,
+            mode,
+            noise: noise.clone(),
+            engine: SimEngine::default(),
+            host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_depth: None,
+            policy: ScalePolicy::default(),
+            deployments: Vec::new(),
+            planner: TilePlanner::new(fabric.nodes, fabric.tiles_per_node),
+            pool: Mutex::new(Vec::new()),
+            node_compiled: Mutex::new(None),
+            model_compiled: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Selects the simulator execution engine (default run-ahead).
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self.pool.get_mut().expect("sim pool poisoned").clear();
+        self
+    }
+
+    /// Sets the host-thread cap (see [`ServeRunner::with_host_threads`]).
+    #[must_use]
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Bounds each model's waiting queue (`None` = unbounded; see
+    /// [`ServeRunner::with_queue_depth`]).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the autoscaling policy (default: no autoscaling).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ScalePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The model catalog.
+    pub fn catalog(&self) -> &ModelCatalog {
+        &self.catalog
+    }
+
+    /// The fabric capacity spec.
+    pub fn fabric(&self) -> FabricSpec {
+        self.fabric
+    }
+
+    /// The fabric's node configuration (what every resident — and any
+    /// solo baseline comparing against the fabric — simulates under).
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Current placements, in deployment order.
+    pub fn deployments(&self) -> &[Deployment] {
+        &self.deployments
+    }
+
+    /// Free tiles remaining across the fabric.
+    pub fn free_tiles(&self) -> usize {
+        let used: usize = self.deployments.iter().map(|d| d.tiles).sum();
+        self.fabric.total_tiles() - used
+    }
+
+    /// Places a catalog model onto the fabric: first-fit over each
+    /// node's free tile ranges, in node order. The returned deployment
+    /// records the allocation; the fabric images and the simulator pool
+    /// are rebuilt lazily on the next serve.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown and already-deployed models, and — the admission
+    /// decision — returns [`PumaError::ResourceExhausted`] naming the
+    /// model and the tile shortfall when no contiguous free range fits
+    /// its footprint.
+    pub fn deploy(&mut self, name: &str) -> Result<&Deployment> {
+        let compiled = self.catalog.get(name).ok_or_else(|| PumaError::InvalidConfig {
+            what: format!("model '{name}' is not in the catalog"),
+        })?;
+        if self.deployments.iter().any(|d| d.model == name) {
+            return Err(PumaError::InvalidConfig {
+                what: format!("model '{name}' is already deployed"),
+            });
+        }
+        let tiles = compiled.stats.tiles_used.max(1);
+        let Some((node, base)) = self.planner.first_fit(tiles) else {
+            let free = self.planner.largest_free();
+            return Err(PumaError::ResourceExhausted {
+                resource: format!(
+                    "contiguous fabric tiles for model '{name}' (shortfall {})",
+                    tiles - free
+                ),
+                requested: tiles,
+                available: free,
+            });
+        };
+        self.deployments.push(Deployment { model: name.to_string(), node, base, tiles });
+        // The resident set changed: pooled fabrics and composed images
+        // are stale. Per-model builds stay valid (bases never move).
+        self.pool.get_mut().expect("sim pool poisoned").clear();
+        *self.node_compiled.get_mut().expect("compiled image cache poisoned") = None;
+        Ok(self.deployments.last().expect("just pushed"))
+    }
+
+    /// The residents of one node, as the simulator registers them.
+    fn residents_of(&self, node: usize) -> Vec<ResidentModel> {
+        self.deployments
+            .iter()
+            .filter(|d| d.node == node)
+            .map(|d| ResidentModel { name: d.model.clone(), base: d.base, tiles: d.tiles })
+            .collect()
+    }
+
+    /// Composes each node's fabric image from its residents' relocated
+    /// images.
+    fn node_images(&self) -> Result<Vec<MachineImage>> {
+        (0..self.fabric.nodes)
+            .map(|node| {
+                let residents: Vec<Resident<'_>> = self
+                    .deployments
+                    .iter()
+                    .filter(|d| d.node == node)
+                    .map(|d| Resident {
+                        name: &d.model,
+                        image: &self
+                            .catalog
+                            .get(&d.model)
+                            .expect("deployed models stay cataloged")
+                            .image,
+                        base: d.base,
+                    })
+                    .collect();
+                compose_fabric(&residents)
+            })
+            .collect()
+    }
+
+    /// The pre-decoded build of one deployed model, compiled **at its
+    /// deployed base** (interpreter-fallback micro-ops embed `send`
+    /// targets, so the build is position-specific) and cached — one
+    /// build per model serves every composed node image and every
+    /// pooled fabric replica.
+    fn model_compiled_at(&self, model: &str, base: usize) -> Result<Arc<CompiledImage>> {
+        let mut cache = self.model_compiled.lock().expect("model compiled cache poisoned");
+        if let Some(img) = cache.get(model) {
+            return Ok(Arc::clone(img));
+        }
+        let compiled = self.catalog.get(model).expect("deployed models stay cataloged");
+        let mut relocated = relocate_image(&compiled.image, base)?;
+        // `CompiledImage::compose` places tiles *at* the base, so drop
+        // the relocation's empty prefix tiles.
+        relocated.tiles.drain(..base);
+        let img = Arc::new(CompiledImage::for_image(&self.cfg, self.mode, &relocated));
+        cache.insert(model.to_string(), Arc::clone(&img));
+        Ok(img)
+    }
+
+    /// Per-node composed pre-decoded images for [`SimEngine::Compiled`].
+    fn composed_compiled(&self, node_images: &[MachineImage]) -> Result<Vec<Arc<CompiledImage>>> {
+        if let Some(images) =
+            self.node_compiled.lock().expect("compiled image cache poisoned").as_ref()
+        {
+            return Ok(images.clone());
+        }
+        let mut composed = Vec::with_capacity(node_images.len());
+        for (node, image) in node_images.iter().enumerate() {
+            let mut parts = Vec::new();
+            for d in self.deployments.iter().filter(|d| d.node == node) {
+                parts.push((d.base, self.model_compiled_at(&d.model, d.base)?));
+            }
+            composed.push(Arc::new(CompiledImage::compose(self.mode, image.tiles.len(), &parts)));
+        }
+        *self.node_compiled.lock().expect("compiled image cache poisoned") = Some(composed.clone());
+        Ok(composed)
+    }
+
+    /// Builds one fabric simulator: composed per-node images, resident
+    /// registration, engine selection (sharing per-model compiled
+    /// builds under [`SimEngine::Compiled`]).
+    fn build_fabric_sim(&self) -> Result<SimBackend> {
+        let images = self.node_images()?;
+        let mut sim = build_backend(&self.cfg, &images, self.mode, &self.noise)?;
+        for node in 0..images.len() {
+            sim.set_residents(node, self.residents_of(node))?;
+        }
+        if self.engine == SimEngine::Compiled {
+            sim.adopt_compiled_images(&self.composed_compiled(&images)?);
+        }
+        sim.set_engine(self.engine);
+        Ok(sim)
+    }
+
+    /// Runs one request of one resident on a fabric simulator: writes
+    /// the model's constants and inputs through its tenant-prefixed
+    /// bindings, runs only that resident's tiles, and reads back the
+    /// model's logical outputs.
+    fn serve_tenant_one(
+        &self,
+        sim: &mut SimBackend,
+        model: &str,
+        inputs: &[(String, Vec<f32>)],
+    ) -> Result<RequestResult> {
+        let compiled = self.catalog.get(model).expect("deployed models stay cataloged");
+        sim.reset();
+        for (binding, values) in &compiled.const_data {
+            sim.write_input(&format!("{model}:{}", binding.name), values)?;
+        }
+        for_each_input_chunk(compiled, inputs, &mut |chunk, data| {
+            sim.write_input(&format!("{model}:{chunk}"), data)
+        })?;
+        sim.run_resident(model)?;
+        let mut outputs = HashMap::new();
+        for io in &compiled.outputs {
+            let mut data = Vec::with_capacity(io.width);
+            for chunk in &io.chunks {
+                data.extend(sim.read_output(&format!("{model}:{chunk}"))?);
+            }
+            outputs.insert(io.name.clone(), data);
+        }
+        Ok(RequestResult { outputs, stats: sim.stats().clone() })
+    }
+
+    /// Simulates every `(model, inputs)` job across the host-thread
+    /// pool — the tenant counterpart of [`ServeRunner::execute_all`],
+    /// with the same work-stealing cursor, pool checkout, and
+    /// parallelism cap. Results are in job order and independent of the
+    /// thread count.
+    fn execute_all_tenant(&self, jobs: &[TenantJob<'_>]) -> (Vec<Result<RequestResult>>, usize) {
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = self.host_threads.min(jobs.len()).min(parallelism).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RequestResult>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut sim: Option<SimBackend> =
+                        self.pool.lock().expect("sim pool poisoned").pop();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (model, inputs) = jobs[i];
+                        let result = match &mut sim {
+                            Some(s) => self.serve_tenant_one(s, model, inputs),
+                            None => self.build_fabric_sim().and_then(|mut s| {
+                                let r = self.serve_tenant_one(&mut s, model, inputs);
+                                sim = Some(s);
+                                r
+                            }),
+                        };
+                        *slots[i].lock().expect("request slot poisoned") = Some(result);
+                    }
+                    if let Some(s) = sim {
+                        self.pool.lock().expect("sim pool poisoned").push(s);
+                    }
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("request slot poisoned")
+                    .expect("every job index is claimed exactly once")
+            })
+            .collect();
+        (results, threads)
+    }
+
+    /// Serves several models' request streams concurrently on the
+    /// shared fabric.
+    ///
+    /// Every request is simulated (host-parallel, speculative — a
+    /// later-shed request may still be simulated), then the streams are
+    /// merged into one deterministic virtual-time schedule: per-model
+    /// FIFO queues bounded by the queue depth (overload is shed per
+    /// model), service slots per live replica, departures before
+    /// same-cycle arrivals, and queue-depth-driven scale-up/down per
+    /// the [`ScalePolicy`]. Replica allocations made mid-serve are
+    /// transient: the fabric's persistent placements are unchanged
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams naming undeployed models and duplicate streams
+    /// for one model; per-request faults are reported in the
+    /// per-request [`Disposition`] without failing the serve.
+    pub fn serve(&self, streams: &[TenantStream]) -> Result<TenantOutcome> {
+        let started = Instant::now();
+        for (i, s) in streams.iter().enumerate() {
+            if !self.deployments.iter().any(|d| d.model == s.model) {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("model '{}' is not deployed on this fabric", s.model),
+                });
+            }
+            if streams[..i].iter().any(|t| t.model == s.model) {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("duplicate stream for model '{}'", s.model),
+                });
+            }
+        }
+        // Speculative execution of every request of every stream.
+        let jobs: Vec<TenantJob<'_>> = streams
+            .iter()
+            .flat_map(|s| s.requests.iter().map(|r| (s.model.as_str(), r.inputs.as_slice())))
+            .collect();
+        let (mut exec, host_threads) = self.execute_all_tenant(&jobs);
+        // Split the flat execution results back into per-stream vectors.
+        let mut exec_by_stream: Vec<Vec<Result<RequestResult>>> = Vec::with_capacity(streams.len());
+        for s in streams {
+            let rest = exec.split_off(s.requests.len());
+            exec_by_stream.push(std::mem::replace(&mut exec, rest));
+        }
+        // Per-stream arrivals, durations, and the (arrival, index)-ordered
+        // schedulable request lists (malformed requests are rejected at
+        // submission and never occupy a queue slot).
+        let loads: Vec<TenantLoad> = streams
+            .iter()
+            .zip(&exec_by_stream)
+            .map(|(s, exec)| {
+                let arrivals = s.pattern.arrivals(s.requests.len());
+                let durations: Vec<u64> =
+                    exec.iter().map(|r| r.as_ref().map_or(0, |ok| ok.stats.cycles)).collect();
+                let mut order: Vec<usize> = (0..s.requests.len())
+                    .filter(|&i| self.validate_tenant_inputs(&s.model, &s.requests[i].inputs))
+                    .collect();
+                order.sort_by_key(|&i| (arrivals[i], i));
+                let tiles = self
+                    .deployments
+                    .iter()
+                    .find(|d| d.model == s.model)
+                    .expect("checked deployed above")
+                    .tiles;
+                TenantLoad { arrivals, durations, order, tiles }
+            })
+            .collect();
+        // Transient planner copy: mid-serve replica allocations must not
+        // change the fabric's persistent placements.
+        let mut planner = self.planner.clone();
+        let schedule = tenant_schedule(&loads, self.queue_depth, &self.policy, &mut planner);
+        // Assemble per-model outcomes in stream order.
+        let mut models = Vec::with_capacity(streams.len());
+        let mut makespan = 0u64;
+        for (si, stream) in streams.iter().enumerate() {
+            let exec = &mut exec_by_stream[si];
+            let load = &loads[si];
+            let mut results = Vec::with_capacity(stream.requests.len());
+            let mut stats = RunStats::new();
+            let mut latencies = Vec::new();
+            let mut valid = vec![false; stream.requests.len()];
+            for &r in &load.order {
+                valid[r] = true;
+            }
+            for i in 0..stream.requests.len() {
+                let schedulable = valid[i];
+                let disposition = match (schedulable, schedule.windows[si][i], exec[i].is_ok()) {
+                    (false, _, _) | (true, Some(_), false) => {
+                        match std::mem::replace(&mut exec[i], Ok(empty_result())) {
+                            Err(e) => Disposition::Failed(e),
+                            Ok(_) => unreachable!("validation failed but execution succeeded"),
+                        }
+                    }
+                    (true, None, _) => Disposition::Shed,
+                    (true, Some((start, finish)), true) => {
+                        let result = std::mem::replace(&mut exec[i], Ok(empty_result()))
+                            .expect("checked above");
+                        stats.merge(&result.stats);
+                        latencies.push(finish - load.arrivals[i]);
+                        makespan = makespan.max(finish);
+                        Disposition::Completed { result, start, finish }
+                    }
+                };
+                results.push(ServedRequest { arrival: load.arrivals[i], disposition });
+            }
+            models.push(TenantModelOutcome {
+                model: stream.model.clone(),
+                results,
+                stats,
+                latency: LatencySummary::from_latencies(latencies),
+                shed: schedule.shed[si],
+                peak_replicas: schedule.peak[si],
+            });
+        }
+        let scale_events = schedule
+            .events
+            .iter()
+            .map(|e| ScaleEvent {
+                cycle: e.cycle,
+                model: streams[e.stream].model.clone(),
+                direction: if e.up { ScaleDirection::Up } else { ScaleDirection::Down },
+                replicas: e.live,
+            })
+            .collect();
+        Ok(TenantOutcome {
+            models,
+            scale_events,
+            makespan_cycles: makespan,
+            host_threads,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Whether one request's inputs satisfy the model's compiled I/O
+    /// layout (same contract as [`ServeRunner`]'s validation).
+    fn validate_tenant_inputs(&self, model: &str, inputs: &[(String, Vec<f32>)]) -> bool {
+        let compiled = self.catalog.get(model).expect("deployed models stay cataloged");
+        for_each_input_chunk(compiled, inputs, &mut |_, _| Ok(())).is_ok()
+    }
+}
+
+/// One model's load for [`tenant_schedule`].
+struct TenantLoad {
+    /// Arrival cycle of each request (non-decreasing).
+    arrivals: Vec<u64>,
+    /// Service duration of each request, in cycles.
+    durations: Vec<u64>,
+    /// Schedulable request indices in (arrival, index) order (malformed
+    /// requests are excluded).
+    order: Vec<usize>,
+    /// Tiles one replica of the model occupies.
+    tiles: usize,
+}
+
+/// One replica slot of one model in the tenant schedule.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaSlot {
+    /// The transient tile allocation backing a scaled-up replica
+    /// (`None` for slot 0, the materialized deployment).
+    alloc: Option<(usize, usize)>,
+    busy: bool,
+    removed: bool,
+}
+
+/// One autoscaling step, by stream index (mapped to model names by the
+/// caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RawScaleEvent {
+    cycle: u64,
+    stream: usize,
+    slot: usize,
+    up: bool,
+    /// Live replicas of the stream after the step.
+    live: usize,
+}
+
+/// Output of [`tenant_schedule`].
+struct TenantSchedule {
+    /// Per stream, per request: the `(start, finish)` service window
+    /// (`None` = shed or not schedulable).
+    windows: Vec<Vec<Option<(u64, u64)>>>,
+    /// Per stream, per request: the replica slot that served it (read
+    /// by the scheduler unit tests to pin the no-eviction invariant).
+    #[allow(dead_code)]
+    replica_of: Vec<Vec<Option<usize>>>,
+    /// Per stream: requests shed by the bounded queue.
+    shed: Vec<usize>,
+    /// Per stream: most replicas live at once.
+    peak: Vec<usize>,
+    /// Autoscaling steps, in simulated-clock order.
+    events: Vec<RawScaleEvent>,
+}
+
+/// The deterministic merged multi-tenant schedule: per-model FIFO queues
+/// bounded by `depth`, one service slot per live replica, and
+/// queue-depth-driven scale-up/down against `planner`'s free tiles.
+///
+/// Event order is total and host-independent: time, then departures
+/// before arrivals (a freed replica is visible to a same-cycle
+/// arrival), then stream index, then request index. Scale-up fires on
+/// the arrival that makes a model's queue reach
+/// [`ScalePolicy::scale_up_depth`] (capacity permitting) and the new
+/// replica immediately serves the queue head; scale-down releases a
+/// scaled-up replica the moment it departs its last request with an
+/// empty queue. Slot 0 — the materialized deployment — is never
+/// released, and only the replica that just went idle is ever a
+/// release candidate, so scale-down can never evict in-flight work.
+fn tenant_schedule(
+    loads: &[TenantLoad],
+    depth: Option<usize>,
+    policy: &ScalePolicy,
+    planner: &mut TilePlanner,
+) -> TenantSchedule {
+    let mut windows: Vec<Vec<Option<(u64, u64)>>> =
+        loads.iter().map(|l| vec![None; l.arrivals.len()]).collect();
+    let mut replica_of: Vec<Vec<Option<usize>>> =
+        loads.iter().map(|l| vec![None; l.arrivals.len()]).collect();
+    let mut shed = vec![0usize; loads.len()];
+    let mut peak = vec![1usize; loads.len()];
+    let mut events: Vec<RawScaleEvent> = Vec::new();
+    let mut slots: Vec<Vec<ReplicaSlot>> = loads
+        .iter()
+        .map(|_| vec![ReplicaSlot { alloc: None, busy: false, removed: false }])
+        .collect();
+    let mut waiting: Vec<VecDeque<usize>> = loads.iter().map(|_| VecDeque::new()).collect();
+    // Merged arrivals: (cycle, stream, request), consumed in order.
+    let mut arrivals: Vec<(u64, usize, usize)> = loads
+        .iter()
+        .enumerate()
+        .flat_map(|(s, l)| l.order.iter().map(move |&r| (l.arrivals[r], s, r)))
+        .collect();
+    arrivals.sort_unstable();
+    let mut next_arrival = 0usize;
+    // In-flight departures: (finish, stream, slot, request).
+    let mut departures: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+
+    let start = |t: u64,
+                 s: usize,
+                 r: usize,
+                 slot: usize,
+                 slots: &mut [Vec<ReplicaSlot>],
+                 windows: &mut [Vec<Option<(u64, u64)>>],
+                 replica_of: &mut [Vec<Option<usize>>],
+                 departures: &mut BinaryHeap<Reverse<(u64, usize, usize, usize)>>| {
+        let finish = t + loads[s].durations[r];
+        windows[s][r] = Some((t, finish));
+        replica_of[s][r] = Some(slot);
+        slots[s][slot].busy = true;
+        departures.push(Reverse((finish, s, slot, r)));
+    };
+
+    loop {
+        let depart_now = match (departures.peek(), arrivals.get(next_arrival)) {
+            (Some(&Reverse((df, _, _, _))), Some(&(at, _, _))) => df <= at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if depart_now {
+            let Reverse((t, s, slot, _)) = departures.pop().expect("peeked above");
+            slots[s][slot].busy = false;
+            if let Some(head) = waiting[s].pop_front() {
+                start(t, s, head, slot, &mut slots, &mut windows, &mut replica_of, &mut departures);
+            } else if let Some((node, base)) = slots[s][slot].alloc {
+                // An idle scaled-up replica with an empty queue drains
+                // away; its tiles return to the free pool.
+                planner.release(node, base);
+                slots[s][slot].removed = true;
+                let live = slots[s].iter().filter(|x| !x.removed).count();
+                events.push(RawScaleEvent { cycle: t, stream: s, slot, up: false, live });
+            }
+        } else {
+            let (t, s, r) = arrivals[next_arrival];
+            next_arrival += 1;
+            let idle = slots[s]
+                .iter()
+                .position(|x| !x.busy && !x.removed)
+                .filter(|_| waiting[s].is_empty());
+            if let Some(slot) = idle {
+                start(t, s, r, slot, &mut slots, &mut windows, &mut replica_of, &mut departures);
+            } else if depth.is_none_or(|d| waiting[s].len() < d) {
+                waiting[s].push_back(r);
+                let live = slots[s].iter().filter(|x| !x.removed).count();
+                if waiting[s].len() >= policy.scale_up_depth && live < policy.max_replicas {
+                    if let Some((node, base)) = planner.first_fit(loads[s].tiles) {
+                        slots[s].push(ReplicaSlot {
+                            alloc: Some((node, base)),
+                            busy: false,
+                            removed: false,
+                        });
+                        let slot = slots[s].len() - 1;
+                        peak[s] = peak[s].max(live + 1);
+                        events.push(RawScaleEvent {
+                            cycle: t,
+                            stream: s,
+                            slot,
+                            up: true,
+                            live: live + 1,
+                        });
+                        let head = waiting[s].pop_front().expect("pushed above");
+                        start(
+                            t,
+                            s,
+                            head,
+                            slot,
+                            &mut slots,
+                            &mut windows,
+                            &mut replica_of,
+                            &mut departures,
+                        );
+                    }
+                }
+            } else {
+                shed[s] += 1;
+            }
+        }
+    }
+    TenantSchedule { windows, replica_of, shed, peak, events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1329,6 +2385,226 @@ mod tests {
         let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0));
         assert_eq!(schedule[0], Some((0, 100)));
         assert_eq!(schedule[1], None);
+    }
+
+    use puma_core::tensor::Matrix;
+
+    /// A one-tile model: `y = tanh(A·x)` over `width` lanes, with `A`
+    /// scaled by `scale` so different tenants compute different outputs.
+    fn tiny_model(name: &str, width: usize, scale: f32) -> puma_compiler::graph::Model {
+        let mut m = puma_compiler::graph::Model::new(name);
+        let x = m.input("x", width);
+        let a = m.constant_matrix(
+            "A",
+            Matrix::from_fn(width, width, |r, c| scale * ((r + 2 * c) % 5) as f32 * 0.01),
+        );
+        let ax = m.mvm(a, x).unwrap();
+        let y = m.tanh(ax);
+        m.output("y", y);
+        m
+    }
+
+    fn catalog_with(models: &[(&str, f32)]) -> ModelCatalog {
+        let cfg = NodeConfig::default();
+        let mut catalog = ModelCatalog::new();
+        for &(name, scale) in models {
+            catalog
+                .register_model(
+                    name,
+                    &tiny_model(name, 16, scale),
+                    &cfg,
+                    &CompilerOptions::default(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    fn load(arrivals: Vec<u64>, durations: Vec<u64>, tiles: usize) -> TenantLoad {
+        let order: Vec<usize> = (0..arrivals.len()).collect();
+        TenantLoad { arrivals, durations, order, tiles }
+    }
+
+    #[test]
+    fn tile_planner_first_fit_fills_gaps_in_order() {
+        let mut p = TilePlanner::new(2, 8);
+        assert_eq!(p.first_fit(3), Some((0, 0)));
+        assert_eq!(p.first_fit(4), Some((0, 3)));
+        // 1 tile left on node 0: a 2-tile ask spills to node 1.
+        assert_eq!(p.first_fit(2), Some((1, 0)));
+        assert_eq!(p.first_fit(1), Some((0, 7)));
+        // Releasing the middle allocation reopens its gap for first-fit.
+        p.release(0, 3);
+        assert_eq!(p.largest_free(), 6);
+        assert_eq!(p.first_fit(4), Some((0, 3)));
+        assert_eq!(p.first_fit(9), None);
+    }
+
+    #[test]
+    fn tenant_schedule_single_stream_is_fifo() {
+        let loads = [load(vec![0, 4, 8], vec![10, 10, 10], 1)];
+        let mut planner = TilePlanner::new(1, 4);
+        planner.first_fit(1).unwrap();
+        let s = tenant_schedule(&loads, None, &ScalePolicy::default(), &mut planner);
+        assert_eq!(s.windows[0], vec![Some((0, 10)), Some((10, 20)), Some((20, 30))]);
+        assert_eq!(s.shed[0], 0);
+        assert_eq!(s.peak[0], 1);
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn tenant_schedule_sheds_beyond_queue_depth() {
+        let loads = [load(vec![0, 1, 2, 3], vec![100; 4], 1)];
+        let mut planner = TilePlanner::new(1, 1);
+        planner.first_fit(1).unwrap();
+        let s = tenant_schedule(&loads, Some(1), &ScalePolicy::default(), &mut planner);
+        assert_eq!(s.windows[0][0], Some((0, 100)));
+        assert_eq!(s.windows[0][1], Some((100, 200)));
+        assert_eq!(s.windows[0][2], None);
+        assert_eq!(s.shed[0], 2);
+    }
+
+    #[test]
+    fn tenant_schedule_scales_up_at_queue_depth() {
+        // One replica busy 0..100; the second waiting request (queue
+        // depth 2) triggers a replica that immediately serves the head.
+        let loads = [load(vec![0, 1, 2], vec![100; 3], 2)];
+        let mut planner = TilePlanner::new(1, 8);
+        planner.first_fit(2).unwrap();
+        let s = tenant_schedule(&loads, None, &ScalePolicy::new(2, 2), &mut planner);
+        assert_eq!(s.windows[0][0], Some((0, 100)));
+        // Request 1 queued at t=1; request 2's arrival at t=2 makes the
+        // queue reach depth 2 → scale up serves request 1 (the head).
+        assert_eq!(s.windows[0][1], Some((2, 102)));
+        assert_eq!(s.peak[0], 2);
+        assert_eq!(
+            s.events.first(),
+            Some(&RawScaleEvent { cycle: 2, stream: 0, slot: 1, up: true, live: 2 })
+        );
+        // The scaled-up replica drains away once idle with an empty queue.
+        let down = s.events.iter().find(|e| !e.up).expect("replica released");
+        assert_eq!(down.live, 1);
+    }
+
+    #[test]
+    fn tenant_schedule_scale_up_respects_tile_capacity() {
+        // No free tiles: the queue deepens but no replica is added.
+        let loads = [load(vec![0, 1, 2, 3], vec![100; 4], 1)];
+        let mut planner = TilePlanner::new(1, 1);
+        planner.first_fit(1).unwrap();
+        let s = tenant_schedule(&loads, None, &ScalePolicy::new(1, 4), &mut planner);
+        assert!(s.events.is_empty());
+        assert_eq!(s.peak[0], 1);
+        assert_eq!(s.windows[0][3], Some((300, 400)));
+    }
+
+    #[test]
+    fn tenant_schedule_scale_down_never_evicts_inflight_requests() {
+        // A burst that scales up, then a long tail on one replica.
+        let loads = [load(vec![0, 0, 0, 0, 200, 400], vec![100; 6], 1)];
+        let mut planner = TilePlanner::new(1, 4);
+        planner.first_fit(1).unwrap();
+        let s = tenant_schedule(&loads, None, &ScalePolicy::new(2, 3), &mut planner);
+        // Everything completes.
+        assert!(s.windows[0].iter().all(Option::is_some));
+        // Slot 0 (the materialized deployment) is never released.
+        assert!(s.events.iter().filter(|e| !e.up).all(|e| e.slot != 0));
+        // A released replica has no request in flight at the release
+        // cycle: every request it served finished at or before it.
+        for e in s.events.iter().filter(|e| !e.up) {
+            for (r, slot) in s.replica_of[e.stream].iter().enumerate() {
+                if *slot == Some(e.slot) {
+                    let (start, finish) = s.windows[e.stream][r].unwrap();
+                    assert!(
+                        finish <= e.cycle || start > e.cycle,
+                        "slot {} released at {} with request {} in flight ({}..{})",
+                        e.slot,
+                        e.cycle,
+                        r,
+                        start,
+                        finish
+                    );
+                }
+            }
+        }
+        // All transient allocations were returned: only the deployment
+        // remains, so three more tiles are still allocatable.
+        assert_eq!(planner.largest_free(), 3);
+    }
+
+    #[test]
+    fn catalog_rejects_duplicates_and_bad_names() {
+        let mut catalog = catalog_with(&[("m", 1.0)]);
+        let cfg = NodeConfig::default();
+        let again = compile(&tiny_model("m", 16, 1.0), &cfg, &CompilerOptions::default()).unwrap();
+        assert!(catalog.register("m", again.clone()).is_err());
+        assert!(catalog.register("a:b", again.clone()).is_err());
+        assert!(catalog.register("", again).is_err());
+    }
+
+    #[test]
+    fn deploy_places_disjoint_allocations_and_rejects_over_capacity() {
+        let catalog = catalog_with(&[("a", 1.0), ("b", 2.0), ("c", 3.0)]);
+        let mut server =
+            TenantServer::functional(catalog, FabricSpec::new(1, 2), &NodeConfig::default())
+                .unwrap();
+        server.deploy("a").unwrap();
+        server.deploy("b").unwrap();
+        // Allocations never overlap.
+        for (i, d) in server.deployments().iter().enumerate() {
+            for e in &server.deployments()[i + 1..] {
+                assert!(
+                    d.node != e.node || d.base + d.tiles <= e.base || e.base + e.tiles <= d.base,
+                    "overlap: {d:?} vs {e:?}"
+                );
+            }
+        }
+        // Over-capacity admission fails, naming the model and shortfall.
+        let err = server.deploy("c").unwrap_err().to_string();
+        assert!(err.contains("'c'") && err.contains("shortfall 1"), "{err}");
+        // Re-deploying an already-resident model is rejected.
+        assert!(server.deploy("a").is_err());
+        // Unknown models are rejected by name.
+        assert!(server.deploy("nope").unwrap_err().to_string().contains("'nope'"));
+    }
+
+    #[test]
+    fn tenant_server_serves_two_residents_with_solo_identical_outputs() {
+        let catalog = catalog_with(&[("left", 1.0), ("right", -2.0)]);
+        let cfg = NodeConfig::default();
+        let mut server = TenantServer::functional(catalog, FabricSpec::new(1, 4), &cfg).unwrap();
+        server.deploy("left").unwrap();
+        server.deploy("right").unwrap();
+        let requests: Vec<BatchRequest> = (0..3)
+            .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.1 * (i + 1) as f32; 16])]))
+            .collect();
+        let streams = vec![
+            TenantStream::new("left", requests.clone(), TrafficPattern::Uniform { interval: 50 }),
+            TenantStream::new("right", requests.clone(), TrafficPattern::Uniform { interval: 70 }),
+        ];
+        let outcome = server.serve(&streams).unwrap();
+        assert_eq!(outcome.models.len(), 2);
+        for (name, scale) in [("left", 1.0), ("right", -2.0)] {
+            let model = outcome.model(name).unwrap();
+            assert_eq!(model.completed(), 3);
+            assert_eq!(model.shed, 0);
+            assert!(model.latency.p50 > 0);
+            assert!(model.stats.cycles > 0);
+            // Per-tenant outputs on the shared fabric are bit-identical
+            // to the model served alone.
+            let mut solo = ModelRunner::functional(&tiny_model(name, 16, scale), &cfg).unwrap();
+            for (i, served) in model.results.iter().enumerate() {
+                let Disposition::Completed { result, .. } = &served.disposition else {
+                    panic!("request {i} did not complete");
+                };
+                let expect = solo.run(&[("x", vec![0.1 * (i + 1) as f32; 16])]).unwrap();
+                assert_eq!(result.outputs["y"], expect["y"], "{name} request {i}");
+            }
+        }
+        // Undeployed model streams are rejected by name.
+        let bad =
+            server.serve(&[TenantStream::new("ghost", vec![], TrafficPattern::Batch)]).unwrap_err();
+        assert!(bad.to_string().contains("'ghost'"));
     }
 
     #[test]
