@@ -24,6 +24,15 @@ pub struct MvmuConfig {
     pub weight_bits: u32,
     /// DAC resolution in bits (input is streamed `dac_bits` per step).
     pub dac_bits: u32,
+    /// Overrides the derived ADC resolution ([`MvmuConfig::derived_adc_bits`]).
+    /// `None` — the default — sizes the converter for a full-precision
+    /// column read. `Some(b)` pins it at `b` bits instead: the hardware
+    /// model scales ADC power by ~4× per bit either way (§7.6), and on the
+    /// functional non-ideality path a narrowed ADC quantizes MVM outputs
+    /// to `2^(16 − b)`-raw-bit steps — the width axis of the
+    /// accuracy-vs-energy frontier.
+    #[serde(default)]
+    pub adc_bits_override: Option<u32>,
 }
 
 impl MvmuConfig {
@@ -36,8 +45,18 @@ impl MvmuConfig {
     /// ADC resolution required to capture a full column dot product of
     /// `dac_bits`-wide inputs against `bits_per_cell`-wide weights:
     /// `log2(dim) + dac_bits + bits_per_cell` bits (ISAAC-style analysis).
-    pub fn adc_bits(&self) -> u32 {
+    pub fn derived_adc_bits(&self) -> u32 {
         (self.dim as f64).log2().ceil() as u32 + self.dac_bits + self.bits_per_cell
+    }
+
+    /// The effective ADC resolution: [`MvmuConfig::adc_bits_override`] if
+    /// set, otherwise the full-precision [`MvmuConfig::derived_adc_bits`].
+    /// Every consumer — the hardware power model, the bit-serial
+    /// pipeline's full-scale clamp, the degraded-path output quantizer —
+    /// reads this one accessor, so an override moves the accuracy and the
+    /// energy axis together.
+    pub fn adc_bits(&self) -> u32 {
+        self.adc_bits_override.unwrap_or_else(|| self.derived_adc_bits())
     }
 
     /// Multiply-accumulate operations performed by one full-precision MVM.
@@ -70,13 +89,120 @@ impl MvmuConfig {
                 what: "weight and DAC precision must be nonzero".to_string(),
             });
         }
+        if let Some(bits) = self.adc_bits_override {
+            if bits == 0 || bits > 24 {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("ADC override {bits} bits outside the realizable 1-24 range"),
+                });
+            }
+        }
         Ok(())
     }
 }
 
 impl Default for MvmuConfig {
     fn default() -> Self {
-        MvmuConfig { dim: 128, bits_per_cell: 2, weight_bits: 16, dac_bits: 1 }
+        MvmuConfig {
+            dim: 128,
+            bits_per_cell: 2,
+            weight_bits: 16,
+            dac_bits: 1,
+            adc_bits_override: None,
+        }
+    }
+}
+
+/// Analog non-ideality knobs for the functional MVM path.
+///
+/// The default (all-zero) config is *ideal*: the simulator takes the
+/// exact integer MVM path untouched, so the three-engine differential
+/// suites stay pinned. Any nonzero knob (or an
+/// [`MvmuConfig::adc_bits_override`]) routes functional MVMs through the
+/// degraded path in `puma_xbar`, which is deterministic by construction:
+/// every perturbation is a counter-based hash of
+/// `(seed, site, cell, time index)` — no stateful RNG is advanced by
+/// execution order — so a fixed `(config, seed)` pair replays bit-exactly
+/// across runs, engines, worker counts, and co-tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonIdealityConfig {
+    /// Read-side conductance noise: relative sigma per conductance level,
+    /// same scale as the write-noise sigma in `puma_xbar`. Resampled per
+    /// MVM time index (cycle-to-cycle noise), unlike write noise which is
+    /// frozen at programming time.
+    #[serde(default)]
+    pub read_sigma: f64,
+    /// Conductance drift magnitude: the fraction of its conductance a
+    /// cell loses as simulated time saturates (`g(t) = g0 · (1 − ν·u·τ)`
+    /// with `τ = t/(t + T0)` and `u` a per-cell factor in `[0.5, 1.5)`).
+    #[serde(default)]
+    pub drift_nu: f64,
+    /// Drift half-saturation time `T0` in simulated cycles: at `t = T0`
+    /// a cell has lost half of its asymptotic drift.
+    #[serde(default = "NonIdealityConfig::default_drift_t0")]
+    pub drift_t0_cycles: u64,
+    /// First-order IR-drop coefficient: the far column of a fully-driven
+    /// crossbar loses an `ir_drop_alpha` fraction of its analog current;
+    /// attenuation scales with input activity and column distance.
+    #[serde(default)]
+    pub ir_drop_alpha: f64,
+    /// Seed for every counter-based perturbation hash. Changing it yields
+    /// an independent noise realization; replaying it replays bit-exactly.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl NonIdealityConfig {
+    fn default_drift_t0() -> u64 {
+        1_000_000
+    }
+
+    /// The ideal configuration: no read noise, no drift, no IR drop.
+    pub fn ideal() -> Self {
+        NonIdealityConfig {
+            read_sigma: 0.0,
+            drift_nu: 0.0,
+            drift_t0_cycles: Self::default_drift_t0(),
+            ir_drop_alpha: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when every perturbation is off — the simulator then takes the
+    /// exact integer path regardless of `seed`.
+    pub fn is_ideal(&self) -> bool {
+        self.read_sigma == 0.0 && self.drift_nu == 0.0 && self.ir_drop_alpha == 0.0
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] for negative or non-finite
+    /// magnitudes, or a zero drift timescale with drift enabled.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("read_sigma", self.read_sigma),
+            ("drift_nu", self.drift_nu),
+            ("ir_drop_alpha", self.ir_drop_alpha),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("non-ideality {name} {v} must be finite and non-negative"),
+                });
+            }
+        }
+        if self.drift_nu > 0.0 && self.drift_t0_cycles == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "drift_t0_cycles must be nonzero when drift is enabled".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NonIdealityConfig {
+    fn default() -> Self {
+        NonIdealityConfig::ideal()
     }
 }
 
@@ -240,6 +366,11 @@ pub struct NodeConfig {
     pub noc_hop_cycles: u64,
     /// Off-chip link bandwidth in GB/s. Paper default: 6.4 (HyperTransport).
     pub offchip_gb_per_s: f64,
+    /// Analog non-ideality model applied on the functional MVM path
+    /// (read noise, drift, IR drop). [`NonIdealityConfig::ideal`] — the
+    /// default — leaves the exact integer path untouched.
+    #[serde(default)]
+    pub non_ideality: NonIdealityConfig,
 }
 
 impl NodeConfig {
@@ -289,6 +420,7 @@ impl NodeConfig {
                 what: "clock frequency must be nonzero".to_string(),
             });
         }
+        self.non_ideality.validate()?;
         Ok(())
     }
 }
@@ -302,6 +434,7 @@ impl Default for NodeConfig {
             noc_flit_bits: 32,
             noc_hop_cycles: 4,
             offchip_gb_per_s: 6.4,
+            non_ideality: NonIdealityConfig::ideal(),
         }
     }
 }
@@ -392,5 +525,45 @@ mod tests {
         let node = NodeConfig::default();
         let side = node.mesh_side();
         assert!(side * side >= node.tiles_per_node);
+    }
+
+    #[test]
+    fn adc_override_trumps_derived_width() {
+        let m = MvmuConfig::default();
+        assert_eq!(m.adc_bits(), m.derived_adc_bits());
+        let narrowed = MvmuConfig { adc_bits_override: Some(6), ..m };
+        assert_eq!(narrowed.adc_bits(), 6);
+        assert_eq!(narrowed.derived_adc_bits(), m.derived_adc_bits());
+        assert!(narrowed.validate().is_ok());
+        assert!(MvmuConfig { adc_bits_override: Some(0), ..m }.validate().is_err());
+        assert!(MvmuConfig { adc_bits_override: Some(25), ..m }.validate().is_err());
+    }
+
+    #[test]
+    fn default_non_ideality_is_ideal() {
+        let ni = NonIdealityConfig::default();
+        assert!(ni.is_ideal());
+        assert_eq!(ni, NonIdealityConfig::ideal());
+        assert!(ni.validate().is_ok());
+        // A bare seed change keeps the config ideal: no knob is active.
+        assert!(NonIdealityConfig { seed: 42, ..ni }.is_ideal());
+        assert!(!NonIdealityConfig { read_sigma: 0.1, ..ni }.is_ideal());
+        assert!(!NonIdealityConfig { drift_nu: 0.05, ..ni }.is_ideal());
+        assert!(!NonIdealityConfig { ir_drop_alpha: 0.02, ..ni }.is_ideal());
+    }
+
+    #[test]
+    fn non_ideality_validation_rejects_bad_knobs() {
+        let ni = NonIdealityConfig::ideal();
+        assert!(NonIdealityConfig { read_sigma: -0.1, ..ni }.validate().is_err());
+        assert!(NonIdealityConfig { drift_nu: f64::NAN, ..ni }.validate().is_err());
+        assert!(NonIdealityConfig { drift_nu: 0.1, drift_t0_cycles: 0, ..ni }.validate().is_err());
+        assert!(NonIdealityConfig { drift_nu: 0.1, ..ni }.validate().is_ok());
+        // NodeConfig::validate covers the non-ideality block.
+        let node = NodeConfig {
+            non_ideality: NonIdealityConfig { ir_drop_alpha: -1.0, ..ni },
+            ..NodeConfig::default()
+        };
+        assert!(node.validate().is_err());
     }
 }

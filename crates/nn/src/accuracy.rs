@@ -7,7 +7,7 @@
 
 use crate::data::Dataset;
 use crate::train::TrainedMlp;
-use puma_core::config::MvmuConfig;
+use puma_core::config::{MvmuConfig, NonIdealityConfig};
 use puma_core::error::Result;
 use puma_core::fixed::Fixed;
 use puma_core::tensor::Matrix;
@@ -23,6 +23,9 @@ pub struct AnalogMlp {
     hidden: usize,
     classes: usize,
     dim: usize,
+    /// Read-side non-ideality applied per inference; the ideal default
+    /// keeps [`AnalogMvmu::mvm`]'s exact dispatch.
+    ni: NonIdealityConfig,
 }
 
 /// Programs matrix `m` into a row of crossbars (one column strip is enough
@@ -48,7 +51,16 @@ fn program_matrix(
     Ok(units)
 }
 
-fn analog_mvm(units: &[AnalogMvmu], x: &[f32], dim: usize, out: usize) -> Result<Vec<f32>> {
+fn analog_mvm(
+    units: &[AnalogMvmu],
+    x: &[f32],
+    dim: usize,
+    out: usize,
+    ni: &NonIdealityConfig,
+    site_base: u64,
+    time_index: u64,
+) -> Result<Vec<f32>> {
+    let degraded = !ni.is_ideal() || units.iter().any(|u| u.config().adc_bits_override.is_some());
     let mut acc = vec![0.0f32; out];
     for (t, unit) in units.iter().enumerate() {
         let mut chunk = vec![Fixed::ZERO; dim];
@@ -58,7 +70,11 @@ fn analog_mvm(units: &[AnalogMvmu], x: &[f32], dim: usize, out: usize) -> Result
                 *slot = Fixed::from_f32(x[idx]);
             }
         }
-        let y = unit.mvm(&chunk)?;
+        let y = if degraded {
+            unit.mvm_degraded(&chunk, ni, site_base + t as u64, time_index)?
+        } else {
+            unit.mvm(&chunk)?
+        };
         for (a, v) in acc.iter_mut().zip(y.iter()) {
             *a += v.to_f32();
         }
@@ -74,7 +90,25 @@ impl AnalogMlp {
     ///
     /// Propagates crossbar configuration/programming failures.
     pub fn program(net: &TrainedMlp, cfg: &MvmuConfig, noise: &NoiseModel) -> Result<Self> {
+        AnalogMlp::program_with(net, cfg, noise, &NonIdealityConfig::ideal())
+    }
+
+    /// [`AnalogMlp::program`] with read-side non-ideality: every
+    /// inference additionally sees `ni`'s read noise, drift, and IR drop
+    /// through [`AnalogMvmu::mvm_degraded`] (plus ADC output quantization
+    /// when `cfg` narrows the converter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar configuration/programming failures.
+    pub fn program_with(
+        net: &TrainedMlp,
+        cfg: &MvmuConfig,
+        noise: &NoiseModel,
+        ni: &NonIdealityConfig,
+    ) -> Result<Self> {
         cfg.validate()?;
+        ni.validate()?;
         Ok(AnalogMlp {
             layer1: program_matrix(&net.w1, cfg, noise, 0x10)?,
             layer2: program_matrix(&net.w2, cfg, noise, 0x20)?,
@@ -83,6 +117,7 @@ impl AnalogMlp {
             hidden: net.w1.cols(),
             classes: net.w2.cols(),
             dim: cfg.dim,
+            ni: *ni,
         })
     }
 
@@ -92,10 +127,24 @@ impl AnalogMlp {
     ///
     /// Propagates crossbar evaluation failures.
     pub fn predict(&self, x: &[f32]) -> Result<usize> {
-        let h_pre = analog_mvm(&self.layer1, x, self.dim, self.hidden)?;
+        self.predict_at(x, 0)
+    }
+
+    /// [`AnalogMlp::predict`] at an explicit non-ideality time index:
+    /// read noise is resampled per index (cycle-to-cycle), while write
+    /// noise and the per-cell drift factors stay fixed. Layer-1 and
+    /// layer-2 crossbars use disjoint site keys (0x100/0x200 strips).
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar evaluation failures.
+    pub fn predict_at(&self, x: &[f32], time_index: u64) -> Result<usize> {
+        let h_pre =
+            analog_mvm(&self.layer1, x, self.dim, self.hidden, &self.ni, 0x100, time_index)?;
         let h: Vec<f32> =
             h_pre.iter().zip(&self.b1).map(|(v, b)| 1.0 / (1.0 + (-(v + b)).exp())).collect();
-        let logits = analog_mvm(&self.layer2, &h, self.dim, self.classes)?;
+        let logits =
+            analog_mvm(&self.layer2, &h, self.dim, self.classes, &self.ni, 0x200, time_index)?;
         Ok(logits
             .iter()
             .zip(&self.b2)
@@ -106,15 +155,17 @@ impl AnalogMlp {
             .expect("nonempty"))
     }
 
-    /// Classification accuracy on a dataset.
+    /// Classification accuracy on a dataset. Each sample is classified at
+    /// its index as the non-ideality time index, so read noise averages
+    /// over realizations while the whole sweep stays deterministic.
     ///
     /// # Errors
     ///
     /// Propagates crossbar evaluation failures.
     pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
         let mut correct = 0usize;
-        for (x, &label) in data.samples.iter().zip(&data.labels) {
-            if self.predict(x)? == label {
+        for (i, (x, &label)) in data.samples.iter().zip(&data.labels).enumerate() {
+            if self.predict_at(x, i as u64)? == label {
                 correct += 1;
             }
         }
@@ -148,6 +199,23 @@ pub fn accuracy_at(
     let cfg = MvmuConfig { dim: 128, bits_per_cell, ..MvmuConfig::default() };
     let analog = AnalogMlp::program(net, &cfg, &NoiseModel::new(sigma, seed))?;
     Ok(AccuracyPoint { bits_per_cell, sigma, accuracy: analog.accuracy(test)? })
+}
+
+/// Evaluates accuracy at one noise-frontier point: write noise, read-side
+/// non-ideality, and whatever ADC width `cfg` carries. Deterministic for
+/// a fixed `(cfg, noise, ni)` triple.
+///
+/// # Errors
+///
+/// Propagates crossbar failures.
+pub fn frontier_accuracy(
+    net: &TrainedMlp,
+    test: &Dataset,
+    cfg: &MvmuConfig,
+    noise: &NoiseModel,
+    ni: &NonIdealityConfig,
+) -> Result<f64> {
+    AnalogMlp::program_with(net, cfg, noise, ni)?.accuracy(test)
 }
 
 #[cfg(test)]
@@ -200,5 +268,45 @@ mod tests {
         let acc2 = accuracy_at(&net, &test, 2, 0.2, 4).unwrap().accuracy;
         let acc6 = accuracy_at(&net, &test, 6, 0.2, 4).unwrap().accuracy;
         assert!(acc2 > acc6, "2-bit {acc2} should beat 6-bit {acc6} at σ=0.2");
+    }
+
+    #[test]
+    fn frontier_accuracy_replays_bit_exactly() {
+        let (net, test) = setup();
+        let cfg = MvmuConfig { dim: 128, ..MvmuConfig::default() };
+        let noise = NoiseModel::new(0.2, 5);
+        let ni = NonIdealityConfig { read_sigma: 0.2, seed: 5, ..NonIdealityConfig::ideal() };
+        let a = frontier_accuracy(&net, &test, &cfg, &noise, &ni).unwrap();
+        let b = frontier_accuracy(&net, &test, &cfg, &noise, &ni).unwrap();
+        assert_eq!(a, b, "fixed (config, seed) must replay bit-exactly");
+        // The ideal point reproduces the plain analog path.
+        let ideal = frontier_accuracy(
+            &net,
+            &test,
+            &cfg,
+            &NoiseModel::noiseless(),
+            &NonIdealityConfig::ideal(),
+        )
+        .unwrap();
+        let plain = accuracy_at(&net, &test, 2, 0.0, 1).unwrap().accuracy;
+        assert_eq!(ideal, plain);
+    }
+
+    #[test]
+    fn narrow_adc_degrades_accuracy() {
+        let (net, test) = setup();
+        let noise = NoiseModel::noiseless();
+        let ni = NonIdealityConfig::ideal();
+        let full = MvmuConfig { dim: 128, ..MvmuConfig::default() };
+        let narrow = MvmuConfig { adc_bits_override: Some(2), ..full };
+        let collapsed = MvmuConfig { adc_bits_override: Some(1), ..full };
+        let acc_full = frontier_accuracy(&net, &test, &full, &noise, &ni).unwrap();
+        let acc_narrow = frontier_accuracy(&net, &test, &narrow, &noise, &ni).unwrap();
+        let acc_collapsed = frontier_accuracy(&net, &test, &collapsed, &noise, &ni).unwrap();
+        assert!(
+            acc_narrow < acc_full - 0.05,
+            "2-bit ADC {acc_narrow} should lose accuracy vs full {acc_full}"
+        );
+        assert!(acc_collapsed < 0.5, "1-bit ADC should collapse, got {acc_collapsed}");
     }
 }

@@ -6,7 +6,7 @@
 //! interpreter tax. This module compiles each core/tile-control program
 //! **once** (at [`NodeSim::set_engine`] time, or adopted pre-built via
 //! [`NodeSim::adopt_compiled_image`]) into a pc-indexed array of
-//! [`MicroOp`]s with every static decision hoisted out of the hot loop:
+//! `MicroOp`s with every static decision hoisted out of the hot loop:
 //!
 //! - **Decode** happens here, never at execution time: each pc maps to a
 //!   micro-op whose variant already encodes the dispatch.
@@ -14,11 +14,11 @@
 //!   operands are provably in bounds for the configured bank sizes
 //!   compiles to an infallible fast variant; anything that *could* fault
 //!   (or needs data the timing model skips) compiles to
-//!   [`MicroOp::Interp`] and executes through the interpreter — faulting
+//!   `MicroOp::Interp` and executes through the interpreter — faulting
 //!   (or computing) exactly as the reference engine would, if and only if
 //!   it is actually reached.
 //! - **Timing and energy** are precomputed per op into a dense parallel
-//!   [`OpCost`] array: latency, energy, energy component, instruction
+//!   `OpCost` array: latency, energy, energy component, instruction
 //!   category, and MVMU activations, so execution touches no
 //!   `TimingModel` (whose accessors re-walk the area/power model on
 //!   every call).
@@ -160,7 +160,7 @@ pub(crate) struct CompiledProgram {
 }
 
 /// A machine image compiled to micro-op segments: one
-/// [`CompiledProgram`] per core and per tile control unit. Read-only
+/// `CompiledProgram` per core and per tile control unit. Read-only
 /// after construction and deliberately free of run state, so worker
 /// replicas simulating the same image share one build behind an
 /// [`std::sync::Arc`] (see [`NodeSim::adopt_compiled_image`]). Tiles

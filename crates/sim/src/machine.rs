@@ -57,7 +57,7 @@
 //! horizon is indistinguishable from the reference event loop. Any new
 //! stepping-API feature (a new event kind, a new cross-tile effect, a
 //! zero-latency message path) must preserve this invariant or widen the
-//! checks in [`NodeSim::tile_clear_until`].
+//! checks in `NodeSim::tile_clear_until`.
 //!
 //! # Compiled segments: the segment-boundary safety invariant
 //!
@@ -72,7 +72,7 @@
 //!    effect — are bulk-charged; every instruction that can observe or
 //!    mutate shared tile state executes through the interpreter and, when
 //!    it [`may block`](Instruction::may_block), re-checks
-//!    [`NodeSim::tile_clear_until`] exactly as run-ahead does. A segment
+//!    `NodeSim::tile_clear_until` exactly as run-ahead does. A segment
 //!    is therefore invisible to every other agent, and charging it in one
 //!    step is indistinguishable from per-instruction execution.
 //! 2. **A segment never crosses the cycle cap.** Bulk charging is gated
@@ -477,6 +477,16 @@ pub struct NodeSim {
     /// single-tenant machines). Machine configuration like the compiled
     /// image: survives [`NodeSim::reset`].
     residents: Vec<ResidentModel>,
+    /// Cycle at which the current run's agents were primed. Non-ideality
+    /// time indices are taken relative to it, so time-sliced serving
+    /// segments and batched requests see request-relative simulated time
+    /// and replay bit-exactly regardless of global scheduling.
+    run_base: u64,
+    /// True when functional MVMs must take the degraded analog path
+    /// (cached from the config at construction). False routes them
+    /// through the untouched exact path — the disabled-config
+    /// bit-identity contract of the differential suites.
+    non_ideal_mvm: bool,
 }
 
 impl NodeSim {
@@ -603,6 +613,9 @@ impl NodeSim {
             horizon: u64::MAX,
             compiled: None,
             residents: Vec::new(),
+            run_base: 0,
+            non_ideal_mvm: mode == SimMode::Functional
+                && (!cfg.non_ideality.is_ideal() || cfg.tile.core.mvmu.adc_bits_override.is_some()),
         })
     }
 
@@ -779,6 +792,7 @@ impl NodeSim {
         self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = 0;
+        self.run_base = 0;
         self.horizon = u64::MAX;
         for tile in &mut self.tiles {
             // In-place clears: a reused simulator (BatchRunner pool,
@@ -980,6 +994,7 @@ impl NodeSim {
         self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = at;
+        self.run_base = at;
         for t in tiles {
             for c in 0..self.tiles[t].cores.len() {
                 if !self.tiles[t].cores[c].halted {
@@ -1233,6 +1248,18 @@ impl NodeSim {
         self.residents.iter().find(|r| r.name == name).cloned().ok_or_else(|| {
             PumaError::InvalidConfig { what: format!("no resident model named '{name}'") }
         })
+    }
+
+    /// Non-ideality site key base for the MVMUs of `(tile, core)`: a
+    /// dense physical index, taken relative to the owning resident's base
+    /// tile (absolute when no resident owns the tile). Resident-relative
+    /// keying makes a model's noise realization invariant under
+    /// relocation and co-tenancy — a tenant drifts identically in a
+    /// shared fabric and solo.
+    fn mvm_site_base(&self, tile: usize, core: usize) -> u64 {
+        let base = self.resident_of(tile).map_or(0, |r| r.base);
+        (((tile - base) * self.cfg.tile.cores_per_tile + core) * self.cfg.tile.core.mvmus_per_core)
+            as u64
     }
 
     /// ` (model {name})` when a resident owns `tile`, else empty — the
@@ -1602,7 +1629,7 @@ impl NodeSim {
         self.tile_clear_for_resume(tile, t)
     }
 
-    /// [`NodeSim::tile_clear_until`] without the pending-continuation
+    /// `NodeSim::tile_clear_until` without the pending-continuation
     /// term: the eligibility check for *resuming* the minimum-keyed
     /// continuation, which by construction pops before every other
     /// pending continuation — only queued events, the cross-tile slack,
@@ -1828,7 +1855,7 @@ impl NodeSim {
         let outcome = if agent.is_tile_ctl() {
             self.step_tile_ctl(agent, instr, now)?
         } else {
-            self.step_core(agent, instr, pc)?
+            self.step_core(agent, instr, pc, now)?
         };
         // A successful consume/produce on this tile's memory or FIFOs may
         // unblock peers waiting on the attribute buffer; the executed
@@ -2003,8 +2030,13 @@ impl NodeSim {
         }
     }
 
-    /// Executes one core instruction.
-    fn step_core(&mut self, agent: AgentId, instr: Instruction, pc: u32) -> Result<Step> {
+    /// Executes one core instruction. `now` is the instruction's
+    /// simulated timestamp — identical across all three engines (the
+    /// reference engine re-queues at `now + latency`; run-ahead and
+    /// compiled advance a local clock by the same per-instruction
+    /// latencies) — consumed only by the non-ideality path as the MVM
+    /// time index.
+    fn step_core(&mut self, agent: AgentId, instr: Instruction, pc: u32, now: u64) -> Result<Step> {
         let t = agent.tile as usize;
         let c = agent.core as usize;
         let functional = self.mode == SimMode::Functional;
@@ -2020,8 +2052,19 @@ impl NodeSim {
                     }
                 }
                 if functional {
+                    // Degraded-path keys: the site is resident-relative
+                    // (a model sees the same noise realization wherever
+                    // its tiles land — relocation and co-tenancy purity),
+                    // the time index run-relative (segments and batched
+                    // requests replay identically).
+                    let ni = self.cfg.non_ideality;
+                    let (site_base, rel_cycle) = if self.non_ideal_mvm {
+                        (self.mvm_site_base(t, c), now - self.run_base)
+                    } else {
+                        (0, 0)
+                    };
                     for unit in mask.iter() {
-                        let core = &mut self.tiles[t].cores[c];
+                        let core = &self.tiles[t].cores[c];
                         let Some(Some(mvmu)) = core.mvmus.get(unit) else {
                             return Err(PumaError::Execution {
                                 what: format!("MVM on unprogrammed MVMU {unit}"),
@@ -2030,9 +2073,16 @@ impl NodeSim {
                         let base = unit * dim;
                         let raw = core.regs.xbar_in()[base..base + dim].to_vec();
                         let shuffled = shuffle_input(&raw, filter, stride);
-                        let y = mvmu.mvm(&shuffled)?;
+                        let y = if self.non_ideal_mvm {
+                            mvmu.mvm_degraded(&shuffled, &ni, site_base + unit as u64, rel_cycle)?
+                        } else {
+                            mvmu.mvm(&shuffled)?
+                        };
                         let core = &mut self.tiles[t].cores[c];
                         core.regs.xbar_out_mut()[base..base + dim].copy_from_slice(&y);
+                    }
+                    if self.non_ideal_mvm {
+                        self.stats.degraded_mvm_activations += mask.count() as u64;
                     }
                 }
                 let latency = self.timing.mvm_latency();

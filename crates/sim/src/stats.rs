@@ -138,6 +138,12 @@ pub struct RunStats {
     /// Number of MVM activations (MVMU-instructions, counting coalesced
     /// MVMUs individually).
     pub mvmu_activations: u64,
+    /// MVM activations that took the analog non-ideality path (read
+    /// noise, drift, IR drop, or a narrowed ADC active). Zero whenever
+    /// the config is ideal, so disabling non-ideality leaves statistics
+    /// bit-identical to the exact path.
+    #[serde(default)]
+    pub degraded_mvm_activations: u64,
     /// Words moved through tile shared memories.
     pub shared_memory_words: u64,
     /// Words moved through the on-chip network.
@@ -186,6 +192,7 @@ impl RunStats {
         }
         self.energy.merge(&other.energy);
         self.mvmu_activations += other.mvmu_activations;
+        self.degraded_mvm_activations += other.degraded_mvm_activations;
         self.shared_memory_words += other.shared_memory_words;
         self.network_words += other.network_words;
         self.internode_words += other.internode_words;

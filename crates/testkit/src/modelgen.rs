@@ -32,7 +32,7 @@ pub struct ModelCase {
 const MLP_WIDTHS: [usize; 6] = [8, 14, 26, 32, 48, 64];
 
 /// Strategy: random MLPs — 1-3 dense layers with random activations,
-/// widths drawn from [`MLP_WIDTHS`].
+/// widths drawn from `MLP_WIDTHS`.
 pub fn mlp_case() -> impl Strategy<Value = ModelCase> {
     (
         prop::sample::select(MLP_WIDTHS.to_vec()),

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use puma_compiler::{
     compile, compose_fabric, fit_config, CompiledModel, CompilerOptions, Resident,
 };
-use puma_core::config::NodeConfig;
+use puma_core::config::{NodeConfig, NonIdealityConfig};
 use puma_sim::{ClusterSim, NodeSim, ResidentModel, RunStats, SimMode};
 use puma_testkit::harness::{
     default_engine, read_model_outputs, reference_outputs, write_model_inputs,
@@ -172,6 +172,57 @@ fn cluster_serves_residents_identically_to_solo_runs() {
         let (out, stats) = serve_one(&mut sim, t);
         assert_eq!(solo_out, out, "cluster outputs of '{}' must match its solo run", t.name);
         assert_eq!(solo_stats, stats, "cluster stats of '{}' must match its solo run", t.name);
+    }
+}
+
+/// Serves `t` alone at tile base **zero** — a different physical
+/// placement than the shared fabric's staggered base.
+fn serve_alone_at_zero(t: &Tenant, cfg: &NodeConfig) -> (HashMap<String, Vec<f32>>, RunStats) {
+    let rebased = Resident { name: &t.name, image: &t.compiled.image, base: 0 };
+    let image = compose_fabric(&[rebased]).expect("rebased solo fabric");
+    let mut sim =
+        NodeSim::new(*cfg, &image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(vec![ResidentModel { name: t.name.clone(), base: 0, tiles: t.tiles }])
+        .unwrap();
+    serve_one(&mut sim, t)
+}
+
+/// Drift (and read noise) must be a pure function of
+/// `(seed, time index, cell)` with the cell keyed *resident-relative*:
+/// a tenant interleaved with co-tenants in a shared fabric sees exactly
+/// the drifted conductances of its solo run — even solo at a different
+/// tile base. Any dependence on absolute tile placement, co-tenant
+/// activity, or serving order would break this bit-identity.
+#[test]
+fn residents_drift_identically_to_solo_runs() {
+    let (tenants, mut cfg) = zoo_tenants();
+    cfg.non_ideality = NonIdealityConfig {
+        read_sigma: 0.05,
+        drift_nu: 0.05,
+        drift_t0_cycles: 5_000,
+        ir_drop_alpha: 0.01,
+        seed: 77,
+    };
+    let fabric: Vec<Resident<'_>> = tenants.iter().map(fabric_resident).collect();
+    let image = compose_fabric(&fabric).expect("shared fabric");
+    let mut sim = NodeSim::new(cfg, &image, SimMode::Functional, &NoiseModel::noiseless()).unwrap();
+    sim.set_engine(default_engine());
+    sim.set_residents(tenants.iter().map(resident_of).collect()).unwrap();
+    // Interleave: serve every tenant once (warm the fabric), then compare
+    // a second interleaved pass against the solo runs.
+    for t in &tenants {
+        serve_one(&mut sim, t);
+    }
+    for t in &tenants {
+        let (out, stats) = serve_one(&mut sim, t);
+        assert!(stats.degraded_mvm_activations > 0, "'{}' must take the degraded path", t.name);
+        let (solo_out, solo_stats) = serve_alone(t, &cfg);
+        assert_eq!(solo_out, out, "'{}' drift diverged from its solo run", t.name);
+        assert_eq!(solo_stats, stats, "'{}' stats diverged from its solo run", t.name);
+        let (zero_out, zero_stats) = serve_alone_at_zero(t, &cfg);
+        assert_eq!(zero_out, out, "'{}' drift must be placement-invariant", t.name);
+        assert_eq!(zero_stats.degraded_mvm_activations, stats.degraded_mvm_activations);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Memristor crossbar substrate for PUMA.
 //!
 //! Implements the analog MVM of §3.2 / Fig. 2 of the paper: bit-slice
-//! crossbars ([`slice`]), programming (write) noise ([`noise`]), and the
+//! crossbars ([`mod@slice`]), programming (write) noise ([`noise`]), and the
 //! full logical MVMU with DAC streaming, ADC quantization, shift-and-add,
 //! and bias correction ([`mvmu`]).
 //!

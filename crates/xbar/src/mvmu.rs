@@ -17,9 +17,9 @@
 //!   an effective real-valued weight matrix once at program time, then does
 //!   a single `f64` MVM per call (used by the Fig. 13 accuracy sweeps).
 
-use crate::noise::NoiseModel;
+use crate::noise::{keyed_gaussian, keyed_hash, unit_from, NoiseModel};
 use crate::slice::{encode_weight, slice_levels, CrossbarSlice};
-use puma_core::config::MvmuConfig;
+use puma_core::config::{MvmuConfig, NonIdealityConfig};
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::{narrow_accumulator, Fixed, FRAC_BITS};
 use puma_core::tensor::FixedMatrix;
@@ -27,6 +27,22 @@ use serde::{Deserialize, Serialize};
 
 /// Offset added to signed weights so conductances are non-negative.
 const WEIGHT_OFFSET: i64 = 32768;
+
+/// Hash tags decorrelating the perturbation families drawn from one seed.
+const TAG_READ_NOISE: u64 = 0x5245_4144; // "READ"
+const TAG_DRIFT: u64 = 0x4452_4654; // "DRFT"
+
+/// Rounds an ADC output code to the nearest representable step (an ADC of
+/// `b < 16` bits resolves Q4.12 outputs in `2^(16−b)`-raw-bit steps).
+fn quantize_adc(raw: i16, step: i64) -> i16 {
+    if step <= 1 {
+        return raw;
+    }
+    let r = i64::from(raw);
+    let half = step / 2;
+    let q = if r >= 0 { (r + half) / step * step } else { -((-r + half) / step * step) };
+    q.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16
+}
 
 /// Functional model of one logical MVMU (a stack of bit-slice crossbars).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -283,6 +299,112 @@ impl AnalogMvmu {
             .map(|a| Fixed::from_bits(narrow_accumulator(a.round() as i64, FRAC_BITS)))
             .collect())
     }
+
+    /// Degraded analog path: the effective-weight MVM with the
+    /// [`NonIdealityConfig`] perturbations applied on top — read-side
+    /// conductance noise (resampled per `time_index`), saturating
+    /// conductance drift, first-order IR drop along the columns, and ADC
+    /// output quantization when [`MvmuConfig::adc_bits_override`] narrows
+    /// the converter.
+    ///
+    /// Deterministic by construction: every perturbation is a
+    /// counter-based hash of `(ni.seed, site, cell, time_index)` — see
+    /// [`keyed_gaussian`] — so a fixed key replays bit-exactly. With all
+    /// knobs zero and no ADC override this is bit-identical to
+    /// [`AnalogMvmu::mvm`] (the accumulation is exact in `f64`: products
+    /// stay below 2³¹ and sums below 2³⁹, within the 53-bit mantissa).
+    ///
+    /// `site` identifies the physical crossbar (callers key it
+    /// resident-relative so co-tenants and relocation don't shift a
+    /// model's noise realization); `time_index` is the simulated cycle of
+    /// the MVM relative to the run's start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`.
+    pub fn mvm_degraded(
+        &self,
+        input: &[Fixed],
+        ni: &NonIdealityConfig,
+        site: u64,
+        time_index: u64,
+    ) -> Result<Vec<Fixed>> {
+        let dim = self.cfg.dim;
+        if input.len() != dim {
+            return Err(PumaError::ShapeMismatch { expected: dim, actual: input.len() });
+        }
+        // Read noise perturbs every slice independently, so one weight
+        // sees a sigma of the per-level sigma times sqrt(Σ_s sig_s²).
+        let agg_sig =
+            self.slices.iter().map(|s| (s.significance() as f64).powi(2)).sum::<f64>().sqrt();
+        let sigma_w =
+            NoiseModel::new(ni.read_sigma, 0).level_sigma(self.cfg.bits_per_cell) * agg_sig;
+        let tau = if ni.drift_nu > 0.0 {
+            let t = time_index as f64;
+            t / (t + ni.drift_t0_cycles as f64)
+        } else {
+            0.0
+        };
+        let offset = WEIGHT_OFFSET as f64;
+        let eff = self.effective.as_deref();
+        let mut acc = vec![0.0f64; dim];
+        let mut input_sum: i64 = 0;
+        let mut abs_sum: i64 = 0;
+        for (row, &x) in input.iter().enumerate() {
+            let xb = i64::from(x.to_bits());
+            if xb == 0 {
+                continue;
+            }
+            input_sum += xb;
+            abs_sum += xb.abs();
+            let base = row * dim;
+            let xf = xb as f64;
+            for (col, a) in acc.iter_mut().enumerate() {
+                let idx = base + col;
+                // Base effective weight: write-noisy when programmed so,
+                // otherwise the ideal decode.
+                let w = match eff {
+                    Some(e) => e[idx],
+                    None => f64::from(self.encoded[idx]) - offset,
+                };
+                let mut wp = w;
+                if tau > 0.0 {
+                    // Conductances decay toward zero, so the signed
+                    // weight drifts toward −offset.
+                    let u = 0.5 + unit_from(keyed_hash(ni.seed, &[site, idx as u64, TAG_DRIFT]));
+                    let m = (1.0 - ni.drift_nu * u * tau).max(0.0);
+                    wp = m * (w + offset) - offset;
+                }
+                if sigma_w > 0.0 {
+                    wp += sigma_w
+                        * keyed_gaussian(ni.seed, &[site, idx as u64, time_index, TAG_READ_NOISE]);
+                }
+                *a += xf * wp;
+            }
+        }
+        let correction = offset * input_sum as f64;
+        let activity = abs_sum as f64 / (dim as f64 * offset);
+        let adc_step = match self.cfg.adc_bits_override {
+            Some(b) if b < 16 => 1i64 << (16 - b),
+            _ => 1,
+        };
+        Ok(acc
+            .into_iter()
+            .enumerate()
+            .map(|(col, a)| {
+                // IR drop attenuates the analog column current (offset
+                // still encoded); the digital offset correction is exact.
+                let att = if ni.ir_drop_alpha > 0.0 {
+                    (1.0 - ni.ir_drop_alpha * activity * (col + 1) as f64 / dim as f64).max(0.0)
+                } else {
+                    1.0
+                };
+                let analog = att * (a + correction) - correction;
+                let raw = narrow_accumulator(analog.round() as i64, FRAC_BITS);
+                Fixed::from_bits(quantize_adc(raw, adc_step))
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +535,115 @@ mod tests {
         for (a, b) in noisy.iter().zip(ideal.iter()) {
             assert!((a.to_f32() - b.to_f32()).abs() < 0.1);
         }
+    }
+
+    #[test]
+    fn degraded_path_with_ideal_config_matches_exact() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig::ideal();
+        assert_eq!(mvmu.mvm_degraded(&x, &ni, 3, 1000).unwrap(), mvmu.mvm_exact(&x).unwrap());
+        // A wide ADC override changes nothing either (step 1).
+        let wide = MvmuConfig { adc_bits_override: Some(16), ..small_cfg() };
+        let mut mvmu = AnalogMvmu::new(wide).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        assert_eq!(mvmu.mvm_degraded(&x, &ni, 3, 1000).unwrap(), mvmu.mvm_exact(&x).unwrap());
+    }
+
+    #[test]
+    fn degraded_path_replays_bit_exactly() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig {
+            read_sigma: 0.2,
+            drift_nu: 0.1,
+            ir_drop_alpha: 0.05,
+            seed: 42,
+            ..NonIdealityConfig::ideal()
+        };
+        let a = mvmu.mvm_degraded(&x, &ni, 5, 777).unwrap();
+        assert_eq!(a, mvmu.mvm_degraded(&x, &ni, 5, 777).unwrap(), "same key replays");
+        assert_ne!(a, mvmu.mvm_degraded(&x, &ni, 6, 777).unwrap(), "site shifts realization");
+        assert_ne!(a, mvmu.mvm_degraded(&x, &ni, 5, 778).unwrap(), "read noise is per-cycle");
+        let reseeded = NonIdealityConfig { seed: 43, ..ni };
+        assert_ne!(a, mvmu.mvm_degraded(&x, &reseeded, 5, 777).unwrap(), "seed reseeds");
+    }
+
+    #[test]
+    fn drift_is_time_saturating_and_pure() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig {
+            drift_nu: 0.2,
+            drift_t0_cycles: 1000,
+            seed: 9,
+            ..NonIdealityConfig::ideal()
+        };
+        let ideal = mvmu.mvm_exact(&x).unwrap();
+        let at0 = mvmu.mvm_degraded(&x, &ni, 0, 0).unwrap();
+        assert_eq!(at0, ideal, "no time has passed, no drift");
+        let early = mvmu.mvm_degraded(&x, &ni, 0, 100).unwrap();
+        let late = mvmu.mvm_degraded(&x, &ni, 0, 1_000_000).unwrap();
+        let err = |out: &[Fixed]| {
+            out.iter()
+                .zip(ideal.iter())
+                .map(|(a, b)| (a.to_f32() - b.to_f32()).abs() as f64)
+                .sum::<f64>()
+        };
+        assert!(err(&late) > err(&early), "drift grows with simulated time");
+        assert_eq!(late, mvmu.mvm_degraded(&x, &ni, 0, 1_000_000).unwrap(), "pure in time");
+    }
+
+    #[test]
+    fn ir_drop_attenuates_far_columns_more() {
+        // A uniform positive matrix and input: the far column loses more
+        // analog current than the near one.
+        let m = Matrix::from_fn(16, 16, |_, _| 0.5).quantize();
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x: Vec<Fixed> = (0..16).map(|_| Fixed::from_f32(0.5)).collect();
+        let ni = NonIdealityConfig { ir_drop_alpha: 0.1, ..NonIdealityConfig::ideal() };
+        let out = mvmu.mvm_degraded(&x, &ni, 0, 0).unwrap();
+        let ideal = mvmu.mvm_exact(&x).unwrap();
+        let drop0 = (ideal[0].to_f32() - out[0].to_f32()).abs();
+        let drop_last = (ideal[15].to_f32() - out[15].to_f32()).abs();
+        assert!(drop_last > drop0, "far column must sag more: {drop0} vs {drop_last}");
+    }
+
+    #[test]
+    fn narrow_adc_quantizes_output_steps() {
+        let m = test_matrix(16, 16);
+        let cfg = MvmuConfig { adc_bits_override: Some(8), ..small_cfg() };
+        let mut mvmu = AnalogMvmu::new(cfg).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let out = mvmu.mvm_degraded(&x, &NonIdealityConfig::ideal(), 0, 0).unwrap();
+        let step = 1 << 8;
+        for v in &out {
+            assert_eq!(i32::from(v.to_bits()) % step, 0, "output {v:?} off the ADC grid");
+        }
+        // The quantized output still tracks the exact one within a step.
+        for (q, e) in out.iter().zip(mvmu.mvm_exact(&x).unwrap()) {
+            assert!((i32::from(q.to_bits()) - i32::from(e.to_bits())).abs() <= step / 2);
+        }
+    }
+
+    #[test]
+    fn degraded_path_stacks_on_write_noise() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::new(0.1, 99)).unwrap();
+        let x = test_input(16);
+        // With ideal knobs the degraded path reproduces the write-noisy
+        // fast path (same effective weights, exact f64 accumulation).
+        let ni = NonIdealityConfig::ideal();
+        assert_eq!(mvmu.mvm_degraded(&x, &ni, 0, 0).unwrap(), mvmu.mvm_noisy_fast(&x).unwrap());
     }
 
     #[test]

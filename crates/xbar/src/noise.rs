@@ -88,6 +88,43 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     }
 }
 
+/// splitmix64 finalizer: the 64-bit mixer behind the counter-based
+/// (stateless) RNG of the non-ideality path. Unlike the [`StdRng`] stream
+/// above — whose draws depend on *how many* samples preceded them — a
+/// counter-based sample is a pure function of its key, so perturbations
+/// replay bit-exactly regardless of execution order, engine, or worker
+/// count.
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds `parts` (e.g. site, cell, time index, tag) into one hash under
+/// `seed` by iterated [`mix64`] rounds.
+pub fn keyed_hash(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = mix64(seed ^ 0x6A09_E667_F3BC_C909);
+    for &p in parts {
+        h = mix64(h.wrapping_add(p).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    h
+}
+
+/// Uniform sample in `[0, 1)` from the top 53 bits of a hash.
+pub fn unit_from(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard-normal sample as a pure function of a key: Box–Muller over
+/// two decorrelated hashes of it.
+pub fn keyed_gaussian(seed: u64, parts: &[u64]) -> f64 {
+    let h1 = keyed_hash(seed, parts);
+    let h2 = mix64(h1 ^ 0xD6E8_FEB8_6659_FD93);
+    let u1 = unit_from(h1).max(f64::MIN_POSITIVE);
+    let u2 = unit_from(h2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +180,26 @@ mod tests {
         let m = NoiseModel::new(0.1, 0);
         assert!((m.level_sigma(4) - 0.1).abs() < 1e-12, "4-bit spacing is the reference");
         assert!(m.level_sigma(6) > 20.0 * m.level_sigma(1));
+    }
+
+    #[test]
+    fn keyed_samples_are_pure_functions_of_their_key() {
+        let a = keyed_gaussian(7, &[1, 2, 3]);
+        assert_eq!(a, keyed_gaussian(7, &[1, 2, 3]), "same key replays bit-exactly");
+        assert_ne!(a, keyed_gaussian(8, &[1, 2, 3]), "seed perturbs the draw");
+        assert_ne!(a, keyed_gaussian(7, &[1, 2, 4]), "any key part perturbs the draw");
+        let u = unit_from(keyed_hash(7, &[1, 2, 3]));
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn keyed_gaussian_is_roughly_standard_normal() {
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|i| keyed_gaussian(11, &[i])).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 1.0).abs() < 0.05, "std {}", var.sqrt());
     }
 
     #[test]

@@ -4,16 +4,16 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! - [`core`](puma_core) — fixed point, tensors, hardware config,
+//! - [`core`] — fixed point, tensors, hardware config,
 //!   area/power/timing models (Table 3);
-//! - [`isa`](puma_isa) — the instruction set, encoding, assembler (Table 2);
-//! - [`xbar`](puma_xbar) — the analog crossbar substrate (Fig. 2);
-//! - [`sim`](puma_sim) — PUMAsim, the functional/timing/energy simulator;
-//! - [`compiler`](puma_compiler) — graph → partition → schedule → codegen
+//! - [`isa`] — the instruction set, encoding, assembler (Table 2);
+//! - [`xbar`] — the analog crossbar substrate (Fig. 2);
+//! - [`sim`] — PUMAsim, the functional/timing/energy simulator;
+//! - [`compiler`] — graph → partition → schedule → codegen
 //!   (Figs. 7-10);
-//! - [`nn`](puma_nn) — layer builders, the Table 5 model zoo, CNN loop
+//! - [`nn`] — layer builders, the Table 5 model zoo, CNN loop
 //!   codegen, the analytic performance model, and the Fig. 13 trainer;
-//! - [`baselines`](puma_baselines) — CPU/GPU/TPU/ISAAC comparison models.
+//! - [`baselines`] — CPU/GPU/TPU/ISAAC comparison models.
 //!
 //! The [`runtime`] module adds the host-side glue for running compiled
 //! models end to end.

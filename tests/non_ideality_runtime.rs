@@ -1,0 +1,116 @@
+//! Runtime-level non-ideality determinism: a degraded (noisy) config
+//! must replay bit-exactly through the batch and serving stacks — across
+//! worker/thread counts and repeated runs — because every perturbation is
+//! keyed by request-relative simulated time, not by host scheduling.
+
+use puma::compiler::graph::Model;
+use puma::runtime::{BatchRequest, BatchRunner, Disposition, ServeRequest, ServeRunner};
+use puma_core::config::{NodeConfig, NonIdealityConfig};
+use puma_testkit::harness::seeded_values;
+
+/// A 2-layer MLP small enough to simulate functionally in milliseconds.
+fn test_model() -> (Model, usize) {
+    let mut m = Model::new("noisy-mlp");
+    let width = 24;
+    let mut weights = puma::nn::WeightFactory::materialized(41);
+    let x = m.input("x", width);
+    let h = puma::nn::layers::dense(
+        &mut m,
+        &mut weights,
+        "fc0",
+        x,
+        32,
+        puma::nn::spec::Activation::Tanh,
+    )
+    .unwrap();
+    let y = puma::nn::layers::dense(
+        &mut m,
+        &mut weights,
+        "fc1",
+        h,
+        10,
+        puma::nn::spec::Activation::None,
+    )
+    .unwrap();
+    m.output("y", y);
+    (m, width)
+}
+
+fn noisy_config() -> NodeConfig {
+    NodeConfig {
+        non_ideality: NonIdealityConfig {
+            read_sigma: 0.1,
+            drift_nu: 0.02,
+            drift_t0_cycles: 50_000,
+            ir_drop_alpha: 0.01,
+            seed: 2019,
+        },
+        ..NodeConfig::default()
+    }
+}
+
+#[test]
+fn noisy_batch_is_deterministic_across_thread_counts() {
+    let (model, width) = test_model();
+    let cfg = noisy_config();
+    let reqs: Vec<BatchRequest> = (0..8)
+        .map(|i| BatchRequest::new(vec![("x".to_string(), seeded_values(width, 300 + i))]))
+        .collect();
+
+    let serial = BatchRunner::functional(&model, &cfg).unwrap().with_threads(1);
+    let parallel = BatchRunner::functional(&model, &cfg).unwrap().with_threads(4);
+    let a = serial.run_batch(&reqs).unwrap();
+    let b = parallel.run_batch(&reqs).unwrap();
+    let c = parallel.run_batch(&reqs).unwrap();
+    assert_eq!(a.ok_count(), reqs.len());
+    assert_eq!(a.stats, b.stats, "aggregate stats must not depend on thread count");
+    assert_eq!(b.stats, c.stats, "repeated noisy batches must replay bit-exactly");
+    for ((ra, rb), rc) in a.results.iter().zip(b.results.iter()).zip(c.results.iter()) {
+        let (ra, rb, rc) = (ra.as_ref().unwrap(), rb.as_ref().unwrap(), rc.as_ref().unwrap());
+        assert_eq!(ra.outputs, rb.outputs, "noisy outputs must not depend on thread count");
+        assert_eq!(ra.stats, rb.stats);
+        assert_eq!(rb.outputs, rc.outputs, "noisy outputs must replay bit-exactly");
+        assert!(ra.stats.degraded_mvm_activations > 0, "requests must take the degraded path");
+        assert_eq!(ra.stats.degraded_mvm_activations, ra.stats.mvmu_activations);
+    }
+}
+
+#[test]
+fn noisy_serving_is_deterministic_across_worker_counts() {
+    let (model, width) = test_model();
+    let cfg = noisy_config();
+    let reqs: Vec<ServeRequest> = (0..6)
+        .map(|i| {
+            ServeRequest::new(i * 1_000, vec![("x".to_string(), seeded_values(width, 500 + i))])
+        })
+        .collect();
+
+    let outputs_of = |workers: usize| {
+        let outcome = ServeRunner::functional(&model, &cfg)
+            .unwrap()
+            .with_workers(workers)
+            .serve(&reqs)
+            .unwrap();
+        assert_eq!(outcome.completed(), reqs.len());
+        outcome
+            .results
+            .into_iter()
+            .map(|r| match r.disposition {
+                Disposition::Completed { result, .. } => result,
+                other => panic!("request did not complete: {other:?}"),
+            })
+            .collect::<Vec<_>>()
+    };
+    let one = outputs_of(1);
+    let many = outputs_of(3);
+    let again = outputs_of(3);
+    for ((a, b), c) in one.iter().zip(many.iter()).zip(again.iter()) {
+        // Noise is keyed request-relative, so a request's outputs cannot
+        // depend on which simulated worker served it or at what global
+        // cycle its segment began.
+        assert_eq!(a.outputs, b.outputs, "noisy outputs must not depend on worker count");
+        assert_eq!(b.outputs, c.outputs, "noisy serving must replay bit-exactly");
+        assert_eq!(a.stats, b.stats, "per-request stats must not depend on worker count");
+        assert!(a.stats.degraded_mvm_activations > 0);
+    }
+}
