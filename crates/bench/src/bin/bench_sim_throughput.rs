@@ -72,6 +72,10 @@ struct EngineRow {
     runs: usize,
     instructions: u64,
     cycles: u64,
+    /// Event-queue pops per run — the scheduler-overhead residue the
+    /// run-ahead and compiled engines exist to avoid. Deterministic
+    /// (simulated, not wall clock), so `compare_bench` gates it.
+    queue_events: u64,
     /// Best (minimum) wall time of a single simulated inference.
     best_seconds: f64,
 }
@@ -84,6 +88,23 @@ impl EngineRow {
             0.0
         }
     }
+
+    fn queue_events_per_instruction(&self) -> f64 {
+        if self.instructions > 0 {
+            self.queue_events as f64 / self.instructions as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One per-worker-footprint measurement: the marginal bytes of mutable
+/// state a pool replica costs (programs, crossbars, and compiled images
+/// are `Arc`-shared and excluded). Deterministic, gated fail-closed.
+struct ReplicaRow {
+    workload: String,
+    nodes: usize,
+    replica_bytes: usize,
 }
 
 struct BatchRow {
@@ -429,6 +450,20 @@ fn bench_multi_tenant(cfg: &NodeConfig, requests: usize) -> Vec<MultiTenantRow> 
     rows
 }
 
+/// Measures the marginal per-worker replica footprint for the serving
+/// workloads (see [`ServeRunner::replica_bytes`]). Deterministic on any
+/// host, so `compare_bench` gates it fail-closed — this is the number
+/// that decides how many pool workers fit on a serving host.
+fn bench_replica_bytes(cfg: &NodeConfig) -> Vec<ReplicaRow> {
+    [("MLP-64-150-150-14", 1usize), ("NMTL3", 1), ("NMTL3", 2)]
+        .iter()
+        .map(|&(name, nodes)| {
+            let runner = build_serve_runner(name, cfg, nodes);
+            ReplicaRow { workload: name.to_string(), nodes, replica_bytes: runner.replica_bytes() }
+        })
+        .collect()
+}
+
 /// Times `runs` repetitions of `body` (after one warm-up), returning the
 /// best single-repetition wall time — robust against scheduler noise.
 fn best_of(runs: usize, mut body: impl FnMut()) -> f64 {
@@ -461,6 +496,7 @@ fn bench_graph_workload(name: &str, cfg: &NodeConfig, runs: usize) -> Vec<Engine
                 runs,
                 instructions: stats.total_instructions(),
                 cycles: stats.cycles,
+                queue_events: session.queue_events(),
                 best_seconds: best,
             }
         })
@@ -494,6 +530,7 @@ fn bench_sync_workload(runs: usize) -> Vec<EngineRow> {
                 runs,
                 instructions: sim.stats().total_instructions(),
                 cycles: sim.stats().cycles,
+                queue_events: sim.queue_events(),
                 best_seconds: best,
             }
         })
@@ -539,6 +576,7 @@ fn bench_cnn_workload(cfg: &NodeConfig, runs: usize) -> Vec<EngineRow> {
                 runs,
                 instructions: sim.stats().total_instructions(),
                 cycles: sim.stats().cycles,
+                queue_events: sim.queue_events(),
                 best_seconds: best,
             }
         })
@@ -729,6 +767,7 @@ fn write_json(
     serving_rows: &[ServingRow],
     tenant_rows: &[MultiTenantRow],
     frontier_rows: &[FrontierRow],
+    replica_rows: &[ReplicaRow],
     speedups: &SpeedupSummary,
 ) {
     let singles: Vec<String> = engine_rows
@@ -737,12 +776,14 @@ fn write_json(
             format!(
                 "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"runs\": {}, \
                  \"instructions_per_run\": {}, \"simulated_cycles\": {}, \
+                 \"queue_events_per_instruction\": {:.4}, \
                  \"best_seconds_per_run\": {:.6}, \"instructions_per_second\": {:.1}}}",
                 json_escape(&r.workload),
                 r.engine,
                 r.runs,
                 r.instructions,
                 r.cycles,
+                r.queue_events_per_instruction(),
                 r.best_seconds,
                 r.instr_per_sec(),
             )
@@ -782,6 +823,17 @@ fn write_json(
             )
         })
         .collect();
+    let replicas: Vec<String> = replica_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"nodes\": {}, \"replica_bytes\": {}}}",
+                json_escape(&r.workload),
+                r.nodes,
+                r.replica_bytes,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"quick\": {},\n  \
          \"run_ahead_speedup_vs_reference_peak\": {:.3},\n  \
@@ -791,7 +843,8 @@ fn write_json(
          \"compiled_speedup_vs_run_ahead_min\": {:.3},\n  \
          \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
          \"sharded\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \
-         \"multi_tenant\": [\n{}\n  ],\n  \"noise_frontier\": [\n{}\n  ]\n}}\n",
+         \"multi_tenant\": [\n{}\n  ],\n  \"noise_frontier\": [\n{}\n  ],\n  \
+         \"replica\": [\n{}\n  ]\n}}\n",
         quick,
         speedups.run_ahead_peak,
         speedups.run_ahead_min,
@@ -804,6 +857,7 @@ fn write_json(
         serving_json_rows(serving_rows).join(",\n"),
         multi_tenant_json_rows(tenant_rows).join(",\n"),
         frontier_json_rows(frontier_rows).join(",\n"),
+        replicas.join(",\n"),
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
@@ -863,6 +917,7 @@ fn main() {
                 r.workload.clone(),
                 r.engine.to_string(),
                 r.instructions.to_string(),
+                format!("{:.4}", r.queue_events_per_instruction()),
                 format!("{:.4}", r.best_seconds),
                 format!("{:.2}M", r.instr_per_sec() / 1e6),
                 fmt_ratio(r.instr_per_sec() / reference.instr_per_sec()),
@@ -871,7 +926,15 @@ fn main() {
     }
     print_table(
         "PUMAsim single-thread throughput (timing mode, best-of runs)",
-        &["Workload", "Engine", "Instrs/run", "Best s/run", "Sim instr/s", "Speedup"],
+        &[
+            "Workload",
+            "Engine",
+            "Instrs/run",
+            "Qevents/instr",
+            "Best s/run",
+            "Sim instr/s",
+            "Speedup",
+        ],
         &table,
     );
 
@@ -1000,6 +1063,23 @@ fn main() {
         &table,
     );
 
+    // Per-worker replica footprint: the serving-axis number the arena
+    // layout shrinks (programs/crossbars/compiled images Arc-shared).
+    let replica_rows = bench_replica_bytes(&cfg);
+    let mut table = Vec::new();
+    for r in &replica_rows {
+        table.push(vec![
+            r.workload.clone(),
+            r.nodes.to_string(),
+            format!("{:.2} MiB", r.replica_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    print_table(
+        "Per-worker replica footprint (mutable state; shared artifacts excluded)",
+        &["Workload", "Nodes", "Replica bytes"],
+        &table,
+    );
+
     write_json(
         &out,
         quick,
@@ -1009,6 +1089,7 @@ fn main() {
         &serving_rows,
         &tenant_rows,
         &frontier_rows,
+        &replica_rows,
         &speedups,
     );
     write_serving_json("BENCH_serving.json", quick, &serving_rows);

@@ -54,13 +54,16 @@ use std::process::ExitCode;
 const DEFAULT_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Gated floor on the compiled engine's worst instruction-bound speedup
-/// vs the reference event loop. The CNN / MLP rows measure well above 3×
-/// on a 1-CPU host (pre-decoded segments skip fetch/decode/operand
-/// resolution and charge whole straight-line runs in O(1)); the floor
-/// sits far enough under that a real segment-builder regression
+/// vs the reference event loop. The CNN / MLP rows measure 4.15–4.5× on
+/// a 1-CPU host, including heavily noise-degraded runs (pre-decoded
+/// segments skip fetch/decode/operand resolution and charge whole
+/// straight-line runs in O(1); the planar attribute planes raised the
+/// ratio further by cheapening the reference-visible memory protocol
+/// less than the compiled hot loop). The floor sits ~15% under the
+/// worst observed ratio, and a real segment-builder regression
 /// (collapse to per-instruction interpretation, ≈ run-ahead's ratio)
 /// still fails hard.
-const DEFAULT_COMPILED_FLOOR: f64 = 2.5;
+const DEFAULT_COMPILED_FLOOR: f64 = 3.5;
 
 /// Gated floor on the compiled engine's worst instruction-bound speedup
 /// vs the run-ahead engine — the check that the pre-decode actually buys
@@ -304,8 +307,26 @@ fn main() -> ExitCode {
         &[
             ("instructions_per_run", Worse::Higher, true),
             ("simulated_cycles", Worse::Higher, true),
+            // Queue pops per executed instruction: the scheduler-overhead
+            // residue. Deterministic (simulated event count over simulated
+            // instruction count), so it gates on any host — a run-ahead or
+            // conflict-group regression shows up here before it shows up
+            // in wall clock.
+            ("queue_events_per_instruction", Worse::Higher, true),
             ("instructions_per_second", Worse::Lower, gate_wall),
         ],
+        false,
+    );
+    // Per-worker replica footprint: deterministic allocation accounting
+    // (arena sizes + accumulators), gated so state-layout regressions
+    // that re-bloat serving workers fail loudly.
+    section_checks(
+        &mut checks,
+        &baseline,
+        &current,
+        "replica",
+        &["workload", "nodes"],
+        &[("replica_bytes", Worse::Higher, true)],
         false,
     );
     section_checks(

@@ -1,0 +1,82 @@
+//! Dumps the compiled engine's ranked hot-segment tables for two bench
+//! workloads — the CI artifact behind the `PUMA_PROFILE=1` hook (same
+//! counters, opted in programmatically so the dump needs no environment
+//! and never perturbs the gated throughput measurements). The top rows
+//! name the segments a future native-closure JIT should specialize
+//! first: the loop-heavy CNN concentrates executions on a few segments,
+//! while the unrolled NMTL3 stream is flat (every segment runs once) —
+//! both shapes are worth seeing in the artifact.
+//!
+//! Usage: `profile_hot_segments [--out FILE] [--top N]`
+
+use puma_bench::{compile_workload, sim_seq_len, TimingSession};
+use puma_compiler::CompilerOptions;
+use puma_core::config::NodeConfig;
+use puma_nn::spec::{Activation, LayerSpec, WorkloadClass, WorkloadSpec};
+use puma_sim::{NodeSim, SimEngine, SimMode};
+use puma_xbar::NoiseModel;
+
+/// The bench's loop-heavy LeNet-class spec (`bench_sim_throughput`):
+/// scalar cursors, branches, indexed addressing — the code shape where
+/// segment execution counts actually rank.
+fn cnn_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "CNN-24x24-k5".to_string(),
+        class: WorkloadClass::Cnn,
+        layers: vec![
+            LayerSpec::Conv { input: 1, output: 2, kernel: 5, stride: 1, height: 24, width: 24 },
+            LayerSpec::Pool { channels: 2, window: 2, height: 20, width: 20 },
+            LayerSpec::Fc { input: 2 * 10 * 10, output: 10, act: Activation::None },
+        ],
+        seq_len: 1,
+    }
+}
+
+/// Truncates a profile table to its header plus the `top` hottest rows.
+fn push_table(report: &mut Vec<String>, name: &str, table: Vec<String>, top: usize) {
+    report.push(format!("== {name} =="));
+    let shown = table.len().min(top + 1); // header + top rows
+    report.extend(table.iter().take(shown).cloned());
+    if table.len() > shown {
+        report.push(format!("  ... {} more segments", table.len() - shown));
+    }
+    report.push(String::new());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+    let out = flag("--out").cloned();
+    let top: usize = flag("--top").map_or(20, |v| v.parse().expect("--top takes a count"));
+
+    let cfg = NodeConfig::default();
+    let mut report = Vec::new();
+
+    let spec = cnn_spec();
+    let cnn = puma_nn::cnn::build_cnn(&spec, &cfg, true, 7).expect("CNN builds");
+    let (c, h, w) = cnn.input_shape;
+    let mut sim = NodeSim::new(cfg, &cnn.image, SimMode::Timing, &NoiseModel::noiseless())
+        .expect("sim builds");
+    sim.set_engine(SimEngine::Compiled);
+    sim.enable_segment_profiling();
+    sim.write_input(&cnn.input_name, &vec![0.0f32; c * h * w]).expect("input");
+    sim.run().expect("profiled CNN run");
+    push_table(&mut report, &spec.name, sim.segment_profile_table(), top);
+
+    let compiled =
+        compile_workload("NMTL3", &cfg, &CompilerOptions::timing_only(), sim_seq_len("NMTL3"))
+            .expect("workload compiles")
+            .expect("workload is graph-compilable");
+    let mut session =
+        TimingSession::new(&compiled, &cfg, SimEngine::Compiled).expect("session builds");
+    session.enable_segment_profiling();
+    session.run().expect("profiled NMTL3 run");
+    push_table(&mut report, "NMTL3", session.segment_profile_table(), top);
+
+    let text = report.join("\n");
+    println!("{text}");
+    if let Some(path) = out {
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

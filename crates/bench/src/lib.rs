@@ -177,6 +177,32 @@ impl TimingSession {
         self.sim.run()?;
         Ok(self.sim.stats())
     }
+
+    /// Event-queue pops of the last [`TimingSession::run`] (see
+    /// [`NodeSim::queue_events`]) — the scheduler-overhead residue the
+    /// bench reports per executed instruction.
+    pub fn queue_events(&self) -> u64 {
+        self.sim.queue_events()
+    }
+
+    /// Approximate per-replica mutable state bytes of the underlying
+    /// simulator (see [`NodeSim::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.sim.state_bytes()
+    }
+
+    /// Opts this session's simulator into per-segment execution counting
+    /// (see [`NodeSim::enable_segment_profiling`]) — the programmatic
+    /// equivalent of `PUMA_PROFILE=1`, used by `profile_hot_segments`.
+    pub fn enable_segment_profiling(&mut self) {
+        self.sim.enable_segment_profiling();
+    }
+
+    /// The ranked hot-segment table of the last profiled run (see
+    /// [`NodeSim::segment_profile_table`]).
+    pub fn segment_profile_table(&self) -> Vec<String> {
+        self.sim.segment_profile_table()
+    }
 }
 
 /// A reusable timing-mode session over a *sharded* compiled model: the
@@ -231,6 +257,18 @@ impl ClusterTimingSession {
         }
         self.sim.run()?;
         Ok(self.sim.stats())
+    }
+
+    /// Event-queue pops of the last run, summed over nodes (see
+    /// [`ClusterSim::queue_events`]).
+    pub fn queue_events(&self) -> u64 {
+        self.sim.queue_events()
+    }
+
+    /// Approximate per-replica mutable state bytes, summed over nodes
+    /// (see [`ClusterSim::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.sim.state_bytes()
     }
 }
 

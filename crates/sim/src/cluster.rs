@@ -171,6 +171,33 @@ impl ClusterSim {
         }
     }
 
+    /// Clones the cluster into a fresh worker replica: every node is
+    /// [`NodeSim::fork_replica`]-forked (programs, programmed
+    /// crossbars, and compiled images `Arc`-shared; state arenas
+    /// fresh), with empty in-flight interconnect traffic.
+    #[must_use]
+    pub fn fork_replica(&self) -> ClusterSim {
+        ClusterSim {
+            nodes: self.nodes.iter().map(NodeSim::fork_replica).collect(),
+            interconnect: self.interconnect,
+            in_flight: BinaryHeap::new(),
+            flight_seq: 0,
+            stats: RunStats::new(),
+        }
+    }
+
+    /// Approximate bytes of per-replica mutable state, summed over
+    /// nodes (see [`NodeSim::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.nodes.iter().map(NodeSim::state_bytes).sum()
+    }
+
+    /// Event-queue pops since the last reset, summed over nodes (see
+    /// [`NodeSim::queue_events`]).
+    pub fn queue_events(&self) -> u64 {
+        self.nodes.iter().map(NodeSim::queue_events).sum()
+    }
+
     /// Overrides the runaway-simulation safety cap on every node.
     pub fn set_max_cycles(&mut self, max_cycles: u64) {
         for node in &mut self.nodes {

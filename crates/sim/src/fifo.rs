@@ -5,57 +5,270 @@
 //! virtualizes FIFO ids (different senders may share a FIFO in different
 //! program phases), so the buffer itself only enforces capacity and
 //! ordering.
+//!
+//! Storage is arena-packed: [`FifoArena`] holds every tile's FIFO rings
+//! in one contiguous slab of fixed-capacity packet slots (tile-major,
+//! then fifo, then ring position), plus the per-(tile, fifo) pending
+//! in-flight queues that used to live in a hash map on the scheduler.
+//! Delivering a packet is then two flat index computations instead of a
+//! hash lookup plus a per-tile heap hop. [`ReceiveBuffer`] remains as
+//! the single-tile view (the unit-test surface) and is a one-tile arena.
 
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
 use std::collections::VecDeque;
 
 /// One in-flight message: the payload written by a `send` instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Packet {
     /// Payload words.
     pub words: Vec<Fixed>,
 }
 
-/// The receive buffer of one tile.
+/// Ring cursor of one FIFO inside the arena slab.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ring {
+    head: u32,
+    len: u32,
+}
+
+/// All tiles' receive buffers packed into one slab of packet slots,
+/// together with the per-(tile, fifo) pending-delivery queues (packets
+/// that arrived while the ring was full and wait for backpressure to
+/// clear).
+///
+/// Capacity semantics, ordering, generations, and error messages are
+/// identical to the historical per-tile [`ReceiveBuffer`]; only the
+/// storage layout changed. Every operation takes the tile index first.
+#[derive(Debug, Clone)]
+pub struct FifoArena {
+    /// `tiles * fifos * depth` packet slots; a popped slot is left as an
+    /// empty packet whose buffer is reused by later pushes.
+    slots: Vec<Packet>,
+    /// `tiles * fifos` ring cursors.
+    rings: Vec<Ring>,
+    /// `tiles * fifos` pending in-flight queues (scheduler-side).
+    pending: Vec<VecDeque<Packet>>,
+    fifos: usize,
+    depth: usize,
+    /// Per-tile monotonic change counters.
+    generations: Vec<u64>,
+}
+
+impl FifoArena {
+    /// Creates `tiles` regions of `fifos` FIFOs with `depth` entries each.
+    pub fn new(tiles: usize, fifos: usize, depth: usize) -> Self {
+        FifoArena {
+            slots: vec![Packet::default(); tiles * fifos * depth],
+            rings: vec![Ring::default(); tiles * fifos],
+            pending: vec![VecDeque::new(); tiles * fifos],
+            fifos,
+            depth,
+            generations: vec![0; tiles],
+        }
+    }
+
+    /// Number of FIFOs per tile.
+    pub fn fifo_count(&self) -> usize {
+        self.fifos
+    }
+
+    /// Approximate heap footprint in bytes: the slab, cursors, queued
+    /// payload words, and pending queues (per-replica mutable state).
+    pub fn state_bytes(&self) -> usize {
+        let payload: usize = self
+            .slots
+            .iter()
+            .map(|p| p.words.capacity() * std::mem::size_of::<Fixed>())
+            .sum::<usize>()
+            + self
+                .pending
+                .iter()
+                .flat_map(|q| q.iter())
+                .map(|p| p.words.capacity() * std::mem::size_of::<Fixed>())
+                .sum::<usize>();
+        self.slots.len() * std::mem::size_of::<Packet>()
+            + self.rings.len() * std::mem::size_of::<Ring>()
+            + self.pending.len() * std::mem::size_of::<VecDeque<Packet>>()
+            + self.generations.len() * std::mem::size_of::<u64>()
+            + payload
+    }
+
+    /// Drops all queued and pending packets of one tile in place —
+    /// identical observable post-state to a fresh region. Popped slot
+    /// buffers are retained for reuse.
+    pub fn reset_tile(&mut self, tile: usize) {
+        let base = tile * self.fifos;
+        for ring in &mut self.rings[base..base + self.fifos] {
+            *ring = Ring::default();
+        }
+        for q in &mut self.pending[base..base + self.fifos] {
+            q.clear();
+        }
+        self.generations[tile] = 0;
+    }
+
+    /// Monotonic change counter for one tile.
+    pub fn generation(&self, tile: usize) -> u64 {
+        self.generations[tile]
+    }
+
+    fn check_fifo(&self, fifo: u8) -> Result<usize> {
+        let f = fifo as usize;
+        if f >= self.fifos {
+            return Err(PumaError::Execution {
+                what: format!("fifo {fifo} out of range ({} fifos)", self.fifos),
+            });
+        }
+        Ok(f)
+    }
+
+    fn slot_index(&self, tile: usize, fifo: usize, pos: u32) -> usize {
+        (tile * self.fifos + fifo) * self.depth + pos as usize % self.depth
+    }
+
+    /// True if the FIFO has no free entry (network backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn is_full(&self, tile: usize, fifo: u8) -> Result<bool> {
+        let f = self.check_fifo(fifo)?;
+        Ok(self.rings[tile * self.fifos + f].len as usize >= self.depth)
+    }
+
+    /// Attempts to deliver a packet; hands the packet back (ring
+    /// untouched) if the FIFO is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn try_push(&mut self, tile: usize, fifo: u8, packet: Packet) -> Result<Option<Packet>> {
+        let f = self.check_fifo(fifo)?;
+        let ring = self.rings[tile * self.fifos + f];
+        if ring.len as usize >= self.depth {
+            return Ok(Some(packet));
+        }
+        let idx = self.slot_index(tile, f, ring.head + ring.len);
+        self.slots[idx] = packet;
+        self.rings[tile * self.fifos + f].len += 1;
+        self.generations[tile] += 1;
+        Ok(None)
+    }
+
+    /// Pops the oldest packet, or `None` if the FIFO is empty (the receive
+    /// instruction blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn pop(&mut self, tile: usize, fifo: u8) -> Result<Option<Packet>> {
+        let f = self.check_fifo(fifo)?;
+        let ring = self.rings[tile * self.fifos + f];
+        if ring.len == 0 {
+            return Ok(None);
+        }
+        let idx = self.slot_index(tile, f, ring.head);
+        let packet = std::mem::take(&mut self.slots[idx]);
+        let r = &mut self.rings[tile * self.fifos + f];
+        r.head = (r.head + 1) % self.depth as u32;
+        r.len -= 1;
+        self.generations[tile] += 1;
+        Ok(Some(packet))
+    }
+
+    /// Peeks at the oldest packet without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
+    pub fn front(&self, tile: usize, fifo: u8) -> Result<Option<&Packet>> {
+        let f = self.check_fifo(fifo)?;
+        let ring = self.rings[tile * self.fifos + f];
+        if ring.len == 0 {
+            return Ok(None);
+        }
+        Ok(Some(&self.slots[self.slot_index(tile, f, ring.head)]))
+    }
+
+    /// Total queued packets across one tile's FIFO rings (pending
+    /// in-flight packets not included).
+    pub fn queued_packets(&self, tile: usize) -> usize {
+        let base = tile * self.fifos;
+        self.rings[base..base + self.fifos].iter().map(|r| r.len as usize).sum()
+    }
+
+    /// Appends an in-flight packet to the pending queue of `(tile,
+    /// fifo)` — the scheduler-side staging area drained into the ring by
+    /// [`FifoArena::deliver_pending`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] for an out-of-range FIFO id (the
+    /// same fault a full-queue delivery into that FIFO would raise).
+    pub fn pending_push(&mut self, tile: usize, fifo: u8, packet: Packet) -> Result<()> {
+        let f = self.check_fifo(fifo)?;
+        self.pending[tile * self.fifos + f].push_back(packet);
+        Ok(())
+    }
+
+    /// Moves packets from the pending queue of `(tile, fifo)` into the
+    /// ring, in order, while ring space lasts. Returns how many packets
+    /// were delivered.
+    pub fn deliver_pending(&mut self, tile: usize, fifo: u8) -> usize {
+        let Ok(f) = self.check_fifo(fifo) else { return 0 };
+        let base = tile * self.fifos + f;
+        let mut delivered = 0;
+        while self.rings[base].len < self.depth as u32 {
+            let Some(packet) = self.pending[base].pop_front() else { break };
+            let ring = self.rings[base];
+            let idx = self.slot_index(tile, f, ring.head + ring.len);
+            self.slots[idx] = packet;
+            self.rings[base].len += 1;
+            self.generations[tile] += 1;
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// True if `(tile, fifo)` has in-flight packets waiting for ring
+    /// space.
+    pub fn has_pending(&self, tile: usize, fifo: u8) -> bool {
+        self.check_fifo(fifo)
+            .map(|f| !self.pending[tile * self.fifos + f].is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// The receive buffer of one tile: a single-tile view over a one-tile
+/// [`FifoArena`] — the historical standalone type, kept as the
+/// unit-test surface.
 #[derive(Debug, Clone)]
 pub struct ReceiveBuffer {
-    fifos: Vec<VecDeque<Packet>>,
-    depth: usize,
-    generation: u64,
+    arena: FifoArena,
 }
 
 impl ReceiveBuffer {
     /// Creates `fifos` FIFOs of `depth` entries each.
     pub fn new(fifos: usize, depth: usize) -> Self {
-        ReceiveBuffer { fifos: (0..fifos).map(|_| VecDeque::new()).collect(), depth, generation: 0 }
+        ReceiveBuffer { arena: FifoArena::new(1, fifos, depth) }
     }
 
     /// Number of FIFOs.
     pub fn fifo_count(&self) -> usize {
-        self.fifos.len()
+        self.arena.fifo_count()
     }
 
     /// Drops all queued packets in place — identical post-state to a
     /// fresh [`ReceiveBuffer::new`] of the same shape, without
     /// re-allocating the FIFO ring storage.
     pub fn reset(&mut self) {
-        for q in &mut self.fifos {
-            q.clear();
-        }
-        self.generation = 0;
+        self.arena.reset_tile(0);
     }
 
     /// Monotonic change counter.
     pub fn generation(&self) -> u64 {
-        self.generation
-    }
-
-    fn fifo_mut(&mut self, fifo: u8) -> Result<&mut VecDeque<Packet>> {
-        let n = self.fifos.len();
-        self.fifos.get_mut(fifo as usize).ok_or_else(|| PumaError::Execution {
-            what: format!("fifo {fifo} out of range ({n} fifos)"),
-        })
+        self.arena.generation(0)
     }
 
     /// True if the FIFO has no free entry (network backpressure).
@@ -64,25 +277,17 @@ impl ReceiveBuffer {
     ///
     /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
     pub fn is_full(&self, fifo: u8) -> Result<bool> {
-        let q = self.fifos.get(fifo as usize).ok_or_else(|| PumaError::Execution {
-            what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
-        })?;
-        Ok(q.len() >= self.depth)
+        self.arena.is_full(0, fifo)
     }
 
-    /// Attempts to deliver a packet; returns false (packet untouched) if the
+    /// Attempts to deliver a packet; returns false (packet dropped) if the
     /// FIFO is full.
     ///
     /// # Errors
     ///
     /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
     pub fn try_push(&mut self, fifo: u8, packet: Packet) -> Result<bool> {
-        if self.is_full(fifo)? {
-            return Ok(false);
-        }
-        self.fifo_mut(fifo)?.push_back(packet);
-        self.generation += 1;
-        Ok(true)
+        Ok(self.arena.try_push(0, fifo, packet)?.is_none())
     }
 
     /// Pops the oldest packet, or `None` if the FIFO is empty (the receive
@@ -92,11 +297,7 @@ impl ReceiveBuffer {
     ///
     /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
     pub fn pop(&mut self, fifo: u8) -> Result<Option<Packet>> {
-        let popped = self.fifo_mut(fifo)?.pop_front();
-        if popped.is_some() {
-            self.generation += 1;
-        }
-        Ok(popped)
+        self.arena.pop(0, fifo)
     }
 
     /// Peeks at the oldest packet without consuming it.
@@ -105,14 +306,12 @@ impl ReceiveBuffer {
     ///
     /// Returns [`PumaError::Execution`] for an out-of-range FIFO id.
     pub fn front(&self, fifo: u8) -> Result<Option<&Packet>> {
-        self.fifos.get(fifo as usize).map(|q| q.front()).ok_or_else(|| PumaError::Execution {
-            what: format!("fifo {fifo} out of range ({} fifos)", self.fifos.len()),
-        })
+        self.arena.front(0, fifo)
     }
 
     /// Total queued packets across all FIFOs.
     pub fn queued_packets(&self) -> usize {
-        self.fifos.iter().map(|q| q.len()).sum()
+        self.arena.queued_packets(0)
     }
 }
 
@@ -183,5 +382,53 @@ mod tests {
         rb.try_push(2, packet(2)).unwrap();
         assert_eq!(rb.queued_packets(), 2);
         assert_eq!(rb.front(0).unwrap().unwrap(), &packet(1));
+    }
+
+    #[test]
+    fn ring_wraps_past_capacity_many_times() {
+        let mut rb = ReceiveBuffer::new(1, 3);
+        // Push/pop well past one lap of the ring; order must hold.
+        let mut next_in = 0i16;
+        let mut next_out = 0i16;
+        for _ in 0..2 {
+            while rb.try_push(0, packet(next_in)).unwrap() {
+                next_in += 1;
+            }
+            for _ in 0..2 {
+                assert_eq!(rb.pop(0).unwrap().unwrap(), packet(next_out));
+                next_out += 1;
+            }
+        }
+        while let Some(p) = rb.pop(0).unwrap() {
+            assert_eq!(p, packet(next_out));
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn arena_pending_drains_in_order_under_backpressure() {
+        let mut a = FifoArena::new(2, 2, 1);
+        a.pending_push(1, 0, packet(7)).unwrap();
+        a.pending_push(1, 0, packet(8)).unwrap();
+        assert!(a.has_pending(1, 0));
+        // Ring depth 1: only the first packet fits.
+        assert_eq!(a.deliver_pending(1, 0), 1);
+        assert_eq!(a.front(1, 0).unwrap().unwrap(), &packet(7));
+        assert!(a.has_pending(1, 0));
+        // Other tiles are untouched.
+        assert_eq!(a.queued_packets(0), 0);
+        // Popping frees the slot; the second packet drains.
+        assert_eq!(a.pop(1, 0).unwrap().unwrap(), packet(7));
+        assert_eq!(a.deliver_pending(1, 0), 1);
+        assert_eq!(a.pop(1, 0).unwrap().unwrap(), packet(8));
+        assert!(!a.has_pending(1, 0));
+    }
+
+    #[test]
+    fn arena_out_of_range_pending_push_is_error() {
+        let mut a = FifoArena::new(1, 4, 2);
+        let err = a.pending_push(0, 9, packet(0)).unwrap_err();
+        assert!(format!("{err}").contains("fifo 9 out of range (4 fifos)"), "{err}");
     }
 }

@@ -59,6 +59,36 @@
 //! zero-latency message path) must preserve this invariant or widen the
 //! checks in `NodeSim::tile_clear_until`.
 //!
+//! # Word-range horizons: the conflict-group refinement
+//!
+//! Fact 1's per-tile check is tile-granular, which serializes same-tile
+//! agents even when their synchronization footprints cannot interact —
+//! the dominant queue-event residue on sync-dense recurrent workloads.
+//! The simulator therefore derives, at construction (and again on
+//! `NodeSim::join_cluster` — node identity decides which sends are
+//! local), each agent's *static footprint*: the attribute-buffer word
+//! ranges its loads/stores/sends/receives can touch (direct addressing
+//! only — one indexed access makes the footprint unbounded) and the
+//! receive FIFOs it reads, with a same-tile send contributing its target
+//! FIFO to the *sender's* footprint (the delivery it schedules is not
+//! yet queued when a receiver's horizon is checked, so the sender's own
+//! queued event must cover it). Agents whose footprints overlap —
+//! transitively, so a third agent bridging two others merges all three —
+//! share a *conflict group*; an unbounded footprint collapses the tile
+//! to one group. Every queued event carries its group (an agent event
+//! its agent's, a delivery its target FIFO's receiver group), and the
+//! per-tile term of the horizon check relaxes to the *running agent's
+//! group*: queued events of other groups touch provably disjoint words
+//! and FIFOs, so executing below their times is indistinguishable from
+//! the reference order. Wakes can never cross groups (a transition only
+//! wakes waiters on the very words/FIFOs it touched), so FIFO park order
+//! within a group — the fairness contract — is unaffected; only the
+//! interleaving of *unrelated* groups may differ between engines, which
+//! is why [`NodeSim::blocked_summary`] reports in agent order rather
+//! than park order. The cross-tile and external terms stay tile-granular
+//! (a remote sender's program, not this tile's footprints, decides where
+//! its packets land).
+//!
 //! # Compiled segments: the segment-boundary safety invariant
 //!
 //! The [`SimEngine::Compiled`] engine shares this scheduler verbatim
@@ -87,10 +117,10 @@ use crate::equeue::{
     agent_priority, BucketQueue, DeliverEvent, Event, EventKind, PRIO_DELIVER, PRIO_SHIFT,
     PRIO_WAKE,
 };
-use crate::fifo::{Packet, ReceiveBuffer};
+use crate::fifo::{FifoArena, Packet};
 use crate::lut::RomLut;
-use crate::memory::{MemOutcome, SharedMemory};
-use crate::regfile::CoreRegisters;
+use crate::memory::{MemArena, MemOutcome};
+use crate::regfile::RegArena;
 use crate::stats::{EnergyComponent, EnergyStats, RunStats};
 use puma_core::config::NodeConfig;
 use puma_core::error::{PumaError, Result};
@@ -181,23 +211,31 @@ impl AgentId {
     }
 }
 
+/// One core's control state. The register file itself lives in the
+/// node-level [`RegArena`] at the precomputed `reg_slot`; programmed
+/// crossbars are `Arc`-shared across replicas (immutable after
+/// configuration, §3.2.5), so this struct holds only what is mutable
+/// per run.
 #[derive(Debug)]
 struct CoreState {
     pc: u32,
-    regs: CoreRegisters,
-    mvmus: Vec<Option<AnalogMvmu>>,
-    program: Program,
+    /// This core's register-file slot in the node's [`RegArena`].
+    reg_slot: u32,
+    mvmus: Vec<Option<Arc<AnalogMvmu>>>,
+    program: Arc<Program>,
     halted: bool,
     rng: u32,
 }
 
+/// One tile's control state. The attribute-buffer shared memory and the
+/// receive FIFOs live in the node-level [`MemArena`] and [`FifoArena`]
+/// at this tile's index (see the arena-layout invariant in
+/// docs/ARCHITECTURE.md).
 #[derive(Debug)]
 struct TileState {
-    memory: SharedMemory,
-    rbuf: ReceiveBuffer,
     cores: Vec<CoreState>,
     tile_pc: u32,
-    tile_program: Program,
+    tile_program: Arc<Program>,
     tile_halted: bool,
     /// Agents parked on a synchronization condition, indexed for O(1)
     /// condition-matched wake-up with deterministic FIFO park order.
@@ -375,6 +413,21 @@ pub struct NodeSim {
     mode: SimMode,
     engine: SimEngine,
     tiles: Vec<TileState>,
+    /// All tiles' attribute-buffer shared memories, packed into one
+    /// node-level arena (one data plane + one attribute plane,
+    /// tile-indexed slots). Event dispatch on NMTL3-class fabrics
+    /// (hundreds of tiles) was cache-miss-bound when every tile owned
+    /// scattered heap blocks; see the arena-layout invariant in
+    /// docs/ARCHITECTURE.md.
+    mem: MemArena,
+    /// All cores' register files (XbarIn / XbarOut / general banks) in
+    /// one node-level slab; each [`CoreState`] holds its precomputed
+    /// slot index.
+    regs: RegArena,
+    /// All tiles' receive FIFO rings *and* their per-channel
+    /// backpressure queues (formerly a per-(tile, fifo) `HashMap`) in
+    /// one arena.
+    fifos: FifoArena,
     lut: RomLut,
     stats: RunStats,
     /// Energy accumulators, one per agent (per tile: cores, then the tile
@@ -395,9 +448,6 @@ pub struct NodeSim {
     outputs: Vec<puma_isa::IoBinding>,
     max_cycles: u64,
     seq: u64,
-    /// Packets that arrived at a full FIFO, queued per (tile, fifo) so the
-    /// network preserves per-channel ordering under backpressure.
-    pending_delivery: std::collections::HashMap<(u32, u8), std::collections::VecDeque<Packet>>,
     /// Transitions recorded by the currently executing instruction (or
     /// packet delivery), consumed by [`NodeSim::apply_wakes`].
     changes: Vec<TileChange>,
@@ -416,17 +466,27 @@ pub struct NodeSim {
     /// loop) so a cluster scheduler can interleave events across nodes
     /// via [`NodeSim::step_one`].
     queue: BucketQueue,
-    /// Per-tile next-event index: for each tile, the (unordered) times of
-    /// the queued events targeting it, maintained incrementally on every
-    /// push and pop — external deliveries included — while the run-ahead
-    /// engine is active. Its minimum is the tile's direct event horizon
-    /// (see the module docs); a flat list beats a search tree here
-    /// because a tile rarely has more than its agent count in flight.
-    tile_next: Vec<Vec<u64>>,
-    /// Cached minimum of each `tile_next` entry (`u64::MAX` when empty),
-    /// so the hot-path horizon checks are O(1); recomputed from the flat
-    /// list only when the minimum itself is popped.
+    /// Per-tile next-event index: for each tile, the (unordered)
+    /// `(time, conflict group)` pairs of the queued events targeting it,
+    /// maintained incrementally on every push and pop — external
+    /// deliveries included — while the run-ahead engine is active. Its
+    /// time-minimum is the tile's direct event horizon (see the module
+    /// docs); a flat list beats a search tree here because a tile rarely
+    /// has more than its agent count in flight.
+    tile_next: Vec<Vec<(u64, u16)>>,
+    /// Cached minimum time of each `tile_next` entry (`u64::MAX` when
+    /// empty), so the hot-path horizon checks are O(1); recomputed from
+    /// the flat list only when the minimum itself is popped.
     tile_min: Vec<u64>,
+    /// The word-range refinement of `tile_min`: per tile, the minimum
+    /// queued event time of each conflict group (the extra last slot is
+    /// the inert group of deliveries into FIFOs no local agent receives
+    /// from — unobservable locally, but still counted in `tile_min` for
+    /// the tile-granular cross-tile terms). See the module docs.
+    group_min: Vec<Vec<u64>>,
+    /// Per-tile static conflict groups over agent synchronization
+    /// footprints, recomputed on [`NodeSim::join_cluster`].
+    groups: Vec<TileGroups>,
     /// Cached minimum resume time of `continuations` (`u64::MAX` when
     /// empty). All continuations within one step target one tile, so a
     /// single value serves the in-segment horizon check.
@@ -487,6 +547,195 @@ pub struct NodeSim {
     /// through the untouched exact path — the disabled-config
     /// bit-identity contract of the differential suites.
     non_ideal_mvm: bool,
+    /// Event-queue pops processed since the last [`NodeSim::reset`] —
+    /// the scheduler-overhead counterpart of the dynamic instruction
+    /// count. Not part of [`RunStats`]: engines deliberately differ
+    /// here, and `RunStats` equality is the cross-engine contract.
+    queue_events: u64,
+    /// Compiled-segment execution counters, populated when
+    /// `PUMA_PROFILE=1` (or [`NodeSim::enable_segment_profiling`]).
+    /// Boxed so the disabled case costs one null check in the hot loop.
+    profile: Option<Box<SegmentProfile>>,
+}
+
+/// Per-segment execution counters for the compiled engine: how many
+/// times each pure-charge segment (keyed by tile, core — `u32::MAX` for
+/// the tile control unit — and segment start pc) was bulk-executed.
+/// Enabled by `PUMA_PROFILE=1` (checked once per process); dumped as a
+/// ranked hot-segment table to stderr when the simulator drops. This is
+/// the measurement rung for a future native-closure JIT: the table names
+/// the segments worth compiling further.
+#[derive(Debug, Default)]
+struct SegmentProfile {
+    counts: std::collections::HashMap<(u32, u32, u32), u64>,
+}
+
+/// Whether `PUMA_PROFILE=1` was set when first consulted (cached
+/// process-wide; the simulator reads it once per construction).
+fn segment_profiling() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("PUMA_PROFILE").is_some_and(|v| v == "1"))
+}
+
+impl Drop for NodeSim {
+    fn drop(&mut self) {
+        if let Some(profile) = &self.profile {
+            if !profile.counts.is_empty() {
+                for line in self.segment_profile_table() {
+                    eprintln!("{line}");
+                }
+            }
+        }
+    }
+}
+
+/// The static conflict groups of one tile (module docs, word-range
+/// horizons): for every agent and every receive FIFO, the group its
+/// queued events are indexed under.
+#[derive(Debug, Clone)]
+struct TileGroups {
+    /// Group of each agent: cores in index order, then the tile control
+    /// unit.
+    agent: Vec<u16>,
+    /// Group of each receive FIFO id — the group of the agent that
+    /// receives from it (unique: shared FIFOs merge their receivers).
+    /// FIFOs no local agent receives from map to the inert group
+    /// `count`: their deliveries are unobservable by any local agent.
+    fifo: Vec<u16>,
+    /// Number of real (agent-owned) groups.
+    count: u16,
+}
+
+impl TileGroups {
+    fn agent_group(&self, agent: AgentId) -> u16 {
+        if agent.is_tile_ctl() {
+            *self.agent.last().expect("every tile has a control unit")
+        } else {
+            self.agent[agent.core as usize]
+        }
+    }
+
+    /// A fifo id past the configured range maps to the inert group; the
+    /// delivery event faults with the canonical out-of-range message
+    /// when it executes.
+    fn fifo_group(&self, fifo: u8) -> u16 {
+        self.fifo.get(fifo as usize).copied().unwrap_or(self.count)
+    }
+}
+
+/// One agent's static synchronization footprint: the attribute-buffer
+/// word ranges and the receive FIFOs its program can touch. One indexed
+/// (register-offset) access makes the footprint unbounded — it overlaps
+/// everything on the tile.
+#[derive(Debug, Default)]
+struct Footprint {
+    /// Half-open `[start, end)` word ranges.
+    ranges: Vec<(u32, u32)>,
+    fifos: Vec<u8>,
+    unbounded: bool,
+}
+
+impl Footprint {
+    fn add_range(&mut self, addr: MemAddr, width: u16) {
+        match addr.index {
+            Some(_) => self.unbounded = true,
+            None => self.ranges.push((addr.base, addr.base.saturating_add(width as u32))),
+        }
+    }
+
+    fn overlaps(&self, other: &Footprint) -> bool {
+        if self.unbounded || other.unbounded {
+            return true;
+        }
+        self.ranges.iter().any(|&(s0, e0)| other.ranges.iter().any(|&(s1, e1)| s0 < e1 && s1 < e0))
+            || self.fifos.iter().any(|f| other.fifos.contains(f))
+    }
+}
+
+fn uf_root(parent: &[u16], mut i: usize) -> usize {
+    while parent[i] as usize != i {
+        i = parent[i] as usize;
+    }
+    i
+}
+
+/// Derives every tile's conflict groups from the loaded programs: the
+/// connected components of the footprint-overlap relation over the
+/// tile's agents (transitive — pairwise disjointness alone is unsound
+/// when a third agent bridges two others). `node_id` decides which sends
+/// are same-tile NoC traffic (a same-tile send joins its target FIFO to
+/// the sender's footprint; see the module docs for why).
+fn conflict_groups(tiles: &[TileState], fifo_count: usize, node_id: u16) -> Vec<TileGroups> {
+    tiles
+        .iter()
+        .enumerate()
+        .map(|(t, tile)| {
+            let n = tile.cores.len() + 1;
+            let mut fps: Vec<Footprint> = (0..n).map(|_| Footprint::default()).collect();
+            for (c, core) in tile.cores.iter().enumerate() {
+                for instr in &core.program.instructions {
+                    match *instr {
+                        Instruction::Load { addr, width, .. }
+                        | Instruction::Store { addr, width, .. } => fps[c].add_range(addr, width),
+                        _ => {}
+                    }
+                }
+            }
+            let ctl = n - 1;
+            for instr in &tile.tile_program.instructions {
+                match *instr {
+                    Instruction::Send { addr, fifo, target, node, width } => {
+                        fps[ctl].add_range(addr, width);
+                        if node == node_id && target as usize == t {
+                            fps[ctl].fifos.push(fifo);
+                        }
+                    }
+                    Instruction::Receive { addr, fifo, width, .. } => {
+                        fps[ctl].add_range(addr, width);
+                        fps[ctl].fifos.push(fifo);
+                    }
+                    _ => {}
+                }
+            }
+            if fps.iter().any(|f| f.unbounded) {
+                // One unbounded footprint overlaps every agent: the tile
+                // collapses to a single group (tile-granular horizons,
+                // exactly the pre-refinement behaviour).
+                return TileGroups { agent: vec![0; n], fifo: vec![0; fifo_count], count: 1 };
+            }
+            let mut parent: Vec<u16> = (0..n as u16).collect();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if fps[i].overlaps(&fps[j]) {
+                        let (ri, rj) = (uf_root(&parent, i), uf_root(&parent, j));
+                        if ri != rj {
+                            parent[rj] = ri as u16;
+                        }
+                    }
+                }
+            }
+            let mut ids = vec![u16::MAX; n];
+            let mut count = 0u16;
+            let mut agent = vec![0u16; n];
+            for (i, a) in agent.iter_mut().enumerate() {
+                let r = uf_root(&parent, i);
+                if ids[r] == u16::MAX {
+                    ids[r] = count;
+                    count += 1;
+                }
+                *a = ids[r];
+            }
+            let fifo = (0..fifo_count)
+                .map(|f| match u8::try_from(f) {
+                    Ok(f8) => {
+                        fps.iter().position(|fp| fp.fifos.contains(&f8)).map_or(count, |i| agent[i])
+                    }
+                    Err(_) => count,
+                })
+                .collect();
+            TileGroups { agent, fifo, count }
+        })
+        .collect()
 }
 
 impl NodeSim {
@@ -517,6 +766,7 @@ impl NodeSim {
             });
         }
         let mut tiles = Vec::with_capacity(image.tiles.len());
+        let mut reg_slots = 0usize;
         for tile_img in &image.tiles {
             if tile_img.cores.len() > cfg.tile.cores_per_tile {
                 return Err(PumaError::ResourceExhausted {
@@ -541,7 +791,7 @@ impl NodeSim {
                             Some(weights) => {
                                 let mut unit = AnalogMvmu::new(cfg.tile.core.mvmu)?;
                                 unit.program(weights, noise)?;
-                                mvmus.push(Some(unit));
+                                mvmus.push(Some(Arc::new(unit)));
                             }
                             None => mvmus.push(None),
                         }
@@ -551,19 +801,18 @@ impl NodeSim {
                 }
                 cores.push(CoreState {
                     pc: 0,
-                    regs: CoreRegisters::new(&cfg.tile.core),
+                    reg_slot: reg_slots as u32,
                     mvmus,
-                    program: core_img.program.clone(),
+                    program: Arc::new(core_img.program.clone()),
                     halted: core_img.program.is_empty(),
                     rng: 0x1234_5678 ^ (ci as u32 + 1),
                 });
+                reg_slots += 1;
             }
             tiles.push(TileState {
-                memory: SharedMemory::new(cfg.tile.shared_memory_words()),
-                rbuf: ReceiveBuffer::new(cfg.tile.receive_fifos, cfg.tile.receive_fifo_depth),
                 tile_halted: tile_img.program.is_empty(),
                 tile_pc: 0,
-                tile_program: tile_img.program.clone(),
+                tile_program: Arc::new(tile_img.program.clone()),
                 cores,
                 parked: ParkedSet::default(),
             });
@@ -577,11 +826,17 @@ impl NodeSim {
         let timing = TimingModel::new(cfg);
         let tile_count = tiles.len();
         let (senders_to, min_direct, min_indirect) = send_graph(&timing, &tiles, 0);
+        let groups = conflict_groups(&tiles, cfg.tile.receive_fifos, 0);
+        let group_min: Vec<Vec<u64>> =
+            groups.iter().map(|g| vec![u64::MAX; g.count as usize + 1]).collect();
         Ok(NodeSim {
             fd_energy_nj: timing.fetch_decode_energy_nj(),
             senders_to,
             min_direct,
             min_indirect,
+            mem: MemArena::new(tile_count, cfg.tile.shared_memory_words()),
+            regs: RegArena::new(reg_slots, &cfg.tile.core),
+            fifos: FifoArena::new(tile_count, cfg.tile.receive_fifos, cfg.tile.receive_fifo_depth),
             timing,
             cfg,
             mode,
@@ -597,13 +852,14 @@ impl NodeSim {
             outputs: image.outputs.clone(),
             max_cycles: DEFAULT_MAX_CYCLES,
             seq: 0,
-            pending_delivery: std::collections::HashMap::new(),
             changes: Vec::new(),
             wake_scratch: Vec::new(),
             continuations: Vec::new(),
             queue: BucketQueue::new(),
             tile_next: vec![Vec::new(); tile_count],
             tile_min: vec![u64::MAX; tile_count],
+            group_min,
+            groups,
             cont_min: u64::MAX,
             last_time: 0,
             node_id: 0,
@@ -616,7 +872,167 @@ impl NodeSim {
             run_base: 0,
             non_ideal_mvm: mode == SimMode::Functional
                 && (!cfg.non_ideality.is_ideal() || cfg.tile.core.mvmu.adc_bits_override.is_some()),
+            queue_events: 0,
+            profile: if segment_profiling() { Some(Box::default()) } else { None },
         })
+    }
+
+    /// A fresh replica of this simulator for a worker pool: every
+    /// immutable artifact — programs, programmed crossbars, the compiled
+    /// micro-op image, the resident registry — is `Arc`-shared with the
+    /// original, and only the mutable state arenas are allocated anew.
+    /// Equivalent to rebuilding from the machine image (the replica
+    /// starts reset), minus the image decode and crossbar programming
+    /// cost, and at a fraction of the per-replica memory footprint (see
+    /// [`NodeSim::state_bytes`]).
+    pub fn fork_replica(&self) -> NodeSim {
+        let tiles: Vec<TileState> = self
+            .tiles
+            .iter()
+            .map(|tile| TileState {
+                cores: tile
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, c)| CoreState {
+                        pc: 0,
+                        reg_slot: c.reg_slot,
+                        mvmus: c.mvmus.clone(),
+                        program: Arc::clone(&c.program),
+                        halted: c.program.is_empty(),
+                        rng: 0x1234_5678 ^ (ci as u32 + 1),
+                    })
+                    .collect(),
+                tile_pc: 0,
+                tile_program: Arc::clone(&tile.tile_program),
+                tile_halted: tile.tile_program.is_empty(),
+                parked: ParkedSet::default(),
+            })
+            .collect();
+        let reg_slots = tiles.iter().map(|t| t.cores.len()).sum::<usize>();
+        let tile_count = tiles.len();
+        NodeSim {
+            cfg: self.cfg,
+            timing: self.timing.clone(),
+            fd_energy_nj: self.fd_energy_nj,
+            mode: self.mode,
+            engine: self.engine,
+            mem: MemArena::new(tile_count, self.cfg.tile.shared_memory_words()),
+            regs: RegArena::new(reg_slots, &self.cfg.tile.core),
+            fifos: FifoArena::new(
+                tile_count,
+                self.cfg.tile.receive_fifos,
+                self.cfg.tile.receive_fifo_depth,
+            ),
+            tiles,
+            lut: self.lut.clone(),
+            stats: RunStats::new(),
+            agent_energy: vec![AgentEnergy::default(); self.agent_energy.len()],
+            agent_energy_maps: vec![EnergyStats::new(); self.agent_energy_maps.len()],
+            agent_offsets: self.agent_offsets.clone(),
+            instr_counts: [0; puma_isa::InstructionCategory::ALL.len()],
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            max_cycles: self.max_cycles,
+            seq: 0,
+            changes: Vec::new(),
+            wake_scratch: Vec::new(),
+            continuations: Vec::new(),
+            queue: BucketQueue::new(),
+            tile_next: vec![Vec::new(); tile_count],
+            tile_min: vec![u64::MAX; tile_count],
+            group_min: self.groups.iter().map(|g| vec![u64::MAX; g.count as usize + 1]).collect(),
+            groups: self.groups.clone(),
+            cont_min: u64::MAX,
+            senders_to: self.senders_to.clone(),
+            min_direct: self.min_direct.clone(),
+            min_indirect: self.min_indirect.clone(),
+            last_time: 0,
+            node_id: self.node_id,
+            cluster_nodes: self.cluster_nodes,
+            interconnect: self.interconnect,
+            outbox: Vec::new(),
+            horizon: u64::MAX,
+            compiled: self.compiled.clone(),
+            residents: self.residents.clone(),
+            run_base: 0,
+            non_ideal_mvm: self.non_ideal_mvm,
+            queue_events: 0,
+            profile: if segment_profiling() { Some(Box::default()) } else { None },
+        }
+    }
+
+    /// Approximate bytes of *per-replica mutable state*: the three state
+    /// arenas plus per-agent accumulators and control state. Everything
+    /// `Arc`-shared across replicas — programs, programmed crossbars,
+    /// the compiled micro-op image — is excluded: this is the marginal
+    /// footprint of one more worker in a serving pool.
+    pub fn state_bytes(&self) -> usize {
+        self.mem.state_bytes()
+            + self.regs.state_bytes()
+            + self.fifos.state_bytes()
+            + self.agent_energy.len() * std::mem::size_of::<AgentEnergy>()
+            + self.agent_energy_maps.len() * std::mem::size_of::<EnergyStats>()
+            + self.tiles.len() * std::mem::size_of::<TileState>()
+            + self
+                .tiles
+                .iter()
+                .map(|t| t.cores.len() * std::mem::size_of::<CoreState>())
+                .sum::<usize>()
+    }
+
+    /// Event-queue pops processed since the last [`NodeSim::reset`].
+    /// Queue events are the scheduler overhead the run-ahead and
+    /// compiled engines exist to avoid; benchmarks report this per
+    /// executed instruction.
+    pub fn queue_events(&self) -> u64 {
+        self.queue_events
+    }
+
+    /// Turns on per-segment execution counting for this instance even
+    /// when `PUMA_PROFILE=1` was not set at construction (tests and
+    /// benchmarks opt in programmatically).
+    pub fn enable_segment_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// Raw per-segment execution counts keyed by
+    /// `(tile, core, segment start pc)` — `core == u32::MAX` is the
+    /// tile control unit — sorted executions-descending with ties
+    /// broken by segment identity for determinism. Empty when
+    /// profiling is off or the compiled engine has not run.
+    pub fn segment_profile(&self) -> Vec<((u32, u32, u32), u64)> {
+        let mut rows: Vec<_> = self
+            .profile
+            .as_deref()
+            .map(|p| p.counts.iter().map(|(&k, &v)| (k, v)).collect())
+            .unwrap_or_default();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Ranked hot-segment table: one header plus one line per compiled
+    /// segment. Feeds the native-closure JIT decision — the top rows
+    /// are the segments worth specializing first.
+    pub fn segment_profile_table(&self) -> Vec<String> {
+        let rows = self.segment_profile();
+        let mut out = Vec::with_capacity(rows.len() + 1);
+        out.push(format!(
+            "PUMA_PROFILE hot segments (node {}, {} distinct):",
+            self.node_id,
+            rows.len()
+        ));
+        for ((tile, core, pc), execs) in rows {
+            let agent = if core == u32::MAX {
+                format!("tile{tile}/ctl")
+            } else {
+                format!("tile{tile}/core{core}")
+            };
+            out.push(format!("  {execs:>12}  {agent:<16} seg@pc {pc}"));
+        }
+        out
     }
 
     /// The bound configuration.
@@ -654,11 +1070,25 @@ impl NodeSim {
             index.clear();
         }
         self.tile_min.fill(u64::MAX);
+        for gm in &mut self.group_min {
+            gm.fill(u64::MAX);
+        }
         if engine != SimEngine::Reference {
-            for event in self.queue.iter() {
-                let t = event.tile() as usize;
-                self.tile_next[t].push(event.time);
-                self.tile_min[t] = self.tile_min[t].min(event.time);
+            let indexed: Vec<(usize, u64, u16)> = self
+                .queue
+                .iter()
+                .map(|event| {
+                    let t = event.tile() as usize;
+                    (t, event.time, self.indexed_group(t, &event.kind))
+                })
+                .collect();
+            for (t, time, g) in indexed {
+                self.tile_next[t].push((time, g));
+                self.tile_min[t] = self.tile_min[t].min(time);
+                if self.groups[t].count > 1 {
+                    let gm = &mut self.group_min[t][g as usize];
+                    *gm = (*gm).min(time);
+                }
             }
         }
     }
@@ -670,7 +1100,7 @@ impl NodeSim {
             &self.timing,
             self.mode,
             self.tiles.iter().map(|tile| {
-                (tile.cores.iter().map(|c| &c.program).collect::<Vec<_>>(), &tile.tile_program)
+                (tile.cores.iter().map(|c| &*c.program).collect::<Vec<_>>(), &*tile.tile_program)
             }),
         )
     }
@@ -729,10 +1159,12 @@ impl NodeSim {
         if values.len() != binding.width {
             return Err(PumaError::ShapeMismatch { expected: binding.width, actual: values.len() });
         }
-        let tile = self.tiles.get_mut(binding.tile.index()).ok_or_else(|| {
-            PumaError::Execution { what: format!("input {name:?} bound to missing tile") }
-        })?;
-        tile.memory.poke(binding.addr, values, binding.count)?;
+        if binding.tile.index() >= self.tiles.len() {
+            return Err(PumaError::Execution {
+                what: format!("input {name:?} bound to missing tile"),
+            });
+        }
+        self.mem.poke(binding.tile.index(), binding.addr, values, binding.count)?;
         let bytes = (values.len() * 2) as u64;
         self.stats.energy.add(
             EnergyComponent::OffChip,
@@ -761,10 +1193,12 @@ impl NodeSim {
             self.outputs.iter().find(|b| b.name == name).ok_or_else(|| PumaError::Execution {
                 what: format!("no output named {name:?}"),
             })?;
-        let tile = self.tiles.get(binding.tile.index()).ok_or_else(|| PumaError::Execution {
-            what: format!("output {name:?} bound to missing tile"),
-        })?;
-        tile.memory.peek(binding.addr, binding.width)
+        if binding.tile.index() >= self.tiles.len() {
+            return Err(PumaError::Execution {
+                what: format!("output {name:?} bound to missing tile"),
+            });
+        }
+        self.mem.peek(binding.tile.index(), binding.addr, binding.width)
     }
 
     /// Input binding names.
@@ -781,7 +1215,6 @@ impl NodeSim {
     /// the image can run again (crossbar weights are preserved — they are
     /// written once at configuration time, §3.2.5).
     pub fn reset(&mut self) {
-        self.pending_delivery.clear();
         self.changes.clear();
         self.continuations.clear();
         self.queue.clear();
@@ -789,24 +1222,31 @@ impl NodeSim {
             index.clear();
         }
         self.tile_min.fill(u64::MAX);
+        for gm in &mut self.group_min {
+            gm.fill(u64::MAX);
+        }
         self.cont_min = u64::MAX;
         self.outbox.clear();
         self.last_time = 0;
         self.run_base = 0;
         self.horizon = u64::MAX;
-        for tile in &mut self.tiles {
-            // In-place clears: a reused simulator (BatchRunner pool,
-            // per-request pipeline segments) must not re-allocate every
-            // tile's memory per request.
-            tile.memory.reset();
-            tile.rbuf.reset();
+        self.queue_events = 0;
+        let mem = &mut self.mem;
+        let fifos = &mut self.fifos;
+        let regs = &mut self.regs;
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
+            // In-place watermark clears: a reused simulator (BatchRunner
+            // pool, per-request pipeline segments) must not re-allocate —
+            // or even re-touch — every tile's memory per request.
+            mem.reset_tile(t);
+            fifos.reset_tile(t);
             tile.tile_pc = 0;
             tile.tile_halted = tile.tile_program.is_empty();
             tile.parked.clear();
             for (ci, core) in tile.cores.iter_mut().enumerate() {
                 core.pc = 0;
                 core.halted = core.program.is_empty();
-                core.regs.reset();
+                regs.reset_slot(core.reg_slot as usize);
                 // Reseed exactly as at construction, so a reused simulator
                 // (BatchRunner pool, TimingSession replay) gives every run
                 // the same `rand` stream as a fresh one.
@@ -990,6 +1430,9 @@ impl NodeSim {
             index.clear();
         }
         self.tile_min.fill(u64::MAX);
+        for gm in &mut self.group_min {
+            gm.fill(u64::MAX);
+        }
         self.continuations.clear();
         self.cont_min = u64::MAX;
         self.outbox.clear();
@@ -1054,20 +1497,68 @@ impl NodeSim {
                 EventKind::AgentReady(agent) => agent.tile,
                 EventKind::Deliver(d) => d.tile,
             } as usize;
-            self.tile_next[tile].push(time);
+            let group = self.indexed_group(tile, &kind);
+            self.tile_next[tile].push((time, group));
             self.tile_min[tile] = self.tile_min[tile].min(time);
+            if self.groups[tile].count > 1 {
+                let gm = &mut self.group_min[tile][group as usize];
+                *gm = (*gm).min(time);
+            }
         }
         self.queue.push(Event { time, prio_seq: (priority << PRIO_SHIFT) | self.seq, kind });
     }
 
-    /// Removes one popped event's entry from the per-tile index.
-    fn unindex(&mut self, tile: u32, time: u64) {
+    /// The conflict group a queued event is indexed under: an agent
+    /// event under its agent's group, a delivery under its target FIFO's
+    /// receiver group (module docs, word-range horizons).
+    fn event_group(&self, kind: &EventKind) -> u16 {
+        match kind {
+            EventKind::AgentReady(agent) => self.groups[agent.tile as usize].agent_group(*agent),
+            EventKind::Deliver(d) => self.groups[d.tile as usize].fifo_group(d.fifo),
+        }
+    }
+
+    /// [`NodeSim::event_group`] with the single-group fast path: a tile
+    /// whose agents all share one conflict group (the overwhelmingly
+    /// common case — one bridging control unit collapses most tiles)
+    /// indexes every event, inert deliveries included, under group 0 and
+    /// skips the per-group minimum entirely; `tile_clear_until` then
+    /// vetoes on `tile_min` alone, which for such a tile is at most one
+    /// inert-delivery veto more conservative — and deferring is always
+    /// safe (module docs).
+    fn indexed_group(&self, tile: usize, kind: &EventKind) -> u16 {
+        if self.groups[tile].count <= 1 {
+            0
+        } else {
+            self.event_group(kind)
+        }
+    }
+
+    /// Removes one popped event's entry from the per-tile index. The
+    /// entry is matched on `(time, group)` — matching the time alone
+    /// could evict another group's entry and corrupt its cached minimum.
+    fn unindex(&mut self, tile: u32, time: u64, group: u16) {
         if self.engine != SimEngine::Reference {
-            let index = &mut self.tile_next[tile as usize];
-            let at = index.iter().position(|&t| t == time).expect("popped event was indexed");
+            let t = tile as usize;
+            let index = &mut self.tile_next[t];
+            let at = index
+                .iter()
+                .position(|&(tt, g)| tt == time && g == group)
+                .expect("popped event was indexed");
             index.swap_remove(at);
-            if time == self.tile_min[tile as usize] {
-                self.tile_min[tile as usize] = index.iter().copied().min().unwrap_or(u64::MAX);
+            if time == self.tile_min[t] {
+                self.tile_min[t] = index.iter().map(|&(tt, _)| tt).min().unwrap_or(u64::MAX);
+            }
+            if self.groups[t].count > 1 {
+                let gm = &mut self.group_min[t][group as usize];
+                if time == *gm {
+                    *gm = index
+                        .iter()
+                        .filter(|&&(_, g)| g == group)
+                        .map(|&(tt, _)| tt)
+                        .min()
+                        .unwrap_or(u64::MAX);
+                }
             }
         }
     }
@@ -1083,7 +1574,9 @@ impl NodeSim {
         let Some(event) = self.queue.pop() else {
             return Ok(false);
         };
-        self.unindex(event.tile(), event.time);
+        self.queue_events += 1;
+        let group = self.indexed_group(event.tile() as usize, &event.kind);
+        self.unindex(event.tile(), event.time, group);
         let now = event.time;
         self.last_time = self.last_time.max(now);
         if now > self.max_cycles {
@@ -1092,7 +1585,10 @@ impl NodeSim {
         match event.kind {
             EventKind::Deliver(d) => {
                 let DeliverEvent { tile, fifo, packet } = *d;
-                self.pending_delivery.entry((tile, fifo)).or_default().push_back(packet);
+                // An out-of-range fifo faults here — at delivery time —
+                // with the canonical message, exactly as the old push
+                // into the ring would have.
+                self.fifos.pending_push(tile as usize, fifo, packet)?;
                 self.drain_fifo(tile, fifo, now)?;
             }
             EventKind::AgentReady(agent) => match self.engine {
@@ -1155,7 +1651,8 @@ impl NodeSim {
             // before its first instruction; its *subsequent*
             // synchronization instructions re-check the horizon — which
             // counts pending continuations — inside `run_ahead`.
-            if self.tile_clear_for_resume(agent.tile, t0) {
+            let group = self.groups[agent.tile as usize].agent_group(agent);
+            if self.tile_clear_for_resume(agent.tile, group, t0) {
                 match self.engine {
                     SimEngine::Compiled => self.run_compiled(agent, t0)?,
                     _ => self.run_ahead(agent, t0)?,
@@ -1178,15 +1675,28 @@ impl NodeSim {
             .iter()
             .enumerate()
             .flat_map(|(t, tile)| {
-                tile.parked.iter().map(move |(a, since, cond)| {
-                    let agent = if a.is_tile_ctl() {
-                        format!("tile{t}/ctl")
-                    } else {
-                        format!("tile{t}/core{}", a.core)
-                    };
-                    let model = self.resident_tag(t);
-                    format!("{agent}{model} waiting on {} (since cycle {since})", cond.describe())
-                })
+                // Report in agent order (cores ascending, control unit
+                // last), not park order: unrelated conflict groups may
+                // park in engine-dependent interleavings, and deadlock
+                // reports must be engine-invariant. The ParkedSet itself
+                // stays in park order — that is the wake contract.
+                let mut entries: Vec<_> = tile.parked.iter().collect();
+                entries.sort_by_key(|(a, _, _)| a.core);
+                entries
+                    .into_iter()
+                    .map(|(a, since, cond)| {
+                        let agent = if a.is_tile_ctl() {
+                            format!("tile{t}/ctl")
+                        } else {
+                            format!("tile{t}/core{}", a.core)
+                        };
+                        let model = self.resident_tag(t);
+                        format!(
+                            "{agent}{model} waiting on {} (since cycle {since})",
+                            cond.describe()
+                        )
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
@@ -1297,11 +1807,15 @@ impl NodeSim {
         self.cluster_nodes = cluster_nodes.max(1);
         self.interconnect = interconnect;
         // Which of the image's sends are local NoC traffic depends on
-        // the node id; refresh the static send graph.
+        // the node id; refresh the static send graph and the conflict
+        // groups (a same-tile send merges sender and receiver only when
+        // it is local).
         let (senders_to, min_direct, min_indirect) = send_graph(&self.timing, &self.tiles, node_id);
         self.senders_to = senders_to;
         self.min_direct = min_direct;
         self.min_indirect = min_indirect;
+        self.groups = conflict_groups(&self.tiles, self.cfg.tile.receive_fifos, node_id);
+        self.group_min = self.groups.iter().map(|g| vec![u64::MAX; g.count as usize + 1]).collect();
     }
 
     /// Sets the run-ahead external horizon (see the `horizon` field).
@@ -1359,6 +1873,7 @@ impl NodeSim {
     /// from the reference per-instruction loop — minus its heap traffic.
     fn run_ahead(&mut self, agent: AgentId, now: u64) -> Result<()> {
         let tile = agent.tile;
+        let group = self.groups[tile as usize].agent_group(agent);
         let mut t = now;
         let mut first = true;
         loop {
@@ -1370,7 +1885,7 @@ impl NodeSim {
                 return Err(self.cycle_cap_error());
             }
             let (instr, pc) = self.fetch(agent)?;
-            if !first && instr.may_block() && !self.tile_clear_until(tile, t) {
+            if !first && instr.may_block() && !self.tile_clear_until(tile, group, t) {
                 // Blocking point whose tile could still change at or
                 // before its timestamp: stop the segment and execute it
                 // after every earlier event (another agent's store, a
@@ -1450,7 +1965,16 @@ impl NodeSim {
             if agent.is_tile_ctl() { None } else { Some(agent.core as usize) },
         );
         let tile = agent.tile;
+        let group = self.groups[tile as usize].agent_group(agent);
         let slot = self.agent_slot(agent);
+        // The register-file arena slot; `usize::MAX` for the tile
+        // control unit, whose compiled stream can never contain a
+        // register micro-op (send/receive/jump/halt only).
+        let reg_slot = if agent.is_tile_ctl() {
+            usize::MAX
+        } else {
+            self.tiles[tile as usize].cores[agent.core as usize].reg_slot as usize
+        };
         let mut t = now;
         let mut first = true;
         loop {
@@ -1479,6 +2003,9 @@ impl NodeSim {
                     } else {
                         start + 1
                     };
+                    if let Some(profile) = self.profile.as_deref_mut() {
+                        *profile.counts.entry((tile, agent.core, pc)).or_insert(0) += 1;
+                    }
                     let fd_idx = EnergyComponent::FetchDecode.index();
                     let fd = self.fd_energy_nj;
                     let mut last_start = t;
@@ -1503,8 +2030,9 @@ impl NodeSim {
                 }
                 MicroOp::Set { dest, imm } => {
                     self.last_time = self.last_time.max(t);
-                    let regs = &mut self.tiles[tile as usize].cores[agent.core as usize].regs;
-                    regs.write(dest, Fixed::from_bits(imm)).expect("bounds proven at compile time");
+                    self.regs
+                        .write(reg_slot, dest, Fixed::from_bits(imm))
+                        .expect("bounds proven at compile time");
                     let cost = prog.costs[pc as usize];
                     self.charge_cost(slot, &cost);
                     t += u64::from(cost.latency);
@@ -1512,9 +2040,16 @@ impl NodeSim {
                 }
                 MicroOp::AluInt { op, dest, src1, src2 } => {
                     self.last_time = self.last_time.max(t);
-                    let regs = &mut self.tiles[tile as usize].cores[agent.core as usize].regs;
-                    let a = regs.read(src1).expect("bounds proven at compile time").to_bits();
-                    let b = regs.read(src2).expect("bounds proven at compile time").to_bits();
+                    let a = self
+                        .regs
+                        .read(reg_slot, src1)
+                        .expect("bounds proven at compile time")
+                        .to_bits();
+                    let b = self
+                        .regs
+                        .read(reg_slot, src2)
+                        .expect("bounds proven at compile time")
+                        .to_bits();
                     let y: i16 = match op {
                         ScalarOp::Add => a.wrapping_add(b),
                         ScalarOp::Sub => a.wrapping_sub(b),
@@ -1522,7 +2057,9 @@ impl NodeSim {
                         ScalarOp::Gt => (a > b) as i16,
                         ScalarOp::Ne => (a != b) as i16,
                     };
-                    regs.write(dest, Fixed::from_bits(y)).expect("bounds proven at compile time");
+                    self.regs
+                        .write(reg_slot, dest, Fixed::from_bits(y))
+                        .expect("bounds proven at compile time");
                     let cost = prog.costs[pc as usize];
                     self.charge_cost(slot, &cost);
                     t += u64::from(cost.latency);
@@ -1530,9 +2067,16 @@ impl NodeSim {
                 }
                 MicroOp::Branch { cond, src1, src2, target } => {
                     self.last_time = self.last_time.max(t);
-                    let regs = &self.tiles[tile as usize].cores[agent.core as usize].regs;
-                    let a = regs.read(src1).expect("bounds proven at compile time").to_bits();
-                    let b = regs.read(src2).expect("bounds proven at compile time").to_bits();
+                    let a = self
+                        .regs
+                        .read(reg_slot, src1)
+                        .expect("bounds proven at compile time")
+                        .to_bits();
+                    let b = self
+                        .regs
+                        .read(reg_slot, src2)
+                        .expect("bounds proven at compile time")
+                        .to_bits();
                     let next = if cond.eval(a, b) { target } else { pc + 1 };
                     let cost = prog.costs[pc as usize];
                     self.charge_cost(slot, &cost);
@@ -1557,7 +2101,7 @@ impl NodeSim {
                     return Ok(());
                 }
                 MicroOp::Interp { instr, may_block } => {
-                    if !first && may_block && !self.tile_clear_until(tile, t) {
+                    if !first && may_block && !self.tile_clear_until(tile, group, t) {
                         // Synchronization point whose tile could still
                         // change at or before `t`: defer exactly as
                         // `run_ahead` does.
@@ -1616,17 +2160,19 @@ impl NodeSim {
     /// per-tile event-horizon invariant (module docs): the tile's own
     /// next-event index, the cross-tile NoC slack over the globally
     /// earliest event, and the external (inter-node) horizon.
-    fn tile_clear_until(&self, tile: u32, t: u64) -> bool {
+    fn tile_clear_until(&self, tile: u32, group: u16, t: u64) -> bool {
         // Continuations accumulated this step are pending tile events
         // too: a woken agent's retry (or a deferred re-entry) at `t0 ≤ t`
         // must execute before any synchronization at `t` can be trusted.
         // (All continuations within one step share the stepped tile, so
-        // the cached minimum suffices.)
+        // the cached minimum suffices; it is deliberately not refined by
+        // group — continuations are same-step transients, drained before
+        // the next pop.)
         if self.cont_min <= t {
             debug_assert!(self.continuations.iter().all(|&(a, _, _, _)| a.tile == tile));
             return false;
         }
-        self.tile_clear_for_resume(tile, t)
+        self.tile_clear_for_resume(tile, group, t)
     }
 
     /// `NodeSim::tile_clear_until` without the pending-continuation
@@ -1634,11 +2180,19 @@ impl NodeSim {
     /// continuation, which by construction pops before every other
     /// pending continuation — only queued events, the cross-tile slack,
     /// and the external horizon can be owed execution before it.
-    fn tile_clear_for_resume(&self, tile: u32, t: u64) -> bool {
+    fn tile_clear_for_resume(&self, tile: u32, group: u16, t: u64) -> bool {
         if t >= self.horizon {
             return false;
         }
-        if self.tile_min[tile as usize] <= t {
+        // Per-tile term, refined by conflict group (module docs,
+        // word-range horizons): a queued same-tile event only vetoes
+        // when it belongs to the running agent's group — other groups
+        // touch provably disjoint words and FIFOs. The tile-granular
+        // minimum stays the fast path (one load clears the common case).
+        if self.tile_min[tile as usize] <= t
+            && (self.groups[tile as usize].count <= 1
+                || self.group_min[tile as usize][group as usize] <= t)
+        {
             return false;
         }
         // Fast path: if even the cheapest single static send beyond the
@@ -1648,7 +2202,9 @@ impl NodeSim {
         let min_any = self.min_direct[tile as usize].min(self.min_indirect[tile as usize]);
         match self.queue.min_time() {
             None => return true,
-            Some(m) if m.saturating_add(min_any) > t => return true,
+            Some(m) if m.saturating_add(min_any) > t => {
+                return true;
+            }
             Some(_) => {}
         }
         // Direct senders: a queued event on static predecessor `U` can
@@ -1669,21 +2225,11 @@ impl NodeSim {
     /// Moves as many pending packets as fit into the receive FIFO, in
     /// arrival order (per-channel ordering under backpressure).
     fn drain_fifo(&mut self, tile: u32, fifo: u8, now: u64) -> Result<()> {
-        let mut moved = false;
-        if let Some(pending) = self.pending_delivery.get_mut(&(tile, fifo)) {
-            while let Some(front) = pending.front() {
-                if self.tiles[tile as usize].rbuf.try_push(fifo, front.clone())? {
-                    pending.pop_front();
-                    moved = true;
-                } else {
-                    break;
-                }
-            }
-            if pending.is_empty() {
-                self.pending_delivery.remove(&(tile, fifo));
-            }
-        }
-        if moved {
+        // The arena moves packets from the per-channel pending queue
+        // into the ring without cloning payloads. One `FifoPush` change
+        // per drain suffices: `take_matching` removes every waiter on
+        // the fifo in one pass regardless of how many packets landed.
+        if self.fifos.deliver_pending(tile as usize, fifo) > 0 {
             self.changes.push(TileChange::FifoPush(fifo));
         }
         self.apply_wakes(tile as usize, now);
@@ -1815,7 +2361,7 @@ impl NodeSim {
                     });
                 }
                 let core = &self.tiles[agent.tile as usize].cores[agent.core as usize];
-                let bits = core.regs.read(reg)?.to_bits();
+                let bits = self.regs.read(core.reg_slot as usize, reg)?.to_bits();
                 if bits < 0 {
                     return Err(PumaError::Execution {
                         what: format!(
@@ -1912,14 +2458,14 @@ impl NodeSim {
                 // the payload (it is never inspected; receives write probe
                 // zeros at their own width).
                 let words = if self.mode == SimMode::Functional {
-                    match self.tiles[t].memory.try_read(a, width as usize)? {
+                    match self.mem.try_read(t, a, width as usize)? {
                         MemOutcome::Blocked(b) => {
                             return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
                         }
                         MemOutcome::Done(words) => words,
                     }
                 } else {
-                    match self.tiles[t].memory.try_consume(a, width as usize)? {
+                    match self.mem.try_consume(t, a, width as usize)? {
                         MemOutcome::Blocked(b) => {
                             return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
                         }
@@ -1974,7 +2520,7 @@ impl NodeSim {
                 let a = self.effective_addr(agent, addr)?;
                 // Check availability without consuming, so a blocked write
                 // does not lose the packet.
-                let front_len = match self.tiles[t].rbuf.front(fifo)? {
+                let front_len = match self.fifos.front(t, fifo)? {
                     None => return Ok(Step::Blocked(WaitCond::FifoPacket(fifo))),
                     Some(p) => p.words.len(),
                 };
@@ -1996,17 +2542,14 @@ impl NodeSim {
                 // Probe destination writability (dry-run: any valid word
                 // blocks the write on that word).
                 {
-                    let mem = &mut self.tiles[t].memory;
-                    for i in 0..width as u32 {
-                        if mem.is_valid(a + i)? {
-                            return Ok(Step::Blocked(WaitCond::MemInvalid(a + i)));
-                        }
+                    if let Some(bad) = self.mem.first_valid(t, a, width as usize)? {
+                        return Ok(Step::Blocked(WaitCond::MemInvalid(bad)));
                     }
-                    let packet = self.tiles[t].rbuf.pop(fifo)?.expect("front checked above");
+                    let packet = self.fifos.pop(t, fifo)?.expect("front checked above");
                     let written = if self.mode == SimMode::Functional {
-                        self.tiles[t].memory.try_write(a, &packet.words, count)?
+                        self.mem.try_write(t, a, &packet.words, count)?
                     } else {
-                        self.tiles[t].memory.try_write_zeros(a, width as usize, count)?
+                        self.mem.try_write_zeros(t, a, width as usize, count)?
                     };
                     match written {
                         MemOutcome::Done(()) => {}
@@ -2039,6 +2582,7 @@ impl NodeSim {
     fn step_core(&mut self, agent: AgentId, instr: Instruction, pc: u32, now: u64) -> Result<Step> {
         let t = agent.tile as usize;
         let c = agent.core as usize;
+        let slot = self.tiles[t].cores[c].reg_slot as usize;
         let functional = self.mode == SimMode::Functional;
         match instr {
             Instruction::Mvm { mask, filter, stride } => {
@@ -2064,22 +2608,20 @@ impl NodeSim {
                         (0, 0)
                     };
                     for unit in mask.iter() {
-                        let core = &self.tiles[t].cores[c];
-                        let Some(Some(mvmu)) = core.mvmus.get(unit) else {
+                        let Some(Some(mvmu)) = self.tiles[t].cores[c].mvmus.get(unit) else {
                             return Err(PumaError::Execution {
                                 what: format!("MVM on unprogrammed MVMU {unit}"),
                             });
                         };
                         let base = unit * dim;
-                        let raw = core.regs.xbar_in()[base..base + dim].to_vec();
+                        let raw = self.regs.xbar_in(slot)[base..base + dim].to_vec();
                         let shuffled = shuffle_input(&raw, filter, stride);
                         let y = if self.non_ideal_mvm {
                             mvmu.mvm_degraded(&shuffled, &ni, site_base + unit as u64, rel_cycle)?
                         } else {
                             mvmu.mvm(&shuffled)?
                         };
-                        let core = &mut self.tiles[t].cores[c];
-                        core.regs.xbar_out_mut()[base..base + dim].copy_from_slice(&y);
+                        self.regs.xbar_out_mut(slot)[base..base + dim].copy_from_slice(&y);
                     }
                     if self.non_ideal_mvm {
                         self.stats.degraded_mvm_activations += mask.count() as u64;
@@ -2094,7 +2636,7 @@ impl NodeSim {
             Instruction::Alu { op, dest, src1, src2, width } => {
                 let w = width as usize;
                 if functional {
-                    self.exec_vector_op(t, c, op, dest, src1, src2, w)?;
+                    self.exec_vector_op(t, c, slot, op, dest, src1, src2, w)?;
                 }
                 let (latency, energy, component) = if op.is_transcendental() {
                     (
@@ -2111,7 +2653,7 @@ impl NodeSim {
             Instruction::AluImm { op, dest, src1, imm, width } => {
                 let w = width as usize;
                 if functional {
-                    let x = self.tiles[t].cores[c].regs.read_vec(src1, w)?;
+                    let x = self.regs.read_vec(slot, src1, w)?;
                     let y: Vec<Fixed> = x
                         .into_iter()
                         .map(|v| match op {
@@ -2121,7 +2663,7 @@ impl NodeSim {
                             AluImmOp::Div => v / imm,
                         })
                         .collect();
-                    self.tiles[t].cores[c].regs.write_vec(dest, &y)?;
+                    self.regs.write_vec(slot, dest, &y)?;
                 }
                 let latency = self.timing.vfu_cycles(w);
                 self.charge(agent, EnergyComponent::Vfu, self.timing.vfu_energy_nj(w), latency);
@@ -2135,9 +2677,8 @@ impl NodeSim {
                 // of the scalar domain, which operate on raw register bits
                 // (the booleans-feed-branches contract; see puma-isa
                 // ScalarOp docs).
-                let regs = &mut self.tiles[t].cores[c].regs;
-                let a = regs.read(src1)?.to_bits();
-                let b = regs.read(src2)?.to_bits();
+                let a = self.regs.read(slot, src1)?.to_bits();
+                let b = self.regs.read(slot, src2)?.to_bits();
                 let y: i16 = match op {
                     ScalarOp::Add => a.wrapping_add(b),
                     ScalarOp::Sub => a.wrapping_sub(b),
@@ -2145,13 +2686,13 @@ impl NodeSim {
                     ScalarOp::Gt => (a > b) as i16,
                     ScalarOp::Ne => (a != b) as i16,
                 };
-                regs.write(dest, Fixed::from_bits(y))?;
+                self.regs.write(slot, dest, Fixed::from_bits(y))?;
                 let latency = self.timing.sfu_cycles();
                 self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
             }
             Instruction::Set { dest, imm } => {
-                self.tiles[t].cores[c].regs.write(dest, Fixed::from_bits(imm))?;
+                self.regs.write(slot, dest, Fixed::from_bits(imm))?;
                 let latency = self.timing.sfu_cycles();
                 self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
                 Ok(Step::Advance { next_pc: pc + 1, latency })
@@ -2159,8 +2700,8 @@ impl NodeSim {
             Instruction::Copy { dest, src, width } => {
                 let w = width as usize;
                 if functional {
-                    let values = self.tiles[t].cores[c].regs.read_vec(src, w)?;
-                    self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
+                    let values = self.regs.read_vec(slot, src, w)?;
+                    self.regs.write_vec(slot, dest, &values)?;
                 }
                 let latency = self.timing.copy_cycles(w);
                 self.charge(
@@ -2175,15 +2716,15 @@ impl NodeSim {
                 let a = self.effective_addr(agent, addr)?;
                 let w = width as usize;
                 if functional {
-                    let values = match self.tiles[t].memory.try_read(a, w)? {
+                    let values = match self.mem.try_read(t, a, w)? {
                         MemOutcome::Blocked(b) => {
                             return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
                         }
                         MemOutcome::Done(v) => v,
                     };
-                    self.tiles[t].cores[c].regs.write_vec(dest, &values)?;
+                    self.regs.write_vec(slot, dest, &values)?;
                 } else {
-                    match self.tiles[t].memory.try_consume(a, w)? {
+                    match self.mem.try_consume(t, a, w)? {
                         MemOutcome::Blocked(b) => {
                             return Ok(Step::Blocked(WaitCond::for_mem_block(b)))
                         }
@@ -2205,10 +2746,10 @@ impl NodeSim {
                 let a = self.effective_addr(agent, addr)?;
                 let w = width as usize;
                 let written = if functional {
-                    let values = self.tiles[t].cores[c].regs.read_vec(src, w)?;
-                    self.tiles[t].memory.try_write(a, &values, count)?
+                    let values = self.regs.read_vec(slot, src, w)?;
+                    self.mem.try_write(t, a, &values, count)?
                 } else {
-                    self.tiles[t].memory.try_write_zeros(a, w, count)?
+                    self.mem.try_write_zeros(t, a, w, count)?
                 };
                 match written {
                     MemOutcome::Blocked(b) => return Ok(Step::Blocked(WaitCond::for_mem_block(b))),
@@ -2227,9 +2768,8 @@ impl NodeSim {
             }
             Instruction::Jump { pc: target } => Ok(Step::Advance { next_pc: target, latency: 1 }),
             Instruction::Branch { cond, src1, src2, pc: target } => {
-                let regs = &self.tiles[t].cores[c].regs;
-                let a = regs.read(src1)?.to_bits();
-                let b = regs.read(src2)?.to_bits();
+                let a = self.regs.read(slot, src1)?.to_bits();
+                let b = self.regs.read(slot, src2)?.to_bits();
                 let next = if cond.eval(a, b) { target } else { pc + 1 };
                 let latency = self.timing.sfu_cycles();
                 self.charge(agent, EnergyComponent::Sfu, self.timing.sfu_energy_nj(), latency);
@@ -2247,13 +2787,14 @@ impl NodeSim {
         &mut self,
         t: usize,
         c: usize,
+        slot: usize,
         op: AluOp,
         dest: RegRef,
         src1: RegRef,
         src2: RegRef,
         w: usize,
     ) -> Result<()> {
-        let a = self.tiles[t].cores[c].regs.read_vec(src1, w)?;
+        let a = self.regs.read_vec(slot, src1, w)?;
         let result: Vec<Fixed> = match op {
             AluOp::Not => a.iter().map(|v| Fixed::from_bits(!v.to_bits())).collect(),
             AluOp::Relu => a.iter().map(|v| v.relu()).collect(),
@@ -2275,12 +2816,12 @@ impl NodeSim {
                     .collect()
             }
             AluOp::Subsample => {
-                let k = self.tiles[t].cores[c].regs.read(src2)?.to_bits().max(1) as usize;
-                let src = self.tiles[t].cores[c].regs.read_vec(src1, w * k)?;
+                let k = self.regs.read(slot, src2)?.to_bits().max(1) as usize;
+                let src = self.regs.read_vec(slot, src1, w * k)?;
                 src.iter().step_by(k).copied().take(w).collect()
             }
             AluOp::Shl | AluOp::Shr => {
-                let k = (self.tiles[t].cores[c].regs.read(src2)?.to_bits().max(0) as u32).min(15);
+                let k = (self.regs.read(slot, src2)?.to_bits().max(0) as u32).min(15);
                 a.iter()
                     .map(|v| {
                         Fixed::from_bits(if op == AluOp::Shl {
@@ -2295,7 +2836,7 @@ impl NodeSim {
                     .collect()
             }
             _ => {
-                let b = self.tiles[t].cores[c].regs.read_vec(src2, w)?;
+                let b = self.regs.read_vec(slot, src2, w)?;
                 a.iter()
                     .zip(b.iter())
                     .map(|(&x, &y)| match op {
@@ -2312,7 +2853,7 @@ impl NodeSim {
                     .collect()
             }
         };
-        self.tiles[t].cores[c].regs.write_vec(dest, &result)
+        self.regs.write_vec(slot, dest, &result)
     }
 }
 

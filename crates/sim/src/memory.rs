@@ -6,17 +6,17 @@
 //! then atomically decrements the count, invalidating the word when the
 //! count reaches zero. This is the inter-core synchronization fabric that
 //! lets producer and consumer cores pipeline without races.
+//!
+//! Storage is arena-packed: [`MemArena`] holds every tile's data plane in
+//! one contiguous `Vec<Fixed>` and every tile's attribute plane in one
+//! contiguous `Vec<Attr>`, indexed by per-tile base offsets. Event
+//! dispatch across hundreds of tiles then walks two allocations instead
+//! of two per tile, and a serving replica clones two flat buffers.
+//! [`SharedMemory`] remains as the single-tile view (the unit-test and
+//! protocol-test surface) and is a one-slot arena.
 
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
-use serde::{Deserialize, Serialize};
-
-/// Attribute pair for one shared-memory word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-struct Attr {
-    valid: bool,
-    count: u16,
-}
 
 /// Why a memory operation could not proceed (the caller blocks and retries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,63 +42,353 @@ pub enum MemOutcome<T> {
     Blocked(MemBlock),
 }
 
-/// Tile shared memory: data words plus the attribute buffer.
+/// Per-tile slot metadata inside a [`MemArena`].
+#[derive(Debug, Clone)]
+struct MemSlot {
+    /// First word of this tile's region in the shared data/attr planes.
+    base: usize,
+    /// Capacity in words.
+    words: usize,
+    /// Exclusive upper bound (tile-relative) of the words ever written —
+    /// the per-tile dirty range: reset only clears `[0, hi)`, keeping
+    /// per-request resets proportional to the memory actually used.
+    hi: usize,
+    /// Monotonic counter bumped on every state change of this tile's
+    /// region, used by the simulator to retry blocked agents only when
+    /// something changed.
+    generation: u64,
+}
+
+/// All tiles' shared memories packed into contiguous planes.
+///
+/// Blocking semantics, error messages, and the dirty-watermark reset are
+/// identical to the historical per-tile [`SharedMemory`]; only the
+/// storage layout changed. Every operation takes the tile index first.
+///
+/// The attribute buffer is stored **planar** — a `u8` validity plane and
+/// a `u16` count plane — rather than as an array of `(valid, count)`
+/// structs: the per-word loops of the Fig. 6 protocol (scan for an
+/// invalid word, decrement-and-invalidate, bulk produce) then compile to
+/// straight-line SIMD over dense lanes, which is where a timing run of a
+/// sync-heavy workload spends most of its wall-clock (millions of
+/// attribute words per inference).
+#[derive(Debug, Clone)]
+pub struct MemArena {
+    data: Vec<Fixed>,
+    /// Validity plane: 1 = valid (unconsumed data), 0 = invalid.
+    valid: Vec<u8>,
+    /// Remaining-consumer plane; meaningful only where `valid` is 1.
+    count: Vec<u16>,
+    slots: Vec<MemSlot>,
+}
+
+impl MemArena {
+    /// Allocates `tiles` regions of `words` invalid words each.
+    pub fn new(tiles: usize, words: usize) -> Self {
+        MemArena {
+            data: vec![Fixed::ZERO; tiles * words],
+            valid: vec![0; tiles * words],
+            count: vec![0; tiles * words],
+            slots: (0..tiles)
+                .map(|t| MemSlot { base: t * words, words, hi: 0, generation: 0 })
+                .collect(),
+        }
+    }
+
+    /// Number of tile regions.
+    pub fn tiles(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Capacity of one tile region in words.
+    pub fn words(&self, tile: usize) -> usize {
+        self.slots[tile].words
+    }
+
+    /// Approximate heap footprint of the arena in bytes (the per-replica
+    /// mutable state a serving worker clones).
+    pub fn state_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Fixed>()
+            + self.valid.len()
+            + self.count.len() * std::mem::size_of::<u16>()
+            + self.slots.len() * std::mem::size_of::<MemSlot>()
+    }
+
+    /// Clears one tile's data and attributes in place — identical
+    /// post-state to a fresh region, without re-allocating. Only the
+    /// tile's dirty range `[0, hi)` is touched.
+    pub fn reset_tile(&mut self, tile: usize) {
+        let slot = &mut self.slots[tile];
+        let (base, hi) = (slot.base, slot.hi);
+        self.data[base..base + hi].fill(Fixed::ZERO);
+        self.valid[base..base + hi].fill(0);
+        self.count[base..base + hi].fill(0);
+        slot.hi = 0;
+        slot.generation = 0;
+    }
+
+    /// Monotonic change counter for one tile (bumps on successful reads
+    /// and writes).
+    pub fn generation(&self, tile: usize) -> u64 {
+        self.slots[tile].generation
+    }
+
+    /// Resolves `[addr, addr+width)` within `tile`'s region to an
+    /// arena-absolute start offset.
+    fn check_range(&self, tile: usize, addr: u32, width: usize) -> Result<usize> {
+        let slot = &self.slots[tile];
+        let end = addr as usize + width;
+        if end > slot.words {
+            return Err(PumaError::Execution {
+                what: format!(
+                    "shared-memory access [{addr}, {end}) exceeds capacity {}",
+                    slot.words
+                ),
+            });
+        }
+        Ok(slot.base + addr as usize)
+    }
+
+    /// Attempts a blocking consume-read of `width` words (Fig. 6 read).
+    ///
+    /// All words must be valid; each has its count decremented and is
+    /// invalidated when the count reaches zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn try_read(
+        &mut self,
+        tile: usize,
+        addr: u32,
+        width: usize,
+    ) -> Result<MemOutcome<Vec<Fixed>>> {
+        let start = self.check_range(tile, addr, width)?;
+        if let Some(i) = Self::first_zero(&self.valid[start..start + width]) {
+            return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
+        }
+        let out = self.data[start..start + width].to_vec();
+        self.consume_attrs(start, width);
+        self.slots[tile].generation += 1;
+        Ok(MemOutcome::Done(out))
+    }
+
+    /// Index of the first zero byte in `lane`, if any — the bulk form of
+    /// the per-word validity scan. Validity bytes are always 0 or 1, so
+    /// an 8-byte chunk has a zero byte exactly when it differs from
+    /// all-ones, and `trailing_zeros` of the XOR locates it.
+    #[inline]
+    fn first_zero(lane: &[u8]) -> Option<usize> {
+        const ONES: u64 = 0x0101_0101_0101_0101;
+        let mut chunks = lane.chunks_exact(8);
+        let mut i = 0;
+        for c in chunks.by_ref() {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            let z = w ^ ONES;
+            if z != 0 {
+                return Some(i + (z.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        chunks.remainder().iter().position(|&v| v == 0).map(|j| i + j)
+    }
+
+    /// Index of the first nonzero (valid) byte in `lane`, if any — the
+    /// bulk form of probing a write destination for a still-valid word.
+    #[inline]
+    fn first_one(lane: &[u8]) -> Option<usize> {
+        let mut chunks = lane.chunks_exact(8);
+        let mut i = 0;
+        for c in chunks.by_ref() {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            if w != 0 {
+                return Some(i + (w.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        chunks.remainder().iter().position(|&v| v != 0).map(|j| i + j)
+    }
+
+    /// Decrements every consumer count in `[start, start+width)` and
+    /// derives validity: a word stays valid exactly while consumers
+    /// remain. Precondition: every word in the range is valid.
+    #[inline]
+    fn consume_attrs(&mut self, start: usize, width: usize) {
+        let counts = &mut self.count[start..start + width];
+        let valids = &mut self.valid[start..start + width];
+        for (c, v) in counts.iter_mut().zip(valids.iter_mut()) {
+            *c = c.saturating_sub(1);
+            *v = (*c != 0) as u8;
+        }
+    }
+
+    /// [`MemArena::try_read`] without materializing the data: the
+    /// attribute buffer is updated identically (counts decremented, words
+    /// invalidated at zero), but no vector is allocated. The timing-mode
+    /// simulator uses this for loads/sends whose payload is never
+    /// inspected — synchronization behaviour is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn try_consume(&mut self, tile: usize, addr: u32, width: usize) -> Result<MemOutcome<()>> {
+        let start = self.check_range(tile, addr, width)?;
+        if let Some(i) = Self::first_zero(&self.valid[start..start + width]) {
+            return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
+        }
+        self.consume_attrs(start, width);
+        self.slots[tile].generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
+    /// Attempts a blocking write of `values` with consumer count `count`
+    /// (Fig. 6 write). All destination words must be invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or
+    /// `count` is zero (a zero-consumer write would deadlock all readers).
+    pub fn try_write(
+        &mut self,
+        tile: usize,
+        addr: u32,
+        values: &[Fixed],
+        count: u16,
+    ) -> Result<MemOutcome<()>> {
+        let start = self.check_range(tile, addr, values.len())?;
+        if count == 0 {
+            return Err(PumaError::Execution {
+                what: format!("write at {addr} with zero consumer count"),
+            });
+        }
+        if let Some(i) = Self::first_one(&self.valid[start..start + values.len()]) {
+            return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
+        }
+        self.data[start..start + values.len()].copy_from_slice(values);
+        self.valid[start..start + values.len()].fill(1);
+        self.count[start..start + values.len()].fill(count);
+        let slot = &mut self.slots[tile];
+        slot.hi = slot.hi.max(addr as usize + values.len());
+        slot.generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
+    /// [`MemArena::try_write`] of an all-zero payload, without the
+    /// caller allocating one — the timing-mode path for stores and
+    /// receives, whose payloads are not computed. Attribute behaviour and
+    /// the written data (zeros) are identical to passing a zero slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or
+    /// `count` is zero.
+    pub fn try_write_zeros(
+        &mut self,
+        tile: usize,
+        addr: u32,
+        width: usize,
+        count: u16,
+    ) -> Result<MemOutcome<()>> {
+        let start = self.check_range(tile, addr, width)?;
+        if count == 0 {
+            return Err(PumaError::Execution {
+                what: format!("write at {addr} with zero consumer count"),
+            });
+        }
+        if let Some(i) = Self::first_one(&self.valid[start..start + width]) {
+            return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
+        }
+        self.data[start..start + width].fill(Fixed::ZERO);
+        self.valid[start..start + width].fill(1);
+        self.count[start..start + width].fill(count);
+        let slot = &mut self.slots[tile];
+        slot.hi = slot.hi.max(addr as usize + width);
+        slot.generation += 1;
+        Ok(MemOutcome::Done(()))
+    }
+
+    /// Host-side non-consuming read (used to fetch outputs after a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds or any
+    /// word was never produced.
+    pub fn peek(&self, tile: usize, addr: u32, width: usize) -> Result<Vec<Fixed>> {
+        let start = self.check_range(tile, addr, width)?;
+        Ok(self.data[start..start + width].to_vec())
+    }
+
+    /// Host-side forced write (used to inject inputs before a run); does not
+    /// respect blocking semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn poke(&mut self, tile: usize, addr: u32, values: &[Fixed], count: u16) -> Result<()> {
+        let start = self.check_range(tile, addr, values.len())?;
+        self.data[start..start + values.len()].copy_from_slice(values);
+        self.valid[start..start + values.len()].fill(1);
+        self.count[start..start + values.len()].fill(count);
+        let slot = &mut self.slots[tile];
+        slot.hi = slot.hi.max(addr as usize + values.len());
+        slot.generation += 1;
+        Ok(())
+    }
+
+    /// True if the word at `addr` is valid (has unconsumed data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if out of bounds.
+    pub fn is_valid(&self, tile: usize, addr: u32) -> Result<bool> {
+        let start = self.check_range(tile, addr, 1)?;
+        Ok(self.valid[start] != 0)
+    }
+
+    /// Tile-relative address of the first **valid** word in
+    /// `[addr, addr+width)`, if any — the bulk form of probing a
+    /// destination range for writability (a receive blocks on the first
+    /// still-valid word), replacing a per-word [`MemArena::is_valid`]
+    /// loop with one bounds check and a dense scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::Execution`] if the range is out of bounds.
+    pub fn first_valid(&self, tile: usize, addr: u32, width: usize) -> Result<Option<u32>> {
+        let start = self.check_range(tile, addr, width)?;
+        Ok(Self::first_one(&self.valid[start..start + width]).map(|i| addr + i as u32))
+    }
+}
+
+/// Tile shared memory: data words plus the attribute buffer. A
+/// single-tile view over a one-slot [`MemArena`] — the historical
+/// standalone type, kept as the protocol-test surface.
 #[derive(Debug, Clone)]
 pub struct SharedMemory {
-    data: Vec<Fixed>,
-    attrs: Vec<Attr>,
-    /// Monotonic counter bumped on every state change, used by the
-    /// simulator to retry blocked agents only when something changed.
-    generation: u64,
-    /// Exclusive upper bound of the words ever written (by the machine or
-    /// the host): [`SharedMemory::reset`] only has to clear `[0, hi)`,
-    /// which keeps per-request resets proportional to the memory actually
-    /// used, not the configured capacity.
-    hi: usize,
+    arena: MemArena,
 }
 
 impl SharedMemory {
     /// Allocates `words` invalid words.
     pub fn new(words: usize) -> Self {
-        SharedMemory {
-            data: vec![Fixed::ZERO; words],
-            attrs: vec![Attr::default(); words],
-            generation: 0,
-            hi: 0,
-        }
+        SharedMemory { arena: MemArena::new(1, words) }
     }
 
     /// Capacity in words.
     pub fn words(&self) -> usize {
-        self.data.len()
+        self.arena.words(0)
     }
 
     /// Clears data and attributes in place — identical post-state to a
     /// fresh [`SharedMemory::new`] of the same capacity, without
     /// re-allocating (the simulator resets per request on serving paths).
     pub fn reset(&mut self) {
-        self.data[..self.hi].fill(Fixed::ZERO);
-        self.attrs[..self.hi].fill(Attr::default());
-        self.generation = 0;
-        self.hi = 0;
+        self.arena.reset_tile(0);
     }
 
     /// Monotonic change counter (bumps on successful reads and writes).
     pub fn generation(&self) -> u64 {
-        self.generation
-    }
-
-    fn check_range(&self, addr: u32, width: usize) -> Result<()> {
-        let end = addr as usize + width;
-        if end > self.data.len() {
-            return Err(PumaError::Execution {
-                what: format!(
-                    "shared-memory access [{addr}, {end}) exceeds capacity {}",
-                    self.data.len()
-                ),
-            });
-        }
-        Ok(())
+        self.arena.generation(0)
     }
 
     /// Attempts a blocking consume-read of `width` words (Fig. 6 read).
@@ -110,49 +400,17 @@ impl SharedMemory {
     ///
     /// Returns [`PumaError::Execution`] if the range is out of bounds.
     pub fn try_read(&mut self, addr: u32, width: usize) -> Result<MemOutcome<Vec<Fixed>>> {
-        self.check_range(addr, width)?;
-        let start = addr as usize;
-        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
-            if !attr.valid {
-                return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
-            }
-        }
-        let out = self.data[start..start + width].to_vec();
-        for attr in &mut self.attrs[start..start + width] {
-            attr.count = attr.count.saturating_sub(1);
-            if attr.count == 0 {
-                attr.valid = false;
-            }
-        }
-        self.generation += 1;
-        Ok(MemOutcome::Done(out))
+        self.arena.try_read(0, addr, width)
     }
 
-    /// [`SharedMemory::try_read`] without materializing the data: the
-    /// attribute buffer is updated identically (counts decremented, words
-    /// invalidated at zero), but no vector is allocated. The timing-mode
-    /// simulator uses this for loads/sends whose payload is never
-    /// inspected — synchronization behaviour is bit-identical.
+    /// [`SharedMemory::try_read`] without materializing the data; see
+    /// [`MemArena::try_consume`].
     ///
     /// # Errors
     ///
     /// Returns [`PumaError::Execution`] if the range is out of bounds.
     pub fn try_consume(&mut self, addr: u32, width: usize) -> Result<MemOutcome<()>> {
-        self.check_range(addr, width)?;
-        let start = addr as usize;
-        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
-            if !attr.valid {
-                return Ok(MemOutcome::Blocked(MemBlock::NotValid { addr: addr + i as u32 }));
-            }
-        }
-        for attr in &mut self.attrs[start..start + width] {
-            attr.count = attr.count.saturating_sub(1);
-            if attr.count == 0 {
-                attr.valid = false;
-            }
-        }
-        self.generation += 1;
-        Ok(MemOutcome::Done(()))
+        self.arena.try_consume(0, addr, width)
     }
 
     /// Attempts a blocking write of `values` with consumer count `count`
@@ -163,31 +421,11 @@ impl SharedMemory {
     /// Returns [`PumaError::Execution`] if the range is out of bounds or
     /// `count` is zero (a zero-consumer write would deadlock all readers).
     pub fn try_write(&mut self, addr: u32, values: &[Fixed], count: u16) -> Result<MemOutcome<()>> {
-        self.check_range(addr, values.len())?;
-        if count == 0 {
-            return Err(PumaError::Execution {
-                what: format!("write at {addr} with zero consumer count"),
-            });
-        }
-        let start = addr as usize;
-        for (i, attr) in self.attrs[start..start + values.len()].iter().enumerate() {
-            if attr.valid {
-                return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
-            }
-        }
-        self.data[start..start + values.len()].copy_from_slice(values);
-        for attr in &mut self.attrs[start..start + values.len()] {
-            *attr = Attr { valid: true, count };
-        }
-        self.hi = self.hi.max(start + values.len());
-        self.generation += 1;
-        Ok(MemOutcome::Done(()))
+        self.arena.try_write(0, addr, values, count)
     }
 
-    /// [`SharedMemory::try_write`] of an all-zero payload, without the
-    /// caller allocating one — the timing-mode path for stores and
-    /// receives, whose payloads are not computed. Attribute behaviour and
-    /// the written data (zeros) are identical to passing a zero slice.
+    /// [`SharedMemory::try_write`] of an all-zero payload; see
+    /// [`MemArena::try_write_zeros`].
     ///
     /// # Errors
     ///
@@ -199,25 +437,7 @@ impl SharedMemory {
         width: usize,
         count: u16,
     ) -> Result<MemOutcome<()>> {
-        self.check_range(addr, width)?;
-        if count == 0 {
-            return Err(PumaError::Execution {
-                what: format!("write at {addr} with zero consumer count"),
-            });
-        }
-        let start = addr as usize;
-        for (i, attr) in self.attrs[start..start + width].iter().enumerate() {
-            if attr.valid {
-                return Ok(MemOutcome::Blocked(MemBlock::StillValid { addr: addr + i as u32 }));
-            }
-        }
-        self.data[start..start + width].fill(Fixed::ZERO);
-        for attr in &mut self.attrs[start..start + width] {
-            *attr = Attr { valid: true, count };
-        }
-        self.hi = self.hi.max(start + width);
-        self.generation += 1;
-        Ok(MemOutcome::Done(()))
+        self.arena.try_write_zeros(0, addr, width, count)
     }
 
     /// Host-side non-consuming read (used to fetch outputs after a run).
@@ -227,9 +447,7 @@ impl SharedMemory {
     /// Returns [`PumaError::Execution`] if the range is out of bounds or any
     /// word was never produced.
     pub fn peek(&self, addr: u32, width: usize) -> Result<Vec<Fixed>> {
-        self.check_range(addr, width)?;
-        let start = addr as usize;
-        Ok(self.data[start..start + width].to_vec())
+        self.arena.peek(0, addr, width)
     }
 
     /// Host-side forced write (used to inject inputs before a run); does not
@@ -239,15 +457,7 @@ impl SharedMemory {
     ///
     /// Returns [`PumaError::Execution`] if the range is out of bounds.
     pub fn poke(&mut self, addr: u32, values: &[Fixed], count: u16) -> Result<()> {
-        self.check_range(addr, values.len())?;
-        let start = addr as usize;
-        self.data[start..start + values.len()].copy_from_slice(values);
-        for attr in &mut self.attrs[start..start + values.len()] {
-            *attr = Attr { valid: true, count };
-        }
-        self.hi = self.hi.max(start + values.len());
-        self.generation += 1;
-        Ok(())
+        self.arena.poke(0, addr, values, count)
     }
 
     /// True if the word at `addr` is valid (has unconsumed data).
@@ -256,8 +466,7 @@ impl SharedMemory {
     ///
     /// Returns [`PumaError::Execution`] if out of bounds.
     pub fn is_valid(&self, addr: u32) -> Result<bool> {
-        self.check_range(addr, 1)?;
-        Ok(self.attrs[addr as usize].valid)
+        self.arena.is_valid(0, addr)
     }
 }
 
@@ -348,5 +557,34 @@ mod tests {
         assert_eq!(m.peek(1, 1).unwrap(), vec![fx(5.0)]);
         assert!(m.is_valid(1).unwrap());
         assert!(!m.is_valid(0).unwrap());
+    }
+
+    #[test]
+    fn arena_tiles_are_isolated() {
+        let mut a = MemArena::new(3, 8);
+        a.try_write(1, 0, &[fx(1.0); 2], 1).unwrap();
+        // Other tiles see nothing at the same tile-relative address.
+        assert!(!a.is_valid(0, 0).unwrap());
+        assert!(!a.is_valid(2, 0).unwrap());
+        assert!(a.is_valid(1, 0).unwrap());
+        // Per-tile generations advance independently.
+        assert_eq!(a.generation(0), 0);
+        assert!(a.generation(1) > 0);
+        // Per-tile reset clears only that tile's dirty range.
+        a.try_write(2, 0, &[fx(3.0)], 1).unwrap();
+        a.reset_tile(1);
+        assert!(!a.is_valid(1, 0).unwrap());
+        assert!(a.is_valid(2, 0).unwrap());
+        assert_eq!(a.generation(1), 0);
+    }
+
+    #[test]
+    fn arena_bounds_are_per_tile() {
+        let mut a = MemArena::new(2, 4);
+        // Address 4 is out of bounds for tile 0 even though tile 1's
+        // region sits right behind it in the backing plane.
+        assert!(a.try_write(0, 0, &[fx(1.0); 5], 1).is_err());
+        let err = a.peek(0, 2, 3).unwrap_err();
+        assert!(format!("{err}").contains("exceeds capacity 4"), "{err}");
     }
 }

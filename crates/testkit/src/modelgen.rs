@@ -413,6 +413,186 @@ pub fn sync_fabric_image(
     img
 }
 
+/// `pairs` independent producer/consumer core pairs per tile, each pair
+/// double-buffering through its **own disjoint word range** of the
+/// tile's attribute buffer — the exact shape the word-range conflict
+/// groups exist for: every pair is its own conflict group, so the
+/// run-ahead scheduler may admit one pair's instructions past another
+/// pair's pending deliveries on the *same tile*. Outputs `t<tile>p<pair>`
+/// hold each consumer's accumulated sum.
+///
+/// # Panics
+///
+/// Panics on zero tiles/pairs/rounds.
+pub fn disjoint_pairs_image(
+    tiles: usize,
+    pairs: usize,
+    rounds: usize,
+    width: usize,
+) -> MachineImage {
+    assert!(tiles >= 1 && pairs >= 1 && rounds >= 1, "pairs image needs tiles/pairs/rounds");
+    let mut img = MachineImage::new(tiles, 2 * pairs, 1);
+    let out_base = pairs * 2 * width;
+    for t in 0..tiles {
+        for p in 0..pairs {
+            let base = p * 2 * width;
+            let addr = |round: usize| base + (round % 2) * width;
+            let mut src = String::new();
+            for r in 0..rounds {
+                src.push_str(&format!("rand r0 r0 {width}\n"));
+                src.push_str(&format!("store @{} r0 1 {width}\n", addr(r)));
+            }
+            src.push_str("halt\n");
+            img.core_mut(TileId::new(t), CoreId::new(2 * p)).program = asm_program(&src);
+            let mut src = String::new();
+            for r in 0..rounds {
+                src.push_str(&format!("load r0 @{} {width}\n", addr(r)));
+                src.push_str(&format!("add r8 r8 r0 {width}\n"));
+            }
+            src.push_str(&format!("store @{} r8 1 {width}\n", out_base + p * width));
+            src.push_str("halt\n");
+            img.core_mut(TileId::new(t), CoreId::new(2 * p + 1)).program = asm_program(&src);
+            img.outputs.push(puma_isa::IoBinding {
+                name: format!("t{t}p{p}"),
+                tile: TileId::new(t),
+                addr: (out_base + p * width) as u32,
+                width,
+                count: 1,
+            });
+        }
+    }
+    img
+}
+
+/// The adversarial counterpart of [`disjoint_pairs_image`]: two cores per
+/// tile strictly alternating over **partially overlapping** word ranges.
+/// The ping core produces `[0, width)`; the pong core consumes it and
+/// replies on `[width/2, width/2 + width)` — the upper half of the ping
+/// range is reused by the reply, so both cores share one conflict group
+/// and the word-range horizon must *refuse* run-ahead between them.
+/// Alternation is forced by the attribute protocol itself (each store's
+/// precondition only holds after the opposite core's consume), so the
+/// schedule — and therefore outputs and stats — is engine-invariant.
+/// Outputs `t<tile>ping` / `t<tile>pong` hold the two accumulators.
+///
+/// # Panics
+///
+/// Panics on zero tiles/rounds or `width < 2` (a `width/2` shift of a
+/// one-word range does not overlap, it coincides — and two consumers
+/// racing for the same produced word would be schedule-dependent).
+pub fn overlap_pingpong_image(tiles: usize, rounds: usize, width: usize) -> MachineImage {
+    assert!(tiles >= 1 && rounds >= 1, "ping-pong image needs tiles/rounds");
+    assert!(width >= 2, "partial overlap needs width >= 2");
+    let reply = width / 2;
+    let out_base = 4 * width;
+    let mut img = MachineImage::new(tiles, 2, 1);
+    for t in 0..tiles {
+        let mut ping = String::new();
+        for _ in 0..rounds {
+            ping.push_str(&format!("rand r0 r0 {width}\n"));
+            ping.push_str(&format!("store @0 r0 1 {width}\n"));
+            ping.push_str(&format!("load r0 @{reply} {width}\n"));
+            ping.push_str(&format!("add r8 r8 r0 {width}\n"));
+        }
+        ping.push_str(&format!("store @{out_base} r8 1 {width}\n"));
+        ping.push_str("halt\n");
+        img.core_mut(TileId::new(t), CoreId::new(0)).program = asm_program(&ping);
+        let mut pong = String::new();
+        for _ in 0..rounds {
+            pong.push_str(&format!("load r0 @0 {width}\n"));
+            pong.push_str(&format!("add r8 r8 r0 {width}\n"));
+            pong.push_str(&format!("store @{reply} r0 1 {width}\n"));
+        }
+        pong.push_str(&format!("store @{} r8 1 {width}\n", out_base + width));
+        pong.push_str("halt\n");
+        img.core_mut(TileId::new(t), CoreId::new(1)).program = asm_program(&pong);
+        for (name, slot) in [("ping", 0), ("pong", 1)] {
+            img.outputs.push(puma_isa::IoBinding {
+                name: format!("t{t}{name}"),
+                tile: TileId::new(t),
+                addr: (out_base + slot * width) as u32,
+                width,
+                count: 1,
+            });
+        }
+    }
+    img
+}
+
+/// [`disjoint_pairs_image`] sharded across `nodes` single-tile nodes and
+/// coupled by a cross-node token chain over the tile control units: node
+/// 0's extra seeder core produces a fresh token each round, every
+/// control unit relays it over the chip-to-chip link (send consumes,
+/// receive re-produces at the same address), and the last node's extra
+/// core consume-accumulates it. The chain gives [`crate::harness`]-style
+/// cluster and pipeline runs real inter-node traffic while the pairs
+/// exercise same-tile disjoint ranges. Outputs: `chain` (the token
+/// accumulator at the last node) and `n<node>p<pair>` pair accumulators.
+///
+/// # Panics
+///
+/// Panics unless `nodes >= 2` and pairs/rounds/width are nonzero.
+pub fn disjoint_shard_images(
+    nodes: usize,
+    pairs: usize,
+    rounds: usize,
+    width: usize,
+) -> Vec<MachineImage> {
+    assert!(nodes >= 2, "a chain needs at least two nodes");
+    assert!(pairs >= 1 && rounds >= 1 && width >= 1, "shards need pairs/rounds/width");
+    let token = pairs * 3 * width; // past the pair buffers and accumulators
+    let extra = 2 * pairs; // core index of the seeder / chain accumulator
+    let mut images = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        let last = node + 1 == nodes;
+        let mut img = disjoint_pairs_image(1, pairs, rounds, width);
+        for o in &mut img.outputs {
+            o.name = o.name.replacen("t0", &format!("n{node}"), 1);
+        }
+        if node == 0 {
+            img.tiles[0].cores.push(puma_isa::CoreImage::new(1));
+            let mut src = String::new();
+            for _ in 0..rounds {
+                src.push_str(&format!("rand r0 r0 {width}\n"));
+                src.push_str(&format!("store @{token} r0 1 {width}\n"));
+            }
+            src.push_str("halt\n");
+            img.core_mut(TileId::new(0), CoreId::new(extra)).program = asm_program(&src);
+        }
+        if last {
+            img.tiles[0].cores.push(puma_isa::CoreImage::new(1));
+            let mut src = String::new();
+            for _ in 0..rounds {
+                src.push_str(&format!("load r0 @{token} {width}\n"));
+                src.push_str(&format!("add r8 r8 r0 {width}\n"));
+            }
+            src.push_str(&format!("store @{} r8 1 {width}\n", token + width));
+            src.push_str("halt\n");
+            img.core_mut(TileId::new(0), CoreId::new(extra)).program = asm_program(&src);
+            img.outputs.push(puma_isa::IoBinding {
+                name: "chain".into(),
+                tile: TileId::new(0),
+                addr: (token + width) as u32,
+                width,
+                count: 1,
+            });
+        }
+        let mut ctl = String::new();
+        for _ in 0..rounds {
+            if node > 0 {
+                ctl.push_str(&format!("recv @{token} f0 1 {width}\n"));
+            }
+            if !last {
+                ctl.push_str(&format!("send @{token} f0 t0 {width} n{}\n", node + 1));
+            }
+        }
+        ctl.push_str("halt\n");
+        img.tiles[0].program = asm_program(&ctl);
+        images.push(img);
+    }
+    images
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

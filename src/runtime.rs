@@ -151,6 +151,26 @@ impl SimBackend {
             SimBackend::Cluster(s) => s.adopt_compiled_images(images),
         }
     }
+
+    /// Forks a fresh worker replica: programs, programmed crossbars, and
+    /// pre-decoded images are `Arc`-shared with the original; only the
+    /// state arenas and accumulators are allocated anew. This replaces
+    /// re-running construction (and crossbar programming) per worker.
+    fn fork_replica(&self) -> SimBackend {
+        match self {
+            SimBackend::Node(s) => SimBackend::Node(Box::new(s.fork_replica())),
+            SimBackend::Cluster(s) => SimBackend::Cluster(s.fork_replica()),
+        }
+    }
+
+    /// Approximate bytes of per-replica mutable state (the marginal
+    /// footprint of one more pool worker; shared artifacts excluded).
+    fn state_bytes(&self) -> usize {
+        match self {
+            SimBackend::Node(s) => s.state_bytes(),
+            SimBackend::Cluster(s) => s.state_bytes(),
+        }
+    }
 }
 
 /// Builds the simulator matching the compiled model's partitioning: a
@@ -605,6 +625,11 @@ pub struct ServeRunner {
     /// adopted read-only by every later replica — the pool shares one
     /// compiled image per node instead of recompiling per worker.
     compiled_images: Mutex<Option<Vec<Arc<CompiledImage>>>>,
+    /// The immutable replica prototype: construction and crossbar
+    /// programming are paid once here; every pool worker is forked from
+    /// it (`Arc`-sharing programs, crossbars, and compiled images), so
+    /// growing the pool costs one arena allocation, not a rebuild.
+    prototype: SimBackend,
 }
 
 impl ServeRunner {
@@ -643,6 +668,7 @@ impl ServeRunner {
         // mode also programs the crossbars), so per-worker builds cannot
         // fail; the validated instance seeds the worker pool.
         let first = build_backend(&cfg, &images, mode, noise)?;
+        let prototype = first.fork_replica();
         Ok(ServeRunner {
             compiled,
             images,
@@ -657,6 +683,7 @@ impl ServeRunner {
             pool: Mutex::new(vec![first]),
             pipeline_sim: Mutex::new(None),
             compiled_images: Mutex::new(None),
+            prototype,
         })
     }
 
@@ -742,8 +769,17 @@ impl ServeRunner {
         self.images.len()
     }
 
+    /// Approximate bytes of per-replica mutable state — what one more
+    /// pool worker costs in memory. Programs, programmed crossbars, and
+    /// compiled micro-op images are `Arc`-shared across replicas and
+    /// excluded; this is the number that bounds how many workers fit on
+    /// a serving host.
+    pub fn replica_bytes(&self) -> usize {
+        self.prototype.state_bytes()
+    }
+
     fn build_sim(&self) -> Result<SimBackend> {
-        let mut sim = build_backend(&self.cfg, &self.images, self.mode, &self.noise)?;
+        let mut sim = self.prototype.fork_replica();
         if self.engine == SimEngine::Compiled {
             let mut cache = self.compiled_images.lock().expect("compiled image cache poisoned");
             if let Some(images) = cache.as_ref() {
