@@ -19,13 +19,14 @@
 //! `--quick` shrinks iteration counts and batch sizes for CI.
 
 use puma::runtime::{
-    BatchRequest, BatchRunner, FabricSpec, ModelCatalog, ServeRunner, TenantServer, TenantStream,
+    BatchRequest, BatchRunner, FabricSpec, ModelCatalog, RetryPolicy, ServeRunner, TenantServer,
+    TenantStream,
 };
 use puma_bench::{
     compile_workload, fmt_ratio, print_table, sim_seq_len, ClusterTimingSession, TimingSession,
 };
 use puma_compiler::{CompilerOptions, Partitioning};
-use puma_core::config::{MvmuConfig, NodeConfig, NonIdealityConfig};
+use puma_core::config::{FaultPlan, MvmuConfig, NodeConfig, NonIdealityConfig, TileDeath};
 use puma_core::timing::TrafficPattern;
 use puma_nn::accuracy::frontier_accuracy;
 use puma_nn::data::{split, synthetic_clusters};
@@ -450,6 +451,171 @@ fn bench_multi_tenant(cfg: &NodeConfig, requests: usize) -> Vec<MultiTenantRow> 
     rows
 }
 
+/// One scenario × model row of the fault-tolerance sweep: how a
+/// multi-tenant serve degrades under an injected [`FaultPlan`], on the
+/// simulated clock (deterministic, so the zero-fault anchor row is
+/// CI-gateable).
+struct FaultToleranceRow {
+    /// Injected-fault scenario label (`"none"` is the anchor).
+    scenario: &'static str,
+    model: String,
+    requests: usize,
+    completed: usize,
+    /// Completed only after at least one fault retry.
+    retried: usize,
+    /// Failed permanently (retry budget exhausted or no live replica).
+    failed: usize,
+    shed: usize,
+    p50: u64,
+    p99: u64,
+    /// Cycle the last request of *any* co-resident model finished.
+    makespan: u64,
+    /// The zero-fault anchor row — the only row `compare_bench` gates;
+    /// the faulted rows are published info-only (like the degraded rows
+    /// of the noise frontier).
+    anchor: bool,
+}
+
+/// Fault-tolerance sweep: the multi-tenant pair (MLP + LSTM, each fed a
+/// load-1.0 uniform stream) served under escalating [`FaultPlan`]s — no
+/// faults (the gated anchor), two stuck-cell rates (cell faults perturb
+/// values, never the schedule, so these rows must match the anchor), a
+/// hard tile death under the MLP's replica (no retries: the in-flight
+/// victim fails typed, the replica fails over, the survivors finish),
+/// and the same death with a retry budget (the victim re-arrives after
+/// backoff and completes — zero failures). Everything is simulated-clock
+/// deterministic; `compare_bench` gates the anchor fail-closed and
+/// labels the rest `info (fault)`.
+fn bench_fault_tolerance(cfg: &NodeConfig, requests: usize) -> Vec<FaultToleranceRow> {
+    let models = ["MLP-64-150-150-14", "NMTL3"];
+    let compiled: Vec<_> = models
+        .iter()
+        .map(|name| {
+            let spec = zoo::spec(name);
+            let mut weights = puma_nn::WeightFactory::shape_only(7);
+            let model = zoo::build_graph_model(&spec, &mut weights, sim_seq_len(name))
+                .expect("zoo model builds")
+                .expect("workload is graph-compilable");
+            (
+                *name,
+                puma_compiler::compile(&model, cfg, &CompilerOptions::timing_only())
+                    .expect("zoo model compiles"),
+            )
+        })
+        .collect();
+    let tiles: Vec<usize> = compiled.iter().map(|(_, c)| c.stats.tiles_used.max(1)).collect();
+    // Headroom for one failover of the first model's replica.
+    let fabric =
+        FabricSpec::new(1, (tiles.iter().sum::<usize>() + tiles[0]).max(cfg.tiles_per_node));
+    let build = |faults: FaultPlan, retry: RetryPolicy| -> TenantServer {
+        let mut catalog = ModelCatalog::new();
+        for (name, c) in &compiled {
+            catalog.register(name, c.clone()).expect("catalog registration");
+        }
+        let cfg = NodeConfig { faults, ..*cfg };
+        let mut server =
+            TenantServer::new(catalog, fabric, &cfg, SimMode::Timing, &NoiseModel::noiseless())
+                .expect("tenant server builds")
+                .with_queue_depth(Some(4))
+                .with_retry_policy(retry);
+        for name in models {
+            server.deploy(name).expect("zoo model deploys");
+        }
+        server
+    };
+    let zero_requests = |i: usize, n: usize| -> Vec<BatchRequest> {
+        (0..n)
+            .map(|_| {
+                BatchRequest::new(
+                    compiled[i]
+                        .1
+                        .inputs
+                        .iter()
+                        .map(|io| (io.name.clone(), vec![0.0; io.width]))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+    // Calibrate each model's service time on the clean server, then
+    // reuse that server for the anchor scenario.
+    let clean = build(FaultPlan::none(), RetryPolicy::default());
+    let service: Vec<u64> = models
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let outcome = clean
+                .serve(&[TenantStream::new(name, zero_requests(i, 1), TrafficPattern::Batch)])
+                .expect("calibration serve");
+            outcome.models[0].latency.p50.max(1)
+        })
+        .collect();
+    // Kill the first model's primary replica while its second request is
+    // in flight (back-to-back load-1.0 windows cover this cycle).
+    let death = TileDeath { node: 0, tile: 0, at_cycle: service[0].saturating_mul(3) / 2 };
+    let scenarios: [(&'static str, FaultPlan, RetryPolicy); 5] = [
+        ("none", FaultPlan::none(), RetryPolicy::default()),
+        (
+            "stuck_cells@0.05",
+            FaultPlan { stuck_cell_rate: 0.05, seed: 11, ..FaultPlan::none() },
+            RetryPolicy::default(),
+        ),
+        (
+            "stuck_cells@0.20",
+            FaultPlan { stuck_cell_rate: 0.20, seed: 11, ..FaultPlan::none() },
+            RetryPolicy::default(),
+        ),
+        (
+            "tile_death",
+            FaultPlan { tile_death: Some(death), ..FaultPlan::none() },
+            RetryPolicy::default(),
+        ),
+        (
+            "tile_death+retry",
+            FaultPlan { tile_death: Some(death), ..FaultPlan::none() },
+            RetryPolicy::new(3, (service[0] / 4).max(1)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (scenario, faults, retry) in scenarios {
+        let built;
+        let server = if scenario == "none" {
+            &clean
+        } else {
+            built = build(faults, retry);
+            &built
+        };
+        let streams: Vec<TenantStream> = models
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                TenantStream::new(
+                    name,
+                    zero_requests(i, requests),
+                    TrafficPattern::Uniform { interval: service[i] },
+                )
+            })
+            .collect();
+        let outcome = server.serve(&streams).expect("fault-tolerance sweep");
+        for m in &outcome.models {
+            rows.push(FaultToleranceRow {
+                scenario,
+                model: m.model.clone(),
+                requests,
+                completed: m.completed(),
+                retried: m.retried,
+                failed: m.failed,
+                shed: m.shed,
+                p50: m.latency.p50,
+                p99: m.latency.p99,
+                makespan: outcome.makespan_cycles,
+                anchor: scenario == "none",
+            });
+        }
+    }
+    rows
+}
+
 /// Measures the marginal per-worker replica footprint for the serving
 /// workloads (see [`ServeRunner::replica_bytes`]). Deterministic on any
 /// host, so `compare_bench` gates it fail-closed — this is the number
@@ -737,6 +903,44 @@ fn multi_tenant_json_rows(tenant_rows: &[MultiTenantRow]) -> Vec<String> {
         .collect()
 }
 
+fn fault_tolerance_json_rows(fault_rows: &[FaultToleranceRow]) -> Vec<String> {
+    fault_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"model\": \"{}\", \"requests\": {}, \
+                 \"completed\": {}, \"retried\": {}, \"failed\": {}, \"shed\": {}, \
+                 \"p50_cycles\": {}, \"p99_cycles\": {}, \"makespan_cycles\": {}, \
+                 \"anchor\": {}}}",
+                json_escape(r.scenario),
+                json_escape(&r.model),
+                r.requests,
+                r.completed,
+                r.retried,
+                r.failed,
+                r.shed,
+                r.p50,
+                r.p99,
+                r.makespan,
+                r.anchor,
+            )
+        })
+        .collect()
+}
+
+/// Writes the fault-tolerance section alone to its own artifact
+/// (uploaded by CI next to the full throughput JSON).
+fn write_fault_tolerance_json(path: &str, quick: bool, fault_rows: &[FaultToleranceRow]) {
+    let json = format!(
+        "{{\n  \"bench\": \"fault_tolerance\",\n  \"quick\": {},\n  \
+         \"fault_tolerance\": [\n{}\n  ]\n}}\n",
+        quick,
+        fault_tolerance_json_rows(fault_rows).join(",\n"),
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 fn frontier_json_rows(frontier_rows: &[FrontierRow]) -> Vec<String> {
     frontier_rows
         .iter()
@@ -766,6 +970,7 @@ fn write_json(
     sharded_rows: &[ShardedRow],
     serving_rows: &[ServingRow],
     tenant_rows: &[MultiTenantRow],
+    fault_rows: &[FaultToleranceRow],
     frontier_rows: &[FrontierRow],
     replica_rows: &[ReplicaRow],
     speedups: &SpeedupSummary,
@@ -843,7 +1048,8 @@ fn write_json(
          \"compiled_speedup_vs_run_ahead_min\": {:.3},\n  \
          \"single_thread\": [\n{}\n  ],\n  \"batch\": [\n{}\n  ],\n  \
          \"sharded\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \
-         \"multi_tenant\": [\n{}\n  ],\n  \"noise_frontier\": [\n{}\n  ],\n  \
+         \"multi_tenant\": [\n{}\n  ],\n  \"fault_tolerance\": [\n{}\n  ],\n  \
+         \"noise_frontier\": [\n{}\n  ],\n  \
          \"replica\": [\n{}\n  ]\n}}\n",
         quick,
         speedups.run_ahead_peak,
@@ -856,6 +1062,7 @@ fn write_json(
         sharded.join(",\n"),
         serving_json_rows(serving_rows).join(",\n"),
         multi_tenant_json_rows(tenant_rows).join(",\n"),
+        fault_tolerance_json_rows(fault_rows).join(",\n"),
         frontier_json_rows(frontier_rows).join(",\n"),
         replicas.join(",\n"),
     );
@@ -1041,6 +1248,30 @@ fn main() {
         &table,
     );
 
+    // Fault-tolerance sweep: the same multi-tenant pair served under
+    // escalating fault plans. Only the zero-fault anchor rows are gated;
+    // the faulted rows are published info-only.
+    let fault_rows = bench_fault_tolerance(&cfg, tenant_requests);
+    let mut table = Vec::new();
+    for r in &fault_rows {
+        table.push(vec![
+            r.scenario.to_string(),
+            r.model.clone(),
+            format!("{}/{}", r.completed, r.requests),
+            r.retried.to_string(),
+            r.failed.to_string(),
+            r.shed.to_string(),
+            r.p50.to_string(),
+            r.p99.to_string(),
+            if r.anchor { "anchor (gated)" } else { "info" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Fault-tolerance sweep (injected fault plans; simulated cycles)",
+        &["Scenario", "Model", "Done", "Retried", "Failed", "Shed", "p50", "p99", "Row"],
+        &table,
+    );
+
     // Accuracy/energy frontier across noise σ × ADC width. Only the
     // ideal anchor row is gated; the degraded rows are published
     // info-only (see compare_bench's key convention).
@@ -1088,11 +1319,13 @@ fn main() {
         &sharded_rows,
         &serving_rows,
         &tenant_rows,
+        &fault_rows,
         &frontier_rows,
         &replica_rows,
         &speedups,
     );
     write_serving_json("BENCH_serving.json", quick, &serving_rows);
+    write_fault_tolerance_json("BENCH_fault_tolerance.json", quick, &fault_rows);
     println!(
         "\n  Run-ahead vs reference event loop: {} (loop-heavy CNN) to {} (LSTM send/recv-bound).",
         fmt_ratio(speedups.run_ahead_peak),

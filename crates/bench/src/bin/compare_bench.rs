@@ -33,7 +33,11 @@
 //! shared-runner noise.
 //!
 //! Usage:
-//! `compare_bench [--baseline PATH] [--current PATH] [--tolerance FRAC] [--speedup-floor R] [--compiled-floor R] [--compiled-runahead-floor R] [--wall]`
+//! `compare_bench [--baseline PATH] [--current PATH] [--tolerance FRAC] [--speedup-floor R] [--compiled-floor R] [--compiled-runahead-floor R] [--wall] [--explain]`
+//!
+//! `--explain` prints the key convention — every metric the gate
+//! inspects, per section, classed gated vs. `info` — and exits without
+//! comparing anything (neither JSON file is read).
 //!
 //! Intentional shifts (a timing-model change, a new compiler pass) are
 //! re-blessed by regenerating the baseline:
@@ -229,11 +233,7 @@ fn frontier_checks(checks: &mut Vec<Check>, baseline: &Json, current: &Json) {
     for (key, base_row) in base_rows {
         let ideal = base_row.get("ideal") == Some(&Json::Bool(true));
         let cur_row = current_rows.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
-        for (metric, worse) in [
-            ("simulated_cycles", Worse::Higher),
-            ("energy_nj", Worse::Higher),
-            ("accuracy", Worse::Lower),
-        ] {
+        for (metric, worse) in FRONTIER_METRICS {
             checks.push(Check {
                 section: "noise_frontier",
                 key: key.clone(),
@@ -247,6 +247,65 @@ fn frontier_checks(checks: &mut Vec<Check>, baseline: &Json, current: &Json) {
         }
     }
 }
+
+/// The `noise_frontier` metrics, gated per row (see [`frontier_checks`]).
+const FRONTIER_METRICS: [(&str, Worse); 3] =
+    [("simulated_cycles", Worse::Higher), ("energy_nj", Worse::Higher), ("accuracy", Worse::Lower)];
+
+/// Checks for the `fault_tolerance` section, whose gating is per row
+/// like the noise frontier's: the zero-fault `anchor` row — the same
+/// serve path as every other multi-tenant measurement, just declared
+/// fault-free — gates its completion/retry/failure/shed counts and tail
+/// latency fail-closed, while the injected-fault rows (the degradation
+/// measurement itself) stay info-only and are labeled `info (fault)` so
+/// nobody mistakes their drift-through for a passed gate. The section as
+/// a whole still fails closed — a baseline without it, or an anchor row
+/// missing a gated key, is a hard failure, exactly like the other
+/// sections.
+fn fault_tolerance_checks(checks: &mut Vec<Check>, baseline: &Json, current: &Json) {
+    let key_fields = ["scenario", "model"];
+    let base_rows = rows_by_key(baseline, "fault_tolerance", &key_fields);
+    if base_rows.is_empty() {
+        checks.push(Check {
+            section: "fault_tolerance",
+            key: "(no baseline rows)".to_string(),
+            metric: "section",
+            baseline: None,
+            current: None,
+            worse: Worse::Higher,
+            gated: true,
+            info_label: "info",
+        });
+        return;
+    }
+    let current_rows = rows_by_key(current, "fault_tolerance", &key_fields);
+    for (key, base_row) in base_rows {
+        let anchor = base_row.get("anchor") == Some(&Json::Bool(true));
+        let cur_row = current_rows.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
+        for (metric, worse) in FAULT_TOLERANCE_METRICS {
+            checks.push(Check {
+                section: "fault_tolerance",
+                key: key.clone(),
+                metric,
+                baseline: field(base_row, metric),
+                current: cur_row.and_then(|r| field(r, metric)),
+                worse,
+                gated: anchor,
+                info_label: "info (fault)",
+            });
+        }
+    }
+}
+
+/// The `fault_tolerance` metrics, gated on the anchor row only.
+const FAULT_TOLERANCE_METRICS: [(&str, Worse); 6] = [
+    ("completed", Worse::Lower),
+    ("retried", Worse::Higher),
+    ("failed", Worse::Higher),
+    ("shed", Worse::Higher),
+    ("p99_cycles", Worse::Higher),
+    ("makespan_cycles", Worse::Higher),
+];
 
 /// Per-workload `engine`/reference speedup ratios from `single_thread`.
 fn speedups(doc: &Json, engine: &str) -> Vec<(String, f64)> {
@@ -271,6 +330,160 @@ fn speedups(doc: &Json, engine: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// One `section_checks` invocation's worth of configuration. The gate
+/// and `--explain` both consume this table, so the printed key
+/// convention cannot drift from what the gate actually enforces.
+struct SectionSpec {
+    section: &'static str,
+    key_fields: &'static [&'static str],
+    metrics: Vec<(&'static str, Worse, bool)>,
+    optional: bool,
+}
+
+/// The per-metric-gated sections (everything except the per-row-gated
+/// `noise_frontier` / `fault_tolerance` and the speedup floors/ratios).
+fn section_specs(gate_wall: bool) -> Vec<SectionSpec> {
+    vec![
+        SectionSpec {
+            section: "single_thread",
+            key_fields: &["workload", "engine"],
+            metrics: vec![
+                ("instructions_per_run", Worse::Higher, true),
+                ("simulated_cycles", Worse::Higher, true),
+                // Queue pops per executed instruction: the
+                // scheduler-overhead residue. Deterministic (simulated
+                // event count over simulated instruction count), so it
+                // gates on any host — a run-ahead or conflict-group
+                // regression shows up here before it shows up in wall
+                // clock.
+                ("queue_events_per_instruction", Worse::Higher, true),
+                ("instructions_per_second", Worse::Lower, gate_wall),
+            ],
+            optional: false,
+        },
+        // Per-worker replica footprint: deterministic allocation
+        // accounting (arena sizes + accumulators), gated so state-layout
+        // regressions that re-bloat serving workers fail loudly.
+        SectionSpec {
+            section: "replica",
+            key_fields: &["workload", "nodes"],
+            metrics: vec![("replica_bytes", Worse::Higher, true)],
+            optional: false,
+        },
+        SectionSpec {
+            section: "sharded",
+            key_fields: &["workload", "nodes"],
+            metrics: vec![
+                ("simulated_cycles", Worse::Higher, true),
+                ("internode_words", Worse::Higher, true),
+            ],
+            optional: false,
+        },
+        SectionSpec {
+            section: "batch",
+            key_fields: &["workload", "threads"],
+            metrics: vec![("requests_per_second", Worse::Lower, gate_wall)],
+            optional: true,
+        },
+        // Serving rows are entirely simulated-clock metrics: latency
+        // percentiles, shed count, completion count, and makespan are
+        // deterministic properties of the queue schedule, gated on any
+        // host.
+        SectionSpec {
+            section: "serving",
+            key_fields: &["workload", "mode", "pattern", "load", "workers"],
+            metrics: vec![
+                ("p50_cycles", Worse::Higher, true),
+                ("p95_cycles", Worse::Higher, true),
+                ("p99_cycles", Worse::Higher, true),
+                ("shed", Worse::Higher, true),
+                ("completed", Worse::Lower, true),
+                ("makespan_cycles", Worse::Higher, true),
+            ],
+            optional: false,
+        },
+        // Multi-tenant rows: per-model tail latency and shed under mixed
+        // Poisson load on a shared fabric — all simulated-clock, gated.
+        SectionSpec {
+            section: "multi_tenant",
+            key_fields: &["model", "load"],
+            metrics: vec![
+                ("p95_cycles", Worse::Higher, true),
+                ("shed", Worse::Higher, true),
+                ("completed", Worse::Lower, true),
+            ],
+            optional: false,
+        },
+    ]
+}
+
+/// `--explain`: prints every key the gate inspects, per section, with
+/// its class — `gated` keys fail closed (a regression, a missing key, a
+/// vanished row, or a missing section fails the run), `info` keys are
+/// printed for trend-watching only. Derived from the same tables the
+/// gate runs, so it cannot go stale; needs neither JSON file.
+fn print_explain(gate_wall: bool) {
+    let always = section_specs(false);
+    let walled = section_specs(true);
+    let mut table = Vec::new();
+    for (spec, wall_spec) in always.iter().zip(&walled) {
+        for (&(metric, _, gated), &(_, _, wall_gated)) in
+            spec.metrics.iter().zip(&wall_spec.metrics)
+        {
+            let class = if gated {
+                "gated"
+            } else if wall_gated {
+                if gate_wall {
+                    "gated (--wall)"
+                } else {
+                    "info (--wall gates it)"
+                }
+            } else {
+                "info"
+            };
+            table.push(vec![spec.section.to_string(), metric.to_string(), class.to_string()]);
+        }
+    }
+    for (metric, _) in FRONTIER_METRICS {
+        let class = if metric == "accuracy" {
+            "info (pinned bit-exactly by the test suites instead)"
+        } else {
+            "gated on the ideal anchor row; info (frontier) on degraded rows"
+        };
+        table.push(vec!["noise_frontier".to_string(), metric.to_string(), class.to_string()]);
+    }
+    for (metric, _) in FAULT_TOLERANCE_METRICS {
+        table.push(vec![
+            "fault_tolerance".to_string(),
+            metric.to_string(),
+            "gated on the zero-fault anchor rows; info (fault) on injected-fault rows".to_string(),
+        ]);
+    }
+    for key in [
+        "run_ahead_speedup_vs_reference_min",
+        "compiled_speedup_vs_reference_min",
+        "compiled_speedup_vs_run_ahead_min",
+    ] {
+        table.push(vec![
+            "speedup".to_string(),
+            key.to_string(),
+            "gated (absolute floor on the current run; tolerance does not apply)".to_string(),
+        ]);
+    }
+    for key in ["run_ahead_vs_reference", "compiled_vs_reference"] {
+        table.push(vec![
+            "speedup".to_string(),
+            key.to_string(),
+            if gate_wall { "gated (--wall)" } else { "info (--wall gates it)" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Perf-gate key convention (gated keys fail closed: absent = regressed)",
+        &["Section", "Key", "Class"],
+        &table,
+    );
+}
+
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {path}: {e} (commit BENCH_baseline.json?)"));
@@ -293,97 +506,33 @@ fn main() -> ExitCode {
             t.parse().expect("--compiled-runahead-floor takes a ratio")
         });
     let gate_wall = args.iter().any(|a| a == "--wall");
+    if args.iter().any(|a| a == "--explain") {
+        print_explain(gate_wall);
+        return ExitCode::SUCCESS;
+    }
 
     let baseline = load(baseline_path);
     let current = load(current_path);
 
     let mut checks = Vec::new();
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "single_thread",
-        &["workload", "engine"],
-        &[
-            ("instructions_per_run", Worse::Higher, true),
-            ("simulated_cycles", Worse::Higher, true),
-            // Queue pops per executed instruction: the scheduler-overhead
-            // residue. Deterministic (simulated event count over simulated
-            // instruction count), so it gates on any host — a run-ahead or
-            // conflict-group regression shows up here before it shows up
-            // in wall clock.
-            ("queue_events_per_instruction", Worse::Higher, true),
-            ("instructions_per_second", Worse::Lower, gate_wall),
-        ],
-        false,
-    );
-    // Per-worker replica footprint: deterministic allocation accounting
-    // (arena sizes + accumulators), gated so state-layout regressions
-    // that re-bloat serving workers fail loudly.
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "replica",
-        &["workload", "nodes"],
-        &[("replica_bytes", Worse::Higher, true)],
-        false,
-    );
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "sharded",
-        &["workload", "nodes"],
-        &[("simulated_cycles", Worse::Higher, true), ("internode_words", Worse::Higher, true)],
-        false,
-    );
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "batch",
-        &["workload", "threads"],
-        &[("requests_per_second", Worse::Lower, gate_wall)],
-        true,
-    );
-    // Serving rows are entirely simulated-clock metrics: latency
-    // percentiles, shed count, completion count, and makespan are
-    // deterministic properties of the queue schedule, gated on any host.
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "serving",
-        &["workload", "mode", "pattern", "load", "workers"],
-        &[
-            ("p50_cycles", Worse::Higher, true),
-            ("p95_cycles", Worse::Higher, true),
-            ("p99_cycles", Worse::Higher, true),
-            ("shed", Worse::Higher, true),
-            ("completed", Worse::Lower, true),
-            ("makespan_cycles", Worse::Higher, true),
-        ],
-        false,
-    );
-    // Multi-tenant rows: per-model tail latency and shed under mixed
-    // Poisson load on a shared fabric — all simulated-clock, gated.
-    section_checks(
-        &mut checks,
-        &baseline,
-        &current,
-        "multi_tenant",
-        &["model", "load"],
-        &[
-            ("p95_cycles", Worse::Higher, true),
-            ("shed", Worse::Higher, true),
-            ("completed", Worse::Lower, true),
-        ],
-        false,
-    );
+    for spec in section_specs(gate_wall) {
+        section_checks(
+            &mut checks,
+            &baseline,
+            &current,
+            spec.section,
+            spec.key_fields,
+            &spec.metrics,
+            spec.optional,
+        );
+    }
     // Noise frontier: per-row gating — the ideal anchor row gates
     // cycles/energy, the degraded rows are info-only by design.
     frontier_checks(&mut checks, &baseline, &current);
+    // Fault tolerance: per-row gating — the zero-fault anchor rows gate
+    // completion/failure counts and tail latency, the injected-fault
+    // rows are info-only by design.
+    fault_tolerance_checks(&mut checks, &baseline, &current);
     // Engine speedup ratios: normalized against host *speed* (both
     // engines run on the same machine), but not against host *noise* — a
     // transient burst during one engine's timing loop still skews the

@@ -206,6 +206,144 @@ impl Default for NonIdealityConfig {
     }
 }
 
+/// Hard death of one tile at a virtual cycle: every agent of the tile
+/// halts at instructions issued at or after `at_cycle`, and packets
+/// delivered to the tile from then on are dropped. Requests blocked on
+/// the dead tile surface as typed faults
+/// (`PumaError::FaultedTile`) instead of silent deadlocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileDeath {
+    /// Node the dying tile belongs to (0 for single-node simulations).
+    #[serde(default)]
+    pub node: u16,
+    /// Tile index within the node.
+    #[serde(default)]
+    pub tile: u32,
+    /// Virtual cycle at which the tile dies.
+    #[serde(default)]
+    pub at_cycle: u64,
+}
+
+/// Deterministic fault-injection plan, spanning every layer of the
+/// stack: stuck-at crossbar cells and dead columns (xbar), hard tile
+/// death at a virtual cycle (machine), and interconnect packet
+/// drop/duplicate/delay (cluster).
+///
+/// The default (empty) plan is *inert*: the simulator takes the exact
+/// code path untouched, bit-identical to a plan-absent config, so the
+/// three-engine differential suites stay pinned. Every injected fault
+/// is a counter-based hash of `(seed, site, cell/packet, time)` — the
+/// same RNG contract as [`NonIdealityConfig`] — so a fixed
+/// `(FaultPlan, seed)` replays bit-exactly across runs, engines,
+/// host-thread counts, serving workers, and placements (crossbar fault
+/// sites are keyed resident-relative).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Fraction of crossbar cells stuck at a random conductance
+    /// (persistent manufacturing defects; drawn per `(site, cell)`,
+    /// independent of time).
+    #[serde(default)]
+    pub stuck_cell_rate: f64,
+    /// Fraction of crossbar columns whose ADC/peripheral is dead: the
+    /// column's analog current reads as zero (drawn per `(site, column)`).
+    #[serde(default)]
+    pub dead_column_rate: f64,
+    /// Hard tile death at a virtual cycle (`None` = no death).
+    #[serde(default)]
+    pub tile_death: Option<TileDeath>,
+    /// Fraction of internode packets silently dropped in flight.
+    #[serde(default)]
+    pub packet_loss_rate: f64,
+    /// Fraction of internode packets delivered twice.
+    #[serde(default)]
+    pub packet_duplicate_rate: f64,
+    /// Fraction of internode packets delayed by
+    /// [`FaultPlan::packet_delay_cycles`] extra cycles.
+    #[serde(default)]
+    pub packet_delay_rate: f64,
+    /// Extra latency a delayed packet suffers, in cycles.
+    #[serde(default = "FaultPlan::default_packet_delay")]
+    pub packet_delay_cycles: u64,
+    /// Seed for every counter-based fault hash. Changing it yields an
+    /// independent fault realization; replaying it replays bit-exactly.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    fn default_packet_delay() -> u64 {
+        64
+    }
+
+    /// The empty plan: no faults anywhere.
+    pub fn none() -> Self {
+        FaultPlan {
+            stuck_cell_rate: 0.0,
+            dead_column_rate: 0.0,
+            tile_death: None,
+            packet_loss_rate: 0.0,
+            packet_duplicate_rate: 0.0,
+            packet_delay_rate: 0.0,
+            packet_delay_cycles: Self::default_packet_delay(),
+            seed: 0,
+        }
+    }
+
+    /// True when no fault is active — the simulator then takes the
+    /// exact code path regardless of `seed`.
+    pub fn is_empty(&self) -> bool {
+        !self.has_cell_faults() && self.tile_death.is_none() && !self.has_packet_faults()
+    }
+
+    /// True when any crossbar-cell fault is active (routes functional
+    /// MVMs through the faulted analog path).
+    pub fn has_cell_faults(&self) -> bool {
+        self.stuck_cell_rate > 0.0 || self.dead_column_rate > 0.0
+    }
+
+    /// True when any interconnect packet fault is active.
+    pub fn has_packet_faults(&self) -> bool {
+        self.packet_loss_rate > 0.0
+            || self.packet_duplicate_rate > 0.0
+            || self.packet_delay_rate > 0.0
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::InvalidConfig`] for rates outside `[0, 1]`,
+    /// or a zero packet delay with delay faults enabled.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("stuck_cell_rate", self.stuck_cell_rate),
+            ("dead_column_rate", self.dead_column_rate),
+            ("packet_loss_rate", self.packet_loss_rate),
+            ("packet_duplicate_rate", self.packet_duplicate_rate),
+            ("packet_delay_rate", self.packet_delay_rate),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(PumaError::InvalidConfig {
+                    what: format!("fault rate {name} {v} must be a probability in [0, 1]"),
+                });
+            }
+        }
+        if self.packet_delay_rate > 0.0 && self.packet_delay_cycles == 0 {
+            return Err(PumaError::InvalidConfig {
+                what: "packet_delay_cycles must be nonzero when packet delay is enabled"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
 /// Configuration of a PUMA core (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CoreConfig {
@@ -371,6 +509,10 @@ pub struct NodeConfig {
     /// default — leaves the exact integer path untouched.
     #[serde(default)]
     pub non_ideality: NonIdealityConfig,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] — the
+    /// default — leaves every layer's exact code path untouched.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl NodeConfig {
@@ -421,6 +563,7 @@ impl NodeConfig {
             });
         }
         self.non_ideality.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -435,6 +578,7 @@ impl Default for NodeConfig {
             noc_hop_cycles: 4,
             offchip_gb_per_s: 6.4,
             non_ideality: NonIdealityConfig::ideal(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -550,6 +694,40 @@ mod tests {
         assert!(!NonIdealityConfig { read_sigma: 0.1, ..ni }.is_ideal());
         assert!(!NonIdealityConfig { drift_nu: 0.05, ..ni }.is_ideal());
         assert!(!NonIdealityConfig { ir_drop_alpha: 0.02, ..ni }.is_ideal());
+    }
+
+    #[test]
+    fn default_fault_plan_is_empty() {
+        let f = FaultPlan::default();
+        assert!(f.is_empty());
+        assert!(!f.has_cell_faults() && !f.has_packet_faults());
+        assert_eq!(f, FaultPlan::none());
+        assert!(f.validate().is_ok());
+        // A bare seed change keeps the plan empty: no fault is active.
+        assert!(FaultPlan { seed: 7, ..f }.is_empty());
+        assert!(FaultPlan { stuck_cell_rate: 0.01, ..f }.has_cell_faults());
+        assert!(FaultPlan { dead_column_rate: 0.01, ..f }.has_cell_faults());
+        assert!(FaultPlan { packet_loss_rate: 0.01, ..f }.has_packet_faults());
+        let death = TileDeath { node: 0, tile: 1, at_cycle: 100 };
+        assert!(!FaultPlan { tile_death: Some(death), ..f }.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_knobs() {
+        let f = FaultPlan::none();
+        assert!(FaultPlan { stuck_cell_rate: -0.1, ..f }.validate().is_err());
+        assert!(FaultPlan { dead_column_rate: 1.5, ..f }.validate().is_err());
+        assert!(FaultPlan { packet_loss_rate: f64::NAN, ..f }.validate().is_err());
+        assert!(FaultPlan { packet_delay_rate: 0.1, packet_delay_cycles: 0, ..f }
+            .validate()
+            .is_err());
+        assert!(FaultPlan { packet_delay_rate: 0.1, ..f }.validate().is_ok());
+        // NodeConfig::validate covers the fault plan.
+        let node = NodeConfig {
+            faults: FaultPlan { packet_duplicate_rate: 2.0, ..f },
+            ..NodeConfig::default()
+        };
+        assert!(node.validate().is_err());
     }
 
     #[test]

@@ -51,6 +51,26 @@ pub enum PumaError {
         /// Description of the blocked agents.
         what: String,
     },
+    /// A request overran its virtual-time deadline and was aborted by a
+    /// serving watchdog.
+    DeadlineExceeded {
+        /// Virtual cycle at which the watchdog fired (arrival + deadline).
+        cycle: u64,
+        /// Description of the overrunning request and any stalled agents.
+        what: String,
+    },
+    /// An injected tile death stopped forward progress: the named tile
+    /// died at `cycle` and the listed agents are blocked on it.
+    FaultedTile {
+        /// Node the dead tile belongs to.
+        node: usize,
+        /// Tile that died.
+        tile: usize,
+        /// Virtual cycle of the death.
+        cycle: u64,
+        /// Description of the agents blocked on the dead tile.
+        what: String,
+    },
     /// The simulator encountered a fault while executing a program.
     Execution {
         /// Human-readable description.
@@ -79,6 +99,12 @@ impl fmt::Display for PumaError {
             PumaError::Deadlock { cycle, what } => {
                 write!(f, "deadlock at cycle {cycle}: {what}")
             }
+            PumaError::DeadlineExceeded { cycle, what } => {
+                write!(f, "deadline exceeded at cycle {cycle}: {what}")
+            }
+            PumaError::FaultedTile { node, tile, cycle, what } => {
+                write!(f, "faulted tile: node{node}/tile{tile} died at cycle {cycle}: {what}")
+            }
             PumaError::Execution { what } => write!(f, "execution error: {what}"),
             PumaError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
         }
@@ -104,6 +130,8 @@ mod tests {
             },
             PumaError::Compile { what: "x".into() },
             PumaError::Deadlock { cycle: 7, what: "x".into() },
+            PumaError::DeadlineExceeded { cycle: 11, what: "x".into() },
+            PumaError::FaultedTile { node: 0, tile: 3, cycle: 9, what: "x".into() },
             PumaError::Execution { what: "x".into() },
             PumaError::InvalidConfig { what: "x".into() },
         ];

@@ -438,14 +438,24 @@ impl ClusterSim {
             .collect();
         let completion = self.nodes.iter().map(|n| n.last_time()).max().unwrap_or(0);
         if !blocked.is_empty() {
-            return Err(PumaError::Deadlock {
-                cycle: completion,
-                what: format!(
-                    "cluster quiescent with {} agents blocked: {}",
-                    blocked.len(),
-                    blocked.join(", ")
-                ),
-            });
+            let what = format!(
+                "cluster quiescent with {} agents blocked: {}",
+                blocked.len(),
+                blocked.join(", ")
+            );
+            // An injected tile death that fired anywhere in the cluster
+            // converts the stall into a typed fault naming the dead tile.
+            for (i, node) in self.nodes.iter().enumerate() {
+                if let Some((tile, at)) = node.fired_tile_death() {
+                    return Err(PumaError::FaultedTile {
+                        node: i,
+                        tile: tile as usize,
+                        cycle: at,
+                        what,
+                    });
+                }
+            }
+            return Err(PumaError::Deadlock { cycle: completion, what });
         }
         for node in &mut self.nodes {
             node.seal_cycles();

@@ -127,6 +127,7 @@ use puma_core::error::{PumaError, Result};
 use puma_core::fixed::Fixed;
 use puma_core::timing::{InterconnectConfig, TimingModel};
 use puma_isa::{AluImmOp, AluOp, Instruction, MachineImage, MemAddr, Program, RegRef, ScalarOp};
+use puma_xbar::noise::{keyed_hash, mix64, unit_from};
 use puma_xbar::{AnalogMvmu, NoiseModel};
 use std::sync::Arc;
 
@@ -204,6 +205,13 @@ pub(crate) struct AgentId {
 }
 
 const TILE_CTL: u32 = u32::MAX;
+
+/// Hash-domain tags for interconnect packet faults — companions to the
+/// xbar-layer stuck-cell/dead-column tags in `puma_xbar::mvmu`, keyed
+/// into the same counter-mode `(seed, parts)` RNG contract.
+const TAG_PKT_DROP: u64 = 0x5044_524F; // "PDRO"
+const TAG_PKT_DUP: u64 = 0x5044_5550; // "PDUP"
+const TAG_PKT_DELAY: u64 = 0x5044_4C59; // "PDLY"
 
 impl AgentId {
     fn is_tile_ctl(self) -> bool {
@@ -547,6 +555,20 @@ pub struct NodeSim {
     /// through the untouched exact path — the disabled-config
     /// bit-identity contract of the differential suites.
     non_ideal_mvm: bool,
+    /// True when functional MVMs must take the faulted analog path
+    /// (cached from the fault plan at construction: stuck cells or dead
+    /// columns active). False leaves the exact (or merely degraded)
+    /// path untouched — the empty-plan bit-identity contract.
+    faulty_mvm: bool,
+    /// The injected tile death this node owns, as `(tile, at_cycle)`
+    /// (`None` when the fault plan names no death on this node).
+    /// Recomputed on [`NodeSim::join_cluster`]: the node id decides
+    /// ownership.
+    dead_tile: Option<(u32, u64)>,
+    /// True once the injected tile death suppressed an agent dispatch
+    /// or a delivery this run (cleared by [`NodeSim::reset`]); drives
+    /// the typed [`PumaError::FaultedTile`] quiescence diagnosis.
+    death_fired: bool,
     /// Event-queue pops processed since the last [`NodeSim::reset`] —
     /// the scheduler-overhead counterpart of the dynamic instruction
     /// count. Not part of [`RunStats`]: engines deliberately differ
@@ -872,9 +894,17 @@ impl NodeSim {
             run_base: 0,
             non_ideal_mvm: mode == SimMode::Functional
                 && (!cfg.non_ideality.is_ideal() || cfg.tile.core.mvmu.adc_bits_override.is_some()),
+            faulty_mvm: mode == SimMode::Functional && cfg.faults.has_cell_faults(),
+            dead_tile: Self::dead_tile_for(&cfg, 0),
+            death_fired: false,
             queue_events: 0,
             profile: if segment_profiling() { Some(Box::default()) } else { None },
         })
+    }
+
+    /// The tile death the fault plan assigns to node `node_id`, if any.
+    fn dead_tile_for(cfg: &NodeConfig, node_id: u16) -> Option<(u32, u64)> {
+        cfg.faults.tile_death.filter(|d| d.node == node_id).map(|d| (d.tile, d.at_cycle))
     }
 
     /// A fresh replica of this simulator for a worker pool: every
@@ -957,6 +987,9 @@ impl NodeSim {
             residents: self.residents.clone(),
             run_base: 0,
             non_ideal_mvm: self.non_ideal_mvm,
+            faulty_mvm: self.faulty_mvm,
+            dead_tile: self.dead_tile,
+            death_fired: false,
             queue_events: 0,
             profile: if segment_profiling() { Some(Box::default()) } else { None },
         }
@@ -1231,6 +1264,7 @@ impl NodeSim {
         self.run_base = 0;
         self.horizon = u64::MAX;
         self.queue_events = 0;
+        self.death_fired = false;
         let mem = &mut self.mem;
         let fifos = &mut self.fifos;
         let regs = &mut self.regs;
@@ -1366,13 +1400,36 @@ impl NodeSim {
         while self.step_one()? {}
         let blocked = self.blocked_summary();
         if !blocked.is_empty() {
-            return Err(PumaError::Deadlock {
-                cycle: self.last_time,
-                what: format!("{} agents blocked: {}", blocked.len(), blocked.join(", ")),
-            });
+            let what = format!("{} agents blocked: {}", blocked.len(), blocked.join(", "));
+            // An injected tile death that fired converts the stall into
+            // a typed fault naming the dead tile, not a plain deadlock.
+            if let Some((tile, at)) = self.fired_tile_death() {
+                return Err(PumaError::FaultedTile {
+                    node: usize::from(self.node_id),
+                    tile: tile as usize,
+                    cycle: at,
+                    what,
+                });
+            }
+            return Err(PumaError::Deadlock { cycle: self.last_time, what });
         }
         self.seal_cycles();
         Ok(())
+    }
+
+    /// The injected tile death, if it has already suppressed work this
+    /// run: `(tile, at_cycle)`. Drives typed fault diagnosis in the
+    /// cluster and pipeline schedulers.
+    pub(crate) fn fired_tile_death(&self) -> Option<(u32, u64)> {
+        self.dead_tile.filter(|_| self.death_fired)
+    }
+
+    /// True when the injected tile death covers `tile` and has occurred
+    /// at or before `now`. Checked at instruction-start and
+    /// packet-delivery timestamps, which are engine-invariant.
+    #[inline]
+    fn tile_dead(&self, tile: u32, now: u64) -> bool {
+        matches!(self.dead_tile, Some((dead, at)) if dead == tile && now >= at)
     }
 
     /// Seeds the event queue with every live agent at cycle 0, discarding
@@ -1585,11 +1642,29 @@ impl NodeSim {
         match event.kind {
             EventKind::Deliver(d) => {
                 let DeliverEvent { tile, fifo, packet } = *d;
+                if self.tile_dead(tile, now) {
+                    // Deliveries addressed to a dead tile are dropped on
+                    // the floor: its receive buffers are powered off.
+                    // Senders blocked on the lost acknowledgement park
+                    // forever and surface as a FaultedTile diagnosis.
+                    self.death_fired = true;
+                    return Ok(true);
+                }
                 // An out-of-range fifo faults here — at delivery time —
                 // with the canonical message, exactly as the old push
                 // into the ring would have.
                 self.fifos.pending_push(tile as usize, fifo, packet)?;
                 self.drain_fifo(tile, fifo, now)?;
+            }
+            EventKind::AgentReady(agent) if self.tile_dead(agent.tile, now) => {
+                // Instruction dispatches on a dead tile are suppressed:
+                // the agent halts where it stood. Every engine applies
+                // this check at instruction-start timestamps (here for
+                // the reference engine; at the run-ahead/compiled loop
+                // tops otherwise), so death is engine-invariant.
+                self.set_halted(agent);
+                self.death_fired = true;
+                self.stats.dead_tile_halts += 1;
             }
             EventKind::AgentReady(agent) => match self.engine {
                 SimEngine::Reference => match self.step_agent(agent, now)? {
@@ -1806,6 +1881,9 @@ impl NodeSim {
         self.node_id = node_id;
         self.cluster_nodes = cluster_nodes.max(1);
         self.interconnect = interconnect;
+        // The fault plan addresses a tile death to one node of the
+        // cluster; re-resolve it now that this node knows its id.
+        self.dead_tile = Self::dead_tile_for(&self.cfg, node_id);
         // Which of the image's sends are local NoC traffic depends on
         // the node id; refresh the static send graph and the conflict
         // groups (a same-tile send merges sender and receiver only when
@@ -1883,6 +1961,14 @@ impl NodeSim {
             // deterministically instead of spinning forever off-queue.
             if t > self.max_cycles {
                 return Err(self.cycle_cap_error());
+            }
+            if self.tile_dead(tile, t) {
+                // Same dead-tile halt the reference engine applies at
+                // dispatch, at the same instruction-start timestamp.
+                self.set_halted(agent);
+                self.death_fired = true;
+                self.stats.dead_tile_halts += 1;
+                return Ok(());
             }
             let (instr, pc) = self.fetch(agent)?;
             if !first && instr.may_block() && !self.tile_clear_until(tile, group, t) {
@@ -1983,6 +2069,14 @@ impl NodeSim {
             if t > self.max_cycles {
                 return Err(self.cycle_cap_error());
             }
+            if self.tile_dead(tile, t) {
+                // Same dead-tile halt as the other engines, at the same
+                // instruction-start timestamp.
+                self.set_halted(agent);
+                self.death_fired = true;
+                self.stats.dead_tile_halts += 1;
+                return Ok(());
+            }
             let pc = self.agent_pc(agent);
             let Some(op) = prog.ops.get(pc as usize) else {
                 // The interpreter's fetch produces the canonical
@@ -1998,7 +2092,13 @@ impl NodeSim {
                     // faults at the exact instruction the per-op engines
                     // would (boundary rule 2).
                     let start = pc as usize;
-                    let end = if t.saturating_add(prog.seg_check[start]) <= self.max_cycles {
+                    // Last-op start time of the bulk run; it must clear
+                    // both the cycle cap and any injected tile death, or
+                    // the per-op fallback re-checks each at the loop top.
+                    let horizon = t.saturating_add(prog.seg_check[start]);
+                    let end = if horizon <= self.max_cycles
+                        && !matches!(self.dead_tile, Some((dead, at)) if dead == tile && horizon >= at)
+                    {
                         seg_end as usize
                     } else {
                         start + 1
@@ -2483,9 +2583,64 @@ impl NodeSim {
                     let energy = self.interconnect.energy_nj(width as usize);
                     self.charge(agent, EnergyComponent::Interconnect, energy, occupancy);
                     self.stats.internode_words += width as u64;
-                    let arrive_at = now + self.interconnect.transfer_cycles(width as usize);
+                    let mut arrive_at = now + self.interconnect.transfer_cycles(width as usize);
+                    let faults = self.cfg.faults;
+                    let mut duplicate = false;
+                    if faults.has_packet_faults() {
+                        // One counter-mode decision per fault kind, keyed
+                        // by the packet's engine-invariant identity
+                        // (endpoints, fifo, send timestamp, payload
+                        // hash), so faulty runs replay bit-exactly
+                        // across engines and worker counts.
+                        let payload = words
+                            .iter()
+                            .fold(0u64, |h, w| mix64(h ^ u64::from(w.to_bits() as u16)));
+                        let mut key = [
+                            u64::from(self.node_id),
+                            u64::from(node),
+                            u64::from(target),
+                            u64::from(fifo),
+                            now,
+                            payload,
+                            0,
+                        ];
+                        let mut draw = |tag: u64| {
+                            key[6] = tag;
+                            unit_from(keyed_hash(faults.seed, &key))
+                        };
+                        if faults.packet_loss_rate > 0.0
+                            && draw(TAG_PKT_DROP) < faults.packet_loss_rate
+                        {
+                            // The link swallowed the packet: the sender
+                            // still pays serialization, the receiver
+                            // never sees it.
+                            self.stats.packets_dropped += 1;
+                            return Ok(Step::Advance { next_pc: pc + 1, latency: occupancy });
+                        }
+                        if faults.packet_duplicate_rate > 0.0
+                            && draw(TAG_PKT_DUP) < faults.packet_duplicate_rate
+                        {
+                            self.stats.packets_duplicated += 1;
+                            duplicate = true;
+                        }
+                        if faults.packet_delay_rate > 0.0
+                            && draw(TAG_PKT_DELAY) < faults.packet_delay_rate
+                        {
+                            self.stats.packets_delayed += 1;
+                            arrive_at = arrive_at.saturating_add(faults.packet_delay_cycles);
+                        }
+                    }
                     if arrive_at > self.max_cycles {
                         return Err(self.cycle_cap_error());
+                    }
+                    if duplicate {
+                        self.outbox.push(OutboundPacket {
+                            node,
+                            tile: target,
+                            fifo,
+                            packet: Packet { words: words.clone() },
+                            arrive_at,
+                        });
                     }
                     self.outbox.push(OutboundPacket {
                         node,
@@ -2602,7 +2757,8 @@ impl NodeSim {
                     // the time index run-relative (segments and batched
                     // requests replay identically).
                     let ni = self.cfg.non_ideality;
-                    let (site_base, rel_cycle) = if self.non_ideal_mvm {
+                    let analog = self.non_ideal_mvm || self.faulty_mvm;
+                    let (site_base, rel_cycle) = if analog {
                         (self.mvm_site_base(t, c), now - self.run_base)
                     } else {
                         (0, 0)
@@ -2616,8 +2772,14 @@ impl NodeSim {
                         let base = unit * dim;
                         let raw = self.regs.xbar_in(slot)[base..base + dim].to_vec();
                         let shuffled = shuffle_input(&raw, filter, stride);
-                        let y = if self.non_ideal_mvm {
-                            mvmu.mvm_degraded(&shuffled, &ni, site_base + unit as u64, rel_cycle)?
+                        let y = if analog {
+                            mvmu.mvm_faulted(
+                                &shuffled,
+                                &ni,
+                                &self.cfg.faults,
+                                site_base + unit as u64,
+                                rel_cycle,
+                            )?
                         } else {
                             mvmu.mvm(&shuffled)?
                         };
@@ -2625,6 +2787,9 @@ impl NodeSim {
                     }
                     if self.non_ideal_mvm {
                         self.stats.degraded_mvm_activations += mask.count() as u64;
+                    }
+                    if self.faulty_mvm {
+                        self.stats.faulted_mvm_activations += mask.count() as u64;
                     }
                 }
                 let latency = self.timing.mvm_latency();

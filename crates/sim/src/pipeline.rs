@@ -77,6 +77,10 @@ pub struct PipelineResult {
     /// Merged per-node segment statistics (node order, deterministic);
     /// `cycles` is the residency span `finish − start`.
     pub stats: RunStats,
+    /// The typed fault that aborted this request, when a deadline
+    /// watchdog fired for it ([`PipelineSim::serve_with_deadline`]).
+    /// `None` for completed or shed requests.
+    pub error: Option<PumaError>,
 }
 
 /// Occupancy accounting for one pipeline stage (node).
@@ -287,6 +291,36 @@ impl PipelineSim {
         requests: &[PipelineRequest],
         queue_depth: Option<usize>,
     ) -> Result<PipelineReport> {
+        self.serve_with_deadline(common_writes, requests, queue_depth, None)
+    }
+
+    /// [`PipelineSim::serve`] with a per-request virtual-time deadline
+    /// watchdog: an admitted request still unfinished `deadline` cycles
+    /// after its arrival is aborted at exactly `arrival + deadline` on
+    /// the shared clock. Its stages are reclaimed (free for the next
+    /// request from the abort cycle), its in-flight and held packets are
+    /// dropped, and its [`PipelineResult::error`] records the typed
+    /// fault — [`PumaError::FaultedTile`] when an injected tile death
+    /// fired on a stage serving it, [`PumaError::DeadlineExceeded`]
+    /// otherwise, each naming the stalled node/tile/agent via the
+    /// blocked-agent summary. The serve call itself still succeeds:
+    /// watchdog aborts degrade single requests, not the whole stream.
+    ///
+    /// The abort cycle and the reclaimed stages' free times are virtual
+    /// times, so deadline-aborted serves replay bit-identically across
+    /// engines (same-cycle progress is processed before the abort).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineSim::serve`]; with a deadline, a stalled request is
+    /// reported per-request instead of failing the serve.
+    pub fn serve_with_deadline(
+        &mut self,
+        common_writes: &[(String, Vec<f32>)],
+        requests: &[PipelineRequest],
+        queue_depth: Option<usize>,
+        deadline: Option<u64>,
+    ) -> Result<PipelineReport> {
         if requests.windows(2).any(|w| w[0].arrival > w[1].arrival) {
             return Err(PumaError::InvalidConfig {
                 what: "pipeline requests must be sorted by arrival time".to_string(),
@@ -300,17 +334,20 @@ impl PipelineSim {
         let mut state = ServeState::new(requests.len(), n_nodes);
 
         // What advances next: deliveries outrank segment starts outrank
-        // node events outrank arrivals at equal times, then lower node
-        // index — a fixed total order, so the co-simulation replays
-        // identically. Node events precede same-cycle arrivals so that a
-        // departure at cycle T is visible to a request arriving at T
-        // (matching the virtual-time schedule of the replicated pool).
+        // node events outrank arrivals outrank watchdog aborts at equal
+        // times, then lower node index — a fixed total order, so the
+        // co-simulation replays identically. Node events precede
+        // same-cycle arrivals so that a departure at cycle T is visible
+        // to a request arriving at T (matching the virtual-time schedule
+        // of the replicated pool); aborts come last so a request that
+        // finishes exactly at its deadline completes.
         #[derive(PartialEq, Eq, PartialOrd, Ord)]
         enum Action {
             Deliver,
             Start(usize),
             Step(usize),
             Arrive,
+            Abort(usize),
         }
 
         loop {
@@ -329,8 +366,15 @@ impl PipelineSim {
                 .filter(|&(j, _)| state.resident[j].is_some())
                 .filter_map(|(j, n)| n.next_event_time().map(|t| (t, Action::Step(j))))
                 .min();
+            // Admitted requests are in arrival order, so the first
+            // unfinished one carries the earliest deadline.
+            let t_abort = deadline.and_then(|d| {
+                (0..state.admitted.len()).find(|&k| state.retired_nodes[k] < n_nodes).map(|k| {
+                    (requests[state.admitted[k]].arrival.saturating_add(d), Action::Abort(k))
+                })
+            });
             let Some((_, action)) =
-                [t_deliver, t_start, t_arrive, t_step].into_iter().flatten().min()
+                [t_deliver, t_start, t_arrive, t_step, t_abort].into_iter().flatten().min()
             else {
                 break;
             };
@@ -410,6 +454,7 @@ impl PipelineSim {
                     state.first_start.push(u64::MAX);
                     state.finish.push(0);
                     state.retired_nodes.push(0);
+                    state.aborted.push(false);
                     state.seg_stats.push(vec![None; n_nodes]);
                     for j in 0..n_nodes {
                         if state.next_k[j] == k
@@ -481,6 +526,83 @@ impl PipelineSim {
                     }
                     self.retire_if_quiescent(j, &mut state, requests)?;
                 }
+                Action::Abort(k) => {
+                    let d = deadline.expect("abort scheduled only under a deadline");
+                    let r = state.admitted[k];
+                    let at = requests[r].arrival.saturating_add(d);
+                    // Typed diagnosis: a fired tile death on a stage
+                    // serving this request outranks the generic deadline.
+                    let stalls: Vec<String> = self
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| state.resident[j] == Some(k))
+                        .flat_map(|(j, n)| {
+                            n.blocked_summary().into_iter().map(move |s| format!("node{j}/{s}"))
+                        })
+                        .collect();
+                    let what = if stalls.is_empty() {
+                        format!("request {r} still executing at its {d}-cycle deadline")
+                    } else {
+                        format!(
+                            "request {r} stalled at its {d}-cycle deadline: {}",
+                            stalls.join(", ")
+                        )
+                    };
+                    let death = self
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| state.resident[j] == Some(k))
+                        .find_map(|(j, n)| {
+                            n.fired_tile_death().map(|(tile, cycle)| (j, tile, cycle))
+                        });
+                    state.results[r].error = Some(match death {
+                        Some((node, tile, cycle)) => {
+                            PumaError::FaultedTile { node, tile: tile as usize, cycle, what }
+                        }
+                        None => PumaError::DeadlineExceeded { cycle: at, what },
+                    });
+                    // Reclaim the request's stages and packets. A stage
+                    // it occupied frees at the abort cycle; a stage that
+                    // never reached it skips straight past (the entry
+                    // stage counts it started for admission accounting).
+                    if state.resident[0] != Some(k) && state.next_k[0] <= k {
+                        state.entry_started += 1;
+                    }
+                    state.flights.retain(|Reverse(f)| f.req != k);
+                    state.held.retain(|&(_, kk), _| kk != k);
+                    for j in 0..n_nodes {
+                        if state.next_k[j] == k {
+                            state.start_sched[j] = None;
+                        }
+                        if state.resident[j] == Some(k) {
+                            // Discard the partial segment; the machine
+                            // itself is wiped by its next begin_segment.
+                            let _ = self.nodes[j].take_segment_stats();
+                            state.resident[j] = None;
+                            state.free_at[j] = state.free_at[j].max(at);
+                            state.next_k[j] += 1;
+                        } else if state.next_k[j] == k {
+                            state.next_k[j] += 1;
+                        }
+                        if state.resident[j].is_none()
+                            && state.start_sched[j].is_none()
+                            && state.next_k[j] < state.admitted.len()
+                        {
+                            let next_arrival = requests[state.admitted[state.next_k[j]]].arrival;
+                            // Never before the abort: the watchdog only
+                            // frees the stage at the deadline cycle.
+                            state.start_sched[j] = Some(state.free_at[j].max(next_arrival).max(at));
+                        }
+                    }
+                    state.aborted[k] = true;
+                    state.retired_nodes[k] = n_nodes;
+                    state.finish[k] = at;
+                    state.results[r].start =
+                        if state.first_start[k] == u64::MAX { 0 } else { state.first_start[k] };
+                    state.results[r].finish = at;
+                }
             }
         }
 
@@ -506,14 +628,21 @@ impl PipelineSim {
                 blocked.push(format!("{parked} packets held for requests that never started"));
             }
             let cycle = self.nodes.iter().map(NodeSim::last_time).max().unwrap_or(0);
-            return Err(PumaError::Deadlock {
-                cycle,
-                what: format!(
-                    "pipeline quiescent with {} stalls: {}",
-                    blocked.len(),
-                    blocked.join(", ")
-                ),
-            });
+            let what =
+                format!("pipeline quiescent with {} stalls: {}", blocked.len(), blocked.join(", "));
+            // An injected tile death that fired on any stage converts
+            // the stall into a typed fault naming the dead tile.
+            for (j, node) in self.nodes.iter().enumerate() {
+                if let Some((tile, at)) = node.fired_tile_death() {
+                    return Err(PumaError::FaultedTile {
+                        node: j,
+                        tile: tile as usize,
+                        cycle: at,
+                        what,
+                    });
+                }
+            }
+            return Err(PumaError::Deadlock { cycle, what });
         }
 
         let makespan = state.finish.iter().copied().max().unwrap_or(0);
@@ -559,6 +688,12 @@ impl PipelineSim {
         state.resident[j] = None;
         state.free_at[j] = end;
         state.next_k[j] += 1;
+        // Skip admitted positions the deadline watchdog aborted: their
+        // segments must never start (admission accounting for them was
+        // settled at the abort).
+        while state.next_k[j] < state.admitted.len() && state.aborted[state.next_k[j]] {
+            state.next_k[j] += 1;
+        }
         state.retired_nodes[k] += 1;
         state.finish[k] = state.finish[k].max(end);
         if state.retired_nodes[k] == self.nodes.len() {
@@ -607,6 +742,9 @@ struct ServeState {
     finish: Vec<u64>,
     /// Per admitted pos: nodes that have retired it.
     retired_nodes: Vec<usize>,
+    /// Per admitted pos: aborted by the deadline watchdog (stages skip
+    /// it when advancing).
+    aborted: Vec<bool>,
     /// Per admitted pos: per-node segment statistics.
     seg_stats: Vec<Vec<Option<RunStats>>>,
     /// In-flight inter-node packets (destination resident on the match).
@@ -636,6 +774,7 @@ impl ServeState {
             first_start: Vec::new(),
             finish: Vec::new(),
             retired_nodes: Vec::new(),
+            aborted: Vec::new(),
             seg_stats: Vec::new(),
             flights: BinaryHeap::new(),
             flight_seq: 0,

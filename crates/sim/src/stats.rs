@@ -144,6 +144,25 @@ pub struct RunStats {
     /// bit-identical to the exact path.
     #[serde(default)]
     pub degraded_mvm_activations: u64,
+    /// MVM activations that took the faulted analog path (stuck cells or
+    /// dead columns active in the [`puma_core::config::FaultPlan`]).
+    /// Zero whenever the plan has no cell faults, so an empty plan
+    /// leaves statistics bit-identical to the exact path.
+    #[serde(default)]
+    pub faulted_mvm_activations: u64,
+    /// Agent dispatches suppressed because their tile was dead (an
+    /// injected tile death had fired).
+    #[serde(default)]
+    pub dead_tile_halts: u64,
+    /// Internode packets dropped by injected packet loss.
+    #[serde(default)]
+    pub packets_dropped: u64,
+    /// Internode packets duplicated by injected duplication.
+    #[serde(default)]
+    pub packets_duplicated: u64,
+    /// Internode packets delayed by injected extra latency.
+    #[serde(default)]
+    pub packets_delayed: u64,
     /// Words moved through tile shared memories.
     pub shared_memory_words: u64,
     /// Words moved through the on-chip network.
@@ -193,6 +212,11 @@ impl RunStats {
         self.energy.merge(&other.energy);
         self.mvmu_activations += other.mvmu_activations;
         self.degraded_mvm_activations += other.degraded_mvm_activations;
+        self.faulted_mvm_activations += other.faulted_mvm_activations;
+        self.dead_tile_halts += other.dead_tile_halts;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_duplicated += other.packets_duplicated;
+        self.packets_delayed += other.packets_delayed;
         self.shared_memory_words += other.shared_memory_words;
         self.network_words += other.network_words;
         self.internode_words += other.internode_words;

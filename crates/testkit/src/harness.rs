@@ -34,6 +34,45 @@ pub fn default_engine() -> SimEngine {
     }
 }
 
+/// The fault kinds every fault-matrix suite knows about, in the order
+/// the smoke legs run them.
+pub const ALL_FAULT_KINDS: [&str; 4] = ["stuck", "dead_column", "tile_death", "packet"];
+
+/// The fault kinds selected for the fault-matrix suites via
+/// `PUMA_FAULTS` — a comma-separated subset of
+/// `stuck,dead_column,tile_death,packet`; unset selects all of them, so
+/// local `cargo test` always covers the full matrix.
+///
+/// # Panics
+///
+/// Panics on an unrecognized kind — a typo in the CI matrix must fail
+/// loudly, not silently skip a fault leg.
+pub fn fault_kinds() -> Vec<&'static str> {
+    match std::env::var("PUMA_FAULTS") {
+        Err(_) => ALL_FAULT_KINDS.to_vec(),
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|k| !k.is_empty())
+            .map(|k| {
+                ALL_FAULT_KINDS.iter().copied().find(|a| *a == k).unwrap_or_else(|| {
+                    panic!(
+                        "unrecognized PUMA_FAULTS kind {k:?} \
+                         (use stuck|dead_column|tile_death|packet)"
+                    )
+                })
+            })
+            .collect(),
+    }
+}
+
+/// True when `kind` is selected by [`fault_kinds`] — fault-matrix tests
+/// call this to skip kinds excluded from the current `PUMA_FAULTS` leg.
+#[must_use]
+pub fn fault_kind_enabled(kind: &str) -> bool {
+    fault_kinds().contains(&kind)
+}
+
 /// A compact node configuration for fast simulation in tests: `dim`-sized
 /// crossbars, 2 MVMUs × 4 cores × 16 tiles.
 pub fn small_node_config(dim: usize) -> NodeConfig {

@@ -226,6 +226,177 @@ fn residents_drift_identically_to_solo_runs() {
     }
 }
 
+use puma::runtime::{
+    BatchRequest, Disposition, FabricSpec, ModelCatalog, RequestError, RetryPolicy, ScaleDirection,
+    TenantServer, TenantStream,
+};
+use puma_core::config::{FaultPlan, TileDeath};
+use puma_core::tensor::Matrix;
+use puma_core::timing::TrafficPattern;
+
+/// A one-tile model `y = tanh(A·x)` over 16 lanes, scaled per tenant.
+fn tiny_model(name: &str, scale: f32) -> puma_compiler::graph::Model {
+    let mut m = puma_compiler::graph::Model::new(name);
+    let x = m.input("x", 16);
+    let a = m.constant_matrix(
+        "A",
+        Matrix::from_fn(16, 16, |r, c| scale * ((r + 2 * c) % 5) as f32 * 0.01),
+    );
+    let ax = m.mvm(a, x).unwrap();
+    let y = m.tanh(ax);
+    m.output("y", y);
+    m
+}
+
+fn tiny_catalog(models: &[(&str, f32)], cfg: &NodeConfig) -> ModelCatalog {
+    let mut catalog = ModelCatalog::new();
+    for &(name, scale) in models {
+        catalog
+            .register_model(name, &tiny_model(name, scale), cfg, &CompilerOptions::default())
+            .expect("tiny model registers");
+    }
+    catalog
+}
+
+fn tiny_streams(n: usize) -> Vec<TenantStream> {
+    let requests: Vec<BatchRequest> = (0..n)
+        .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.1 * (i + 1) as f32; 16])]))
+        .collect();
+    vec![
+        TenantStream::new("victim", requests.clone(), TrafficPattern::Uniform { interval: 50 }),
+        TenantStream::new("bystander", requests, TrafficPattern::Uniform { interval: 70 }),
+    ]
+}
+
+/// An injected tile death under the victim model's deployment: the dead
+/// replica is quarantined (its tiles never re-placed), a failover
+/// replica is re-placed onto free tiles, the aborted request retries and
+/// completes, and subsequent requests keep completing. The *bystander*
+/// tenant — and every completed output of the victim — stays
+/// bit-identical to the fault-free serve: fault recovery is a pure
+/// scheduling event, invisible to surviving tenants.
+#[test]
+fn tenant_server_fails_over_after_tile_death_with_survivors_untouched() {
+    let cfg = NodeConfig::default();
+    let mut faulty_cfg = cfg;
+    // The victim deploys first, so its materialized replica owns tile 0
+    // of node 0; it dies while the first request is in flight.
+    faulty_cfg.faults = FaultPlan {
+        tile_death: Some(TileDeath { node: 0, tile: 0, at_cycle: 500 }),
+        ..FaultPlan::none()
+    };
+    let streams = tiny_streams(3);
+    let serve = |cfg: &NodeConfig| {
+        let mut server = TenantServer::functional(
+            tiny_catalog(&[("victim", 1.0), ("bystander", -2.0)], cfg),
+            FabricSpec::new(1, 8),
+            cfg,
+        )
+        .expect("server");
+        server.deploy("victim").expect("victim deploys");
+        server.deploy("bystander").expect("bystander deploys");
+        server = server.with_retry_policy(RetryPolicy::new(2, 16));
+        server.serve(&streams).expect("serve")
+    };
+    let clean = serve(&cfg);
+    let faulted = serve(&faulty_cfg);
+
+    // Recovery: the victim still completes everything; exactly one
+    // request needed a fault retry; nothing failed permanently.
+    let victim = faulted.model("victim").expect("victim outcome");
+    assert_eq!(victim.completed(), 3);
+    assert_eq!(victim.retried, 1);
+    assert_eq!(victim.failed, 0);
+    assert_eq!(victim.shed, 0);
+    // The failure and recovery are recorded, in order, against the
+    // victim alone.
+    let kinds: Vec<(String, ScaleDirection)> =
+        faulted.scale_events.iter().map(|e| (e.model.clone(), e.direction)).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("victim".to_string(), ScaleDirection::Quarantine),
+            ("victim".to_string(), ScaleDirection::Failover),
+        ]
+    );
+    assert_eq!(faulted.scale_events[0].cycle, 500);
+    assert_eq!(faulted.scale_events[1].cycle, 500);
+    assert_eq!(faulted.scale_events[1].replicas, 1);
+
+    // Survivor isolation: the bystander's serve is bit-identical to the
+    // fault-free run — outputs, stats, latencies, everything.
+    let clean_by = clean.model("bystander").expect("clean bystander");
+    let by = faulted.model("bystander").expect("faulted bystander");
+    assert_eq!(by.stats, clean_by.stats, "a co-tenant's death must not leak into the survivor");
+    assert_eq!(by.latency, clean_by.latency);
+    assert_eq!(by.shed, 0);
+    assert_eq!(by.retried, 0);
+    for (i, (a, b)) in by.results.iter().zip(clean_by.results.iter()).enumerate() {
+        let (Disposition::Completed { result: ra, .. }, Disposition::Completed { result: rb, .. }) =
+            (&a.disposition, &b.disposition)
+        else {
+            panic!("bystander request {i} did not complete in both serves");
+        };
+        assert_eq!(ra.outputs, rb.outputs, "bystander request {i} outputs diverged");
+    }
+    // The victim's completed outputs — including the retried request —
+    // are bit-identical to the fault-free serve: failover re-places the
+    // same image, and fault sites are keyed resident-relative.
+    let clean_victim = clean.model("victim").expect("clean victim");
+    for (i, (a, b)) in victim.results.iter().zip(clean_victim.results.iter()).enumerate() {
+        let (Disposition::Completed { result: ra, .. }, Disposition::Completed { result: rb, .. }) =
+            (&a.disposition, &b.disposition)
+        else {
+            panic!("victim request {i} did not complete in both serves");
+        };
+        assert_eq!(ra.outputs, rb.outputs, "victim request {i} outputs diverged");
+    }
+}
+
+/// With no spare capacity and no retry budget, the death degrades only
+/// the victim: its requests fail with typed
+/// [`RequestError::FaultedTile`] dispositions naming the dead tile,
+/// while the serve call itself succeeds.
+#[test]
+fn tenant_server_fails_requests_typed_when_failover_has_no_capacity() {
+    let cfg = NodeConfig {
+        faults: FaultPlan {
+            tile_death: Some(TileDeath { node: 0, tile: 0, at_cycle: 500 }),
+            ..FaultPlan::none()
+        },
+        ..NodeConfig::default()
+    };
+    let mut server = TenantServer::functional(
+        tiny_catalog(&[("victim", 1.0)], &cfg),
+        FabricSpec::new(1, 1),
+        &cfg,
+    )
+    .expect("server");
+    server.deploy("victim").expect("victim deploys");
+    let streams = vec![TenantStream::new(
+        "victim",
+        (0..3)
+            .map(|i| BatchRequest::new(vec![("x".to_string(), vec![0.1 * (i + 1) as f32; 16])]))
+            .collect(),
+        TrafficPattern::Uniform { interval: 50 },
+    )];
+    let outcome = server.serve(&streams).expect("the serve call survives the death");
+    let victim = outcome.model("victim").expect("victim outcome");
+    assert_eq!(victim.completed(), 0);
+    assert_eq!(victim.failed, 3);
+    for (i, served) in victim.results.iter().enumerate() {
+        match &served.disposition {
+            Disposition::Failed(RequestError::FaultedTile { node, tile, cycle, .. }) => {
+                assert_eq!((*node, *tile, *cycle), (0, 0, 500), "request {i}");
+            }
+            other => panic!("request {i}: expected a FaultedTile disposition, got {other:?}"),
+        }
+    }
+    // Only the quarantine is recorded: there was nowhere to fail over.
+    let kinds: Vec<ScaleDirection> = outcome.scale_events.iter().map(|e| e.direction).collect();
+    assert_eq!(kinds, vec![ScaleDirection::Quarantine]);
+}
+
 /// Serving order doesn't leak state: running the tenants twice in
 /// opposite orders reproduces identical outputs and stats each time.
 #[test]

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use puma::runtime::{
-    BatchRequest, BatchRunner, Disposition, ModelRunner, ServeRequest, ServeRunner,
+    BatchRequest, BatchRunner, Disposition, ModelRunner, RequestError, ServeRequest, ServeRunner,
 };
 use puma_compiler::{CompilerOptions, Partitioning};
 use puma_core::timing::TrafficPattern;
@@ -327,6 +327,175 @@ fn malformed_request_never_occupies_a_queue_slot() {
         );
         assert_eq!(outcome.shed, 0);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every built-in traffic pattern yields non-decreasing arrivals for
+    /// any length, interval, rate, and seed — the serving stack's
+    /// monotone-schedule precondition holds by construction for
+    /// generated schedules.
+    #[test]
+    fn traffic_patterns_always_yield_monotone_arrivals(
+        n in 0usize..200,
+        interval in 0u64..10_000,
+        mean in 1.0f64..10_000.0,
+        seed in any::<u64>(),
+    ) {
+        for pattern in [
+            TrafficPattern::Batch,
+            TrafficPattern::Uniform { interval },
+            TrafficPattern::Poisson { mean_interarrival: mean, seed },
+        ] {
+            let arrivals = pattern.arrivals(n);
+            prop_assert_eq!(arrivals.len(), n);
+            prop_assert!(
+                arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "{:?} produced a non-monotone schedule: {:?}",
+                pattern,
+                arrivals
+            );
+        }
+    }
+}
+
+/// Hand-built schedules whose arrivals go backwards are rejected with a
+/// typed error naming the offending request — in both serving modes —
+/// instead of being silently reordered.
+#[test]
+fn serve_rejects_non_monotone_arrivals_with_typed_error() {
+    let case = &modelgen::simulable_zoo_cases(47)[0];
+    let cfg = small_node_config(8);
+    let valid = fuzz_requests(case, 2);
+    let serve_requests = vec![
+        ServeRequest::new(100, valid[0].inputs.clone()),
+        ServeRequest::new(50, valid[1].inputs.clone()),
+    ];
+    let sharded_options = CompilerOptions {
+        partitioning: Partitioning::Sharded { nodes: 2 },
+        ..CompilerOptions::default()
+    };
+    let runners = [
+        ServeRunner::functional(&case.model, &cfg).expect("replicated runner"),
+        ServeRunner::new(
+            &case.model,
+            &cfg,
+            &sharded_options,
+            SimMode::Functional,
+            &NoiseModel::noiseless(),
+        )
+        .expect("pipelined runner")
+        .with_pipeline(true),
+    ];
+    for runner in runners {
+        let err = runner.serve(&serve_requests).expect_err("backwards arrivals must be rejected");
+        assert!(
+            matches!(err, puma_core::PumaError::InvalidConfig { .. }),
+            "expected a typed config rejection, got {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("non-decreasing") && msg.contains("request 1"), "{msg}");
+    }
+}
+
+/// The virtual-time deadline watchdog on the replicated path: a deadline
+/// shorter than the service time aborts every request with a typed
+/// disposition at exactly `arrival + deadline`; a generous deadline
+/// changes nothing against the unwatched serve.
+#[test]
+fn replicated_deadline_watchdog_aborts_typed_and_generous_deadline_is_inert() {
+    let case = &modelgen::simulable_zoo_cases(59)[0];
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 4);
+    let pattern = TrafficPattern::Uniform { interval: 700 };
+    let runner = || {
+        ServeRunner::functional(&case.model, &cfg)
+            .expect("serve runner")
+            .with_engine(default_engine())
+            .with_workers(2)
+    };
+    let unwatched = runner().serve_pattern(&requests, &pattern).expect("unwatched serve");
+    assert_eq!(unwatched.completed(), requests.len());
+    assert_eq!(unwatched.timed_out, 0);
+    // Deadline 1: no request can finish within one cycle of arriving.
+    let strict =
+        runner().with_deadline(Some(1)).serve_pattern(&requests, &pattern).expect("strict serve");
+    assert_eq!(strict.completed(), 0);
+    assert_eq!(strict.timed_out, requests.len());
+    for (i, served) in strict.results.iter().enumerate() {
+        match &served.disposition {
+            Disposition::Failed(RequestError::Deadline { cycle, what }) => {
+                assert_eq!(
+                    *cycle,
+                    served.arrival + 1,
+                    "request {i} must abort at arrival+deadline"
+                );
+                assert!(what.contains(&format!("request {i}")), "{what}");
+            }
+            other => panic!("request {i}: expected a deadline abort, got {other:?}"),
+        }
+    }
+    // A deadline far beyond the makespan is observationally absent.
+    let generous = runner()
+        .with_deadline(Some(u64::MAX / 2))
+        .serve_pattern(&requests, &pattern)
+        .expect("generous serve");
+    assert_eq!(generous.timed_out, 0);
+    assert_eq!(generous.latency, unwatched.latency);
+    assert_eq!(generous.stats, unwatched.stats);
+    assert_eq!(generous.makespan_cycles, unwatched.makespan_cycles);
+}
+
+/// The same watchdog contract on the pipelined path: typed aborts under
+/// a strict deadline, bit-identical behaviour under a generous one.
+#[test]
+fn pipelined_deadline_watchdog_aborts_typed_and_generous_deadline_is_inert() {
+    let case = &modelgen::simulable_zoo_cases(41)[0];
+    let cfg = small_node_config(8);
+    let requests = fuzz_requests(case, 4);
+    let pattern = TrafficPattern::Uniform { interval: 900 };
+    let runner = || {
+        ServeRunner::new(
+            &case.model,
+            &cfg,
+            &CompilerOptions {
+                partitioning: Partitioning::Sharded { nodes: 2 },
+                ..CompilerOptions::default()
+            },
+            SimMode::Functional,
+            &NoiseModel::noiseless(),
+        )
+        .expect("pipelined runner")
+        .with_engine(default_engine())
+        .with_pipeline(true)
+    };
+    let unwatched = runner().serve_pattern(&requests, &pattern).expect("unwatched serve");
+    assert_eq!(unwatched.completed(), requests.len());
+    let strict =
+        runner().with_deadline(Some(10)).serve_pattern(&requests, &pattern).expect("strict serve");
+    assert_eq!(strict.completed(), 0);
+    assert_eq!(strict.timed_out, requests.len());
+    for (i, served) in strict.results.iter().enumerate() {
+        match &served.disposition {
+            Disposition::Failed(RequestError::Deadline { cycle, .. }) => {
+                assert_eq!(
+                    *cycle,
+                    served.arrival + 10,
+                    "request {i} must abort at arrival+deadline"
+                );
+            }
+            other => panic!("request {i}: expected a deadline abort, got {other:?}"),
+        }
+    }
+    let generous = runner()
+        .with_deadline(Some(u64::MAX / 2))
+        .serve_pattern(&requests, &pattern)
+        .expect("generous serve");
+    assert_eq!(generous.timed_out, 0);
+    assert_eq!(generous.latency, unwatched.latency);
+    assert_eq!(generous.stats, unwatched.stats);
+    assert_eq!(generous.makespan_cycles, unwatched.makespan_cycles);
 }
 
 /// A malformed request is rejected at submission without disturbing the

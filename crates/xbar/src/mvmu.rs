@@ -19,7 +19,7 @@
 
 use crate::noise::{keyed_gaussian, keyed_hash, unit_from, NoiseModel};
 use crate::slice::{encode_weight, slice_levels, CrossbarSlice};
-use puma_core::config::{MvmuConfig, NonIdealityConfig};
+use puma_core::config::{FaultPlan, MvmuConfig, NonIdealityConfig};
 use puma_core::error::{PumaError, Result};
 use puma_core::fixed::{narrow_accumulator, Fixed, FRAC_BITS};
 use puma_core::tensor::FixedMatrix;
@@ -31,6 +31,9 @@ const WEIGHT_OFFSET: i64 = 32768;
 /// Hash tags decorrelating the perturbation families drawn from one seed.
 const TAG_READ_NOISE: u64 = 0x5245_4144; // "READ"
 const TAG_DRIFT: u64 = 0x4452_4654; // "DRFT"
+const TAG_STUCK: u64 = 0x5354_554B; // "STUK"
+const TAG_STUCK_LEVEL: u64 = 0x534C_564C; // "SLVL"
+const TAG_DEAD_COLUMN: u64 = 0x4443_4F4C; // "DCOL"
 
 /// Rounds an ADC output code to the nearest representable step (an ADC of
 /// `b < 16` bits resolves Q4.12 outputs in `2^(16−b)`-raw-bit steps).
@@ -329,6 +332,35 @@ impl AnalogMvmu {
         site: u64,
         time_index: u64,
     ) -> Result<Vec<Fixed>> {
+        self.mvm_faulted(input, ni, &FaultPlan::none(), site, time_index)
+    }
+
+    /// The degraded analog path with a [`FaultPlan`]'s crossbar defects
+    /// applied on top of the [`NonIdealityConfig`] perturbations: stuck
+    /// cells read a frozen random conductance (no drift, no read noise —
+    /// the cell no longer responds to anything), and a dead column's
+    /// analog current reads as zero (the digital offset correction still
+    /// applies, so the output is `−offset·Σx` narrowed and quantized).
+    ///
+    /// Defects are persistent: the stuck/dead decisions and the stuck
+    /// level are counter-based hashes of `(faults.seed, site, cell)` —
+    /// independent of `time_index` — so a fault realization is frozen
+    /// per physical crossbar for the whole run, and resident-relative
+    /// `site` keying makes it survive relocation. With an empty plan
+    /// this is bit-identical to [`AnalogMvmu::mvm_degraded`], and with
+    /// an ideal `ni` on top, to [`AnalogMvmu::mvm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumaError::ShapeMismatch`] if `input.len() != dim`.
+    pub fn mvm_faulted(
+        &self,
+        input: &[Fixed],
+        ni: &NonIdealityConfig,
+        faults: &FaultPlan,
+        site: u64,
+        time_index: u64,
+    ) -> Result<Vec<Fixed>> {
         let dim = self.cfg.dim;
         if input.len() != dim {
             return Err(PumaError::ShapeMismatch { expected: dim, actual: input.len() });
@@ -361,6 +393,17 @@ impl AnalogMvmu {
             let xf = xb as f64;
             for (col, a) in acc.iter_mut().enumerate() {
                 let idx = base + col;
+                // A stuck cell reads a frozen conductance: drift and
+                // read noise no longer reach it.
+                if faults.stuck_cell_rate > 0.0
+                    && unit_from(keyed_hash(faults.seed, &[site, idx as u64, TAG_STUCK]))
+                        < faults.stuck_cell_rate
+                {
+                    let level =
+                        unit_from(keyed_hash(faults.seed, &[site, idx as u64, TAG_STUCK_LEVEL]));
+                    *a += xf * (level * 65535.0 - offset);
+                    continue;
+                }
                 // Base effective weight: write-noisy when programmed so,
                 // otherwise the ideal decode.
                 let w = match eff {
@@ -392,6 +435,15 @@ impl AnalogMvmu {
             .into_iter()
             .enumerate()
             .map(|(col, a)| {
+                // A dead column's ADC sees zero analog current; the
+                // digital offset correction still subtracts.
+                if faults.dead_column_rate > 0.0
+                    && unit_from(keyed_hash(faults.seed, &[site, col as u64, TAG_DEAD_COLUMN]))
+                        < faults.dead_column_rate
+                {
+                    let raw = narrow_accumulator((-correction).round() as i64, FRAC_BITS);
+                    return Fixed::from_bits(quantize_adc(raw, adc_step));
+                }
                 // IR drop attenuates the analog column current (offset
                 // still encoded); the digital offset correction is exact.
                 let att = if ni.ir_drop_alpha > 0.0 {
@@ -644,6 +696,68 @@ mod tests {
         // fast path (same effective weights, exact f64 accumulation).
         let ni = NonIdealityConfig::ideal();
         assert_eq!(mvmu.mvm_degraded(&x, &ni, 0, 0).unwrap(), mvmu.mvm_noisy_fast(&x).unwrap());
+    }
+
+    #[test]
+    fn faulted_path_with_empty_plan_matches_degraded() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig::ideal();
+        let plan = FaultPlan::none();
+        assert_eq!(
+            mvmu.mvm_faulted(&x, &ni, &plan, 3, 1000).unwrap(),
+            mvmu.mvm_exact(&x).unwrap(),
+            "empty plan takes the exact path"
+        );
+        // A bare seed change keeps the plan inert.
+        let seeded = FaultPlan { seed: 99, ..plan };
+        assert_eq!(
+            mvmu.mvm_faulted(&x, &ni, &seeded, 3, 1000).unwrap(),
+            mvmu.mvm_exact(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn stuck_cells_are_persistent_and_replay() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig::ideal();
+        let plan = FaultPlan { stuck_cell_rate: 0.2, seed: 7, ..FaultPlan::none() };
+        let a = mvmu.mvm_faulted(&x, &ni, &plan, 5, 0).unwrap();
+        assert_ne!(a, mvmu.mvm_exact(&x).unwrap(), "stuck cells corrupt the output");
+        assert_eq!(a, mvmu.mvm_faulted(&x, &ni, &plan, 5, 0).unwrap(), "same key replays");
+        // Defects are frozen in time (unlike read noise) but move with
+        // the site and the seed.
+        assert_eq!(a, mvmu.mvm_faulted(&x, &ni, &plan, 5, 12345).unwrap(), "time-invariant");
+        assert_ne!(a, mvmu.mvm_faulted(&x, &ni, &plan, 6, 0).unwrap(), "site shifts defects");
+        let reseeded = FaultPlan { seed: 8, ..plan };
+        assert_ne!(a, mvmu.mvm_faulted(&x, &ni, &reseeded, 5, 0).unwrap(), "seed reseeds");
+    }
+
+    #[test]
+    fn dead_column_reads_negative_offset_correction() {
+        let m = test_matrix(16, 16);
+        let mut mvmu = AnalogMvmu::new(small_cfg()).unwrap();
+        mvmu.program(&m, &NoiseModel::noiseless()).unwrap();
+        let x = test_input(16);
+        let ni = NonIdealityConfig::ideal();
+        // Rate 1.0: every column is dead, so every output equals the
+        // narrowed −offset·Σx regardless of the weights.
+        let plan = FaultPlan { dead_column_rate: 1.0, seed: 3, ..FaultPlan::none() };
+        let out = mvmu.mvm_faulted(&x, &ni, &plan, 0, 0).unwrap();
+        let input_sum: i64 = x.iter().map(|v| i64::from(v.to_bits())).sum();
+        let want = Fixed::from_bits(narrow_accumulator(-32768 * input_sum, FRAC_BITS));
+        assert!(out.iter().all(|&v| v == want), "dead columns read −offset correction");
+        // A partial rate kills some columns and leaves the rest exact.
+        let partial = FaultPlan { dead_column_rate: 0.3, seed: 3, ..FaultPlan::none() };
+        let out = mvmu.mvm_faulted(&x, &ni, &partial, 0, 0).unwrap();
+        let exact = mvmu.mvm_exact(&x).unwrap();
+        let dead = out.iter().zip(&exact).filter(|(a, b)| a != b).count();
+        assert!(dead > 0 && dead < 16, "expected a partial kill, got {dead}/16");
     }
 
     #[test]

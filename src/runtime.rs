@@ -62,7 +62,7 @@ type RequestWrites = Vec<(String, Vec<f32>)>;
 #[derive(Debug)]
 enum SimBackend {
     Node(Box<NodeSim>),
-    Cluster(ClusterSim),
+    Cluster(Box<ClusterSim>),
 }
 
 impl SimBackend {
@@ -159,7 +159,7 @@ impl SimBackend {
     fn fork_replica(&self) -> SimBackend {
         match self {
             SimBackend::Node(s) => SimBackend::Node(Box::new(s.fork_replica())),
-            SimBackend::Cluster(s) => SimBackend::Cluster(s.fork_replica()),
+            SimBackend::Cluster(s) => SimBackend::Cluster(Box::new(s.fork_replica())),
         }
     }
 
@@ -184,7 +184,7 @@ fn build_backend(
 ) -> Result<SimBackend> {
     match images {
         [single] => Ok(SimBackend::Node(Box::new(NodeSim::new(*cfg, single, mode, noise)?))),
-        many => Ok(SimBackend::Cluster(ClusterSim::new(*cfg, many, mode, noise)?)),
+        many => Ok(SimBackend::Cluster(Box::new(ClusterSim::new(*cfg, many, mode, noise)?))),
     }
 }
 
@@ -352,6 +352,100 @@ pub struct RequestResult {
     pub stats: RunStats,
 }
 
+/// The typed failure of one served request.
+///
+/// Watchdog and fault-injection outcomes are first-class variants so
+/// callers can tell graceful degradation apart from programming errors:
+/// a request that overran its deadline, stalled on an injected tile
+/// death, or deadlocked names the virtual cycle (and the blocked
+/// node/tile/agents via the simulator's blocked summary) instead of
+/// hiding behind a generic simulator error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// The request overran its virtual-time deadline and was aborted by
+    /// the serving watchdog ([`ServeRunner::with_deadline`]).
+    Deadline {
+        /// Virtual cycle the watchdog fired (arrival + deadline).
+        cycle: u64,
+        /// The overrunning request and any stalled agents.
+        what: String,
+    },
+    /// An injected tile death ([`puma_core::config::FaultPlan`]) stopped
+    /// the request's forward progress.
+    FaultedTile {
+        /// Node the dead tile belongs to.
+        node: usize,
+        /// Tile that died.
+        tile: usize,
+        /// Virtual cycle of the death.
+        cycle: u64,
+        /// The blocked agents, or the exhausted retry budget.
+        what: String,
+    },
+    /// The request deadlocked (every agent blocked, no fault injected).
+    Deadlock {
+        /// Cycle forward progress stopped.
+        cycle: u64,
+        /// The blocked agents.
+        what: String,
+    },
+    /// Any other simulator or validation fault.
+    Sim(PumaError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Deadline { cycle, what } => {
+                write!(f, "deadline exceeded at cycle {cycle}: {what}")
+            }
+            RequestError::FaultedTile { node, tile, cycle, what } => {
+                write!(f, "faulted tile: node{node}/tile{tile} died at cycle {cycle}: {what}")
+            }
+            RequestError::Deadlock { cycle, what } => {
+                write!(f, "deadlock at cycle {cycle}: {what}")
+            }
+            RequestError::Sim(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<PumaError> for RequestError {
+    /// Lifts the simulator's typed fault variants into their first-class
+    /// request-level forms; everything else is carried as [`Sim`].
+    ///
+    /// [`Sim`]: RequestError::Sim
+    fn from(e: PumaError) -> Self {
+        match e {
+            PumaError::DeadlineExceeded { cycle, what } => RequestError::Deadline { cycle, what },
+            PumaError::FaultedTile { node, tile, cycle, what } => {
+                RequestError::FaultedTile { node, tile, cycle, what }
+            }
+            PumaError::Deadlock { cycle, what } => RequestError::Deadlock { cycle, what },
+            other => RequestError::Sim(other),
+        }
+    }
+}
+
+impl From<RequestError> for PumaError {
+    /// The inverse lossless mapping, for APIs (like
+    /// [`BatchOutcome::results`]) that report per-request faults as
+    /// [`PumaError`].
+    fn from(e: RequestError) -> Self {
+        match e {
+            RequestError::Deadline { cycle, what } => PumaError::DeadlineExceeded { cycle, what },
+            RequestError::FaultedTile { node, tile, cycle, what } => {
+                PumaError::FaultedTile { node, tile, cycle, what }
+            }
+            RequestError::Deadlock { cycle, what } => PumaError::Deadlock { cycle, what },
+            RequestError::Sim(e) => e,
+        }
+    }
+}
+
 /// What happened to one served request.
 #[derive(Debug)]
 pub enum Disposition {
@@ -367,9 +461,9 @@ pub enum Disposition {
     /// The bounded submission queue was full at arrival: the request was
     /// rejected without executing (the backpressure/shed policy).
     Shed,
-    /// The request faulted (bad inputs, simulator fault); other requests
-    /// are unaffected.
-    Failed(PumaError),
+    /// The request faulted (bad inputs, simulator fault, deadline abort,
+    /// tile death); other requests are unaffected.
+    Failed(RequestError),
 }
 
 /// Per-request record of a [`ServeRunner::serve`] call.
@@ -450,6 +544,9 @@ pub struct ServeOutcome {
     pub latency: LatencySummary,
     /// Requests rejected by the bounded-queue shed policy.
     pub shed: usize,
+    /// Requests aborted by the virtual-time deadline watchdog
+    /// ([`ServeRunner::with_deadline`]).
+    pub timed_out: usize,
     /// Simulated workers in the standing pool (1 pipeline in pipelined
     /// mode).
     pub workers: usize,
@@ -613,6 +710,10 @@ pub struct ServeRunner {
     queue_depth: Option<usize>,
     /// Serve sharded models as a pipeline instead of replicating them.
     pipeline: bool,
+    /// Per-request virtual-time deadline watchdog (`None` = disarmed): a
+    /// request unfinished `deadline` cycles after its arrival is aborted
+    /// at exactly `arrival + deadline` and reported as a typed failure.
+    deadline: Option<u64>,
     /// Idle simulators, checked out by host threads for the duration of a
     /// serve call and returned afterwards — construction (and
     /// functional-mode crossbar programming) is paid once per worker
@@ -680,6 +781,7 @@ impl ServeRunner {
             workers: 1,
             queue_depth: None,
             pipeline: false,
+            deadline: None,
             pool: Mutex::new(vec![first]),
             pipeline_sim: Mutex::new(None),
             compiled_images: Mutex::new(None),
@@ -721,6 +823,22 @@ impl ServeRunner {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: bool) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Arms the per-request deadline watchdog (`None` disarms it): a
+    /// request that has not finished `deadline` cycles after its arrival
+    /// is aborted at exactly `arrival + deadline` on the virtual clock —
+    /// whether still queued or in service — and reported as a typed
+    /// [`RequestError::Deadline`] (or [`RequestError::FaultedTile`] when
+    /// an injected tile death caused the stall) instead of stalling the
+    /// serve. A request finishing exactly at its deadline completes.
+    /// Abort decisions are pure functions of the virtual-time schedule,
+    /// so they replay bit-exactly across engines, worker counts, and
+    /// host threads.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<u64>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -895,8 +1013,11 @@ impl ServeRunner {
     ///
     /// # Errors
     ///
-    /// Propagates pool-level failures (pipeline construction, pipeline
-    /// deadlock — which stalls every in-flight request, not just one).
+    /// Rejects a submission whose arrival times are not non-decreasing
+    /// (the queue would otherwise silently reorder it), and propagates
+    /// pool-level failures (pipeline construction, pipeline deadlock
+    /// with no watchdog armed — which stalls every in-flight request,
+    /// not just one).
     pub fn serve(&self, requests: &[ServeRequest]) -> Result<ServeOutcome> {
         let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival).collect();
         let inputs: Vec<&[(String, Vec<f32>)]> =
@@ -913,6 +1034,21 @@ impl ServeRunner {
         inputs: &[&[(String, Vec<f32>)]],
     ) -> Result<ServeOutcome> {
         let started = Instant::now();
+        // A non-monotone submission is rejected, not silently reordered:
+        // arrival order is the FIFO queue order (and, with a watchdog
+        // armed, the deadline order), so reordering would change shed
+        // and abort decisions behind the caller's back.
+        if let Some(i) = (1..arrivals.len()).find(|&i| arrivals[i] < arrivals[i - 1]) {
+            return Err(PumaError::InvalidConfig {
+                what: format!(
+                    "request arrivals must be non-decreasing in submission order: \
+                     request {i} arrives at cycle {} before request {} at cycle {}",
+                    arrivals[i],
+                    i - 1,
+                    arrivals[i - 1]
+                ),
+            });
+        }
         // Queue order: arrival time, ties by submission index.
         let mut order: Vec<usize> = (0..arrivals.len()).collect();
         order.sort_by_key(|&i| (arrivals[i], i));
@@ -960,24 +1096,39 @@ impl ServeRunner {
         // modelled as service time.
         let durations: Vec<u64> =
             exec.iter().map(|r| r.as_ref().map_or(0, |ok| ok.stats.cycles)).collect();
-        let schedule =
-            virtual_schedule(&schedule_order, arrivals, &durations, self.workers, self.queue_depth);
+        let schedule = virtual_schedule(
+            &schedule_order,
+            arrivals,
+            &durations,
+            self.workers,
+            self.queue_depth,
+            self.deadline,
+        );
         let mut shed = 0usize;
+        let mut timed_out = 0usize;
         let mut results = Vec::with_capacity(arrivals.len());
-        for (i, window) in schedule.iter().enumerate() {
-            let disposition = match (valid[i], *window, exec[i].is_ok()) {
+        for (i, slot) in schedule.iter().enumerate() {
+            let disposition = match (valid[i], *slot, exec[i].is_ok()) {
                 (false, _, _) => match std::mem::replace(&mut exec[i], Ok(empty_result())) {
-                    Err(e) => Disposition::Failed(e),
+                    Err(e) => Disposition::Failed(e.into()),
                     Ok(_) => unreachable!("validation failed but execution succeeded"),
                 },
-                (true, None, _) => {
+                (true, ScheduleSlot::Shed, _) => {
                     shed += 1;
                     Disposition::Shed
                 }
-                (true, Some(_), false) => Disposition::Failed(
-                    std::mem::replace(&mut exec[i], Ok(empty_result())).unwrap_err(),
+                (true, ScheduleSlot::TimedOut { at }, _) => {
+                    timed_out += 1;
+                    let d = self.deadline.expect("timeouts require an armed watchdog");
+                    Disposition::Failed(RequestError::Deadline {
+                        cycle: at,
+                        what: format!("request {i} overran its {d}-cycle serving deadline"),
+                    })
+                }
+                (true, ScheduleSlot::Served { .. }, false) => Disposition::Failed(
+                    std::mem::replace(&mut exec[i], Ok(empty_result())).unwrap_err().into(),
                 ),
-                (true, Some((start, finish)), true) => Disposition::Completed {
+                (true, ScheduleSlot::Served { start, finish }, true) => Disposition::Completed {
                     result: std::mem::replace(&mut exec[i], Ok(empty_result()))
                         .expect("checked above"),
                     start,
@@ -992,6 +1143,7 @@ impl ServeRunner {
             stats: RunStats::new(),
             latency: LatencySummary::default(),
             shed,
+            timed_out,
             workers: self.workers,
             host_threads,
             makespan_cycles: 0,
@@ -1030,15 +1182,26 @@ impl ServeRunner {
             .map(|(binding, values)| (binding.name.clone(), values.clone()))
             .collect();
         let mut sim = self.checkout_pipeline()?;
-        let report = sim.serve(&const_writes, &pipeline_requests, self.queue_depth);
+        let report = sim.serve_with_deadline(
+            &const_writes,
+            &pipeline_requests,
+            self.queue_depth,
+            self.deadline,
+        );
         *self.pipeline_sim.lock().expect("pipeline sim poisoned") = Some(sim);
         let report = report?;
         let mut dispositions: Vec<Option<Disposition>> =
             (0..arrivals.len()).map(|_| None).collect();
         let mut shed = 0usize;
+        let mut timed_out = 0usize;
         for (pos, &i) in queue.iter().enumerate() {
             let r = &report.results[pos];
-            dispositions[i] = Some(if r.admitted {
+            dispositions[i] = Some(if let Some(err) = &r.error {
+                // The watchdog aborted this request mid-pipeline; the
+                // typed fault (deadline or tile death) is per-request.
+                timed_out += 1;
+                Disposition::Failed(err.clone().into())
+            } else if r.admitted {
                 let outputs = self.assemble_outputs(&r.outputs);
                 Disposition::Completed {
                     result: RequestResult { outputs, stats: r.stats.clone() },
@@ -1057,7 +1220,7 @@ impl ServeRunner {
                 arrival: arrivals[i],
                 disposition: d.unwrap_or_else(|| {
                     Disposition::Failed(
-                        std::mem::replace(&mut prepared[i], Ok(Vec::new())).unwrap_err(),
+                        std::mem::replace(&mut prepared[i], Ok(Vec::new())).unwrap_err().into(),
                     )
                 }),
             })
@@ -1067,6 +1230,7 @@ impl ServeRunner {
             stats: RunStats::new(),
             latency: LatencySummary::default(),
             shed,
+            timed_out,
             workers: 1,
             host_threads: 1,
             makespan_cycles: 0,
@@ -1137,28 +1301,83 @@ fn empty_result() -> RequestResult {
     RequestResult { outputs: HashMap::new(), stats: RunStats::new() }
 }
 
+/// One request's slot in the deterministic virtual-time schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScheduleSlot {
+    /// The request was served over `start..finish`.
+    Served {
+        /// Cycle service began.
+        start: u64,
+        /// Cycle service finished.
+        finish: u64,
+    },
+    /// The bounded queue rejected the request at arrival (also the slot
+    /// of requests excluded from the schedule entirely).
+    Shed,
+    /// The deadline watchdog aborted the request at `at` (its arrival
+    /// plus the deadline) — either mid-service (the worker is reclaimed
+    /// at `at`) or still queued (no worker was ever consumed).
+    TimedOut {
+        /// Cycle the watchdog fired.
+        at: u64,
+    },
+}
+
 /// The deterministic virtual-time queue schedule: given arrival times and
-/// service durations, computes each request's `(start, finish)` on a pool
-/// of `workers` simulated servers with a FIFO queue bounded by `depth`
-/// (`None` per request = shed). Departures precede arrivals at equal
-/// timestamps.
+/// service durations, computes each request's slot on a pool of `workers`
+/// simulated servers with a FIFO queue bounded by `depth`. Departures
+/// precede arrivals at equal timestamps. With a `deadline`, a request
+/// whose service would end after `arrival + deadline` is aborted there
+/// instead (a request finishing exactly at its deadline completes), and
+/// one whose deadline passes while it is still queued expires without
+/// ever consuming a worker.
 fn virtual_schedule(
     order: &[usize],
     arrivals: &[u64],
     durations: &[u64],
     workers: usize,
     depth: Option<usize>,
-) -> Vec<Option<(u64, u64)>> {
+    deadline: Option<u64>,
+) -> Vec<ScheduleSlot> {
     let workers = workers.max(1);
-    let mut schedule: Vec<Option<(u64, u64)>> = vec![None; arrivals.len()];
+    let mut schedule: Vec<ScheduleSlot> = vec![ScheduleSlot::Shed; arrivals.len()];
     // (free_at, worker index): deterministic tie-break by index.
     let mut free: BinaryHeap<Reverse<(u64, usize)>> =
         (0..workers).map(|w| Reverse((0, w))).collect();
     let mut waiting: VecDeque<usize> = VecDeque::new();
+    // Serves request `i` on `worker` (free at `free_at`), or expires it
+    // against the deadline. Returns false when the worker was NOT
+    // consumed (the request's deadline passed while it was queued).
+    let place = |i: usize,
+                 free_at: u64,
+                 worker: usize,
+                 free: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                 schedule: &mut Vec<ScheduleSlot>| {
+        let start = free_at.max(arrivals[i]);
+        let finish = start + durations[i];
+        if let Some(d) = deadline {
+            let dl = arrivals[i].saturating_add(d);
+            if finish > dl {
+                if start >= dl {
+                    // Expired in the queue: it never starts.
+                    schedule[i] = ScheduleSlot::TimedOut { at: dl };
+                    return false;
+                }
+                // Started but overran: the watchdog aborts it at the
+                // deadline and the worker is reclaimed there.
+                schedule[i] = ScheduleSlot::TimedOut { at: dl };
+                free.push(Reverse((dl, worker)));
+                return true;
+            }
+        }
+        schedule[i] = ScheduleSlot::Served { start, finish };
+        free.push(Reverse((finish, worker)));
+        true
+    };
     let start_queued_until = |upto: u64,
                               waiting: &mut VecDeque<usize>,
                               free: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                              schedule: &mut Vec<Option<(u64, u64)>>| {
+                              schedule: &mut Vec<ScheduleSlot>| {
         while let Some(&head) = waiting.front() {
             let Some(&Reverse((free_at, worker))) = free.peek() else { break };
             if free_at > upto {
@@ -1166,10 +1385,9 @@ fn virtual_schedule(
             }
             free.pop();
             waiting.pop_front();
-            let start = free_at.max(arrivals[head]);
-            let finish = start + durations[head];
-            schedule[head] = Some((start, finish));
-            free.push(Reverse((finish, worker)));
+            if !place(head, free_at, worker, free, schedule) {
+                free.push(Reverse((free_at, worker)));
+            }
         }
     };
     for &i in order {
@@ -1178,13 +1396,13 @@ fn virtual_schedule(
         let idle_worker = free.peek().is_some_and(|&Reverse((f, _))| f <= t);
         if idle_worker && waiting.is_empty() {
             let Reverse((free_at, worker)) = free.pop().expect("peeked above");
-            let start = t.max(free_at);
-            schedule[i] = Some((start, start + durations[i]));
-            free.push(Reverse((start + durations[i], worker)));
+            if !place(i, free_at, worker, &mut free, &mut schedule) {
+                free.push(Reverse((free_at, worker)));
+            }
         } else if depth.is_none_or(|d| waiting.len() < d) {
             waiting.push_back(i);
         }
-        // else: shed (schedule[i] stays None).
+        // else: shed (schedule[i] stays Shed).
     }
     start_queued_until(u64::MAX, &mut waiting, &mut free, &mut schedule);
     schedule
@@ -1192,9 +1410,10 @@ fn virtual_schedule(
 
 /// Maximum number of simultaneously in-service requests in a schedule
 /// (finishes close before starts open at equal timestamps).
-fn max_overlap(schedule: &[Option<(u64, u64)>]) -> usize {
+fn max_overlap(schedule: &[ScheduleSlot]) -> usize {
     let mut events: Vec<(u64, i32)> = Vec::new();
-    for &(start, finish) in schedule.iter().flatten() {
+    for slot in schedule {
+        let ScheduleSlot::Served { start, finish } = *slot else { continue };
         events.push((start, 1));
         events.push((finish, -1));
     }
@@ -1328,8 +1547,14 @@ impl BatchRunner {
             .into_iter()
             .map(|served| match served.disposition {
                 Disposition::Completed { result, .. } => Ok(result),
-                Disposition::Failed(err) => Err(err),
-                Disposition::Shed => unreachable!("unbounded queues never shed"),
+                Disposition::Failed(err) => Err(err.into()),
+                // A batch serve uses an unbounded queue, so nothing
+                // should ever shed; degrade to a reported per-request
+                // fault instead of aborting the process if a queue
+                // policy change breaks that invariant.
+                Disposition::Shed => Err(PumaError::Execution {
+                    what: "internal: a request was shed from the unbounded batch queue".into(),
+                }),
             })
             .collect();
         Ok(BatchOutcome {
@@ -1501,13 +1726,51 @@ pub struct Deployment {
     pub tiles: usize,
 }
 
-/// Direction of one autoscaling step.
+/// Direction of one autoscaling or fault-recovery step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScaleDirection {
     /// A replica was added.
     Up,
     /// A replica was released.
     Down,
+    /// An injected tile death hit a replica's allocation: the replica
+    /// left service and its tiles were quarantined (kept allocated so
+    /// nothing is ever re-placed onto the dead tile).
+    Quarantine,
+    /// A quarantined replica was re-placed onto free tiles (first-fit +
+    /// image relocation — bit-identical service, new placement).
+    Failover,
+}
+
+/// Bounded-retry policy for tenant requests aborted by an injected tile
+/// death ([`puma_core::config::FaultPlan::tile_death`]).
+///
+/// A victim request re-enters its model's queue after a deterministic
+/// virtual-time exponential backoff: the retry after attempt `n`
+/// (1-based) arrives `backoff_cycles · 2^(n−1)` cycles after the abort.
+/// Retries bypass the bounded-queue shed policy — the request was
+/// already admitted once. All decisions are pure functions of the
+/// virtual clock, so faulty serves replay bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total service attempts per request, including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Base backoff in cycles, doubled on every further retry.
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no retries.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, backoff_cycles: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Convenience constructor (`max_attempts` clamped to at least 1).
+    pub fn new(max_attempts: usize, backoff_cycles: u64) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), backoff_cycles }
+    }
 }
 
 /// One autoscaling step of a [`TenantServer::serve`] call.
@@ -1560,6 +1823,13 @@ pub struct TenantModelOutcome {
     pub latency: LatencySummary,
     /// This model's requests rejected by the bounded-queue shed policy.
     pub shed: usize,
+    /// Requests that completed only after at least one fault retry
+    /// (counted inside `completed`, split out so graceful degradation
+    /// under an injected tile death is measurable).
+    pub retried: usize,
+    /// Requests that failed permanently under an injected tile death:
+    /// the retry budget ran out, or no live replica remained.
+    pub failed: usize,
     /// Most replicas this model had live at once.
     pub peak_replicas: usize,
 }
@@ -1706,6 +1976,7 @@ pub struct TenantServer {
     host_threads: usize,
     queue_depth: Option<usize>,
     policy: ScalePolicy,
+    retry: RetryPolicy,
     deployments: Vec<Deployment>,
     planner: TilePlanner,
     /// Idle fabric simulators (every resident loaded), checked out by
@@ -1774,6 +2045,7 @@ impl TenantServer {
             host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_depth: None,
             policy: ScalePolicy::default(),
+            retry: RetryPolicy::default(),
             deployments: Vec::new(),
             planner: TilePlanner::new(fabric.nodes, fabric.tiles_per_node),
             pool: Mutex::new(Vec::new()),
@@ -1809,6 +2081,13 @@ impl TenantServer {
     #[must_use]
     pub fn with_policy(mut self, policy: ScalePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the fault-retry policy (default: one attempt, no retries).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -1956,7 +2235,15 @@ impl TenantServer {
     /// builds under [`SimEngine::Compiled`]).
     fn build_fabric_sim(&self) -> Result<SimBackend> {
         let images = self.node_images()?;
-        let mut sim = build_backend(&self.cfg, &images, self.mode, &self.noise)?;
+        // Tile death is modeled at the schedule layer (quarantine +
+        // failover + retry, see `tenant_schedule`), not inside the
+        // speculative fabric simulators: every request is simulated once
+        // and scheduling decides which attempt lands where. Cell and
+        // packet faults stay in — their site keys are resident-relative,
+        // so a replica's faulty outputs are placement-invariant.
+        let mut cfg = self.cfg;
+        cfg.faults.tile_death = None;
+        let mut sim = build_backend(&cfg, &images, self.mode, &self.noise)?;
         for node in 0..images.len() {
             sim.set_residents(node, self.residents_of(node))?;
         }
@@ -2104,19 +2391,36 @@ impl TenantServer {
                     .filter(|&i| self.validate_tenant_inputs(&s.model, &s.requests[i].inputs))
                     .collect();
                 order.sort_by_key(|&i| (arrivals[i], i));
-                let tiles = self
+                let placed = self
                     .deployments
                     .iter()
                     .find(|d| d.model == s.model)
-                    .expect("checked deployed above")
-                    .tiles;
-                TenantLoad { arrivals, durations, order, tiles }
+                    .expect("checked deployed above");
+                TenantLoad {
+                    arrivals,
+                    durations,
+                    order,
+                    tiles: placed.tiles,
+                    node: placed.node,
+                    base: placed.base,
+                }
             })
             .collect();
         // Transient planner copy: mid-serve replica allocations must not
         // change the fabric's persistent placements.
         let mut planner = self.planner.clone();
-        let schedule = tenant_schedule(&loads, self.queue_depth, &self.policy, &mut planner);
+        // An injected tile death is scheduling-visible (quarantine +
+        // failover + retry); the speculative simulators never see it.
+        let death =
+            self.cfg.faults.tile_death.map(|d| (d.at_cycle, usize::from(d.node), d.tile as usize));
+        let schedule = tenant_schedule(
+            &loads,
+            self.queue_depth,
+            &self.policy,
+            &self.retry,
+            death,
+            &mut planner,
+        );
         // Assemble per-model outcomes in stream order.
         let mut models = Vec::with_capacity(streams.len());
         let mut makespan = 0u64;
@@ -2130,23 +2434,47 @@ impl TenantServer {
             for &r in &load.order {
                 valid[r] = true;
             }
+            let mut retried = 0usize;
+            let mut failed = 0usize;
             for i in 0..stream.requests.len() {
                 let schedulable = valid[i];
-                let disposition = match (schedulable, schedule.windows[si][i], exec[i].is_ok()) {
-                    (false, _, _) | (true, Some(_), false) => {
-                        match std::mem::replace(&mut exec[i], Ok(empty_result())) {
-                            Err(e) => Disposition::Failed(e),
-                            Ok(_) => unreachable!("validation failed but execution succeeded"),
+                let disposition = if schedule.failed[si][i] {
+                    // Lost to the injected tile death: aborted with the
+                    // retry budget exhausted, or no live replica left.
+                    failed += 1;
+                    let (cycle, node, tile) = death.expect("failures require a tile death");
+                    Disposition::Failed(RequestError::FaultedTile {
+                        node,
+                        tile,
+                        cycle,
+                        what: format!(
+                            "request {i} of model '{}' lost to the tile death \
+                             ({} of {} attempts made)",
+                            stream.model, schedule.attempts[si][i], self.retry.max_attempts
+                        ),
+                    })
+                } else {
+                    match (schedulable, schedule.windows[si][i], exec[i].is_ok()) {
+                        (false, _, _) | (true, Some(_), false) => {
+                            match std::mem::replace(&mut exec[i], Ok(empty_result())) {
+                                Err(e) => Disposition::Failed(e.into()),
+                                Ok(_) => {
+                                    unreachable!("validation failed but execution succeeded")
+                                }
+                            }
                         }
-                    }
-                    (true, None, _) => Disposition::Shed,
-                    (true, Some((start, finish)), true) => {
-                        let result = std::mem::replace(&mut exec[i], Ok(empty_result()))
-                            .expect("checked above");
-                        stats.merge(&result.stats);
-                        latencies.push(finish - load.arrivals[i]);
-                        makespan = makespan.max(finish);
-                        Disposition::Completed { result, start, finish }
+                        (true, None, _) => Disposition::Shed,
+                        (true, Some((start, finish)), true) => {
+                            let result = std::mem::replace(&mut exec[i], Ok(empty_result()))
+                                .expect("checked above");
+                            stats.merge(&result.stats);
+                            latencies.push(finish - load.arrivals[i]);
+                            makespan = makespan.max(finish);
+                            if schedule.attempts[si][i] > 1 {
+                                retried += 1;
+                            }
+                            Disposition::Completed { result, start, finish }
+                        }
                     }
                 };
                 results.push(ServedRequest { arrival: load.arrivals[i], disposition });
@@ -2157,6 +2485,8 @@ impl TenantServer {
                 stats,
                 latency: LatencySummary::from_latencies(latencies),
                 shed: schedule.shed[si],
+                retried,
+                failed,
                 peak_replicas: schedule.peak[si],
             });
         }
@@ -2166,7 +2496,7 @@ impl TenantServer {
             .map(|e| ScaleEvent {
                 cycle: e.cycle,
                 model: streams[e.stream].model.clone(),
-                direction: if e.up { ScaleDirection::Up } else { ScaleDirection::Down },
+                direction: e.kind,
                 replicas: e.live,
             })
             .collect();
@@ -2198,26 +2528,33 @@ struct TenantLoad {
     order: Vec<usize>,
     /// Tiles one replica of the model occupies.
     tiles: usize,
+    /// Node of the materialized deployment (replica slot 0).
+    node: usize,
+    /// First tile of the materialized deployment (replica slot 0).
+    base: usize,
 }
 
 /// One replica slot of one model in the tenant schedule.
 #[derive(Debug, Clone, Copy)]
 struct ReplicaSlot {
-    /// The transient tile allocation backing a scaled-up replica
-    /// (`None` for slot 0, the materialized deployment).
+    /// The transient tile allocation backing a scaled-up or failover
+    /// replica (`None` for slot 0, the materialized deployment).
     alloc: Option<(usize, usize)>,
+    /// Primary replicas — slot 0 and any failover replacement for it —
+    /// are never released by scale-down.
+    primary: bool,
     busy: bool,
     removed: bool,
 }
 
-/// One autoscaling step, by stream index (mapped to model names by the
-/// caller).
+/// One autoscaling or fault-recovery step, by stream index (mapped to
+/// model names by the caller).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RawScaleEvent {
     cycle: u64,
     stream: usize,
     slot: usize,
-    up: bool,
+    kind: ScaleDirection,
     /// Live replicas of the stream after the step.
     live: usize,
 }
@@ -2235,28 +2572,50 @@ struct TenantSchedule {
     shed: Vec<usize>,
     /// Per stream: most replicas live at once.
     peak: Vec<usize>,
-    /// Autoscaling steps, in simulated-clock order.
+    /// Autoscaling and fault-recovery steps, in simulated-clock order.
     events: Vec<RawScaleEvent>,
+    /// Per stream, per request: service attempts made (0 = never
+    /// started; > 1 = completed or failed after fault retries).
+    attempts: Vec<Vec<usize>>,
+    /// Per stream, per request: permanently lost to the tile death (the
+    /// retry budget ran out, or no live replica remained to serve it).
+    failed: Vec<Vec<bool>>,
 }
 
 /// The deterministic merged multi-tenant schedule: per-model FIFO queues
-/// bounded by `depth`, one service slot per live replica, and
-/// queue-depth-driven scale-up/down against `planner`'s free tiles.
+/// bounded by `depth`, one service slot per live replica,
+/// queue-depth-driven scale-up/down against `planner`'s free tiles, and
+/// fault recovery for one injected tile death `(cycle, node, tile)`.
 ///
 /// Event order is total and host-independent: time, then departures
-/// before arrivals (a freed replica is visible to a same-cycle
-/// arrival), then stream index, then request index. Scale-up fires on
-/// the arrival that makes a model's queue reach
+/// before the tile death (a request finishing exactly at the death
+/// cycle completes), the death before fault retries, and retries
+/// before fresh arrivals (an arrival at the death cycle sees the
+/// post-death fabric), then stream index, then request index. Scale-up
+/// fires on the arrival that makes a model's queue reach
 /// [`ScalePolicy::scale_up_depth`] (capacity permitting) and the new
 /// replica immediately serves the queue head; scale-down releases a
 /// scaled-up replica the moment it departs its last request with an
 /// empty queue. Slot 0 — the materialized deployment — is never
 /// released, and only the replica that just went idle is ever a
 /// release candidate, so scale-down can never evict in-flight work.
+///
+/// When the death hits a replica's allocation (slot 0's materialized
+/// placement or a scaled-up replica's transient one — allocations are
+/// disjoint, so at most one slot is hit), that slot is **quarantined**:
+/// removed from service with its tiles kept allocated, so nothing is
+/// ever re-placed onto the dead tile. Its in-flight request is aborted
+/// and retried per `retry` (retries bypass the bounded queue — the
+/// request was already admitted once), and a replacement replica is
+/// re-placed first-fit onto free tiles (**failover**). With no free
+/// capacity and no live replica left, the model's unserved requests
+/// fail.
 fn tenant_schedule(
     loads: &[TenantLoad],
     depth: Option<usize>,
     policy: &ScalePolicy,
+    retry: &RetryPolicy,
+    death: Option<(u64, usize, usize)>,
     planner: &mut TilePlanner,
 ) -> TenantSchedule {
     let mut windows: Vec<Vec<Option<(u64, u64)>>> =
@@ -2265,10 +2624,12 @@ fn tenant_schedule(
         loads.iter().map(|l| vec![None; l.arrivals.len()]).collect();
     let mut shed = vec![0usize; loads.len()];
     let mut peak = vec![1usize; loads.len()];
+    let mut attempts: Vec<Vec<usize>> = loads.iter().map(|l| vec![0; l.arrivals.len()]).collect();
+    let mut failed: Vec<Vec<bool>> = loads.iter().map(|l| vec![false; l.arrivals.len()]).collect();
     let mut events: Vec<RawScaleEvent> = Vec::new();
     let mut slots: Vec<Vec<ReplicaSlot>> = loads
         .iter()
-        .map(|_| vec![ReplicaSlot { alloc: None, busy: false, removed: false }])
+        .map(|_| vec![ReplicaSlot { alloc: None, primary: true, busy: false, removed: false }])
         .collect();
     let mut waiting: Vec<VecDeque<usize>> = loads.iter().map(|_| VecDeque::new()).collect();
     // Merged arrivals: (cycle, stream, request), consumed in order.
@@ -2281,6 +2642,9 @@ fn tenant_schedule(
     let mut next_arrival = 0usize;
     // In-flight departures: (finish, stream, slot, request).
     let mut departures: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+    // Fault retries: (re-arrival cycle, stream, request).
+    let mut retries: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    let mut death_pending = death;
 
     let start = |t: u64,
                  s: usize,
@@ -2289,81 +2653,251 @@ fn tenant_schedule(
                  slots: &mut [Vec<ReplicaSlot>],
                  windows: &mut [Vec<Option<(u64, u64)>>],
                  replica_of: &mut [Vec<Option<usize>>],
-                 departures: &mut BinaryHeap<Reverse<(u64, usize, usize, usize)>>| {
+                 departures: &mut BinaryHeap<Reverse<(u64, usize, usize, usize)>>,
+                 attempts: &mut [Vec<usize>]| {
         let finish = t + loads[s].durations[r];
         windows[s][r] = Some((t, finish));
         replica_of[s][r] = Some(slot);
         slots[s][slot].busy = true;
+        attempts[s][r] += 1;
         departures.push(Reverse((finish, s, slot, r)));
     };
 
     loop {
-        let depart_now = match (departures.peek(), arrivals.get(next_arrival)) {
-            (Some(&Reverse((df, _, _, _))), Some(&(at, _, _))) => df <= at,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => break,
+        // The next event: minimum virtual time; at equal times
+        // departures (0) precede the tile death (1), the death precedes
+        // fault retries (2), and retries precede fresh arrivals (3).
+        let candidates = [
+            (departures.peek().map(|&Reverse((t, ..))| t), 0u8),
+            (death_pending.map(|(t, ..)| t), 1),
+            (retries.peek().map(|&Reverse((t, ..))| t), 2),
+            (arrivals.get(next_arrival).map(|&(t, ..)| t), 3),
+        ];
+        let Some((_, event)) = candidates.iter().filter_map(|&(t, k)| t.map(|t| (t, k))).min()
+        else {
+            break;
         };
-        if depart_now {
-            let Reverse((t, s, slot, _)) = departures.pop().expect("peeked above");
-            slots[s][slot].busy = false;
-            if let Some(head) = waiting[s].pop_front() {
-                start(t, s, head, slot, &mut slots, &mut windows, &mut replica_of, &mut departures);
-            } else if let Some((node, base)) = slots[s][slot].alloc {
-                // An idle scaled-up replica with an empty queue drains
-                // away; its tiles return to the free pool.
-                planner.release(node, base);
-                slots[s][slot].removed = true;
-                let live = slots[s].iter().filter(|x| !x.removed).count();
-                events.push(RawScaleEvent { cycle: t, stream: s, slot, up: false, live });
+        match event {
+            0 => {
+                let Reverse((t, s, slot, _)) = departures.pop().expect("candidate peeked");
+                if slots[s][slot].removed {
+                    // A quarantined slot's aborted in-flight request:
+                    // the abort and its retry were handled at the death
+                    // cycle, and the slot never returns to service.
+                    continue;
+                }
+                slots[s][slot].busy = false;
+                if let Some(head) = waiting[s].pop_front() {
+                    start(
+                        t,
+                        s,
+                        head,
+                        slot,
+                        &mut slots,
+                        &mut windows,
+                        &mut replica_of,
+                        &mut departures,
+                        &mut attempts,
+                    );
+                } else if !slots[s][slot].primary {
+                    // An idle scaled-up replica with an empty queue
+                    // drains away; its tiles return to the free pool.
+                    // Primary replicas (slot 0 and its failover
+                    // replacement) stay resident.
+                    let (node, base) =
+                        slots[s][slot].alloc.expect("scaled-up replicas carry an allocation");
+                    planner.release(node, base);
+                    slots[s][slot].removed = true;
+                    let live = slots[s].iter().filter(|x| !x.removed).count();
+                    events.push(RawScaleEvent {
+                        cycle: t,
+                        stream: s,
+                        slot,
+                        kind: ScaleDirection::Down,
+                        live,
+                    });
+                }
             }
-        } else {
-            let (t, s, r) = arrivals[next_arrival];
-            next_arrival += 1;
-            let idle = slots[s]
-                .iter()
-                .position(|x| !x.busy && !x.removed)
-                .filter(|_| waiting[s].is_empty());
-            if let Some(slot) = idle {
-                start(t, s, r, slot, &mut slots, &mut windows, &mut replica_of, &mut departures);
-            } else if depth.is_none_or(|d| waiting[s].len() < d) {
-                waiting[s].push_back(r);
-                let live = slots[s].iter().filter(|x| !x.removed).count();
-                if waiting[s].len() >= policy.scale_up_depth && live < policy.max_replicas {
-                    if let Some((node, base)) = planner.first_fit(loads[s].tiles) {
-                        slots[s].push(ReplicaSlot {
-                            alloc: Some((node, base)),
-                            busy: false,
-                            removed: false,
-                        });
-                        let slot = slots[s].len() - 1;
-                        peak[s] = peak[s].max(live + 1);
+            1 => {
+                let (dc, dn, dt) = death_pending.take().expect("candidate peeked");
+                // Allocations are disjoint, so at most one live slot
+                // across all streams covers the dead tile.
+                'streams: for s in 0..loads.len() {
+                    for k in 0..slots[s].len() {
+                        if slots[s][k].removed {
+                            continue;
+                        }
+                        let (node, base) =
+                            slots[s][k].alloc.unwrap_or((loads[s].node, loads[s].base));
+                        if node != dn || dt < base || dt >= base + loads[s].tiles {
+                            continue;
+                        }
+                        // Quarantine: the slot leaves service; its tiles
+                        // stay allocated so nothing is ever re-placed
+                        // onto the dead tile.
+                        slots[s][k].removed = true;
+                        let live = slots[s].iter().filter(|x| !x.removed).count();
                         events.push(RawScaleEvent {
-                            cycle: t,
+                            cycle: dc,
                             stream: s,
-                            slot,
-                            up: true,
-                            live: live + 1,
+                            slot: k,
+                            kind: ScaleDirection::Quarantine,
+                            live,
                         });
-                        let head = waiting[s].pop_front().expect("pushed above");
-                        start(
-                            t,
-                            s,
-                            head,
-                            slot,
-                            &mut slots,
-                            &mut windows,
-                            &mut replica_of,
-                            &mut departures,
-                        );
+                        // Abort the in-flight victim; retry it after the
+                        // exponential backoff while the budget allows.
+                        let victim = departures
+                            .iter()
+                            .find(|&&Reverse((_, ss, kk, _))| ss == s && kk == k)
+                            .map(|&Reverse((_, _, _, r))| r);
+                        if let Some(r) = victim {
+                            windows[s][r] = None;
+                            replica_of[s][r] = None;
+                            if attempts[s][r] < retry.max_attempts {
+                                let exp = (attempts[s][r] as u32 - 1).min(63);
+                                let delay = retry.backoff_cycles.saturating_mul(1u64 << exp);
+                                retries.push(Reverse((dc.saturating_add(delay), s, r)));
+                            } else {
+                                failed[s][r] = true;
+                            }
+                        }
+                        // Failover: re-place the replica onto free
+                        // tiles, first-fit like any deployment. The
+                        // recovered replica immediately serves the
+                        // queue head.
+                        if let Some(alloc) = planner.first_fit(loads[s].tiles) {
+                            let primary = slots[s][k].primary;
+                            slots[s].push(ReplicaSlot {
+                                alloc: Some(alloc),
+                                primary,
+                                busy: false,
+                                removed: false,
+                            });
+                            let slot = slots[s].len() - 1;
+                            let live = slots[s].iter().filter(|x| !x.removed).count();
+                            peak[s] = peak[s].max(live);
+                            events.push(RawScaleEvent {
+                                cycle: dc,
+                                stream: s,
+                                slot,
+                                kind: ScaleDirection::Failover,
+                                live,
+                            });
+                            if let Some(head) = waiting[s].pop_front() {
+                                start(
+                                    dc,
+                                    s,
+                                    head,
+                                    slot,
+                                    &mut slots,
+                                    &mut windows,
+                                    &mut replica_of,
+                                    &mut departures,
+                                    &mut attempts,
+                                );
+                            }
+                        }
+                        break 'streams;
                     }
                 }
-            } else {
-                shed[s] += 1;
+            }
+            2 => {
+                let Reverse((t, s, r)) = retries.pop().expect("candidate peeked");
+                let idle = slots[s]
+                    .iter()
+                    .position(|x| !x.busy && !x.removed)
+                    .filter(|_| waiting[s].is_empty());
+                if let Some(slot) = idle {
+                    start(
+                        t,
+                        s,
+                        r,
+                        slot,
+                        &mut slots,
+                        &mut windows,
+                        &mut replica_of,
+                        &mut departures,
+                        &mut attempts,
+                    );
+                } else if slots[s].iter().any(|x| !x.removed) {
+                    // Retries bypass the bounded queue: the request was
+                    // already admitted once.
+                    waiting[s].push_back(r);
+                } else {
+                    failed[s][r] = true;
+                }
+            }
+            _ => {
+                let (t, s, r) = arrivals[next_arrival];
+                next_arrival += 1;
+                let idle = slots[s]
+                    .iter()
+                    .position(|x| !x.busy && !x.removed)
+                    .filter(|_| waiting[s].is_empty());
+                if let Some(slot) = idle {
+                    start(
+                        t,
+                        s,
+                        r,
+                        slot,
+                        &mut slots,
+                        &mut windows,
+                        &mut replica_of,
+                        &mut departures,
+                        &mut attempts,
+                    );
+                } else if depth.is_none_or(|d| waiting[s].len() < d) {
+                    waiting[s].push_back(r);
+                    let live = slots[s].iter().filter(|x| !x.removed).count();
+                    if waiting[s].len() >= policy.scale_up_depth && live < policy.max_replicas {
+                        if let Some(alloc) = planner.first_fit(loads[s].tiles) {
+                            slots[s].push(ReplicaSlot {
+                                alloc: Some(alloc),
+                                primary: false,
+                                busy: false,
+                                removed: false,
+                            });
+                            let slot = slots[s].len() - 1;
+                            peak[s] = peak[s].max(live + 1);
+                            events.push(RawScaleEvent {
+                                cycle: t,
+                                stream: s,
+                                slot,
+                                kind: ScaleDirection::Up,
+                                live: live + 1,
+                            });
+                            let head = waiting[s].pop_front().expect("pushed above");
+                            start(
+                                t,
+                                s,
+                                head,
+                                slot,
+                                &mut slots,
+                                &mut windows,
+                                &mut replica_of,
+                                &mut departures,
+                                &mut attempts,
+                            );
+                        }
+                    }
+                } else {
+                    shed[s] += 1;
+                }
             }
         }
     }
-    TenantSchedule { windows, replica_of, shed, peak, events }
+    // A stream left with no live replica (the death consumed its last
+    // slot and failover found no capacity) can never serve what is
+    // still waiting.
+    for s in 0..loads.len() {
+        if slots[s].iter().any(|x| !x.removed) {
+            continue;
+        }
+        for r in waiting[s].drain(..) {
+            failed[s][r] = true;
+        }
+    }
+    TenantSchedule { windows, replica_of, shed, peak, events, attempts, failed }
 }
 
 #[cfg(test)]
@@ -2375,10 +2909,10 @@ mod tests {
         // Three requests, 10-cycle service, arriving every 4 cycles.
         let arrivals = [0, 4, 8];
         let durations = [10, 10, 10];
-        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 1, None);
-        assert_eq!(schedule[0], Some((0, 10)));
-        assert_eq!(schedule[1], Some((10, 20)));
-        assert_eq!(schedule[2], Some((20, 30)));
+        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 1, None, None);
+        assert_eq!(schedule[0], ScheduleSlot::Served { start: 0, finish: 10 });
+        assert_eq!(schedule[1], ScheduleSlot::Served { start: 10, finish: 20 });
+        assert_eq!(schedule[2], ScheduleSlot::Served { start: 20, finish: 30 });
         assert_eq!(max_overlap(&schedule), 1);
     }
 
@@ -2386,8 +2920,8 @@ mod tests {
     fn virtual_schedule_extra_workers_run_in_parallel() {
         let arrivals = [0, 0, 0];
         let durations = [10, 10, 10];
-        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 3, None);
-        assert!(schedule.iter().all(|w| *w == Some((0, 10))));
+        let schedule = virtual_schedule(&[0, 1, 2], &arrivals, &durations, 3, None, None);
+        assert!(schedule.iter().all(|w| *w == ScheduleSlot::Served { start: 0, finish: 10 }));
         assert_eq!(max_overlap(&schedule), 3);
     }
 
@@ -2396,11 +2930,11 @@ mod tests {
         // One worker busy 0..100; depth 1: request 1 queues, 2 and 3 shed.
         let arrivals = [0, 1, 2, 3];
         let durations = [100, 100, 100, 100];
-        let schedule = virtual_schedule(&[0, 1, 2, 3], &arrivals, &durations, 1, Some(1));
-        assert_eq!(schedule[0], Some((0, 100)));
-        assert_eq!(schedule[1], Some((100, 200)));
-        assert_eq!(schedule[2], None);
-        assert_eq!(schedule[3], None);
+        let schedule = virtual_schedule(&[0, 1, 2, 3], &arrivals, &durations, 1, Some(1), None);
+        assert_eq!(schedule[0], ScheduleSlot::Served { start: 0, finish: 100 });
+        assert_eq!(schedule[1], ScheduleSlot::Served { start: 100, finish: 200 });
+        assert_eq!(schedule[2], ScheduleSlot::Shed);
+        assert_eq!(schedule[3], ScheduleSlot::Shed);
     }
 
     #[test]
@@ -2409,8 +2943,8 @@ mod tests {
         // it must be admitted and start immediately.
         let arrivals = [0, 10];
         let durations = [10, 5];
-        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0));
-        assert_eq!(schedule[1], Some((10, 15)));
+        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0), None);
+        assert_eq!(schedule[1], ScheduleSlot::Served { start: 10, finish: 15 });
     }
 
     #[test]
@@ -2418,9 +2952,44 @@ mod tests {
         // No waiting room: the second concurrent request is shed.
         let arrivals = [0, 5];
         let durations = [100, 100];
-        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0));
-        assert_eq!(schedule[0], Some((0, 100)));
-        assert_eq!(schedule[1], None);
+        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, Some(0), None);
+        assert_eq!(schedule[0], ScheduleSlot::Served { start: 0, finish: 100 });
+        assert_eq!(schedule[1], ScheduleSlot::Shed);
+    }
+
+    #[test]
+    fn virtual_schedule_deadline_aborts_and_reclaims_worker() {
+        // Request 0 would run 0..100 but its deadline is 50: the worker
+        // is reclaimed at the abort cycle and serves request 1 on time.
+        let arrivals = [0, 40];
+        let durations = [100, 10];
+        let schedule = virtual_schedule(&[0, 1], &arrivals, &durations, 1, None, Some(50));
+        assert_eq!(schedule[0], ScheduleSlot::TimedOut { at: 50 });
+        assert_eq!(schedule[1], ScheduleSlot::Served { start: 50, finish: 60 });
+    }
+
+    #[test]
+    fn virtual_schedule_queue_expiry_consumes_no_worker() {
+        // One worker, deadline 60. Request 0 finishes in time; request 1
+        // starts at 50 and is aborted at its deadline 60; request 2's
+        // deadline passes while it is still queued, so it expires
+        // without occupying the worker — which is free again for
+        // request 3 the moment it arrives.
+        let arrivals = [0, 0, 0, 60];
+        let durations = [50, 50, 50, 20];
+        let schedule = virtual_schedule(&[0, 1, 2, 3], &arrivals, &durations, 1, None, Some(60));
+        assert_eq!(schedule[0], ScheduleSlot::Served { start: 0, finish: 50 });
+        assert_eq!(schedule[1], ScheduleSlot::TimedOut { at: 60 });
+        assert_eq!(schedule[2], ScheduleSlot::TimedOut { at: 60 });
+        assert_eq!(schedule[3], ScheduleSlot::Served { start: 60, finish: 80 });
+    }
+
+    #[test]
+    fn virtual_schedule_finishing_exactly_at_deadline_completes() {
+        let arrivals = [0];
+        let durations = [50];
+        let schedule = virtual_schedule(&[0], &arrivals, &durations, 1, None, Some(50));
+        assert_eq!(schedule[0], ScheduleSlot::Served { start: 0, finish: 50 });
     }
 
     use puma_core::tensor::Matrix;
@@ -2458,7 +3027,7 @@ mod tests {
 
     fn load(arrivals: Vec<u64>, durations: Vec<u64>, tiles: usize) -> TenantLoad {
         let order: Vec<usize> = (0..arrivals.len()).collect();
-        TenantLoad { arrivals, durations, order, tiles }
+        TenantLoad { arrivals, durations, order, tiles, node: 0, base: 0 }
     }
 
     #[test]
@@ -2481,11 +3050,20 @@ mod tests {
         let loads = [load(vec![0, 4, 8], vec![10, 10, 10], 1)];
         let mut planner = TilePlanner::new(1, 4);
         planner.first_fit(1).unwrap();
-        let s = tenant_schedule(&loads, None, &ScalePolicy::default(), &mut planner);
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::default(),
+            &RetryPolicy::default(),
+            None,
+            &mut planner,
+        );
         assert_eq!(s.windows[0], vec![Some((0, 10)), Some((10, 20)), Some((20, 30))]);
         assert_eq!(s.shed[0], 0);
         assert_eq!(s.peak[0], 1);
         assert!(s.events.is_empty());
+        assert_eq!(s.attempts[0], vec![1, 1, 1]);
+        assert!(s.failed[0].iter().all(|f| !f));
     }
 
     #[test]
@@ -2493,7 +3071,14 @@ mod tests {
         let loads = [load(vec![0, 1, 2, 3], vec![100; 4], 1)];
         let mut planner = TilePlanner::new(1, 1);
         planner.first_fit(1).unwrap();
-        let s = tenant_schedule(&loads, Some(1), &ScalePolicy::default(), &mut planner);
+        let s = tenant_schedule(
+            &loads,
+            Some(1),
+            &ScalePolicy::default(),
+            &RetryPolicy::default(),
+            None,
+            &mut planner,
+        );
         assert_eq!(s.windows[0][0], Some((0, 100)));
         assert_eq!(s.windows[0][1], Some((100, 200)));
         assert_eq!(s.windows[0][2], None);
@@ -2507,7 +3092,14 @@ mod tests {
         let loads = [load(vec![0, 1, 2], vec![100; 3], 2)];
         let mut planner = TilePlanner::new(1, 8);
         planner.first_fit(2).unwrap();
-        let s = tenant_schedule(&loads, None, &ScalePolicy::new(2, 2), &mut planner);
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::new(2, 2),
+            &RetryPolicy::default(),
+            None,
+            &mut planner,
+        );
         assert_eq!(s.windows[0][0], Some((0, 100)));
         // Request 1 queued at t=1; request 2's arrival at t=2 makes the
         // queue reach depth 2 → scale up serves request 1 (the head).
@@ -2515,10 +3107,17 @@ mod tests {
         assert_eq!(s.peak[0], 2);
         assert_eq!(
             s.events.first(),
-            Some(&RawScaleEvent { cycle: 2, stream: 0, slot: 1, up: true, live: 2 })
+            Some(&RawScaleEvent {
+                cycle: 2,
+                stream: 0,
+                slot: 1,
+                kind: ScaleDirection::Up,
+                live: 2
+            })
         );
         // The scaled-up replica drains away once idle with an empty queue.
-        let down = s.events.iter().find(|e| !e.up).expect("replica released");
+        let down =
+            s.events.iter().find(|e| e.kind == ScaleDirection::Down).expect("replica released");
         assert_eq!(down.live, 1);
     }
 
@@ -2528,10 +3127,75 @@ mod tests {
         let loads = [load(vec![0, 1, 2, 3], vec![100; 4], 1)];
         let mut planner = TilePlanner::new(1, 1);
         planner.first_fit(1).unwrap();
-        let s = tenant_schedule(&loads, None, &ScalePolicy::new(1, 4), &mut planner);
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::new(1, 4),
+            &RetryPolicy::default(),
+            None,
+            &mut planner,
+        );
         assert!(s.events.is_empty());
         assert_eq!(s.peak[0], 1);
         assert_eq!(s.windows[0][3], Some((300, 400)));
+    }
+
+    #[test]
+    fn tenant_schedule_tile_death_quarantines_and_fails_over() {
+        // One stream deployed on node 0 tiles 0..2; tile 0 dies at
+        // cycle 50 while request 0 is in flight. The slot is
+        // quarantined (its tiles stay allocated), a failover replica is
+        // re-placed onto free tiles, request 1 starts on it at the
+        // death cycle, and request 0 retries after one 8-cycle backoff.
+        let loads = [load(vec![0, 10], vec![100, 100], 2)];
+        let mut planner = TilePlanner::new(1, 8);
+        planner.first_fit(2).unwrap();
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::default(),
+            &RetryPolicy::new(2, 8),
+            Some((50, 0, 0)),
+            &mut planner,
+        );
+        // Request 1 (queue head at the death) starts on the failover
+        // replica immediately; request 0 re-arrives at 50 + 8 and runs
+        // after it.
+        assert_eq!(s.windows[0][1], Some((50, 150)));
+        assert_eq!(s.windows[0][0], Some((150, 250)));
+        assert_eq!(s.attempts[0], vec![2, 1]);
+        assert!(s.failed[0].iter().all(|f| !f));
+        let kinds: Vec<ScaleDirection> = s.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![ScaleDirection::Quarantine, ScaleDirection::Failover]);
+        assert_eq!(s.events[0].live, 0);
+        assert_eq!(s.events[1].live, 1);
+        // The dead deployment's tiles were never released: 2 tiles
+        // quarantined + 2 for the failover replica leave 4 of 8 free.
+        assert_eq!(planner.largest_free(), 4);
+    }
+
+    #[test]
+    fn tenant_schedule_retries_exhaust_to_failure() {
+        // No spare tiles: the death removes the only replica, failover
+        // finds no capacity, and every unserved request fails. The
+        // default retry policy (1 attempt) spends the victim's budget
+        // immediately.
+        let loads = [load(vec![0, 10, 20], vec![100; 3], 2)];
+        let mut planner = TilePlanner::new(1, 2);
+        planner.first_fit(2).unwrap();
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::default(),
+            &RetryPolicy::default(),
+            Some((50, 0, 1)),
+            &mut planner,
+        );
+        assert_eq!(s.windows[0], vec![None, None, None]);
+        assert_eq!(s.failed[0], vec![true, true, true]);
+        let kinds: Vec<ScaleDirection> = s.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![ScaleDirection::Quarantine]);
+        assert_eq!(s.shed[0], 0);
     }
 
     #[test]
@@ -2540,14 +3204,21 @@ mod tests {
         let loads = [load(vec![0, 0, 0, 0, 200, 400], vec![100; 6], 1)];
         let mut planner = TilePlanner::new(1, 4);
         planner.first_fit(1).unwrap();
-        let s = tenant_schedule(&loads, None, &ScalePolicy::new(2, 3), &mut planner);
+        let s = tenant_schedule(
+            &loads,
+            None,
+            &ScalePolicy::new(2, 3),
+            &RetryPolicy::default(),
+            None,
+            &mut planner,
+        );
         // Everything completes.
         assert!(s.windows[0].iter().all(Option::is_some));
         // Slot 0 (the materialized deployment) is never released.
-        assert!(s.events.iter().filter(|e| !e.up).all(|e| e.slot != 0));
+        assert!(s.events.iter().filter(|e| e.kind == ScaleDirection::Down).all(|e| e.slot != 0));
         // A released replica has no request in flight at the release
         // cycle: every request it served finished at or before it.
-        for e in s.events.iter().filter(|e| !e.up) {
+        for e in s.events.iter().filter(|e| e.kind == ScaleDirection::Down) {
             for (r, slot) in s.replica_of[e.stream].iter().enumerate() {
                 if *slot == Some(e.slot) {
                     let (start, finish) = s.windows[e.stream][r].unwrap();
